@@ -1,0 +1,48 @@
+// Ablation: streaming chunk size vs end-to-end time (paper Section
+// VI-E-2: "the amount of data to be transferred at each step must be
+// evenly balanced with the amount of computation... to sufficiently
+// overlap execution and data transfer"). Small chunks pay per-launch and
+// per-transfer overheads; huge chunks forfeit the double-buffering
+// overlap. The framework's automatic choice should sit in the flat bottom
+// of the U.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/snpcmp.hpp"
+
+int main() {
+  using namespace snp;
+  bench::title("ABLATION -- streaming chunk size (FastID 32 x 20M x 1024 "
+               "bits)");
+
+  for (const char* name : {"gtx980", "titanv", "vega64"}) {
+    Context ctx = Context::gpu(name);
+    bench::section(ctx.device_name());
+    std::printf("  %12s | %8s | %12s | %12s\n", "chunk rows", "chunks",
+                "end-to-end", "hidden");
+    ComputeOptions opts;
+    opts.functional = false;
+    double auto_time = 0.0;
+    for (const std::size_t rows :
+         {50'000u, 200'000u, 1'000'000u, 4'000'000u, 10'000'000u}) {
+      opts.chunk_rows = rows;
+      const auto t =
+          ctx.estimate(32, 20'000'000, 1024, bits::Comparison::kXor, opts);
+      std::printf("  %12zu | %8d | %s | %s\n", rows, t.chunks,
+                  bench::fmt_time(t.end_to_end_s).c_str(),
+                  bench::fmt_time(t.overlap_hidden_s).c_str());
+    }
+    opts.chunk_rows = 0;  // the framework's automatic choice
+    const auto t =
+        ctx.estimate(32, 20'000'000, 1024, bits::Comparison::kXor, opts);
+    auto_time = t.end_to_end_s;
+    std::printf("  %12s | %8d | %s | %s   <-- automatic\n", "auto",
+                t.chunks, bench::fmt_time(auto_time).c_str(),
+                bench::fmt_time(t.overlap_hidden_s).c_str());
+  }
+  std::printf("\n  (Tiny chunks pay PCIe latency and launch overhead per "
+              "chunk; one giant\n   chunk serializes upload -> kernel -> "
+              "readback. The automatic 256 MiB\n   pipelining granularity "
+              "lands on the flat bottom.)\n\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: the DRAM-contention mechanism, derived rather than assumed.
+//
+// The tile-level timing model prices multi-core memory contention with a
+// calibrated soft-min curve. Here a lockstep device simulation with a
+// shared token-bucket bus *measures* per-core efficiency as cores scale,
+// next to the soft-min prediction matched on the same single-core demand
+// — showing the calibrated curve is the closed form of a real queueing
+// mechanism, not an arbitrary fit. (tests/test_device_sim.cpp pins the
+// agreement; this bench prints the curves.)
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/device_sim.hpp"
+
+namespace {
+
+snp::sim::Program mem_mix(int ldgs, int adds, std::uint64_t iterations) {
+  using namespace snp::sim;
+  Program p;
+  for (int i = 0; i < ldgs; ++i) {
+    p.body.push_back({Opcode::kLdg, i % 8, kNoReg, kNoReg, 0});
+  }
+  for (int j = 0; j < adds; ++j) {
+    const int r = 8 + j % 4;
+    p.body.push_back({Opcode::kAdd, r, r, kNoReg, 0});
+  }
+  p.iterations = iterations;
+  for (int r = 0; r < 12; ++r) {
+    p.epilogue.push_back({Opcode::kStg, kNoReg, r, kNoReg, 0});
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace snp;
+  bench::title("ABLATION -- shared-DRAM contention: lockstep simulation "
+               "vs the soft-min model");
+
+  auto dev = model::gtx980();
+  dev.n_cores = 64;
+  sim::SimOptions opts;
+  opts.loop_overhead_instrs = 0;
+
+  for (const double bus_rate : {512.0, 1024.0, 2048.0}) {
+    sim::DramBusSpec bus;
+    bus.bytes_per_cycle = bus_rate;
+    const sim::DeviceSim dsim(dev, bus, opts);
+    const auto prog = mem_mix(2, 2, 64);
+    const auto solo = dsim.run(prog, 8, 1, 128.0);
+    const double demand = solo.dram_bytes_served /
+                          static_cast<double>(solo.core_cycles[0]);
+    bench::section("bus " + std::to_string(static_cast<int>(bus_rate)) +
+                   " B/cycle, per-core demand " +
+                   std::to_string(demand).substr(0, 5) + " B/cycle");
+    std::printf("  %6s | %10s | %10s | %10s\n", "cores", "measured",
+                "soft-min", "bus util");
+    for (const int n : {1, 2, 4, 8, 16, 32, 64}) {
+      const auto t = dsim.run(prog, 8, n, 128.0);
+      const double eff = static_cast<double>(solo.core_cycles[0]) /
+                         static_cast<double>(t.cycles);
+      const double ratio = n * demand / bus_rate;
+      const double soft = std::pow(1.0 + std::pow(ratio, 4.0), -0.25);
+      std::printf("  %6d | %9.1f%% | %9.1f%% | %9.1f%%\n", n, 100.0 * eff,
+                  100.0 * soft, 100.0 * t.bus_utilization);
+    }
+  }
+  std::printf("\n  (The lockstep bus simulation and the calibrated curve "
+              "agree across three\n   saturation regimes -- flat, knee, "
+              "bandwidth-share asymptote.)\n\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Extension bench (paper Section VII future work): multi-GPU scaling on a
+// DGX-2-like box of simulated devices. Shards the FastID database (and an
+// LD sequence panel) across 1..16 GPUs and reports end-to-end time, the
+// dominant cost, and the optional device-side all-gather of results.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "multi/multi_gpu.hpp"
+
+int main() {
+  using namespace snp;
+  bench::title("EXTENSION -- multi-GPU scaling (DGX-2-like box)");
+
+  multi::MultiGpuOptions opts;
+  opts.per_device.functional = false;
+
+  bench::section("FastID: 32 queries vs 80 M profiles x 1024 SNPs "
+                 "(4x NDIS scale)");
+  std::printf("  %-8s | %7s | %12s | %10s | %s\n", "GPU", "devices",
+              "end-to-end", "speedup", "critical-path breakdown");
+  for (const char* name : {"titanv", "vega64"}) {
+    double base = 0.0;
+    for (const int devices : {1, 2, 4, 8, 16}) {
+      multi::MultiGpuContext box(name, devices);
+      const auto t = box.estimate(32, 80'000'000, 1024,
+                                  bits::Comparison::kXor, opts);
+      if (devices == 1) {
+        base = t.end_to_end_s;
+      }
+      const auto& s = t.slowest_device;
+      std::printf("  %-8s | %7d | %s | %9.2fx | init %.0f ms, h2d %.0f "
+                  "ms, kern %.0f ms, d2h %.0f ms\n",
+                  name, devices, bench::fmt_time(t.end_to_end_s).c_str(),
+                  base / t.end_to_end_s, s.init_s * 1e3, s.h2d_s * 1e3,
+                  s.kernel_s * 1e3, s.d2h_s * 1e3);
+    }
+  }
+  std::printf("  (Scaling saturates once the fixed per-device OpenCL init "
+              "dominates --\n   the distributed-memory cost the paper "
+              "anticipates.)\n");
+
+  bench::section("LD: 40,960 SNPs x 100k sequences, with device-side "
+                 "all-gather of gamma");
+  std::printf("  %-8s | %7s | %12s | %12s\n", "GPU", "devices",
+              "host-merged", "+ all-gather");
+  multi::MultiGpuOptions gather = opts;
+  gather.gather_on_device = true;
+  for (const int devices : {1, 4, 16}) {
+    multi::MultiGpuContext box("vega64", devices);
+    const auto plain = box.estimate(40960, 40960, 100000,
+                                    bits::Comparison::kAnd, opts);
+    const auto g = box.estimate(40960, 40960, 100000,
+                                bits::Comparison::kAnd, gather);
+    std::printf("  %-8s | %7d | %s | %s\n", "vega64", devices,
+                bench::fmt_time(plain.end_to_end_s).c_str(),
+                bench::fmt_time(g.end_to_end_s).c_str());
+  }
+  std::printf("\n  (The gamma all-gather moves the full %0.1f GB output "
+              "over the 25 GB/s\n   interconnect -- the communication cost "
+              "that makes multi-GPU LD a\n   distributed-memory problem.)"
+              "\n",
+              40960.0 * 40960.0 * 4 / 1e9);
+
+  bench::section("heterogeneous box: throughput-weighted sharding "
+                 "(deep-K LD)");
+  multi::MultiGpuOptions het = opts;
+  het.per_device.include_init = false;
+  multi::MultiGpuContext mixed(
+      std::vector<std::string>{"titanv", "gtx980"});
+  const auto& w = mixed.weights();
+  std::printf("  titanv + gtx980, shard weights %.1f%% / %.1f%%\n",
+              100.0 * w[0], 100.0 * w[1]);
+  const auto t = mixed.estimate(10000, 50000, 100000,
+                                bits::Comparison::kAnd, het);
+  std::printf("  per-device finish times: %s vs %s (balanced within "
+              "%.0f%%)\n",
+              bench::fmt_time(t.per_device_end_to_end_s[0]).c_str(),
+              bench::fmt_time(t.per_device_end_to_end_s[1]).c_str(),
+              100.0 * std::abs(t.per_device_end_to_end_s[0] -
+                               t.per_device_end_to_end_s[1]) /
+                  t.end_to_end_s);
+  multi::MultiGpuContext titan_only("titanv", 1);
+  const auto solo = titan_only.estimate(10000, 50000, 100000,
+                                        bits::Comparison::kAnd, het);
+  std::printf("  vs Titan V alone: %s -> %s with the GTX 980 helping\n\n",
+              bench::fmt_time(solo.end_to_end_s).c_str(),
+              bench::fmt_time(t.end_to_end_s).c_str());
+  return 0;
+}

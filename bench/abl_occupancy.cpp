@@ -1,0 +1,58 @@
+// Ablation: occupancy vs throughput for the *actual* kernel inner loop on
+// the cycle-level simulator (paper Section V-E and Volkov's "better
+// performance at lower occupancy"). The framework deliberately limits
+// resident thread groups to N_cl x L_fn per core; this bench shows that
+// policy reaching the throughput plateau on every device, and quantifies
+// what a single group per cluster (latency exposed) loses.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "kern/kernel_program.hpp"
+#include "model/peak.hpp"
+#include "sim/pipeline.hpp"
+
+int main() {
+  using namespace snp;
+  bench::title("ABLATION -- occupancy vs throughput (cycle-level kernel "
+               "inner loop)");
+
+  for (const auto& dev : model::all_gpus()) {
+    const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+    const auto info = kern::build_kernel_program(
+        dev, cfg, bits::Comparison::kAnd, /*k_iterations=*/64,
+        /*unroll=*/4);
+    const sim::CoreSim core(dev);
+    const double analytic =
+        model::cluster_rate(dev,
+                            model::kernel_mix(dev, bits::Comparison::kAnd))
+            .wordops_per_cycle *
+        dev.n_clusters;
+    const int policy = std::min(
+        dev.n_clusters * dev.groups_per_cluster(), dev.n_grp_max);
+
+    bench::section(dev.name + "  (analytic bound " +
+                   std::to_string(static_cast<int>(analytic)) +
+                   " word-ops/cycle/core; policy occupancy " +
+                   std::to_string(policy) + " groups)");
+    std::printf("  %8s | %14s | %10s\n", "groups", "word-ops/cycle",
+                "% of bound");
+    for (int groups = dev.n_clusters; groups <= dev.n_grp_max;
+         groups += dev.n_clusters) {
+      const auto stats = core.run(info.program, groups);
+      const double ops =
+          static_cast<double>(info.wordops_per_iteration *
+                              info.program.iterations) *
+          groups;
+      const double rate = ops / static_cast<double>(stats.cycles);
+      std::printf("  %8d | %14.2f | %9.1f%%%s\n", groups, rate,
+                  100.0 * rate / analytic,
+                  groups == policy ? "   <-- framework occupancy" : "");
+    }
+  }
+  std::printf("\n  (The plateau at or before N_cl x L_fn groups is the "
+              "model's occupancy claim;\n   beyond it extra groups add "
+              "register pressure for no throughput -- the\n   Volkov "
+              "argument the paper cites for capping occupancy.)\n\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared formatting helpers for the reproduction benches. Each bench binary
+// regenerates one table or figure of the paper as aligned text, with the
+// paper's reported values alongside where applicable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace snp::bench {
+
+inline void title(const std::string& t) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", t.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& s) {
+  std::printf("\n--- %s ---\n", s.c_str());
+}
+
+/// Pretty seconds: ms below 1 s, s above.
+inline std::string fmt_time(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%8.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%8.3f s ", seconds);
+  }
+  return buf;
+}
+
+/// Optional machine-readable output: when the SNP_BENCH_CSV environment
+/// variable names a directory, each figure bench also writes its series
+/// there as <name>.csv (header row first). Inactive otherwise — the
+/// printed tables remain the primary output.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& name) {
+    const char* dir = std::getenv("SNP_BENCH_CSV");
+    if (dir == nullptr || *dir == '\0') {
+      return;
+    }
+    std::filesystem::create_directories(dir);
+    os_.open(std::filesystem::path(dir) / (name + ".csv"));
+  }
+
+  [[nodiscard]] bool active() const { return os_.is_open(); }
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    if (!active()) {
+      return;
+    }
+    std::ostringstream line;
+    bool first = true;
+    ((line << (first ? "" : ",") << cells, first = false), ...);
+    os_ << line.str() << '\n';
+  }
+
+ private:
+  std::ofstream os_;
+};
+
+}  // namespace snp::bench

@@ -1,0 +1,65 @@
+// Figure 5 reproduction: LD kernel throughput vs the number of SNP strings
+// (the inner/dot-product dimension), with the SNP count (output dimension)
+// fixed near each device's maximum — 15,360 (GTX 980), 25,600 (Titan V),
+// 40,960 (Vega 64), set by fitting the output matrix into the device's max
+// allocation. The strings axis sweeps to the one-tile maximum (k_c * 32 =
+// 12,256 bits on the NVIDIA parts, 16,384 on Vega).
+//
+// Paper targets at the right edge: 90.7 % / 97.1 % / 54.9 % of each
+// device's theoretical peak.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/peak.hpp"
+#include "sim/timing.hpp"
+
+int main() {
+  using namespace snp;
+  bench::title("FIGURE 5 -- LD kernel throughput vs #SNP strings");
+  bench::CsvWriter csv("fig5_ld_kernel");
+  csv.row("device", "snp_strings", "gops", "pct_of_peak", "kernel_s");
+
+  struct Case {
+    const char* name;
+    std::size_t max_snps;
+    std::size_t max_strings;
+    double paper_pct;
+  };
+  const Case cases[] = {{"gtx980", 15360, 12256, 90.7},
+                        {"titanv", 25600, 12256, 97.1},
+                        {"vega64", 40960, 16384, 54.9}};
+
+  for (const auto& c : cases) {
+    const auto dev = model::gpu_by_name(c.name);
+    const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+    const double peak =
+        model::peak_wordops_per_s(dev, bits::Comparison::kAnd) / 1e9;
+    bench::section(dev.name + "  (SNPs = " + std::to_string(c.max_snps) +
+                   ", peak = " + std::to_string(static_cast<int>(peak)) +
+                   " Gword-ops/s)");
+    std::printf("  %10s | %12s | %10s | %10s\n", "strings", "Gword-ops/s",
+                "% of peak", "kernel");
+    for (std::size_t strings = 512; strings < c.max_strings;
+         strings *= 2) {
+      const std::size_t s = std::min(strings, c.max_strings);
+      const sim::KernelShape shape{c.max_snps, c.max_snps,
+                                   bits::ceil_div(s, 32)};
+      const auto t =
+          sim::estimate_kernel(dev, cfg, bits::Comparison::kAnd, shape);
+      std::printf("  %10zu | %12.1f | %9.1f%% | %s\n", s, t.gops,
+                  t.pct_of_peak, bench::fmt_time(t.seconds).c_str());
+      csv.row(dev.name, s, t.gops, t.pct_of_peak, t.seconds);
+    }
+    // The exact right-edge point the paper quotes.
+    const sim::KernelShape edge{c.max_snps, c.max_snps,
+                                bits::ceil_div(c.max_strings, 32)};
+    const auto t =
+        sim::estimate_kernel(dev, cfg, bits::Comparison::kAnd, edge);
+    std::printf("  %10zu | %12.1f | %9.1f%% | %s   <-- paper: %.1f%%\n",
+                c.max_strings, t.gops, t.pct_of_peak,
+                bench::fmt_time(t.seconds).c_str(), c.paper_pct);
+    csv.row(dev.name, c.max_strings, t.gops, t.pct_of_peak, t.seconds);
+  }
+  std::printf("\n");
+  return 0;
+}

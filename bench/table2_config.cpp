@@ -1,0 +1,61 @@
+// Table II reproduction: software configuration parameters per device and
+// workload — the paper's shipped presets next to the values our
+// implementation of the Section V-A analytical derivation (Eqs. 4-7)
+// produces, plus the per-equation intermediates and validation verdicts.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/config.hpp"
+
+int main() {
+  using namespace snp;
+  bench::title("TABLE II -- software configuration (paper preset vs "
+               "analytical derivation)");
+
+  for (const auto kind :
+       {model::WorkloadKind::kLd, model::WorkloadKind::kFastId}) {
+    bench::section(kind == model::WorkloadKind::kLd
+                       ? "Linkage disequilibrium"
+                       : "FastID");
+    std::printf("  %-8s | %-28s | %-28s\n", "GPU", "paper preset (Table II)",
+                "derived (Eqs. 4-7)");
+    for (const auto& dev : model::all_gpus()) {
+      const auto preset = model::paper_preset(dev, kind);
+      const auto derived = model::derive(dev, kind);
+      std::printf("  %-8s | %-28s | %-28s\n", dev.name.c_str(),
+                  preset.to_string().c_str(), derived.to_string().c_str());
+      const auto vp = model::validate(preset, dev);
+      const auto vd = model::validate(derived, dev);
+      if (!vp.ok || !vd.ok) {
+        std::printf("           ! validation: preset %s / derived %s\n",
+                    vp.ok ? "ok" : vp.reason.c_str(),
+                    vd.ok ? "ok" : vd.reason.c_str());
+      }
+    }
+  }
+
+  bench::section("per-equation intermediates");
+  for (const auto& dev : model::all_gpus()) {
+    const auto preset = model::paper_preset(dev, model::WorkloadKind::kLd);
+    std::printf("  %-8s  Eq.4 m_r = N_vec = %d\n", dev.name.c_str(),
+                dev.n_vec);
+    std::printf("            Eq.5 as printed: N_b/N_cl = %d  (Table II "
+                "uses N_b = %d; see DESIGN.md)\n",
+                model::m_c_eq5(dev), dev.banks);
+    std::printf("            Eq.6 k_c = (N_shared - reserved)/(4*N_b) = "
+                "(%zu - %zu)/(4*%d) = %d\n",
+                dev.shared_bytes, dev.shared_reserved, dev.banks,
+                preset.k_c);
+    std::printf("            Eq.7 n_r >= (N_T*m_r/m_c)*N_vec*L_fn = %d; "
+                "register bound <= %d; preset uses %d\n",
+                model::n_r_lower_bound(dev, preset.m_r, preset.m_c),
+                model::n_r_upper_bound(dev, preset.m_r, preset.m_c),
+                preset.n_r);
+    std::printf("            occupancy: N_cl*L_fn = %d groups/core (device "
+                "limit %d); accumulators/thread = %d\n",
+                preset.groups_per_core(dev), dev.n_grp_max,
+                preset.accumulators_per_thread(dev));
+  }
+  std::printf("\n");
+  return 0;
+}

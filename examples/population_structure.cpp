@@ -1,0 +1,94 @@
+// Population structure, end to end, on the comparison kernels:
+//
+//   1. simulate two diverged subpopulations (Balding-Nichols-style),
+//   2. compute pairwise Hamming distances with the XOR kernel on a
+//      simulated GPU,
+//   3. recover the two groups with UPGMA clustering,
+//   4. quantify the divergence with Hudson's Fst,
+//   5. confirm the split is structure, not relatedness, with KING.
+//
+// Build & run:  ./build/examples/population_structure [device]
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "bits/genotype.hpp"
+#include "core/snpcmp.hpp"
+#include "io/rng.hpp"
+#include "stats/cluster.hpp"
+#include "stats/fst.hpp"
+#include "stats/kinship.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snp;
+  const std::string device = argc > 1 ? argv[1] : "gtx980";
+  constexpr std::size_t kPerPop = 24;
+  constexpr std::size_t kLoci = 4000;
+
+  // 1. Two subpopulations around shared ancestral frequencies.
+  io::Rng rng(777);
+  bits::GenotypeMatrix genotypes(kLoci, 2 * kPerPop);
+  for (std::size_t l = 0; l < kLoci; ++l) {
+    const double anc = 0.15 + 0.6 * rng.next_double();
+    const double shift = 0.25 * (rng.next_double() - 0.5);
+    const double p1 = std::min(0.95, std::max(0.02, anc + shift));
+    const double p2 = std::min(0.95, std::max(0.02, anc - shift));
+    for (std::size_t s = 0; s < 2 * kPerPop; ++s) {
+      const double p = s < kPerPop ? p1 : p2;
+      genotypes.at(l, s) = static_cast<std::uint8_t>(
+          static_cast<int>(rng.next_bernoulli(p)) +
+          static_cast<int>(rng.next_bernoulli(p)));
+    }
+  }
+  std::printf("cohort: %zu samples (2 populations of %zu) x %zu loci\n",
+              2 * kPerPop, kPerPop, kLoci);
+
+  // 2. Individual-major presence plane -> XOR distances on the device.
+  const auto profiles = stats::encode_individual_major(
+      genotypes, bits::EncodingPlane::kPresence);
+  Context ctx = Context::gpu(device);
+  const auto gamma =
+      ctx.compare(profiles, profiles, bits::Comparison::kXor);
+  std::printf("XOR distance matrix on %s: kernel %.3f ms, end-to-end "
+              "%.0f ms\n",
+              ctx.device_name().c_str(), gamma.timing.kernel_s * 1e3,
+              gamma.timing.end_to_end_s * 1e3);
+
+  // 3. UPGMA -> two clusters.
+  const auto tree = stats::upgma(gamma.counts);
+  const auto labels = tree.cut_k(2);
+  std::size_t misassigned = 0;
+  for (std::size_t s = 0; s < 2 * kPerPop; ++s) {
+    const std::size_t truth = s < kPerPop ? labels[0] : labels[kPerPop];
+    misassigned += labels[s] != truth ? 1u : 0u;
+  }
+  std::printf("UPGMA 2-way cut: %zu/%zu samples misassigned\n",
+              misassigned, 2 * kPerPop);
+
+  // 4. Fst between the recovered groups.
+  std::vector<bool> in_pop1(2 * kPerPop);
+  for (std::size_t s = 0; s < 2 * kPerPop; ++s) {
+    in_pop1[s] = labels[s] == labels[0];
+  }
+  const auto fst = stats::fst_scan(genotypes, in_pop1);
+  std::printf("Hudson Fst between the clusters: %.4f (typical human "
+              "continental pairs: 0.05-0.15)\n",
+              fst.genome_wide);
+
+  // 5. Kinship screen: structure, not family.
+  const auto kin = stats::kinship_matrix(genotypes);
+  std::size_t related = 0;
+  const std::size_t n = 2 * kPerPop;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      related += kin[i * n + j].relationship !=
+                         stats::Relationship::kUnrelated
+                     ? 1u
+                     : 0u;
+    }
+  }
+  std::printf("KING screen: %zu related pairs (expected 0 -- the split is "
+              "population structure)\n",
+              related);
+  return misassigned == 0 ? 0 : 1;
+}

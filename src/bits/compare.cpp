@@ -1,0 +1,68 @@
+#include "bits/compare.hpp"
+
+#include <stdexcept>
+
+namespace snp::bits {
+
+namespace {
+
+void check_conformance(const BitMatrix& a, const BitMatrix& b) {
+  if (a.bit_cols() != b.bit_cols()) {
+    throw std::invalid_argument(
+        "compare: operands must share the K (bit) dimension");
+  }
+}
+
+}  // namespace
+
+CountMatrix compare_reference(const BitMatrix& a, const BitMatrix& b,
+                              Comparison op) {
+  check_conformance(a, b);
+  CountMatrix c(a.rows(), b.rows());
+  const std::size_t words = ceil_div(a.bit_cols(), kBitsPerWord64);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto row_a = a.row64(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const auto row_b = b.row64(j);
+      std::uint32_t acc = 0;
+      for (std::size_t k = 0; k < words; ++k) {
+        acc += static_cast<std::uint32_t>(popcount(apply(op, row_a[k],
+                                                         row_b[k])));
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+CountMatrix compare_bitwise_oracle(const BitMatrix& a, const BitMatrix& b,
+                                   Comparison op) {
+  check_conformance(a, b);
+  CountMatrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      std::uint32_t acc = 0;
+      for (std::size_t k = 0; k < a.bit_cols(); ++k) {
+        const bool x = a.get(i, k);
+        const bool y = b.get(j, k);
+        bool bit = false;
+        switch (op) {
+          case Comparison::kAnd:
+            bit = x && y;
+            break;
+          case Comparison::kXor:
+            bit = x != y;
+            break;
+          case Comparison::kAndNot:
+            bit = x && !y;
+            break;
+        }
+        acc += bit ? 1u : 0u;
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+}  // namespace snp::bits

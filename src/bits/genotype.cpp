@@ -1,0 +1,31 @@
+#include "bits/genotype.hpp"
+
+namespace snp::bits {
+
+double GenotypeMatrix::maf(std::size_t locus) const {
+  if (samples_ == 0) {
+    return 0.0;
+  }
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < samples_; ++s) {
+    total += at(locus, s);
+  }
+  return static_cast<double>(total) /
+         (2.0 * static_cast<double>(samples_));
+}
+
+BitMatrix encode(const GenotypeMatrix& g, EncodingPlane plane,
+                 std::size_t stride_words64) {
+  BitMatrix out(g.loci(), g.samples(), stride_words64);
+  const std::uint8_t threshold = plane == EncodingPlane::kPresence ? 1 : 2;
+  for (std::size_t locus = 0; locus < g.loci(); ++locus) {
+    for (std::size_t sample = 0; sample < g.samples(); ++sample) {
+      if (g.at(locus, sample) >= threshold) {
+        out.set(locus, sample, true);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace snp::bits

@@ -1,0 +1,54 @@
+// Genotype-to-bit encoding (paper Section III, Fig. 2).
+//
+// Raw genotypes are minor-allele dosages in {0, 1, 2} (diploid). The paper's
+// pipeline encodes "presence of the minor allele" as a 1 bit and the major
+// allele as a 0 bit; padding rows/columns are zero. We additionally support
+// the homozygous-minor plane, which downstream LD statistics can combine
+// with the presence plane.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitmatrix.hpp"
+
+namespace snp::bits {
+
+/// Dense dosage matrix: rows = SNP loci, cols = samples, values in {0,1,2}.
+class GenotypeMatrix {
+ public:
+  GenotypeMatrix() = default;
+  GenotypeMatrix(std::size_t loci, std::size_t samples)
+      : loci_(loci), samples_(samples), dosage_(loci * samples, 0) {}
+
+  [[nodiscard]] std::size_t loci() const { return loci_; }
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+  [[nodiscard]] std::uint8_t& at(std::size_t locus, std::size_t sample) {
+    return dosage_[locus * samples_ + sample];
+  }
+  [[nodiscard]] std::uint8_t at(std::size_t locus, std::size_t sample) const {
+    return dosage_[locus * samples_ + sample];
+  }
+
+  /// Minor-allele frequency of a locus (mean dosage / 2).
+  [[nodiscard]] double maf(std::size_t locus) const;
+
+ private:
+  std::size_t loci_ = 0;
+  std::size_t samples_ = 0;
+  std::vector<std::uint8_t> dosage_;
+};
+
+enum class EncodingPlane {
+  /// Bit = 1 iff at least one minor allele is present (dosage >= 1).
+  kPresence,
+  /// Bit = 1 iff homozygous for the minor allele (dosage == 2).
+  kHomozygous,
+};
+
+/// Packs one plane of a genotype matrix into a BitMatrix (one row per locus,
+/// one bit column per sample), padded with zero bits.
+[[nodiscard]] BitMatrix encode(const GenotypeMatrix& g, EncodingPlane plane,
+                               std::size_t stride_words64 = 1);
+
+}  // namespace snp::bits

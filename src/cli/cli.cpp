@@ -1,0 +1,902 @@
+#include "cli/cli.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <ostream>
+#include <stdexcept>
+
+#include "bits/genotype.hpp"
+#include "core/snpcmp.hpp"
+#include "io/datagen.hpp"
+#include "io/formats.hpp"
+#include "io/plink_lite.hpp"
+#include "io/cohort_ops.hpp"
+#include "io/vcf_lite.hpp"
+#include "kern/opencl_source.hpp"
+#include "sim/trace.hpp"
+#include "stats/assoc.hpp"
+#include "stats/forensic.hpp"
+#include "stats/cluster.hpp"
+#include "stats/fst.hpp"
+#include "stats/kinship.hpp"
+#include "stats/ld.hpp"
+#include "stats/ld_prune.hpp"
+#include "stats/qc.hpp"
+
+namespace snp::cli {
+
+namespace {
+
+/// Minimal `--key value` option parser with typed accessors and
+/// unknown-flag detection.
+class Options {
+ public:
+  Options(const std::vector<std::string>& args, std::size_t first) {
+    for (std::size_t i = first; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --option, got '" + a + "'");
+      }
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing value for '" + a + "'");
+      }
+      values_[a.substr(2)] = args[++i];
+    }
+  }
+
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& fallback) {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::invalid_argument("missing required --" + key);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::uint64_t num(const std::string& key,
+                                  std::uint64_t fallback) {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    std::uint64_t v = 0;
+    const auto* begin = it->second.data();
+    const auto* end = begin + it->second.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || ptr != end) {
+      throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                  it->second + "'");
+    }
+    return v;
+  }
+
+  [[nodiscard]] double real(const std::string& key, double fallback) {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(it->second, &pos);
+      if (pos != it->second.size()) {
+        throw std::invalid_argument("");
+      }
+      return v;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                  it->second + "'");
+    }
+  }
+
+  void reject_unknown() const {
+    for (const auto& [key, value] : values_) {
+      if (used_.find(key) == used_.end()) {
+        throw std::invalid_argument("unknown option --" + key);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+bits::Comparison parse_op(const std::string& s) {
+  if (s == "and" || s == "ld") {
+    return bits::Comparison::kAnd;
+  }
+  if (s == "xor" || s == "identity") {
+    return bits::Comparison::kXor;
+  }
+  if (s == "andnot" || s == "mixture") {
+    return bits::Comparison::kAndNot;
+  }
+  throw std::invalid_argument("unknown op '" + s +
+                              "' (and|xor|andnot)");
+}
+
+Context make_context(const std::string& device) {
+  if (device == "cpu") {
+    return Context::cpu();
+  }
+  return Context::gpu(device);
+}
+
+void print_timing(std::ostream& out, const TimingReport& t) {
+  out << "device:      " << t.device << "\n";
+  if (!t.config.empty()) {
+    out << "config:      " << t.config << "\n";
+  }
+  out << "init:        " << t.init_s * 1e3 << " ms\n"
+      << "h2d:         " << t.h2d_s * 1e3 << " ms\n"
+      << "kernel:      " << t.kernel_s * 1e3 << " ms\n"
+      << "d2h:         " << t.d2h_s * 1e3 << " ms\n"
+      << "end-to-end:  " << t.end_to_end_s * 1e3 << " ms\n"
+      << "chunks:      " << t.chunks << "\n";
+  if (t.kernel_gops > 0.0) {
+    out << "throughput:  " << t.kernel_gops << " Gword-ops/s ("
+        << t.pct_of_peak << "% of peak)\n";
+  }
+}
+
+int cmd_devices(std::ostream& out) {
+  out << "cpu        native BLIS-like engine (host)\n";
+  for (const auto& dev : model::all_gpus()) {
+    out << dev.name << "  [" << dev.microarch << ", " << dev.vendor
+        << "]  " << dev.n_cores << " cores x " << dev.n_clusters
+        << " clusters @ " << dev.freq_ghz << " GHz, "
+        << dev.shared_bytes / 1024 << " KiB shared, "
+        << static_cast<double>(dev.global_bytes) / (1 << 30)
+        << " GiB global\n";
+  }
+  return 0;
+}
+
+int cmd_gen(Options& opt, std::ostream& out) {
+  const std::size_t loci = opt.num("loci", 1000);
+  const std::size_t samples = opt.num("samples", 512);
+  io::PopulationParams p;
+  p.seed = opt.num("seed", 1);
+  p.ld_block_len = opt.num("ld-block", 1);
+  p.maf_min = opt.real("maf-min", 0.01);
+  p.maf_max = opt.real("maf-max", 0.5);
+  const std::string path = opt.require("out");
+  const std::string format = opt.str("format", "plink");
+  opt.reject_unknown();
+  auto g = io::generate_genotypes(loci, samples, p);
+  if (format == "plink") {
+    io::save_plink_lite(io::with_synthetic_metadata(std::move(g)), path);
+  } else if (format == "vcf") {
+    io::save_vcf_lite(io::with_synthetic_metadata(std::move(g)), path);
+  } else if (format == "tsv") {
+    io::save_genotypes_tsv(g, std::filesystem::path(path));
+  } else {
+    throw std::invalid_argument("--format must be plink, vcf or tsv");
+  }
+  out << "wrote " << loci << " loci x " << samples << " samples to "
+      << path << " (" << format << ")\n";
+  return 0;
+}
+
+int cmd_gendb(Options& opt, std::ostream& out) {
+  const std::size_t profiles = opt.num("profiles", 100000);
+  const std::size_t snps = opt.num("snps", 512);
+  io::ProfileDbParams p;
+  p.seed = opt.num("seed", 2);
+  p.maf_min = opt.real("maf-min", 0.05);
+  p.maf_max = opt.real("maf-max", 0.5);
+  const std::string path = opt.require("out");
+  opt.reject_unknown();
+  const auto db = io::generate_profile_db(profiles, snps, p);
+  io::save_bitmatrix(db, std::filesystem::path(path));
+  out << "wrote profile database " << profiles << " x " << snps
+      << " bits (" << db.size_bytes() / 1024 << " KiB) to " << path
+      << "\n";
+  return 0;
+}
+
+/// Loads a genotype dataset, auto-detecting VCF by extension unless the
+/// caller forces a format.
+io::PlinkLiteDataset load_dataset(const std::string& path,
+                                  const std::string& format) {
+  const bool vcf =
+      format == "vcf" ||
+      (format == "auto" && path.size() > 4 &&
+       path.compare(path.size() - 4, 4, ".vcf") == 0);
+  return vcf ? io::load_vcf_lite(std::filesystem::path(path))
+             : io::load_plink_lite(std::filesystem::path(path));
+}
+
+int cmd_encode(Options& opt, std::ostream& out) {
+  const std::string in = opt.require("in");
+  const std::string out_path = opt.require("out");
+  const std::string plane = opt.str("plane", "presence");
+  const std::string format = opt.str("format", "auto");
+  opt.reject_unknown();
+  const auto ds = load_dataset(in, format);
+  const auto enc = plane == "presence" ? bits::EncodingPlane::kPresence
+                  : plane == "hom"     ? bits::EncodingPlane::kHomozygous
+                                       : throw std::invalid_argument(
+                                             "--plane must be presence "
+                                             "or hom");
+  const auto m = bits::encode(ds.genotypes, enc);
+  io::save_bitmatrix(m, std::filesystem::path(out_path));
+  out << "encoded " << m.rows() << " loci x " << m.bit_cols()
+      << " samples (" << plane << " plane) to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_ld(Options& opt, std::ostream& out) {
+  const std::string in = opt.require("in");
+  const std::string device = opt.str("device", "titanv");
+  const std::string gamma_out = opt.str("out", "");
+  const std::size_t top = opt.num("top", 10);
+  opt.reject_unknown();
+  const auto m = io::load_bitmatrix(std::filesystem::path(in));
+  Context ctx = make_context(device);
+  const auto res = ctx.ld(m);
+  if (!gamma_out.empty()) {
+    io::save_countmatrix(res.counts, std::filesystem::path(gamma_out));
+  }
+  print_timing(out, res.timing);
+  const auto counts = stats::row_counts(m);
+  struct Hit {
+    std::size_t i, j;
+    double r2;
+  };
+  std::vector<Hit> hits;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = i + 1; j < m.rows(); ++j) {
+      const double r2 =
+          stats::ld_from_counts(res.counts.at(i, j), counts[i], counts[j],
+                                m.bit_cols())
+              .r2;
+      hits.push_back({i, j, r2});
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const Hit& a, const Hit& b) { return a.r2 > b.r2; });
+  out << "top locus pairs by r^2:\n";
+  for (std::size_t k = 0; k < std::min(top, hits.size()); ++k) {
+    out << "  " << hits[k].i << " x " << hits[k].j << "  r2=" << hits[k].r2
+        << "\n";
+  }
+  return 0;
+}
+
+int cmd_search(Options& opt, std::ostream& out) {
+  const std::string qpath = opt.require("queries");
+  const std::string dbpath = opt.require("db");
+  const std::string device = opt.str("device", "titanv");
+  const std::size_t top = opt.num("top", 3);
+  opt.reject_unknown();
+  const auto queries = io::load_bitmatrix(std::filesystem::path(qpath));
+  const auto db = io::load_bitmatrix(std::filesystem::path(dbpath));
+  Context ctx = make_context(device);
+  const auto res = ctx.identity_search(queries, db);
+  print_timing(out, res.comparison.timing);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    const auto row = res.comparison.counts.raw().subspan(q * db.rows(),
+                                                         db.rows());
+    const auto ranked = stats::rank_matches(row, db.bit_cols(), 1.0, top);
+    out << "query " << q << ":";
+    for (const auto& c : ranked) {
+      out << "  #" << c.reference_index << " (" << c.mismatches
+          << " mismatches)";
+    }
+    out << "\n";
+  }
+  return 0;
+}
+
+int cmd_mixture(Options& opt, std::ostream& out) {
+  const std::string ppath = opt.require("profiles");
+  const std::string mpath = opt.require("mixtures");
+  const std::string device = opt.str("device", "vega64");
+  const auto tolerance = static_cast<std::uint32_t>(opt.num("tolerance",
+                                                            0));
+  const bool pre_negate = opt.str("pre-negate", "no") == "yes";
+  opt.reject_unknown();
+  const auto profiles = io::load_bitmatrix(std::filesystem::path(ppath));
+  const auto mixtures = io::load_bitmatrix(std::filesystem::path(mpath));
+  Context ctx = make_context(device);
+  ComputeOptions copts;
+  copts.pre_negate = pre_negate;
+  const auto res =
+      ctx.mixture_analysis(profiles, mixtures, tolerance, copts);
+  print_timing(out, res.comparison.timing);
+  for (std::size_t m = 0; m < mixtures.rows(); ++m) {
+    out << "mixture " << m << ": " << res.included[m].size()
+        << " consistent profiles:";
+    for (const std::size_t p : res.included[m]) {
+      out << " " << p;
+    }
+    out << "\n";
+  }
+  return 0;
+}
+
+int cmd_kinship(Options& opt, std::ostream& out) {
+  const std::string in = opt.require("in");
+  const std::string format = opt.str("format", "auto");
+  const std::size_t top = opt.num("top", 10);
+  opt.reject_unknown();
+  const auto ds = load_dataset(in, format);
+  const auto phi = stats::kinship_matrix(ds.genotypes);
+  const std::size_t n = ds.samples.size();
+  out << "KING-robust kinship over " << ds.loci.size() << " loci, " << n
+      << " samples\n";
+  struct Pair {
+    std::size_t i, j;
+    stats::KinshipResult r;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      pairs.push_back({i, j, phi[i * n + j]});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    return a.r.phi > b.r.phi;
+  });
+  out << "top related pairs:\n";
+  for (std::size_t k = 0; k < std::min(top, pairs.size()); ++k) {
+    const auto& p = pairs[k];
+    out << "  " << ds.samples[p.i] << " x " << ds.samples[p.j]
+        << "  phi=" << p.r.phi << "  ("
+        << stats::to_string(p.r.relationship)
+        << ", het-het=" << p.r.n_het_het << ", ibs0=" << p.r.n_ibs0
+        << ")\n";
+  }
+  return 0;
+}
+
+int cmd_qc(Options& opt, std::ostream& out) {
+  const std::string in = opt.require("in");
+  const std::string format = opt.str("format", "auto");
+  const std::string out_path = opt.str("out", "");
+  stats::QcThresholds t;
+  t.min_maf = opt.real("min-maf", t.min_maf);
+  t.max_missing_rate = opt.real("max-missing", t.max_missing_rate);
+  t.min_hwe_p = opt.real("min-hwe-p", t.min_hwe_p);
+  const double prune_r2 = opt.real("ld-prune-r2", 0.0);
+  const std::size_t prune_window = opt.num("ld-prune-window", 50);
+  opt.reject_unknown();
+  const auto ds = load_dataset(in, format);
+  const auto report =
+      stats::qc_report(ds.genotypes, ds.missing_per_locus, t);
+  std::size_t pass = 0, low_maf = 0, missing = 0, hwe = 0;
+  for (const auto& qc : report) {
+    pass += qc.pass() ? 1u : 0u;
+    low_maf += (qc.flags & stats::kQcLowMaf) ? 1u : 0u;
+    missing += (qc.flags & stats::kQcHighMissing) ? 1u : 0u;
+    hwe += (qc.flags & stats::kQcHweViolation) ? 1u : 0u;
+  }
+  out << "QC over " << report.size() << " loci x " << ds.samples.size()
+      << " samples: " << pass << " pass, " << low_maf << " low-MAF, "
+      << missing << " high-missing, " << hwe << " HWE-violating\n";
+  if (!out_path.empty()) {
+    auto filtered = stats::filter_loci(ds, report);
+    if (prune_r2 > 0.0) {
+      const auto kept = stats::ld_prune(
+          filtered.genotypes,
+          stats::LdPruneParams{prune_window, prune_r2});
+      std::vector<stats::LocusQc> keep_mask(filtered.loci.size());
+      for (auto& qc : keep_mask) {
+        qc.flags = stats::kQcLowMaf;  // default: drop
+      }
+      for (const std::size_t k : kept) {
+        keep_mask[k].flags = stats::kQcPass;
+      }
+      filtered = stats::filter_loci(filtered, keep_mask);
+      out << "LD pruning (r2 > " << prune_r2 << " within "
+          << prune_window << "): " << kept.size() << " loci kept\n";
+    }
+    io::save_plink_lite(filtered, std::filesystem::path(out_path));
+    out << "wrote " << filtered.loci.size() << " passing loci to "
+        << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_assoc(Options& opt, std::ostream& out) {
+  const std::string in = opt.require("in");
+  const std::string format = opt.str("format", "auto");
+  const std::string cases_spec = opt.str("cases", "");
+  const std::string pheno_path = opt.str("pheno", "");
+  const std::size_t top = opt.num("top", 10);
+  opt.reject_unknown();
+  if (cases_spec.empty() == pheno_path.empty()) {
+    throw std::invalid_argument(
+        "assoc: give exactly one of --cases or --pheno");
+  }
+  const auto ds = load_dataset(in, format);
+  std::vector<bool> is_case(ds.samples.size(), false);
+  if (!pheno_path.empty()) {
+    // Phenotype file: one "sample<TAB>status" line per sample; status in
+    // {0, 1, case, control}. Unlisted samples default to control.
+    std::ifstream ph(pheno_path);
+    if (!ph) {
+      throw std::runtime_error("assoc: cannot open --pheno " + pheno_path);
+    }
+    std::string name, status;
+    while (ph >> name >> status) {
+      const auto it =
+          std::find(ds.samples.begin(), ds.samples.end(), name);
+      if (it == ds.samples.end()) {
+        throw std::invalid_argument("assoc: unknown sample '" + name +
+                                    "' in --pheno");
+      }
+      const bool value = status == "1" || status == "case";
+      if (!value && status != "0" && status != "control") {
+        throw std::invalid_argument("assoc: bad status '" + status + "'");
+      }
+      is_case[static_cast<std::size_t>(it - ds.samples.begin())] = value;
+    }
+  }
+  // --cases is a comma-separated list of sample names or indices.
+  std::istringstream cs(cases_spec);
+  std::string token;
+  while (std::getline(cs, token, ',')) {
+    auto it = std::find(ds.samples.begin(), ds.samples.end(), token);
+    if (it != ds.samples.end()) {
+      is_case[static_cast<std::size_t>(it - ds.samples.begin())] = true;
+      continue;
+    }
+    try {
+      const std::size_t idx = std::stoul(token);
+      if (idx >= is_case.size()) {
+        throw std::out_of_range("");
+      }
+      is_case[idx] = true;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--cases entry '" + token +
+                                  "' is neither a sample name nor index");
+    }
+  }
+  const auto results = stats::gwas_scan(ds.genotypes, is_case);
+  std::vector<std::size_t> order(results.size());
+  for (std::size_t l = 0; l < order.size(); ++l) {
+    order[l] = l;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return results[a].p_trend < results[b].p_trend;
+  });
+  out << "association scan over " << results.size() << " loci ("
+      << std::count(is_case.begin(), is_case.end(), true) << " cases / "
+      << ds.samples.size() << " samples)\n";
+  out << "top hits by trend test:\n";
+  for (std::size_t k = 0; k < std::min(top, order.size()); ++k) {
+    const std::size_t l = order[k];
+    out << "  " << ds.loci[l].id << " (chr" << ds.loci[l].chrom << ":"
+        << ds.loci[l].pos << ")  p=" << results[l].p_trend
+        << "  OR=" << results[l].odds_ratio
+        << "  maf case/ctrl=" << results[l].maf_cases << "/"
+        << results[l].maf_controls << "\n";
+  }
+  return 0;
+}
+
+int cmd_cluster(Options& opt, std::ostream& out) {
+  const std::string in = opt.require("in");
+  const std::string format = opt.str("format", "auto");
+  const std::string device = opt.str("device", "gtx980");
+  const std::size_t k = opt.num("k", 2);
+  opt.reject_unknown();
+  const auto ds = load_dataset(in, format);
+  const auto profiles = stats::encode_individual_major(
+      ds.genotypes, bits::EncodingPlane::kPresence);
+  Context ctx = make_context(device);
+  const auto gamma =
+      ctx.compare(profiles, profiles, bits::Comparison::kXor);
+  const auto tree = stats::upgma(gamma.counts);
+  const auto labels = tree.cut_k(k);
+  out << "UPGMA over " << ds.samples.size() << " samples x "
+      << ds.loci.size() << " loci (XOR distances on "
+      << ctx.device_name() << ")\n";
+  std::vector<std::vector<std::string>> members(k);
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    members[labels[s]].push_back(ds.samples[s]);
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    out << "cluster " << c << " (" << members[c].size() << "):";
+    for (const auto& name : members[c]) {
+      out << " " << name;
+    }
+    out << "\n";
+  }
+  if (k == 2) {
+    std::vector<bool> in_pop1(labels.size());
+    for (std::size_t s = 0; s < labels.size(); ++s) {
+      in_pop1[s] = labels[s] == 0;
+    }
+    out << "Hudson Fst between the two clusters: "
+        << stats::fst_scan(ds.genotypes, in_pop1).genome_wide << "\n";
+  }
+  return 0;
+}
+
+void save_dataset(const io::PlinkLiteDataset& ds, const std::string& path,
+                  const std::string& format) {
+  const bool vcf =
+      format == "vcf" ||
+      (format == "auto" && path.size() > 4 &&
+       path.compare(path.size() - 4, 4, ".vcf") == 0);
+  if (vcf) {
+    io::save_vcf_lite(ds, std::filesystem::path(path));
+  } else {
+    io::save_plink_lite(ds, std::filesystem::path(path));
+  }
+}
+
+int cmd_merge(Options& opt, std::ostream& out) {
+  const std::string a_path = opt.require("a");
+  const std::string b_path = opt.require("b");
+  const std::string out_path = opt.require("out");
+  const std::string axis = opt.str("axis", "samples");
+  const std::string format = opt.str("format", "auto");
+  opt.reject_unknown();
+  const auto a = load_dataset(a_path, format);
+  const auto b = load_dataset(b_path, format);
+  const auto merged = axis == "samples" ? io::merge_samples(a, b)
+                      : axis == "loci"  ? io::merge_loci(a, b)
+                                        : throw std::invalid_argument(
+                                              "--axis must be samples or "
+                                              "loci");
+  save_dataset(merged, out_path, format);
+  out << "merged " << axis << ": " << merged.loci.size() << " loci x "
+      << merged.samples.size() << " samples -> " << out_path << "\n";
+  return 0;
+}
+
+int cmd_subset(Options& opt, std::ostream& out) {
+  const std::string in = opt.require("in");
+  const std::string out_path = opt.require("out");
+  const std::string samples_spec = opt.str("samples", "");
+  const std::string loci_spec = opt.str("loci", "");
+  const std::string format = opt.str("format", "auto");
+  opt.reject_unknown();
+  if (samples_spec.empty() && loci_spec.empty()) {
+    throw std::invalid_argument("subset: give --samples and/or --loci");
+  }
+  auto ds = load_dataset(in, format);
+  if (!loci_spec.empty()) {
+    // "--loci a-b" keeps the inclusive index range; or a comma list.
+    std::vector<std::size_t> keep;
+    const auto dash = loci_spec.find('-');
+    if (dash != std::string::npos) {
+      const std::size_t lo = std::stoul(loci_spec.substr(0, dash));
+      const std::size_t hi = std::stoul(loci_spec.substr(dash + 1));
+      if (hi < lo) {
+        throw std::invalid_argument("subset: bad --loci range");
+      }
+      for (std::size_t l = lo; l <= hi; ++l) {
+        keep.push_back(l);
+      }
+    } else {
+      std::istringstream ls(loci_spec);
+      std::string token;
+      while (std::getline(ls, token, ',')) {
+        keep.push_back(std::stoul(token));
+      }
+    }
+    ds = io::subset_loci(ds, keep);
+  }
+  if (!samples_spec.empty()) {
+    std::vector<std::string> names;
+    std::istringstream ss(samples_spec);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      names.push_back(token);
+    }
+    ds = io::subset_samples(ds, names);
+  }
+  save_dataset(ds, out_path, format);
+  out << "subset: " << ds.loci.size() << " loci x " << ds.samples.size()
+      << " samples -> " << out_path << "\n";
+  return 0;
+}
+
+int cmd_report(Options& opt, std::ostream& out) {
+  const std::string in = opt.require("in");
+  const std::string out_path = opt.require("out");
+  const std::string format = opt.str("format", "auto");
+  const std::string device = opt.str("device", "titanv");
+  const std::string cases_spec = opt.str("cases", "");
+  opt.reject_unknown();
+  const auto ds = load_dataset(in, format);
+
+  std::ofstream os(out_path);
+  if (!os) {
+    throw std::runtime_error("report: cannot open " + out_path);
+  }
+  os << "# snpcmp cohort report\n\n"
+     << "Input: `" << in << "` — " << ds.loci.size() << " loci x "
+     << ds.samples.size() << " samples";
+  if (ds.missing_calls > 0) {
+    os << " (" << ds.missing_calls << " missing calls)";
+  }
+  os << "\n\n## Quality control\n\n";
+  const auto qc = stats::qc_report(ds.genotypes, ds.missing_per_locus);
+  std::size_t pass = 0, low_maf = 0, missing = 0, hwe = 0;
+  double mean_maf = 0.0, mean_het = 0.0;
+  for (const auto& q : qc) {
+    pass += q.pass() ? 1u : 0u;
+    low_maf += (q.flags & stats::kQcLowMaf) ? 1u : 0u;
+    missing += (q.flags & stats::kQcHighMissing) ? 1u : 0u;
+    hwe += (q.flags & stats::kQcHweViolation) ? 1u : 0u;
+    mean_maf += q.maf;
+    mean_het += q.het_observed;
+  }
+  os << "| metric | value |\n|---|---|\n"
+     << "| passing loci | " << pass << " / " << qc.size() << " |\n"
+     << "| low MAF | " << low_maf << " |\n"
+     << "| high missingness | " << missing << " |\n"
+     << "| HWE violations | " << hwe << " |\n"
+     << "| mean MAF | " << mean_maf / static_cast<double>(qc.size())
+     << " |\n"
+     << "| mean heterozygosity | "
+     << mean_het / static_cast<double>(qc.size()) << " |\n";
+
+  os << "\n## Relatedness (KING-robust)\n\n";
+  const auto kin = stats::kinship_matrix(ds.genotypes);
+  const std::size_t n = ds.samples.size();
+  std::size_t related = 0;
+  double max_phi = -1.0;
+  std::size_t max_i = 0, max_j = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto& r = kin[i * n + j];
+      related +=
+          r.relationship != stats::Relationship::kUnrelated ? 1u : 0u;
+      if (r.phi > max_phi) {
+        max_phi = r.phi;
+        max_i = i;
+        max_j = j;
+      }
+    }
+  }
+  os << related << " related pair(s); closest: " << ds.samples[max_i]
+     << " x " << ds.samples[max_j] << " (phi=" << max_phi << ", "
+     << stats::to_string(stats::classify_kinship(max_phi)) << ")\n";
+
+  if (!cases_spec.empty()) {
+    os << "\n## Association (Cochran-Armitage trend)\n\n";
+    std::vector<bool> is_case(n, false);
+    std::istringstream cs(cases_spec);
+    std::string token;
+    while (std::getline(cs, token, ',')) {
+      const auto it =
+          std::find(ds.samples.begin(), ds.samples.end(), token);
+      if (it == ds.samples.end()) {
+        throw std::invalid_argument("report: unknown case '" + token +
+                                    "'");
+      }
+      is_case[static_cast<std::size_t>(it - ds.samples.begin())] = true;
+    }
+    const auto assoc = stats::gwas_scan(ds.genotypes, is_case);
+    std::vector<std::size_t> order(assoc.size());
+    for (std::size_t l = 0; l < order.size(); ++l) {
+      order[l] = l;
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return assoc[a].p_trend < assoc[b].p_trend;
+              });
+    os << "| locus | p (trend) | OR |\n|---|---|---|\n";
+    for (std::size_t k = 0; k < std::min<std::size_t>(5, order.size());
+         ++k) {
+      const std::size_t l = order[k];
+      os << "| " << ds.loci[l].id << " | " << assoc[l].p_trend << " | "
+         << assoc[l].odds_ratio << " |\n";
+    }
+  }
+
+  os << "\n## Projected device performance\n\n";
+  Context ctx = make_context(device);
+  if (ctx.is_gpu()) {
+    ComputeOptions copts;
+    copts.functional = false;
+    const auto t = ctx.estimate(ds.loci.size(), ds.loci.size(),
+                                ds.samples.size(),
+                                bits::Comparison::kAnd, copts);
+    os << "All-pairs LD on " << t.device << ": kernel "
+       << t.kernel_s * 1e3 << " ms, end-to-end " << t.end_to_end_s * 1e3
+       << " ms (" << t.kernel_gops << " Gword-ops/s, " << t.pct_of_peak
+       << "% of peak)\n";
+  }
+  out << "wrote report to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_kernel_src(Options& opt, std::ostream& out) {
+  const std::string device = opt.str("device", "titanv");
+  const std::string workload = opt.str("workload", "ld");
+  const auto op = parse_op(opt.str("op", workload == "ld" ? "and" : "xor"));
+  const bool pre_negate = opt.str("pre-negate", "no") == "yes";
+  const std::string out_path = opt.str("out", "");
+  opt.reject_unknown();
+  const auto dev = model::gpu_by_name(device);
+  auto cfg = model::paper_preset(
+      dev, workload == "ld" ? model::WorkloadKind::kLd
+                            : model::WorkloadKind::kFastId);
+  cfg.pre_negated = pre_negate && op == bits::Comparison::kAndNot;
+  const std::string program = kern::render_program(dev, cfg, op);
+  if (out_path.empty()) {
+    out << program;
+  } else {
+    std::ofstream os(out_path);
+    if (!os) {
+      throw std::runtime_error("cannot open " + out_path);
+    }
+    os << program;
+    out << "wrote OpenCL program (" << program.size() << " bytes) to "
+        << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_estimate(Options& opt, std::ostream& out) {
+  const std::size_t m = opt.num("m", 32);
+  const std::size_t n = opt.num("n", 20'000'000);
+  const std::size_t k_bits = opt.num("kbits", 1024);
+  const auto op = parse_op(opt.str("op", "xor"));
+  const std::string device = opt.str("device", "titanv");
+  const bool no_init = opt.str("no-init", "no") == "yes";
+  const std::string trace_path = opt.str("trace", "");
+  opt.reject_unknown();
+  Context ctx = make_context(device);
+  ComputeOptions copts;
+  copts.functional = false;
+  copts.include_init = !no_init;
+  sim::Timeline timeline;
+  if (!trace_path.empty()) {
+    copts.timeline_out = &timeline;
+  }
+  const auto t = ctx.estimate(m, n, k_bits, op, copts);
+  out << "projected " << m << " x " << n << " x " << k_bits << " bits ("
+      << to_string(op) << ")\n";
+  print_timing(out, t);
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      throw std::runtime_error("cannot open trace file " + trace_path);
+    }
+    sim::write_chrome_trace(timeline, os, t.device);
+    out << "wrote chrome://tracing timeline to " << trace_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return R"(usage: snpcmp <command> [--option value ...]
+
+commands:
+  devices                       list available (simulated) devices
+  gen       --out F             generate a genotype cohort
+            [--loci N] [--samples N] [--seed S] [--ld-block N]
+            [--maf-min X] [--maf-max X] [--format plink|vcf|tsv]
+  gendb     --out F             generate a forensic profile database (.sbm)
+            [--profiles N] [--snps N] [--seed S] [--maf-min X] [--maf-max X]
+  encode    --in F --out F      pack genotypes into bit vectors
+            [--plane presence|hom] [--format auto|plink|vcf]
+  kinship   --in F              KING-robust relatedness over a cohort
+            [--top K] [--format auto|plink|vcf]
+  qc        --in F              per-locus QC (MAF, missingness, HWE)
+            [--min-maf X] [--max-missing X] [--min-hwe-p X]
+            [--ld-prune-r2 X [--ld-prune-window N]]
+            [--out F: write passing loci] [--format auto|plink|vcf]
+  assoc     --in F               case-control GWAS scan (trend + allelic)
+            --cases L | --pheno F  (L = comma-separated names/indices;
+            pheno file = "sample<TAB>0|1|case|control" lines)
+            [--top K] [--format auto|plink|vcf]
+  cluster   --in F               UPGMA population structure (+ Fst at k=2)
+            [--k N] [--device D] [--format auto|plink|vcf]
+  ld        --in F.sbm          linkage disequilibrium (Eq. 1)
+            [--device D] [--out gamma.scm] [--top K]
+  search    --queries F --db F  FastID identity search (Eq. 2)
+            [--device D] [--top K]
+  mixture   --profiles F --mixtures F   FastID mixture analysis (Eq. 3)
+            [--device D] [--tolerance T] [--pre-negate yes|no]
+  merge     --a F --b F --out F [--axis samples|loci]
+            combine genotyping batches (samples) or marker panels (loci)
+  subset    --in F --out F [--samples n1,n2,...] [--loci a-b | i,j,...]
+            extract a sample/locus subset
+  kernel-src [--device D] [--workload ld|fastid] [--op and|xor|andnot]
+            [--pre-negate yes|no] [--out F.cl]
+            render the parameterized OpenCL kernel for a device
+  report    --in F --out R.md   markdown cohort report (QC + kinship +
+            optional association + projected device performance)
+            [--cases L] [--device D] [--format auto|plink|vcf]
+  estimate  [--m N] [--n N] [--kbits N] [--op and|xor|andnot]
+            [--device D] [--no-init yes|no] [--trace F.json]
+            paper-scale projection (+ chrome://tracing timeline)
+
+devices: cpu, gtx980, titanv, vega64
+)";
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << usage();
+    return args.empty() ? 1 : 0;
+  }
+  try {
+    const std::string& cmd = args[0];
+    if (cmd == "devices") {
+      return cmd_devices(out);
+    }
+    Options opt(args, 1);
+    if (cmd == "gen") {
+      return cmd_gen(opt, out);
+    }
+    if (cmd == "gendb") {
+      return cmd_gendb(opt, out);
+    }
+    if (cmd == "encode") {
+      return cmd_encode(opt, out);
+    }
+    if (cmd == "ld") {
+      return cmd_ld(opt, out);
+    }
+    if (cmd == "search") {
+      return cmd_search(opt, out);
+    }
+    if (cmd == "mixture") {
+      return cmd_mixture(opt, out);
+    }
+    if (cmd == "kinship") {
+      return cmd_kinship(opt, out);
+    }
+    if (cmd == "qc") {
+      return cmd_qc(opt, out);
+    }
+    if (cmd == "assoc") {
+      return cmd_assoc(opt, out);
+    }
+    if (cmd == "cluster") {
+      return cmd_cluster(opt, out);
+    }
+    if (cmd == "kernel-src") {
+      return cmd_kernel_src(opt, out);
+    }
+    if (cmd == "merge") {
+      return cmd_merge(opt, out);
+    }
+    if (cmd == "subset") {
+      return cmd_subset(opt, out);
+    }
+    if (cmd == "report") {
+      return cmd_report(opt, out);
+    }
+    if (cmd == "estimate") {
+      return cmd_estimate(opt, out);
+    }
+    err << "unknown command '" << cmd << "'\n" << usage();
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    err << "error: " << e.what() << "\n" << usage();
+    return 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace snp::cli

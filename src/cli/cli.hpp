@@ -1,0 +1,26 @@
+// snpcmp command-line driver.
+//
+// The downstream-user surface for file-based pipelines: generate synthetic
+// cohorts and forensic databases, encode genotypes to the packed bit
+// format, run LD / identity search / mixture analysis on any simulated
+// device (or the CPU), and project paper-scale runs with the data-free
+// estimator. Implemented as a library entry point so tests can drive it
+// in-process; `tools/snpcmp_cli.cpp` is the thin main().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace snp::cli {
+
+/// Runs one CLI invocation. `args` excludes the program name. Normal
+/// output goes to `out`, diagnostics to `err`; the return value is the
+/// process exit code (0 success, 1 usage error, 2 runtime failure).
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+/// The usage/help text (also printed by `run` on bad input).
+[[nodiscard]] std::string usage();
+
+}  // namespace snp::cli

@@ -1,0 +1,228 @@
+// snpcmp — public API of the portable SNP-comparison framework.
+//
+// This is the facade a downstream user programs against:
+//
+//   auto ctx = snp::Context::gpu("titanv");          // or Context::cpu()
+//   auto result = ctx.compare(queries, database, snp::bits::Comparison::kXor);
+//   // result.counts is the gamma matrix; result.timing the full breakdown
+//
+// plus domain wrappers: ld() (Eq. 1), identity_search() (Eq. 2) and
+// mixture_analysis() (Eq. 3). GPU execution streams the larger operand
+// through device memory in double-buffered chunks, exactly as the paper's
+// host code does (Section VI-A), and every stage is timestamped on the
+// simulated device's virtual clock.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/forensic.hpp"
+
+#include "bits/bitmatrix.hpp"
+#include "bits/compare.hpp"
+#include "bits/genotype.hpp"
+#include "cl/clmini.hpp"
+#include "model/config.hpp"
+#include "model/device.hpp"
+#include "sim/timing.hpp"
+#include "sim/transfer.hpp"
+#include "stats/em_ld.hpp"
+
+namespace snp {
+
+struct ComputeOptions {
+  /// Override the device's Table II preset configuration.
+  std::optional<model::KernelConfig> config;
+  /// Produce real counts (true) or run the timing model only (false) —
+  /// benches at paper scale (20 M profiles) use the latter.
+  bool functional = true;
+  /// Double-buffer chunk transfers against compute (Section VI-A).
+  bool double_buffer = true;
+  /// Charge the one-time OpenCL initialization to the end-to-end time.
+  bool include_init = true;
+  /// AND-NOT only: store the streamed operand negated and run AND
+  /// (the Eq. 3 simplification).
+  bool pre_negate = false;
+  /// Rows of the streamed operand per chunk; 0 = largest that fits the
+  /// device's allocation limits with two in-flight buffers.
+  std::size_t chunk_rows = 0;
+
+  /// One finished chunk of the gamma matrix, delivered in stream order.
+  /// `part` is the block of rows [row0, row0+part.rows()) when the A
+  /// operand streams, or columns [row0, row0+part.cols()) when B streams.
+  struct ChunkView {
+    std::size_t row0 = 0;
+    bool streamed_b = true;
+    const bits::CountMatrix& part;
+  };
+  /// When set, compare() delivers each chunk's results here as soon as
+  /// its (simulated) readback completes. Combine with keep_counts = false
+  /// to process paper-scale outputs in bounded memory.
+  std::function<void(const ChunkView&)> chunk_callback;
+  /// Assemble the full gamma matrix in CompareResult::counts (disable for
+  /// streaming consumers; requires a chunk_callback or functional=false).
+  bool keep_counts = true;
+
+  /// estimate() only: when non-null, receives the simulated execution
+  /// timeline (init + per-chunk h2d/kernel/d2h intervals) — feed it to
+  /// sim::write_chrome_trace to visualize the pipeline.
+  sim::Timeline* timeline_out = nullptr;
+};
+
+struct TimingReport {
+  double init_s = 0.0;
+  double h2d_s = 0.0;     ///< copy-engine busy (host -> device)
+  double kernel_s = 0.0;  ///< compute-engine busy
+  double d2h_s = 0.0;     ///< copy-engine busy (device -> host)
+  double end_to_end_s = 0.0;
+  double kernel_gops = 0.0;    ///< achieved Gword-ops/s (32-bit words)
+  double pct_of_peak = 0.0;
+  double overlap_hidden_s = 0.0;  ///< transfer time hidden under compute
+  int chunks = 0;
+  int active_cores = 0;
+  std::string device;
+  std::string config;
+};
+
+struct CompareResult {
+  bits::CountMatrix counts;  ///< empty when options.functional == false
+  TimingReport timing;
+};
+
+/// Identity-search output: the gamma matrix plus per-query best matches.
+struct IdentitySearchResult {
+  CompareResult comparison;
+  /// matches[q] = index of the best (fewest-mismatch) database row.
+  std::vector<std::size_t> best_match;
+  std::vector<std::uint32_t> best_mismatches;
+};
+
+/// Mixture-analysis output: gamma[profile, mixture] = foreign alleles.
+struct MixtureAnalysisResult {
+  CompareResult comparison;
+  /// included[m] = profile indices with foreign alleles <= tolerance.
+  std::vector<std::vector<std::size_t>> included;
+};
+
+class Context {
+ public:
+  /// Native CPU execution with the BLIS-like engine (real wall-clock
+  /// timing, plus the modeled Xeon E5-2620 v2 projection in the report).
+  [[nodiscard]] static Context cpu();
+  /// Simulated GPU execution ("gtx980", "titanv", "vega64").
+  [[nodiscard]] static Context gpu(const std::string& device_name);
+
+  ~Context();
+  Context(Context&&) noexcept;
+  Context& operator=(Context&&) noexcept;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] bool is_gpu() const { return gpu_.has_value(); }
+  [[nodiscard]] std::string device_name() const;
+  /// GPU contexts only; throws std::logic_error on CPU contexts.
+  [[nodiscard]] const model::GpuSpec& gpu_spec() const;
+
+  /// gamma[i,j] = sum_k popc(op(A[i,k], B[j,k])). A and B are row-major
+  /// over the shared K (bit) dimension.
+  [[nodiscard]] CompareResult compare(const bits::BitMatrix& a,
+                                      const bits::BitMatrix& b,
+                                      bits::Comparison op,
+                                      const ComputeOptions& options = {});
+
+  /// LD co-occurrence counts of every locus pair (Eq. 1): compare(a, a,
+  /// AND) with the LD preset.
+  [[nodiscard]] CompareResult ld(const bits::BitMatrix& loci,
+                                 const ComputeOptions& options = {});
+
+  /// FastID identity search (Eq. 2): queries vs database under XOR.
+  [[nodiscard]] IdentitySearchResult identity_search(
+      const bits::BitMatrix& queries, const bits::BitMatrix& database,
+      const ComputeOptions& options = {});
+
+  /// Memory-bounded identity search: folds each database chunk into
+  /// per-query top-k candidate lists as it completes, never materializing
+  /// the full gamma matrix (which reaches gigabytes at NDIS scale).
+  struct StreamingSearchResult {
+    /// top[q] = best candidates for query q, ascending mismatches.
+    std::vector<std::vector<stats::MatchCandidate>> top;
+    TimingReport timing;
+  };
+  [[nodiscard]] StreamingSearchResult identity_search_streaming(
+      const bits::BitMatrix& queries, const bits::BitMatrix& database,
+      std::size_t top_k = 10, const ComputeOptions& options = {});
+
+  /// Genotype-level LD for an *unphased* diploid cohort: encodes the
+  /// presence and homozygous planes, runs the four plane comparisons on
+  /// this backend, recovers each pair's 3x3 genotype table, and fits
+  /// haplotype frequencies by EM (stats/em_ld.hpp). `pairs` is loci x loci
+  /// row-major; the timing aggregates the four kernel launches (the
+  /// one-time init is charged once).
+  struct GenotypeLdResult {
+    std::vector<stats::EmLdResult> pairs;
+    std::size_t loci = 0;
+    TimingReport timing;
+
+    [[nodiscard]] const stats::EmLdResult& at(std::size_t i,
+                                              std::size_t j) const {
+      return pairs[i * loci + j];
+    }
+  };
+  [[nodiscard]] GenotypeLdResult genotype_ld(
+      const bits::GenotypeMatrix& genotypes,
+      const ComputeOptions& options = {});
+
+  /// FastID mixture analysis (Eq. 3): for each profile and mixture,
+  /// gamma = |profile & ~mixture|. `tolerance` permits a few foreign
+  /// alleles when calling contributors.
+  [[nodiscard]] MixtureAnalysisResult mixture_analysis(
+      const bits::BitMatrix& profiles, const bits::BitMatrix& mixtures,
+      std::uint32_t tolerance = 0, const ComputeOptions& options = {});
+
+  /// Memory-bounded mixture analysis: streams the profile database in
+  /// chunks and keeps only the consistent profile indices per mixture —
+  /// the NDIS-scale form, where the full gamma matrix would be gigabytes.
+  struct StreamingMixtureResult {
+    std::vector<std::vector<std::size_t>> included;
+    TimingReport timing;
+  };
+  [[nodiscard]] StreamingMixtureResult mixture_analysis_streaming(
+      const bits::BitMatrix& profiles, const bits::BitMatrix& mixtures,
+      std::uint32_t tolerance = 0, const ComputeOptions& options = {});
+
+  /// The configuration `compare` would use for this op/shape (preset or
+  /// override), after grid adaptation — exposed for inspection and benches.
+  [[nodiscard]] model::KernelConfig effective_config(
+      const bits::BitMatrix& a, const bits::BitMatrix& b,
+      bits::Comparison op, const ComputeOptions& options = {}) const;
+
+  /// Data-free end-to-end projection for an (m x k) vs (n x k) comparison:
+  /// the same chunking, transfer, and kernel models `compare` uses, without
+  /// materializing matrices. This is how paper-scale experiments (e.g. the
+  /// >20-million-profile database of Fig. 8) are evaluated. GPU contexts
+  /// only; CPU contexts report the modeled Xeon E5-2620 v2 time.
+  [[nodiscard]] TimingReport estimate(std::size_t m, std::size_t n,
+                                      std::size_t k_bits,
+                                      bits::Comparison op,
+                                      const ComputeOptions& options = {})
+      const;
+
+ private:
+  Context();
+
+  [[nodiscard]] CompareResult compare_cpu(const bits::BitMatrix& a,
+                                          const bits::BitMatrix& b,
+                                          bits::Comparison op,
+                                          const ComputeOptions& options);
+  [[nodiscard]] CompareResult compare_gpu(const bits::BitMatrix& a,
+                                          const bits::BitMatrix& b,
+                                          bits::Comparison op,
+                                          const ComputeOptions& options);
+
+  std::optional<cl::Device> gpu_;
+};
+
+}  // namespace snp

@@ -1,0 +1,174 @@
+#include "cpu/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace snp::cpu {
+
+namespace {
+
+using bits::Comparison;
+using bits::Word64;
+
+/// Packed A panel: m_r-row strips, k-major within a strip, so the
+/// micro-kernel streams it with unit stride.
+void pack_a(const bits::BitMatrix& a, std::size_t row0, std::size_t rows,
+            std::size_t k0, std::size_t kw, std::vector<Word64>& out) {
+  constexpr std::size_t m_r = CpuBlocking::m_r;
+  const std::size_t strips = bits::ceil_div(rows, m_r);
+  out.assign(strips * kw * m_r, 0);
+  for (std::size_t s = 0; s < strips; ++s) {
+    Word64* dst = out.data() + s * kw * m_r;
+    for (std::size_t k = 0; k < kw; ++k) {
+      for (std::size_t r = 0; r < m_r; ++r) {
+        const std::size_t row = row0 + s * m_r + r;
+        dst[k * m_r + r] =
+            row < row0 + rows ? a.row64(row)[k0 + k] : Word64{0};
+      }
+    }
+  }
+}
+
+/// Packed B panel: n_r-column strips, k-major within a strip.
+void pack_b(const bits::BitMatrix& b, std::size_t col0, std::size_t cols,
+            std::size_t k0, std::size_t kw, std::vector<Word64>& out) {
+  constexpr std::size_t n_r = CpuBlocking::n_r;
+  const std::size_t strips = bits::ceil_div(cols, n_r);
+  out.assign(strips * kw * n_r, 0);
+  for (std::size_t s = 0; s < strips; ++s) {
+    Word64* dst = out.data() + s * kw * n_r;
+    for (std::size_t k = 0; k < kw; ++k) {
+      for (std::size_t c = 0; c < n_r; ++c) {
+        const std::size_t col = col0 + s * n_r + c;
+        dst[k * n_r + c] =
+            col < col0 + cols ? b.row64(col)[k0 + k] : Word64{0};
+      }
+    }
+  }
+}
+
+/// The micro-kernel: an m_r x n_r register block accumulating
+/// popcount(op(a, b)) over a k_c-deep packed panel pair. `op` is a template
+/// parameter so the logical operation is branch-free in the inner loop —
+/// the same specialization trick the paper applies inside BLIS.
+template <Comparison op>
+void micro_kernel(const Word64* a_strip, const Word64* b_strip,
+                  std::size_t kw, std::uint32_t* c, std::size_t ldc) {
+  constexpr std::size_t m_r = CpuBlocking::m_r;
+  constexpr std::size_t n_r = CpuBlocking::n_r;
+  std::uint32_t acc[m_r][n_r] = {};
+  for (std::size_t k = 0; k < kw; ++k) {
+    const Word64* av = a_strip + k * m_r;
+    const Word64* bv = b_strip + k * n_r;
+    for (std::size_t i = 0; i < m_r; ++i) {
+      for (std::size_t j = 0; j < n_r; ++j) {
+        acc[i][j] += static_cast<std::uint32_t>(
+            bits::popcount(bits::apply(op, av[i], bv[j])));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < m_r; ++i) {
+    for (std::size_t j = 0; j < n_r; ++j) {
+      c[i * ldc + j] += acc[i][j];
+    }
+  }
+}
+
+using MicroKernelFn = void (*)(const Word64*, const Word64*, std::size_t,
+                               std::uint32_t*, std::size_t);
+
+MicroKernelFn select_kernel(Comparison op) {
+  switch (op) {
+    case Comparison::kAnd:
+      return &micro_kernel<Comparison::kAnd>;
+    case Comparison::kXor:
+      return &micro_kernel<Comparison::kXor>;
+    case Comparison::kAndNot:
+      return &micro_kernel<Comparison::kAndNot>;
+  }
+  throw std::invalid_argument("compare_blocked: unknown comparison");
+}
+
+}  // namespace
+
+bits::CountMatrix compare_blocked(const bits::BitMatrix& a,
+                                  const bits::BitMatrix& b, Comparison op,
+                                  const CpuBlocking& blocking) {
+  if (a.bit_cols() != b.bit_cols()) {
+    throw std::invalid_argument(
+        "compare_blocked: operands must share the K dimension");
+  }
+  if (!blocking.valid()) {
+    throw std::invalid_argument("compare_blocked: invalid blocking");
+  }
+  constexpr std::size_t m_r = CpuBlocking::m_r;
+  constexpr std::size_t n_r = CpuBlocking::n_r;
+  const MicroKernelFn kernel = select_kernel(op);
+
+  const std::size_t m = a.rows();
+  const std::size_t n = b.rows();
+  const std::size_t k_words = bits::ceil_div(a.bit_cols(),
+                                             bits::kBitsPerWord64);
+  bits::CountMatrix c(m, n);
+  if (m == 0 || n == 0 || k_words == 0) {
+    return c;
+  }
+  // Edge-safe C staging: micro-tiles on the fringe write here first.
+  const std::size_t ldc = n;
+  std::uint32_t* cdata = c.raw().data();
+
+  // Loop 5 (n_c) and loop 4 (k_c) around the macro-kernel.
+  for (std::size_t jc = 0; jc < n; jc += blocking.n_c) {
+    const std::size_t nc = std::min(blocking.n_c, n - jc);
+    for (std::size_t pc = 0; pc < k_words; pc += blocking.k_c) {
+      const std::size_t kw = std::min(blocking.k_c, k_words - pc);
+      std::vector<Word64> b_packed;
+      pack_b(b, jc, nc, pc, kw, b_packed);
+
+      // Loop 3 (m_c): parallel across A panels; each iteration owns a
+      // disjoint row block of C, so no synchronization is needed.
+#pragma omp parallel for schedule(dynamic) default(none) \
+    shared(a, b_packed, cdata, kernel) \
+    firstprivate(m, n, jc, nc, pc, kw, ldc, blocking)
+      for (std::size_t ic = 0; ic < m; ic += blocking.m_c) {
+        const std::size_t mc = std::min(blocking.m_c, m - ic);
+        std::vector<Word64> a_packed;
+        pack_a(a, ic, mc, pc, kw, a_packed);
+
+        // Loops 2 (n_r) and 1 (m_r) around the micro-kernel.
+        const std::size_t col_strips = bits::ceil_div(nc, n_r);
+        const std::size_t row_strips = bits::ceil_div(mc, m_r);
+        std::uint32_t edge[m_r * n_r];
+        for (std::size_t js = 0; js < col_strips; ++js) {
+          const Word64* b_strip = b_packed.data() + js * kw * n_r;
+          for (std::size_t is = 0; is < row_strips; ++is) {
+            const Word64* a_strip = a_packed.data() + is * kw * m_r;
+            const std::size_t ci = ic + is * m_r;
+            const std::size_t cj = jc + js * n_r;
+            const bool interior = ci + m_r <= m && cj + n_r <= n;
+            if (interior) {
+              kernel(a_strip, b_strip, kw, cdata + ci * ldc + cj, ldc);
+            } else {
+              std::fill(edge, edge + m_r * n_r, 0u);
+              kernel(a_strip, b_strip, kw, edge, n_r);
+              for (std::size_t i = 0; i < m_r && ci + i < m; ++i) {
+                for (std::size_t j = 0; j < n_r && cj + j < n; ++j) {
+                  cdata[(ci + i) * ldc + cj + j] += edge[i * n_r + j];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+bits::CountMatrix ld_counts(const bits::BitMatrix& a,
+                            const CpuBlocking& blocking) {
+  return compare_blocked(a, a, Comparison::kAnd, blocking);
+}
+
+}  // namespace snp::cpu

@@ -1,0 +1,161 @@
+#include "io/cohort_ops.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace snp::io {
+
+namespace {
+
+void check_consistent(const PlinkLiteDataset& ds, const char* who) {
+  if (!ds.consistent()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": inconsistent dataset");
+  }
+}
+
+std::size_t missing_at(const PlinkLiteDataset& ds, std::size_t locus) {
+  return ds.missing_per_locus.empty() ? 0 : ds.missing_per_locus[locus];
+}
+
+}  // namespace
+
+PlinkLiteDataset merge_loci(const PlinkLiteDataset& a,
+                            const PlinkLiteDataset& b) {
+  check_consistent(a, "merge_loci");
+  check_consistent(b, "merge_loci");
+  if (a.samples != b.samples) {
+    throw std::invalid_argument(
+        "merge_loci: datasets must cover the same samples in order");
+  }
+  std::set<std::string> ids;
+  for (const auto& l : a.loci) {
+    ids.insert(l.id);
+  }
+  for (const auto& l : b.loci) {
+    if (!ids.insert(l.id).second) {
+      throw std::invalid_argument("merge_loci: duplicate locus id " +
+                                  l.id);
+    }
+  }
+  PlinkLiteDataset out;
+  out.samples = a.samples;
+  out.loci = a.loci;
+  out.loci.insert(out.loci.end(), b.loci.begin(), b.loci.end());
+  out.genotypes =
+      bits::GenotypeMatrix(a.loci.size() + b.loci.size(),
+                           a.samples.size());
+  out.missing_per_locus.reserve(out.loci.size());
+  for (std::size_t l = 0; l < a.loci.size(); ++l) {
+    out.missing_per_locus.push_back(missing_at(a, l));
+    for (std::size_t s = 0; s < a.samples.size(); ++s) {
+      out.genotypes.at(l, s) = a.genotypes.at(l, s);
+    }
+  }
+  for (std::size_t l = 0; l < b.loci.size(); ++l) {
+    out.missing_per_locus.push_back(missing_at(b, l));
+    for (std::size_t s = 0; s < b.samples.size(); ++s) {
+      out.genotypes.at(a.loci.size() + l, s) = b.genotypes.at(l, s);
+    }
+  }
+  out.missing_calls = a.missing_calls + b.missing_calls;
+  return out;
+}
+
+PlinkLiteDataset merge_samples(const PlinkLiteDataset& a,
+                               const PlinkLiteDataset& b) {
+  check_consistent(a, "merge_samples");
+  check_consistent(b, "merge_samples");
+  if (a.loci.size() != b.loci.size()) {
+    throw std::invalid_argument(
+        "merge_samples: datasets must cover the same loci");
+  }
+  for (std::size_t l = 0; l < a.loci.size(); ++l) {
+    if (a.loci[l].id != b.loci[l].id || a.loci[l].pos != b.loci[l].pos) {
+      throw std::invalid_argument(
+          "merge_samples: locus mismatch at index " + std::to_string(l));
+    }
+  }
+  std::set<std::string> names(a.samples.begin(), a.samples.end());
+  for (const auto& s : b.samples) {
+    if (!names.insert(s).second) {
+      throw std::invalid_argument("merge_samples: duplicate sample " + s);
+    }
+  }
+  PlinkLiteDataset out;
+  out.loci = a.loci;
+  out.samples = a.samples;
+  out.samples.insert(out.samples.end(), b.samples.begin(),
+                     b.samples.end());
+  out.genotypes =
+      bits::GenotypeMatrix(a.loci.size(), out.samples.size());
+  out.missing_per_locus.reserve(a.loci.size());
+  for (std::size_t l = 0; l < a.loci.size(); ++l) {
+    out.missing_per_locus.push_back(missing_at(a, l) + missing_at(b, l));
+    for (std::size_t s = 0; s < a.samples.size(); ++s) {
+      out.genotypes.at(l, s) = a.genotypes.at(l, s);
+    }
+    for (std::size_t s = 0; s < b.samples.size(); ++s) {
+      out.genotypes.at(l, a.samples.size() + s) = b.genotypes.at(l, s);
+    }
+  }
+  out.missing_calls = a.missing_calls + b.missing_calls;
+  return out;
+}
+
+PlinkLiteDataset subset_samples(const PlinkLiteDataset& ds,
+                                const std::vector<std::string>& names) {
+  check_consistent(ds, "subset_samples");
+  std::vector<std::size_t> cols;
+  cols.reserve(names.size());
+  for (const auto& name : names) {
+    const auto it =
+        std::find(ds.samples.begin(), ds.samples.end(), name);
+    if (it == ds.samples.end()) {
+      throw std::invalid_argument("subset_samples: unknown sample " +
+                                  name);
+    }
+    cols.push_back(static_cast<std::size_t>(it - ds.samples.begin()));
+  }
+  PlinkLiteDataset out;
+  out.loci = ds.loci;
+  out.samples = names;
+  out.genotypes = bits::GenotypeMatrix(ds.loci.size(), names.size());
+  for (std::size_t l = 0; l < ds.loci.size(); ++l) {
+    for (std::size_t s = 0; s < cols.size(); ++s) {
+      out.genotypes.at(l, s) = ds.genotypes.at(l, cols[s]);
+    }
+  }
+  // Per-locus missing counts are column-dependent and the source does not
+  // record which columns were missing; drop them rather than guess.
+  return out;
+}
+
+PlinkLiteDataset subset_loci(const PlinkLiteDataset& ds,
+                             const std::vector<std::size_t>& indices) {
+  check_consistent(ds, "subset_loci");
+  PlinkLiteDataset out;
+  out.samples = ds.samples;
+  out.genotypes =
+      bits::GenotypeMatrix(indices.size(), ds.samples.size());
+  out.loci.reserve(indices.size());
+  out.missing_per_locus.reserve(indices.size());
+  std::size_t row = 0;
+  for (const std::size_t l : indices) {
+    if (l >= ds.loci.size()) {
+      throw std::out_of_range("subset_loci: index out of range");
+    }
+    out.loci.push_back(ds.loci[l]);
+    const std::size_t miss = missing_at(ds, l);
+    out.missing_per_locus.push_back(miss);
+    out.missing_calls += miss;
+    for (std::size_t s = 0; s < ds.samples.size(); ++s) {
+      out.genotypes.at(row, s) = ds.genotypes.at(l, s);
+    }
+    ++row;
+  }
+  return out;
+}
+
+}  // namespace snp::io

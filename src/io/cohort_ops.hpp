@@ -1,0 +1,38 @@
+// Cohort manipulation: merging and subsetting datasets.
+//
+// The bookkeeping every real pipeline needs between the file formats and
+// the kernels — combining genotyping batches (same loci, new samples),
+// stacking marker panels (same samples, new loci), and pulling out sample
+// or locus subsets — with the metadata (locus info, sample names,
+// per-locus missing counts) kept consistent throughout.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "io/plink_lite.hpp"
+
+namespace snp::io {
+
+/// Concatenates loci (marker panels) of two datasets covering the *same
+/// samples* (names must match in order). Throws on sample mismatch or
+/// duplicate locus ids.
+[[nodiscard]] PlinkLiteDataset merge_loci(const PlinkLiteDataset& a,
+                                          const PlinkLiteDataset& b);
+
+/// Concatenates samples (genotyping batches) of two datasets covering the
+/// *same loci* (ids and positions must match in order). Throws on locus
+/// mismatch or duplicate sample names.
+[[nodiscard]] PlinkLiteDataset merge_samples(const PlinkLiteDataset& a,
+                                             const PlinkLiteDataset& b);
+
+/// Keeps the named samples, in the given order. Unknown names throw.
+[[nodiscard]] PlinkLiteDataset subset_samples(
+    const PlinkLiteDataset& ds, const std::vector<std::string>& names);
+
+/// Keeps the loci at `indices`, in the given order. Out-of-range throws.
+[[nodiscard]] PlinkLiteDataset subset_loci(
+    const PlinkLiteDataset& ds, const std::vector<std::size_t>& indices);
+
+}  // namespace snp::io

@@ -1,0 +1,170 @@
+#include "io/datagen.hpp"
+
+#include <stdexcept>
+
+namespace snp::io {
+
+namespace {
+
+double draw_one_maf(Rng& rng, MafSpectrum spectrum, double lo, double hi,
+                    double mean) {
+  switch (spectrum) {
+    case MafSpectrum::kFixed:
+      return mean;
+    case MafSpectrum::kUniform:
+      return lo + (hi - lo) * rng.next_double();
+    case MafSpectrum::kUShaped: {
+      const double u = rng.next_double();
+      return lo + (hi - lo) * u * u * u;
+    }
+  }
+  return mean;
+}
+
+}  // namespace
+
+std::vector<double> draw_maf(std::size_t loci, const PopulationParams& p) {
+  if (p.maf_min < 0.0 || p.maf_max > 0.5 || p.maf_min > p.maf_max) {
+    throw std::invalid_argument("draw_maf: MAF bounds must satisfy "
+                                "0 <= maf_min <= maf_max <= 0.5");
+  }
+  Rng rng(p.seed);
+  std::vector<double> maf(loci);
+  for (auto& m : maf) {
+    m = draw_one_maf(rng, p.spectrum, p.maf_min, p.maf_max, p.maf_mean);
+  }
+  return maf;
+}
+
+bits::GenotypeMatrix generate_genotypes(std::size_t loci, std::size_t samples,
+                                        const PopulationParams& p) {
+  std::vector<double> maf = draw_maf(loci, p);
+  if (p.ld_block_len > 1) {
+    // Loci within an LD block share the block's allele frequency:
+    // copying dosages between loci with *different* frequencies would mix
+    // two Hardy-Weinberg distributions and manufacture spurious HWE
+    // violations (the Wahlund effect).
+    for (std::size_t l = 0; l < loci; ++l) {
+      maf[l] = maf[l - l % p.ld_block_len];
+    }
+  }
+  bits::GenotypeMatrix g(loci, samples);
+  Rng rng = Rng(p.seed).fork(0xda7a);
+  for (std::size_t locus = 0; locus < loci; ++locus) {
+    const bool block_start =
+        p.ld_block_len <= 1 || locus % p.ld_block_len == 0;
+    for (std::size_t s = 0; s < samples; ++s) {
+      std::uint8_t dosage;
+      if (!block_start && rng.next_bernoulli(p.ld_copy)) {
+        dosage = g.at(locus - 1, s);  // copy previous locus: LD correlation
+      } else {
+        // Hardy-Weinberg draw: two independent allele copies.
+        const auto a1 =
+            static_cast<std::uint8_t>(rng.next_bernoulli(maf[locus]));
+        const auto a2 =
+            static_cast<std::uint8_t>(rng.next_bernoulli(maf[locus]));
+        dosage = static_cast<std::uint8_t>(a1 + a2);
+      }
+      g.at(locus, s) = dosage;
+    }
+  }
+  return g;
+}
+
+bits::BitMatrix generate_profile_db(std::size_t profiles,
+                                    std::size_t snp_sites,
+                                    const ProfileDbParams& p) {
+  PopulationParams mp;
+  mp.seed = p.seed;
+  mp.spectrum = p.spectrum;
+  mp.maf_min = p.maf_min;
+  mp.maf_max = p.maf_max;
+  mp.maf_mean = p.maf_mean;
+  const std::vector<double> maf = draw_maf(snp_sites, mp);
+
+  bits::BitMatrix db(profiles, snp_sites);
+  Rng base(p.seed ^ 0x9d0f11e5ull);
+  for (std::size_t r = 0; r < profiles; ++r) {
+    Rng rng = base.fork(r);
+    auto row = db.row64(r);
+    for (std::size_t k = 0; k < snp_sites; ++k) {
+      if (rng.next_bernoulli(maf[k])) {
+        row[k / bits::kBitsPerWord64] |=
+            bits::Word64{1} << (k % bits::kBitsPerWord64);
+      }
+    }
+  }
+  return db;
+}
+
+bits::BitMatrix extract_queries(const bits::BitMatrix& db,
+                                const std::vector<std::size_t>& rows) {
+  bits::BitMatrix q(rows.size(), db.bit_cols(), db.words64_per_row());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= db.rows()) {
+      throw std::out_of_range("extract_queries: row index out of range");
+    }
+    const auto src = db.row64(rows[i]);
+    auto dst = q.row64(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return q;
+}
+
+MixtureSet generate_mixtures(const bits::BitMatrix& db,
+                             std::size_t mixture_count,
+                             std::size_t contributors, std::uint64_t seed) {
+  if (db.rows() == 0) {
+    throw std::invalid_argument("generate_mixtures: empty database");
+  }
+  MixtureSet out;
+  out.mixtures = bits::BitMatrix(mixture_count, db.bit_cols(),
+                                 db.words64_per_row());
+  out.contributors.resize(mixture_count);
+  Rng rng(seed);
+  for (std::size_t m = 0; m < mixture_count; ++m) {
+    auto dst = out.mixtures.row64(m);
+    for (std::size_t c = 0; c < contributors; ++c) {
+      const auto idx =
+          static_cast<std::size_t>(rng.next_below(db.rows()));
+      out.contributors[m].push_back(idx);
+      const auto src = db.row64(idx);
+      for (std::size_t w = 0; w < dst.size(); ++w) {
+        dst[w] |= src[w];
+      }
+    }
+  }
+  return out;
+}
+
+bits::BitMatrix random_bitmatrix(std::size_t rows, std::size_t bit_cols,
+                                 double density, std::uint64_t seed,
+                                 std::size_t stride_words64) {
+  bits::BitMatrix m(rows, bit_cols, stride_words64);
+  Rng base(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    Rng rng = base.fork(r);
+    auto row = m.row64(r);
+    if (density >= 0.5 - 1e-12 && density <= 0.5 + 1e-12) {
+      // Fast path: unbiased random words, masked to the logical columns.
+      const std::size_t full = bit_cols / bits::kBitsPerWord64;
+      const std::size_t tail = bit_cols % bits::kBitsPerWord64;
+      for (std::size_t w = 0; w < full; ++w) {
+        row[w] = rng.next_u64();
+      }
+      if (tail != 0) {
+        row[full] = rng.next_u64() & bits::low_mask64(tail);
+      }
+    } else {
+      for (std::size_t k = 0; k < bit_cols; ++k) {
+        if (rng.next_bernoulli(density)) {
+          row[k / bits::kBitsPerWord64] |=
+              bits::Word64{1} << (k % bits::kBitsPerWord64);
+        }
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace snp::io

@@ -1,0 +1,95 @@
+// Synthetic SNP dataset generation.
+//
+// The paper evaluates on simulated datasets (Fig. 6: "simulated datasets
+// that consist of 10,000 SNPs") and a forensic-scale database sized after
+// the FBI NDIS (Fig. 8: >20 M profiles). Real forensic data is proprietary,
+// so this module generates the synthetic equivalents: genotype matrices
+// with a configurable minor-allele-frequency spectrum and LD-block
+// correlation structure, forensic profile databases, planted query matches
+// (identity search ground truth), and DNA mixtures (union of contributor
+// profiles).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitmatrix.hpp"
+#include "bits/genotype.hpp"
+#include "io/rng.hpp"
+
+namespace snp::io {
+
+/// Shape of the per-locus minor-allele-frequency distribution.
+enum class MafSpectrum {
+  kFixed,    ///< every locus at maf_mean
+  kUniform,  ///< U(maf_min, maf_max)
+  kUShaped,  ///< skewed toward rare alleles: maf_min + span * u^3
+};
+
+struct PopulationParams {
+  std::uint64_t seed = 1;
+  MafSpectrum spectrum = MafSpectrum::kUShaped;
+  double maf_min = 0.01;
+  double maf_max = 0.5;
+  double maf_mean = 0.2;  ///< used by kFixed
+  /// Loci per LD block; within a block, adjacent loci are correlated by
+  /// copying a sample's previous-locus allele with probability ld_copy.
+  std::size_t ld_block_len = 1;  ///< 1 disables LD structure
+  double ld_copy = 0.8;
+};
+
+/// Draws a genotype matrix (loci x samples, dosages in {0,1,2}) under
+/// Hardy-Weinberg equilibrium with the configured MAF spectrum and optional
+/// LD-block structure.
+[[nodiscard]] bits::GenotypeMatrix generate_genotypes(std::size_t loci,
+                                                      std::size_t samples,
+                                                      const PopulationParams&
+                                                          params);
+
+/// Per-locus MAF draws, exposed for tests and for stats-layer expectations.
+[[nodiscard]] std::vector<double> draw_maf(std::size_t loci,
+                                           const PopulationParams& params);
+
+struct ProfileDbParams {
+  std::uint64_t seed = 2;
+  MafSpectrum spectrum = MafSpectrum::kUShaped;
+  double maf_min = 0.05;
+  double maf_max = 0.5;
+  double maf_mean = 0.2;
+};
+
+/// Generates a forensic profile database: `profiles` rows of `snp_sites`
+/// presence bits, each site set with its locus MAF probability.
+[[nodiscard]] bits::BitMatrix generate_profile_db(std::size_t profiles,
+                                                  std::size_t snp_sites,
+                                                  const ProfileDbParams&
+                                                      params);
+
+/// Copies `db` rows at `rows` into a query matrix (FastID identity-search
+/// ground truth: XOR comparison against those rows yields gamma == 0).
+[[nodiscard]] bits::BitMatrix extract_queries(const bits::BitMatrix& db,
+                                              const std::vector<std::size_t>&
+                                                  rows);
+
+/// Builds mixture profiles: each mixture is the bitwise OR of `contributors`
+/// randomly chosen database rows. Returns the mixture matrix and the chosen
+/// contributor indices per mixture (mixture analysis ground truth: for a
+/// contributor r, popc(r & ~mixture) == 0).
+struct MixtureSet {
+  bits::BitMatrix mixtures;
+  std::vector<std::vector<std::size_t>> contributors;
+};
+[[nodiscard]] MixtureSet generate_mixtures(const bits::BitMatrix& db,
+                                           std::size_t mixture_count,
+                                           std::size_t contributors,
+                                           std::uint64_t seed);
+
+/// Random dense-ish bit matrix (each bit Bernoulli(density)); the generic
+/// workload generator used by kernels, benches and property tests.
+[[nodiscard]] bits::BitMatrix random_bitmatrix(std::size_t rows,
+                                               std::size_t bit_cols,
+                                               double density,
+                                               std::uint64_t seed,
+                                               std::size_t stride_words64 = 1);
+
+}  // namespace snp::io

@@ -1,0 +1,243 @@
+#include "io/formats.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace snp::io {
+
+namespace {
+
+constexpr std::array<char, 4> kBitMagic = {'S', 'B', 'M', '1'};
+constexpr std::array<char, 4> kCountMagic = {'S', 'C', 'M', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) {
+    throw std::runtime_error("snp::io: truncated stream");
+  }
+  return v;
+}
+
+void expect_magic(std::istream& is, const std::array<char, 4>& magic,
+                  const char* what) {
+  std::array<char, 4> got{};
+  is.read(got.data(), got.size());
+  if (!is || got != magic) {
+    throw std::runtime_error(std::string("snp::io: bad magic for ") + what);
+  }
+}
+
+}  // namespace
+
+std::uint64_t checked_payload_bytes(std::istream& is,
+                                    std::uint64_t expected) {
+  // Guard against corrupted headers demanding absurd allocations (a fuzz
+  // finding): when the stream is seekable, the payload must match the
+  // remaining bytes exactly; otherwise fall back to a hard sanity cap.
+  const auto here = is.tellg();
+  if (here != std::streampos(-1)) {
+    is.seekg(0, std::ios::end);
+    const auto end = is.tellg();
+    is.seekg(here);
+    if (end != std::streampos(-1)) {
+      const auto remaining =
+          static_cast<std::uint64_t>(end - here);
+      if (remaining != expected) {
+        throw std::runtime_error(
+            "snp::io: header promises " + std::to_string(expected) +
+            " payload bytes but the stream holds " +
+            std::to_string(remaining));
+      }
+      return expected;
+    }
+  }
+  constexpr std::uint64_t kSanityCap = 8ull << 30;  // 8 GiB
+  if (expected > kSanityCap) {
+    throw std::runtime_error(
+        "snp::io: implausible header (payload over 8 GiB on an "
+        "unseekable stream)");
+  }
+  return expected;
+}
+
+namespace {
+
+std::ofstream open_out(const std::filesystem::path& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("snp::io: cannot open for writing: " +
+                             path.string());
+  }
+  return os;
+}
+
+std::ifstream open_in(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("snp::io: cannot open for reading: " +
+                             path.string());
+  }
+  return is;
+}
+
+}  // namespace
+
+void save_bitmatrix(const bits::BitMatrix& m, std::ostream& os) {
+  os.write(kBitMagic.data(), kBitMagic.size());
+  write_u64(os, m.rows());
+  write_u64(os, m.bit_cols());
+  write_u64(os, m.words64_per_row());
+  const auto raw = m.raw64();
+  os.write(reinterpret_cast<const char*>(raw.data()),
+           static_cast<std::streamsize>(raw.size_bytes()));
+  if (!os) {
+    throw std::runtime_error("snp::io: write failed (bit matrix)");
+  }
+}
+
+bits::BitMatrix load_bitmatrix(std::istream& is) {
+  expect_magic(is, kBitMagic, "bit matrix");
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t bit_cols = read_u64(is);
+  const std::uint64_t stride = read_u64(is);
+  constexpr std::uint64_t kDimCap = 1ull << 40;
+  if (stride == 0 || rows > kDimCap || stride > kDimCap ||
+      bit_cols > kDimCap ||
+      stride < bits::ceil_div(bit_cols, bits::kBitsPerWord64)) {
+    throw std::runtime_error("snp::io: corrupt bit-matrix header");
+  }
+  (void)checked_payload_bytes(is, rows * stride * 8);
+  bits::BitMatrix m(rows, bit_cols, stride);
+  std::vector<bits::Word64> buf(rows * stride);
+  is.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size() * sizeof(bits::Word64)));
+  if (!is) {
+    throw std::runtime_error("snp::io: truncated bit matrix");
+  }
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    auto dst = m.row64(r);
+    std::memcpy(dst.data(), buf.data() + r * stride,
+                stride * sizeof(bits::Word64));
+  }
+  if (!m.padding_is_zero()) {
+    throw std::runtime_error(
+        "snp::io: bit matrix violates the zero-padding invariant");
+  }
+  return m;
+}
+
+void save_countmatrix(const bits::CountMatrix& m, std::ostream& os) {
+  os.write(kCountMagic.data(), kCountMagic.size());
+  write_u64(os, m.rows());
+  write_u64(os, m.cols());
+  const auto raw = m.raw();
+  os.write(reinterpret_cast<const char*>(raw.data()),
+           static_cast<std::streamsize>(raw.size_bytes()));
+  if (!os) {
+    throw std::runtime_error("snp::io: write failed (count matrix)");
+  }
+}
+
+bits::CountMatrix load_countmatrix(std::istream& is) {
+  expect_magic(is, kCountMagic, "count matrix");
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t cols = read_u64(is);
+  constexpr std::uint64_t kDimCap = 1ull << 40;
+  if (rows > kDimCap || cols > kDimCap) {
+    throw std::runtime_error("snp::io: corrupt count-matrix header");
+  }
+  (void)checked_payload_bytes(is, rows * cols * 4);
+  bits::CountMatrix m(rows, cols);
+  auto raw = m.raw();
+  is.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size_bytes()));
+  if (!is) {
+    throw std::runtime_error("snp::io: truncated count matrix");
+  }
+  return m;
+}
+
+void save_genotypes_tsv(const bits::GenotypeMatrix& g, std::ostream& os) {
+  os << "#loci\t" << g.loci() << "\tsamples\t" << g.samples() << '\n';
+  for (std::size_t locus = 0; locus < g.loci(); ++locus) {
+    for (std::size_t s = 0; s < g.samples(); ++s) {
+      os << static_cast<int>(g.at(locus, s))
+         << (s + 1 == g.samples() ? '\n' : '\t');
+    }
+  }
+  if (!os) {
+    throw std::runtime_error("snp::io: write failed (genotype tsv)");
+  }
+}
+
+bits::GenotypeMatrix load_genotypes_tsv(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header)) {
+    throw std::runtime_error("snp::io: missing genotype tsv header");
+  }
+  std::istringstream hs(header);
+  std::string tag1, tag2;
+  std::size_t loci = 0, samples = 0;
+  hs >> tag1 >> loci >> tag2 >> samples;
+  if (tag1 != "#loci" || tag2 != "samples") {
+    throw std::runtime_error("snp::io: bad genotype tsv header");
+  }
+  bits::GenotypeMatrix g(loci, samples);
+  for (std::size_t locus = 0; locus < loci; ++locus) {
+    for (std::size_t s = 0; s < samples; ++s) {
+      int v = -1;
+      if (!(is >> v) || v < 0 || v > 2) {
+        throw std::runtime_error("snp::io: bad genotype value");
+      }
+      g.at(locus, s) = static_cast<std::uint8_t>(v);
+    }
+  }
+  return g;
+}
+
+void save_bitmatrix(const bits::BitMatrix& m,
+                    const std::filesystem::path& path) {
+  auto os = open_out(path);
+  save_bitmatrix(m, os);
+}
+
+bits::BitMatrix load_bitmatrix(const std::filesystem::path& path) {
+  auto is = open_in(path);
+  return load_bitmatrix(is);
+}
+
+void save_countmatrix(const bits::CountMatrix& m,
+                      const std::filesystem::path& path) {
+  auto os = open_out(path);
+  save_countmatrix(m, os);
+}
+
+bits::CountMatrix load_countmatrix(const std::filesystem::path& path) {
+  auto is = open_in(path);
+  return load_countmatrix(is);
+}
+
+void save_genotypes_tsv(const bits::GenotypeMatrix& g,
+                        const std::filesystem::path& path) {
+  auto os = open_out(path);
+  save_genotypes_tsv(g, os);
+}
+
+bits::GenotypeMatrix load_genotypes_tsv(const std::filesystem::path& path) {
+  auto is = open_in(path);
+  return load_genotypes_tsv(is);
+}
+
+}  // namespace snp::io

@@ -1,0 +1,47 @@
+// On-disk formats.
+//
+// - SBM1: binary packed bit matrix (the framework's native database format,
+//   analogous to PLINK's .bed but word-padded for direct kernel consumption)
+// - SCM1: binary count matrix (comparison results)
+// - genotype TSV: human-readable loci x samples dosage table for examples
+//   and interchange with scripting pipelines.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+
+#include "bits/bitmatrix.hpp"
+#include "bits/genotype.hpp"
+
+namespace snp::io {
+
+/// Validates that a binary header's promised payload size matches the
+/// bytes actually present (seekable streams) or a hard sanity cap
+/// (unseekable) before any allocation happens. Returns `expected`.
+/// Shared by every binary loader; throws std::runtime_error on mismatch.
+std::uint64_t checked_payload_bytes(std::istream& is,
+                                    std::uint64_t expected);
+
+void save_bitmatrix(const bits::BitMatrix& m, std::ostream& os);
+void save_bitmatrix(const bits::BitMatrix& m,
+                    const std::filesystem::path& path);
+[[nodiscard]] bits::BitMatrix load_bitmatrix(std::istream& is);
+[[nodiscard]] bits::BitMatrix load_bitmatrix(
+    const std::filesystem::path& path);
+
+void save_countmatrix(const bits::CountMatrix& m, std::ostream& os);
+void save_countmatrix(const bits::CountMatrix& m,
+                      const std::filesystem::path& path);
+[[nodiscard]] bits::CountMatrix load_countmatrix(std::istream& is);
+[[nodiscard]] bits::CountMatrix load_countmatrix(
+    const std::filesystem::path& path);
+
+void save_genotypes_tsv(const bits::GenotypeMatrix& g, std::ostream& os);
+void save_genotypes_tsv(const bits::GenotypeMatrix& g,
+                        const std::filesystem::path& path);
+[[nodiscard]] bits::GenotypeMatrix load_genotypes_tsv(std::istream& is);
+[[nodiscard]] bits::GenotypeMatrix load_genotypes_tsv(
+    const std::filesystem::path& path);
+
+}  // namespace snp::io

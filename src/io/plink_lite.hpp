@@ -1,0 +1,67 @@
+// PLINK-lite: a transposed-text genotype interchange format.
+//
+// The paper positions its framework against PLINK ("existing high
+// performance libraries for population-based analysis such as PLINK do not
+// support the use of GPUs"); real deployments would ingest PLINK-style
+// files. This module implements a minimal transposed text dialect (one
+// locus per line with metadata, followed by per-sample dosages) plus a
+// header naming the samples — enough to round-trip datasets with locus
+// metadata through the framework and to hand results back to scripting
+// pipelines.
+//
+// Format:
+//   #plink-lite v1
+//   #samples<TAB>s1<TAB>s2<TAB>...
+//   chrom<TAB>id<TAB>pos<TAB>ref<TAB>alt<TAB>g1<TAB>g2<TAB>...
+// with g in {0, 1, 2} minor-allele dosage or '.' for missing (decoded as
+// dosage 0, counted in the returned missing tally).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bits/genotype.hpp"
+
+namespace snp::io {
+
+struct LocusInfo {
+  std::string chrom;
+  std::string id;
+  std::uint64_t pos = 0;
+  char ref = 'A';
+  char alt = 'G';
+};
+
+struct PlinkLiteDataset {
+  std::vector<LocusInfo> loci;        ///< one per genotype row
+  std::vector<std::string> samples;   ///< one per genotype column
+  bits::GenotypeMatrix genotypes;
+  std::size_t missing_calls = 0;      ///< '.' entries seen on load
+  /// Missing calls per locus (empty when the source had none), consumed
+  /// by stats::qc_report.
+  std::vector<std::size_t> missing_per_locus;
+
+  [[nodiscard]] bool consistent() const {
+    return loci.size() == genotypes.loci() &&
+           samples.size() == genotypes.samples();
+  }
+};
+
+void save_plink_lite(const PlinkLiteDataset& ds, std::ostream& os);
+void save_plink_lite(const PlinkLiteDataset& ds,
+                     const std::filesystem::path& path);
+[[nodiscard]] PlinkLiteDataset load_plink_lite(std::istream& is);
+[[nodiscard]] PlinkLiteDataset load_plink_lite(
+    const std::filesystem::path& path);
+
+/// Wraps a bare genotype matrix with synthetic metadata (rs-ids, evenly
+/// spaced positions, generated sample names) so generated datasets can be
+/// exported.
+[[nodiscard]] PlinkLiteDataset with_synthetic_metadata(
+    bits::GenotypeMatrix genotypes, const std::string& chrom = "1",
+    std::uint64_t start_pos = 10'000, std::uint64_t spacing = 1'000);
+
+}  // namespace snp::io

@@ -1,0 +1,85 @@
+// Deterministic, seedable RNG used by every generator and test.
+//
+// Self-contained xoshiro256** (public-domain algorithm by Blackman & Vigna)
+// seeded through SplitMix64, so datasets and simulated experiments are
+// reproducible across platforms and standard-library versions (std::mt19937
+// distributions are not portable across implementations).
+#pragma once
+
+#include <cstdint>
+
+namespace snp::io {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.next();
+    }
+  }
+
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (rejection method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t x = next_u64();
+      if (x >= threshold) {
+        return x % bound;
+      }
+    }
+  }
+
+  constexpr bool next_bernoulli(double p) { return next_double() < p; }
+
+  /// Forks an independent stream (for per-row parallel generation).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    SplitMix64 sm(state_[0] ^ (stream * 0x9e3779b97f4a7c15ull) ^ state_[3]);
+    Rng out(sm.next());
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace snp::io

@@ -1,0 +1,23 @@
+// VCF-lite: a minimal reader/writer for the VCF subset genotype pipelines
+// actually exchange — the fixed eight columns plus GT-only FORMAT fields
+// with diploid calls (0/0, 0/1, 1/1, ./., phased '|' accepted). Multi-
+// allelic records and non-GT FORMAT keys are rejected loudly rather than
+// silently misread. Loads into the same PlinkLiteDataset the rest of the
+// framework consumes.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "io/plink_lite.hpp"
+
+namespace snp::io {
+
+void save_vcf_lite(const PlinkLiteDataset& ds, std::ostream& os);
+void save_vcf_lite(const PlinkLiteDataset& ds,
+                   const std::filesystem::path& path);
+[[nodiscard]] PlinkLiteDataset load_vcf_lite(std::istream& is);
+[[nodiscard]] PlinkLiteDataset load_vcf_lite(
+    const std::filesystem::path& path);
+
+}  // namespace snp::io

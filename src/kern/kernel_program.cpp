@@ -1,0 +1,124 @@
+#include "kern/kernel_program.hpp"
+
+#include <stdexcept>
+
+namespace snp::kern {
+
+using sim::Instr;
+using sim::kNoReg;
+using sim::Opcode;
+
+KernelProgramInfo build_kernel_program(const model::GpuSpec& dev,
+                                       const model::KernelConfig& cfg,
+                                       bits::Comparison op,
+                                       std::uint64_t k_iterations,
+                                       int unroll) {
+  const auto check = model::validate(cfg, dev);
+  if (!check.ok) {
+    throw std::invalid_argument("build_kernel_program: " + check.reason);
+  }
+  if (unroll <= 0 || k_iterations == 0) {
+    throw std::invalid_argument(
+        "build_kernel_program: unroll and k_iterations must be positive");
+  }
+  const int lfn = dev.pipe(model::InstrClass::kPopc).latency_cycles;
+  const int cols_per_group = cfg.n_r / lfn;
+  const int outputs_per_group = cfg.m_r * cols_per_group;
+  const int outputs_per_thread =
+      std::max(1, outputs_per_group / dev.n_t);
+
+  // Register file layout (per thread):
+  //   [0, n_acc)                       accumulators
+  //   [n_acc, n_acc+m_r)               A values (from shared memory)
+  //   b_stage, b_consume               double-buffered B (global memory)
+  //   [.., +n_acc)                     one temporary per in-flight output
+  const int n_acc = outputs_per_thread;
+  const int a_base = n_acc;
+  const int b_stage = a_base + cfg.m_r;
+  const int b_consume = b_stage + 1;
+  const int tmp_base = b_consume + 1;
+
+  KernelProgramInfo info;
+  info.outputs_per_thread = outputs_per_thread;
+  info.registers_per_thread = tmp_base + n_acc;
+
+  sim::Program& p = info.program;
+  // Prologue: zero the accumulators (move from a loaded seed) and prime
+  // the B double buffer from global memory.
+  p.prologue.push_back({Opcode::kLdg, tmp_base, kNoReg, kNoReg, 0});
+  for (int acc = 0; acc < n_acc; ++acc) {
+    p.prologue.push_back({Opcode::kMov, acc, tmp_base, kNoReg, 0});
+  }
+  p.prologue.push_back({Opcode::kLdg, b_stage, kNoReg, kNoReg, 0});
+
+  const Opcode logic_op = [&] {
+    switch (op) {
+      case bits::Comparison::kAnd:
+        return Opcode::kAnd;
+      case bits::Comparison::kXor:
+        return Opcode::kXor;
+      case bits::Comparison::kAndNot:
+        return Opcode::kAndn;
+    }
+    return Opcode::kAnd;
+  }();
+  const bool needs_separate_not = op == bits::Comparison::kAndNot &&
+                                  !cfg.pre_negated && !dev.fused_andnot;
+  const bool lowered_to_and =
+      op == bits::Comparison::kAndNot && cfg.pre_negated;
+
+  // Body: `unroll` k-steps. The vectorized B load is double-buffered:
+  // consume what the *previous* iteration staged, then immediately issue
+  // the next stage load so its global-memory latency hides under the
+  // iteration's compute (the double buffering the real kernel performs
+  // with its registers).
+  p.body.push_back({Opcode::kMov, b_consume, b_stage, kNoReg, 0});
+  p.body.push_back({Opcode::kLdg, b_stage, kNoReg, kNoReg, 0});
+  for (int u = 0; u < unroll; ++u) {
+    // m_r A values from shared memory (k-major layout, conflict-free
+    // stride 1).
+    for (int r = 0; r < cfg.m_r; ++r) {
+      p.body.push_back({Opcode::kLds, a_base + r, kNoReg, kNoReg, 1});
+    }
+
+    // Software-pipelined emission (what the compiler's scheduler does to
+    // the micro-kernel): all logic ops, then all popcounts, then all
+    // accumulates, each output in its own temporary, so the in-order
+    // front end never stalls on the op -> popc -> add chain.
+    for (int o = 0; o < outputs_per_thread; ++o) {
+      const int a_reg = a_base + o % cfg.m_r;
+      const int b_reg = b_consume;
+      const int tmp = tmp_base + o;
+      if (needs_separate_not) {
+        // NOT then AND on the logic pipe (the Vega penalty of Fig. 9).
+        p.body.push_back({Opcode::kNot, tmp, b_reg, kNoReg, 0});
+        p.body.push_back({Opcode::kAnd, tmp, a_reg, tmp, 0});
+      } else {
+        p.body.push_back({lowered_to_and ? Opcode::kAnd : logic_op, tmp,
+                          a_reg, b_reg, 0});
+      }
+    }
+    for (int o = 0; o < outputs_per_thread; ++o) {
+      p.body.push_back({Opcode::kPopc, tmp_base + o, tmp_base + o, kNoReg,
+                        0});
+    }
+    for (int o = 0; o < outputs_per_thread; ++o) {
+      p.body.push_back({Opcode::kAdd, o, o, tmp_base + o, 0});
+    }
+  }
+  p.iterations = k_iterations;
+
+  // Epilogue: store the accumulators (defeats nothing here, but mirrors
+  // the real kernel's C write-back).
+  for (int acc = 0; acc < n_acc; ++acc) {
+    p.epilogue.push_back({Opcode::kStg, kNoReg, acc, kNoReg, 0});
+  }
+
+  info.wordops_per_iteration =
+      static_cast<std::uint64_t>(outputs_per_thread) *
+      static_cast<std::uint64_t>(dev.n_t) * static_cast<std::uint64_t>(
+                                                unroll);
+  return info;
+}
+
+}  // namespace snp::kern

@@ -1,0 +1,37 @@
+// Lowers the SNP-comparison inner loop to the mini instruction IR.
+//
+// The tile-level timing model (sim/timing.cpp) prices the kernel from an
+// analytical instruction mix; this generator emits the *actual* per-thread-
+// group instruction stream of the micro-kernel — shared-memory loads of
+// the A values, global loads of the streamed B words, then the
+// (logic, popcount, accumulate) triple per output — so the cycle-level
+// CoreSim can execute it. Tests close the loop: the simulated steady-state
+// throughput must match the analytical bottleneck-pipe rate, and the
+// occupancy sweep must plateau at N_cl x L_fn groups exactly as the
+// framework's occupancy policy assumes.
+#pragma once
+
+#include "bits/compare.hpp"
+#include "model/config.hpp"
+#include "model/device.hpp"
+#include "sim/isa.hpp"
+
+namespace snp::kern {
+
+struct KernelProgramInfo {
+  sim::Program program;
+  /// Lane word-ops (logic+popc+add triples) per loop iteration, for
+  /// throughput accounting: body word-ops = outputs_per_group * unroll.
+  std::uint64_t wordops_per_iteration = 0;
+  int outputs_per_thread = 0;
+  int registers_per_thread = 0;
+};
+
+/// Builds one thread group's inner loop under `cfg` on `dev` for `op`
+/// (after Eq. 3 lowering): each iteration covers `unroll` k-steps of the
+/// m_r x (n_r / L_fn) sub-tile the group owns.
+[[nodiscard]] KernelProgramInfo build_kernel_program(
+    const model::GpuSpec& dev, const model::KernelConfig& cfg,
+    bits::Comparison op, std::uint64_t k_iterations, int unroll = 4);
+
+}  // namespace snp::kern

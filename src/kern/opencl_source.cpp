@@ -1,0 +1,157 @@
+#include "kern/opencl_source.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace snp::kern {
+
+namespace {
+
+/// The word-level comparison expression for the inner loop. On devices
+/// with a fused negate-AND (NVIDIA LOP3), `a & ~b` is one instruction, so
+/// the expression is emitted directly; without it (Vega), the explicit
+/// NOT is its own statement so the penalty is visible in the source too.
+const char* op_expression(bits::Comparison op, bool pre_negated) {
+  switch (op) {
+    case bits::Comparison::kAnd:
+      return "(a_val & b_val)";
+    case bits::Comparison::kXor:
+      return "(a_val ^ b_val)";
+    case bits::Comparison::kAndNot:
+      return pre_negated ? "(a_val & b_val)" : "(a_val & ~b_val)";
+  }
+  return "(a_val & b_val)";
+}
+
+}  // namespace
+
+std::string render_config_header(const model::GpuSpec& dev,
+                                 const model::KernelConfig& cfg,
+                                 bits::Comparison op) {
+  const auto check = model::validate(cfg, dev);
+  if (!check.ok) {
+    throw std::invalid_argument("render_config_header: " + check.reason);
+  }
+  const int lfn = dev.pipe(model::InstrClass::kPopc).latency_cycles;
+  std::ostringstream os;
+  os << "/* snpcmp kernel configuration: " << dev.name << " ("
+     << dev.microarch << "), " << bits::to_string(op) << " */\n"
+     << "#define SNP_M_R " << cfg.m_r << "\n"
+     << "#define SNP_M_C " << cfg.m_c << "\n"
+     << "#define SNP_K_C " << cfg.k_c << "\n"
+     << "#define SNP_N_R " << cfg.n_r << "\n"
+     << "#define SNP_N_T " << dev.n_t << "\n"
+     << "#define SNP_L_FN " << lfn << "\n"
+     << "#define SNP_N_VEC " << dev.n_vec << "\n"
+     << "#define SNP_COLS_PER_GROUP (SNP_N_R / SNP_L_FN)\n"
+     << "#define SNP_OUTPUTS_PER_THREAD "
+     << cfg.accumulators_per_thread(dev) << "\n"
+     << "#define SNP_GROUPS_PER_CORE " << cfg.groups_per_core(dev)
+     << "\n";
+  if (cfg.pre_negated) {
+    os << "#define SNP_PRE_NEGATED 1\n";
+  }
+  if (dev.fused_andnot) {
+    os << "#define SNP_FUSED_ANDNOT 1\n";
+  }
+  return os.str();
+}
+
+std::string render_kernel_source(const model::GpuSpec& dev,
+                                 const model::KernelConfig& cfg,
+                                 bits::Comparison op) {
+  const auto check = model::validate(cfg, dev);
+  if (!check.ok) {
+    throw std::invalid_argument("render_kernel_source: " + check.reason);
+  }
+  const bool needs_explicit_not = op == bits::Comparison::kAndNot &&
+                                  !cfg.pre_negated && !dev.fused_andnot;
+  std::ostringstream os;
+  os << R"(/*
+ * snp_compare: the third BLIS loop around the micro-kernel.
+ *
+ * One work-group per (m_c x n_r) tile of C. The group cooperatively
+ * packs the m_c x k_c tile of A into local memory (k-major rows, stride
+ * 1 across banks), then streams B from global memory while each thread
+ * accumulates SNP_OUTPUTS_PER_THREAD popcount inner products in
+ * registers. A is (m x k_words) and B is (n x k_words), both row-major
+ * over the shared K dimension; C is (m x n) counts.
+ */
+__kernel void snp_compare(__global const uint* restrict A,
+                          __global const uint* restrict B,
+                          __global uint* restrict C,
+                          const uint m, const uint n,
+                          const uint k_words, const uint lda,
+                          const uint ldb) {
+  __local uint a_tile[SNP_M_C * SNP_K_C];
+
+  const uint tile_row = get_group_id(0) * SNP_M_C;
+  const uint tile_col = get_group_id(1) * SNP_N_R;
+  const uint lid = get_local_id(0);
+  const uint lsize = get_local_size(0);
+
+  uint acc[SNP_OUTPUTS_PER_THREAD];
+  for (uint o = 0; o < SNP_OUTPUTS_PER_THREAD; ++o) {
+    acc[o] = 0u;
+  }
+
+  for (uint k0 = 0; k0 < k_words; k0 += SNP_K_C) {
+    const uint kw = min((uint)SNP_K_C, k_words - k0);
+
+    /* Cooperative A-tile load: zero-fill edge rows so compute below is
+     * branch-free. */
+    for (uint idx = lid; idx < SNP_M_C * kw; idx += lsize) {
+      const uint r = idx / kw;
+      const uint k = idx % kw;
+      a_tile[r * SNP_K_C + k] =
+          (tile_row + r < m) ? A[(tile_row + r) * lda + k0 + k] : 0u;
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    /* Each thread owns SNP_OUTPUTS_PER_THREAD (row, column) cells of the
+     * tile; B words are loaded once and reused across SNP_M_R rows. */
+    for (uint k = 0; k < kw; ++k) {
+      for (uint o = 0; o < SNP_OUTPUTS_PER_THREAD; ++o) {
+        const uint out_idx = lid + o * lsize;
+        const uint row = out_idx % SNP_M_C;
+        const uint col = out_idx / SNP_M_C;
+        const uint gcol = tile_col + col;
+        const uint a_val = a_tile[row * SNP_K_C + k];
+        const uint b_val = (gcol < n) ? B[gcol * ldb + k0 + k] : 0u;
+)";
+  if (needs_explicit_not) {
+    os << "        const uint nb_val = ~b_val; /* separate VALU NOT: the\n"
+          "           Fig. 9 penalty on devices without fused ANDN */\n"
+          "        acc[o] += popcount(a_val & nb_val);\n";
+  } else {
+    os << "        acc[o] += popcount" << op_expression(op,
+                                                        cfg.pre_negated)
+       << ";\n";
+  }
+  os << R"(      }
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+
+  /* Write back the tile. */
+  for (uint o = 0; o < SNP_OUTPUTS_PER_THREAD; ++o) {
+    const uint out_idx = lid + o * lsize;
+    const uint row = tile_row + out_idx % SNP_M_C;
+    const uint col = tile_col + out_idx / SNP_M_C;
+    if (row < m && col < n) {
+      C[row * n + col] = acc[o];
+    }
+  }
+}
+)";
+  return os.str();
+}
+
+std::string render_program(const model::GpuSpec& dev,
+                           const model::KernelConfig& cfg,
+                           bits::Comparison op) {
+  return render_config_header(dev, cfg, op) + "\n" +
+         render_kernel_source(dev, cfg, op);
+}
+
+}  // namespace snp::kern

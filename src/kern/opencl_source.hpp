@@ -1,0 +1,41 @@
+// OpenCL C source rendering of the parameterized kernel.
+//
+// The paper's shipped artifact is exactly this: one OpenCL kernel whose
+// blocking is fixed by C macros in a configuration header ("our GPU kernel
+// is parameterized via C macros which are captured in a header file").
+// This module renders both pieces — the per-device/per-workload macro
+// header and the kernel body implementing the third BLIS loop (cooperative
+// A-tile load into local memory, barrier, B streamed from global memory,
+// register accumulators) — so the reproduction can be pointed at a real
+// OpenCL runtime, and so tests can pin the source-level differences
+// between devices (fused vs separate NOT, L_fn column counts, k_c).
+#pragma once
+
+#include <string>
+
+#include "bits/compare.hpp"
+#include "model/config.hpp"
+#include "model/device.hpp"
+
+namespace snp::kern {
+
+/// The configuration header: every model parameter the kernel consumes,
+/// as #defines (the paper's "users are expected to only identify the
+/// hardware features" interface).
+[[nodiscard]] std::string render_config_header(
+    const model::GpuSpec& dev, const model::KernelConfig& cfg,
+    bits::Comparison op);
+
+/// The kernel body (`__kernel void snp_compare(...)`), written against
+/// the macros from render_config_header.
+[[nodiscard]] std::string render_kernel_source(
+    const model::GpuSpec& dev, const model::KernelConfig& cfg,
+    bits::Comparison op);
+
+/// Header + kernel in one translation unit, ready for
+/// clCreateProgramWithSource.
+[[nodiscard]] std::string render_program(const model::GpuSpec& dev,
+                                         const model::KernelConfig& cfg,
+                                         bits::Comparison op);
+
+}  // namespace snp::kern

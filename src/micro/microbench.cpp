@@ -1,0 +1,194 @@
+#include "micro/microbench.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snp::micro {
+
+namespace {
+
+/// The loop body must dominate prologue (global-load latency) and loop
+/// maintenance, per the paper's guidance on sizing microbenchmarks.
+constexpr int kStreams = 8;
+constexpr int kPerStream = 16;
+constexpr std::uint64_t kIterations = 64;
+
+std::uint64_t body_ops(const sim::Program& p) {
+  return p.body.size() * p.iterations;
+}
+
+int saturating_occupancy(const model::GpuSpec& dev) {
+  return dev.n_clusters * dev.groups_per_cluster();
+}
+
+}  // namespace
+
+LatencyResult measure_latency(const model::GpuSpec& dev, sim::Opcode op,
+                              int chain_len, std::uint64_t iterations) {
+  const sim::Program prog = sim::dependent_chain(op, chain_len, iterations);
+  const sim::CoreSim core(dev);
+  const sim::CoreStats stats = core.run(prog, 1);
+  LatencyResult r;
+  r.op = op;
+  r.instructions = body_ops(prog);
+  r.cycles = stats.cycles;
+  r.cycles_per_instr =
+      static_cast<double>(stats.cycles) / static_cast<double>(r.instructions);
+  return r;
+}
+
+std::vector<ThroughputPoint> throughput_sweep(const model::GpuSpec& dev,
+                                              sim::Opcode op,
+                                              int max_groups) {
+  if (max_groups <= 0) {
+    max_groups = dev.n_grp_max;
+  }
+  const sim::Program prog =
+      sim::independent_streams(op, kStreams, kPerStream, kIterations);
+  const sim::CoreSim core(dev);
+  std::vector<ThroughputPoint> points;
+  for (int g = 1; g <= max_groups; ++g) {
+    const sim::CoreStats stats = core.run(prog, g);
+    ThroughputPoint pt;
+    pt.n_groups = g;
+    pt.lanes_per_cycle = static_cast<double>(body_ops(prog)) * g * dev.n_t /
+                         static_cast<double>(stats.cycles);
+    points.push_back(pt);
+  }
+  return points;
+}
+
+double peak_throughput(const model::GpuSpec& dev, sim::Opcode op) {
+  const int groups = std::min(saturating_occupancy(dev), dev.n_grp_max);
+  const sim::Program prog =
+      sim::independent_streams(op, kStreams, kPerStream, kIterations);
+  const sim::CoreSim core(dev);
+  const sim::CoreStats stats = core.run(prog, groups);
+  return static_cast<double>(body_ops(prog)) * groups * dev.n_t /
+         static_cast<double>(stats.cycles);
+}
+
+SharingResult probe_pipe_sharing(const model::GpuSpec& dev, sim::Opcode a,
+                                 sim::Opcode b) {
+  const int groups = std::min(saturating_occupancy(dev), dev.n_grp_max);
+  constexpr int kPairs = 32;
+  const sim::CoreSim core(dev);
+
+  const sim::Program pa =
+      sim::independent_streams(a, 4, kPairs / 4, kIterations);
+  const sim::Program pb =
+      sim::independent_streams(b, 4, kPairs / 4, kIterations);
+  const sim::Program pab = sim::interleaved_pair(a, b, kPairs, kIterations);
+
+  SharingResult r;
+  r.a = a;
+  r.b = b;
+  r.solo_a_cycles = core.run(pa, groups).cycles;
+  r.solo_b_cycles = core.run(pb, groups).cycles;
+  r.combined_cycles = core.run(pab, groups).cycles;
+  const auto worst_solo = static_cast<double>(
+      std::max(r.solo_a_cycles, r.solo_b_cycles));
+  r.slowdown = static_cast<double>(r.combined_cycles) / worst_solo;
+  // Separate pipes: the combined mix hides the cheaper instruction under
+  // the more contended one (slowdown ~= 1). A shared pipe must serialize
+  // both, pushing the slowdown toward (solo_a + solo_b) / max(solo).
+  const double serialized =
+      static_cast<double>(r.solo_a_cycles + r.solo_b_cycles) / worst_solo;
+  r.shared_pipe = r.slowdown > 0.5 * (1.0 + serialized);
+  return r;
+}
+
+HardwareReport characterize(const model::GpuSpec& dev) {
+  HardwareReport rep;
+  rep.dev = dev;
+  const sim::Opcode ops[] = {sim::Opcode::kAnd, sim::Opcode::kXor,
+                             sim::Opcode::kNot, sim::Opcode::kAdd,
+                             sim::Opcode::kPopc};
+  for (const auto op : ops) {
+    InstrCharacterization c;
+    c.op = op;
+    c.measured_latency = measure_latency(dev, op).cycles_per_instr;
+    c.measured_lanes_per_cycle = peak_throughput(dev, op);
+    c.inferred_units_per_cluster =
+        c.measured_lanes_per_cycle / dev.n_clusters;
+    rep.instrs.push_back(c);
+  }
+  rep.popc_separate_from_int =
+      !probe_pipe_sharing(dev, sim::Opcode::kPopc, sim::Opcode::kAdd)
+           .shared_pipe;
+  rep.add_and_share_pipe =
+      probe_pipe_sharing(dev, sim::Opcode::kAdd, sim::Opcode::kAnd)
+          .shared_pipe;
+
+  // Locate the throughput plateau: first group count reaching 98 % of the
+  // final sweep value.
+  const auto sweep = throughput_sweep(dev, sim::Opcode::kPopc);
+  const double peak = sweep.back().lanes_per_cycle;
+  for (const auto& pt : sweep) {
+    if (pt.lanes_per_cycle >= 0.98 * peak) {
+      rep.saturating_groups = pt.n_groups;
+      break;
+    }
+  }
+  return rep;
+}
+
+double kernel_peak_throughput(const model::GpuSpec& dev,
+                              bits::Comparison op, bool pre_negated) {
+  // The compute triple per output, software-pipelined over 8 independent
+  // outputs (no loads: §V-D measures the functional-unit ceiling).
+  constexpr int kOutputs = 8;
+  const bool separate_not = op == bits::Comparison::kAndNot &&
+                            !pre_negated && !dev.fused_andnot;
+  const auto logic_op = [&] {
+    switch (op) {
+      case bits::Comparison::kXor:
+        return sim::Opcode::kXor;
+      case bits::Comparison::kAndNot:
+        return pre_negated ? sim::Opcode::kAnd : sim::Opcode::kAndn;
+      case bits::Comparison::kAnd:
+        break;
+    }
+    return sim::Opcode::kAnd;
+  }();
+
+  sim::Program p;
+  const int a_reg = 2 * kOutputs;
+  const int b_reg = a_reg + 1;
+  p.prologue.push_back({sim::Opcode::kLdg, a_reg, sim::kNoReg,
+                        sim::kNoReg, 0});
+  p.prologue.push_back({sim::Opcode::kLdg, b_reg, sim::kNoReg,
+                        sim::kNoReg, 0});
+  for (int o = 0; o < kOutputs; ++o) {
+    const int tmp = kOutputs + o;
+    if (separate_not) {
+      p.body.push_back({sim::Opcode::kNot, tmp, b_reg, sim::kNoReg, 0});
+      p.body.push_back({sim::Opcode::kAnd, tmp, a_reg, tmp, 0});
+    } else {
+      p.body.push_back({logic_op, tmp, a_reg, b_reg, 0});
+    }
+  }
+  for (int o = 0; o < kOutputs; ++o) {
+    p.body.push_back(
+        {sim::Opcode::kPopc, kOutputs + o, kOutputs + o, sim::kNoReg, 0});
+  }
+  for (int o = 0; o < kOutputs; ++o) {
+    p.body.push_back({sim::Opcode::kAdd, o, o, kOutputs + o, 0});
+  }
+  p.iterations = 256;
+  for (int o = 0; o < kOutputs; ++o) {
+    p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, o, sim::kNoReg,
+                          0});
+  }
+
+  const int groups = std::min(saturating_occupancy(dev), dev.n_grp_max);
+  sim::SimOptions opts;
+  opts.loop_overhead_instrs = 0;
+  const sim::CoreSim core(dev, opts);
+  const auto stats = core.run(p, groups);
+  const double wordops = static_cast<double>(kOutputs) * 256.0 * groups *
+                         dev.n_t;
+  return wordops / static_cast<double>(stats.cycles);
+}
+
+}  // namespace snp::micro

@@ -1,0 +1,104 @@
+// Instruction microbenchmarks (paper Sections V-C and V-D).
+//
+// The paper determines the hardware parameters its analytical model needs —
+// instruction latency L_fn, per-pipe throughput N_fn, and which instructions
+// share a pipe — by black-box measurement: dependent chains expose latency,
+// thread-group sweeps expose throughput plateaus, and interleaved
+// instruction mixes expose pipe sharing ("population count is on a separate
+// pipeline from integer math... on the Vega 64 the addition and logical AND
+// operations fall on the same pipeline").
+//
+// We run the same programs on the cycle-level simulator. This closes the
+// loop on the methodology: the measurements must recover the parameters the
+// device was configured with, and the same code would run unmodified
+// against real hardware through an OpenCL backend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/compare.hpp"
+#include "model/device.hpp"
+#include "sim/isa.hpp"
+#include "sim/pipeline.hpp"
+
+namespace snp::micro {
+
+struct LatencyResult {
+  sim::Opcode op{};
+  double cycles_per_instr = 0.0;  ///< measured dependent-chain rate
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+};
+
+/// Section V-C: one thread group, a long chain of dependent instructions
+/// inside a counted loop. "Executing the kernel with one thread group is
+/// sufficient to measure instruction latency."
+[[nodiscard]] LatencyResult measure_latency(const model::GpuSpec& dev,
+                                            sim::Opcode op,
+                                            int chain_len = 64,
+                                            std::uint64_t iterations = 256);
+
+struct ThroughputPoint {
+  int n_groups = 0;
+  /// Lane-operations per cycle per core: instrs * N_T / cycles.
+  double lanes_per_cycle = 0.0;
+};
+
+/// Section V-D: same program, sweeping the number of resident thread
+/// groups on one core. The curve plateaus once N_cl * L_fn groups saturate
+/// the pipes.
+[[nodiscard]] std::vector<ThroughputPoint> throughput_sweep(
+    const model::GpuSpec& dev, sim::Opcode op, int max_groups = 0);
+
+/// Peak measured throughput (lane-ops/cycle/core) at saturating occupancy.
+[[nodiscard]] double peak_throughput(const model::GpuSpec& dev,
+                                     sim::Opcode op);
+
+struct SharingResult {
+  sim::Opcode a{}, b{};
+  std::uint64_t solo_a_cycles = 0;
+  std::uint64_t solo_b_cycles = 0;
+  std::uint64_t combined_cycles = 0;
+  /// combined / max(solo): ~1 for separate pipes, ~(sum/max) for a shared
+  /// pipe.
+  double slowdown = 0.0;
+  bool shared_pipe = false;
+};
+
+/// "Combining different instructions can expose which instructions share
+/// functional unit pipelines": equal counts of `a` and `b` interleaved on
+/// independent accumulators, compared against each instruction alone.
+[[nodiscard]] SharingResult probe_pipe_sharing(const model::GpuSpec& dev,
+                                               sim::Opcode a, sim::Opcode b);
+
+struct InstrCharacterization {
+  sim::Opcode op{};
+  double measured_latency = 0.0;       ///< chain cycles/instr
+  double measured_lanes_per_cycle = 0.0;
+  double inferred_units_per_cluster = 0.0;  ///< lanes/cycle / N_cl
+};
+
+struct HardwareReport {
+  model::GpuSpec dev;
+  std::vector<InstrCharacterization> instrs;
+  bool popc_separate_from_int = false;  ///< NVIDIA & Vega observation
+  bool add_and_share_pipe = false;      ///< true on Vega (§V-D)
+  int saturating_groups = 0;            ///< measured plateau point per core
+};
+
+/// Full characterization of a device — the microbenchmarked half of
+/// Table I (drives bench/table1_hwparams).
+[[nodiscard]] HardwareReport characterize(const model::GpuSpec& dev);
+
+/// Section V-D: "Microbenchmarking each kernel (LD, FastID) was
+/// sufficient to determine what peak throughput would be." Runs the
+/// kernel's compute triple (logic, popcount, accumulate — with the
+/// standalone NOT where the device lacks fused ANDN) as a saturated
+/// program and returns word-ops per cycle per core. Must agree with
+/// model::cluster_rate * N_cl.
+[[nodiscard]] double kernel_peak_throughput(const model::GpuSpec& dev,
+                                            bits::Comparison op,
+                                            bool pre_negated = false);
+
+}  // namespace snp::micro

@@ -1,0 +1,191 @@
+#include "model/config.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace snp::model {
+
+namespace {
+
+/// Registers a thread needs beyond its accumulators: the m_r A values and
+/// N_vec B values in flight, loop counters and addresses.
+constexpr int kRegOverheadPerThread = 16;
+
+/// The paper never deploys n_r beyond 1024; larger values spill in
+/// practice, which the analytical model cannot see (Eq. 7 is an
+/// inequality for exactly this reason).
+constexpr int kNrFrameworkCap = 1024;
+
+int latency(const GpuSpec& dev) {
+  return dev.pipe(InstrClass::kPopc).latency_cycles;
+}
+
+}  // namespace
+
+int KernelConfig::groups_per_core(const GpuSpec& dev) const {
+  return dev.n_clusters * latency(dev);
+}
+
+int KernelConfig::accumulators_per_thread(const GpuSpec& dev) const {
+  const int outputs_per_group = m_r * (n_r / latency(dev));
+  return std::max(1, outputs_per_group / dev.n_t);
+}
+
+std::string KernelConfig::to_string() const {
+  std::ostringstream os;
+  os << "{m_r=" << m_r << ", m_c=" << m_c << ", k_c=" << k_c
+     << ", n_r=" << n_r << ", grid=" << grid.to_string()
+     << (pre_negated ? ", pre-negated" : "") << "}";
+  return os.str();
+}
+
+ConfigCheck validate(const KernelConfig& cfg, const GpuSpec& dev) {
+  auto fail = [](std::string reason) {
+    return ConfigCheck{false, std::move(reason)};
+  };
+  if (cfg.m_r <= 0 || cfg.m_c <= 0 || cfg.k_c <= 0 || cfg.n_r <= 0) {
+    return fail("all blocking parameters must be positive");
+  }
+  if (cfg.m_r % dev.n_vec != 0) {
+    return fail("m_r must be a multiple of N_vec (Eq. 4)");
+  }
+  if (cfg.m_c % cfg.m_r != 0) {
+    return fail("m_c must be a multiple of m_r (row sub-tiling)");
+  }
+  if (cfg.m_c > dev.banks) {
+    return fail("m_c beyond N_b would serialize shared-memory accesses "
+                "(the Eq. 5 bank-conflict constraint)");
+  }
+  if (cfg.shared_tile_bytes() > dev.shared_bytes - dev.shared_reserved) {
+    return fail("A tile (m_c*k_c*4 bytes) exceeds usable shared memory");
+  }
+  const int lfn = latency(dev);
+  if (cfg.n_r % lfn != 0) {
+    return fail("n_r must split evenly into L_fn latency-hiding columns");
+  }
+  if (cfg.n_r < n_r_lower_bound(dev, cfg.m_r, cfg.m_c)) {
+    return fail("n_r below the Eq. 7 lower bound");
+  }
+  const auto resident_threads = static_cast<std::size_t>(
+      cfg.groups_per_core(dev) * dev.n_t);
+  const auto budget = static_cast<int>(
+      dev.regs_per_core / std::max<std::size_t>(resident_threads, 1));
+  const int need = cfg.accumulators_per_thread(dev) + kRegOverheadPerThread;
+  if (need > std::min(budget, dev.max_regs_per_thread)) {
+    return fail("per-thread register demand exceeds the device budget "
+                "(register spill)");
+  }
+  if (cfg.groups_per_core(dev) > dev.n_grp_max) {
+    return fail("requested occupancy (N_cl * L_fn groups) exceeds the "
+                "device's resident-group limit");
+  }
+  if (cfg.grid.cores() > dev.n_cores) {
+    return fail("core grid uses more cores than the device has");
+  }
+  if (cfg.grid.grid_m <= 0 || cfg.grid.grid_n <= 0) {
+    return fail("core grid must be positive");
+  }
+  return {};
+}
+
+int m_c_eq5(const GpuSpec& dev) { return dev.banks / dev.n_clusters; }
+
+int n_r_lower_bound(const GpuSpec& dev, int m_r, int m_c) {
+  // Eq. 7: n_r >= (N_T * m_r / m_c) * N_vec * L_fn.
+  return (dev.n_t * m_r / m_c) * dev.n_vec * latency(dev);
+}
+
+int n_r_upper_bound(const GpuSpec& dev, int m_r, int m_c) {
+  const int lfn = latency(dev);
+  const int step = std::max(n_r_lower_bound(dev, m_r, m_c), lfn);
+  const auto resident_threads =
+      static_cast<std::size_t>(dev.n_clusters * lfn * dev.n_t);
+  const auto budget = static_cast<int>(dev.regs_per_core / resident_threads);
+  const int reg_cap = std::min(budget, dev.max_regs_per_thread) -
+                      kRegOverheadPerThread;
+  // accumulators/thread = m_r * n_r / (L_fn * N_T) <= reg_cap
+  const auto by_regs =
+      static_cast<int>(static_cast<long long>(reg_cap) * lfn * dev.n_t / m_r);
+  const int cap = std::min(by_regs, kNrFrameworkCap);
+  return std::max(step, cap / step * step);
+}
+
+KernelConfig derive(const GpuSpec& dev, WorkloadKind kind,
+                    std::size_t m_tiles_hint, std::size_t n_tiles_hint) {
+  KernelConfig cfg;
+  cfg.m_r = dev.n_vec;   // Eq. 4
+  cfg.m_c = dev.banks;   // Table II choice; see m_c_eq5 for Eq. 5 as printed
+  const std::size_t usable = dev.shared_bytes - dev.shared_reserved;
+  cfg.k_c = static_cast<int>(usable /
+                             (4 * static_cast<std::size_t>(dev.banks)));
+  cfg.n_r = n_r_upper_bound(dev, cfg.m_r, cfg.m_c);
+  if (m_tiles_hint == 0 || n_tiles_hint == 0) {
+    // Default shapes: LD outputs are square; FastID has a tiny query (M)
+    // dimension against a huge database (N).
+    if (kind == WorkloadKind::kLd) {
+      m_tiles_hint = n_tiles_hint = 1024;
+    } else {
+      m_tiles_hint = 1;
+      n_tiles_hint = 1u << 20;
+    }
+  }
+  cfg.grid = derive_grid(m_tiles_hint, n_tiles_hint, dev.n_cores);
+  return cfg;
+}
+
+KernelConfig paper_preset(const GpuSpec& dev, WorkloadKind kind) {
+  KernelConfig cfg;
+  cfg.m_r = 4;
+  cfg.m_c = 32;
+  const bool ld = kind == WorkloadKind::kLd;
+  if (dev.name == "GTX 980") {
+    cfg.k_c = 383;
+    cfg.n_r = ld ? 384 : 768;
+    cfg.grid = ld ? CoreGrid{4, 4} : CoreGrid{1, 16};
+  } else if (dev.name == "Titan V") {
+    cfg.k_c = 383;
+    cfg.n_r = 1024;
+    cfg.grid = ld ? CoreGrid{80, 1} : CoreGrid{1, 80};
+  } else if (dev.name == "Vega 64") {
+    cfg.k_c = 512;
+    cfg.n_r = 1024;
+    cfg.grid = ld ? CoreGrid{32, 2} : CoreGrid{1, 64};
+  } else {
+    throw std::invalid_argument("paper_preset: no Table II entry for " +
+                                dev.name);
+  }
+  return cfg;
+}
+
+CoreGrid derive_grid(std::size_t m_tiles, std::size_t n_tiles, int cores) {
+  if (cores <= 0) {
+    throw std::invalid_argument("derive_grid: cores must be positive");
+  }
+  m_tiles = std::max<std::size_t>(m_tiles, 1);
+  n_tiles = std::max<std::size_t>(n_tiles, 1);
+  CoreGrid best{1, cores};
+  auto load = [&](const CoreGrid& g) {
+    return bits::ceil_div(m_tiles, static_cast<std::size_t>(g.grid_m)) *
+           bits::ceil_div(n_tiles, static_cast<std::size_t>(g.grid_n));
+  };
+  auto balance = [](const CoreGrid& g) {
+    return std::abs(g.grid_m - g.grid_n);
+  };
+  for (int gm = 1; gm <= cores; ++gm) {
+    if (cores % gm != 0) {
+      continue;
+    }
+    const CoreGrid g{gm, cores / gm};
+    // Minimize per-core load; on ties prefer the more balanced grid
+    // (square-ish tiles of C maximize A/B reuse).
+    if (load(g) < load(best) ||
+        (load(g) == load(best) && balance(g) < balance(best))) {
+      best = g;
+    }
+  }
+  return best;
+}
+
+}  // namespace snp::model

@@ -1,0 +1,198 @@
+#include "model/device.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace snp::model {
+
+double GpuSpec::clock_ghz(int active_cores) const {
+  if (active_cores <= 0 || n_cores <= 1) {
+    return freq_ghz;
+  }
+  const double idle_frac =
+      1.0 - static_cast<double>(active_cores) / static_cast<double>(n_cores);
+  return freq_ghz * (1.0 + boost_frac * idle_frac);
+}
+
+int GpuSpec::groups_per_cluster() const {
+  int max_latency = 0;
+  for (const auto& p : pipes) {
+    max_latency = std::max(max_latency, p.latency_cycles);
+  }
+  return max_latency;
+}
+
+bool GpuSpec::valid() const {
+  if (freq_ghz <= 0 || n_t <= 0 || n_cores <= 0 || n_clusters <= 0 ||
+      banks <= 0 || shared_bytes == 0 || pipes.empty()) {
+    return false;
+  }
+  for (const int p : pipe_of) {
+    if (p < 0 || static_cast<std::size_t>(p) >= pipes.size()) {
+      return false;
+    }
+  }
+  for (const auto& p : pipes) {
+    if (p.units_per_cluster <= 0 || p.latency_cycles <= 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+constexpr std::size_t kGiB = 1024ull * 1024ull * 1024ull;
+constexpr std::size_t kKiB = 1024ull;
+}  // namespace
+
+GpuSpec gtx980() {
+  GpuSpec d;
+  d.name = "GTX 980";
+  d.microarch = "Maxwell";
+  d.vendor = "NVIDIA";
+  d.freq_ghz = 1.367;
+  d.n_t = 32;
+  d.n_grp_max = 32;
+  d.n_cores = 16;
+  d.n_clusters = 4;
+  d.n_vec = 4;
+  // Pipe 0: 32-wide INT/logic pipe; pipe 1: 8-wide popcount pipe;
+  // pipe 2: 8-wide LSU. Popcount is on its own pipeline (paper §V-D),
+  // L_fn^popcount = 6 on Maxwell (Table I).
+  d.pipes = {{32, 6}, {8, 6}, {8, 6}};
+  d.pipe_of[static_cast<int>(InstrClass::kLogic)] = 0;
+  d.pipe_of[static_cast<int>(InstrClass::kAdd)] = 0;
+  d.pipe_of[static_cast<int>(InstrClass::kPopc)] = 1;
+  d.pipe_of[static_cast<int>(InstrClass::kMem)] = 2;
+  d.fused_andnot = true;  // LOP3 fuses the negation
+  d.shared_bytes = 48 * kKiB;
+  d.shared_reserved = 128;  // NVIDIA OpenCL reserves a few words (§V-E)
+  d.banks = 32;
+  d.regs_per_core = 64 * kKiB;
+  d.max_regs_per_thread = 255;
+  d.global_bytes = static_cast<std::size_t>(3.934 * static_cast<double>(kGiB));
+  d.max_alloc_bytes =
+      static_cast<std::size_t>(0.983 * static_cast<double>(kGiB));
+  d.dram_gbps_effective = 125.0;  // calibrated: 90.7 % of peak at 16 cores
+  d.contention_p = 4.0;
+  d.pcie_gbps = 6.0;
+  d.launch_overhead_us = 8.0;
+  d.init_ms = 240.0;
+  d.boost_frac = 0.0;
+  return d;
+}
+
+GpuSpec titan_v() {
+  GpuSpec d;
+  d.name = "Titan V";
+  d.microarch = "Volta";
+  d.vendor = "NVIDIA";
+  d.freq_ghz = 1.455;
+  d.n_t = 32;
+  d.n_grp_max = 32;
+  d.n_cores = 80;
+  d.n_clusters = 4;
+  d.n_vec = 4;
+  // Pipe 0: 16-wide INT pipe; pipe 1: 4-wide popcount; pipe 2: 8-wide LSU.
+  // L_fn = 4 on Volta (Table I).
+  d.pipes = {{16, 4}, {4, 4}, {8, 4}};
+  d.pipe_of[static_cast<int>(InstrClass::kLogic)] = 0;
+  d.pipe_of[static_cast<int>(InstrClass::kAdd)] = 0;
+  d.pipe_of[static_cast<int>(InstrClass::kPopc)] = 1;
+  d.pipe_of[static_cast<int>(InstrClass::kMem)] = 2;
+  d.fused_andnot = true;
+  d.shared_bytes = 48 * kKiB;
+  d.shared_reserved = 128;
+  d.banks = 32;
+  d.regs_per_core = 64 * kKiB;
+  d.max_regs_per_thread = 255;
+  d.global_bytes =
+      static_cast<std::size_t>(11.754 * static_cast<double>(kGiB));
+  d.max_alloc_bytes =
+      static_cast<std::size_t>(2.939 * static_cast<double>(kGiB));
+  d.dram_gbps_effective = 436.0;  // calibrated: 97.1 % of peak at 80 cores
+  d.contention_p = 4.0;
+  d.pcie_gbps = 6.0;
+  d.launch_overhead_us = 6.0;
+  d.init_ms = 260.0;
+  d.boost_frac = 0.05;  // reproduces the >100 % few-core scaling of Fig. 7
+  return d;
+}
+
+GpuSpec vega64() {
+  GpuSpec d;
+  d.name = "Vega 64";
+  d.microarch = "Vega (GCN5)";
+  d.vendor = "AMD";
+  d.freq_ghz = 1.663;
+  d.n_t = 64;
+  d.n_grp_max = 16;
+  d.n_cores = 64;
+  d.n_clusters = 4;
+  d.n_vec = 4;
+  // Pipe 0: the 16-wide VALU executes logic AND adds (shared pipe — the
+  // bottleneck the paper identifies in §V-D); pipe 1: 16-wide popcount;
+  // pipe 2: 16-wide LSU. L_fn = 4.
+  d.pipes = {{16, 4}, {16, 4}, {16, 4}};
+  d.pipe_of[static_cast<int>(InstrClass::kLogic)] = 0;
+  d.pipe_of[static_cast<int>(InstrClass::kAdd)] = 0;
+  d.pipe_of[static_cast<int>(InstrClass::kPopc)] = 1;
+  d.pipe_of[static_cast<int>(InstrClass::kMem)] = 2;
+  d.fused_andnot = false;  // the NOT is a separate VALU op (Fig. 9)
+  d.shared_bytes = 64 * kKiB;
+  d.shared_reserved = 0;  // "no such limitation on the Vega 64" (§V-E)
+  d.banks = 32;
+  d.regs_per_core = 64 * kKiB;
+  d.max_regs_per_thread = 256;
+  d.global_bytes = static_cast<std::size_t>(7.984 * static_cast<double>(kGiB));
+  d.max_alloc_bytes =
+      static_cast<std::size_t>(6.786 * static_cast<double>(kGiB));
+  // Calibrated so full-device LD lands at 54.9 % of peak with a knee that
+  // begins around 8-16 cores (Fig. 5 + Fig. 7 from one mechanism).
+  d.dram_gbps_effective = 306.0;
+  d.contention_p = 2.0;
+  d.pcie_gbps = 6.0;
+  d.launch_overhead_us = 10.0;
+  d.init_ms = 230.0;
+  d.boost_frac = 0.0;
+  return d;
+}
+
+CpuSpec xeon_e5_2620v2() {
+  CpuSpec c;
+  c.name = "2x Xeon E5-2620 v2";
+  c.microarch = "Ivy Bridge";
+  c.freq_ghz = 2.1;
+  c.cores = 12;
+  c.popc_units = 1;
+  c.add_units = 4;
+  c.logic_units = 4;
+  c.popc_latency = 3;
+  c.efficiency = 0.85;  // the 80-90 % of peak reported in [11]
+  return c;
+}
+
+std::vector<GpuSpec> all_gpus() { return {gtx980(), titan_v(), vega64()}; }
+
+GpuSpec gpu_by_name(const std::string& name) {
+  std::string key;
+  for (const char ch : name) {
+    if (std::isalnum(static_cast<unsigned char>(ch)) != 0) {
+      key.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    }
+  }
+  if (key == "gtx980" || key == "maxwell") {
+    return gtx980();
+  }
+  if (key == "titanv" || key == "volta") {
+    return titan_v();
+  }
+  if (key == "vega64" || key == "vega" || key == "gcn5") {
+    return vega64();
+  }
+  throw std::invalid_argument("unknown GPU: " + name);
+}
+
+}  // namespace snp::model

@@ -1,0 +1,120 @@
+// The model GPU architecture of paper Section IV-A, plus the CPU baseline.
+//
+// A device is characterized by the paper's parameters (Table I): thread
+// group size N_T, max resident groups N_grp, compute cores N_c, clusters
+// per core N_cl, per-instruction functional-unit counts N_fn with latency
+// L_fn, shared memory N_shared organized in N_b banks, and a load/store
+// width N_vec. On top of Table I we carry the calibration constants the
+// simulator needs (effective DRAM bandwidth and contention exponent, PCIe
+// bandwidth, launch/init overheads, DVFS boost) — these are the "memory
+// system behaviours" the paper leaves out of its model and flags as the
+// source of the Vega scaling anomaly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bits/compare.hpp"
+
+namespace snp::model {
+
+/// Instruction classes relevant to SNP comparison kernels. Each class maps
+/// to one execution pipe on a device; distinct classes may share a pipe
+/// (discovered by the paper via microbenchmarking, Section V-D).
+enum class InstrClass : std::uint8_t {
+  kLogic,   ///< AND / XOR / NOT / ANDN
+  kAdd,     ///< integer add
+  kPopc,    ///< population count
+  kMem,     ///< global/shared load-store
+};
+
+inline constexpr int kNumInstrClasses = 4;
+
+struct PipeSpec {
+  int units_per_cluster = 0;  ///< N_fn for this pipe
+  int latency_cycles = 0;     ///< L_fn for this pipe
+};
+
+struct GpuSpec {
+  std::string name;
+  std::string microarch;
+  std::string vendor;
+
+  double freq_ghz = 0.0;  ///< base/OpenCL-reported max clock
+  int n_t = 0;            ///< thread-group size (warp / wavefront)
+  int n_grp_max = 0;      ///< max resident thread groups per core
+  int n_cores = 0;        ///< N_c: SMs / CUs
+  int n_clusters = 0;     ///< N_cl per core
+  int n_vec = 4;          ///< elements a thread loads at once (uint4)
+
+  /// Which pipe each instruction class issues to. Pipes are identified by
+  /// index into `pipes`; classes sharing an index share the pipe (Vega puts
+  /// kLogic and kAdd on the same pipe, which Fig. 9 hinges on).
+  int pipe_of[kNumInstrClasses] = {0, 0, 1, 2};
+  std::vector<PipeSpec> pipes;
+
+  /// True when the ISA fuses negation into AND (NVIDIA LOP3-style), so the
+  /// AND-NOT kernel costs no extra logic op.
+  bool fused_andnot = false;
+
+  std::size_t shared_bytes = 0;       ///< N_shared
+  std::size_t shared_reserved = 0;    ///< bytes the runtime reserves (§V-E)
+  int banks = 0;                      ///< N_b
+  std::size_t regs_per_core = 0;
+  int max_regs_per_thread = 0;
+  std::size_t global_bytes = 0;
+  std::size_t max_alloc_bytes = 0;
+
+  // --- simulator calibration (not part of the paper's Table I) ---
+  double dram_gbps_effective = 0.0;  ///< achievable streaming bandwidth
+  double contention_p = 4.0;         ///< soft-min exponent for contention
+  double pcie_gbps = 6.0;            ///< effective host<->device bandwidth
+  double launch_overhead_us = 8.0;   ///< per kernel enqueue->start
+  double init_ms = 250.0;            ///< one-time platform/context init
+  double boost_frac = 0.0;  ///< clock boost at 1 active core, linear to 0
+
+  [[nodiscard]] const PipeSpec& pipe(InstrClass c) const {
+    return pipes[static_cast<std::size_t>(
+        pipe_of[static_cast<std::size_t>(c)])];
+  }
+  [[nodiscard]] int pipe_index(InstrClass c) const {
+    return pipe_of[static_cast<std::size_t>(c)];
+  }
+  /// Clock in GHz with `active_cores` of `n_cores` busy (DVFS model).
+  [[nodiscard]] double clock_ghz(int active_cores) const;
+  /// Max thread groups resident per cluster needed to hide pipe latency.
+  [[nodiscard]] int groups_per_cluster() const;
+
+  [[nodiscard]] bool valid() const;
+};
+
+/// CPU baseline model (Table I first column): per-core 64-bit popcount
+/// throughput bounds SNP comparison, per Alachiotis et al. [11].
+struct CpuSpec {
+  std::string name;
+  std::string microarch;
+  double freq_ghz = 0.0;
+  int cores = 0;
+  int popc_units = 1;       ///< 64-bit popcount issues per cycle per core
+  int add_units = 4;
+  int logic_units = 4;
+  int popc_latency = 3;
+  double efficiency = 0.85;  ///< fraction of peak the BLIS CPU code attains
+};
+
+/// The devices evaluated in the paper (Table I).
+[[nodiscard]] GpuSpec gtx980();
+[[nodiscard]] GpuSpec titan_v();
+[[nodiscard]] GpuSpec vega64();
+[[nodiscard]] CpuSpec xeon_e5_2620v2();
+
+/// All simulated GPUs, in the paper's order.
+[[nodiscard]] std::vector<GpuSpec> all_gpus();
+
+/// Lookup by case-insensitive name ("gtx980", "titanv", "vega64");
+/// throws std::invalid_argument on unknown names.
+[[nodiscard]] GpuSpec gpu_by_name(const std::string& name);
+
+}  // namespace snp::model

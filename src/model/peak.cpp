@@ -1,0 +1,83 @@
+#include "model/peak.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snp::model {
+
+InstrMix kernel_mix(const GpuSpec& dev, bits::Comparison op,
+                    bool pre_negated) {
+  InstrMix mix;
+  mix.popc = 1;
+  mix.add = 1;
+  if (op == bits::Comparison::kAndNot && !pre_negated && !dev.fused_andnot) {
+    mix.logic = 2;  // NOT + AND as separate ops on the logic pipe
+  } else {
+    mix.logic = 1;  // AND / XOR / fused ANDN / AND-vs-pre-negated-DB
+  }
+  return mix;
+}
+
+ClusterRate cluster_rate(const GpuSpec& dev, const InstrMix& mix) {
+  ClusterRate r;
+  if (dev.pipes.size() > r.cycles_per_group.size()) {
+    throw std::invalid_argument("cluster_rate: too many pipes");
+  }
+  for (int c = 0; c < kNumInstrClasses; ++c) {
+    const auto cls = static_cast<InstrClass>(c);
+    const int count = mix.count(cls);
+    if (count == 0) {
+      continue;
+    }
+    const int pipe = dev.pipe_index(cls);
+    const auto& spec = dev.pipes[static_cast<std::size_t>(pipe)];
+    r.cycles_per_group[static_cast<std::size_t>(pipe)] +=
+        static_cast<double>(count) * dev.n_t / spec.units_per_cluster;
+  }
+  double worst = 0.0;
+  for (std::size_t p = 0; p < dev.pipes.size(); ++p) {
+    if (r.cycles_per_group[p] > worst) {
+      worst = r.cycles_per_group[p];
+      r.bottleneck_pipe = static_cast<int>(p);
+    }
+  }
+  r.wordops_per_cycle = worst > 0.0 ? dev.n_t / worst : 0.0;
+  return r;
+}
+
+double peak_wordops_per_s(const GpuSpec& dev, bits::Comparison op,
+                          bool pre_negated, int active_cores) {
+  const int cores = active_cores > 0 ? active_cores : dev.n_cores;
+  const ClusterRate rate = cluster_rate(dev, kernel_mix(dev, op,
+                                                        pre_negated));
+  return rate.wordops_per_cycle * dev.n_clusters * cores *
+         dev.clock_ghz(cores) * 1e9;
+}
+
+double cpu_peak_wordops_per_s(const CpuSpec& cpu) {
+  // Per 64-bit word-op: 1 AND + 1 ADD on the logic/add ports, 1 POPCNT on
+  // its single port. Ivy Bridge issues one POPCNT per cycle per core, which
+  // is the bottleneck ([11]). One 64-bit word-op == two 32-bit word-ops.
+  const double and_add_cycles =
+      2.0 / static_cast<double>(std::min(cpu.logic_units, cpu.add_units));
+  const double popc_cycles = 1.0 / cpu.popc_units;
+  const double cycles_per_op64 = std::max(and_add_cycles, popc_cycles);
+  return 2.0 * cpu.cores * cpu.freq_ghz * 1e9 / cycles_per_op64;
+}
+
+std::string describe_bottleneck(const GpuSpec& dev, bits::Comparison op,
+                                bool pre_negated) {
+  const ClusterRate rate = cluster_rate(dev, kernel_mix(dev, op,
+                                                        pre_negated));
+  if (rate.bottleneck_pipe < 0) {
+    return "none";
+  }
+  const auto& pipe = dev.pipes[static_cast<std::size_t>(rate.bottleneck_pipe)];
+  const bool is_popc =
+      dev.pipe_index(InstrClass::kPopc) == rate.bottleneck_pipe;
+  std::string name = is_popc ? "popcount pipe" : "logic/add pipe";
+  return name + " (" + std::to_string(pipe.units_per_cluster) +
+         " units/cluster)";
+}
+
+}  // namespace snp::model

@@ -1,0 +1,80 @@
+// Theoretical-peak and pipe-bottleneck analysis (paper Sections IV-V).
+//
+// The unit of work is one 32-bit "word-op": the (logic-op, popcount,
+// accumulate) triple applied to one 32-bit word pair, i.e. 32 SNP-site
+// comparisons. Peak throughput is set by the most contended execution pipe,
+// exactly the accounting the paper uses ("the peak throughput per functional
+// unit can be determined by identifying the bottleneck, i.e. the minimum
+// throughput on all pipelines in use").
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "bits/compare.hpp"
+#include "model/device.hpp"
+
+namespace snp::model {
+
+/// Per-word-op instruction counts by class for a comparison kernel's inner
+/// loop (memory instructions are amortized separately by the timing model).
+struct InstrMix {
+  int logic = 0;  ///< AND / XOR / ANDN (+ standalone NOT when not fused)
+  int add = 0;    ///< accumulate
+  int popc = 0;
+
+  [[nodiscard]] int count(InstrClass c) const {
+    switch (c) {
+      case InstrClass::kLogic:
+        return logic;
+      case InstrClass::kAdd:
+        return add;
+      case InstrClass::kPopc:
+        return popc;
+      case InstrClass::kMem:
+        return 0;
+    }
+    return 0;
+  }
+};
+
+/// Instruction mix of the inner loop for `op`. When `pre_negated` is true,
+/// the AND-NOT kernel was lowered to a plain AND against a pre-negated
+/// database (the Eq. 3 simplification), so the mix equals the AND mix.
+[[nodiscard]] InstrMix kernel_mix(const GpuSpec& dev, bits::Comparison op,
+                                  bool pre_negated = false);
+
+struct ClusterRate {
+  double wordops_per_cycle = 0.0;  ///< per-cluster sustained rate
+  int bottleneck_pipe = -1;        ///< index into GpuSpec::pipes
+  /// Issue cycles each pipe needs per N_T word-ops (one thread group).
+  std::array<double, 8> cycles_per_group{};
+};
+
+/// Sustained word-ops/cycle of one compute cluster for a given mix,
+/// assuming perfectly pipelined functional units (enough resident groups).
+[[nodiscard]] ClusterRate cluster_rate(const GpuSpec& dev,
+                                       const InstrMix& mix);
+
+/// Device peak in word-ops/s for a kernel (all cores, all clusters, at the
+/// given active-core clock).
+[[nodiscard]] double peak_wordops_per_s(const GpuSpec& dev,
+                                        bits::Comparison op,
+                                        bool pre_negated = false,
+                                        int active_cores = -1);
+
+/// CPU peak in 32-bit-equivalent word-ops/s (the popcount-throughput bound
+/// of [11]; the CPU operates on 64-bit words).
+[[nodiscard]] double cpu_peak_wordops_per_s(const CpuSpec& cpu);
+
+/// Giga word-ops to giga SNP-cell-updates (bits) conversion.
+[[nodiscard]] constexpr double wordops_to_cups(double wordops) {
+  return wordops * 32.0;
+}
+
+/// Human-readable bottleneck description, e.g. "logic/add pipe (16 units)".
+[[nodiscard]] std::string describe_bottleneck(const GpuSpec& dev,
+                                              bits::Comparison op,
+                                              bool pre_negated = false);
+
+}  // namespace snp::model

@@ -1,0 +1,191 @@
+#include "multi/multi_gpu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "model/peak.hpp"
+
+namespace snp::multi {
+
+using bits::BitMatrix;
+using bits::Comparison;
+using bits::CountMatrix;
+
+MultiGpuContext::MultiGpuContext(const std::string& device_name, int count,
+                                 InterconnectSpec link)
+    : link_(link) {
+  if (count <= 0) {
+    throw std::invalid_argument("MultiGpuContext: count must be positive");
+  }
+  contexts_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    contexts_.push_back(Context::gpu(device_name));
+  }
+  init_weights();
+}
+
+MultiGpuContext::MultiGpuContext(
+    const std::vector<std::string>& device_names, InterconnectSpec link)
+    : link_(link) {
+  if (device_names.empty()) {
+    throw std::invalid_argument(
+        "MultiGpuContext: need at least one device");
+  }
+  contexts_.reserve(device_names.size());
+  for (const auto& name : device_names) {
+    contexts_.push_back(Context::gpu(name));
+  }
+  init_weights();
+}
+
+void MultiGpuContext::init_weights() {
+  weights_.resize(contexts_.size());
+  double total = 0.0;
+  for (std::size_t d = 0; d < contexts_.size(); ++d) {
+    weights_[d] = model::peak_wordops_per_s(contexts_[d].gpu_spec(),
+                                            bits::Comparison::kAnd);
+    total += weights_[d];
+  }
+  for (auto& w : weights_) {
+    w /= total;
+  }
+}
+
+const model::GpuSpec& MultiGpuContext::device_spec() const {
+  return contexts_.front().gpu_spec();
+}
+
+double MultiGpuContext::gather_seconds(std::size_t result_bytes) const {
+  if (contexts_.size() < 2) {
+    return 0.0;
+  }
+  // Ring all-gather onto device 0: (N-1)/N of the result crosses the
+  // interconnect once; per-hop latency for each of the N-1 steps.
+  const double frac = static_cast<double>(contexts_.size() - 1) /
+                      static_cast<double>(contexts_.size());
+  return static_cast<double>(result_bytes) * frac / (link_.gbps * 1e9) +
+         static_cast<double>(contexts_.size() - 1) * link_.latency_us *
+             1e-6;
+}
+
+namespace {
+
+struct Shard {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t device = 0;
+};
+
+/// Splits rows proportionally to the devices' throughput weights
+/// (uniform weights reduce to even sharding).
+std::vector<Shard> make_shards(std::size_t rows,
+                               const std::vector<double>& weights) {
+  std::vector<Shard> shards;
+  std::size_t at = 0;
+  double cumulative = 0.0;
+  for (std::size_t d = 0; d < weights.size() && at < rows; ++d) {
+    cumulative += weights[d];
+    const auto target = d + 1 == weights.size()
+                            ? rows
+                            : static_cast<std::size_t>(
+                                  cumulative * static_cast<double>(rows) +
+                                  0.5);
+    const std::size_t end = std::min(std::max(target, at), rows);
+    if (end > at) {
+      shards.push_back({at, end, d});
+      at = end;
+    }
+  }
+  if (at < rows && !shards.empty()) {
+    shards.back().end = rows;  // numerical-edge remainder
+  }
+  return shards;
+}
+
+}  // namespace
+
+MultiCompareResult MultiGpuContext::compare(const BitMatrix& a,
+                                            const BitMatrix& b,
+                                            Comparison op,
+                                            const MultiGpuOptions& options) {
+  if (a.bit_cols() != b.bit_cols()) {
+    throw std::invalid_argument(
+        "MultiGpuContext::compare: operands must share the K dimension");
+  }
+  const bool shard_b = b.rows() >= a.rows();
+  const std::size_t shard_rows = shard_b ? b.rows() : a.rows();
+  const auto shards = make_shards(shard_rows, weights_);
+
+  MultiCompareResult result;
+  result.timing.devices = static_cast<int>(shards.size());
+  if (options.per_device.functional) {
+    result.counts = CountMatrix(a.rows(), b.rows());
+  }
+
+  double worst = 0.0;
+  for (std::size_t d = 0; d < shards.size(); ++d) {
+    const Shard s = shards[d];
+    Context& ctx = contexts_[s.device];
+    const BitMatrix part = shard_b ? b.row_slice(s.begin, s.end)
+                                   : a.row_slice(s.begin, s.end);
+    const CompareResult r =
+        shard_b ? ctx.compare(a, part, op, options.per_device)
+                : ctx.compare(part, b, op, options.per_device);
+    result.timing.per_device_end_to_end_s.push_back(
+        r.timing.end_to_end_s);
+    if (r.timing.end_to_end_s > worst) {
+      worst = r.timing.end_to_end_s;
+      result.timing.slowest_device = r.timing;
+    }
+    if (options.per_device.functional) {
+      for (std::size_t i = 0; i < r.counts.rows(); ++i) {
+        for (std::size_t j = 0; j < r.counts.cols(); ++j) {
+          if (shard_b) {
+            result.counts.at(i, s.begin + j) = r.counts.at(i, j);
+          } else {
+            result.counts.at(s.begin + i, j) = r.counts.at(i, j);
+          }
+        }
+      }
+    }
+  }
+  result.timing.gather_s =
+      options.gather_on_device
+          ? gather_seconds(a.rows() * b.rows() * sizeof(std::uint32_t))
+          : 0.0;
+  result.timing.end_to_end_s = worst + result.timing.gather_s;
+  return result;
+}
+
+MultiGpuReport MultiGpuContext::estimate(std::size_t m, std::size_t n,
+                                         std::size_t k_bits, Comparison op,
+                                         const MultiGpuOptions& options)
+    const {
+  const bool shard_b = n >= m;
+  const std::size_t shard_rows = shard_b ? n : m;
+  const auto shards = make_shards(shard_rows, weights_);
+
+  MultiGpuReport rep;
+  rep.devices = static_cast<int>(shards.size());
+  double worst = 0.0;
+  for (std::size_t d = 0; d < shards.size(); ++d) {
+    const std::size_t len = shards[d].end - shards[d].begin;
+    const Context& ctx = contexts_[shards[d].device];
+    const TimingReport t =
+        shard_b
+            ? ctx.estimate(m, len, k_bits, op, options.per_device)
+            : ctx.estimate(len, n, k_bits, op, options.per_device);
+    rep.per_device_end_to_end_s.push_back(t.end_to_end_s);
+    if (t.end_to_end_s > worst) {
+      worst = t.end_to_end_s;
+      rep.slowest_device = t;
+    }
+  }
+  rep.gather_s = options.gather_on_device
+                     ? gather_seconds(m * n * sizeof(std::uint32_t))
+                     : 0.0;
+  rep.end_to_end_s = worst + rep.gather_s;
+  return rep;
+}
+
+}  // namespace snp::multi

@@ -1,0 +1,115 @@
+#include "sim/autotune.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace snp::sim {
+
+namespace {
+
+/// Factor pairs (gm, gn) with gm * gn == cores.
+std::vector<model::CoreGrid> grid_candidates(int cores, bool sweep) {
+  std::vector<model::CoreGrid> grids;
+  if (!sweep) {
+    grids.push_back({cores, 1});
+    return grids;
+  }
+  for (int gm = 1; gm <= cores; ++gm) {
+    if (cores % gm == 0) {
+      grids.push_back({gm, cores / gm});
+    }
+  }
+  return grids;
+}
+
+}  // namespace
+
+std::vector<TunedConfig> autotune(const model::GpuSpec& dev,
+                                  bits::Comparison op,
+                                  const KernelShape& shape,
+                                  model::WorkloadKind kind,
+                                  const AutotuneOptions& options) {
+  if (shape.m == 0 || shape.n == 0 || shape.k_words == 0) {
+    throw std::invalid_argument("autotune: degenerate shape");
+  }
+  std::vector<model::KernelConfig> candidates;
+  // The Table II preset is always in the race (when defined).
+  try {
+    candidates.push_back(model::paper_preset(dev, kind));
+  } catch (const std::invalid_argument&) {
+    // Custom device without a preset: search only.
+  }
+
+  const std::size_t k_c_max =
+      (dev.shared_bytes - dev.shared_reserved) / 4;
+  const auto grids = grid_candidates(dev.n_cores, options.sweep_grid);
+  for (const int m_c : options.m_c_candidates) {
+    if (m_c <= 0 || m_c % dev.n_vec != 0) {
+      continue;
+    }
+    for (const double frac : options.k_c_fractions) {
+      const int k_c = static_cast<int>(
+          static_cast<double>(k_c_max / static_cast<std::size_t>(m_c)) *
+          frac);
+      if (k_c <= 0) {
+        continue;
+      }
+      const int step = options.n_r_step > 0
+                           ? options.n_r_step
+                           : std::max(model::n_r_lower_bound(dev,
+                                                             dev.n_vec,
+                                                             m_c),
+                                      1);
+      const int n_r_max = model::n_r_upper_bound(dev, dev.n_vec, m_c);
+      for (int n_r = step; n_r <= n_r_max; n_r += step) {
+        for (const auto& grid : grids) {
+          model::KernelConfig cfg;
+          cfg.m_r = dev.n_vec;
+          cfg.m_c = m_c;
+          cfg.k_c = k_c;
+          cfg.n_r = n_r;
+          cfg.grid = grid;
+          candidates.push_back(cfg);
+        }
+      }
+    }
+  }
+
+  std::vector<TunedConfig> ranked;
+  std::set<std::string> seen;
+  for (const auto& cfg : candidates) {
+    if (!model::validate(cfg, dev).ok) {
+      continue;
+    }
+    if (!seen.insert(cfg.to_string()).second) {
+      continue;
+    }
+    const auto t = estimate_kernel(dev, cfg, op, shape, cfg.pre_negated);
+    ranked.push_back({cfg, t.seconds, t.gops});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const TunedConfig& a, const TunedConfig& b) {
+              return a.seconds < b.seconds;
+            });
+  if (ranked.size() > options.top_k) {
+    ranked.resize(options.top_k);
+  }
+  if (ranked.empty()) {
+    throw std::runtime_error(
+        "autotune: no feasible configuration found for " + dev.name);
+  }
+  return ranked;
+}
+
+double tuning_headroom(const model::GpuSpec& dev, bits::Comparison op,
+                       const KernelShape& shape,
+                       model::WorkloadKind kind) {
+  const auto preset = model::paper_preset(dev, kind);
+  const double preset_s =
+      estimate_kernel(dev, preset, op, shape, preset.pre_negated).seconds;
+  const auto best = autotune(dev, op, shape, kind);
+  return preset_s / best.front().seconds;
+}
+
+}  // namespace snp::sim

@@ -1,0 +1,56 @@
+// Configuration autotuning over the performance model.
+//
+// The paper derives m_c, m_r, k_c, n_r analytically (Eqs. 4-7) and ships
+// the Table II presets. A natural question the paper leaves open is how
+// much headroom an exhaustive search would find. This module enumerates
+// the feasible configuration space (every combination that passes
+// model::validate, i.e. fits shared memory, registers, occupancy and the
+// Eq. 7 bound) and ranks it with the same timing model the figures use —
+// so "preset vs tuned" is an apples-to-apples statement within the model.
+#pragma once
+
+#include <vector>
+
+#include "bits/compare.hpp"
+#include "model/config.hpp"
+#include "model/device.hpp"
+#include "sim/timing.hpp"
+
+namespace snp::sim {
+
+struct TunedConfig {
+  model::KernelConfig config;
+  double seconds = 0.0;
+  double gops = 0.0;
+};
+
+struct AutotuneOptions {
+  /// Candidate m_c values (multiples of m_r, bank-aligned by default).
+  std::vector<int> m_c_candidates = {8, 16, 32, 64};
+  /// n_r is swept in multiples of this granularity up to the register
+  /// bound; 0 = use each candidate m_c's Eq. 7 step.
+  int n_r_step = 0;
+  /// Also sweep k_c at fractions of the shared-memory maximum.
+  std::vector<double> k_c_fractions = {0.25, 0.5, 1.0};
+  /// Try every factor pair of the device's core count as the grid.
+  bool sweep_grid = true;
+  /// Keep the `top_k` best configurations.
+  std::size_t top_k = 5;
+};
+
+/// Exhaustive feasible-space search for the best configuration of `op` on
+/// `dev` for `shape`, ranked by modeled kernel time (ascending). The
+/// result is never empty: the paper preset (when one exists for the
+/// device) is always included as a candidate.
+[[nodiscard]] std::vector<TunedConfig> autotune(
+    const model::GpuSpec& dev, bits::Comparison op,
+    const KernelShape& shape, model::WorkloadKind kind, const AutotuneOptions& options = {});
+
+/// Convenience: modeled speedup of the best tuned configuration over the
+/// Table II preset for the same shape (1.0 = preset is optimal).
+[[nodiscard]] double tuning_headroom(const model::GpuSpec& dev,
+                                     bits::Comparison op,
+                                     const KernelShape& shape,
+                                     model::WorkloadKind kind);
+
+}  // namespace snp::sim

@@ -1,0 +1,273 @@
+#include "sim/device_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+namespace snp::sim {
+
+namespace {
+
+enum class Phase : std::uint8_t { kPrologue, kBody, kOverhead, kEpilogue,
+                                  kDone };
+
+struct GroupState {
+  Phase phase = Phase::kPrologue;
+  std::size_t pc = 0;
+  std::uint64_t iter = 0;
+  int overhead_left = 0;
+  std::vector<std::uint64_t> reg_ready;
+  std::uint64_t counter_ready = 0;
+};
+
+const Instr* current_instr(const Program& prog, const GroupState& g) {
+  switch (g.phase) {
+    case Phase::kPrologue:
+      return &prog.prologue[g.pc];
+    case Phase::kBody:
+      return &prog.body[g.pc];
+    case Phase::kEpilogue:
+      return &prog.epilogue[g.pc];
+    case Phase::kOverhead:
+    case Phase::kDone:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+void advance(const Program& prog, GroupState& g, int overhead_instrs) {
+  switch (g.phase) {
+    case Phase::kPrologue:
+      if (++g.pc >= prog.prologue.size()) {
+        g.pc = 0;
+        g.phase = prog.body.empty() || prog.iterations == 0
+                      ? Phase::kEpilogue
+                      : Phase::kBody;
+        if (g.phase == Phase::kEpilogue && prog.epilogue.empty()) {
+          g.phase = Phase::kDone;
+        }
+      }
+      break;
+    case Phase::kBody:
+      if (++g.pc >= prog.body.size()) {
+        g.pc = 0;
+        ++g.iter;
+        if (overhead_instrs > 0) {
+          g.phase = Phase::kOverhead;
+          g.overhead_left = overhead_instrs;
+        } else if (g.iter >= prog.iterations) {
+          g.phase = prog.epilogue.empty() ? Phase::kDone : Phase::kEpilogue;
+        }
+      }
+      break;
+    case Phase::kOverhead:
+      if (--g.overhead_left <= 0) {
+        g.phase = g.iter >= prog.iterations
+                      ? (prog.epilogue.empty() ? Phase::kDone
+                                               : Phase::kEpilogue)
+                      : Phase::kBody;
+      }
+      break;
+    case Phase::kEpilogue:
+      if (++g.pc >= prog.epilogue.size()) {
+        g.phase = Phase::kDone;
+      }
+      break;
+    case Phase::kDone:
+      break;
+  }
+}
+
+/// One compute core's in-flight state for the lockstep loop.
+struct CoreState {
+  std::vector<GroupState> groups;
+  std::vector<std::array<std::uint64_t, 8>> pipe_free;  // per cluster
+  std::vector<std::size_t> rr;
+  std::size_t done_count = 0;
+  std::uint64_t finished_at = 0;
+};
+
+}  // namespace
+
+DeviceSim::DeviceSim(model::GpuSpec dev, DramBusSpec bus, SimOptions opts)
+    : dev_(std::move(dev)), bus_(bus), opts_(opts) {
+  if (!dev_.valid()) {
+    throw std::invalid_argument("DeviceSim: invalid device spec");
+  }
+  if (bus_.bytes_per_cycle <= 0.0 || bus_.burst_cycles <= 0.0) {
+    throw std::invalid_argument("DeviceSim: invalid bus spec");
+  }
+}
+
+DeviceStats DeviceSim::run(const Program& program, int groups_per_core,
+                           int n_cores, double bytes_per_mem_op) const {
+  if (groups_per_core <= 0 || n_cores <= 0 || bytes_per_mem_op < 0.0) {
+    throw std::invalid_argument("DeviceSim::run: bad arguments");
+  }
+  const int regs = program.max_register() + 1;
+  const auto n_cl = static_cast<std::size_t>(dev_.n_clusters);
+
+  std::vector<CoreState> cores(static_cast<std::size_t>(n_cores));
+  for (auto& core : cores) {
+    core.groups.assign(static_cast<std::size_t>(groups_per_core),
+                       GroupState{});
+    for (auto& g : core.groups) {
+      g.reg_ready.assign(static_cast<std::size_t>(std::max(regs, 1)), 0);
+      if (program.prologue.empty()) {
+        g.phase = program.body.empty() ? Phase::kEpilogue : Phase::kBody;
+        if (g.phase == Phase::kEpilogue && program.epilogue.empty()) {
+          g.phase = Phase::kDone;
+        }
+      }
+    }
+    core.pipe_free.assign(n_cl, {});
+    core.rr.assign(n_cl, 0);
+  }
+
+  DeviceStats stats;
+  stats.core_cycles.assign(static_cast<std::size_t>(n_cores), 0);
+
+  double bus_tokens = bus_.bytes_per_cycle * bus_.burst_cycles;
+  const double bus_cap = bus_tokens;
+  std::size_t cores_done = 0;
+  std::uint64_t cycle = 0;
+  // Hard stop: generous bound so a modeling bug cannot hang tests.
+  const std::uint64_t limit =
+      (program.dynamic_instructions() + 64) *
+          static_cast<std::uint64_t>(groups_per_core) * 64u +
+      1'000'000u;
+
+  auto issue_cycles_of = [&](const Instr& in) -> std::uint64_t {
+    const auto& pipe = dev_.pipe(instr_class(in.op));
+    return static_cast<std::uint64_t>(
+        (dev_.n_t + pipe.units_per_cluster - 1) / pipe.units_per_cluster);
+  };
+  auto latency_of = [&](const Instr& in) -> std::uint64_t {
+    if (in.op == Opcode::kLdg) {
+      return static_cast<std::uint64_t>(opts_.global_latency_cycles);
+    }
+    return static_cast<std::uint64_t>(
+        dev_.pipe(instr_class(in.op)).latency_cycles);
+  };
+  auto is_mem = [](Opcode op) {
+    return op == Opcode::kLdg || op == Opcode::kStg;
+  };
+
+  while (cores_done < cores.size() && cycle < limit) {
+    bus_tokens = std::min(bus_cap, bus_tokens + bus_.bytes_per_cycle);
+    // Rotate the core that gets first claim on the bus each cycle so no
+    // core is structurally favored.
+    const std::size_t first =
+        cores.size() > 0 ? cycle % cores.size() : 0;
+    for (std::size_t ci = 0; ci < cores.size(); ++ci) {
+      CoreState& core = cores[(first + ci) % cores.size()];
+      if (core.done_count >= core.groups.size()) {
+        continue;
+      }
+      for (std::size_t cl = 0; cl < n_cl; ++cl) {
+        // Round-robin scan for one issueable instruction on this cluster.
+        std::size_t resident = 0;
+        for (std::size_t probe = 0; probe < core.groups.size(); ++probe) {
+          const std::size_t gi =
+              (core.rr[cl] + probe) % core.groups.size();
+          if (gi % n_cl != cl) {
+            continue;  // group not resident on this cluster
+          }
+          ++resident;
+          GroupState& g = core.groups[gi];
+          if (g.phase == Phase::kDone) {
+            continue;
+          }
+          if (g.phase == Phase::kOverhead) {
+            const auto pipe_idx = static_cast<std::size_t>(
+                dev_.pipe_index(model::InstrClass::kAdd));
+            const auto& pipe = dev_.pipe(model::InstrClass::kAdd);
+            const auto occ = static_cast<std::uint64_t>(
+                (dev_.n_t + pipe.units_per_cluster - 1) /
+                pipe.units_per_cluster);
+            if (std::max(g.counter_ready, core.pipe_free[cl][pipe_idx]) <=
+                cycle) {
+              core.pipe_free[cl][pipe_idx] = cycle + occ;
+              g.counter_ready =
+                  cycle + std::max<std::uint64_t>(
+                              occ, static_cast<std::uint64_t>(
+                                       pipe.latency_cycles));
+              ++stats.instructions;
+              advance(program, g, opts_.loop_overhead_instrs);
+              if (g.phase == Phase::kDone) {
+                ++core.done_count;
+              }
+              core.rr[cl] = (core.rr[cl] + probe + 1) % core.groups.size();
+              break;
+            }
+            continue;
+          }
+          const Instr* in = current_instr(program, g);
+          if (in == nullptr) {
+            advance(program, g, opts_.loop_overhead_instrs);
+            if (g.phase == Phase::kDone) {
+              ++core.done_count;
+            }
+            continue;
+          }
+          std::uint64_t ready = 0;
+          if (in->src1 != kNoReg) {
+            ready = std::max(
+                ready, g.reg_ready[static_cast<std::size_t>(in->src1)]);
+          }
+          if (in->src2 != kNoReg) {
+            ready = std::max(
+                ready, g.reg_ready[static_cast<std::size_t>(in->src2)]);
+          }
+          const auto pipe_idx = static_cast<std::size_t>(
+              dev_.pipe_index(instr_class(in->op)));
+          ready = std::max(ready, core.pipe_free[cl][pipe_idx]);
+          if (ready > cycle) {
+            continue;
+          }
+          // Global memory operations must win bus tokens to issue.
+          if (is_mem(in->op) && bytes_per_mem_op > 0.0) {
+            if (bus_tokens < bytes_per_mem_op) {
+              continue;  // bus saturated; retry next cycle
+            }
+            bus_tokens -= bytes_per_mem_op;
+            stats.dram_bytes_served += bytes_per_mem_op;
+          }
+          const std::uint64_t occ = issue_cycles_of(*in);
+          core.pipe_free[cl][pipe_idx] = cycle + occ;
+          if (in->dst != kNoReg) {
+            g.reg_ready[static_cast<std::size_t>(in->dst)] =
+                cycle + std::max(occ, latency_of(*in));
+          }
+          ++stats.instructions;
+          advance(program, g, opts_.loop_overhead_instrs);
+          if (g.phase == Phase::kDone) {
+            ++core.done_count;
+          }
+          core.rr[cl] = (core.rr[cl] + probe + 1) % core.groups.size();
+          break;
+        }
+        (void)resident;
+      }
+      if (core.done_count >= core.groups.size() && core.finished_at == 0) {
+        core.finished_at = cycle + 1;
+        ++cores_done;
+      }
+    }
+    ++cycle;
+  }
+
+  stats.cycles = cycle;
+  for (std::size_t ci = 0; ci < cores.size(); ++ci) {
+    stats.core_cycles[ci] =
+        cores[ci].finished_at != 0 ? cores[ci].finished_at : cycle;
+  }
+  stats.bus_utilization =
+      cycle > 0 ? stats.dram_bytes_served /
+                      (bus_.bytes_per_cycle * static_cast<double>(cycle))
+                : 0.0;
+  return stats;
+}
+
+}  // namespace snp::sim

@@ -1,0 +1,63 @@
+// Device-level cycle simulation: many cores sharing one DRAM bus.
+//
+// The tile-level timing model prices multi-core memory contention with a
+// calibrated soft-min curve (sim/memory.hpp). This simulator provides the
+// mechanistic check: N cores run the same thread-group workload in
+// lockstep, and every global load must win tokens from a shared
+// token-bucket bus before it can issue. When aggregate demand is far
+// below the bus rate, cores run as if alone; past saturation, per-core
+// throughput falls toward bandwidth/share — the same asymptote the
+// soft-min encodes. tests/test_device_sim.cpp pins the agreement.
+//
+// Scope: a deliberately small lockstep loop for workloads of
+// microbenchmark size (the big kernels keep using the analytic model);
+// per-cluster scheduling matches CoreSim (one issue per cluster per
+// cycle, per-pipe occupancy, register scoreboard), with bank conflicts
+// omitted (the probe programs here use global memory).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/device.hpp"
+#include "sim/isa.hpp"
+#include "sim/pipeline.hpp"
+
+namespace snp::sim {
+
+struct DramBusSpec {
+  /// Bus service rate in bytes per core-clock cycle.
+  double bytes_per_cycle = 64.0;
+  /// Token-bucket burst capacity, in cycles' worth of service.
+  double burst_cycles = 16.0;
+};
+
+struct DeviceStats {
+  std::uint64_t cycles = 0;           ///< makespan (all cores done)
+  std::vector<std::uint64_t> core_cycles;  ///< per-core finish time
+  std::uint64_t instructions = 0;
+  double dram_bytes_served = 0.0;
+  /// Fraction of the bus's total capacity actually used.
+  double bus_utilization = 0.0;
+};
+
+class DeviceSim {
+ public:
+  DeviceSim(model::GpuSpec dev, DramBusSpec bus, SimOptions opts = {});
+
+  /// Runs `program` on `n_cores` cores, each with `groups_per_core`
+  /// resident thread groups, in lockstep on the shared bus. Every LDG/STG
+  /// moves `bytes_per_mem_op` across the bus.
+  [[nodiscard]] DeviceStats run(const Program& program, int groups_per_core,
+                                int n_cores,
+                                double bytes_per_mem_op) const;
+
+  [[nodiscard]] const model::GpuSpec& device() const { return dev_; }
+
+ private:
+  model::GpuSpec dev_;
+  DramBusSpec bus_;
+  SimOptions opts_;
+};
+
+}  // namespace snp::sim

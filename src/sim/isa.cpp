@@ -1,0 +1,126 @@
+#include "sim/isa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snp::sim {
+
+namespace {
+
+int max_reg_of(const std::vector<Instr>& instrs, int acc) {
+  for (const auto& i : instrs) {
+    acc = std::max({acc, i.dst, i.src1, i.src2});
+  }
+  return acc;
+}
+
+}  // namespace
+
+int Program::max_register() const {
+  int acc = -1;
+  acc = max_reg_of(prologue, acc);
+  acc = max_reg_of(body, acc);
+  acc = max_reg_of(epilogue, acc);
+  return acc;
+}
+
+Program dependent_chain(Opcode op, int chain_len, std::uint64_t iterations) {
+  if (chain_len <= 0) {
+    throw std::invalid_argument("dependent_chain: chain_len must be > 0");
+  }
+  Program p;
+  // temp = Array[thread_index];
+  p.prologue.push_back({Opcode::kLdg, 0, kNoReg, kNoReg, 0});
+  const bool binary = op != Opcode::kPopc && op != Opcode::kNot &&
+                      op != Opcode::kMov;
+  if (binary) {
+    p.prologue.push_back({Opcode::kLdg, 1, kNoReg, kNoReg, 0});
+  }
+  for (int i = 0; i < chain_len; ++i) {
+    // temp = op(temp [, other]);  — each reads the previous result.
+    p.body.push_back({op, 0, 0, binary ? 1 : kNoReg, 0});
+  }
+  p.iterations = iterations;
+  // Array[thread_index] = temp;  (defeats dead-code elimination)
+  p.epilogue.push_back({Opcode::kStg, kNoReg, 0, kNoReg, 0});
+  return p;
+}
+
+Program independent_streams(Opcode op, int streams, int per_stream,
+                            std::uint64_t iterations) {
+  if (streams <= 0 || per_stream <= 0) {
+    throw std::invalid_argument(
+        "independent_streams: streams and per_stream must be > 0");
+  }
+  Program p;
+  const bool binary = op != Opcode::kPopc && op != Opcode::kNot &&
+                      op != Opcode::kMov;
+  const int shared_src = streams;  // one extra register as the second source
+  for (int s = 0; s < streams; ++s) {
+    p.prologue.push_back({Opcode::kLdg, s, kNoReg, kNoReg, 0});
+  }
+  if (binary) {
+    p.prologue.push_back({Opcode::kLdg, shared_src, kNoReg, kNoReg, 0});
+  }
+  for (int i = 0; i < per_stream; ++i) {
+    for (int s = 0; s < streams; ++s) {
+      p.body.push_back({op, s, s, binary ? shared_src : kNoReg, 0});
+    }
+  }
+  p.iterations = iterations;
+  for (int s = 0; s < streams; ++s) {
+    p.epilogue.push_back({Opcode::kStg, kNoReg, s, kNoReg, 0});
+  }
+  return p;
+}
+
+Program interleaved_pair(Opcode a, Opcode b, int pairs,
+                         std::uint64_t iterations) {
+  if (pairs <= 0) {
+    throw std::invalid_argument("interleaved_pair: pairs must be > 0");
+  }
+  Program p;
+  // Four independent accumulators per opcode so neither chain's latency
+  // hides the other's throughput.
+  constexpr int kStreams = 4;
+  const int base_a = 0;
+  const int base_b = kStreams;
+  const int src = 2 * kStreams;
+  for (int r = 0; r < src; ++r) {
+    p.prologue.push_back({Opcode::kLdg, r, kNoReg, kNoReg, 0});
+  }
+  p.prologue.push_back({Opcode::kLdg, src, kNoReg, kNoReg, 0});
+  auto needs_src2 = [](Opcode op) {
+    return op != Opcode::kPopc && op != Opcode::kNot && op != Opcode::kMov;
+  };
+  for (int i = 0; i < pairs; ++i) {
+    const int sa = base_a + i % kStreams;
+    const int sb = base_b + i % kStreams;
+    p.body.push_back({a, sa, sa, needs_src2(a) ? src : kNoReg, 0});
+    p.body.push_back({b, sb, sb, needs_src2(b) ? src : kNoReg, 0});
+  }
+  p.iterations = iterations;
+  for (int r = 0; r < src; ++r) {
+    p.epilogue.push_back({Opcode::kStg, kNoReg, r, kNoReg, 0});
+  }
+  return p;
+}
+
+Program strided_lds(int stride_words, int loads, std::uint64_t iterations) {
+  if (loads <= 0 || stride_words < 0) {
+    throw std::invalid_argument("strided_lds: bad arguments");
+  }
+  Program p;
+  constexpr int kStreams = 4;
+  for (int i = 0; i < loads; ++i) {
+    p.body.push_back(
+        {Opcode::kLds, i % kStreams, kNoReg, kNoReg, stride_words});
+  }
+  p.iterations = iterations;
+  for (int r = 0; r < kStreams && r < loads; ++r) {
+    p.epilogue.push_back({Opcode::kStg, kNoReg, r, kNoReg, 0});
+  }
+  return p;
+}
+
+}  // namespace snp::sim

@@ -1,0 +1,131 @@
+// Mini instruction IR for the model GPU.
+//
+// Rich enough to express the paper's microbenchmarks (dependent chains,
+// throughput sweeps, pipe-sharing mixes, Section V-C/D) and the inner loop
+// of the SNP-comparison kernel; deliberately nothing more. Programs are a
+// prologue, a counted loop body, and an epilogue — mirroring the paper's
+// microbenchmark skeleton ("a loop can be placed around the dependent
+// chain...").
+//
+// The cycle simulator uses programs for *timing*; functional results of the
+// SNP kernels are produced by the kern/ module's direct execution, so IR
+// instructions carry only what timing needs (register dependences, target
+// pipe, shared-memory access stride for bank-conflict modeling).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "model/device.hpp"
+
+namespace snp::sim {
+
+enum class Opcode : std::uint8_t {
+  kAnd,   ///< dst = src1 & src2           (logic pipe)
+  kXor,   ///< dst = src1 ^ src2           (logic pipe)
+  kAndn,  ///< dst = src1 & ~src2          (logic pipe; fused where supported)
+  kNot,   ///< dst = ~src1                 (logic pipe)
+  kAdd,   ///< dst = src1 + src2           (add pipe/class)
+  kPopc,  ///< dst = popcount(src1)        (popcount pipe)
+  kMov,   ///< dst = src1                  (logic pipe)
+  kLds,   ///< dst = shared[...]; imm = per-lane stride in words (mem pipe)
+  kLdg,   ///< dst = global[...]           (mem pipe, long latency)
+  kStg,   ///< global[...] = src1          (mem pipe)
+};
+
+[[nodiscard]] constexpr model::InstrClass instr_class(Opcode op) {
+  switch (op) {
+    case Opcode::kAnd:
+    case Opcode::kXor:
+    case Opcode::kAndn:
+    case Opcode::kNot:
+    case Opcode::kMov:
+      return model::InstrClass::kLogic;
+    case Opcode::kAdd:
+      return model::InstrClass::kAdd;
+    case Opcode::kPopc:
+      return model::InstrClass::kPopc;
+    case Opcode::kLds:
+    case Opcode::kLdg:
+    case Opcode::kStg:
+      return model::InstrClass::kMem;
+  }
+  return model::InstrClass::kLogic;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kAnd:
+      return "AND";
+    case Opcode::kXor:
+      return "XOR";
+    case Opcode::kAndn:
+      return "ANDN";
+    case Opcode::kNot:
+      return "NOT";
+    case Opcode::kAdd:
+      return "ADD";
+    case Opcode::kPopc:
+      return "POPC";
+    case Opcode::kMov:
+      return "MOV";
+    case Opcode::kLds:
+      return "LDS";
+    case Opcode::kLdg:
+      return "LDG";
+    case Opcode::kStg:
+      return "STG";
+  }
+  return "?";
+}
+
+/// Register operands are per-thread virtual registers. kNoReg marks an
+/// unused source.
+inline constexpr int kNoReg = -1;
+
+struct Instr {
+  Opcode op;
+  int dst = kNoReg;
+  int src1 = kNoReg;
+  int src2 = kNoReg;
+  /// kLds: per-lane address stride in 32-bit words (bank-conflict model).
+  int imm = 0;
+};
+
+struct Program {
+  std::vector<Instr> prologue;
+  std::vector<Instr> body;
+  std::uint64_t iterations = 1;
+  std::vector<Instr> epilogue;
+
+  [[nodiscard]] std::uint64_t dynamic_instructions() const {
+    return prologue.size() + body.size() * iterations + epilogue.size();
+  }
+  [[nodiscard]] int max_register() const;
+};
+
+/// Builders for the paper's microbenchmark program shapes.
+
+/// Section V-C: a chain of `chain_len` dependent `op` instructions per loop
+/// iteration ("temp = popcount(temp); temp = popcount(temp); ...").
+[[nodiscard]] Program dependent_chain(Opcode op, int chain_len,
+                                      std::uint64_t iterations);
+
+/// Independent streams of `op` (one accumulator per stream), enough ILP to
+/// saturate the pipe; used for throughput measurement.
+[[nodiscard]] Program independent_streams(Opcode op, int streams,
+                                          int per_stream,
+                                          std::uint64_t iterations);
+
+/// Section V-D pipe-sharing probe: interleaves equal counts of `a` and `b`
+/// on independent accumulators ("simultaneously performing population count
+/// with an equal number of arithmetic operations").
+[[nodiscard]] Program interleaved_pair(Opcode a, Opcode b, int pairs,
+                                       std::uint64_t iterations);
+
+/// Shared-memory load loop with a per-lane stride (bank-conflict probe).
+[[nodiscard]] Program strided_lds(int stride_words, int loads,
+                                  std::uint64_t iterations);
+
+}  // namespace snp::sim

@@ -1,0 +1,31 @@
+#include "sim/memory.hpp"
+
+#include <cmath>
+
+namespace snp::sim {
+
+double contention_efficiency(const model::GpuSpec& dev, int active_cores,
+                             double per_core_gbps) {
+  if (active_cores <= 0 || per_core_gbps <= 0.0 ||
+      dev.dram_gbps_effective <= 0.0) {
+    return 1.0;
+  }
+  const double demand = active_cores * per_core_gbps;
+  const double ratio = demand / dev.dram_gbps_effective;
+  const double p = dev.contention_p;
+  return std::pow(1.0 + std::pow(ratio, p), -1.0 / p);
+}
+
+double pcie_seconds(const model::GpuSpec& dev, std::size_t bytes) {
+  return static_cast<double>(bytes) / (dev.pcie_gbps * 1e9);
+}
+
+double pcie_latency_seconds() { return 10e-6; }
+
+double init_seconds(const model::GpuSpec& dev) { return dev.init_ms * 1e-3; }
+
+double launch_seconds(const model::GpuSpec& dev) {
+  return dev.launch_overhead_us * 1e-6;
+}
+
+}  // namespace snp::sim

@@ -1,0 +1,42 @@
+// Memory-system models: DRAM streaming with multi-core contention, and the
+// host<->device transfer engine.
+//
+// The paper's analytical model stops at the functional units; it explicitly
+// flags un-modeled "memory system behaviors" as the suspected cause of the
+// Vega 64 scaling anomaly (Section VI-C). This module supplies that missing
+// piece in the simplest form that reproduces the data: each active core
+// streams bytes at its compute-determined demand rate, and the device
+// degrades per-core efficiency with a soft-min curve
+//   eff(n) = (1 + (n * d / B_eff)^p)^(-1/p)
+// where d is per-core demand, B_eff the device's achievable bandwidth and p
+// the knee sharpness. One mechanism yields Fig. 5's %-of-peak, Fig. 7's
+// scaling knees, and the small-K droop.
+#pragma once
+
+#include <cstddef>
+
+#include "model/device.hpp"
+
+namespace snp::sim {
+
+/// Per-core efficiency factor in (0, 1] when `active_cores` cores each
+/// demand `per_core_gbps` of DRAM streaming bandwidth.
+[[nodiscard]] double contention_efficiency(const model::GpuSpec& dev,
+                                           int active_cores,
+                                           double per_core_gbps);
+
+/// Seconds to move `bytes` across PCIe (one direction, bulk transfer).
+[[nodiscard]] double pcie_seconds(const model::GpuSpec& dev,
+                                  std::size_t bytes);
+
+/// Fixed per-transfer software latency (enqueue, ring doorbell), seconds.
+[[nodiscard]] double pcie_latency_seconds();
+
+/// Seconds the one-time OpenCL platform/context/queue initialization costs
+/// ("on the order of hundreds of milliseconds", Section VI-B).
+[[nodiscard]] double init_seconds(const model::GpuSpec& dev);
+
+/// Kernel-launch overhead in seconds (enqueue to start).
+[[nodiscard]] double launch_seconds(const model::GpuSpec& dev);
+
+}  // namespace snp::sim

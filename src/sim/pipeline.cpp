@@ -1,0 +1,269 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace snp::sim {
+
+int bank_conflict_factor(const model::GpuSpec& dev, int stride_words) {
+  if (stride_words == 0) {
+    return 1;  // broadcast
+  }
+  std::vector<int> hits(static_cast<std::size_t>(dev.banks), 0);
+  for (int lane = 0; lane < dev.n_t; ++lane) {
+    const auto bank = static_cast<std::size_t>(
+        (static_cast<long long>(lane) * stride_words) % dev.banks);
+    ++hits[bank];
+  }
+  const int worst = *std::max_element(hits.begin(), hits.end());
+  const int unavoidable = (dev.n_t + dev.banks - 1) / dev.banks;
+  return std::max(1, worst / std::max(1, unavoidable));
+}
+
+CoreSim::CoreSim(model::GpuSpec dev, SimOptions opts)
+    : dev_(std::move(dev)), opts_(opts) {
+  if (!dev_.valid()) {
+    throw std::invalid_argument("CoreSim: invalid device spec");
+  }
+}
+
+namespace {
+
+enum class Phase : std::uint8_t { kPrologue, kBody, kOverhead, kEpilogue,
+                                  kDone };
+
+struct GroupState {
+  Phase phase = Phase::kPrologue;
+  std::size_t pc = 0;
+  std::uint64_t iter = 0;
+  int overhead_left = 0;
+  std::vector<std::uint64_t> reg_ready;  // cycle at which each reg is ready
+  std::uint64_t counter_ready = 0;       // synthetic loop-counter chain
+};
+
+const Instr* current_instr(const Program& prog, const GroupState& g) {
+  switch (g.phase) {
+    case Phase::kPrologue:
+      return &prog.prologue[g.pc];
+    case Phase::kBody:
+      return &prog.body[g.pc];
+    case Phase::kEpilogue:
+      return &prog.epilogue[g.pc];
+    case Phase::kOverhead:
+    case Phase::kDone:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+void advance(const Program& prog, GroupState& g, int overhead_instrs) {
+  switch (g.phase) {
+    case Phase::kPrologue:
+      if (++g.pc >= prog.prologue.size()) {
+        g.pc = 0;
+        g.phase = prog.body.empty() || prog.iterations == 0
+                      ? Phase::kEpilogue
+                      : Phase::kBody;
+        if (g.phase == Phase::kEpilogue && prog.epilogue.empty()) {
+          g.phase = Phase::kDone;
+        }
+      }
+      break;
+    case Phase::kBody:
+      if (++g.pc >= prog.body.size()) {
+        g.pc = 0;
+        ++g.iter;
+        if (overhead_instrs > 0) {
+          g.phase = Phase::kOverhead;
+          g.overhead_left = overhead_instrs;
+        } else if (g.iter >= prog.iterations) {
+          g.phase = prog.epilogue.empty() ? Phase::kDone : Phase::kEpilogue;
+        }
+      }
+      break;
+    case Phase::kOverhead:
+      if (--g.overhead_left <= 0) {
+        if (g.iter >= prog.iterations) {
+          g.phase = prog.epilogue.empty() ? Phase::kDone : Phase::kEpilogue;
+        } else {
+          g.phase = Phase::kBody;
+        }
+      }
+      break;
+    case Phase::kEpilogue:
+      if (++g.pc >= prog.epilogue.size()) {
+        g.phase = Phase::kDone;
+      }
+      break;
+    case Phase::kDone:
+      break;
+  }
+}
+
+}  // namespace
+
+CoreStats CoreSim::run(const Program& program, int n_groups) const {
+  if (n_groups <= 0) {
+    throw std::invalid_argument("CoreSim::run: n_groups must be > 0");
+  }
+  const int regs = program.max_register() + 1;
+  const std::size_t n_pipes = dev_.pipes.size();
+
+  std::vector<GroupState> groups(static_cast<std::size_t>(n_groups));
+  for (auto& g : groups) {
+    g.reg_ready.assign(static_cast<std::size_t>(std::max(regs, 1)), 0);
+    if (program.prologue.empty()) {
+      g.phase = program.body.empty() ? Phase::kEpilogue : Phase::kBody;
+      if (g.phase == Phase::kEpilogue && program.epilogue.empty()) {
+        g.phase = Phase::kDone;
+      }
+    }
+  }
+
+  // Per-cluster pipe occupancy and round-robin pointers.
+  const auto n_cl = static_cast<std::size_t>(dev_.n_clusters);
+  std::vector<std::array<std::uint64_t, 8>> pipe_free(
+      n_cl, std::array<std::uint64_t, 8>{});
+  std::vector<std::size_t> rr(n_cl, 0);
+
+  // Groups resident on each cluster (round-robin assignment).
+  std::vector<std::vector<std::size_t>> resident(n_cl);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    resident[g % n_cl].push_back(g);
+  }
+
+  CoreStats stats;
+  std::uint64_t cycle = 0;
+  std::uint64_t done_count = 0;
+  const std::uint64_t total = groups.size();
+
+  auto issue_cycles_of = [&](const Instr& in) -> std::uint64_t {
+    const auto cls = instr_class(in.op);
+    const auto& pipe = dev_.pipe(cls);
+    auto occ = static_cast<std::uint64_t>(
+        (dev_.n_t + pipe.units_per_cluster - 1) / pipe.units_per_cluster);
+    if (in.op == Opcode::kLds && opts_.model_bank_conflicts) {
+      occ *= static_cast<std::uint64_t>(bank_conflict_factor(dev_, in.imm));
+    }
+    return occ;
+  };
+  auto latency_of = [&](const Instr& in) -> std::uint64_t {
+    if (in.op == Opcode::kLdg) {
+      return static_cast<std::uint64_t>(opts_.global_latency_cycles);
+    }
+    return static_cast<std::uint64_t>(
+        dev_.pipe(instr_class(in.op)).latency_cycles);
+  };
+
+  while (done_count < total) {
+    bool issued_any = false;
+    std::uint64_t next_event = std::numeric_limits<std::uint64_t>::max();
+
+    for (std::size_t cl = 0; cl < n_cl; ++cl) {
+      const auto& res = resident[cl];
+      if (res.empty()) {
+        continue;
+      }
+      // Round-robin scan for one issueable group-instruction.
+      for (std::size_t probe = 0; probe < res.size(); ++probe) {
+        const std::size_t gi = res[(rr[cl] + probe) % res.size()];
+        GroupState& g = groups[gi];
+        if (g.phase == Phase::kDone) {
+          continue;
+        }
+        if (g.phase == Phase::kOverhead) {
+          // Synthetic loop counter: dependent kAdd chain on the add pipe.
+          const auto pipe_idx = static_cast<std::size_t>(
+              dev_.pipe_index(model::InstrClass::kAdd));
+          const auto& pipe = dev_.pipe(model::InstrClass::kAdd);
+          const auto occ = static_cast<std::uint64_t>(
+              (dev_.n_t + pipe.units_per_cluster - 1) /
+              pipe.units_per_cluster);
+          const std::uint64_t ready =
+              std::max(g.counter_ready, pipe_free[cl][pipe_idx]);
+          if (ready <= cycle) {
+            pipe_free[cl][pipe_idx] = cycle + occ;
+            stats.pipe_busy_cycles[pipe_idx] += occ;
+            g.counter_ready =
+                cycle + std::max<std::uint64_t>(
+                            occ, static_cast<std::uint64_t>(
+                                     pipe.latency_cycles));
+            ++stats.instructions;
+            advance(program, g, opts_.loop_overhead_instrs);
+            if (g.phase == Phase::kDone) {
+              ++done_count;
+            }
+            rr[cl] = (rr[cl] + probe + 1) % res.size();
+            issued_any = true;
+            break;
+          }
+          next_event = std::min(next_event, ready);
+          continue;
+        }
+        const Instr* in = current_instr(program, g);
+        if (in == nullptr) {
+          // Defensive: empty phase, advance without cost.
+          advance(program, g, opts_.loop_overhead_instrs);
+          if (g.phase == Phase::kDone) {
+            ++done_count;
+          }
+          continue;
+        }
+        std::uint64_t ready = 0;
+        if (in->src1 != kNoReg) {
+          ready = std::max(ready, g.reg_ready[static_cast<std::size_t>(
+                                      in->src1)]);
+        }
+        if (in->src2 != kNoReg) {
+          ready = std::max(ready, g.reg_ready[static_cast<std::size_t>(
+                                      in->src2)]);
+        }
+        const auto pipe_idx =
+            static_cast<std::size_t>(dev_.pipe_index(instr_class(in->op)));
+        ready = std::max(ready, pipe_free[cl][pipe_idx]);
+        if (ready <= cycle) {
+          const std::uint64_t occ = issue_cycles_of(*in);
+          pipe_free[cl][pipe_idx] = cycle + occ;
+          stats.pipe_busy_cycles[pipe_idx] += occ;
+          if (in->dst != kNoReg) {
+            g.reg_ready[static_cast<std::size_t>(in->dst)] =
+                cycle + std::max(occ, latency_of(*in));
+          }
+          ++stats.instructions;
+          advance(program, g, opts_.loop_overhead_instrs);
+          if (g.phase == Phase::kDone) {
+            ++done_count;
+          }
+          rr[cl] = (rr[cl] + probe + 1) % res.size();
+          issued_any = true;
+          break;
+        }
+        next_event = std::min(next_event, ready);
+      }
+    }
+
+    if (done_count >= total) {
+      break;
+    }
+    if (issued_any ||
+        next_event == std::numeric_limits<std::uint64_t>::max()) {
+      ++cycle;
+    } else {
+      cycle = std::max(cycle + 1, next_event);  // skip idle stretches
+    }
+  }
+
+  // Completion: the last issued instruction still drains its pipe/latency.
+  std::uint64_t drain = cycle;
+  for (std::size_t cl = 0; cl < n_cl; ++cl) {
+    for (std::size_t p = 0; p < n_pipes; ++p) {
+      drain = std::max(drain, pipe_free[cl][p]);
+    }
+  }
+  stats.cycles = drain;
+  return stats;
+}
+
+}  // namespace snp::sim

@@ -1,0 +1,69 @@
+// Cycle-level simulator of one model-GPU compute core (paper Section IV-A).
+//
+// Each core holds N_cl compute clusters. A cluster schedules its resident
+// thread groups in round-robin order, issuing at most one instruction per
+// cycle; an issued instruction occupies its functional-unit pipe for
+// ceil(N_T / N_fn) cycles (times the bank-conflict factor for shared-memory
+// loads) and its result becomes ready after the pipe latency L_fn. This is
+// exactly the machine the paper's analytical model assumes: thread groups
+// pipeline onto the functional units, and L_fn independent groups per
+// cluster suffice to hide instruction latency.
+//
+// The simulator is timing-only (no architectural register values); it
+// exists to run the paper's microbenchmark methodology (Section V-C/D)
+// against known hardware parameters and to validate the tile-level timing
+// model used for full-size kernels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "model/device.hpp"
+#include "sim/isa.hpp"
+
+namespace snp::sim {
+
+struct SimOptions {
+  /// Synthetic loop-maintenance instructions (counter add + branch) charged
+  /// per body iteration, forming a dependent chain per group — the effect
+  /// the paper dilutes by growing the loop body.
+  int loop_overhead_instrs = 2;
+  bool model_bank_conflicts = true;
+  /// Global-memory load latency in cycles (LDG); shared loads use L_fn.
+  int global_latency_cycles = 400;
+};
+
+struct CoreStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;  ///< thread-group instructions issued
+  std::array<std::uint64_t, 8> pipe_busy_cycles{};
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// Serialization factor of a shared-memory access where lane i reads word
+/// address i * stride_words: max lanes hitting one bank, relative to the
+/// unavoidable ceil(N_T / N_b) phases. Stride 0 is a broadcast (factor 1).
+[[nodiscard]] int bank_conflict_factor(const model::GpuSpec& dev,
+                                       int stride_words);
+
+class CoreSim {
+ public:
+  explicit CoreSim(model::GpuSpec dev, SimOptions opts = {});
+
+  /// Runs `program` with `n_groups` thread groups resident on this core
+  /// (assigned to clusters round-robin), to completion.
+  [[nodiscard]] CoreStats run(const Program& program, int n_groups) const;
+
+  [[nodiscard]] const model::GpuSpec& device() const { return dev_; }
+
+ private:
+  model::GpuSpec dev_;
+  SimOptions opts_;
+};
+
+}  // namespace snp::sim

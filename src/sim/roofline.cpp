@@ -1,0 +1,33 @@
+#include "sim/roofline.hpp"
+
+#include <algorithm>
+
+#include "model/peak.hpp"
+
+namespace snp::sim {
+
+double ridge_intensity(const model::GpuSpec& dev, bits::Comparison op,
+                       bool pre_negated) {
+  const double peak =
+      model::peak_wordops_per_s(dev, op, pre_negated) / 1e9;  // Gword-ops/s
+  return peak / dev.dram_gbps_effective;  // word-ops per byte
+}
+
+RooflinePoint roofline_for(const model::GpuSpec& dev, const model::KernelConfig& cfg,
+                           bits::Comparison op,
+                           const KernelShape& shape,
+                           bool pre_negated) {
+  const auto t = estimate_kernel(dev, cfg, op, shape, pre_negated);
+  RooflinePoint p;
+  p.arithmetic_intensity =
+      t.dram_bytes > 0.0 ? t.wordops / t.dram_bytes : 0.0;
+  p.peak_gops = t.peak_gops;
+  p.attainable_gops = std::min(
+      t.peak_gops, p.arithmetic_intensity * dev.dram_gbps_effective);
+  p.achieved_gops = t.gops;
+  p.memory_bound =
+      p.arithmetic_intensity < ridge_intensity(dev, op, pre_negated);
+  return p;
+}
+
+}  // namespace snp::sim

@@ -1,0 +1,44 @@
+// Roofline analysis for SNP-comparison kernels.
+//
+// The paper's performance story is exactly a roofline story: the kernel's
+// attainable throughput is min(FU peak, arithmetic intensity x memory
+// bandwidth), the Fig. 5 K-sweep walks a workload along the intensity
+// axis (deeper K = more popcounts per byte of C traffic), and the Vega
+// anomaly is a device living left of its ridge point. This module makes
+// that analysis a first-class, testable object on top of the same device
+// descriptors and the tile-level byte accounting.
+#pragma once
+
+#include "bits/compare.hpp"
+#include "model/config.hpp"
+#include "model/device.hpp"
+#include "sim/timing.hpp"
+
+namespace snp::sim {
+
+struct RooflinePoint {
+  /// Word-ops per byte of modeled DRAM traffic.
+  double arithmetic_intensity = 0.0;
+  /// min(peak, intensity * effective bandwidth), in Gword-ops/s.
+  double attainable_gops = 0.0;
+  /// What the timing model actually achieves (includes quantization,
+  /// fill, launch-free kernel time).
+  double achieved_gops = 0.0;
+  double peak_gops = 0.0;
+  bool memory_bound = false;  ///< intensity below the ridge point
+};
+
+/// Intensity (word-ops/byte) at which the compute roof meets the memory
+/// roof for `op` on `dev`.
+[[nodiscard]] double ridge_intensity(const model::GpuSpec& dev,
+                                     bits::Comparison op,
+                                     bool pre_negated = false);
+
+/// Roofline placement of one kernel invocation.
+[[nodiscard]] RooflinePoint roofline_for(const model::GpuSpec& dev,
+                                         const model::KernelConfig& cfg,
+                                         bits::Comparison op,
+                                         const KernelShape& shape,
+                                         bool pre_negated = false);
+
+}  // namespace snp::sim

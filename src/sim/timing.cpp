@@ -1,0 +1,138 @@
+#include "sim/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "model/peak.hpp"
+#include "sim/memory.hpp"
+
+namespace snp::sim {
+
+namespace {
+
+/// Cycles one cluster spends per N_T word-ops, including the amortized
+/// memory instructions (B global loads reused m_r times per thread; A
+/// shared loads reused across the n_r / L_fn columns of a thread group).
+double cluster_cycles_per_group_op(const model::GpuSpec& dev,
+                                   const model::KernelConfig& cfg,
+                                   bits::Comparison op, bool pre_negated) {
+  const model::InstrMix mix = model::kernel_mix(dev, op, pre_negated);
+  const int lfn = dev.pipe(model::InstrClass::kPopc).latency_cycles;
+  const double mem_instrs =
+      1.0 / cfg.m_r + static_cast<double>(lfn) / cfg.n_r;
+
+  double per_pipe[8] = {};
+  auto add = [&](model::InstrClass cls, double count) {
+    const auto pipe = static_cast<std::size_t>(dev.pipe_index(cls));
+    per_pipe[pipe] += count * dev.n_t /
+                      dev.pipe(cls).units_per_cluster;
+  };
+  add(model::InstrClass::kLogic, mix.logic);
+  add(model::InstrClass::kAdd, mix.add);
+  add(model::InstrClass::kPopc, mix.popc);
+  add(model::InstrClass::kMem, mem_instrs);
+  double worst = 0.0;
+  for (std::size_t p = 0; p < dev.pipes.size(); ++p) {
+    worst = std::max(worst, per_pipe[p]);
+  }
+  return worst;
+}
+
+}  // namespace
+
+KernelTiming estimate_kernel(const model::GpuSpec& dev,
+                             const model::KernelConfig& cfg,
+                             bits::Comparison op, const KernelShape& shape,
+                             bool pre_negated) {
+  if (shape.m == 0 || shape.n == 0 || shape.k_words == 0) {
+    throw std::invalid_argument("estimate_kernel: degenerate shape");
+  }
+  const auto check = model::validate(cfg, dev);
+  if (!check.ok) {
+    throw std::invalid_argument("estimate_kernel: invalid config: " +
+                                check.reason);
+  }
+
+  const auto m_c = static_cast<std::size_t>(cfg.m_c);
+  const auto n_r = static_cast<std::size_t>(cfg.n_r);
+  const auto k_c = static_cast<std::size_t>(cfg.k_c);
+  const std::size_t tiles_m = bits::ceil_div(shape.m, m_c);
+  const std::size_t tiles_n = bits::ceil_div(shape.n, n_r);
+  const std::size_t panels = bits::ceil_div(shape.k_words, k_c);
+
+  // Tile assignment over the core grid; idle cores (grid larger than the
+  // tile space) do not contribute to contention.
+  const auto gm = static_cast<std::size_t>(cfg.grid.grid_m);
+  const auto gn = static_cast<std::size_t>(cfg.grid.grid_n);
+  const std::size_t tiles_per_core =
+      bits::ceil_div(tiles_m, gm) * bits::ceil_div(tiles_n, gn);
+  const int active_cores = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(cfg.grid.cores()),
+                            std::min(tiles_m, gm) * std::min(tiles_n, gn)));
+
+  const double group_cycles =
+      cluster_cycles_per_group_op(dev, cfg, op, pre_negated);
+  const double ops_per_cycle_core =
+      dev.n_t / group_cycles * dev.n_clusters;
+
+  const auto lsu = dev.pipe(model::InstrClass::kMem);
+  const double lsu_words_per_cycle =
+      static_cast<double>(lsu.units_per_cluster) * dev.n_clusters;
+  constexpr double kBarrierCycles = 64.0;
+
+  // Per-tile cost: thread groups are launched at full tile size, so edge
+  // tiles cost as much as interior ones (the utilization loss the paper's
+  // framework accepts by construction).
+  double tile_compute_cycles = 0.0;
+  double tile_fill_cycles = 0.0;
+  double tile_bytes = 0.0;
+  for (std::size_t p = 0; p < panels; ++p) {
+    const std::size_t kw = std::min(k_c, shape.k_words - p * k_c);
+    const auto kw_d = static_cast<double>(kw);
+    tile_compute_cycles += static_cast<double>(m_c) *
+                           static_cast<double>(n_r) * kw_d /
+                           ops_per_cycle_core;
+    tile_fill_cycles +=
+        static_cast<double>(m_c) * kw_d / lsu_words_per_cycle +
+        kBarrierCycles;
+    // DRAM: A panel fill + compulsory B stream; C written once per tile.
+    tile_bytes += 4.0 * (static_cast<double>(m_c) * kw_d +
+                         kw_d * static_cast<double>(n_r));
+  }
+  tile_bytes += 4.0 * static_cast<double>(m_c) * static_cast<double>(n_r);
+
+  const double core_cycles =
+      static_cast<double>(tiles_per_core) *
+      (tile_compute_cycles + tile_fill_cycles);
+
+  KernelTiming t;
+  t.active_cores = active_cores;
+  t.clock_ghz = dev.clock_ghz(active_cores);
+  t.core_cycles = core_cycles;
+
+  const double raw_seconds = core_cycles / (t.clock_ghz * 1e9);
+  const double core_bytes = static_cast<double>(tiles_per_core) * tile_bytes;
+  t.per_core_demand_gbps =
+      raw_seconds > 0.0 ? core_bytes / raw_seconds / 1e9 : 0.0;
+  t.mem_efficiency =
+      contention_efficiency(dev, active_cores, t.per_core_demand_gbps);
+  t.seconds = raw_seconds / t.mem_efficiency;
+  t.launch_seconds = launch_seconds(dev);
+  t.dram_bytes = core_bytes * active_cores;
+
+  t.wordops = static_cast<double>(shape.m) * static_cast<double>(shape.n) *
+              static_cast<double>(shape.k_words);
+  t.gops = t.wordops / t.seconds / 1e9;
+  t.peak_gops =
+      model::peak_wordops_per_s(dev, op, pre_negated, active_cores) / 1e9;
+  t.pct_of_peak = 100.0 * t.gops / t.peak_gops;
+  return t;
+}
+
+double cpu_kernel_seconds(const model::CpuSpec& cpu, double wordops) {
+  const double peak = model::cpu_peak_wordops_per_s(cpu);
+  return wordops / (peak * cpu.efficiency);
+}
+
+}  // namespace snp::sim

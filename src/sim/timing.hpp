@@ -1,0 +1,64 @@
+// Tile-level kernel timing for full-size SNP comparison kernels.
+//
+// The cycle-level CoreSim is exact but too slow for 20-million-profile
+// databases; this model computes the same quantities analytically, at tile
+// granularity, from the identical device parameters:
+//   * per-cluster issue cycles per thread-group word-op, per pipe (the
+//     bottleneck-pipe accounting of model::cluster_rate, extended with the
+//     amortized memory instructions the kernel issues);
+//   * shared-memory fill + barrier cost per A-tile panel;
+//   * DRAM traffic per tile (A fill, compulsory B stream, C writeback) fed
+//     into the contention model;
+//   * core-grid tile assignment, edge-tile quantization, launch overhead,
+//     and the DVFS clock for the active-core count.
+// Tests validate it against CoreSim on small shapes.
+#pragma once
+
+#include <cstddef>
+
+#include "bits/compare.hpp"
+#include "model/config.hpp"
+#include "model/device.hpp"
+
+namespace snp::sim {
+
+struct KernelShape {
+  std::size_t m = 0;        ///< output rows (A rows)
+  std::size_t n = 0;        ///< output cols (B rows)
+  std::size_t k_words = 0;  ///< inner dimension in 32-bit words
+};
+
+struct KernelTiming {
+  double seconds = 0.0;         ///< kernel start -> end
+  double launch_seconds = 0.0;  ///< enqueue -> start
+  double core_cycles = 0.0;     ///< max-loaded core, before contention
+  double clock_ghz = 0.0;
+  double wordops = 0.0;      ///< useful work: m * n * k_words
+  double gops = 0.0;         ///< achieved Gword-ops/s
+  double peak_gops = 0.0;    ///< FU peak at this active-core count
+  double pct_of_peak = 0.0;  ///< gops / peak_gops * 100
+  double mem_efficiency = 1.0;
+  double per_core_demand_gbps = 0.0;
+  double dram_bytes = 0.0;
+  int active_cores = 0;
+
+  [[nodiscard]] double total_seconds() const {
+    return seconds + launch_seconds;
+  }
+};
+
+/// Estimates kernel execution time for comparing an (m x k) A against an
+/// (n x k) B under `cfg` on `dev`. `pre_negated` selects the Eq. 3
+/// lowering for AND-NOT workloads.
+[[nodiscard]] KernelTiming estimate_kernel(const model::GpuSpec& dev,
+                                           const model::KernelConfig& cfg,
+                                           bits::Comparison op,
+                                           const KernelShape& shape,
+                                           bool pre_negated = false);
+
+/// Modeled Xeon baseline time for the same work: peak popcount throughput
+/// derated by the 80-90 % efficiency of the BLIS CPU implementation [11].
+[[nodiscard]] double cpu_kernel_seconds(const model::CpuSpec& cpu,
+                                        double wordops);
+
+}  // namespace snp::sim

@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace snp::sim {
+
+namespace {
+
+void emit_event(std::ostream& os, bool& first, const std::string& name,
+                int tid, double start_s, double end_s) {
+  if (end_s <= start_s) {
+    return;  // zero-length stage (e.g. empty transfer)
+  }
+  if (!first) {
+    os << ",\n";
+  }
+  first = false;
+  os << "  {\"name\": \"" << name << "\", \"ph\": \"X\", \"pid\": 0, "
+     << "\"tid\": " << tid << ", \"ts\": " << start_s * 1e6
+     << ", \"dur\": " << (end_s - start_s) * 1e6 << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const Timeline& tl, std::ostream& os,
+                        const std::string& device_name) {
+  os << "[\n";
+  bool first = true;
+  // Thread-name metadata so the tracks are labeled.
+  const char* tracks[] = {"init", "h2d copy", "kernel", "d2h copy"};
+  for (int tid = 0; tid < 4; ++tid) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+       << "\"tid\": " << tid << ", \"args\": {\"name\": \"" << tracks[tid]
+       << " (" << device_name << ")\"}}";
+  }
+  if (tl.init_seconds > 0.0) {
+    emit_event(os, first, "platform init", 0, 0.0, tl.init_seconds);
+  }
+  for (std::size_t i = 0; i < tl.chunks.size(); ++i) {
+    const ChunkTimes& c = tl.chunks[i];
+    const std::string idx = std::to_string(i);
+    emit_event(os, first, "h2d chunk " + idx, 1, c.h2d_start, c.h2d_end);
+    emit_event(os, first, "kernel chunk " + idx, 2, c.kernel_start,
+               c.kernel_end);
+    emit_event(os, first, "d2h chunk " + idx, 3, c.d2h_start, c.d2h_end);
+  }
+  os << "\n]\n";
+}
+
+std::string chrome_trace_json(const Timeline& tl,
+                              const std::string& device_name) {
+  std::ostringstream os;
+  write_chrome_trace(tl, os, device_name);
+  return os.str();
+}
+
+}  // namespace snp::sim

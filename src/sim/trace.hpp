@@ -1,0 +1,26 @@
+// Chrome-trace export of simulated execution timelines.
+//
+// Writes a Timeline (init + per-chunk h2d / kernel / d2h intervals) as a
+// Trace Event Format JSON array, loadable in chrome://tracing or Perfetto,
+// with one track per engine. This is how you *see* double buffering doing
+// its job — upload bars sliding under kernel bars — and what we used to
+// sanity-check the Fig. 6/8 pipelines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/transfer.hpp"
+
+namespace snp::sim {
+
+/// Emits `tl` as Trace Event Format JSON. Timestamps are microseconds on
+/// the virtual clock; tracks: init(0), h2d(1), kernel(2), d2h(3).
+void write_chrome_trace(const Timeline& tl, std::ostream& os,
+                        const std::string& device_name = "simulated GPU");
+
+/// Convenience: render to a string (tests, small timelines).
+[[nodiscard]] std::string chrome_trace_json(
+    const Timeline& tl, const std::string& device_name = "simulated GPU");
+
+}  // namespace snp::sim

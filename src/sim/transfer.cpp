@@ -1,0 +1,81 @@
+#include "sim/transfer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/memory.hpp"
+
+namespace snp::sim {
+
+double Timeline::overlap_fraction() const {
+  const double transfer = h2d_seconds + d2h_seconds;
+  if (transfer <= 0.0) {
+    return 0.0;
+  }
+  const double serial_total = init_seconds + transfer + kernel_seconds;
+  const double hidden = serial_total - total_seconds;
+  return std::clamp(hidden / transfer, 0.0, 1.0);
+}
+
+Timeline run_timeline(const model::GpuSpec& dev,
+                      const std::vector<Chunk>& chunks,
+                      const TimelineOptions& opts) {
+  if (opts.buffer_depth < 1) {
+    throw std::invalid_argument("run_timeline: buffer_depth must be >= 1");
+  }
+  Timeline tl;
+  tl.init_seconds = opts.include_init ? init_seconds(dev) : 0.0;
+  tl.chunks.resize(chunks.size());
+
+  double h2d_free = tl.init_seconds;
+  double compute_free = tl.init_seconds;
+  double d2h_free = tl.init_seconds;
+  const double lat = pcie_latency_seconds();
+  const int depth = opts.double_buffered ? opts.buffer_depth : 1;
+
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const Chunk& c = chunks[i];
+    ChunkTimes& t = tl.chunks[i];
+
+    // Input buffer for chunk i frees when chunk i-depth's kernel retires.
+    double buffer_ready = tl.init_seconds;
+    if (i >= static_cast<std::size_t>(depth)) {
+      buffer_ready = tl.chunks[i - static_cast<std::size_t>(depth)]
+                         .kernel_end;
+    }
+    t.h2d_start = std::max(h2d_free, buffer_ready);
+    t.h2d_end = c.h2d_bytes > 0
+                    ? t.h2d_start + lat + pcie_seconds(dev, c.h2d_bytes)
+                    : t.h2d_start;
+    h2d_free = t.h2d_end;
+    tl.h2d_seconds += t.h2d_end - t.h2d_start;
+
+    t.kernel_start = std::max(compute_free, t.h2d_end) +
+                     launch_seconds(dev);
+    t.kernel_end = t.kernel_start + c.kernel_seconds;
+    compute_free = t.kernel_end;
+    tl.kernel_seconds += c.kernel_seconds;
+
+    t.d2h_start = std::max(d2h_free, t.kernel_end);
+    t.d2h_end = c.d2h_bytes > 0
+                    ? t.d2h_start + lat + pcie_seconds(dev, c.d2h_bytes)
+                    : t.d2h_start;
+    d2h_free = t.d2h_end;
+    tl.d2h_seconds += t.d2h_end - t.d2h_start;
+
+    if (!opts.double_buffered) {
+      // Fully serial: nothing for the next chunk starts before this one's
+      // readback completes.
+      h2d_free = compute_free = d2h_free = t.d2h_end;
+    }
+  }
+
+  double end = tl.init_seconds;
+  for (const auto& t : tl.chunks) {
+    end = std::max({end, t.d2h_end, t.kernel_end, t.h2d_end});
+  }
+  tl.total_seconds = end;
+  return tl;
+}
+
+}  // namespace snp::sim

@@ -1,0 +1,137 @@
+#include "sparse/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snp::sparse {
+
+SparseBitMatrix SparseBitMatrix::from_rows(
+    std::vector<std::vector<std::uint32_t>> rows, std::size_t bit_cols) {
+  SparseBitMatrix m;
+  m.bit_cols_ = bit_cols;
+  m.row_ptr_.reserve(rows.size() + 1);
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    if (!row.empty() && row.back() >= bit_cols) {
+      throw std::out_of_range(
+          "SparseBitMatrix::from_rows: index beyond bit_cols");
+    }
+    m.indices_.insert(m.indices_.end(), row.begin(), row.end());
+    m.row_ptr_.push_back(m.indices_.size());
+  }
+  return m;
+}
+
+SparseBitMatrix SparseBitMatrix::from_dense(const bits::BitMatrix& dense) {
+  SparseBitMatrix m;
+  m.bit_cols_ = dense.bit_cols();
+  m.row_ptr_.reserve(dense.rows() + 1);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    const auto row = dense.row64(r);
+    for (std::size_t w = 0; w < row.size(); ++w) {
+      bits::Word64 word = row[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::uint32_t>(
+            std::countr_zero(word));
+        m.indices_.push_back(
+            static_cast<std::uint32_t>(w * bits::kBitsPerWord64) + bit);
+        word &= word - 1;  // clear lowest set bit
+      }
+    }
+    m.row_ptr_.push_back(m.indices_.size());
+  }
+  return m;
+}
+
+bits::BitMatrix SparseBitMatrix::to_dense() const {
+  bits::BitMatrix out(rows(), bit_cols_);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (const std::uint32_t idx : row(r)) {
+      out.set(r, idx, true);
+    }
+  }
+  return out;
+}
+
+double SparseBitMatrix::density() const {
+  const double area =
+      static_cast<double>(rows()) * static_cast<double>(bit_cols_);
+  return area > 0.0 ? static_cast<double>(nnz()) / area : 0.0;
+}
+
+bool SparseBitMatrix::invariants_hold() const {
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const auto idx = row(r);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (idx[i] >= bit_cols_) {
+        return false;
+      }
+      if (i > 0 && idx[i] <= idx[i - 1]) {
+        return false;
+      }
+    }
+  }
+  return row_ptr_.front() == 0 && row_ptr_.back() == indices_.size();
+}
+
+namespace {
+
+/// Galloping intersection: probe each element of the small side into the
+/// large side with exponential + binary search.
+std::uint32_t gallop_intersect(std::span<const std::uint32_t> small,
+                               std::span<const std::uint32_t> large) {
+  std::uint32_t count = 0;
+  std::size_t pos = 0;  // frontier into `large`
+  const std::size_t limit = large.size();
+  for (const std::uint32_t x : small) {
+    // Exponential probe for the first element >= x, then binary search in
+    // the bracketed window.
+    std::size_t bound = 1;
+    while (pos + bound < limit && large[pos + bound] < x) {
+      bound *= 2;
+    }
+    const std::size_t hi = std::min(pos + bound + 1, limit);
+    const auto it = std::lower_bound(
+        large.begin() + static_cast<std::ptrdiff_t>(pos),
+        large.begin() + static_cast<std::ptrdiff_t>(hi), x);
+    pos = static_cast<std::size_t>(it - large.begin());
+    if (pos < limit && large[pos] == x) {
+      ++count;
+      ++pos;
+    }
+    if (pos >= limit) {
+      break;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::uint32_t intersect_count(std::span<const std::uint32_t> a,
+                              std::span<const std::uint32_t> b) {
+  if (a.empty() || b.empty()) {
+    return 0;
+  }
+  if (a.size() > b.size()) {
+    std::swap(a, b);
+  }
+  // Galloping wins when one side is much smaller; 32x is a conventional
+  // threshold for index intersection.
+  if (b.size() / a.size() >= 32) {
+    return gallop_intersect(a, b);
+  }
+  std::uint32_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    count += x == y ? 1u : 0u;
+    i += x <= y ? 1 : 0;
+    j += y <= x ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace snp::sparse

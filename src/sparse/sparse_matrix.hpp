@@ -1,0 +1,83 @@
+// Sparse SNP representation (paper Section VII, future work).
+//
+// "This approach represents SNP strings as dense bitvectors, but a typical
+// DNA sample is expected to contain mostly major alleles. This suggests
+// that sparse representations of the SNP strings may be beneficial.
+// Extending the framework to sparse matrix-matrix multiplication
+// operations is a goal for future work."
+//
+// This module is that extension: a CSR-style matrix storing, per row, the
+// sorted column indices of set bits (minor alleles). The key observation
+// making the three comparisons cheap in this form is that each reduces to
+// the *intersection size* plus marginals:
+//   |a & b|  = |a ∩ b|
+//   |a ^ b|  = |a| + |b| - 2 |a ∩ b|
+//   |a & ~b| = |a| - |a ∩ b|
+// so one sorted-merge/galloping intersection kernel serves all of Eqs. 1-3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bits/bitmatrix.hpp"
+
+namespace snp::sparse {
+
+class SparseBitMatrix {
+ public:
+  SparseBitMatrix() = default;
+
+  /// Builds from explicit per-row index lists. Indices must be < bit_cols;
+  /// they are sorted and deduplicated here.
+  static SparseBitMatrix from_rows(std::vector<std::vector<std::uint32_t>>
+                                       rows,
+                                   std::size_t bit_cols);
+
+  /// Converts a packed dense matrix (cheap scan over set bits).
+  static SparseBitMatrix from_dense(const bits::BitMatrix& dense);
+
+  /// Materializes back to the packed dense representation.
+  [[nodiscard]] bits::BitMatrix to_dense() const;
+
+  [[nodiscard]] std::size_t rows() const { return row_ptr_.empty()
+                                               ? 0
+                                               : row_ptr_.size() - 1; }
+  [[nodiscard]] std::size_t bit_cols() const { return bit_cols_; }
+  [[nodiscard]] std::size_t nnz() const { return indices_.size(); }
+  [[nodiscard]] std::size_t row_nnz(std::size_t r) const {
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+  /// Sorted set-bit column indices of one row.
+  [[nodiscard]] std::span<const std::uint32_t> row(std::size_t r) const {
+    return {indices_.data() + row_ptr_[r], row_nnz(r)};
+  }
+  /// Fraction of set bits over the logical area.
+  [[nodiscard]] double density() const;
+
+  /// Storage footprint (indices + row pointers), for the dense-vs-sparse
+  /// transfer accounting.
+  [[nodiscard]] std::size_t size_bytes() const {
+    return indices_.size() * sizeof(std::uint32_t) +
+           row_ptr_.size() * sizeof(std::size_t);
+  }
+
+  /// Structural invariant: every row strictly sorted, all indices within
+  /// bit_cols. Cheap enough for tests and debug assertions.
+  [[nodiscard]] bool invariants_hold() const;
+
+  [[nodiscard]] bool operator==(const SparseBitMatrix&) const = default;
+
+ private:
+  std::size_t bit_cols_ = 0;
+  std::vector<std::uint32_t> indices_;
+  std::vector<std::size_t> row_ptr_ = {0};
+};
+
+/// Size in set bits of the intersection of two strictly-sorted index
+/// spans. Uses linear merge for similar sizes and galloping (binary-probe)
+/// when one side is much smaller — the standard inverted-index technique.
+[[nodiscard]] std::uint32_t intersect_count(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b);
+
+}  // namespace snp::sparse

@@ -1,0 +1,147 @@
+#include "stats/assoc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bits/compare.hpp"
+
+namespace snp::stats {
+
+bool AssocCounts::valid() const {
+  for (int i = 0; i < 3; ++i) {
+    if (cases[i] < 0.0 || controls[i] < 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AssocCounts assoc_counts(std::uint32_t pres_case, std::uint32_t hom_case,
+                         std::uint32_t pres_all, std::uint32_t hom_all,
+                         std::size_t n_case, std::size_t n_all) {
+  if (n_case > n_all || pres_case > pres_all || hom_case > hom_all ||
+      hom_case > pres_case || hom_all > pres_all) {
+    throw std::invalid_argument("assoc_counts: inconsistent counts");
+  }
+  AssocCounts c;
+  c.cases[2] = hom_case;
+  c.cases[1] = static_cast<double>(pres_case) - hom_case;
+  c.cases[0] = static_cast<double>(n_case) - pres_case;
+  c.controls[2] = static_cast<double>(hom_all) - hom_case;
+  c.controls[1] = static_cast<double>(pres_all - pres_case) -
+                  c.controls[2];
+  c.controls[0] = static_cast<double>(n_all - n_case) -
+                  static_cast<double>(pres_all - pres_case);
+  if (!c.valid()) {
+    throw std::invalid_argument("assoc_counts: inconsistent counts "
+                                "(negative cell)");
+  }
+  return c;
+}
+
+double chi2_sf_1df(double chi2) {
+  if (chi2 <= 0.0) {
+    return 1.0;
+  }
+  return std::erfc(std::sqrt(chi2 / 2.0));
+}
+
+AssocResult association_test(const AssocCounts& c) {
+  AssocResult r;
+  const double n_case = c.n_cases();
+  const double n_ctrl = c.n_controls();
+  const double n = n_case + n_ctrl;
+  if (n_case <= 0.0 || n_ctrl <= 0.0) {
+    return r;
+  }
+
+  // Allelic 2x2: minor vs major allele counts by status.
+  const double a_case = c.cases[1] + 2.0 * c.cases[2];
+  const double a_ctrl = c.controls[1] + 2.0 * c.controls[2];
+  const double ref_case = 2.0 * n_case - a_case;
+  const double ref_ctrl = 2.0 * n_ctrl - a_ctrl;
+  r.maf_cases = a_case / (2.0 * n_case);
+  r.maf_controls = a_ctrl / (2.0 * n_ctrl);
+  const double total_alleles = 2.0 * n;
+  const double row1 = a_case + ref_case;
+  const double row2 = a_ctrl + ref_ctrl;
+  const double col1 = a_case + a_ctrl;
+  const double col2 = ref_case + ref_ctrl;
+  if (col1 > 0.0 && col2 > 0.0) {
+    const double det = a_case * ref_ctrl - ref_case * a_ctrl;
+    r.chi2_allelic = total_alleles * det * det / (row1 * row2 * col1 *
+                                                  col2);
+    r.p_allelic = chi2_sf_1df(r.chi2_allelic);
+    // Haldane-Anscombe-corrected OR when any cell is zero.
+    const bool any_zero = a_case == 0.0 || a_ctrl == 0.0 ||
+                          ref_case == 0.0 || ref_ctrl == 0.0;
+    const double h = any_zero ? 0.5 : 0.0;
+    r.odds_ratio = ((a_case + h) * (ref_ctrl + h)) /
+                   ((ref_case + h) * (a_ctrl + h));
+  }
+
+  // Cochran-Armitage trend with additive weights t = {0, 1, 2}:
+  // chi2 = N (N * sum t_i r_i - R * sum t_i n_i)^2
+  //        / (R (N - R) (N * sum t_i^2 n_i - (sum t_i n_i)^2)).
+  const double t[3] = {0.0, 1.0, 2.0};
+  double sum_tr = 0.0, sum_tn = 0.0, sum_ttn = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const double n_i = c.cases[i] + c.controls[i];
+    sum_tr += t[i] * c.cases[i];
+    sum_tn += t[i] * n_i;
+    sum_ttn += t[i] * t[i] * n_i;
+  }
+  const double num = n * sum_tr - n_case * sum_tn;
+  const double denom =
+      n_case * (n - n_case) * (n * sum_ttn - sum_tn * sum_tn);
+  if (denom > 0.0) {
+    r.chi2_trend = n * num * num / denom;
+    r.p_trend = chi2_sf_1df(r.chi2_trend);
+  }
+  return r;
+}
+
+std::vector<AssocResult> gwas_scan(const bits::GenotypeMatrix& genotypes,
+                                   const std::vector<bool>& is_case) {
+  if (is_case.size() != genotypes.samples()) {
+    throw std::invalid_argument(
+        "gwas_scan: case vector must match the sample count");
+  }
+  const auto pres =
+      bits::encode(genotypes, bits::EncodingPlane::kPresence);
+  const auto hom =
+      bits::encode(genotypes, bits::EncodingPlane::kHomozygous);
+
+  // The case-status mask, packed with the loci's stride so rows align.
+  bits::BitMatrix mask(1, genotypes.samples(), pres.words64_per_row());
+  std::size_t n_case = 0;
+  for (std::size_t s = 0; s < is_case.size(); ++s) {
+    if (is_case[s]) {
+      mask.set(0, s, true);
+      ++n_case;
+    }
+  }
+  const auto mask_row = mask.row64(0);
+
+  std::vector<AssocResult> out(genotypes.loci());
+  for (std::size_t l = 0; l < genotypes.loci(); ++l) {
+    const auto p_row = pres.row64(l);
+    const auto h_row = hom.row64(l);
+    std::uint32_t pres_case = 0, hom_case = 0;
+    for (std::size_t w = 0; w < mask_row.size(); ++w) {
+      pres_case += static_cast<std::uint32_t>(
+          bits::popcount(p_row[w] & mask_row[w]));
+      hom_case += static_cast<std::uint32_t>(
+          bits::popcount(h_row[w] & mask_row[w]));
+    }
+    const auto counts = assoc_counts(
+        pres_case, hom_case,
+        static_cast<std::uint32_t>(pres.row_popcount(l)),
+        static_cast<std::uint32_t>(hom.row_popcount(l)), n_case,
+        genotypes.samples());
+    out[l] = association_test(counts);
+  }
+  return out;
+}
+
+}  // namespace snp::stats

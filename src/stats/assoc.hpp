@@ -1,0 +1,71 @@
+// Case-control association testing from bit-plane counts (the GWAS use
+// case motivating the paper's Section I: "population genetic studies of
+// human diseases identification ... through genome-wide association
+// studies").
+//
+// With per-locus presence (P) and homozygous (H) planes and a case-status
+// bit mask C over the samples, the full 2x3 genotype-by-status table is
+// popcount arithmetic:
+//   cases with dosage 2   = |H & C|
+//   cases with dosage >=1 = |P & C|
+// and controls follow from the locus marginals — the same AND kernel the
+// rest of the framework runs. On top of the table we provide the two
+// standard single-SNP tests: the allelic 2x2 chi-square and the
+// Cochran-Armitage trend test, both with 1-df p-values and the allelic
+// odds ratio.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitmatrix.hpp"
+#include "bits/genotype.hpp"
+
+namespace snp::stats {
+
+/// Genotype-by-status counts for one locus.
+struct AssocCounts {
+  double cases[3] = {};     ///< case counts by minor-allele dosage
+  double controls[3] = {};  ///< control counts by dosage
+
+  [[nodiscard]] double n_cases() const {
+    return cases[0] + cases[1] + cases[2];
+  }
+  [[nodiscard]] double n_controls() const {
+    return controls[0] + controls[1] + controls[2];
+  }
+  [[nodiscard]] bool valid() const;
+};
+
+/// Builds the table from plane/mask popcounts: `pres_case` = |P & C|,
+/// `hom_case` = |H & C|, `pres_all`/`hom_all` the locus marginals,
+/// `n_case`/`n_all` the cohort split. Throws on inconsistent counts.
+[[nodiscard]] AssocCounts assoc_counts(std::uint32_t pres_case,
+                                       std::uint32_t hom_case,
+                                       std::uint32_t pres_all,
+                                       std::uint32_t hom_all,
+                                       std::size_t n_case,
+                                       std::size_t n_all);
+
+struct AssocResult {
+  double chi2_allelic = 0.0;
+  double p_allelic = 1.0;
+  double chi2_trend = 0.0;  ///< Cochran-Armitage, additive weights 0/1/2
+  double p_trend = 1.0;
+  double odds_ratio = 1.0;  ///< allelic OR (minor allele, case vs control)
+  double maf_cases = 0.0;
+  double maf_controls = 0.0;
+};
+
+[[nodiscard]] AssocResult association_test(const AssocCounts& counts);
+
+/// Upper-tail probability of a 1-df chi-square (erfc form).
+[[nodiscard]] double chi2_sf_1df(double chi2);
+
+/// Whole-cohort scan: one AssocResult per locus, computed through the
+/// bit-plane path (planes x case mask popcounts).
+[[nodiscard]] std::vector<AssocResult> gwas_scan(
+    const bits::GenotypeMatrix& genotypes,
+    const std::vector<bool>& is_case);
+
+}  // namespace snp::stats

@@ -1,0 +1,60 @@
+// Population structure from comparison kernels: UPGMA hierarchical
+// clustering over the Hamming (XOR-gamma) distance matrix.
+//
+// The XOR comparison the FastID kernel computes *is* the pairwise Hamming
+// distance between profiles; average-linkage clustering on it recovers
+// population substructure — the classic identity-by-state workflow, again
+// riding entirely on the framework's bit kernels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bits/bitmatrix.hpp"
+
+namespace snp::stats {
+
+/// One merge tree node. Leaves are [0, leaves); internal nodes follow in
+/// merge order, each joining two earlier nodes at `height` (the average
+/// inter-cluster distance at the merge).
+struct ClusterNode {
+  int left = -1;
+  int right = -1;
+  double height = 0.0;
+  std::size_t size = 1;
+
+  [[nodiscard]] bool is_leaf() const { return left < 0; }
+};
+
+class Dendrogram {
+ public:
+  Dendrogram(std::vector<ClusterNode> nodes, std::size_t leaves)
+      : nodes_(std::move(nodes)), leaves_(leaves) {}
+
+  [[nodiscard]] std::size_t leaves() const { return leaves_; }
+  [[nodiscard]] const std::vector<ClusterNode>& nodes() const {
+    return nodes_;
+  }
+
+  /// Cluster assignment (labels 0..k-1) from cutting the tree into `k`
+  /// clusters (undoing the last k-1 merges). k in [1, leaves].
+  [[nodiscard]] std::vector<std::size_t> cut_k(std::size_t k) const;
+
+  /// Heights are non-decreasing along the merge order (the UPGMA
+  /// ultrametric property); exposed for tests.
+  [[nodiscard]] bool heights_monotone() const;
+
+ private:
+  std::vector<ClusterNode> nodes_;
+  std::size_t leaves_ = 0;
+};
+
+/// Average-linkage (UPGMA) clustering of a symmetric distance matrix.
+/// O(n^3) — intended for cohort-scale (hundreds) structure analysis.
+[[nodiscard]] Dendrogram upgma(const bits::CountMatrix& distances);
+
+/// Pairwise Hamming distances of profile rows: the XOR gamma matrix.
+[[nodiscard]] bits::CountMatrix hamming_distances(
+    const bits::BitMatrix& profiles);
+
+}  // namespace snp::stats

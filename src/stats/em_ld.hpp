@@ -1,0 +1,63 @@
+// LD from *unphased genotype* data via the EM algorithm.
+//
+// The presence-plane gamma counts give haplotype-style LD only when the
+// input rows are phased haplotypes. Real cohorts are unphased diploid
+// genotypes; the standard remedy (Hill 1974; what PLINK's --r2 does) is an
+// EM estimate of the four haplotype frequencies, where only the
+// double-heterozygote cell is phase-ambiguous.
+//
+// The 3x3 joint genotype table a pair of loci needs is exactly recoverable
+// from the bit-comparison framework's outputs on the two encoding planes
+// (presence P: dosage >= 1, homozygous H: dosage == 2):
+//   n22 = |H_i & H_j|,      n12 + n22 = |P_i & H_j|,
+//   n21 + n22 = |H_i & P_j|, and sum_{a>=1,b>=1} = |P_i & P_j|,
+// plus the per-locus marginals — so genotype-level LD rides on the same
+// GPU kernels (four AND comparisons instead of one).
+#pragma once
+
+#include <cstdint>
+
+namespace snp::stats {
+
+/// Joint genotype counts for one locus pair: cell(a, b) = individuals with
+/// minor-allele dosage a at locus A and b at locus B.
+struct GenotypePairTable {
+  double n[3][3] = {};
+
+  [[nodiscard]] double total() const;
+  /// Minor-allele frequency at locus A / B implied by the table.
+  [[nodiscard]] double p_a() const;
+  [[nodiscard]] double p_b() const;
+  /// All cells non-negative (a recovered table can be checked with this).
+  [[nodiscard]] bool valid() const;
+};
+
+/// Recovers the 3x3 table from the four plane-pair gamma values and the
+/// per-locus plane marginals. `pp` = |P_i & P_j|, `hh` = |H_i & H_j|,
+/// `ph` = |P_i & H_j|, `hp` = |H_i & P_j|; `pres_*`/`hom_*` are row
+/// popcounts of the planes; `samples` the cohort size.
+/// Throws std::invalid_argument when the counts are inconsistent (any
+/// recovered cell negative).
+[[nodiscard]] GenotypePairTable table_from_plane_counts(
+    std::uint32_t pp, std::uint32_t hh, std::uint32_t ph, std::uint32_t hp,
+    std::uint32_t pres_a, std::uint32_t hom_a, std::uint32_t pres_b,
+    std::uint32_t hom_b, std::size_t samples);
+
+struct EmLdResult {
+  double p_ab = 0.0;  ///< estimated AB haplotype frequency
+  double p_a = 0.0;   ///< minor-allele frequency, locus A
+  double p_b = 0.0;
+  double d = 0.0;
+  double d_prime = 0.0;
+  double r2 = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Hill's EM over the haplotype frequencies. Converges in a handful of
+/// iterations for real tables; `tol` bounds the p_AB change per step.
+[[nodiscard]] EmLdResult em_ld(const GenotypePairTable& table,
+                               int max_iterations = 100,
+                               double tol = 1e-12);
+
+}  // namespace snp::stats

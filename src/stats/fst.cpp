@@ -1,0 +1,58 @@
+#include "stats/fst.hpp"
+
+#include <stdexcept>
+
+namespace snp::stats {
+
+FstComponents hudson_fst(double p1, double p2, double n1, double n2) {
+  if (p1 < 0.0 || p1 > 1.0 || p2 < 0.0 || p2 > 1.0) {
+    throw std::invalid_argument("hudson_fst: frequencies must be in [0,1]");
+  }
+  if (n1 < 2.0 || n2 < 2.0) {
+    throw std::invalid_argument(
+        "hudson_fst: need at least two sampled alleles per population");
+  }
+  FstComponents c;
+  const double diff = p1 - p2;
+  c.numerator = diff * diff - p1 * (1.0 - p1) / (n1 - 1.0) -
+                p2 * (1.0 - p2) / (n2 - 1.0);
+  c.denominator = p1 * (1.0 - p2) + p2 * (1.0 - p1);
+  return c;
+}
+
+FstScan fst_scan(const bits::GenotypeMatrix& genotypes,
+                 const std::vector<bool>& in_pop1) {
+  if (in_pop1.size() != genotypes.samples()) {
+    throw std::invalid_argument(
+        "fst_scan: population vector must match the sample count");
+  }
+  std::size_t s1 = 0;
+  for (const bool b : in_pop1) {
+    s1 += b ? 1u : 0u;
+  }
+  const std::size_t s2 = genotypes.samples() - s1;
+  if (s1 < 1 || s2 < 1) {
+    throw std::invalid_argument(
+        "fst_scan: both populations need at least one sample");
+  }
+
+  FstScan scan;
+  scan.per_locus.reserve(genotypes.loci());
+  double sum_num = 0.0, sum_den = 0.0;
+  for (std::size_t l = 0; l < genotypes.loci(); ++l) {
+    double a1 = 0.0, a2 = 0.0;  // minor-allele counts per population
+    for (std::size_t s = 0; s < genotypes.samples(); ++s) {
+      (in_pop1[s] ? a1 : a2) += genotypes.at(l, s);
+    }
+    const double n1 = 2.0 * static_cast<double>(s1);
+    const double n2 = 2.0 * static_cast<double>(s2);
+    const auto c = hudson_fst(a1 / n1, a2 / n2, n1, n2);
+    sum_num += c.numerator;
+    sum_den += c.denominator;
+    scan.per_locus.push_back(c);
+  }
+  scan.genome_wide = sum_den > 0.0 ? sum_num / sum_den : 0.0;
+  return scan;
+}
+
+}  // namespace snp::stats

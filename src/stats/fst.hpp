@@ -1,0 +1,43 @@
+// Population differentiation: Hudson's Fst estimator.
+//
+// With subpopulation allele counts straight from the bit planes (per-locus
+// popcounts over each population's sample columns), Hudson's estimator
+// gives per-locus and genome-wide Fst — the standard measure of
+// between-population differentiation, and the quantitative companion to
+// the UPGMA structure analysis in stats/cluster.hpp. Ratio-of-averages
+// aggregation per Bhatia et al. (2013).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bits/genotype.hpp"
+
+namespace snp::stats {
+
+struct FstComponents {
+  double numerator = 0.0;    ///< (p1-p2)^2 - within-pop sampling terms
+  double denominator = 0.0;  ///< p1(1-p2) + p2(1-p1)
+
+  [[nodiscard]] double fst() const {
+    return denominator > 0.0 ? numerator / denominator : 0.0;
+  }
+};
+
+/// Hudson's per-locus components from allele *frequencies* p1, p2 and the
+/// number of sampled alleles n1, n2 (= 2 x diploid sample counts).
+[[nodiscard]] FstComponents hudson_fst(double p1, double p2, double n1,
+                                       double n2);
+
+struct FstScan {
+  std::vector<FstComponents> per_locus;
+  /// Ratio-of-averages genome-wide estimate (robust aggregation).
+  double genome_wide = 0.0;
+};
+
+/// Scans a cohort split into two subpopulations by `in_pop1` (one flag per
+/// sample column).
+[[nodiscard]] FstScan fst_scan(const bits::GenotypeMatrix& genotypes,
+                               const std::vector<bool>& in_pop1);
+
+}  // namespace snp::stats

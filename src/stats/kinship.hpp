@@ -1,0 +1,89 @@
+// Kinship estimation from bit-plane comparisons (KING-robust).
+//
+// The forensic motivation of the paper (Section I cites kinship toolkits
+// like KinLinks) ultimately needs relatedness estimates between profiles.
+// The KING-robust kinship coefficient (Manichaikul et al. 2010) is, like
+// LD and FastID, pure popcount arithmetic over bit planes:
+//
+//   phi = (N_AaAa - 2 * N_IBS0) / (N_Aa(i) + N_Aa(j))
+//
+// where N_AaAa counts loci where both individuals are heterozygous,
+// N_IBS0 counts loci with opposite homozygotes, and N_Aa are per-
+// individual heterozygote counts. With individual-major presence (P) and
+// homozygous (H) planes:
+//   Het       = P & ~H                      (a derived plane)
+//   N_AaAa    = |Het_i & Het_j|             (AND comparison)
+//   N_IBS0    = (|H_i| - |H_i & P_j|) + (|H_j| - |H_j & P_i|)
+// — all products of the framework's standard kernels.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bits/bitmatrix.hpp"
+#include "bits/genotype.hpp"
+
+namespace snp::stats {
+
+enum class Relationship {
+  kDuplicate,     ///< phi >= 0.354 (monozygotic twin / duplicate sample)
+  kFirstDegree,   ///< [0.177, 0.354): parent-offspring, full siblings
+  kSecondDegree,  ///< [0.0884, 0.177)
+  kThirdDegree,   ///< [0.0442, 0.0884)
+  kUnrelated,     ///< below 0.0442
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Relationship r) {
+  switch (r) {
+    case Relationship::kDuplicate:
+      return "duplicate/twin";
+    case Relationship::kFirstDegree:
+      return "1st degree";
+    case Relationship::kSecondDegree:
+      return "2nd degree";
+    case Relationship::kThirdDegree:
+      return "3rd degree";
+    case Relationship::kUnrelated:
+      return "unrelated";
+  }
+  return "?";
+}
+
+/// The KING inference thresholds (powers of 2^-1.5 around 2^-(d+1.5)).
+[[nodiscard]] Relationship classify_kinship(double phi);
+
+struct KinshipResult {
+  double phi = 0.0;
+  std::uint32_t n_het_het = 0;
+  std::uint32_t n_ibs0 = 0;
+  std::uint32_t n_het_i = 0;
+  std::uint32_t n_het_j = 0;
+  Relationship relationship = Relationship::kUnrelated;
+};
+
+/// KING-robust from precomputed comparison counts. `h_p_ij` = |H_i & P_j|,
+/// `h_p_ji` = |H_j & P_i|; `hom_*` / `het_*` are plane marginals.
+[[nodiscard]] KinshipResult king_robust(std::uint32_t het_het,
+                                        std::uint32_t h_p_ij,
+                                        std::uint32_t h_p_ji,
+                                        std::uint32_t hom_i,
+                                        std::uint32_t hom_j,
+                                        std::uint32_t het_i,
+                                        std::uint32_t het_j);
+
+/// Individual-major plane encoding: rows = samples, bit columns = loci
+/// (the transpose of bits::encode's orientation).
+[[nodiscard]] bits::BitMatrix encode_individual_major(
+    const bits::GenotypeMatrix& g, bits::EncodingPlane plane);
+
+/// Heterozygote plane P & ~H for individual-major planes.
+[[nodiscard]] bits::BitMatrix het_plane(const bits::BitMatrix& presence,
+                                        const bits::BitMatrix& homozygous);
+
+/// Full pairwise kinship matrix (samples x samples, row-major) from a
+/// genotype cohort, computed with the framework's comparison kernels.
+[[nodiscard]] std::vector<KinshipResult> kinship_matrix(
+    const bits::GenotypeMatrix& g);
+
+}  // namespace snp::stats

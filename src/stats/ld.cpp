@@ -1,0 +1,66 @@
+#include "stats/ld.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace snp::stats {
+
+LdStats ld_from_counts(std::uint32_t joint, std::uint32_t count_a,
+                       std::uint32_t count_b, std::size_t samples) {
+  if (samples == 0) {
+    throw std::invalid_argument("ld_from_counts: samples must be > 0");
+  }
+  if (joint > std::min(count_a, count_b) || count_a > samples ||
+      count_b > samples) {
+    throw std::invalid_argument("ld_from_counts: inconsistent counts");
+  }
+  LdStats s;
+  const auto n = static_cast<double>(samples);
+  s.p_a = count_a / n;
+  s.p_b = count_b / n;
+  s.p_ab = joint / n;
+  s.d = s.p_ab - s.p_a * s.p_b;
+
+  const double qa = 1.0 - s.p_a;
+  const double qb = 1.0 - s.p_b;
+  const double denom_var = s.p_a * qa * s.p_b * qb;
+  s.r2 = denom_var > 0.0 ? s.d * s.d / denom_var : 0.0;
+
+  double d_max;
+  if (s.d >= 0.0) {
+    d_max = std::min(s.p_a * qb, qa * s.p_b);
+  } else {
+    d_max = std::min(s.p_a * s.p_b, qa * qb);
+  }
+  s.d_prime = d_max > 0.0 ? std::abs(s.d) / d_max : 0.0;
+  return s;
+}
+
+std::vector<double> r2_matrix(const bits::CountMatrix& gamma,
+                              const std::vector<std::uint32_t>& locus_counts,
+                              std::size_t samples) {
+  if (gamma.rows() != gamma.cols() ||
+      gamma.rows() != locus_counts.size()) {
+    throw std::invalid_argument("r2_matrix: shape mismatch");
+  }
+  const std::size_t loci = gamma.rows();
+  std::vector<double> out(loci * loci, 0.0);
+  for (std::size_t i = 0; i < loci; ++i) {
+    for (std::size_t j = 0; j < loci; ++j) {
+      out[i * loci + j] = ld_from_counts(gamma.at(i, j), locus_counts[i],
+                                         locus_counts[j], samples)
+                              .r2;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> row_counts(const bits::BitMatrix& m) {
+  std::vector<std::uint32_t> out(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    out[r] = static_cast<std::uint32_t>(m.row_popcount(r));
+  }
+  return out;
+}
+
+}  // namespace snp::stats

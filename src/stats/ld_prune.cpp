@@ -1,0 +1,82 @@
+#include "stats/ld_prune.hpp"
+
+#include <stdexcept>
+
+#include "bits/compare.hpp"
+#include "stats/em_ld.hpp"
+
+namespace snp::stats {
+
+namespace {
+
+std::uint32_t joint_count(const bits::BitMatrix& a, std::size_t i,
+                          const bits::BitMatrix& b, std::size_t j) {
+  const auto ra = a.row64(i);
+  const auto rb = b.row64(j);
+  std::uint32_t n = 0;
+  for (std::size_t w = 0; w < ra.size(); ++w) {
+    n += static_cast<std::uint32_t>(bits::popcount(ra[w] & rb[w]));
+  }
+  return n;
+}
+
+}  // namespace
+
+double pairwise_genotype_r2(const bits::GenotypeMatrix& g,
+                            std::size_t locus_a, std::size_t locus_b) {
+  if (locus_a >= g.loci() || locus_b >= g.loci()) {
+    throw std::out_of_range("pairwise_genotype_r2: locus out of range");
+  }
+  const auto pres = bits::encode(g, bits::EncodingPlane::kPresence);
+  const auto hom = bits::encode(g, bits::EncodingPlane::kHomozygous);
+  const auto table = table_from_plane_counts(
+      joint_count(pres, locus_a, pres, locus_b),
+      joint_count(hom, locus_a, hom, locus_b),
+      joint_count(pres, locus_a, hom, locus_b),
+      joint_count(hom, locus_a, pres, locus_b),
+      static_cast<std::uint32_t>(pres.row_popcount(locus_a)),
+      static_cast<std::uint32_t>(hom.row_popcount(locus_a)),
+      static_cast<std::uint32_t>(pres.row_popcount(locus_b)),
+      static_cast<std::uint32_t>(hom.row_popcount(locus_b)),
+      g.samples());
+  return em_ld(table).r2;
+}
+
+std::vector<std::size_t> ld_prune(const bits::GenotypeMatrix& g,
+                                  const LdPruneParams& params) {
+  if (params.window == 0 || params.r2_threshold < 0.0) {
+    throw std::invalid_argument("ld_prune: bad parameters");
+  }
+  // Encode the planes once; pairwise tables come from row AND popcounts.
+  const auto pres = bits::encode(g, bits::EncodingPlane::kPresence);
+  const auto hom = bits::encode(g, bits::EncodingPlane::kHomozygous);
+  std::vector<std::uint32_t> pres_n(g.loci()), hom_n(g.loci());
+  for (std::size_t l = 0; l < g.loci(); ++l) {
+    pres_n[l] = static_cast<std::uint32_t>(pres.row_popcount(l));
+    hom_n[l] = static_cast<std::uint32_t>(hom.row_popcount(l));
+  }
+
+  std::vector<std::size_t> kept;
+  for (std::size_t l = 0; l < g.loci(); ++l) {
+    bool drop = false;
+    // Only kept loci within the window can veto this one.
+    for (auto it = kept.rbegin();
+         it != kept.rend() && l - *it <= params.window; ++it) {
+      const std::size_t k = *it;
+      const auto table = table_from_plane_counts(
+          joint_count(pres, l, pres, k), joint_count(hom, l, hom, k),
+          joint_count(pres, l, hom, k), joint_count(hom, l, pres, k),
+          pres_n[l], hom_n[l], pres_n[k], hom_n[k], g.samples());
+      if (em_ld(table).r2 > params.r2_threshold) {
+        drop = true;
+        break;
+      }
+    }
+    if (!drop) {
+      kept.push_back(l);
+    }
+  }
+  return kept;
+}
+
+}  // namespace snp::stats

@@ -1,0 +1,34 @@
+// Greedy windowed LD pruning (the PLINK --indep-pairwise workflow).
+//
+// Kinship and structure methods assume (nearly) independent markers; LD
+// blocks violate that and inflate estimator noise (see the gwas_study
+// example). Pruning scans loci in genomic order and drops any locus whose
+// genotype r^2 with an already-kept locus inside the window exceeds the
+// threshold. r^2 comes from the EM haplotype fit over the two-plane
+// counts — the same machinery Context::genotype_ld uses, evaluated only
+// for nearby pairs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bits/genotype.hpp"
+
+namespace snp::stats {
+
+struct LdPruneParams {
+  std::size_t window = 50;     ///< loci on each side to test against
+  double r2_threshold = 0.2;   ///< drop when r^2 exceeds this
+};
+
+/// Returns the indices of the kept loci, in order.
+[[nodiscard]] std::vector<std::size_t> ld_prune(
+    const bits::GenotypeMatrix& genotypes, const LdPruneParams& params = {});
+
+/// EM genotype r^2 between two loci of a cohort (the pairwise primitive
+/// ld_prune uses; exposed for tests and ad-hoc queries).
+[[nodiscard]] double pairwise_genotype_r2(const bits::GenotypeMatrix& g,
+                                          std::size_t locus_a,
+                                          std::size_t locus_b);
+
+}  // namespace snp::stats

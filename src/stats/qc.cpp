@@ -1,0 +1,114 @@
+#include "stats/qc.hpp"
+
+#include <stdexcept>
+
+#include "stats/assoc.hpp"  // chi2_sf_1df
+
+namespace snp::stats {
+
+LocusQc locus_qc(double n0, double n1, double n2, std::size_t missing,
+                 const QcThresholds& thresholds) {
+  if (n0 < 0 || n1 < 0 || n2 < 0) {
+    throw std::invalid_argument("locus_qc: negative genotype count");
+  }
+  LocusQc qc;
+  const double n = n0 + n1 + n2;
+  const double total_calls = n + static_cast<double>(missing);
+  qc.missing_rate =
+      total_calls > 0 ? static_cast<double>(missing) / total_calls : 0.0;
+  if (n <= 0) {
+    qc.flags |= kQcLowMaf;
+    return qc;
+  }
+  const double p = (n1 + 2.0 * n2) / (2.0 * n);
+  qc.maf = std::min(p, 1.0 - p);
+  qc.het_observed = n1 / n;
+  qc.het_expected = 2.0 * p * (1.0 - p);
+
+  // HWE goodness of fit (1 df): observed genotype counts vs the
+  // frequencies implied by p.
+  const double q = 1.0 - p;
+  const double e0 = n * q * q;
+  const double e1 = n * 2.0 * p * q;
+  const double e2 = n * p * p;
+  if (e0 > 0 && e1 > 0 && e2 > 0) {
+    qc.hwe_chi2 = (n0 - e0) * (n0 - e0) / e0 +
+                  (n1 - e1) * (n1 - e1) / e1 +
+                  (n2 - e2) * (n2 - e2) / e2;
+    qc.hwe_p = chi2_sf_1df(qc.hwe_chi2);
+  }
+
+  if (qc.maf < thresholds.min_maf) {
+    qc.flags |= kQcLowMaf;
+  }
+  if (qc.missing_rate > thresholds.max_missing_rate) {
+    qc.flags |= kQcHighMissing;
+  }
+  if (qc.hwe_p < thresholds.min_hwe_p) {
+    qc.flags |= kQcHweViolation;
+  }
+  return qc;
+}
+
+std::vector<LocusQc> qc_report(
+    const bits::GenotypeMatrix& genotypes,
+    const std::vector<std::size_t>& missing_per_locus,
+    const QcThresholds& thresholds) {
+  if (!missing_per_locus.empty() &&
+      missing_per_locus.size() != genotypes.loci()) {
+    throw std::invalid_argument(
+        "qc_report: missing_per_locus must be empty or one entry per "
+        "locus");
+  }
+  std::vector<LocusQc> out(genotypes.loci());
+  for (std::size_t l = 0; l < genotypes.loci(); ++l) {
+    double counts[3] = {};
+    for (std::size_t s = 0; s < genotypes.samples(); ++s) {
+      counts[genotypes.at(l, s)] += 1.0;
+    }
+    const std::size_t missing =
+        missing_per_locus.empty() ? 0 : missing_per_locus[l];
+    // Missing calls were decoded as dosage 0 by the loaders; remove them
+    // from the reference-homozygote cell so frequencies aren't biased.
+    counts[0] -= static_cast<double>(missing);
+    if (counts[0] < 0) {
+      throw std::invalid_argument(
+          "qc_report: more missing calls than dosage-0 entries");
+    }
+    out[l] = locus_qc(counts[0], counts[1], counts[2], missing,
+                      thresholds);
+  }
+  return out;
+}
+
+io::PlinkLiteDataset filter_loci(const io::PlinkLiteDataset& ds,
+                                 const std::vector<LocusQc>& qc) {
+  if (!ds.consistent() || qc.size() != ds.loci.size()) {
+    throw std::invalid_argument("filter_loci: shape mismatch");
+  }
+  io::PlinkLiteDataset out;
+  out.samples = ds.samples;
+  out.missing_calls = ds.missing_calls;
+  std::vector<std::size_t> keep;
+  for (std::size_t l = 0; l < qc.size(); ++l) {
+    if (qc[l].pass()) {
+      keep.push_back(l);
+    }
+  }
+  out.genotypes = bits::GenotypeMatrix(keep.size(), ds.samples.size());
+  out.loci.reserve(keep.size());
+  out.missing_per_locus.reserve(keep.size());
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    const std::size_t l = keep[k];
+    out.loci.push_back(ds.loci[l]);
+    if (!ds.missing_per_locus.empty()) {
+      out.missing_per_locus.push_back(ds.missing_per_locus[l]);
+    }
+    for (std::size_t s = 0; s < ds.samples.size(); ++s) {
+      out.genotypes.at(k, s) = ds.genotypes.at(l, s);
+    }
+  }
+  return out;
+}
+
+}  // namespace snp::stats

@@ -1,0 +1,61 @@
+// Per-locus quality control — the gatekeeping every real cohort passes
+// through before LD scans or association testing: minor-allele frequency,
+// missing-call rate, and the Hardy-Weinberg equilibrium goodness-of-fit
+// test (excess heterozygosity is the classic genotyping-artifact
+// signature).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/genotype.hpp"
+#include "io/plink_lite.hpp"
+
+namespace snp::stats {
+
+struct QcThresholds {
+  double min_maf = 0.01;
+  double max_missing_rate = 0.1;
+  double min_hwe_p = 1e-6;
+};
+
+/// Reasons a locus failed, OR-able.
+enum QcFlag : std::uint8_t {
+  kQcPass = 0,
+  kQcLowMaf = 1,
+  kQcHighMissing = 2,
+  kQcHweViolation = 4,
+};
+
+struct LocusQc {
+  double maf = 0.0;
+  double missing_rate = 0.0;
+  double het_observed = 0.0;  ///< observed heterozygosity
+  double het_expected = 0.0;  ///< 2pq under HWE
+  double hwe_chi2 = 0.0;
+  double hwe_p = 1.0;
+  std::uint8_t flags = kQcPass;
+
+  [[nodiscard]] bool pass() const { return flags == kQcPass; }
+};
+
+/// QC for one locus from its genotype counts (by dosage) and the number
+/// of missing calls.
+[[nodiscard]] LocusQc locus_qc(double n0, double n1, double n2,
+                               std::size_t missing,
+                               const QcThresholds& thresholds = {});
+
+/// Whole-cohort report. `missing_per_locus` may be empty (no missingness
+/// information, e.g. generated data) or one entry per locus (as the
+/// plink-lite / vcf-lite loaders provide).
+[[nodiscard]] std::vector<LocusQc> qc_report(
+    const bits::GenotypeMatrix& genotypes,
+    const std::vector<std::size_t>& missing_per_locus = {},
+    const QcThresholds& thresholds = {});
+
+/// Returns a dataset containing only the passing loci (metadata and
+/// genotypes filtered together).
+[[nodiscard]] io::PlinkLiteDataset filter_loci(
+    const io::PlinkLiteDataset& ds, const std::vector<LocusQc>& qc);
+
+}  // namespace snp::stats

@@ -1,0 +1,98 @@
+// Autotuner: feasibility of every returned config, ranking order, preset
+// competitiveness (the Table II validation).
+#include "sim/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snp::sim {
+namespace {
+
+using bits::Comparison;
+
+TEST(Autotune, ReturnsRankedFeasibleConfigs) {
+  const auto dev = model::gtx980();
+  const KernelShape shape{8192, 8192, 383};
+  const auto ranked = autotune(dev, Comparison::kAnd, shape,
+                               model::WorkloadKind::kLd);
+  ASSERT_FALSE(ranked.empty());
+  ASSERT_LE(ranked.size(), 5u);
+  double prev = 0.0;
+  for (const auto& tc : ranked) {
+    EXPECT_TRUE(model::validate(tc.config, dev).ok)
+        << tc.config.to_string();
+    EXPECT_GE(tc.seconds, prev);
+    prev = tc.seconds;
+    EXPECT_GT(tc.gops, 0.0);
+  }
+}
+
+TEST(Autotune, RejectsDegenerateShape) {
+  EXPECT_THROW((void)autotune(model::gtx980(), Comparison::kAnd,
+                              {0, 1, 1}, model::WorkloadKind::kLd),
+               std::invalid_argument);
+}
+
+class PresetHeadroom : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresetHeadroom, TableIIPresetsAreNearOptimalForLd) {
+  // Within the model, exhaustive search must not beat the shipped preset
+  // by much on the paper's own Fig. 5 shape — the quantitative version of
+  // "the analytical derivation is enough" (cf. Low et al., 'Analytical
+  // modeling is enough for high-performance BLIS').
+  const auto dev = model::all_gpus()[static_cast<std::size_t>(GetParam())];
+  const KernelShape shape{16384, 16384,
+                          static_cast<std::size_t>(
+                              model::paper_preset(
+                                  dev, model::WorkloadKind::kLd)
+                                  .k_c)};
+  const double headroom = tuning_headroom(dev, Comparison::kAnd, shape,
+                                          model::WorkloadKind::kLd);
+  EXPECT_GE(headroom, 1.0 - 1e-9) << dev.name;   // best can't be worse
+  EXPECT_LE(headroom, 1.15) << dev.name;         // ...or much better
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, PresetHeadroom,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Autotune, FastIdShapesPreferSkewedGrids) {
+  // 32-query FastID: every top configuration should put (nearly) all
+  // cores on the database dimension, as the Table II presets do.
+  const auto dev = model::titan_v();
+  const KernelShape shape{32, 4'000'000, 32};
+  const auto ranked = autotune(dev, Comparison::kXor, shape,
+                               model::WorkloadKind::kFastId);
+  for (const auto& tc : ranked) {
+    EXPECT_LE(tc.config.grid.grid_m, 2) << tc.config.to_string();
+  }
+}
+
+TEST(Autotune, SearchSpaceKnobsRespected) {
+  const auto dev = model::vega64();
+  AutotuneOptions opts;
+  opts.m_c_candidates = {32};
+  opts.k_c_fractions = {1.0};
+  opts.sweep_grid = false;
+  opts.top_k = 3;
+  const auto ranked = autotune(dev, Comparison::kAnd, {4096, 4096, 512},
+                               model::WorkloadKind::kLd, opts);
+  ASSERT_LE(ranked.size(), 3u);
+  for (const auto& tc : ranked) {
+    // Preset (32x2 grid) may appear; everything else uses the fixed grid.
+    const bool preset_grid = tc.config.grid == model::CoreGrid{32, 2};
+    const bool fixed_grid =
+        tc.config.grid == model::CoreGrid{dev.n_cores, 1};
+    EXPECT_TRUE(preset_grid || fixed_grid) << tc.config.to_string();
+    EXPECT_EQ(tc.config.m_c, 32);
+  }
+}
+
+TEST(Autotune, WorksOnCustomDeviceWithoutPreset) {
+  auto dev = model::gtx980();
+  dev.name = "Custom";
+  const auto ranked = autotune(dev, Comparison::kAnd, {2048, 2048, 128},
+                               model::WorkloadKind::kLd);
+  EXPECT_FALSE(ranked.empty());
+}
+
+}  // namespace
+}  // namespace snp::sim

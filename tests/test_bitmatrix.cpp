@@ -1,0 +1,163 @@
+// BitMatrix: packing, padding, views, slicing, negation (paper Fig. 2).
+#include "bits/bitmatrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bits/word.hpp"
+#include "io/datagen.hpp"
+
+namespace snp::bits {
+namespace {
+
+TEST(BitMatrix, DefaultIsEmpty) {
+  BitMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.bit_cols(), 0u);
+}
+
+TEST(BitMatrix, ZeroInitialized) {
+  BitMatrix m(3, 100);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(m.row_popcount(r), 0u);
+  }
+  EXPECT_TRUE(m.padding_is_zero());
+}
+
+TEST(BitMatrix, StrideCoversColumnsAndRespectsRequest) {
+  BitMatrix m(2, 65);  // needs 2 words
+  EXPECT_EQ(m.words64_per_row(), 2u);
+  BitMatrix wide(2, 65, 4);  // padded to a multiple of 4 words
+  EXPECT_EQ(wide.words64_per_row(), 4u);
+  BitMatrix tiny(2, 1, 8);
+  EXPECT_EQ(tiny.words64_per_row(), 8u);
+}
+
+TEST(BitMatrix, ZeroStrideRejected) {
+  EXPECT_THROW(BitMatrix(1, 1, 0), std::invalid_argument);
+}
+
+TEST(BitMatrix, SetGetRoundTrip) {
+  BitMatrix m(4, 130);
+  m.set(0, 0, true);
+  m.set(1, 63, true);
+  m.set(2, 64, true);
+  m.set(3, 129, true);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(1, 63));
+  EXPECT_TRUE(m.get(2, 64));
+  EXPECT_TRUE(m.get(3, 129));
+  EXPECT_FALSE(m.get(0, 1));
+  m.set(1, 63, false);
+  EXPECT_FALSE(m.get(1, 63));
+  EXPECT_TRUE(m.padding_is_zero());
+}
+
+TEST(BitMatrix, OutOfRangeThrows) {
+  BitMatrix m(2, 10);
+  EXPECT_THROW(m.set(2, 0, true), std::out_of_range);
+  EXPECT_THROW(m.set(0, 10, true), std::out_of_range);
+  EXPECT_THROW((void)m.get(0, 10), std::out_of_range);
+}
+
+TEST(BitMatrix, RowPopcount) {
+  BitMatrix m(1, 200);
+  for (std::size_t i = 0; i < 200; i += 3) {
+    m.set(0, i, true);
+  }
+  EXPECT_EQ(m.row_popcount(0), 67u);
+}
+
+TEST(BitMatrix, Word32And64ViewsAgree) {
+  BitMatrix m(1, 64);
+  m.set(0, 0, true);    // bit 0 -> word32[0] bit 0
+  m.set(0, 31, true);   // bit 31 -> word32[0] bit 31
+  m.set(0, 32, true);   // bit 32 -> word32[1] bit 0
+  m.set(0, 63, true);   // bit 63 -> word32[1] bit 31
+  const auto w32 = m.row32(0);
+  EXPECT_EQ(w32[0], 0x80000001u);
+  EXPECT_EQ(w32[1], 0x80000001u);
+  const auto w64 = m.row64(0);
+  EXPECT_EQ(w64[0], 0x8000000180000001ull);
+}
+
+TEST(BitMatrix, WithStridePreservesContent) {
+  const BitMatrix m = io::random_bitmatrix(5, 150, 0.5, 42);
+  const BitMatrix wide = m.with_stride(8);
+  EXPECT_EQ(wide.words64_per_row(), 8u);
+  EXPECT_EQ(m, wide);
+  EXPECT_TRUE(wide.padding_is_zero());
+}
+
+TEST(BitMatrix, NegatedFlipsLogicalBitsOnly) {
+  BitMatrix m(2, 70);
+  m.set(0, 3, true);
+  m.set(1, 69, true);
+  const BitMatrix n = m.negated();
+  EXPECT_FALSE(n.get(0, 3));
+  EXPECT_TRUE(n.get(0, 4));
+  EXPECT_FALSE(n.get(1, 69));
+  EXPECT_TRUE(n.padding_is_zero());
+  EXPECT_EQ(n.row_popcount(0), 69u);
+  EXPECT_EQ(n.row_popcount(1), 69u);
+}
+
+TEST(BitMatrix, DoubleNegationIsIdentity) {
+  const BitMatrix m = io::random_bitmatrix(7, 123, 0.3, 7);
+  EXPECT_EQ(m.negated().negated(), m);
+}
+
+TEST(BitMatrix, RowSlice) {
+  const BitMatrix m = io::random_bitmatrix(10, 90, 0.5, 3);
+  const BitMatrix s = m.row_slice(3, 7);
+  EXPECT_EQ(s.rows(), 4u);
+  EXPECT_EQ(s.bit_cols(), 90u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 90; ++c) {
+      EXPECT_EQ(s.get(r, c), m.get(r + 3, c));
+    }
+  }
+  EXPECT_THROW((void)m.row_slice(7, 3), std::out_of_range);
+  EXPECT_THROW((void)m.row_slice(0, 11), std::out_of_range);
+}
+
+TEST(BitMatrix, EqualityIgnoresStride) {
+  const BitMatrix m = io::random_bitmatrix(4, 100, 0.5, 9);
+  EXPECT_EQ(m, m.with_stride(6));
+  BitMatrix other = m.with_stride(1);
+  other.set(0, 0, !other.get(0, 0));
+  EXPECT_FALSE(m == other);
+}
+
+TEST(CountMatrix, Basics) {
+  CountMatrix c(3, 5);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 5u);
+  c.at(2, 4) = 17;
+  EXPECT_EQ(c.at(2, 4), 17u);
+  EXPECT_EQ(c.size_bytes(), 3u * 5u * 4u);
+  CountMatrix d(3, 5);
+  EXPECT_FALSE(c == d);
+  d.at(2, 4) = 17;
+  EXPECT_TRUE(c == d);
+}
+
+class BitMatrixPaddingSweep
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitMatrixPaddingSweep, PaddingStaysZeroUnderMutation) {
+  const std::size_t bits = GetParam();
+  BitMatrix m(3, bits, 4);
+  for (std::size_t i = 0; i < bits; i += 2) {
+    m.set(1, i, true);
+  }
+  EXPECT_TRUE(m.padding_is_zero());
+  EXPECT_EQ(m.row_popcount(1), (bits + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeWidths, BitMatrixPaddingSweep,
+                         ::testing::Values(1, 31, 32, 33, 63, 64, 65, 127,
+                                           128, 255, 256, 1000));
+
+}  // namespace
+}  // namespace snp::bits

@@ -1,0 +1,138 @@
+// UPGMA clustering: known small dendrograms, ultrametric property,
+// planted-subpopulation recovery from the XOR kernel's distances.
+#include "stats/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "io/datagen.hpp"
+#include "io/rng.hpp"
+
+namespace snp::stats {
+namespace {
+
+bits::CountMatrix dist4() {
+  // Two tight pairs {0,1} and {2,3}, far apart.
+  bits::CountMatrix d(4, 4);
+  const std::uint32_t m[4][4] = {{0, 2, 20, 22},
+                                 {2, 0, 18, 20},
+                                 {20, 18, 0, 4},
+                                 {22, 20, 4, 0}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      d.at(i, j) = m[i][j];
+    }
+  }
+  return d;
+}
+
+TEST(Upgma, KnownSmallTree) {
+  const auto tree = upgma(dist4());
+  ASSERT_EQ(tree.nodes().size(), 7u);  // 4 leaves + 3 merges
+  EXPECT_TRUE(tree.heights_monotone());
+  // First merge: {0,1} at height 2; second: {2,3} at height 4.
+  const auto& first = tree.nodes()[4];
+  EXPECT_EQ(std::min(first.left, first.right), 0);
+  EXPECT_EQ(std::max(first.left, first.right), 1);
+  EXPECT_DOUBLE_EQ(first.height, 2.0);
+  const auto& second = tree.nodes()[5];
+  EXPECT_EQ(std::min(second.left, second.right), 2);
+  EXPECT_EQ(std::max(second.left, second.right), 3);
+  EXPECT_DOUBLE_EQ(second.height, 4.0);
+  // Final merge height: average of the 4 cross distances = 20.
+  EXPECT_DOUBLE_EQ(tree.nodes()[6].height, 20.0);
+  EXPECT_EQ(tree.nodes()[6].size, 4u);
+}
+
+TEST(Upgma, CutK) {
+  const auto tree = upgma(dist4());
+  const auto two = tree.cut_k(2);
+  EXPECT_EQ(two[0], two[1]);
+  EXPECT_EQ(two[2], two[3]);
+  EXPECT_NE(two[0], two[2]);
+  const auto one = tree.cut_k(1);
+  EXPECT_EQ(one, (std::vector<std::size_t>{0, 0, 0, 0}));
+  const auto four = tree.cut_k(4);
+  EXPECT_EQ(std::set<std::size_t>(four.begin(), four.end()).size(), 4u);
+  EXPECT_THROW((void)tree.cut_k(0), std::invalid_argument);
+  EXPECT_THROW((void)tree.cut_k(5), std::invalid_argument);
+}
+
+TEST(Upgma, InputValidation) {
+  EXPECT_THROW((void)upgma(bits::CountMatrix()), std::invalid_argument);
+  EXPECT_THROW((void)upgma(bits::CountMatrix(2, 3)),
+               std::invalid_argument);
+  bits::CountMatrix asym(2, 2);
+  asym.at(0, 1) = 5;
+  EXPECT_THROW((void)upgma(asym), std::invalid_argument);
+}
+
+TEST(Upgma, SingleLeaf) {
+  const auto tree = upgma(bits::CountMatrix(1, 1));
+  EXPECT_EQ(tree.leaves(), 1u);
+  EXPECT_EQ(tree.cut_k(1), (std::vector<std::size_t>{0}));
+}
+
+TEST(Upgma, RecoversPlantedSubpopulations) {
+  // Two populations with divergent allele-frequency profiles; profiles
+  // within a population are much closer in Hamming distance.
+  constexpr std::size_t kPerPop = 12;
+  constexpr std::size_t kSnps = 1024;
+  io::Rng rng(2025);
+  // Population-specific site frequencies.
+  std::vector<double> freq_a(kSnps), freq_b(kSnps);
+  for (std::size_t k = 0; k < kSnps; ++k) {
+    freq_a[k] = 0.05 + 0.4 * rng.next_double();
+    freq_b[k] = 0.05 + 0.4 * rng.next_double();
+  }
+  bits::BitMatrix profiles(2 * kPerPop, kSnps);
+  for (std::size_t i = 0; i < 2 * kPerPop; ++i) {
+    const auto& freq = i < kPerPop ? freq_a : freq_b;
+    for (std::size_t k = 0; k < kSnps; ++k) {
+      if (rng.next_bernoulli(freq[k])) {
+        profiles.set(i, k, true);
+      }
+    }
+  }
+  const auto tree = upgma(hamming_distances(profiles));
+  EXPECT_TRUE(tree.heights_monotone());
+  const auto labels = tree.cut_k(2);
+  for (std::size_t i = 1; i < kPerPop; ++i) {
+    EXPECT_EQ(labels[i], labels[0]) << i;
+    EXPECT_EQ(labels[kPerPop + i], labels[kPerPop]) << i;
+  }
+  EXPECT_NE(labels[0], labels[kPerPop]);
+}
+
+TEST(Upgma, ThreePopulations) {
+  constexpr std::size_t kPerPop = 8;
+  constexpr std::size_t kSnps = 2048;
+  io::Rng rng(2026);
+  std::vector<std::vector<double>> freqs(3, std::vector<double>(kSnps));
+  for (auto& f : freqs) {
+    for (auto& v : f) {
+      v = 0.05 + 0.4 * rng.next_double();
+    }
+  }
+  bits::BitMatrix profiles(3 * kPerPop, kSnps);
+  for (std::size_t i = 0; i < 3 * kPerPop; ++i) {
+    const auto& f = freqs[i / kPerPop];
+    for (std::size_t k = 0; k < kSnps; ++k) {
+      if (rng.next_bernoulli(f[k])) {
+        profiles.set(i, k, true);
+      }
+    }
+  }
+  const auto labels = upgma(hamming_distances(profiles)).cut_k(3);
+  for (std::size_t pop = 0; pop < 3; ++pop) {
+    for (std::size_t i = 1; i < kPerPop; ++i) {
+      EXPECT_EQ(labels[pop * kPerPop + i], labels[pop * kPerPop]);
+    }
+  }
+  EXPECT_EQ(std::set<std::size_t>(labels.begin(), labels.end()).size(),
+            3u);
+}
+
+}  // namespace
+}  // namespace snp::stats

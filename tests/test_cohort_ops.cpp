@@ -1,0 +1,121 @@
+// Cohort manipulation: merging batches and panels, subsetting, metadata
+// consistency.
+#include "io/cohort_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/datagen.hpp"
+
+namespace snp::io {
+namespace {
+
+PlinkLiteDataset cohort(std::size_t loci, std::size_t samples,
+                        std::uint64_t seed, const std::string& chrom,
+                        const std::string& sample_prefix) {
+  PopulationParams p;
+  p.seed = seed;
+  auto ds = with_synthetic_metadata(generate_genotypes(loci, samples, p),
+                                    chrom);
+  for (std::size_t l = 0; l < ds.loci.size(); ++l) {
+    ds.loci[l].id = chrom + "_rs" + std::to_string(l);
+  }
+  for (std::size_t s = 0; s < ds.samples.size(); ++s) {
+    ds.samples[s] = sample_prefix + std::to_string(s);
+  }
+  ds.missing_per_locus.assign(loci, 0);
+  return ds;
+}
+
+TEST(CohortOps, MergeLoci) {
+  auto a = cohort(5, 8, 1, "1", "s");
+  auto b = cohort(3, 8, 2, "2", "s");
+  const auto m = merge_loci(a, b);
+  ASSERT_TRUE(m.consistent());
+  EXPECT_EQ(m.loci.size(), 8u);
+  EXPECT_EQ(m.samples, a.samples);
+  EXPECT_EQ(m.loci[0].id, "1_rs0");
+  EXPECT_EQ(m.loci[5].id, "2_rs0");
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(m.genotypes.at(2, s), a.genotypes.at(2, s));
+    EXPECT_EQ(m.genotypes.at(6, s), b.genotypes.at(1, s));
+  }
+  EXPECT_EQ(m.missing_per_locus.size(), 8u);
+}
+
+TEST(CohortOps, MergeLociRejections) {
+  auto a = cohort(5, 8, 1, "1", "s");
+  auto b = cohort(3, 9, 2, "2", "s");  // different sample count
+  EXPECT_THROW((void)merge_loci(a, b), std::invalid_argument);
+  auto c = cohort(3, 8, 3, "1", "s");  // duplicate locus ids
+  EXPECT_THROW((void)merge_loci(a, c), std::invalid_argument);
+}
+
+TEST(CohortOps, MergeSamples) {
+  auto a = cohort(6, 4, 4, "1", "batchA_");
+  auto b = cohort(6, 5, 5, "1", "batchB_");
+  const auto m = merge_samples(a, b);
+  ASSERT_TRUE(m.consistent());
+  EXPECT_EQ(m.samples.size(), 9u);
+  EXPECT_EQ(m.loci.size(), 6u);
+  EXPECT_EQ(m.samples[0], "batchA_0");
+  EXPECT_EQ(m.samples[4], "batchB_0");
+  for (std::size_t l = 0; l < 6; ++l) {
+    EXPECT_EQ(m.genotypes.at(l, 2), a.genotypes.at(l, 2));
+    EXPECT_EQ(m.genotypes.at(l, 4 + 3), b.genotypes.at(l, 3));
+  }
+}
+
+TEST(CohortOps, MergeSamplesRejections) {
+  auto a = cohort(6, 4, 4, "1", "x");
+  auto b = cohort(5, 5, 5, "1", "y");  // locus count mismatch
+  EXPECT_THROW((void)merge_samples(a, b), std::invalid_argument);
+  auto c = cohort(6, 5, 6, "1", "x");  // duplicate sample names
+  EXPECT_THROW((void)merge_samples(a, c), std::invalid_argument);
+  auto d = cohort(6, 5, 7, "1", "z");
+  d.loci[3].pos += 1;  // locus metadata mismatch
+  EXPECT_THROW((void)merge_samples(a, d), std::invalid_argument);
+}
+
+TEST(CohortOps, SubsetSamples) {
+  const auto ds = cohort(4, 6, 8, "1", "s");
+  const auto sub = subset_samples(ds, {"s4", "s1"});
+  ASSERT_TRUE(sub.consistent());
+  EXPECT_EQ(sub.samples, (std::vector<std::string>{"s4", "s1"}));
+  for (std::size_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(sub.genotypes.at(l, 0), ds.genotypes.at(l, 4));
+    EXPECT_EQ(sub.genotypes.at(l, 1), ds.genotypes.at(l, 1));
+  }
+  EXPECT_THROW((void)subset_samples(ds, {"nope"}), std::invalid_argument);
+}
+
+TEST(CohortOps, SubsetLoci) {
+  const auto ds = cohort(7, 3, 9, "1", "s");
+  const auto sub = subset_loci(ds, {6, 0, 3});
+  ASSERT_TRUE(sub.consistent());
+  ASSERT_EQ(sub.loci.size(), 3u);
+  EXPECT_EQ(sub.loci[0].id, "1_rs6");
+  EXPECT_EQ(sub.loci[1].id, "1_rs0");
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(sub.genotypes.at(0, s), ds.genotypes.at(6, s));
+    EXPECT_EQ(sub.genotypes.at(2, s), ds.genotypes.at(3, s));
+  }
+  EXPECT_THROW((void)subset_loci(ds, {7}), std::out_of_range);
+}
+
+TEST(CohortOps, RoundTripThroughMergeAndSubset) {
+  // Splitting a cohort by samples and merging the halves back restores
+  // the original (module the sample order chosen).
+  const auto ds = cohort(5, 6, 10, "1", "s");
+  const auto left = subset_samples(ds, {"s0", "s1", "s2"});
+  const auto right = subset_samples(ds, {"s3", "s4", "s5"});
+  const auto merged = merge_samples(left, right);
+  EXPECT_EQ(merged.samples, ds.samples);
+  for (std::size_t l = 0; l < 5; ++l) {
+    for (std::size_t s = 0; s < 6; ++s) {
+      EXPECT_EQ(merged.genotypes.at(l, s), ds.genotypes.at(l, s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snp::io

@@ -1,0 +1,154 @@
+// The comparison operations (Eqs. 1-3): the word-level reference engine
+// against the bit-level oracle, plus algebraic identities of the three ops.
+#include "bits/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/datagen.hpp"
+
+namespace snp::bits {
+namespace {
+
+TEST(CompareApply, WordSemantics) {
+  const Word64 a = 0b1100;
+  const Word64 b = 0b1010;
+  EXPECT_EQ(apply(Comparison::kAnd, a, b), Word64{0b1000});
+  EXPECT_EQ(apply(Comparison::kXor, a, b), Word64{0b0110});
+  EXPECT_EQ(apply(Comparison::kAndNot, a, b), Word64{0b0100});
+}
+
+TEST(CompareApply, LogicOpsPerWord) {
+  EXPECT_EQ(logic_ops_per_word(Comparison::kAnd, false), 2);
+  EXPECT_EQ(logic_ops_per_word(Comparison::kXor, false), 2);
+  EXPECT_EQ(logic_ops_per_word(Comparison::kAndNot, true), 2);
+  EXPECT_EQ(logic_ops_per_word(Comparison::kAndNot, false), 3);
+}
+
+TEST(CompareReference, RejectsMismatchedK) {
+  const BitMatrix a(2, 64);
+  const BitMatrix b(2, 65);
+  EXPECT_THROW((void)compare_reference(a, b, Comparison::kAnd),
+               std::invalid_argument);
+}
+
+TEST(CompareReference, KnownSmallCase) {
+  BitMatrix a(2, 8);
+  BitMatrix b(2, 8);
+  // a0 = 11110000, a1 = 10101010; b0 = 11001100, b1 = 00001111
+  for (const std::size_t i : {0u, 1u, 2u, 3u}) a.set(0, i, true);
+  for (const std::size_t i : {0u, 2u, 4u, 6u}) a.set(1, i, true);
+  for (const std::size_t i : {0u, 1u, 4u, 5u}) b.set(0, i, true);
+  for (const std::size_t i : {4u, 5u, 6u, 7u}) b.set(1, i, true);
+  const CountMatrix and_c = compare_reference(a, b, Comparison::kAnd);
+  EXPECT_EQ(and_c.at(0, 0), 2u);  // {0,1}
+  EXPECT_EQ(and_c.at(0, 1), 0u);
+  EXPECT_EQ(and_c.at(1, 0), 2u);  // {0,4}
+  EXPECT_EQ(and_c.at(1, 1), 2u);  // {4,6}
+  const CountMatrix xor_c = compare_reference(a, b, Comparison::kXor);
+  EXPECT_EQ(xor_c.at(0, 0), 4u);
+  EXPECT_EQ(xor_c.at(1, 1), 4u);  // {0,2} ^ {5,7}
+  const CountMatrix andn_c = compare_reference(a, b, Comparison::kAndNot);
+  EXPECT_EQ(andn_c.at(0, 0), 2u);  // {2,3}
+  EXPECT_EQ(andn_c.at(0, 1), 4u);  // all of a0
+}
+
+struct RefCase {
+  std::size_t m, n, bits;
+  double density;
+};
+
+class ReferenceVsOracle
+    : public ::testing::TestWithParam<std::tuple<RefCase, Comparison>> {};
+
+TEST_P(ReferenceVsOracle, Agree) {
+  const auto& [c, op] = GetParam();
+  const BitMatrix a = io::random_bitmatrix(c.m, c.bits, c.density, 11);
+  const BitMatrix b = io::random_bitmatrix(c.n, c.bits, c.density, 22);
+  EXPECT_EQ(compare_reference(a, b, op), compare_bitwise_oracle(a, b, op));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReferenceVsOracle,
+    ::testing::Combine(
+        ::testing::Values(RefCase{1, 1, 1, 0.5}, RefCase{3, 5, 63, 0.5},
+                          RefCase{4, 4, 64, 0.2}, RefCase{5, 3, 65, 0.8},
+                          RefCase{8, 2, 200, 0.1},
+                          RefCase{2, 9, 129, 0.9}),
+        ::testing::Values(Comparison::kAnd, Comparison::kXor,
+                          Comparison::kAndNot)));
+
+TEST(CompareIdentities, AndSelfIsSymmetricWithMarginalDiagonal) {
+  const BitMatrix a = io::random_bitmatrix(6, 300, 0.4, 5);
+  const CountMatrix c = compare_reference(a, a, Comparison::kAnd);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(c.at(i, i), a.row_popcount(i));
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(c.at(i, j), c.at(j, i));
+    }
+  }
+}
+
+TEST(CompareIdentities, XorSelfDiagonalIsZero) {
+  const BitMatrix a = io::random_bitmatrix(5, 256, 0.5, 6);
+  const CountMatrix c = compare_reference(a, a, Comparison::kXor);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(c.at(i, i), 0u);
+  }
+}
+
+TEST(CompareIdentities, InclusionExclusion) {
+  // |a ^ b| = |a| + |b| - 2|a & b|  and  |a & ~b| = |a| - |a & b|.
+  const BitMatrix a = io::random_bitmatrix(4, 500, 0.3, 77);
+  const BitMatrix b = io::random_bitmatrix(4, 500, 0.6, 78);
+  const CountMatrix land = compare_reference(a, b, Comparison::kAnd);
+  const CountMatrix lxor = compare_reference(a, b, Comparison::kXor);
+  const CountMatrix landn = compare_reference(a, b, Comparison::kAndNot);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto pa = static_cast<std::uint32_t>(a.row_popcount(i));
+    for (std::size_t j = 0; j < 4; ++j) {
+      const auto pb = static_cast<std::uint32_t>(b.row_popcount(j));
+      EXPECT_EQ(lxor.at(i, j), pa + pb - 2 * land.at(i, j));
+      EXPECT_EQ(landn.at(i, j), pa - land.at(i, j));
+    }
+  }
+}
+
+TEST(CompareIdentities, AndNotEqualsAndAgainstNegated) {
+  // The Eq. 3 simplification: (r ^ m) & r == r & ~m, so AND-NOT against m
+  // equals AND against the pre-negated ~m.
+  const BitMatrix r = io::random_bitmatrix(5, 333, 0.25, 99);
+  const BitMatrix m = io::random_bitmatrix(5, 333, 0.5, 100);
+  EXPECT_EQ(compare_reference(r, m, Comparison::kAndNot),
+            compare_reference(r, m.negated(), Comparison::kAnd));
+}
+
+TEST(CompareIdentities, MixtureDefinitionMatchesSimplification) {
+  // popc((r ^ m) & r) == popc(r & ~m), verified bit-by-bit.
+  const BitMatrix r = io::random_bitmatrix(3, 128, 0.3, 1);
+  const BitMatrix m = io::random_bitmatrix(3, 128, 0.5, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      std::uint32_t direct = 0;
+      for (std::size_t k = 0; k < 128; ++k) {
+        const bool rv = r.get(i, k);
+        const bool mv = m.get(j, k);
+        direct += ((rv != mv) && rv) ? 1u : 0u;
+      }
+      EXPECT_EQ(direct,
+                compare_reference(r, m, Comparison::kAndNot).at(i, j));
+    }
+  }
+}
+
+TEST(CompareIdentities, PaddingContributesNothing) {
+  // Same logical content, different strides -> identical counts.
+  const BitMatrix a = io::random_bitmatrix(4, 100, 0.5, 10);
+  const BitMatrix b = io::random_bitmatrix(4, 100, 0.5, 20);
+  const auto base = compare_reference(a, b, Comparison::kXor);
+  EXPECT_EQ(compare_reference(a.with_stride(8), b.with_stride(8),
+                              Comparison::kXor),
+            base);
+}
+
+}  // namespace
+}  // namespace snp::bits

@@ -1,0 +1,202 @@
+// Kernel configuration: Eqs. 4-7, Table II presets, validation, core grid.
+#include "model/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snp::model {
+namespace {
+
+TEST(Config, Eq4MrIsNvec) {
+  for (const auto& d : all_gpus()) {
+    const auto cfg = derive(d, WorkloadKind::kLd);
+    EXPECT_EQ(cfg.m_r, d.n_vec) << d.name;
+  }
+}
+
+TEST(Config, Eq5AsPrintedDisagreesWithTableII) {
+  // The documented discrepancy: Eq. 5 yields N_b / N_cl = 8, Table II uses
+  // 32 for every device.
+  for (const auto& d : all_gpus()) {
+    EXPECT_EQ(m_c_eq5(d), 8) << d.name;
+    EXPECT_EQ(paper_preset(d, WorkloadKind::kLd).m_c, 32) << d.name;
+  }
+}
+
+TEST(Config, Eq6KcFromSharedMemory) {
+  // k_c = (N_shared - reserved) / (4 * N_b): 383 on NVIDIA (the runtime
+  // reserves a few words, Section V-E), 512 on Vega.
+  EXPECT_EQ(derive(gtx980(), WorkloadKind::kLd).k_c, 383);
+  EXPECT_EQ(derive(titan_v(), WorkloadKind::kLd).k_c, 383);
+  EXPECT_EQ(derive(vega64(), WorkloadKind::kLd).k_c, 512);
+}
+
+TEST(Config, Eq7LowerBound) {
+  // n_r >= (N_T * m_r / m_c) * N_vec * L_fn.
+  EXPECT_EQ(n_r_lower_bound(gtx980(), 4, 32), 96);    // 4*4*6
+  EXPECT_EQ(n_r_lower_bound(titan_v(), 4, 32), 64);   // 4*4*4
+  EXPECT_EQ(n_r_lower_bound(vega64(), 4, 32), 128);   // 8*4*4
+}
+
+TEST(Config, NrBoundsBracketPaperValues) {
+  for (const auto& d : all_gpus()) {
+    for (const auto kind : {WorkloadKind::kLd, WorkloadKind::kFastId}) {
+      const auto preset = paper_preset(d, kind);
+      EXPECT_GE(preset.n_r, n_r_lower_bound(d, preset.m_r, preset.m_c))
+          << d.name;
+      EXPECT_LE(preset.n_r, n_r_upper_bound(d, preset.m_r, preset.m_c))
+          << d.name;
+    }
+  }
+}
+
+TEST(Config, TableIIPresetsExact) {
+  const auto g_ld = paper_preset(gtx980(), WorkloadKind::kLd);
+  EXPECT_EQ(g_ld.m_r, 4);
+  EXPECT_EQ(g_ld.n_r, 384);
+  EXPECT_EQ(g_ld.k_c, 383);
+  EXPECT_EQ(g_ld.m_c, 32);
+  EXPECT_EQ(g_ld.grid, (CoreGrid{4, 4}));
+  const auto g_fid = paper_preset(gtx980(), WorkloadKind::kFastId);
+  EXPECT_EQ(g_fid.n_r, 768);
+  EXPECT_EQ(g_fid.grid, (CoreGrid{1, 16}));
+  const auto t_ld = paper_preset(titan_v(), WorkloadKind::kLd);
+  EXPECT_EQ(t_ld.n_r, 1024);
+  EXPECT_EQ(t_ld.k_c, 383);
+  EXPECT_EQ(t_ld.grid, (CoreGrid{80, 1}));
+  const auto t_fid = paper_preset(titan_v(), WorkloadKind::kFastId);
+  EXPECT_EQ(t_fid.grid, (CoreGrid{1, 80}));
+  const auto v_ld = paper_preset(vega64(), WorkloadKind::kLd);
+  EXPECT_EQ(v_ld.n_r, 1024);
+  EXPECT_EQ(v_ld.k_c, 512);
+  EXPECT_EQ(v_ld.grid, (CoreGrid{32, 2}));
+  const auto v_fid = paper_preset(vega64(), WorkloadKind::kFastId);
+  EXPECT_EQ(v_fid.grid, (CoreGrid{1, 64}));
+}
+
+TEST(Config, AllPresetsValidateOnTheirDevice) {
+  for (const auto& d : all_gpus()) {
+    for (const auto kind : {WorkloadKind::kLd, WorkloadKind::kFastId}) {
+      const auto check = validate(paper_preset(d, kind), d);
+      EXPECT_TRUE(check.ok) << d.name << ": " << check.reason;
+    }
+  }
+}
+
+TEST(Config, DerivedConfigsValidate) {
+  for (const auto& d : all_gpus()) {
+    for (const auto kind : {WorkloadKind::kLd, WorkloadKind::kFastId}) {
+      const auto cfg = derive(d, kind);
+      const auto check = validate(cfg, d);
+      EXPECT_TRUE(check.ok) << d.name << ": " << check.reason << " "
+                            << cfg.to_string();
+    }
+  }
+}
+
+TEST(Config, SharedTileFitsExactly) {
+  // The A tile fills usable shared memory to the byte: m_c * k_c * 4 ==
+  // N_shared - reserved on every device.
+  for (const auto& d : all_gpus()) {
+    const auto cfg = paper_preset(d, WorkloadKind::kLd);
+    EXPECT_EQ(cfg.shared_tile_bytes(), d.shared_bytes - d.shared_reserved)
+        << d.name;
+  }
+}
+
+TEST(Config, ValidationCatchesEachViolation) {
+  const auto d = titan_v();
+  auto cfg = paper_preset(d, WorkloadKind::kLd);
+  cfg.m_r = 3;  // not a multiple of N_vec
+  EXPECT_FALSE(validate(cfg, d).ok);
+  cfg = paper_preset(d, WorkloadKind::kLd);
+  cfg.k_c = 4000;  // overflows shared memory
+  EXPECT_FALSE(validate(cfg, d).ok);
+  cfg = paper_preset(d, WorkloadKind::kLd);
+  cfg.n_r = 63;  // not divisible by L_fn and below Eq. 7
+  EXPECT_FALSE(validate(cfg, d).ok);
+  cfg = paper_preset(d, WorkloadKind::kLd);
+  cfg.n_r = 32;  // below the Eq. 7 lower bound
+  EXPECT_FALSE(validate(cfg, d).ok);
+  cfg = paper_preset(d, WorkloadKind::kLd);
+  cfg.grid = {81, 1};  // more cores than the device has
+  EXPECT_FALSE(validate(cfg, d).ok);
+  cfg = paper_preset(d, WorkloadKind::kLd);
+  cfg.m_c = 0;
+  EXPECT_FALSE(validate(cfg, d).ok);
+  cfg = paper_preset(d, WorkloadKind::kLd);
+  cfg.m_c = 36;  // not a multiple of m_r=4? it is; use 34 instead
+  cfg.m_c = 34;
+  EXPECT_FALSE(validate(cfg, d).ok);
+}
+
+TEST(Config, RegisterSpillRejected) {
+  // Inflate n_r beyond what the register file supports.
+  const auto d = vega64();
+  auto cfg = paper_preset(d, WorkloadKind::kLd);
+  cfg.n_r = 8192;
+  const auto check = validate(cfg, d);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.reason.find("register"), std::string::npos);
+}
+
+TEST(Config, AccumulatorsPerThread) {
+  // m_r * (n_r / L_fn) outputs spread over N_T threads.
+  EXPECT_EQ(paper_preset(gtx980(), WorkloadKind::kLd)
+                .accumulators_per_thread(gtx980()),
+            8);   // 4 * 64 / 32
+  EXPECT_EQ(paper_preset(titan_v(), WorkloadKind::kLd)
+                .accumulators_per_thread(titan_v()),
+            32);  // 4 * 256 / 32
+  EXPECT_EQ(paper_preset(vega64(), WorkloadKind::kLd)
+                .accumulators_per_thread(vega64()),
+            16);  // 4 * 256 / 64
+}
+
+TEST(Config, OccupancyLimitedToNclTimesLfn) {
+  EXPECT_EQ(paper_preset(gtx980(), WorkloadKind::kLd)
+                .groups_per_core(gtx980()),
+            24);  // 4 * 6 <= N_grp 32
+  EXPECT_EQ(paper_preset(vega64(), WorkloadKind::kLd)
+                .groups_per_core(vega64()),
+            16);  // 4 * 4 == N_grp 16, exactly at the limit
+}
+
+TEST(CoreGrid, DeriveGridPrefersSkewForSkewedProblems) {
+  // FastID: one query tile, millions of database tiles -> all cores on N.
+  const CoreGrid fid = derive_grid(1, 1 << 20, 80);
+  EXPECT_EQ(fid.grid_m, 1);
+  EXPECT_EQ(fid.grid_n, 80);
+  // Square problems -> balanced-ish grids.
+  const CoreGrid sq = derive_grid(1024, 1024, 16);
+  EXPECT_EQ(sq.grid_m * sq.grid_n, 16);
+  EXPECT_LE(std::max(sq.grid_m, sq.grid_n), 8);
+}
+
+TEST(CoreGrid, DeriveGridHandlesEdges) {
+  EXPECT_EQ(derive_grid(1, 1, 16).cores(), 16);
+  EXPECT_THROW((void)derive_grid(1, 1, 0), std::invalid_argument);
+  const CoreGrid one = derive_grid(100, 100, 1);
+  EXPECT_EQ(one.grid_m, 1);
+  EXPECT_EQ(one.grid_n, 1);
+}
+
+TEST(Config, ToStringMentionsAllParameters) {
+  auto cfg = paper_preset(vega64(), WorkloadKind::kLd);
+  cfg.pre_negated = true;
+  const std::string s = cfg.to_string();
+  EXPECT_NE(s.find("m_r=4"), std::string::npos);
+  EXPECT_NE(s.find("k_c=512"), std::string::npos);
+  EXPECT_NE(s.find("n_r=1024"), std::string::npos);
+  EXPECT_NE(s.find("32x2"), std::string::npos);
+  EXPECT_NE(s.find("pre-negated"), std::string::npos);
+}
+
+TEST(Config, PresetUnknownDeviceThrows) {
+  GpuSpec d = gtx980();
+  d.name = "Mystery GPU";
+  EXPECT_THROW((void)paper_preset(d, WorkloadKind::kLd),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snp::model

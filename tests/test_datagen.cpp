@@ -1,0 +1,169 @@
+// Synthetic dataset generators: MAF spectra, LD blocks, profile databases,
+// planted queries, mixtures.
+#include "io/datagen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace snp::io {
+namespace {
+
+TEST(DrawMaf, RespectsBounds) {
+  PopulationParams p;
+  p.spectrum = MafSpectrum::kUniform;
+  p.maf_min = 0.05;
+  p.maf_max = 0.4;
+  for (const double m : draw_maf(1000, p)) {
+    EXPECT_GE(m, 0.05);
+    EXPECT_LE(m, 0.4);
+  }
+}
+
+TEST(DrawMaf, FixedSpectrum) {
+  PopulationParams p;
+  p.spectrum = MafSpectrum::kFixed;
+  p.maf_mean = 0.17;
+  for (const double m : draw_maf(10, p)) {
+    EXPECT_DOUBLE_EQ(m, 0.17);
+  }
+}
+
+TEST(DrawMaf, UShapedSkewsRare) {
+  PopulationParams p;
+  p.spectrum = MafSpectrum::kUShaped;
+  const auto maf = draw_maf(5000, p);
+  double mean = 0.0;
+  for (const double m : maf) {
+    mean += m;
+  }
+  mean /= static_cast<double>(maf.size());
+  // E[min + span*u^3] = min + span/4 ~= 0.1325 for [0.01, 0.5].
+  EXPECT_NEAR(mean, 0.1325, 0.02);
+}
+
+TEST(DrawMaf, RejectsBadBounds) {
+  PopulationParams p;
+  p.maf_min = 0.4;
+  p.maf_max = 0.2;
+  EXPECT_THROW((void)draw_maf(1, p), std::invalid_argument);
+  p.maf_min = 0.1;
+  p.maf_max = 0.7;
+  EXPECT_THROW((void)draw_maf(1, p), std::invalid_argument);
+}
+
+TEST(GenerateGenotypes, DosagesInRangeAndReproducible) {
+  PopulationParams p;
+  p.seed = 5;
+  const auto g1 = generate_genotypes(50, 80, p);
+  const auto g2 = generate_genotypes(50, 80, p);
+  for (std::size_t l = 0; l < 50; ++l) {
+    for (std::size_t s = 0; s < 80; ++s) {
+      EXPECT_LE(g1.at(l, s), 2);
+      EXPECT_EQ(g1.at(l, s), g2.at(l, s));
+    }
+  }
+}
+
+TEST(GenerateGenotypes, HardyWeinbergFrequency) {
+  PopulationParams p;
+  p.spectrum = MafSpectrum::kFixed;
+  p.maf_mean = 0.25;
+  p.seed = 6;
+  const auto g = generate_genotypes(200, 500, p);
+  double mean_maf = 0.0;
+  for (std::size_t l = 0; l < g.loci(); ++l) {
+    mean_maf += g.maf(l);
+  }
+  mean_maf /= static_cast<double>(g.loci());
+  EXPECT_NEAR(mean_maf, 0.25, 0.01);
+}
+
+TEST(GenerateGenotypes, LdBlocksCorrelateAdjacentLoci) {
+  PopulationParams p;
+  p.spectrum = MafSpectrum::kFixed;
+  p.maf_mean = 0.5;  // maximal variance makes correlation visible
+  p.ld_block_len = 10;
+  p.ld_copy = 0.95;
+  p.seed = 7;
+  const auto g = generate_genotypes(100, 400, p);
+  // Within-block adjacent loci should agree far more often than chance.
+  std::size_t agree = 0, total = 0;
+  for (std::size_t l = 1; l < g.loci(); ++l) {
+    if (l % p.ld_block_len == 0) {
+      continue;  // block boundary
+    }
+    for (std::size_t s = 0; s < g.samples(); ++s) {
+      agree += g.at(l, s) == g.at(l - 1, s) ? 1u : 0u;
+      ++total;
+    }
+  }
+  const double rate = static_cast<double>(agree) /
+                      static_cast<double>(total);
+  EXPECT_GT(rate, 0.9);  // chance agreement for HWE at maf 0.5 is 0.375
+}
+
+TEST(ProfileDb, ShapeDensityAndDeterminism) {
+  ProfileDbParams p;
+  p.spectrum = MafSpectrum::kFixed;
+  p.maf_mean = 0.2;
+  const auto db1 = generate_profile_db(100, 512, p);
+  const auto db2 = generate_profile_db(100, 512, p);
+  EXPECT_EQ(db1, db2);
+  EXPECT_EQ(db1.rows(), 100u);
+  EXPECT_EQ(db1.bit_cols(), 512u);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < db1.rows(); ++r) {
+    total += db1.row_popcount(r);
+  }
+  const double density = static_cast<double>(total) / (100.0 * 512.0);
+  EXPECT_NEAR(density, 0.2, 0.02);
+  EXPECT_TRUE(db1.padding_is_zero());
+}
+
+TEST(ExtractQueries, CopiesExactRows) {
+  const auto db = random_bitmatrix(20, 300, 0.5, 31);
+  const auto q = extract_queries(db, {3, 17, 0});
+  EXPECT_EQ(q.rows(), 3u);
+  EXPECT_EQ(q.row_slice(0, 1), db.row_slice(3, 4));
+  EXPECT_EQ(q.row_slice(1, 2), db.row_slice(17, 18));
+  EXPECT_EQ(q.row_slice(2, 3), db.row_slice(0, 1));
+  EXPECT_THROW((void)extract_queries(db, {20}), std::out_of_range);
+}
+
+TEST(Mixtures, UnionOfContributors) {
+  const auto db = random_bitmatrix(30, 200, 0.3, 41);
+  const auto mix = generate_mixtures(db, 5, 3, 42);
+  EXPECT_EQ(mix.mixtures.rows(), 5u);
+  for (std::size_t m = 0; m < 5; ++m) {
+    EXPECT_EQ(mix.contributors[m].size(), 3u);
+    // Every contributor bit is present in the mixture: |r & ~mix| == 0.
+    for (const std::size_t c : mix.contributors[m]) {
+      for (std::size_t k = 0; k < 200; ++k) {
+        EXPECT_TRUE(!db.get(c, k) || mix.mixtures.get(m, k));
+      }
+    }
+  }
+  EXPECT_THROW((void)generate_mixtures(bits::BitMatrix(), 1, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(RandomBitMatrix, DensityAndFastPathAgreeStatistically) {
+  const auto dense = random_bitmatrix(50, 1000, 0.5, 51);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    total += dense.row_popcount(r);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / 50000.0, 0.5, 0.02);
+  const auto sparse = random_bitmatrix(50, 1000, 0.05, 52);
+  total = 0;
+  for (std::size_t r = 0; r < sparse.rows(); ++r) {
+    total += sparse.row_popcount(r);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / 50000.0, 0.05, 0.01);
+  EXPECT_TRUE(dense.padding_is_zero());
+  EXPECT_TRUE(sparse.padding_is_zero());
+}
+
+}  // namespace
+}  // namespace snp::io

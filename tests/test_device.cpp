@@ -1,0 +1,133 @@
+// Device specs: Table I fidelity, validity, clocks, lookup.
+#include "model/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snp::model {
+namespace {
+
+TEST(Device, TableIGtx980) {
+  const GpuSpec d = gtx980();
+  EXPECT_EQ(d.microarch, "Maxwell");
+  EXPECT_DOUBLE_EQ(d.freq_ghz, 1.367);
+  EXPECT_EQ(d.n_t, 32);
+  EXPECT_EQ(d.n_grp_max, 32);
+  EXPECT_EQ(d.n_cores, 16);
+  EXPECT_EQ(d.n_clusters, 4);
+  EXPECT_EQ(d.pipe(InstrClass::kAdd).units_per_cluster, 32);
+  EXPECT_EQ(d.pipe(InstrClass::kLogic).units_per_cluster, 32);
+  EXPECT_EQ(d.pipe(InstrClass::kPopc).units_per_cluster, 8);
+  EXPECT_EQ(d.pipe(InstrClass::kPopc).latency_cycles, 6);
+  EXPECT_EQ(d.shared_bytes, 48u * 1024u);
+  EXPECT_EQ(d.banks, 32);
+  EXPECT_EQ(d.regs_per_core, 64u * 1024u);
+  EXPECT_EQ(d.max_regs_per_thread, 255);
+  EXPECT_TRUE(d.fused_andnot);
+  EXPECT_TRUE(d.valid());
+}
+
+TEST(Device, TableITitanV) {
+  const GpuSpec d = titan_v();
+  EXPECT_EQ(d.microarch, "Volta");
+  EXPECT_DOUBLE_EQ(d.freq_ghz, 1.455);
+  EXPECT_EQ(d.n_cores, 80);
+  EXPECT_EQ(d.pipe(InstrClass::kAdd).units_per_cluster, 16);
+  EXPECT_EQ(d.pipe(InstrClass::kPopc).units_per_cluster, 4);
+  EXPECT_EQ(d.pipe(InstrClass::kPopc).latency_cycles, 4);
+  EXPECT_TRUE(d.valid());
+}
+
+TEST(Device, TableIVega64) {
+  const GpuSpec d = vega64();
+  EXPECT_EQ(d.vendor, "AMD");
+  EXPECT_DOUBLE_EQ(d.freq_ghz, 1.663);
+  EXPECT_EQ(d.n_t, 64);
+  EXPECT_EQ(d.n_grp_max, 16);
+  EXPECT_EQ(d.n_cores, 64);
+  EXPECT_EQ(d.pipe(InstrClass::kPopc).units_per_cluster, 16);
+  EXPECT_EQ(d.shared_bytes, 64u * 1024u);
+  EXPECT_EQ(d.shared_reserved, 0u);
+  EXPECT_FALSE(d.fused_andnot);
+  // Section V-D: ADD and AND share the VALU pipe on Vega.
+  EXPECT_EQ(d.pipe_index(InstrClass::kAdd),
+            d.pipe_index(InstrClass::kLogic));
+  // Popcount is its own pipe.
+  EXPECT_NE(d.pipe_index(InstrClass::kPopc),
+            d.pipe_index(InstrClass::kAdd));
+  EXPECT_TRUE(d.valid());
+}
+
+TEST(Device, NvidiaPopcSeparatePipe) {
+  for (const auto& d : {gtx980(), titan_v()}) {
+    EXPECT_NE(d.pipe_index(InstrClass::kPopc),
+              d.pipe_index(InstrClass::kAdd));
+    EXPECT_EQ(d.pipe_index(InstrClass::kAdd),
+              d.pipe_index(InstrClass::kLogic));
+  }
+}
+
+TEST(Device, XeonBaseline) {
+  const CpuSpec c = xeon_e5_2620v2();
+  EXPECT_EQ(c.cores, 12);
+  EXPECT_DOUBLE_EQ(c.freq_ghz, 2.1);
+  EXPECT_EQ(c.popc_units, 1);
+  EXPECT_GE(c.efficiency, 0.80);
+  EXPECT_LE(c.efficiency, 0.90);
+}
+
+TEST(Device, ClockBoostMonotoneInIdleCores) {
+  const GpuSpec d = titan_v();
+  EXPECT_GT(d.clock_ghz(1), d.clock_ghz(d.n_cores));
+  EXPECT_DOUBLE_EQ(d.clock_ghz(d.n_cores), d.freq_ghz);
+  const GpuSpec v = vega64();  // no boost configured
+  EXPECT_DOUBLE_EQ(v.clock_ghz(1), v.freq_ghz);
+}
+
+TEST(Device, GroupsPerClusterIsMaxLatency) {
+  EXPECT_EQ(gtx980().groups_per_cluster(), 6);
+  EXPECT_EQ(titan_v().groups_per_cluster(), 4);
+  EXPECT_EQ(vega64().groups_per_cluster(), 4);
+}
+
+TEST(Device, LookupByName) {
+  EXPECT_EQ(gpu_by_name("gtx980").name, "GTX 980");
+  EXPECT_EQ(gpu_by_name("GTX 980").name, "GTX 980");
+  EXPECT_EQ(gpu_by_name("TitanV").name, "Titan V");
+  EXPECT_EQ(gpu_by_name("titan-v").name, "Titan V");
+  EXPECT_EQ(gpu_by_name("vega64").name, "Vega 64");
+  EXPECT_EQ(gpu_by_name("Vega").name, "Vega 64");
+  EXPECT_THROW((void)gpu_by_name("rtx5090"), std::invalid_argument);
+}
+
+TEST(Device, AllGpusInPaperOrder) {
+  const auto gpus = all_gpus();
+  ASSERT_EQ(gpus.size(), 3u);
+  EXPECT_EQ(gpus[0].name, "GTX 980");
+  EXPECT_EQ(gpus[1].name, "Titan V");
+  EXPECT_EQ(gpus[2].name, "Vega 64");
+  for (const auto& g : gpus) {
+    EXPECT_TRUE(g.valid()) << g.name;
+    EXPECT_EQ(g.banks, 32) << g.name;
+    EXPECT_EQ(g.n_clusters, 4) << g.name;
+    EXPECT_GT(g.max_alloc_bytes, 0u) << g.name;
+    EXPECT_LT(g.max_alloc_bytes, g.global_bytes) << g.name;
+  }
+}
+
+TEST(Device, InvalidSpecsDetected) {
+  GpuSpec d = gtx980();
+  d.pipes.clear();
+  EXPECT_FALSE(d.valid());
+  d = gtx980();
+  d.pipe_of[0] = 9;
+  EXPECT_FALSE(d.valid());
+  d = gtx980();
+  d.freq_ghz = 0;
+  EXPECT_FALSE(d.valid());
+  d = gtx980();
+  d.pipes[0].latency_cycles = 0;
+  EXPECT_FALSE(d.valid());
+}
+
+}  // namespace
+}  // namespace snp::model

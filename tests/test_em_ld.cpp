@@ -1,0 +1,220 @@
+// EM genotype LD: table recovery from plane counts, EM convergence, and
+// recovery of known haplotype-level LD from unphased genotypes.
+#include "stats/em_ld.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bits/compare.hpp"
+#include "bits/genotype.hpp"
+#include "io/rng.hpp"
+#include "stats/ld.hpp"
+
+namespace snp::stats {
+namespace {
+
+/// Simulates a diploid cohort from explicit haplotype frequencies
+/// (p11: AB, p10: Ab, p01: aB, p00: ab) and returns both the genotype
+/// matrix and the true gamete-level D.
+struct SimulatedPair {
+  bits::GenotypeMatrix genotypes;  // 2 loci x samples
+  double true_d = 0.0;
+  double true_r2 = 0.0;
+};
+
+SimulatedPair simulate_pair(double p11, double p10, double p01,
+                            std::size_t samples, std::uint64_t seed) {
+  const double p00 = 1.0 - p11 - p10 - p01;
+  SimulatedPair out;
+  out.genotypes = bits::GenotypeMatrix(2, samples);
+  io::Rng rng(seed);
+  auto draw_gamete = [&](bool& a, bool& b) {
+    const double u = rng.next_double();
+    if (u < p11) {
+      a = true;
+      b = true;
+    } else if (u < p11 + p10) {
+      a = true;
+      b = false;
+    } else if (u < p11 + p10 + p01) {
+      a = false;
+      b = true;
+    } else {
+      a = false;
+      b = false;
+    }
+  };
+  for (std::size_t s = 0; s < samples; ++s) {
+    bool a1 = false, b1 = false, a2 = false, b2 = false;
+    draw_gamete(a1, b1);
+    draw_gamete(a2, b2);
+    out.genotypes.at(0, s) = static_cast<std::uint8_t>(a1 + a2);
+    out.genotypes.at(1, s) = static_cast<std::uint8_t>(b1 + b2);
+  }
+  const double pa = p11 + p10;
+  const double pb = p11 + p01;
+  out.true_d = p11 - pa * pb;
+  const double var = pa * (1 - pa) * pb * (1 - pb);
+  out.true_r2 = var > 0 ? out.true_d * out.true_d / var : 0.0;
+  (void)p00;
+  return out;
+}
+
+/// Runs the full framework path: encode both planes, compute the four
+/// plane gammas with the reference engine, recover the table.
+GenotypePairTable table_via_planes(const bits::GenotypeMatrix& g) {
+  const auto pres = bits::encode(g, bits::EncodingPlane::kPresence);
+  const auto hom = bits::encode(g, bits::EncodingPlane::kHomozygous);
+  const auto pp = bits::compare_reference(pres, pres,
+                                          bits::Comparison::kAnd);
+  const auto hh = bits::compare_reference(hom, hom, bits::Comparison::kAnd);
+  const auto ph = bits::compare_reference(pres, hom,
+                                          bits::Comparison::kAnd);
+  const auto hp = bits::compare_reference(hom, pres,
+                                          bits::Comparison::kAnd);
+  return table_from_plane_counts(
+      pp.at(0, 1), hh.at(0, 1), ph.at(0, 1), hp.at(0, 1),
+      static_cast<std::uint32_t>(pres.row_popcount(0)),
+      static_cast<std::uint32_t>(hom.row_popcount(0)),
+      static_cast<std::uint32_t>(pres.row_popcount(1)),
+      static_cast<std::uint32_t>(hom.row_popcount(1)), g.samples());
+}
+
+/// Ground-truth table tallied straight from the genotypes.
+GenotypePairTable table_direct(const bits::GenotypeMatrix& g) {
+  GenotypePairTable t;
+  for (std::size_t s = 0; s < g.samples(); ++s) {
+    t.n[g.at(0, s)][g.at(1, s)] += 1.0;
+  }
+  return t;
+}
+
+TEST(EmLd, TableRecoveryMatchesDirectTally) {
+  const auto sim = simulate_pair(0.2, 0.15, 0.25, 500, 42);
+  const auto recovered = table_via_planes(sim.genotypes);
+  const auto direct = table_direct(sim.genotypes);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(recovered.n[a][b], direct.n[a][b])
+          << "cell " << a << "," << b;
+    }
+  }
+}
+
+TEST(EmLd, TableHelpers) {
+  GenotypePairTable t;
+  t.n[0][0] = 10;
+  t.n[1][1] = 5;
+  t.n[2][2] = 5;
+  EXPECT_DOUBLE_EQ(t.total(), 20.0);
+  EXPECT_DOUBLE_EQ(t.p_a(), (5 * 1 + 5 * 2) / 40.0);
+  EXPECT_TRUE(t.valid());
+  t.n[0][1] = -1;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(EmLd, InconsistentPlaneCountsRejected) {
+  // ph smaller than hh is impossible (P contains H).
+  EXPECT_THROW((void)table_from_plane_counts(10, 5, 3, 6, 20, 8, 15, 7,
+                                             100),
+               std::invalid_argument);
+}
+
+TEST(EmLd, PerfectPositiveLd) {
+  // Only AB and ab haplotypes: EM must find r2 == 1 exactly.
+  const auto sim = simulate_pair(0.3, 0.0, 0.0, 400, 7);
+  const auto r = em_ld(table_via_planes(sim.genotypes));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.r2, 1.0, 1e-6);
+  EXPECT_NEAR(r.d_prime, 1.0, 1e-6);
+}
+
+TEST(EmLd, LinkageEquilibrium) {
+  // Independent loci: D near zero (sampling noise only).
+  const auto sim = simulate_pair(0.3 * 0.4, 0.3 * 0.6, 0.7 * 0.4, 20000,
+                                 8);
+  const auto r = em_ld(table_via_planes(sim.genotypes));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.d, 0.0, 0.01);
+  EXPECT_LT(r.r2, 0.01);
+}
+
+class EmRecovery : public ::testing::TestWithParam<
+                       std::tuple<double, double, double>> {};
+
+TEST_P(EmRecovery, RecoversTrueHaplotypeLd) {
+  const auto& [p11, p10, p01] = GetParam();
+  const auto sim = simulate_pair(p11, p10, p01, 30000, 99);
+  const auto r = em_ld(table_via_planes(sim.genotypes));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.d, sim.true_d, 0.01);
+  EXPECT_NEAR(r.r2, sim.true_r2, 0.04);
+  EXPECT_NEAR(r.p_a, p11 + p10, 0.01);
+  EXPECT_NEAR(r.p_b, p11 + p01, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HaplotypeFreqs, EmRecovery,
+    ::testing::Values(std::make_tuple(0.25, 0.15, 0.10),   // positive D
+                      std::make_tuple(0.05, 0.40, 0.30),   // negative D
+                      std::make_tuple(0.12, 0.08, 0.42),
+                      std::make_tuple(0.02, 0.18, 0.03),   // rare alleles
+                      std::make_tuple(0.45, 0.05, 0.05)));  // strong LD
+
+TEST(EmLd, EmMatchesHaplotypeLdWhenDataIsEffectivelyPhased) {
+  // When one locus has no heterozygotes the phase is unambiguous, so EM
+  // must agree exactly with the direct haplotype computation.
+  GenotypePairTable t;
+  t.n[0][0] = 30;
+  t.n[0][2] = 10;
+  t.n[2][0] = 5;
+  t.n[2][2] = 55;
+  const auto r = em_ld(t);
+  // Equivalent haplotype counts: each individual contributes two
+  // identical gametes.
+  const double n_gametes = 200;
+  const double ab = 110.0 / n_gametes;
+  const double pa = (2 * (5 + 55)) / n_gametes;
+  const double pb = (2 * (10 + 55)) / n_gametes;
+  EXPECT_NEAR(r.p_ab, ab, 1e-9);
+  EXPECT_NEAR(r.d, ab - pa * pb, 1e-9);
+}
+
+TEST(EmLd, DegenerateTables) {
+  GenotypePairTable empty;
+  const auto r0 = em_ld(empty);
+  EXPECT_DOUBLE_EQ(r0.r2, 0.0);
+  // Monomorphic locus: r2 defined as 0.
+  GenotypePairTable mono;
+  mono.n[0][0] = 50;
+  mono.n[0][2] = 50;
+  const auto rm = em_ld(mono);
+  EXPECT_DOUBLE_EQ(rm.r2, 0.0);
+  EXPECT_DOUBLE_EQ(rm.p_a, 0.0);
+}
+
+TEST(EmLd, HaplotypeInputReducesToPlainLd) {
+  // Haploid-coded input (dosages 0/2 only, i.e. "phased" pseudo-diploids)
+  // must reproduce ld_from_counts on the presence plane.
+  const auto sim = simulate_pair(0.2, 0.2, 0.1, 5000, 11);
+  bits::GenotypeMatrix phased(2, sim.genotypes.samples());
+  for (std::size_t s = 0; s < phased.samples(); ++s) {
+    phased.at(0, s) =
+        static_cast<std::uint8_t>(sim.genotypes.at(0, s) >= 1 ? 2 : 0);
+    phased.at(1, s) =
+        static_cast<std::uint8_t>(sim.genotypes.at(1, s) >= 1 ? 2 : 0);
+  }
+  const auto em = em_ld(table_via_planes(phased));
+  const auto pres = bits::encode(phased, bits::EncodingPlane::kPresence);
+  const auto gamma = bits::compare_reference(pres, pres,
+                                             bits::Comparison::kAnd);
+  const auto plain = ld_from_counts(
+      gamma.at(0, 1),
+      static_cast<std::uint32_t>(pres.row_popcount(0)),
+      static_cast<std::uint32_t>(pres.row_popcount(1)),
+      phased.samples());
+  EXPECT_NEAR(em.r2, plain.r2, 1e-9);
+  EXPECT_NEAR(em.d, plain.d, 1e-9);
+}
+
+}  // namespace
+}  // namespace snp::stats

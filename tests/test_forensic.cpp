@@ -1,0 +1,78 @@
+// Forensic scoring: identity-search ranking and mixture inclusion calls.
+#include "stats/forensic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace snp::stats {
+namespace {
+
+TEST(RankMatches, OrdersByMismatches) {
+  const std::vector<std::uint32_t> gamma = {50, 0, 7, 7, 100};
+  const auto ranked = rank_matches(gamma, 1000);
+  ASSERT_EQ(ranked.size(), 5u);
+  EXPECT_EQ(ranked[0].reference_index, 1u);
+  EXPECT_EQ(ranked[0].mismatches, 0u);
+  EXPECT_EQ(ranked[1].reference_index, 2u);  // tie broken by index
+  EXPECT_EQ(ranked[2].reference_index, 3u);
+  EXPECT_EQ(ranked[3].reference_index, 0u);
+  EXPECT_DOUBLE_EQ(ranked[3].mismatch_rate, 0.05);
+}
+
+TEST(RankMatches, TopKAndThreshold) {
+  const std::vector<std::uint32_t> gamma = {10, 20, 30, 40, 50};
+  const auto top2 = rank_matches(gamma, 100, 1.0, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].reference_index, 0u);
+  const auto thresholded = rank_matches(gamma, 100, 0.25, 10);
+  ASSERT_EQ(thresholded.size(), 2u);  // only rates 0.1 and 0.2 pass
+}
+
+TEST(RankMatches, Validation) {
+  const std::vector<std::uint32_t> gamma = {1};
+  EXPECT_THROW((void)rank_matches(gamma, 0), std::invalid_argument);
+  EXPECT_TRUE(rank_matches({}, 10).empty());
+}
+
+TEST(CallContributors, ExactInclusion) {
+  const std::vector<std::uint32_t> gamma = {0, 3, 0, 12};
+  const std::vector<std::uint32_t> profile_counts = {40, 45, 50, 55};
+  const auto calls = call_contributors(gamma, profile_counts, 120, 1000);
+  ASSERT_EQ(calls.size(), 4u);
+  EXPECT_TRUE(calls[0].included);
+  EXPECT_FALSE(calls[1].included);
+  EXPECT_TRUE(calls[2].included);
+  EXPECT_FALSE(calls[3].included);
+  EXPECT_EQ(calls[3].foreign_alleles, 12u);
+}
+
+TEST(CallContributors, ToleranceAdmitsNearMisses) {
+  const std::vector<std::uint32_t> gamma = {0, 3, 5};
+  const std::vector<std::uint32_t> counts = {10, 10, 10};
+  const auto calls = call_contributors(gamma, counts, 50, 1000, 3);
+  EXPECT_TRUE(calls[0].included);
+  EXPECT_TRUE(calls[1].included);
+  EXPECT_FALSE(calls[2].included);
+}
+
+TEST(CallContributors, ExpectedIfRandom) {
+  const std::vector<std::uint32_t> gamma = {0};
+  const std::vector<std::uint32_t> counts = {100};
+  // Mixture covers 250 of 1000 sites -> absent fraction 0.75.
+  const auto calls = call_contributors(gamma, counts, 250, 1000);
+  EXPECT_NEAR(calls[0].expected_if_random, 75.0, 1e-12);
+}
+
+TEST(CallContributors, Validation) {
+  const std::vector<std::uint32_t> gamma = {0, 1};
+  const std::vector<std::uint32_t> counts = {1};
+  EXPECT_THROW((void)call_contributors(gamma, counts, 1, 100),
+               std::invalid_argument);
+  const std::vector<std::uint32_t> ok = {1, 1};
+  EXPECT_THROW((void)call_contributors(gamma, ok, 1, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snp::stats

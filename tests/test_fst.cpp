@@ -1,0 +1,95 @@
+// Hudson's Fst: estimator math, null calibration, known divergence.
+#include "stats/fst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/rng.hpp"
+
+namespace snp::stats {
+namespace {
+
+TEST(Fst, Validation) {
+  EXPECT_THROW((void)hudson_fst(-0.1, 0.5, 100, 100),
+               std::invalid_argument);
+  EXPECT_THROW((void)hudson_fst(0.5, 1.1, 100, 100),
+               std::invalid_argument);
+  EXPECT_THROW((void)hudson_fst(0.5, 0.5, 1, 100), std::invalid_argument);
+  const bits::GenotypeMatrix g(3, 4);
+  EXPECT_THROW((void)fst_scan(g, std::vector<bool>(3)),
+               std::invalid_argument);
+  EXPECT_THROW((void)fst_scan(g, std::vector<bool>(4, true)),
+               std::invalid_argument);
+}
+
+TEST(Fst, IdenticalFrequenciesGiveNearZero) {
+  // Infinite-sample limit: identical p -> Fst exactly the negative of the
+  // sampling terms, i.e. ~0 for large n.
+  const auto c = hudson_fst(0.3, 0.3, 20000, 20000);
+  EXPECT_NEAR(c.fst(), 0.0, 1e-3);
+}
+
+TEST(Fst, FixedDifferenceGivesOne) {
+  const auto c = hudson_fst(1.0, 0.0, 10000, 10000);
+  EXPECT_NEAR(c.fst(), 1.0, 1e-3);
+}
+
+TEST(Fst, KnownAnalyticValue) {
+  // Large-n limit: num -> (p1-p2)^2, den -> p1(1-p2)+p2(1-p1).
+  const double p1 = 0.8, p2 = 0.2;
+  const auto c = hudson_fst(p1, p2, 1e7, 1e7);
+  const double expected =
+      (p1 - p2) * (p1 - p2) / (p1 * (1 - p2) + p2 * (1 - p1));
+  EXPECT_NEAR(c.fst(), expected, 1e-4);
+}
+
+/// Two-population cohort drawn from Balding-Nichols-like diverged
+/// frequencies around a shared ancestral p.
+bits::GenotypeMatrix diverged_cohort(std::size_t loci, std::size_t per_pop,
+                                     double spread, std::uint64_t seed) {
+  io::Rng rng(seed);
+  bits::GenotypeMatrix g(loci, 2 * per_pop);
+  for (std::size_t l = 0; l < loci; ++l) {
+    const double anc = 0.2 + 0.6 * rng.next_double();
+    const double shift = spread * (rng.next_double() - 0.5);
+    const double p1 = std::min(0.99, std::max(0.01, anc + shift));
+    const double p2 = std::min(0.99, std::max(0.01, anc - shift));
+    for (std::size_t s = 0; s < 2 * per_pop; ++s) {
+      const double p = s < per_pop ? p1 : p2;
+      const auto x = static_cast<std::uint8_t>(rng.next_bernoulli(p));
+      const auto y = static_cast<std::uint8_t>(rng.next_bernoulli(p));
+      g.at(l, s) = static_cast<std::uint8_t>(x + y);
+    }
+  }
+  return g;
+}
+
+TEST(Fst, NullCohortNearZero) {
+  const auto g = diverged_cohort(2000, 100, 0.0, 91);
+  std::vector<bool> pop1(200, false);
+  for (std::size_t s = 0; s < 100; ++s) {
+    pop1[s] = true;
+  }
+  const auto scan = fst_scan(g, pop1);
+  ASSERT_EQ(scan.per_locus.size(), 2000u);
+  EXPECT_NEAR(scan.genome_wide, 0.0, 0.005);
+}
+
+TEST(Fst, DivergenceOrdering) {
+  // More frequency spread -> larger genome-wide Fst, monotonically.
+  double prev = -1.0;
+  for (const double spread : {0.0, 0.1, 0.3, 0.6}) {
+    const auto g = diverged_cohort(1500, 80, spread, 92);
+    std::vector<bool> pop1(160, false);
+    for (std::size_t s = 0; s < 80; ++s) {
+      pop1[s] = true;
+    }
+    const double fst = fst_scan(g, pop1).genome_wide;
+    EXPECT_GT(fst, prev) << "spread=" << spread;
+    EXPECT_LT(fst, 1.0);
+    prev = fst;
+  }
+  EXPECT_GT(prev, 0.05);  // strong divergence clearly detected
+}
+
+}  // namespace
+}  // namespace snp::stats

@@ -1,0 +1,77 @@
+// Genotype dosage matrix and the Fig. 2 bit encoding.
+#include "bits/genotype.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snp::bits {
+namespace {
+
+GenotypeMatrix make_small() {
+  GenotypeMatrix g(2, 4);
+  g.at(0, 0) = 0;
+  g.at(0, 1) = 1;
+  g.at(0, 2) = 2;
+  g.at(0, 3) = 0;
+  g.at(1, 0) = 2;
+  g.at(1, 1) = 2;
+  g.at(1, 2) = 0;
+  g.at(1, 3) = 1;
+  return g;
+}
+
+TEST(Genotype, Maf) {
+  const GenotypeMatrix g = make_small();
+  EXPECT_DOUBLE_EQ(g.maf(0), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(g.maf(1), 5.0 / 8.0);
+}
+
+TEST(Genotype, MafOfEmptyIsZero) {
+  const GenotypeMatrix g;
+  EXPECT_DOUBLE_EQ(GenotypeMatrix(1, 0).maf(0), 0.0);
+  (void)g;
+}
+
+TEST(Genotype, PresenceEncoding) {
+  const BitMatrix m = encode(make_small(), EncodingPlane::kPresence);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.bit_cols(), 4u);
+  EXPECT_FALSE(m.get(0, 0));
+  EXPECT_TRUE(m.get(0, 1));
+  EXPECT_TRUE(m.get(0, 2));
+  EXPECT_FALSE(m.get(0, 3));
+  EXPECT_TRUE(m.get(1, 0));
+  EXPECT_TRUE(m.get(1, 3));
+}
+
+TEST(Genotype, HomozygousEncoding) {
+  const BitMatrix m = encode(make_small(), EncodingPlane::kHomozygous);
+  EXPECT_FALSE(m.get(0, 1));  // het -> 0
+  EXPECT_TRUE(m.get(0, 2));   // hom minor -> 1
+  EXPECT_TRUE(m.get(1, 0));
+  EXPECT_FALSE(m.get(1, 3));
+}
+
+TEST(Genotype, HomozygousImpliesPresence) {
+  GenotypeMatrix g(3, 50);
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (std::size_t s = 0; s < 50; ++s) {
+      g.at(l, s) = static_cast<std::uint8_t>((l * 7 + s * 3) % 3);
+    }
+  }
+  const BitMatrix hom = encode(g, EncodingPlane::kHomozygous);
+  const BitMatrix pres = encode(g, EncodingPlane::kPresence);
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (std::size_t s = 0; s < 50; ++s) {
+      EXPECT_TRUE(!hom.get(l, s) || pres.get(l, s));
+    }
+  }
+}
+
+TEST(Genotype, EncodeHonorsStride) {
+  const BitMatrix m = encode(make_small(), EncodingPlane::kPresence, 8);
+  EXPECT_EQ(m.words64_per_row(), 8u);
+  EXPECT_TRUE(m.padding_is_zero());
+}
+
+}  // namespace
+}  // namespace snp::bits

@@ -1,0 +1,99 @@
+// Mini-IR: builders, instruction classes, register accounting.
+#include "sim/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snp::sim {
+namespace {
+
+TEST(Isa, InstrClassMapping) {
+  EXPECT_EQ(instr_class(Opcode::kAnd), model::InstrClass::kLogic);
+  EXPECT_EQ(instr_class(Opcode::kXor), model::InstrClass::kLogic);
+  EXPECT_EQ(instr_class(Opcode::kAndn), model::InstrClass::kLogic);
+  EXPECT_EQ(instr_class(Opcode::kNot), model::InstrClass::kLogic);
+  EXPECT_EQ(instr_class(Opcode::kMov), model::InstrClass::kLogic);
+  EXPECT_EQ(instr_class(Opcode::kAdd), model::InstrClass::kAdd);
+  EXPECT_EQ(instr_class(Opcode::kPopc), model::InstrClass::kPopc);
+  EXPECT_EQ(instr_class(Opcode::kLds), model::InstrClass::kMem);
+  EXPECT_EQ(instr_class(Opcode::kLdg), model::InstrClass::kMem);
+  EXPECT_EQ(instr_class(Opcode::kStg), model::InstrClass::kMem);
+}
+
+TEST(Isa, OpcodeNames) {
+  EXPECT_EQ(to_string(Opcode::kPopc), "POPC");
+  EXPECT_EQ(to_string(Opcode::kAndn), "ANDN");
+  EXPECT_EQ(to_string(Opcode::kLds), "LDS");
+}
+
+TEST(Isa, DependentChainShape) {
+  const Program p = dependent_chain(Opcode::kPopc, 8, 100);
+  ASSERT_EQ(p.body.size(), 8u);
+  EXPECT_EQ(p.iterations, 100u);
+  // Every body instruction reads the register it writes (the chain).
+  for (const auto& in : p.body) {
+    EXPECT_EQ(in.op, Opcode::kPopc);
+    EXPECT_EQ(in.dst, 0);
+    EXPECT_EQ(in.src1, 0);
+  }
+  // Prologue loads the seed value; epilogue stores it (defeats DCE).
+  ASSERT_FALSE(p.prologue.empty());
+  EXPECT_EQ(p.prologue[0].op, Opcode::kLdg);
+  ASSERT_FALSE(p.epilogue.empty());
+  EXPECT_EQ(p.epilogue[0].op, Opcode::kStg);
+  EXPECT_EQ(p.dynamic_instructions(), 1u + 8u * 100u + 1u);
+}
+
+TEST(Isa, DependentChainBinaryOpGetsSecondSource) {
+  const Program p = dependent_chain(Opcode::kAnd, 4, 10);
+  for (const auto& in : p.body) {
+    EXPECT_EQ(in.src2, 1);
+  }
+  EXPECT_EQ(p.prologue.size(), 2u);
+}
+
+TEST(Isa, IndependentStreamsAreIndependent) {
+  const Program p = independent_streams(Opcode::kAdd, 4, 3, 10);
+  EXPECT_EQ(p.body.size(), 12u);
+  // Stream s only ever touches register s.
+  for (std::size_t i = 0; i < p.body.size(); ++i) {
+    EXPECT_EQ(p.body[i].dst, static_cast<int>(i % 4));
+    EXPECT_EQ(p.body[i].src1, static_cast<int>(i % 4));
+  }
+}
+
+TEST(Isa, InterleavedPairAlternates) {
+  const Program p = interleaved_pair(Opcode::kPopc, Opcode::kAdd, 6, 10);
+  ASSERT_EQ(p.body.size(), 12u);
+  for (std::size_t i = 0; i < p.body.size(); i += 2) {
+    EXPECT_EQ(p.body[i].op, Opcode::kPopc);
+    EXPECT_EQ(p.body[i + 1].op, Opcode::kAdd);
+  }
+}
+
+TEST(Isa, StridedLdsCarriesStride) {
+  const Program p = strided_lds(7, 4, 10);
+  for (const auto& in : p.body) {
+    EXPECT_EQ(in.op, Opcode::kLds);
+    EXPECT_EQ(in.imm, 7);
+  }
+}
+
+TEST(Isa, BuildersRejectBadArguments) {
+  EXPECT_THROW((void)dependent_chain(Opcode::kPopc, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)independent_streams(Opcode::kAdd, 0, 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)interleaved_pair(Opcode::kAdd, Opcode::kAnd, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)strided_lds(-1, 1, 1), std::invalid_argument);
+}
+
+TEST(Isa, MaxRegister) {
+  const Program p = independent_streams(Opcode::kAnd, 4, 2, 1);
+  EXPECT_EQ(p.max_register(), 4);  // streams 0..3 plus shared source 4
+  Program empty;
+  EXPECT_EQ(empty.max_register(), -1);
+}
+
+}  // namespace
+}  // namespace snp::sim

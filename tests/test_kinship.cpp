@@ -1,0 +1,165 @@
+// KING-robust kinship: plane algebra, classification thresholds, and
+// recovery of known pedigree relationships from simulated families.
+#include "stats/kinship.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/datagen.hpp"
+#include "io/rng.hpp"
+
+namespace snp::stats {
+namespace {
+
+TEST(Kinship, ClassificationThresholds) {
+  EXPECT_EQ(classify_kinship(0.5), Relationship::kDuplicate);
+  EXPECT_EQ(classify_kinship(0.25), Relationship::kFirstDegree);
+  EXPECT_EQ(classify_kinship(0.125), Relationship::kSecondDegree);
+  EXPECT_EQ(classify_kinship(0.0625), Relationship::kThirdDegree);
+  EXPECT_EQ(classify_kinship(0.0), Relationship::kUnrelated);
+  EXPECT_EQ(classify_kinship(-0.1), Relationship::kUnrelated);
+  EXPECT_EQ(to_string(Relationship::kFirstDegree), "1st degree");
+}
+
+TEST(Kinship, KingRobustFormula) {
+  // het_het = 40, ibs0 = (10-5) + (12-7) = 10, hets 50 + 50.
+  const auto r = king_robust(40, 5, 7, 10, 12, 50, 50);
+  EXPECT_EQ(r.n_ibs0, 10u);
+  EXPECT_NEAR(r.phi, (40.0 - 20.0) / 100.0, 1e-12);
+  EXPECT_EQ(r.relationship, Relationship::kFirstDegree);
+  EXPECT_THROW((void)king_robust(1, 11, 0, 10, 12, 5, 5),
+               std::invalid_argument);
+  // No heterozygotes at all: phi defined as 0.
+  EXPECT_DOUBLE_EQ(king_robust(0, 0, 0, 5, 5, 0, 0).phi, 0.0);
+}
+
+TEST(Kinship, IndividualMajorEncoding) {
+  bits::GenotypeMatrix g(2, 3);  // 2 loci x 3 samples
+  g.at(0, 0) = 1;
+  g.at(1, 0) = 2;
+  g.at(0, 2) = 2;
+  const auto pres =
+      encode_individual_major(g, bits::EncodingPlane::kPresence);
+  EXPECT_EQ(pres.rows(), 3u);      // samples
+  EXPECT_EQ(pres.bit_cols(), 2u);  // loci
+  EXPECT_TRUE(pres.get(0, 0));
+  EXPECT_TRUE(pres.get(0, 1));
+  EXPECT_FALSE(pres.get(1, 0));
+  EXPECT_TRUE(pres.get(2, 0));
+  const auto hom =
+      encode_individual_major(g, bits::EncodingPlane::kHomozygous);
+  EXPECT_FALSE(hom.get(0, 0));
+  EXPECT_TRUE(hom.get(0, 1));
+}
+
+TEST(Kinship, HetPlaneAlgebra) {
+  bits::GenotypeMatrix g(3, 2);
+  g.at(0, 0) = 1;  // het
+  g.at(1, 0) = 2;  // hom
+  g.at(2, 0) = 0;
+  g.at(0, 1) = 2;
+  const auto pres =
+      encode_individual_major(g, bits::EncodingPlane::kPresence);
+  const auto hom =
+      encode_individual_major(g, bits::EncodingPlane::kHomozygous);
+  const auto het = het_plane(pres, hom);
+  EXPECT_TRUE(het.get(0, 0));    // sample 0 het at locus 0
+  EXPECT_FALSE(het.get(0, 1));   // hom is not het
+  EXPECT_FALSE(het.get(0, 2));   // absent is not het
+  EXPECT_FALSE(het.get(1, 0));   // sample 1 hom at locus 0
+  EXPECT_TRUE(het.padding_is_zero());
+  const bits::BitMatrix wrong(2, 5);
+  EXPECT_THROW((void)het_plane(pres, wrong), std::invalid_argument);
+}
+
+/// Simulated family: founder genotypes under HWE, children inherit one
+/// allele from each parent, grandchild from child x new founder.
+struct Family {
+  bits::GenotypeMatrix g;  // loci x [p1, p2, child1, child2, spouse,
+                           //          grandchild, unrelated, twin_of_p1]
+};
+
+Family simulate_family(std::size_t loci, std::uint64_t seed) {
+  io::Rng rng(seed);
+  Family fam;
+  fam.g = bits::GenotypeMatrix(loci, 8);
+  for (std::size_t l = 0; l < loci; ++l) {
+    const double maf = 0.2 + 0.3 * rng.next_double();  // common variants
+    auto allele = [&]() {
+      return static_cast<std::uint8_t>(rng.next_bernoulli(maf));
+    };
+    // Founders carry two random alleles; store each individual's two
+    // allele copies to mate them properly.
+    const std::uint8_t p1a = allele(), p1b = allele();
+    const std::uint8_t p2a = allele(), p2b = allele();
+    const std::uint8_t spa = allele(), spb = allele();
+    const std::uint8_t una = allele(), unb = allele();
+    auto pick = [&](std::uint8_t x, std::uint8_t y) {
+      return rng.next_bernoulli(0.5) ? x : y;
+    };
+    const std::uint8_t c1a = pick(p1a, p1b), c1b = pick(p2a, p2b);
+    const std::uint8_t c2a = pick(p1a, p1b), c2b = pick(p2a, p2b);
+    const std::uint8_t gca = pick(c1a, c1b), gcb = pick(spa, spb);
+    fam.g.at(l, 0) = static_cast<std::uint8_t>(p1a + p1b);
+    fam.g.at(l, 1) = static_cast<std::uint8_t>(p2a + p2b);
+    fam.g.at(l, 2) = static_cast<std::uint8_t>(c1a + c1b);
+    fam.g.at(l, 3) = static_cast<std::uint8_t>(c2a + c2b);
+    fam.g.at(l, 4) = static_cast<std::uint8_t>(spa + spb);
+    fam.g.at(l, 5) = static_cast<std::uint8_t>(gca + gcb);
+    fam.g.at(l, 6) = static_cast<std::uint8_t>(una + unb);
+    fam.g.at(l, 7) = fam.g.at(l, 0);  // monozygotic twin of p1
+  }
+  return fam;
+}
+
+TEST(Kinship, PedigreeRecovery) {
+  const Family fam = simulate_family(20000, 1234);
+  const auto phi = kinship_matrix(fam.g);
+  const std::size_t n = 8;
+  auto at = [&](std::size_t i, std::size_t j) { return phi[i * n + j]; };
+
+  // Self and twin: phi ~ 0.5.
+  EXPECT_NEAR(at(0, 0).phi, 0.5, 0.02);
+  EXPECT_NEAR(at(0, 7).phi, 0.5, 0.02);
+  EXPECT_EQ(at(0, 7).relationship, Relationship::kDuplicate);
+  // Parent-offspring and full siblings: ~0.25, zero IBS0 for P-O.
+  EXPECT_NEAR(at(0, 2).phi, 0.25, 0.03);
+  EXPECT_EQ(at(0, 2).relationship, Relationship::kFirstDegree);
+  EXPECT_EQ(at(0, 2).n_ibs0, 0u);  // parent and child always share
+  EXPECT_NEAR(at(2, 3).phi, 0.25, 0.03);
+  EXPECT_EQ(at(2, 3).relationship, Relationship::kFirstDegree);
+  // Grandparent-grandchild: ~0.125.
+  EXPECT_NEAR(at(0, 5).phi, 0.125, 0.03);
+  EXPECT_EQ(at(0, 5).relationship, Relationship::kSecondDegree);
+  // Unrelated pairs: ~0.
+  EXPECT_NEAR(at(0, 6).phi, 0.0, 0.03);
+  EXPECT_EQ(at(0, 6).relationship, Relationship::kUnrelated);
+  EXPECT_NEAR(at(0, 4).phi, 0.0, 0.03);  // parent vs child's spouse
+  // Symmetry.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(at(i, j).phi, at(j, i).phi, 1e-12);
+    }
+  }
+}
+
+TEST(Kinship, UnrelatedCohortIsUnrelated) {
+  io::PopulationParams p;
+  p.seed = 555;
+  p.maf_min = 0.1;
+  p.maf_max = 0.5;
+  const auto g = io::generate_genotypes(5000, 12, p);
+  const auto phi = kinship_matrix(g);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      if (i == j) {
+        EXPECT_GT(phi[i * 12 + j].phi, 0.35);
+      } else {
+        EXPECT_EQ(phi[i * 12 + j].relationship, Relationship::kUnrelated)
+            << i << "," << j << " phi=" << phi[i * 12 + j].phi;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snp::stats

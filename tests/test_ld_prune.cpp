@@ -1,0 +1,80 @@
+// LD pruning: block collapse, independence preservation, threshold
+// monotonicity, the kept-set guarantee.
+#include "stats/ld_prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/datagen.hpp"
+
+namespace snp::stats {
+namespace {
+
+bits::GenotypeMatrix block_cohort(std::size_t loci, std::size_t block,
+                                  double copy, std::uint64_t seed) {
+  io::PopulationParams p;
+  p.seed = seed;
+  p.spectrum = io::MafSpectrum::kFixed;
+  p.maf_mean = 0.3;
+  p.ld_block_len = block;
+  p.ld_copy = copy;
+  return io::generate_genotypes(loci, 1200, p);
+}
+
+TEST(LdPrune, Validation) {
+  const auto g = block_cohort(10, 1, 0.0, 1);
+  EXPECT_THROW((void)ld_prune(g, {0, 0.2}), std::invalid_argument);
+  EXPECT_THROW((void)ld_prune(g, {5, -0.1}), std::invalid_argument);
+  EXPECT_THROW((void)pairwise_genotype_r2(g, 0, 10), std::out_of_range);
+}
+
+TEST(LdPrune, PairwiseR2Sanity) {
+  const auto g = block_cohort(20, 10, 0.97, 2);
+  // Within a block, adjacent loci correlate strongly; across the
+  // boundary they do not.
+  EXPECT_GT(pairwise_genotype_r2(g, 3, 4), 0.6);
+  EXPECT_LT(pairwise_genotype_r2(g, 9, 10), 0.1);
+  EXPECT_NEAR(pairwise_genotype_r2(g, 5, 5), 1.0, 1e-9);
+}
+
+TEST(LdPrune, IndependentLociAllKept) {
+  const auto g = block_cohort(60, 1, 0.0, 3);
+  const auto kept = ld_prune(g, {20, 0.2});
+  EXPECT_EQ(kept.size(), 60u);
+}
+
+TEST(LdPrune, TightBlocksCollapse) {
+  // 8 blocks of 10 near-duplicated loci: roughly one survivor per block.
+  const auto g = block_cohort(80, 10, 0.97, 4);
+  const auto kept = ld_prune(g, {20, 0.2});
+  EXPECT_GE(kept.size(), 8u);
+  EXPECT_LE(kept.size(), 16u);
+  // The first locus always survives.
+  EXPECT_EQ(kept.front(), 0u);
+}
+
+TEST(LdPrune, KeptSetHonorsThresholdWithinWindow) {
+  const auto g = block_cohort(60, 6, 0.9, 5);
+  const LdPruneParams params{15, 0.25};
+  const auto kept = ld_prune(g, params);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    for (std::size_t j = i + 1; j < kept.size(); ++j) {
+      if (kept[j] - kept[i] > params.window) {
+        break;
+      }
+      EXPECT_LE(pairwise_genotype_r2(g, kept[i], kept[j]),
+                params.r2_threshold + 1e-9)
+          << kept[i] << " vs " << kept[j];
+    }
+  }
+}
+
+TEST(LdPrune, LooserThresholdKeepsMore) {
+  const auto g = block_cohort(60, 8, 0.85, 6);
+  const auto strict = ld_prune(g, {20, 0.1});
+  const auto loose = ld_prune(g, {20, 0.8});
+  EXPECT_LT(strict.size(), loose.size());
+  EXPECT_EQ(ld_prune(g, {20, 1.0}).size(), 60u);  // r2 <= 1 always passes
+}
+
+}  // namespace
+}  // namespace snp::stats

@@ -1,0 +1,75 @@
+// Memory-system models: contention curve, PCIe, fixed overheads.
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/device.hpp"
+
+namespace snp::sim {
+namespace {
+
+TEST(Contention, NoDemandNoPenalty) {
+  const auto d = model::titan_v();
+  EXPECT_DOUBLE_EQ(contention_efficiency(d, 0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(contention_efficiency(d, 10, 0.0), 1.0);
+}
+
+TEST(Contention, MonotoneDecreasingInCores) {
+  const auto d = model::vega64();
+  double prev = 1.1;
+  for (int n = 1; n <= d.n_cores; n *= 2) {
+    const double eff = contention_efficiency(d, n, 7.0);
+    EXPECT_LT(eff, prev);
+    EXPECT_GT(eff, 0.0);
+    EXPECT_LE(eff, 1.0);
+    prev = eff;
+  }
+}
+
+TEST(Contention, SoftMinLimitsToBandwidthShare) {
+  // Far past saturation, per-core efficiency approaches B_eff / demand.
+  const auto d = model::vega64();
+  const double demand_per_core = 50.0;
+  const int n = 64;
+  const double eff = contention_efficiency(d, n, demand_per_core);
+  const double asymptote = d.dram_gbps_effective / (n * demand_per_core);
+  EXPECT_NEAR(eff, asymptote, 0.02 * asymptote + 0.01);
+}
+
+TEST(Contention, LowDemandNearUnity) {
+  const auto d = model::titan_v();
+  EXPECT_GT(contention_efficiency(d, 4, 1.0), 0.999);
+}
+
+TEST(Contention, SharperKneeWithLargerExponent) {
+  auto d = model::vega64();
+  const double demand = d.dram_gbps_effective / 32.0;  // half-saturation
+  d.contention_p = 2.0;
+  const double soft = contention_efficiency(d, 32, demand);
+  d.contention_p = 8.0;
+  const double sharp = contention_efficiency(d, 32, demand);
+  EXPECT_LT(soft, sharp);  // sharper knee = flatter before saturation
+}
+
+TEST(Pcie, LinearInBytes) {
+  const auto d = model::gtx980();
+  const double one = pcie_seconds(d, 1'000'000);
+  const double ten = pcie_seconds(d, 10'000'000);
+  EXPECT_NEAR(ten, 10.0 * one, 1e-12);
+  EXPECT_NEAR(one, 1e6 / (d.pcie_gbps * 1e9), 1e-15);
+}
+
+TEST(Overheads, PaperMagnitudes) {
+  for (const auto& d : model::all_gpus()) {
+    // "on the order of hundreds of milliseconds" for init.
+    EXPECT_GE(init_seconds(d), 0.1) << d.name;
+    EXPECT_LE(init_seconds(d), 0.5) << d.name;
+    // Kernel launches are microseconds.
+    EXPECT_GE(launch_seconds(d), 1e-6) << d.name;
+    EXPECT_LE(launch_seconds(d), 1e-4) << d.name;
+  }
+  EXPECT_GT(pcie_latency_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace snp::sim

@@ -1,0 +1,132 @@
+// Model closure: the cycle-level simulator executing the *actual* kernel
+// inner loop must reproduce the analytical bottleneck-pipe rate the
+// tile-level timing model prices kernels with — the validation DESIGN.md
+// commits to. Also checks the occupancy policy (N_cl x L_fn groups) on
+// the real instruction stream and the Vega NOT penalty at cycle level.
+#include <gtest/gtest.h>
+
+#include "kern/kernel_program.hpp"
+#include "model/peak.hpp"
+#include "sim/pipeline.hpp"
+
+namespace snp::kern {
+namespace {
+
+using bits::Comparison;
+
+/// Steady-state word-ops per cycle of one core running `groups` copies of
+/// the kernel inner loop.
+double simulated_ops_per_cycle(const model::GpuSpec& dev,
+                               const model::KernelConfig& cfg,
+                               Comparison op, int groups) {
+  const auto info = build_kernel_program(dev, cfg, op, /*k_iterations=*/64,
+                                         /*unroll=*/4);
+  sim::SimOptions opts;
+  opts.loop_overhead_instrs = 2;
+  const sim::CoreSim core(dev, opts);
+  const auto stats = core.run(info.program, groups);
+  const double total_ops = static_cast<double>(
+      info.wordops_per_iteration * info.program.iterations * static_cast<std::uint64_t>(groups));
+  return total_ops / static_cast<double>(stats.cycles);
+}
+
+class ClosurePerDevice : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosurePerDevice, CycleSimMatchesAnalyticRateForLd) {
+  const auto dev = model::all_gpus()[static_cast<std::size_t>(GetParam())];
+  const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+  const int groups = dev.n_clusters * dev.groups_per_cluster();
+  const double simulated =
+      simulated_ops_per_cycle(dev, cfg, Comparison::kAnd,
+                              std::min(groups, dev.n_grp_max));
+  const double analytic =
+      model::cluster_rate(dev, model::kernel_mix(dev, Comparison::kAnd))
+          .wordops_per_cycle *
+      dev.n_clusters;
+  // Loop overhead and load instructions cost a few percent; the simulator
+  // must land close to (and never above) the analytic bound.
+  EXPECT_LE(simulated, analytic * 1.001) << dev.name;
+  EXPECT_GE(simulated, analytic * 0.85) << dev.name;
+}
+
+TEST_P(ClosurePerDevice, OccupancyPolicySaturatesThroughput) {
+  const auto dev = model::all_gpus()[static_cast<std::size_t>(GetParam())];
+  const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+  const int policy = std::min(dev.n_clusters * dev.groups_per_cluster(),
+                              dev.n_grp_max);
+  const double at_policy =
+      simulated_ops_per_cycle(dev, cfg, Comparison::kAnd, policy);
+  const double at_max =
+      simulated_ops_per_cycle(dev, cfg, Comparison::kAnd, dev.n_grp_max);
+  // The framework's occupancy limit loses nothing (Volkov's observation).
+  EXPECT_GE(at_policy, 0.97 * at_max) << dev.name;
+  // And a single group per cluster cannot reach it (latency exposed).
+  const double at_low =
+      simulated_ops_per_cycle(dev, cfg, Comparison::kAnd, dev.n_clusters);
+  EXPECT_LT(at_low, at_policy) << dev.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, ClosurePerDevice,
+                         ::testing::Values(0, 1, 2));
+
+TEST(ModelClosure, VegaNotPenaltyAtCycleLevel) {
+  const auto dev = model::vega64();
+  auto cfg = model::paper_preset(dev, model::WorkloadKind::kFastId);
+  const int groups = dev.n_grp_max;
+  const double and_rate =
+      simulated_ops_per_cycle(dev, cfg, Comparison::kAnd, groups);
+  const double andn_rate =
+      simulated_ops_per_cycle(dev, cfg, Comparison::kAndNot, groups);
+  cfg.pre_negated = true;
+  const double pre_rate =
+      simulated_ops_per_cycle(dev, cfg, Comparison::kAndNot, groups);
+  EXPECT_NEAR(andn_rate / and_rate, 2.0 / 3.0, 0.06);
+  EXPECT_NEAR(pre_rate / and_rate, 1.0, 0.03);
+}
+
+TEST(ModelClosure, NvidiaFusedAndnHasNoPenaltyAtCycleLevel) {
+  for (const auto& dev : {model::gtx980(), model::titan_v()}) {
+    const auto cfg = model::paper_preset(dev, model::WorkloadKind::kFastId);
+    const int groups = std::min(
+        dev.n_clusters * dev.groups_per_cluster(), dev.n_grp_max);
+    const double and_rate =
+        simulated_ops_per_cycle(dev, cfg, Comparison::kAnd, groups);
+    const double andn_rate =
+        simulated_ops_per_cycle(dev, cfg, Comparison::kAndNot, groups);
+    EXPECT_NEAR(andn_rate / and_rate, 1.0, 0.02) << dev.name;
+  }
+}
+
+TEST(KernelProgram, ShapeAndRegisterAccounting) {
+  const auto dev = model::gtx980();
+  const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+  const auto info = build_kernel_program(dev, cfg, Comparison::kAnd, 16, 2);
+  // GTX 980 LD: 4 * (384/6) / 32 = 8 outputs per thread.
+  EXPECT_EQ(info.outputs_per_thread, 8);
+  EXPECT_EQ(info.wordops_per_iteration, 8u * 32u * 2u);
+  // Registers: 8 acc + 4 A + 2 B (double buffer) + 8 tmp = 22.
+  EXPECT_EQ(info.registers_per_thread, 22);
+  EXPECT_LE(info.registers_per_thread, dev.max_regs_per_thread);
+  EXPECT_EQ(info.program.iterations, 16u);
+  // Body: per k-step, 4 LDS + (amortized LDG) + 8 * 3 compute.
+  EXPECT_GE(info.program.body.size(), 2u * (4 + 24));
+}
+
+TEST(KernelProgram, RejectsBadArguments) {
+  const auto dev = model::titan_v();
+  const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+  EXPECT_THROW(
+      (void)build_kernel_program(dev, cfg, Comparison::kAnd, 0, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)build_kernel_program(dev, cfg, Comparison::kAnd, 1, 0),
+      std::invalid_argument);
+  auto bad = cfg;
+  bad.k_c = 1 << 20;
+  EXPECT_THROW(
+      (void)build_kernel_program(dev, bad, Comparison::kAnd, 1, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snp::kern

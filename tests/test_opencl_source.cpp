@@ -1,0 +1,107 @@
+// OpenCL source rendering: macro values, per-device/op variation, basic
+// syntactic sanity (balanced delimiters, required constructs).
+#include "kern/opencl_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace snp::kern {
+namespace {
+
+using bits::Comparison;
+
+std::size_t count_char(const std::string& s, char c) {
+  return static_cast<std::size_t>(std::count(s.begin(), s.end(), c));
+}
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST(OpenclSource, ConfigHeaderCarriesTableIIValues) {
+  const auto dev = model::titan_v();
+  const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+  const auto header = render_config_header(dev, cfg, Comparison::kAnd);
+  EXPECT_TRUE(contains(header, "#define SNP_M_R 4"));
+  EXPECT_TRUE(contains(header, "#define SNP_M_C 32"));
+  EXPECT_TRUE(contains(header, "#define SNP_K_C 383"));
+  EXPECT_TRUE(contains(header, "#define SNP_N_R 1024"));
+  EXPECT_TRUE(contains(header, "#define SNP_N_T 32"));
+  EXPECT_TRUE(contains(header, "#define SNP_L_FN 4"));
+  EXPECT_TRUE(contains(header, "#define SNP_OUTPUTS_PER_THREAD 32"));
+  EXPECT_TRUE(contains(header, "#define SNP_FUSED_ANDNOT 1"));
+  EXPECT_TRUE(contains(header, "Titan V"));
+}
+
+TEST(OpenclSource, HeadersDifferAcrossDevices) {
+  const auto op = Comparison::kAnd;
+  const auto h_gtx = render_config_header(
+      model::gtx980(),
+      model::paper_preset(model::gtx980(), model::WorkloadKind::kLd), op);
+  const auto h_vega = render_config_header(
+      model::vega64(),
+      model::paper_preset(model::vega64(), model::WorkloadKind::kLd), op);
+  EXPECT_TRUE(contains(h_gtx, "#define SNP_L_FN 6"));
+  EXPECT_TRUE(contains(h_vega, "#define SNP_K_C 512"));
+  EXPECT_TRUE(contains(h_vega, "#define SNP_N_T 64"));
+  EXPECT_FALSE(contains(h_vega, "SNP_FUSED_ANDNOT"));
+}
+
+TEST(OpenclSource, KernelBodyStructure) {
+  const auto dev = model::gtx980();
+  const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+  const auto src = render_kernel_source(dev, cfg, Comparison::kAnd);
+  EXPECT_TRUE(contains(src, "__kernel void snp_compare"));
+  EXPECT_TRUE(contains(src, "__local uint a_tile[SNP_M_C * SNP_K_C]"));
+  EXPECT_TRUE(contains(src, "barrier(CLK_LOCAL_MEM_FENCE)"));
+  EXPECT_TRUE(contains(src, "popcount(a_val & b_val)"));
+  EXPECT_EQ(count_char(src, '{'), count_char(src, '}'));
+  EXPECT_EQ(count_char(src, '('), count_char(src, ')'));
+  EXPECT_EQ(count_char(src, '['), count_char(src, ']'));
+}
+
+TEST(OpenclSource, OperationVariants) {
+  const auto dev = model::titan_v();
+  const auto cfg = model::paper_preset(dev, model::WorkloadKind::kFastId);
+  EXPECT_TRUE(contains(render_kernel_source(dev, cfg, Comparison::kXor),
+                       "popcount(a_val ^ b_val)"));
+  // Fused ANDN on NVIDIA: single expression.
+  EXPECT_TRUE(contains(
+      render_kernel_source(dev, cfg, Comparison::kAndNot),
+      "popcount(a_val & ~b_val)"));
+  // Separate NOT on Vega: explicit statement (the Fig. 9 penalty).
+  const auto vega = model::vega64();
+  const auto vcfg = model::paper_preset(vega, model::WorkloadKind::kFastId);
+  const auto vsrc = render_kernel_source(vega, vcfg, Comparison::kAndNot);
+  EXPECT_TRUE(contains(vsrc, "const uint nb_val = ~b_val;"));
+  EXPECT_TRUE(contains(vsrc, "popcount(a_val & nb_val)"));
+  // Pre-negated lowering: plain AND everywhere.
+  auto pre = vcfg;
+  pre.pre_negated = true;
+  const auto psrc = render_kernel_source(vega, pre, Comparison::kAndNot);
+  EXPECT_TRUE(contains(psrc, "popcount(a_val & b_val)"));
+  EXPECT_FALSE(contains(psrc, "~b_val"));
+}
+
+TEST(OpenclSource, ProgramConcatenatesHeaderAndKernel) {
+  const auto dev = model::vega64();
+  const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+  const auto prog = render_program(dev, cfg, Comparison::kAnd);
+  EXPECT_LT(prog.find("#define SNP_M_C"),
+            prog.find("__kernel void snp_compare"));
+}
+
+TEST(OpenclSource, InvalidConfigRejected) {
+  auto cfg = model::paper_preset(model::gtx980(), model::WorkloadKind::kLd);
+  cfg.k_c = 1 << 20;
+  EXPECT_THROW((void)render_config_header(model::gtx980(), cfg,
+                                          Comparison::kAnd),
+               std::invalid_argument);
+  EXPECT_THROW((void)render_kernel_source(model::gtx980(), cfg,
+                                          Comparison::kAnd),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snp::kern

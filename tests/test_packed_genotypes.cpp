@@ -1,0 +1,118 @@
+// 2-bit packed genotypes: code points, pack/unpack round trips, missing
+// calls, file container, compression ratio.
+#include "io/packed_genotypes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/datagen.hpp"
+
+namespace snp::io {
+namespace {
+
+TEST(PackedGenotypes, CodePointsMatchPlink) {
+  EXPECT_EQ(PackedGenotypes::kHomMajor, 0b00);
+  EXPECT_EQ(PackedGenotypes::kMissing, 0b01);
+  EXPECT_EQ(PackedGenotypes::kHet, 0b10);
+  EXPECT_EQ(PackedGenotypes::kHomMinor, 0b11);
+}
+
+TEST(PackedGenotypes, SetGetCodes) {
+  PackedGenotypes p(2, 6);
+  p.set_code(0, 0, PackedGenotypes::kHet);
+  p.set_code(0, 3, PackedGenotypes::kHomMinor);  // same byte, last slot
+  p.set_code(0, 4, PackedGenotypes::kMissing);   // next byte
+  p.set_code(1, 5, PackedGenotypes::kHomMinor);
+  EXPECT_EQ(p.code(0, 0), PackedGenotypes::kHet);
+  EXPECT_EQ(p.code(0, 1), PackedGenotypes::kHomMajor);
+  EXPECT_EQ(p.code(0, 3), PackedGenotypes::kHomMinor);
+  EXPECT_TRUE(p.is_missing(0, 4));
+  EXPECT_EQ(p.dosage(0, 4), 0);  // missing reads as dosage 0
+  EXPECT_EQ(p.dosage(1, 5), 2);
+  EXPECT_THROW((void)p.code(2, 0), std::out_of_range);
+  EXPECT_THROW((void)p.code(0, 6), std::out_of_range);
+  EXPECT_THROW(p.set_code(0, 0, 4), std::invalid_argument);
+}
+
+TEST(PackedGenotypes, PackUnpackRoundTrip) {
+  PopulationParams params;
+  params.seed = 650;
+  const auto g = generate_genotypes(31, 57, params);  // odd sizes
+  const auto p = PackedGenotypes::pack(g);
+  EXPECT_EQ(p.loci(), 31u);
+  EXPECT_EQ(p.samples(), 57u);
+  const auto back = p.unpack();
+  for (std::size_t l = 0; l < 31; ++l) {
+    for (std::size_t s = 0; s < 57; ++s) {
+      EXPECT_EQ(back.at(l, s), g.at(l, s));
+    }
+  }
+}
+
+TEST(PackedGenotypes, QuarterTheBytes) {
+  const auto g = generate_genotypes(100, 400, {});
+  const auto p = PackedGenotypes::pack(g);
+  // 400 samples -> 100 bytes per locus vs 400 bytes naive.
+  EXPECT_EQ(p.size_bytes(), 100u * 100u);
+}
+
+TEST(PackedGenotypes, MissingMaskRoundTrip) {
+  PopulationParams params;
+  params.seed = 651;
+  const auto g = generate_genotypes(10, 20, params);
+  std::vector<bool> missing(10 * 20, false);
+  missing[3 * 20 + 5] = true;
+  missing[3 * 20 + 6] = true;
+  missing[9 * 20 + 0] = true;
+  const auto p = PackedGenotypes::pack(g, missing);
+  EXPECT_TRUE(p.is_missing(3, 5));
+  EXPECT_FALSE(p.is_missing(3, 4));
+  std::vector<std::size_t> per_locus;
+  const auto back = p.unpack(&per_locus);
+  ASSERT_EQ(per_locus.size(), 10u);
+  EXPECT_EQ(per_locus[3], 2u);
+  EXPECT_EQ(per_locus[9], 1u);
+  EXPECT_EQ(per_locus[0], 0u);
+  EXPECT_EQ(back.at(3, 5), 0);  // decoded as dosage 0
+  EXPECT_THROW((void)PackedGenotypes::pack(g, std::vector<bool>(7)),
+               std::invalid_argument);
+}
+
+TEST(PackedGenotypes, StreamRoundTrip) {
+  PopulationParams params;
+  params.seed = 652;
+  const auto g = generate_genotypes(13, 29, params);
+  const auto p = PackedGenotypes::pack(g);
+  std::stringstream ss;
+  save_packed_genotypes(p, ss);
+  const auto back = load_packed_genotypes(ss);
+  EXPECT_TRUE(back == p);
+}
+
+TEST(PackedGenotypes, CorruptStreamsRejected) {
+  {
+    std::stringstream ss;
+    ss << "BAD!";
+    EXPECT_THROW((void)load_packed_genotypes(ss), std::runtime_error);
+  }
+  {
+    const auto p = PackedGenotypes::pack(generate_genotypes(4, 8, {}));
+    std::stringstream ss;
+    save_packed_genotypes(p, ss);
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() - 3));
+    EXPECT_THROW((void)load_packed_genotypes(cut), std::runtime_error);
+  }
+}
+
+TEST(PackedGenotypes, FileRoundTrip) {
+  const auto path =
+      std::filesystem::path(::testing::TempDir()) / "g.sgp";
+  const auto p = PackedGenotypes::pack(generate_genotypes(6, 10, {}));
+  save_packed_genotypes(p, path);
+  EXPECT_TRUE(load_packed_genotypes(path) == p);
+}
+
+}  // namespace
+}  // namespace snp::io

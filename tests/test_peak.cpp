@@ -1,0 +1,114 @@
+// Pipe-bottleneck analysis and theoretical peaks (paper Sections IV/V-D).
+#include "model/peak.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snp::model {
+namespace {
+
+using bits::Comparison;
+
+TEST(Peak, KernelMixAndXor) {
+  for (const auto& d : all_gpus()) {
+    for (const auto op : {Comparison::kAnd, Comparison::kXor}) {
+      const InstrMix mix = kernel_mix(d, op);
+      EXPECT_EQ(mix.logic, 1);
+      EXPECT_EQ(mix.add, 1);
+      EXPECT_EQ(mix.popc, 1);
+    }
+  }
+}
+
+TEST(Peak, AndNotMixDependsOnFusionAndLowering) {
+  // NVIDIA fuses the negation (LOP3): no extra logic op. Vega executes a
+  // separate NOT unless the database is pre-negated (Eq. 3).
+  EXPECT_EQ(kernel_mix(gtx980(), Comparison::kAndNot).logic, 1);
+  EXPECT_EQ(kernel_mix(titan_v(), Comparison::kAndNot).logic, 1);
+  EXPECT_EQ(kernel_mix(vega64(), Comparison::kAndNot).logic, 2);
+  EXPECT_EQ(kernel_mix(vega64(), Comparison::kAndNot, true).logic, 1);
+}
+
+TEST(Peak, ClusterRateBottlenecks) {
+  // GTX 980: popc pipe 8 wide -> 8 word-ops/cycle/cluster, popc-bound.
+  const auto g = cluster_rate(gtx980(), kernel_mix(gtx980(),
+                                                   Comparison::kAnd));
+  EXPECT_DOUBLE_EQ(g.wordops_per_cycle, 8.0);
+  EXPECT_EQ(g.bottleneck_pipe, gtx980().pipe_index(InstrClass::kPopc));
+  // Titan V: popc 4 wide -> 4 word-ops/cycle/cluster.
+  const auto t = cluster_rate(titan_v(), kernel_mix(titan_v(),
+                                                    Comparison::kAnd));
+  EXPECT_DOUBLE_EQ(t.wordops_per_cycle, 4.0);
+  EXPECT_EQ(t.bottleneck_pipe, titan_v().pipe_index(InstrClass::kPopc));
+  // Vega: the shared logic/add pipe is the bottleneck (2 ops * 64/16 = 8
+  // cycles vs popc 4) -> 8 word-ops/cycle/cluster.
+  const auto v = cluster_rate(vega64(), kernel_mix(vega64(),
+                                                   Comparison::kAnd));
+  EXPECT_DOUBLE_EQ(v.wordops_per_cycle, 8.0);
+  EXPECT_EQ(v.bottleneck_pipe, vega64().pipe_index(InstrClass::kLogic));
+}
+
+TEST(Peak, DevicePeaks) {
+  // Peak = N_c * N_cl * cluster_rate * freq.
+  EXPECT_NEAR(peak_wordops_per_s(gtx980(), Comparison::kAnd) / 1e9,
+              16 * 4 * 8 * 1.367, 1e-6);  // ~700 G
+  EXPECT_NEAR(peak_wordops_per_s(titan_v(), Comparison::kAnd) / 1e9,
+              80 * 4 * 4 * 1.455, 1e-6);  // ~1862 G
+  EXPECT_NEAR(peak_wordops_per_s(vega64(), Comparison::kAnd) / 1e9,
+              64 * 4 * 8 * 1.663, 1e-6);  // ~3406 G
+}
+
+TEST(Peak, PeakOrderingMatchesPaper) {
+  // Vega 64 has the highest raw peak, then Titan V, then GTX 980, and all
+  // GPUs tower over the Xeon.
+  const double g = peak_wordops_per_s(gtx980(), Comparison::kAnd);
+  const double t = peak_wordops_per_s(titan_v(), Comparison::kAnd);
+  const double v = peak_wordops_per_s(vega64(), Comparison::kAnd);
+  const double c = cpu_peak_wordops_per_s(xeon_e5_2620v2());
+  EXPECT_GT(v, t);
+  EXPECT_GT(t, g);
+  EXPECT_GT(g, 5.0 * c);
+}
+
+TEST(Peak, VegaNotPenaltyIsOneThird) {
+  // Fig. 9: the in-kernel NOT costs Vega a third of its throughput
+  // (3 logic-pipe ops instead of 2); NVIDIA is unaffected.
+  const double v_and = peak_wordops_per_s(vega64(), Comparison::kAnd);
+  const double v_andn = peak_wordops_per_s(vega64(), Comparison::kAndNot);
+  EXPECT_NEAR(v_andn / v_and, 2.0 / 3.0, 1e-9);
+  for (const auto& d : {gtx980(), titan_v()}) {
+    EXPECT_DOUBLE_EQ(peak_wordops_per_s(d, Comparison::kAnd),
+                     peak_wordops_per_s(d, Comparison::kAndNot));
+  }
+  // Pre-negation restores Vega's full rate.
+  EXPECT_DOUBLE_EQ(peak_wordops_per_s(vega64(), Comparison::kAndNot, true),
+                   v_and);
+}
+
+TEST(Peak, CpuPeakIsPopcountBound) {
+  // 12 cores * 1 popcount/cycle * 2.1 GHz on 64-bit words = 25.2 G op64/s
+  // = 50.4 G 32-bit-equivalent word-ops/s.
+  EXPECT_NEAR(cpu_peak_wordops_per_s(xeon_e5_2620v2()) / 1e9, 50.4, 1e-9);
+}
+
+TEST(Peak, ActiveCoreScaling) {
+  const auto d = gtx980();
+  const double full = peak_wordops_per_s(d, Comparison::kAnd);
+  const double half = peak_wordops_per_s(d, Comparison::kAnd, false, 8);
+  EXPECT_NEAR(half / full, 0.5, 1e-12);
+}
+
+TEST(Peak, BottleneckDescriptions) {
+  EXPECT_NE(describe_bottleneck(gtx980(), Comparison::kAnd)
+                .find("popcount"),
+            std::string::npos);
+  EXPECT_NE(describe_bottleneck(vega64(), Comparison::kAnd)
+                .find("logic/add"),
+            std::string::npos);
+}
+
+TEST(Peak, WordopsToCups) {
+  EXPECT_DOUBLE_EQ(wordops_to_cups(1.0), 32.0);
+}
+
+}  // namespace
+}  // namespace snp::model

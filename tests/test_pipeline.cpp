@@ -1,0 +1,211 @@
+// Cycle-level core simulator: latency semantics, pipe throughput, bank
+// conflicts, round-robin latency hiding — the machine of Section IV-A.
+#include "sim/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/device.hpp"
+
+namespace snp::sim {
+namespace {
+
+/// A one-cluster toy device where the numbers are easy to reason about.
+model::GpuSpec toy_device() {
+  model::GpuSpec d;
+  d.name = "Toy";
+  d.vendor = "toy";
+  d.microarch = "toy";
+  d.freq_ghz = 1.0;
+  d.n_t = 16;
+  d.n_grp_max = 32;
+  d.n_cores = 1;
+  d.n_clusters = 1;
+  d.n_vec = 4;
+  // pipe 0: logic+add 16-wide (occupancy 1), latency 5;
+  // pipe 1: popc 4-wide (occupancy 4), latency 5; pipe 2: mem.
+  d.pipes = {{16, 5}, {4, 5}, {8, 5}};
+  d.pipe_of[static_cast<int>(model::InstrClass::kLogic)] = 0;
+  d.pipe_of[static_cast<int>(model::InstrClass::kAdd)] = 0;
+  d.pipe_of[static_cast<int>(model::InstrClass::kPopc)] = 1;
+  d.pipe_of[static_cast<int>(model::InstrClass::kMem)] = 2;
+  d.shared_bytes = 1024;
+  d.banks = 16;
+  d.regs_per_core = 4096;
+  d.max_regs_per_thread = 64;
+  d.global_bytes = 1 << 20;
+  d.max_alloc_bytes = 1 << 19;
+  return d;
+}
+
+SimOptions no_overhead() {
+  SimOptions o;
+  o.loop_overhead_instrs = 0;
+  return o;
+}
+
+TEST(Pipeline, DependentChainExposesLatency) {
+  // One group, dependent logic chain: issue every L_fn = 5 cycles.
+  const auto dev = toy_device();
+  const CoreSim sim(dev, no_overhead());
+  const auto p = dependent_chain(Opcode::kMov, 32, 64);
+  const auto stats = sim.run(p, 1);
+  const double rate = static_cast<double>(stats.cycles) /
+                      static_cast<double>(32 * 64);
+  EXPECT_NEAR(rate, 5.0, 0.3);  // prologue LDG amortized over 2048 instrs
+}
+
+TEST(Pipeline, DependentChainRateIsMaxOfLatencyAndOccupancy) {
+  // Popc on the toy device: occupancy 16/4 = 4 < latency 5 -> rate 5.
+  const auto dev = toy_device();
+  const CoreSim sim(dev, no_overhead());
+  const auto p = dependent_chain(Opcode::kPopc, 32, 64);
+  const double rate = static_cast<double>(sim.run(p, 1).cycles) / (32 * 64);
+  EXPECT_NEAR(rate, 5.0, 0.3);
+  // Widen latency below occupancy: rate becomes the occupancy.
+  auto fat = dev;
+  fat.pipes[1].latency_cycles = 2;
+  const CoreSim sim2(fat, no_overhead());
+  const double rate2 =
+      static_cast<double>(sim2.run(p, 1).cycles) / (32 * 64);
+  EXPECT_NEAR(rate2, 4.0, 0.3);
+}
+
+TEST(Pipeline, IndependentStreamsSaturateOneGroupToOccupancy) {
+  // With 8 independent streams, a single group issues a popc every
+  // occupancy (4) cycles despite latency 5.
+  const auto dev = toy_device();
+  const CoreSim sim(dev, no_overhead());
+  const auto p = independent_streams(Opcode::kPopc, 8, 8, 64);
+  const double rate =
+      static_cast<double>(sim.run(p, 1).cycles) / (8.0 * 8 * 64);
+  EXPECT_NEAR(rate, 4.0, 0.3);
+}
+
+TEST(Pipeline, LogicPipeFullRate) {
+  // Logic occupancy 1: one instruction per cycle from a single group with
+  // enough ILP.
+  const auto dev = toy_device();
+  const CoreSim sim(dev, no_overhead());
+  const auto p = independent_streams(Opcode::kAnd, 8, 8, 512);
+  const double rate =
+      static_cast<double>(sim.run(p, 1).cycles) / (8.0 * 8 * 512);
+  EXPECT_NEAR(rate, 1.0, 0.05);
+}
+
+TEST(Pipeline, MultipleGroupsHideDependentLatency) {
+  // L_fn groups of dependent popc chains: the pipe saturates at its
+  // occupancy rate (1 instr / 4 cycles), hiding the 5-cycle latency.
+  const auto dev = toy_device();
+  const CoreSim sim(dev, no_overhead());
+  const auto p = dependent_chain(Opcode::kPopc, 32, 32);
+  const auto stats = sim.run(p, 5);
+  const double per_instr =
+      static_cast<double>(stats.cycles) / (5.0 * 32 * 32);
+  EXPECT_NEAR(per_instr, 4.0, 0.3);
+}
+
+TEST(Pipeline, SeparatePipesOverlap) {
+  // Equal counts of popc (occ 4) and add (occ 1) on different pipes: the
+  // add stream hides entirely under the popc stream.
+  const auto dev = toy_device();
+  const CoreSim sim(dev, no_overhead());
+  const auto solo = independent_streams(Opcode::kPopc, 4, 8, 64);
+  const auto mixed = interleaved_pair(Opcode::kPopc, Opcode::kAdd, 32, 64);
+  const auto solo_cycles = sim.run(solo, 2).cycles;
+  const auto mixed_cycles = sim.run(mixed, 2).cycles;
+  // mixed has the same number of popc ops as solo (32 vs 4*8 per iter).
+  EXPECT_LT(static_cast<double>(mixed_cycles),
+            1.2 * static_cast<double>(solo_cycles));
+}
+
+TEST(Pipeline, SharedPipeSerializes) {
+  // add + and share pipe 0: the mix costs the sum of both.
+  const auto dev = toy_device();
+  const CoreSim sim(dev, no_overhead());
+  const auto solo = independent_streams(Opcode::kAnd, 4, 8, 64);
+  const auto mixed = interleaved_pair(Opcode::kAnd, Opcode::kAdd, 32, 64);
+  const auto solo_cycles = sim.run(solo, 2).cycles;
+  const auto mixed_cycles = sim.run(mixed, 2).cycles;
+  EXPECT_GT(static_cast<double>(mixed_cycles),
+            1.7 * static_cast<double>(solo_cycles));
+}
+
+TEST(Pipeline, LoopOverheadShrinksWithBodySize) {
+  // The paper: "increasing the number of instructions in the loop body
+  // will diminish the effects of managing the loop."
+  const auto dev = toy_device();
+  SimOptions with_overhead;
+  with_overhead.loop_overhead_instrs = 2;
+  const CoreSim sim(dev, with_overhead);
+  const auto small = dependent_chain(Opcode::kMov, 4, 512);
+  const auto large = dependent_chain(Opcode::kMov, 64, 32);
+  const double rate_small =
+      static_cast<double>(sim.run(small, 1).cycles) / (4 * 512);
+  const double rate_large =
+      static_cast<double>(sim.run(large, 1).cycles) / (64 * 32);
+  EXPECT_GT(rate_small, rate_large + 0.2);
+  EXPECT_NEAR(rate_large, 5.0, 0.5);
+}
+
+TEST(BankConflicts, ClassicStrides) {
+  const auto dev = toy_device();  // 16 banks, 16 lanes
+  EXPECT_EQ(bank_conflict_factor(dev, 0), 1);   // broadcast
+  EXPECT_EQ(bank_conflict_factor(dev, 1), 1);   // conflict-free
+  EXPECT_EQ(bank_conflict_factor(dev, 2), 2);   // 2-way
+  EXPECT_EQ(bank_conflict_factor(dev, 4), 4);   // 4-way
+  EXPECT_EQ(bank_conflict_factor(dev, 16), 16);  // all lanes one bank
+  EXPECT_EQ(bank_conflict_factor(dev, 17), 1);  // odd stride: conflict-free
+}
+
+TEST(BankConflicts, WideGroupBaseline) {
+  // Vega: 64 lanes over 32 banks -> 2 lanes/bank is unavoidable; stride 1
+  // is therefore factor 1, stride 2 factor 2.
+  const auto v = model::vega64();
+  EXPECT_EQ(bank_conflict_factor(v, 1), 1);
+  EXPECT_EQ(bank_conflict_factor(v, 2), 2);
+  EXPECT_EQ(bank_conflict_factor(v, 32), 32);
+}
+
+TEST(BankConflicts, SlowLdsIssue) {
+  // A strided LDS stream must cost ~factor x the conflict-free stream.
+  const auto dev = toy_device();
+  const CoreSim sim(dev, no_overhead());
+  const auto free_p = strided_lds(1, 16, 64);
+  const auto conf_p = strided_lds(4, 16, 64);
+  const auto free_c = sim.run(free_p, 2).cycles;
+  const auto conf_c = sim.run(conf_p, 2).cycles;
+  EXPECT_NEAR(static_cast<double>(conf_c) / static_cast<double>(free_c),
+              4.0, 0.5);
+}
+
+TEST(Pipeline, StatsAreConsistent) {
+  const auto dev = toy_device();
+  const CoreSim sim(dev, no_overhead());
+  const auto p = independent_streams(Opcode::kAnd, 4, 4, 16);
+  const auto stats = sim.run(p, 3);
+  EXPECT_EQ(stats.instructions, 3u * p.dynamic_instructions());
+  EXPECT_GT(stats.cycles, 0u);
+  EXPECT_GT(stats.ipc(), 0.0);
+  // Logic-pipe busy cycles: one per logic instruction issued.
+  EXPECT_EQ(stats.pipe_busy_cycles[0], 3u * 4u * 4u * 16u);
+}
+
+TEST(Pipeline, RejectsBadInput) {
+  const CoreSim sim(toy_device());
+  EXPECT_THROW((void)sim.run(Program{}, 0), std::invalid_argument);
+  model::GpuSpec bad = toy_device();
+  bad.pipes.clear();
+  EXPECT_THROW(CoreSim{bad}, std::invalid_argument);
+}
+
+TEST(Pipeline, RealDevicesRunMicrobenchPrograms) {
+  for (const auto& d : model::all_gpus()) {
+    const CoreSim sim(d, no_overhead());
+    const auto p = dependent_chain(Opcode::kPopc, 16, 16);
+    const auto stats = sim.run(p, d.n_clusters);
+    EXPECT_GT(stats.cycles, 0u) << d.name;
+  }
+}
+
+}  // namespace
+}  // namespace snp::sim

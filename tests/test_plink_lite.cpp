@@ -1,0 +1,118 @@
+// PLINK-lite format: round trips, metadata synthesis, malformed input.
+#include "io/plink_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/datagen.hpp"
+
+namespace snp::io {
+namespace {
+
+PlinkLiteDataset sample_dataset() {
+  PopulationParams p;
+  p.seed = 501;
+  return with_synthetic_metadata(generate_genotypes(6, 10, p), "chr2",
+                                 5000, 250);
+}
+
+TEST(PlinkLite, SyntheticMetadata) {
+  const auto ds = sample_dataset();
+  ASSERT_TRUE(ds.consistent());
+  EXPECT_EQ(ds.loci.size(), 6u);
+  EXPECT_EQ(ds.samples.size(), 10u);
+  EXPECT_EQ(ds.loci[0].chrom, "chr2");
+  EXPECT_EQ(ds.loci[0].pos, 5000u);
+  EXPECT_EQ(ds.loci[3].pos, 5750u);
+  EXPECT_EQ(ds.loci[2].id, "rs100002");
+  EXPECT_EQ(ds.samples[9], "sample9");
+}
+
+TEST(PlinkLite, RoundTrip) {
+  const auto ds = sample_dataset();
+  std::stringstream ss;
+  save_plink_lite(ds, ss);
+  const auto back = load_plink_lite(ss);
+  ASSERT_TRUE(back.consistent());
+  EXPECT_EQ(back.samples, ds.samples);
+  ASSERT_EQ(back.loci.size(), ds.loci.size());
+  for (std::size_t l = 0; l < ds.loci.size(); ++l) {
+    EXPECT_EQ(back.loci[l].id, ds.loci[l].id);
+    EXPECT_EQ(back.loci[l].pos, ds.loci[l].pos);
+    for (std::size_t s = 0; s < ds.samples.size(); ++s) {
+      EXPECT_EQ(back.genotypes.at(l, s), ds.genotypes.at(l, s));
+    }
+  }
+  EXPECT_EQ(back.missing_calls, 0u);
+}
+
+TEST(PlinkLite, MissingCallsDecodeToZero) {
+  std::stringstream ss;
+  ss << "#plink-lite v1\n#samples\ta\tb\tc\n"
+     << "1\trs1\t100\tA\tG\t.\t2\t1\n"
+     << "1\trs2\t200\tC\tT\t0\t.\t.\n";
+  const auto ds = load_plink_lite(ss);
+  EXPECT_EQ(ds.missing_calls, 3u);
+  EXPECT_EQ(ds.genotypes.at(0, 0), 0);
+  EXPECT_EQ(ds.genotypes.at(0, 1), 2);
+  EXPECT_EQ(ds.genotypes.at(1, 2), 0);
+}
+
+TEST(PlinkLite, CommentsAndBlankLinesSkipped) {
+  std::stringstream ss;
+  ss << "#plink-lite v1\n#samples\ta\n\n# a comment\n"
+     << "1\trs1\t100\tA\tG\t1\n";
+  const auto ds = load_plink_lite(ss);
+  EXPECT_EQ(ds.loci.size(), 1u);
+}
+
+TEST(PlinkLite, MalformedInputsRejected) {
+  {
+    std::stringstream ss;
+    ss << "not a header\n";
+    EXPECT_THROW((void)load_plink_lite(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;
+    ss << "#plink-lite v1\nno samples line\n";
+    EXPECT_THROW((void)load_plink_lite(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;  // dosage out of range
+    ss << "#plink-lite v1\n#samples\ta\n1\trs1\t1\tA\tG\t3\n";
+    EXPECT_THROW((void)load_plink_lite(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;  // wrong call count
+    ss << "#plink-lite v1\n#samples\ta\tb\n1\trs1\t1\tA\tG\t1\n";
+    EXPECT_THROW((void)load_plink_lite(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;  // no samples at all
+    ss << "#plink-lite v1\n#samples\n";
+    EXPECT_THROW((void)load_plink_lite(ss), std::runtime_error);
+  }
+}
+
+TEST(PlinkLite, InconsistentDatasetRejectedOnSave) {
+  auto ds = sample_dataset();
+  ds.samples.pop_back();
+  std::stringstream ss;
+  EXPECT_THROW(save_plink_lite(ds, ss), std::invalid_argument);
+}
+
+TEST(PlinkLite, FileRoundTrip) {
+  const auto path =
+      std::filesystem::path(::testing::TempDir()) / "ds.plink";
+  const auto ds = sample_dataset();
+  save_plink_lite(ds, path);
+  const auto back = load_plink_lite(path);
+  EXPECT_EQ(back.loci.size(), ds.loci.size());
+  EXPECT_THROW(
+      (void)load_plink_lite(std::filesystem::path("/nonexistent/x")),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace snp::io

@@ -1,0 +1,159 @@
+// Cross-cutting property tests over the whole stack: mathematical
+// invariants of the three comparisons that must hold for every engine on
+// randomized inputs (parameterized over seeds).
+#include <gtest/gtest.h>
+
+#include "bits/compare.hpp"
+#include "cpu/engine.hpp"
+#include "io/datagen.hpp"
+#include "kern/gpu_kernel.hpp"
+#include "sparse/engine.hpp"
+
+namespace snp {
+namespace {
+
+using bits::BitMatrix;
+using bits::Comparison;
+using bits::CountMatrix;
+
+class SeededProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeededProperties, XorDistanceIsAMetric) {
+  // gamma_xor is the Hamming distance: identity, symmetry, triangle
+  // inequality over every row triple.
+  const auto m = io::random_bitmatrix(9, 700, 0.5, GetParam());
+  const auto d = cpu::compare_blocked(m, m, Comparison::kXor);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(d.at(i, i), 0u);
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_EQ(d.at(i, j), d.at(j, i));
+      for (std::size_t k = 0; k < 9; ++k) {
+        EXPECT_LE(d.at(i, k), d.at(i, j) + d.at(j, k))
+            << i << "," << j << "," << k;
+      }
+    }
+  }
+}
+
+TEST_P(SeededProperties, CountsBoundedByMarginals) {
+  const auto a = io::random_bitmatrix(6, 450, 0.4, GetParam() + 1);
+  const auto b = io::random_bitmatrix(7, 450, 0.6, GetParam() + 2);
+  const auto land = cpu::compare_blocked(a, b, Comparison::kAnd);
+  const auto lxor = cpu::compare_blocked(a, b, Comparison::kXor);
+  const auto landn = cpu::compare_blocked(a, b, Comparison::kAndNot);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto pa = static_cast<std::uint32_t>(a.row_popcount(i));
+    for (std::size_t j = 0; j < 7; ++j) {
+      const auto pb = static_cast<std::uint32_t>(b.row_popcount(j));
+      EXPECT_LE(land.at(i, j), std::min(pa, pb));
+      EXPECT_LE(lxor.at(i, j), pa + pb);
+      EXPECT_GE(lxor.at(i, j), pa > pb ? pa - pb : pb - pa);
+      EXPECT_LE(landn.at(i, j), pa);
+      EXPECT_LE(lxor.at(i, j), 450u);
+    }
+  }
+}
+
+TEST_P(SeededProperties, SingleBitFlipMovesCountsByAtMostOne) {
+  const std::uint64_t seed = GetParam();
+  auto a = io::random_bitmatrix(3, 300, 0.5, seed + 10);
+  const auto b = io::random_bitmatrix(3, 300, 0.5, seed + 11);
+  const auto before = cpu::compare_blocked(a, b, Comparison::kAnd);
+  io::Rng rng(seed);
+  const auto row = static_cast<std::size_t>(rng.next_below(3));
+  const auto bit = static_cast<std::size_t>(rng.next_below(300));
+  a.set(row, bit, !a.get(row, bit));
+  const auto after = cpu::compare_blocked(a, b, Comparison::kAnd);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const std::int64_t delta =
+          static_cast<std::int64_t>(after.at(i, j)) -
+          static_cast<std::int64_t>(before.at(i, j));
+      if (i == row) {
+        EXPECT_LE(std::abs(delta), 1);
+      } else {
+        EXPECT_EQ(delta, 0);
+      }
+    }
+  }
+}
+
+TEST_P(SeededProperties, UnionIntersectionPartition) {
+  // For every pair: |a & b| + |a & ~b| == |a| (AND/ANDNOT partition a).
+  const auto a = io::random_bitmatrix(5, 512, 0.3, GetParam() + 20);
+  const auto b = io::random_bitmatrix(5, 512, 0.7, GetParam() + 21);
+  const auto land = cpu::compare_blocked(a, b, Comparison::kAnd);
+  const auto landn = cpu::compare_blocked(a, b, Comparison::kAndNot);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto pa = static_cast<std::uint32_t>(a.row_popcount(i));
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(land.at(i, j) + landn.at(i, j), pa);
+    }
+  }
+}
+
+TEST_P(SeededProperties, SparseDenseAndGpuAgreeOnRandomInputs) {
+  const std::uint64_t seed = GetParam();
+  const auto a = io::random_bitmatrix(11, 384, 0.15, seed + 30);
+  const auto b = io::random_bitmatrix(13, 384, 0.45, seed + 31);
+  const auto sa = sparse::SparseBitMatrix::from_dense(a);
+  const auto sb = sparse::SparseBitMatrix::from_dense(b);
+  const auto dev = model::all_gpus()[seed % 3];
+  const kern::GpuSnpKernel kernel(
+      dev, model::paper_preset(dev, model::WorkloadKind::kLd),
+      Comparison::kXor);
+  CountMatrix gpu_out(11, 13);
+  kernel.execute(a, b, gpu_out);
+  const auto expected = bits::compare_reference(a, b, Comparison::kXor);
+  EXPECT_TRUE(gpu_out == expected);
+  EXPECT_TRUE(sparse::sparse_compare(sa, sb, Comparison::kXor) ==
+              expected);
+  EXPECT_TRUE(cpu::compare_blocked(a, b, Comparison::kXor) == expected);
+}
+
+TEST_P(SeededProperties, NegationDuality) {
+  // |a & ~(~b)| == |a & b| and |~a ^ ~b| == |a ^ b|.
+  const auto a = io::random_bitmatrix(4, 333, 0.5, GetParam() + 40);
+  const auto b = io::random_bitmatrix(4, 333, 0.5, GetParam() + 41);
+  EXPECT_TRUE(cpu::compare_blocked(a, b.negated(), Comparison::kAndNot) ==
+              cpu::compare_blocked(a, b, Comparison::kAnd));
+  EXPECT_TRUE(cpu::compare_blocked(a.negated(), b.negated(),
+                                   Comparison::kXor) ==
+              cpu::compare_blocked(a, b, Comparison::kXor));
+}
+
+
+TEST(Determinism, ParallelEnginesAreRunToRunIdentical)
+{
+  // The OpenMP engines write disjoint outputs with integer arithmetic, so
+  // repeated runs must agree bit-for-bit (no scheduling sensitivity).
+  const auto a = io::random_bitmatrix(64, 2048, 0.4, 424242);
+  const auto b = io::random_bitmatrix(96, 2048, 0.6, 424243);
+  const auto first = cpu::compare_blocked(a, b, Comparison::kAnd);
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_TRUE(cpu::compare_blocked(a, b, Comparison::kAnd) == first);
+  }
+  const auto dev = model::vega64();
+  const kern::GpuSnpKernel kernel(
+      dev, model::paper_preset(dev, model::WorkloadKind::kLd),
+      Comparison::kAnd);
+  CountMatrix gpu_first(64, 96);
+  kernel.execute(a, b, gpu_first);
+  for (int run = 0; run < 3; ++run) {
+    CountMatrix again(64, 96);
+    kernel.execute(a, b, again);
+    EXPECT_TRUE(again == gpu_first);
+  }
+  const auto sa = sparse::SparseBitMatrix::from_dense(a);
+  const auto sb = sparse::SparseBitMatrix::from_dense(b);
+  const auto sp_first = sparse::sparse_compare(sa, sb, Comparison::kAnd);
+  EXPECT_TRUE(sparse::sparse_compare(sa, sb, Comparison::kAnd) ==
+              sp_first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperties,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+}  // namespace
+}  // namespace snp

@@ -1,0 +1,127 @@
+// Per-locus QC: HWE goodness of fit, MAF and missingness thresholds,
+// dataset filtering, loader integration.
+#include "stats/qc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/datagen.hpp"
+
+namespace snp::stats {
+namespace {
+
+TEST(Qc, HweConsistentLocusPasses) {
+  // 1000 samples at p = 0.3 in perfect HWE proportions.
+  const auto qc = locus_qc(490, 420, 90, 0);
+  EXPECT_TRUE(qc.pass());
+  EXPECT_NEAR(qc.maf, 0.3, 1e-9);
+  EXPECT_NEAR(qc.het_observed, 0.42, 1e-9);
+  EXPECT_NEAR(qc.het_expected, 0.42, 1e-9);
+  EXPECT_NEAR(qc.hwe_chi2, 0.0, 1e-9);
+  EXPECT_NEAR(qc.hwe_p, 1.0, 1e-9);
+}
+
+TEST(Qc, ExcessHeterozygosityFails) {
+  // Same allele frequency, but every carrier is heterozygous — the
+  // classic genotyping-artifact signature.
+  const auto qc = locus_qc(400, 600, 0, 0);
+  EXPECT_FALSE(qc.pass());
+  EXPECT_TRUE(qc.flags & kQcHweViolation);
+  EXPECT_GT(qc.het_observed, qc.het_expected);
+  EXPECT_LT(qc.hwe_p, 1e-6);
+}
+
+TEST(Qc, RareLocusFlagged) {
+  const auto qc = locus_qc(995, 5, 0, 0);
+  EXPECT_TRUE(qc.flags & kQcLowMaf);
+  EXPECT_NEAR(qc.maf, 0.0025, 1e-9);
+}
+
+TEST(Qc, MissingnessFlagged) {
+  QcThresholds t;
+  t.max_missing_rate = 0.05;
+  const auto qc = locus_qc(800, 100, 20, 80, t);
+  EXPECT_TRUE(qc.flags & kQcHighMissing);
+  EXPECT_NEAR(qc.missing_rate, 0.08, 1e-9);
+}
+
+TEST(Qc, MafIsFolded) {
+  // "Minor" allele frequency folds above 0.5.
+  const auto qc = locus_qc(90, 420, 490, 0);
+  EXPECT_NEAR(qc.maf, 0.3, 1e-9);
+}
+
+TEST(Qc, Validation) {
+  EXPECT_THROW((void)locus_qc(-1, 0, 0, 0), std::invalid_argument);
+  const auto g = io::generate_genotypes(3, 10, {});
+  EXPECT_THROW((void)qc_report(g, std::vector<std::size_t>(2)),
+               std::invalid_argument);
+}
+
+TEST(Qc, HweCohortMostlyPasses) {
+  io::PopulationParams p;
+  p.seed = 888;
+  p.maf_min = 0.05;
+  p.maf_max = 0.5;
+  const auto g = io::generate_genotypes(300, 2000, p);
+  const auto report = qc_report(g);
+  std::size_t passing = 0;
+  for (const auto& qc : report) {
+    passing += qc.pass() ? 1u : 0u;
+  }
+  // HWE-generated common variants: nearly everything passes.
+  EXPECT_GT(passing, 290u);
+}
+
+TEST(Qc, FilterLociKeepsOnlyPassing) {
+  io::PopulationParams p;
+  p.seed = 889;
+  p.spectrum = io::MafSpectrum::kUniform;
+  p.maf_min = 0.001;  // some loci will fail the MAF threshold
+  p.maf_max = 0.5;
+  auto ds = io::with_synthetic_metadata(
+      io::generate_genotypes(100, 500, p));
+  const auto report = qc_report(ds.genotypes, ds.missing_per_locus);
+  const auto filtered = filter_loci(ds, report);
+  std::size_t expected = 0;
+  for (const auto& qc : report) {
+    expected += qc.pass() ? 1u : 0u;
+  }
+  EXPECT_EQ(filtered.loci.size(), expected);
+  EXPECT_EQ(filtered.genotypes.loci(), expected);
+  EXPECT_TRUE(filtered.consistent());
+  EXPECT_LT(expected, 100u);  // at least one rare locus got dropped
+  // Surviving loci keep their metadata identity.
+  std::size_t k = 0;
+  for (std::size_t l = 0; l < report.size(); ++l) {
+    if (report[l].pass()) {
+      EXPECT_EQ(filtered.loci[k].id, ds.loci[l].id);
+      ++k;
+    }
+  }
+}
+
+TEST(Qc, LoaderMissingnessFlowsThrough) {
+  std::stringstream ss;
+  ss << "#plink-lite v1\n#samples\ta\tb\tc\td\n"
+     << "1\trs1\t100\tA\tG\t0\t1\t2\t0\n"
+     << "1\trs2\t200\tC\tT\t.\t.\t.\t1\n";
+  const auto ds = io::load_plink_lite(ss);
+  ASSERT_EQ(ds.missing_per_locus.size(), 2u);
+  EXPECT_EQ(ds.missing_per_locus[0], 0u);
+  EXPECT_EQ(ds.missing_per_locus[1], 3u);
+  QcThresholds t;
+  t.max_missing_rate = 0.5;
+  t.min_maf = 0.0;
+  t.min_hwe_p = 0.0;
+  const auto report = qc_report(ds.genotypes, ds.missing_per_locus, t);
+  EXPECT_TRUE(report[0].pass());
+  EXPECT_TRUE(report[1].flags & kQcHighMissing);
+  EXPECT_NEAR(report[1].missing_rate, 0.75, 1e-9);
+  // The surviving single call (dosage 1 of 1 genotyped) gives maf 0.5.
+  EXPECT_NEAR(report[1].maf, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace snp::stats

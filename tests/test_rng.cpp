@@ -1,0 +1,95 @@
+// Deterministic RNG: reproducibility, range contracts, rough uniformity.
+#include "io/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace snp::io {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += r.next_double();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(13);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r(17);
+  std::array<int, 7> seen{};
+  for (int i = 0; i < 7000; ++i) {
+    ++seen[r.next_below(7)];
+  }
+  for (const int count : seen) {
+    EXPECT_GT(count, 700);  // each residue near 1000, allow wide slack
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(19);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += r.next_bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsIndependentAndDeterministic) {
+  const Rng base(23);
+  Rng f1 = base.fork(1);
+  Rng f1_again = base.fork(1);
+  Rng f2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = f1.next_u64();
+    EXPECT_EQ(a, f1_again.next_u64());
+    equal += a == f2.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace snp::io

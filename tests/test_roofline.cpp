@@ -1,0 +1,94 @@
+// Roofline analysis: ridge points, attainability bound, the Fig. 5 sweep
+// as a walk along the intensity axis.
+#include "sim/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/peak.hpp"
+
+namespace snp::sim {
+namespace {
+
+using bits::Comparison;
+
+TEST(Roofline, RidgeIntensityDefinition) {
+  for (const auto& dev : model::all_gpus()) {
+    const double ridge = ridge_intensity(dev, Comparison::kAnd);
+    const double peak =
+        model::peak_wordops_per_s(dev, Comparison::kAnd) / 1e9;
+    EXPECT_NEAR(ridge * dev.dram_gbps_effective, peak, 1e-9) << dev.name;
+    EXPECT_GT(ridge, 0.0);
+  }
+}
+
+TEST(Roofline, AchievedNeverExceedsAttainable) {
+  for (const auto& dev : model::all_gpus()) {
+    const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+    for (const std::size_t kw : {8u, 64u, 383u}) {
+      const auto p = roofline_for(dev, cfg, Comparison::kAnd,
+                                  {8192, 8192, kw});
+      EXPECT_LE(p.achieved_gops, p.attainable_gops * 1.02)
+          << dev.name << " kw=" << kw;
+      EXPECT_LE(p.attainable_gops, p.peak_gops + 1e-9);
+      EXPECT_GT(p.arithmetic_intensity, 0.0);
+    }
+  }
+}
+
+TEST(Roofline, DeeperKRaisesIntensity) {
+  const auto dev = model::titan_v();
+  const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+  double prev = 0.0;
+  for (const std::size_t kw : {4u, 16u, 64u, 256u, 383u}) {
+    const auto p =
+        roofline_for(dev, cfg, Comparison::kAnd, {8192, 8192, kw});
+    EXPECT_GT(p.arithmetic_intensity, prev) << kw;
+    prev = p.arithmetic_intensity;
+  }
+}
+
+TEST(Roofline, ShallowKIsMemoryBoundDeepKIsNot) {
+  // The Fig. 5 mechanism restated as roofline sides: tiny K sits left of
+  // the ridge (memory-bound), a full k_c tile sits right of it on the
+  // NVIDIA parts.
+  for (const auto& dev : {model::gtx980(), model::titan_v()}) {
+    const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+    const auto shallow =
+        roofline_for(dev, cfg, Comparison::kAnd, {8192, 8192, 4});
+    const auto deep = roofline_for(dev, cfg, Comparison::kAnd,
+                                   {8192, 8192, 383});
+    EXPECT_TRUE(shallow.memory_bound) << dev.name;
+    EXPECT_FALSE(deep.memory_bound) << dev.name;
+  }
+}
+
+TEST(Roofline, VegaLivesLeftOfItsRidge) {
+  // Vega's huge FU peak pushes its ridge point beyond what the LD kernel's
+  // intensity reaches even at a full tile — the roofline restatement of
+  // its 54.9 % of peak.
+  const auto dev = model::vega64();
+  const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
+  const auto p =
+      roofline_for(dev, cfg, Comparison::kAnd, {16384, 16384, 512});
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_LT(p.achieved_gops, 0.6 * p.peak_gops);
+  // The NVIDIA parts at the same relative shape are compute-bound.
+  const auto t = model::titan_v();
+  const auto pt = roofline_for(
+      t, model::paper_preset(t, model::WorkloadKind::kLd), Comparison::kAnd,
+      {16384, 16384, 383});
+  EXPECT_FALSE(pt.memory_bound);
+}
+
+TEST(Roofline, PreNegationShiftsVegaRidge) {
+  // AND-NOT without pre-negation lowers the FU peak (NOT on the shared
+  // pipe), lowering the ridge intensity.
+  const auto dev = model::vega64();
+  const double fused = ridge_intensity(dev, Comparison::kAndNot, false);
+  const double pre = ridge_intensity(dev, Comparison::kAndNot, true);
+  EXPECT_LT(fused, pre);
+  EXPECT_NEAR(pre / fused, 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace snp::sim

@@ -1,0 +1,169 @@
+// Tile-level kernel timing model: conservation laws, scaling behaviour,
+// agreement with the bottleneck analysis.
+#include "sim/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/peak.hpp"
+
+namespace snp::sim {
+namespace {
+
+using bits::Comparison;
+
+model::KernelConfig ld_cfg(const model::GpuSpec& d) {
+  return model::paper_preset(d, model::WorkloadKind::kLd);
+}
+
+TEST(Timing, NeverExceedsPeak) {
+  for (const auto& d : model::all_gpus()) {
+    const auto cfg = ld_cfg(d);
+    for (const std::size_t k : {8u, 64u, 383u, 1000u}) {
+      const KernelShape shape{4096, 4096, k};
+      const auto t = estimate_kernel(d, cfg, Comparison::kAnd, shape);
+      EXPECT_GT(t.seconds, 0.0) << d.name;
+      EXPECT_LE(t.pct_of_peak, 100.0) << d.name << " k=" << k;
+      EXPECT_GT(t.pct_of_peak, 0.0) << d.name;
+    }
+  }
+}
+
+TEST(Timing, ThroughputRisesWithK) {
+  // Fig. 5's mechanism: deeper inner dimension = more reuse of C = closer
+  // to peak.
+  for (const auto& d : model::all_gpus()) {
+    const auto cfg = ld_cfg(d);
+    double prev = 0.0;
+    for (const std::size_t k : {8u, 32u, 128u, 383u}) {
+      const auto t = estimate_kernel(d, cfg, Comparison::kAnd,
+                                     {8192, 8192, k});
+      EXPECT_GT(t.gops, prev) << d.name << " k=" << k;
+      prev = t.gops;
+    }
+  }
+}
+
+TEST(Timing, TimeScalesLinearlyInOutputArea) {
+  const auto d = model::titan_v();
+  const auto cfg = ld_cfg(d);
+  const auto small = estimate_kernel(d, cfg, Comparison::kAnd,
+                                     {10240, 10240, 383});
+  const auto large = estimate_kernel(d, cfg, Comparison::kAnd,
+                                     {20480, 20480, 383});
+  EXPECT_NEAR(large.seconds / small.seconds, 4.0, 0.2);
+}
+
+TEST(Timing, EdgeQuantizationCostsThroughput) {
+  // A shape one row beyond a tile boundary pays for a full extra tile row.
+  const auto d = model::gtx980();
+  const auto cfg = ld_cfg(d);
+  const auto exact = estimate_kernel(d, cfg, Comparison::kAnd,
+                                     {4096, 3840, 383});
+  const auto ragged = estimate_kernel(d, cfg, Comparison::kAnd,
+                                      {4097, 3841, 383});
+  EXPECT_LT(ragged.gops, exact.gops);
+  EXPECT_GT(ragged.seconds, exact.seconds);
+}
+
+TEST(Timing, VegaNotPenaltyOnlyWithoutPreNegation) {
+  // As in Fig. 9, measure on 1 core so memory contention does not mask the
+  // functional-unit penalty.
+  const auto d = model::vega64();
+  auto cfg = ld_cfg(d);
+  cfg.grid = {1, 1};
+  const KernelShape shape{128, 4096, 512};
+  const auto fused = estimate_kernel(d, cfg, Comparison::kAndNot, shape,
+                                     /*pre_negated=*/false);
+  const auto pre = estimate_kernel(d, cfg, Comparison::kAndNot, shape,
+                                   /*pre_negated=*/true);
+  const auto base = estimate_kernel(d, cfg, Comparison::kAnd, shape);
+  EXPECT_GT(fused.seconds, 1.2 * base.seconds);
+  EXPECT_NEAR(pre.seconds, base.seconds, 1e-9);
+}
+
+TEST(Timing, NvidiaAndNotIsFree) {
+  for (const auto& d : {model::gtx980(), model::titan_v()}) {
+    const auto cfg = ld_cfg(d);
+    const KernelShape shape{4096, 4096, 383};
+    const auto andnot = estimate_kernel(d, cfg, Comparison::kAndNot, shape);
+    const auto base = estimate_kernel(d, cfg, Comparison::kAnd, shape);
+    EXPECT_NEAR(andnot.seconds, base.seconds, 1e-12) << d.name;
+  }
+}
+
+TEST(Timing, ActiveCoresBoundedByTiles) {
+  const auto d = model::titan_v();  // grid 80x1 for LD
+  const auto cfg = ld_cfg(d);
+  // Only 2 row tiles -> only 2 of the 80 grid_m cores can work.
+  const auto t = estimate_kernel(d, cfg, Comparison::kAnd, {64, 1024, 64});
+  EXPECT_EQ(t.active_cores, 2);
+}
+
+TEST(Timing, FewerCoresMoreTime) {
+  const auto d = model::vega64();
+  auto cfg = ld_cfg(d);
+  const KernelShape shape{8192, 8192, 512};
+  const auto full = estimate_kernel(d, cfg, Comparison::kAnd, shape);
+  cfg.grid = {8, 1};
+  const auto eighth = estimate_kernel(d, cfg, Comparison::kAnd, shape);
+  EXPECT_GT(eighth.seconds, 4.0 * full.seconds);
+}
+
+TEST(Timing, PerCoreEfficiencyDropsWithMoreVegaCores) {
+  // The Fig. 7 mechanism: per-core work fixed, more cores -> contention.
+  const auto d = model::vega64();
+  auto cfg = ld_cfg(d);
+  double prev_eff = 1.1;
+  for (const int cores : {1, 8, 32, 64}) {
+    cfg.grid = {cores, 1};
+    // One column of tiles per core, scaled problem.
+    const KernelShape shape{static_cast<std::size_t>(32 * cores), 8192,
+                            512};
+    const auto t = estimate_kernel(d, cfg, Comparison::kAnd, shape);
+    EXPECT_LT(t.mem_efficiency, prev_eff);
+    prev_eff = t.mem_efficiency;
+  }
+  EXPECT_LT(prev_eff, 0.7);  // far below unity at 64 cores
+}
+
+TEST(Timing, InvalidInputsRejected) {
+  const auto d = model::gtx980();
+  const auto cfg = ld_cfg(d);
+  EXPECT_THROW(
+      (void)estimate_kernel(d, cfg, Comparison::kAnd, {0, 10, 10}),
+      std::invalid_argument);
+  auto bad = cfg;
+  bad.k_c = 100000;
+  EXPECT_THROW(
+      (void)estimate_kernel(d, bad, Comparison::kAnd, {10, 10, 10}),
+      std::invalid_argument);
+}
+
+TEST(Timing, WordopsExact) {
+  const auto d = model::gtx980();
+  const auto t = estimate_kernel(d, ld_cfg(d), Comparison::kAnd,
+                                 {100, 200, 50});
+  EXPECT_DOUBLE_EQ(t.wordops, 100.0 * 200.0 * 50.0);
+}
+
+TEST(Timing, CpuModelMatchesPeakAndEfficiency) {
+  const auto cpu = model::xeon_e5_2620v2();
+  const double ops = 1e12;
+  const double s = cpu_kernel_seconds(cpu, ops);
+  EXPECT_NEAR(
+      s, ops / (model::cpu_peak_wordops_per_s(cpu) * cpu.efficiency),
+      1e-12);
+  // 1e12 word-ops at ~42.8 G effective ops/s is ~23 s.
+  EXPECT_NEAR(s, 23.3, 0.5);
+}
+
+TEST(Timing, LaunchOverheadIncluded) {
+  const auto d = model::gtx980();
+  const auto t = estimate_kernel(d, ld_cfg(d), Comparison::kAnd,
+                                 {32, 384, 8});
+  EXPECT_DOUBLE_EQ(t.launch_seconds, d.launch_overhead_us * 1e-6);
+  EXPECT_GT(t.total_seconds(), t.seconds);
+}
+
+}  // namespace
+}  // namespace snp::sim

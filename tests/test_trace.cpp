@@ -1,0 +1,63 @@
+// Chrome-trace export: structural validity, event coverage, ordering.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/device.hpp"
+#include "sim/transfer.hpp"
+
+namespace snp::sim {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+Timeline sample_timeline() {
+  const auto d = model::titan_v();
+  const std::vector<Chunk> chunks(4, Chunk{1 << 22, 0.003, 1 << 20});
+  return run_timeline(d, chunks);
+}
+
+TEST(Trace, StructureAndCoverage) {
+  const auto json = chrome_trace_json(sample_timeline(), "Titan V");
+  // Array-shaped, balanced braces.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+  // Track metadata + init + 3 stages x 4 chunks.
+  EXPECT_EQ(count_occurrences(json, "thread_name"), 4u);
+  EXPECT_EQ(count_occurrences(json, "platform init"), 1u);
+  EXPECT_EQ(count_occurrences(json, "h2d chunk"), 4u);
+  EXPECT_EQ(count_occurrences(json, "kernel chunk"), 4u);
+  EXPECT_EQ(count_occurrences(json, "d2h chunk"), 4u);
+  EXPECT_NE(json.find("Titan V"), std::string::npos);
+  // Every complete event carries duration and timestamp fields.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""),
+            count_occurrences(json, "\"dur\": "));
+}
+
+TEST(Trace, ZeroLengthStagesOmitted) {
+  const auto d = model::gtx980();
+  const Timeline tl = run_timeline(d, {Chunk{0, 0.001, 0}});
+  const auto json = chrome_trace_json(tl);
+  EXPECT_EQ(count_occurrences(json, "h2d chunk"), 0u);
+  EXPECT_EQ(count_occurrences(json, "d2h chunk"), 0u);
+  EXPECT_EQ(count_occurrences(json, "kernel chunk"), 1u);
+}
+
+TEST(Trace, EmptyTimelineIsValidJsonArray) {
+  Timeline tl;
+  const auto json = chrome_trace_json(tl);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "thread_name"), 4u);
+}
+
+}  // namespace
+}  // namespace snp::sim

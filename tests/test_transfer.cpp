@@ -1,0 +1,121 @@
+// End-to-end timeline: double-buffering legality, overlap, serial ablation.
+#include "sim/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hpp"
+
+namespace snp::sim {
+namespace {
+
+std::vector<Chunk> uniform_chunks(int n, std::size_t h2d, double k,
+                                  std::size_t d2h) {
+  return std::vector<Chunk>(static_cast<std::size_t>(n), Chunk{h2d, k, d2h});
+}
+
+TEST(Transfer, EmptyTimelineIsInitOnly) {
+  const auto d = model::gtx980();
+  const auto tl = run_timeline(d, {});
+  EXPECT_DOUBLE_EQ(tl.total_seconds, init_seconds(d));
+  EXPECT_DOUBLE_EQ(tl.init_seconds, init_seconds(d));
+}
+
+TEST(Transfer, InitCanBeExcluded) {
+  const auto d = model::gtx980();
+  TimelineOptions opts;
+  opts.include_init = false;
+  const auto tl = run_timeline(d, uniform_chunks(1, 1 << 20, 0.01, 1 << 20),
+                               opts);
+  EXPECT_DOUBLE_EQ(tl.init_seconds, 0.0);
+  EXPECT_LT(tl.total_seconds, 0.1);
+}
+
+TEST(Transfer, ChunkOrderingLegality) {
+  const auto d = model::titan_v();
+  const auto tl = run_timeline(d, uniform_chunks(8, 1 << 24, 0.005, 1 << 22));
+  ASSERT_EQ(tl.chunks.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto& c = tl.chunks[i];
+    EXPECT_LE(c.h2d_start, c.h2d_end);
+    EXPECT_LE(c.h2d_end, c.kernel_start);  // kernel waits for its upload
+    EXPECT_LT(c.kernel_start, c.kernel_end);
+    EXPECT_LE(c.kernel_end, c.d2h_start);  // readback waits for the kernel
+    if (i > 0) {
+      // Engines are in-order.
+      EXPECT_GE(c.h2d_start, tl.chunks[i - 1].h2d_end);
+      EXPECT_GE(c.kernel_start, tl.chunks[i - 1].kernel_end);
+      EXPECT_GE(c.d2h_start, tl.chunks[i - 1].d2h_end);
+    }
+    if (i >= 2) {
+      // Buffer depth 2: chunk i reuses chunk i-2's input buffer.
+      EXPECT_GE(c.h2d_start, tl.chunks[i - 2].kernel_end);
+    }
+  }
+}
+
+TEST(Transfer, DoubleBufferingHidesTransferUnderCompute) {
+  const auto d = model::titan_v();
+  // Compute-heavy chunks: uploads should hide almost entirely.
+  const auto chunks = uniform_chunks(16, 1 << 24, 0.1, 1 << 20);
+  const auto overlapped = run_timeline(d, chunks);
+  TimelineOptions serial_opts;
+  serial_opts.double_buffered = false;
+  const auto serial = run_timeline(d, chunks, serial_opts);
+  EXPECT_LT(overlapped.total_seconds, serial.total_seconds);
+  EXPECT_GT(overlapped.overlap_fraction(), 0.8);
+  EXPECT_LT(serial.overlap_fraction(), 0.05);
+  // Serial total ~= init + sum of all stages.
+  EXPECT_NEAR(serial.total_seconds,
+              serial.init_seconds + serial.h2d_seconds +
+                  serial.kernel_seconds + 16 * launch_seconds(d) +
+                  serial.d2h_seconds,
+              1e-3);
+}
+
+TEST(Transfer, TransferBoundWorkloadIsPcieLimited) {
+  const auto d = model::gtx980();
+  // Tiny kernels, fat transfers: makespan ~= init + total h2d time.
+  const auto chunks = uniform_chunks(8, 1 << 26, 1e-5, 1 << 10);
+  const auto tl = run_timeline(d, chunks);
+  const double h2d_total = 8 * pcie_seconds(d, 1 << 26);
+  EXPECT_GT(tl.total_seconds - tl.init_seconds, h2d_total * 0.95);
+  EXPECT_LT(tl.total_seconds - tl.init_seconds, h2d_total * 1.25);
+}
+
+TEST(Transfer, BusyTimesAreSums) {
+  const auto d = model::vega64();
+  const auto chunks = uniform_chunks(4, 1 << 20, 0.002, 1 << 18);
+  const auto tl = run_timeline(d, chunks);
+  EXPECT_NEAR(tl.kernel_seconds, 4 * 0.002, 1e-12);
+  EXPECT_NEAR(tl.h2d_seconds,
+              4 * (pcie_seconds(d, 1 << 20) + pcie_latency_seconds()),
+              1e-9);
+}
+
+TEST(Transfer, ZeroByteStagesAreFree) {
+  const auto d = model::gtx980();
+  const auto tl = run_timeline(d, {Chunk{0, 0.01, 0}});
+  EXPECT_NEAR(tl.total_seconds,
+              init_seconds(d) + launch_seconds(d) + 0.01, 1e-9);
+}
+
+TEST(Transfer, BadDepthRejected) {
+  TimelineOptions opts;
+  opts.buffer_depth = 0;
+  EXPECT_THROW((void)run_timeline(model::gtx980(), {}, opts),
+               std::invalid_argument);
+}
+
+TEST(Transfer, DeeperBuffersNeverSlower) {
+  const auto d = model::titan_v();
+  const auto chunks = uniform_chunks(16, 1 << 24, 0.01, 1 << 22);
+  TimelineOptions o2;
+  o2.buffer_depth = 2;
+  TimelineOptions o4;
+  o4.buffer_depth = 4;
+  EXPECT_GE(run_timeline(d, chunks, o2).total_seconds + 1e-12,
+            run_timeline(d, chunks, o4).total_seconds);
+}
+
+}  // namespace
+}  // namespace snp::sim

@@ -1,0 +1,121 @@
+// VCF-lite: round trips, GT decoding, strict rejection of what we don't
+// support, interoperability with plink-lite through the shared dataset.
+#include "io/vcf_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/datagen.hpp"
+
+namespace snp::io {
+namespace {
+
+PlinkLiteDataset sample_dataset() {
+  PopulationParams p;
+  p.seed = 601;
+  return with_synthetic_metadata(generate_genotypes(5, 7, p), "7", 1000,
+                                 500);
+}
+
+TEST(VcfLite, RoundTrip) {
+  const auto ds = sample_dataset();
+  std::stringstream ss;
+  save_vcf_lite(ds, ss);
+  const auto back = load_vcf_lite(ss);
+  ASSERT_TRUE(back.consistent());
+  EXPECT_EQ(back.samples, ds.samples);
+  ASSERT_EQ(back.loci.size(), ds.loci.size());
+  for (std::size_t l = 0; l < ds.loci.size(); ++l) {
+    EXPECT_EQ(back.loci[l].chrom, ds.loci[l].chrom);
+    EXPECT_EQ(back.loci[l].pos, ds.loci[l].pos);
+    EXPECT_EQ(back.loci[l].ref, ds.loci[l].ref);
+    for (std::size_t s = 0; s < ds.samples.size(); ++s) {
+      EXPECT_EQ(back.genotypes.at(l, s), ds.genotypes.at(l, s));
+    }
+  }
+}
+
+TEST(VcfLite, GtVariantsAndMissing) {
+  std::stringstream ss;
+  ss << "##fileformat=VCFv4.2\n"
+     << "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\ts2\t"
+        "s3\ts4\n"
+     << "1\t100\trs1\tA\tG\t.\tPASS\t.\tGT\t0/0\t0|1\t1/0\t1|1\n"
+     << "1\t200\trs2\tC\tT\t.\tPASS\t.\tGT:DP\t./.\t0/1:31\t1/1:12\t0/0\n";
+  const auto ds = load_vcf_lite(ss);
+  ASSERT_EQ(ds.loci.size(), 2u);
+  EXPECT_EQ(ds.genotypes.at(0, 0), 0);
+  EXPECT_EQ(ds.genotypes.at(0, 1), 1);  // phased het
+  EXPECT_EQ(ds.genotypes.at(0, 2), 1);  // 1/0 het
+  EXPECT_EQ(ds.genotypes.at(0, 3), 2);
+  EXPECT_EQ(ds.genotypes.at(1, 0), 0);  // missing -> 0
+  EXPECT_EQ(ds.missing_calls, 1u);
+  EXPECT_EQ(ds.genotypes.at(1, 1), 1);  // GT:DP cell, GT first
+}
+
+TEST(VcfLite, RejectsUnsupportedConstructs) {
+  const std::string header =
+      "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\n";
+  {
+    std::stringstream ss;  // record before header
+    ss << "1\t1\trs\tA\tG\t.\t.\t.\tGT\t0/0\n";
+    EXPECT_THROW((void)load_vcf_lite(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;  // multiallelic ALT
+    ss << header << "1\t1\trs\tA\tG,T\t.\t.\t.\tGT\t0/0\n";
+    EXPECT_THROW((void)load_vcf_lite(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;  // FORMAT without GT first
+    ss << header << "1\t1\trs\tA\tG\t.\t.\t.\tDP:GT\t3:0/0\n";
+    EXPECT_THROW((void)load_vcf_lite(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;  // allele index beyond biallelic
+    ss << header << "1\t1\trs\tA\tG\t.\t.\t.\tGT\t0/2\n";
+    EXPECT_THROW((void)load_vcf_lite(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;  // wrong column count
+    ss << header << "1\t1\trs\tA\tG\t.\t.\t.\tGT\n";
+    EXPECT_THROW((void)load_vcf_lite(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;  // malformed GT separator
+    ss << header << "1\t1\trs\tA\tG\t.\t.\t.\tGT\t0-0\n";
+    EXPECT_THROW((void)load_vcf_lite(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss;  // empty stream
+    EXPECT_THROW((void)load_vcf_lite(ss), std::runtime_error);
+  }
+}
+
+TEST(VcfLite, InteroperatesWithPlinkLite) {
+  // VCF in -> plink-lite out -> back: same genotypes.
+  const auto ds = sample_dataset();
+  std::stringstream vcf;
+  save_vcf_lite(ds, vcf);
+  const auto from_vcf = load_vcf_lite(vcf);
+  std::stringstream plink;
+  save_plink_lite(from_vcf, plink);
+  const auto from_plink = load_plink_lite(plink);
+  for (std::size_t l = 0; l < ds.loci.size(); ++l) {
+    for (std::size_t s = 0; s < ds.samples.size(); ++s) {
+      EXPECT_EQ(from_plink.genotypes.at(l, s), ds.genotypes.at(l, s));
+    }
+  }
+}
+
+TEST(VcfLite, FileRoundTrip) {
+  const auto path = std::filesystem::path(::testing::TempDir()) / "x.vcf";
+  save_vcf_lite(sample_dataset(), path);
+  EXPECT_EQ(load_vcf_lite(path).loci.size(), 5u);
+  EXPECT_THROW((void)load_vcf_lite(std::filesystem::path("/nope.vcf")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace snp::io

@@ -1,0 +1,11 @@
+// Thin main() around the snp::cli driver (see src/cli/).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return snp::cli::run(args, std::cout, std::cerr);
+}
