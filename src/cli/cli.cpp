@@ -244,10 +244,13 @@ int cmd_ld(Options& opt, std::ostream& out) {
   const std::string device = opt.str("device", "titanv");
   const std::string gamma_out = opt.str("out", "");
   const std::size_t top = opt.num("top", 10);
+  const std::size_t threads = opt.num("threads", 0);
   opt.reject_unknown();
   const auto m = io::load_bitmatrix(std::filesystem::path(in));
   Context ctx = make_context(device);
-  const auto res = ctx.ld(m);
+  ComputeOptions copts;
+  copts.threads = threads;
+  const auto res = ctx.ld(m, copts);
   if (!gamma_out.empty()) {
     io::save_countmatrix(res.counts, std::filesystem::path(gamma_out));
   }
@@ -282,12 +285,27 @@ int cmd_search(Options& opt, std::ostream& out) {
   const std::string dbpath = opt.require("db");
   const std::string device = opt.str("device", "titanv");
   const std::size_t top = opt.num("top", 3);
+  const std::size_t threads = opt.num("threads", 0);
+  const std::string host_trace = opt.str("host-trace", "");
   opt.reject_unknown();
   const auto queries = io::load_bitmatrix(std::filesystem::path(qpath));
   const auto db = io::load_bitmatrix(std::filesystem::path(dbpath));
   Context ctx = make_context(device);
-  const auto res = ctx.identity_search(queries, db);
+  ComputeOptions copts;
+  copts.threads = threads;
+  const auto res = ctx.identity_search(queries, db, copts);
   print_timing(out, res.comparison.timing);
+  if (!host_trace.empty()) {
+    std::ofstream os(host_trace);
+    if (!os) {
+      throw std::runtime_error("cannot open trace file " + host_trace);
+    }
+    sim::write_host_chrome_trace(res.comparison.timing.chunk_events, os,
+                                 device + " host pipeline");
+    out << "wrote host-pipeline timeline ("
+        << res.comparison.timing.chunk_events.size() << " chunks) to "
+        << host_trace << "\n";
+  }
   for (std::size_t q = 0; q < queries.rows(); ++q) {
     const auto row = res.comparison.counts.raw().subspan(q * db.rows(),
                                                          db.rows());
@@ -309,12 +327,14 @@ int cmd_mixture(Options& opt, std::ostream& out) {
   const auto tolerance = static_cast<std::uint32_t>(opt.num("tolerance",
                                                             0));
   const bool pre_negate = opt.str("pre-negate", "no") == "yes";
+  const std::size_t threads = opt.num("threads", 0);
   opt.reject_unknown();
   const auto profiles = io::load_bitmatrix(std::filesystem::path(ppath));
   const auto mixtures = io::load_bitmatrix(std::filesystem::path(mpath));
   Context ctx = make_context(device);
   ComputeOptions copts;
   copts.pre_negate = pre_negate;
+  copts.threads = threads;
   const auto res =
       ctx.mixture_analysis(profiles, mixtures, tolerance, copts);
   print_timing(out, res.comparison.timing);
@@ -808,11 +828,12 @@ commands:
   cluster   --in F               UPGMA population structure (+ Fst at k=2)
             [--k N] [--device D] [--format auto|plink|vcf]
   ld        --in F.sbm          linkage disequilibrium (Eq. 1)
-            [--device D] [--out gamma.scm] [--top K]
+            [--device D] [--out gamma.scm] [--top K] [--threads N]
   search    --queries F --db F  FastID identity search (Eq. 2)
-            [--device D] [--top K]
+            [--device D] [--top K] [--threads N] [--host-trace F.json]
   mixture   --profiles F --mixtures F   FastID mixture analysis (Eq. 3)
             [--device D] [--tolerance T] [--pre-negate yes|no]
+            [--threads N]
   merge     --a F --b F --out F [--axis samples|loci]
             combine genotyping batches (samples) or marker panels (loci)
   subset    --in F --out F [--samples n1,n2,...] [--loci a-b | i,j,...]

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "cpu/engine.hpp"
+#include "exec/task_graph.hpp"
+#include "exec/thread_pool.hpp"
 #include "kern/gpu_kernel.hpp"
 #include "model/peak.hpp"
 #include "sim/transfer.hpp"
@@ -266,13 +271,26 @@ CompareResult Context::compare_cpu(const BitMatrix& a, const BitMatrix& b,
                              a.bit_cols(), bits::kBitsPerWord32));
   if (options.functional) {
     const auto t0 = std::chrono::steady_clock::now();
-    bits::CountMatrix counts = cpu::compare_blocked(a, b, op);
+    bits::CountMatrix counts;
+    if (options.threads > 0) {
+      // Macro-tile task graph on a pool instead of the OpenMP pragma path;
+      // bit-identical counts (see cpu::compare_blocked_async).
+      exec::ThreadPool pool(options.threads);
+      counts = cpu::compare_blocked_async(a, b, op, pool);
+    } else {
+      counts = cpu::compare_blocked(a, b, op);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     result.timing.kernel_s =
         std::chrono::duration<double>(t1 - t0).count();
     result.timing.end_to_end_s = result.timing.kernel_s;
     result.timing.kernel_gops =
         wordops / result.timing.kernel_s / 1e9;
+    sim::HostChunkEvent ev;
+    ev.rows = b.rows();
+    ev.host_exec_end = result.timing.kernel_s;
+    ev.kernel_end = result.timing.kernel_s;
+    result.timing.chunk_events.push_back(ev);
     if (options.chunk_callback) {
       options.chunk_callback(
           ComputeOptions::ChunkView{0, true, counts});
@@ -360,25 +378,73 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
   double total_kernel_s = 0.0;
   int active_cores = 0;
 
+  const std::size_t n_chunks =
+      bits::ceil_div(streamed.rows(), chunk_rows);
+  result.timing.chunk_events.resize(n_chunks);
+
+  // Asynchronous host pipeline (options.threads > 0, functional runs
+  // only): per chunk, a pack task slices the streamed operand, an execute
+  // task (depending on the pack) runs the functional kernel, and a drain
+  // task (depending on the execute AND the previous drain) delivers the
+  // chunk callback and scatters the block into the gamma matrix. The
+  // drain chain makes delivery order and the reduction deterministic and
+  // identical to the serial path for every thread count; the semaphore
+  // bounds chunks in flight so host memory stays bounded at paper scale.
+  // The virtual-clock command enqueues below stay on the calling thread
+  // in both modes — simulated timing is independent of host threading.
+  const bool async = options.threads > 0 && options.functional;
+  std::unique_ptr<exec::ThreadPool> pool;
+  std::unique_ptr<exec::TaskGraph> graph;
+  std::unique_ptr<exec::Semaphore> slots;
+  exec::TaskGraph::TaskId prev_drain = 0;
+  const auto wall0 = std::chrono::steady_clock::now();
+  const auto host_now = [wall0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall0)
+        .count();
+  };
+  if (async) {
+    pool = std::make_unique<exec::ThreadPool>(options.threads);
+    graph = std::make_unique<exec::TaskGraph>(*pool);
+    slots = std::make_unique<exec::Semaphore>(
+        options.max_inflight_chunks > 0 ? options.max_inflight_chunks
+                                        : 2 * options.threads);
+  }
+
+  struct ChunkState {
+    BitMatrix chunk;    ///< packed slice of the streamed operand
+    CountMatrix part;   ///< this chunk's block of the gamma matrix
+  };
+
   std::vector<std::byte> readback;
-  for (std::size_t row0 = 0; row0 < streamed.rows(); row0 += chunk_rows) {
+  for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+    const std::size_t row0 = ci * chunk_rows;
     const std::size_t rows = std::min(chunk_rows, streamed.rows() - row0);
-    const std::size_t slot = (row0 / chunk_rows) %
-                             static_cast<std::size_t>(inflight);
+    const std::size_t slot =
+        ci % static_cast<std::size_t>(inflight);
     if (!options.double_buffer) {
       q.barrier();
     }
+    sim::HostChunkEvent& cev = result.timing.chunk_events[ci];
+    cev.index = ci;
+    cev.row0 = row0;
+    cev.rows = rows;
 
-    // Upload this chunk of the streamed operand.
-    const BitMatrix chunk = streamed.row_slice(row0, row0 + rows);
+    // Upload this chunk of the streamed operand. Chunk rows are contiguous
+    // in the parent matrix, so the upload reads the parent's storage
+    // directly; the functional pack task makes its own slice.
     {
-      const auto raw = chunk.raw64();
+      const auto raw = streamed.raw64().subspan(
+          row0 * streamed.words64_per_row(),
+          rows * streamed.words64_per_row());
       const cl::Event ev = q.enqueue_write(
           *stream_bufs[slot],
           std::span<const std::byte>(
               reinterpret_cast<const std::byte*>(raw.data()),
               raw.size_bytes()));
       result.timing.h2d_s += ev.duration();
+      cev.h2d_start = ev.start;
+      cev.h2d_end = ev.end;
     }
 
     // Kernel: timing from the analytical model, results (when functional)
@@ -392,16 +458,25 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
     if (options.functional) {
       CountMatrix* counts =
           options.keep_counts ? &result.counts : nullptr;
-      const BitMatrix* ap = stream_b ? &a : &chunk;
-      const BitMatrix* bp = stream_b ? &chunk : &b_eff;
+      const BitMatrix* streamed_ptr = &streamed;
+      const BitMatrix* resident_ptr = stream_b ? &a : &b_eff;
       const std::size_t off = row0;
       const bool sb = stream_b;
       const kern::GpuSnpKernel* kptr = &kernel;
       const auto* callback =
           options.chunk_callback ? &options.chunk_callback : nullptr;
-      functional = [counts, ap, bp, off, sb, kptr, callback]() {
-        CountMatrix part(ap->rows(), bp->rows());
-        kptr->execute(*ap, *bp, part);
+      auto state = std::make_shared<ChunkState>();
+      auto pack = [state, streamed_ptr, off, rows]() {
+        state->chunk = streamed_ptr->row_slice(off, off + rows);
+      };
+      auto execute = [state, resident_ptr, sb, kptr]() {
+        const BitMatrix* ap = sb ? resident_ptr : &state->chunk;
+        const BitMatrix* bp = sb ? &state->chunk : resident_ptr;
+        state->part = CountMatrix(ap->rows(), bp->rows());
+        kptr->execute(*ap, *bp, state->part);
+      };
+      auto drain = [state, counts, off, sb, callback]() {
+        const CountMatrix& part = state->part;
         if (callback != nullptr) {
           (*callback)(ComputeOptions::ChunkView{off, sb, part});
         }
@@ -418,6 +493,55 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
           }
         }
       };
+      if (async) {
+        // Bounded in-flight backpressure, failure-aware: a failed chunk
+        // task skips every later drain, so the slot releases pending on
+        // them never come — poll instead of deadlocking, and let
+        // graph->wait() below rethrow the task's exception.
+        bool got_slot = false;
+        while (!(got_slot =
+                     slots->acquire_for(std::chrono::milliseconds(20)))) {
+          if (graph->failed()) {
+            break;
+          }
+        }
+        if (!got_slot) {
+          break;
+        }
+        sim::HostChunkEvent* evp = &cev;
+        evp->host_queued = host_now();
+        const auto pack_id = graph->add([pack, evp, host_now]() {
+          evp->host_pack_start = host_now();
+          pack();
+          evp->host_pack_end = host_now();
+        });
+        const auto exec_id = graph->add(
+            [execute, evp, host_now]() {
+              evp->host_exec_start = host_now();
+              execute();
+              evp->host_exec_end = host_now();
+            },
+            {pack_id});
+        std::vector<exec::TaskGraph::TaskId> drain_deps{exec_id};
+        if (ci > 0) {
+          drain_deps.push_back(prev_drain);
+        }
+        exec::Semaphore* slots_ptr = slots.get();
+        prev_drain = graph->add(
+            [drain, evp, host_now, slots_ptr]() {
+              evp->host_drain_start = host_now();
+              drain();
+              evp->host_drain_end = host_now();
+              slots_ptr->release();
+            },
+            drain_deps);
+      } else {
+        functional = [pack, execute, drain]() {
+          pack();
+          execute();
+          drain();
+        };
+      }
     }
     const cl::Event evk =
         q.enqueue_kernel(kt.seconds, reads, writes, functional);
@@ -425,6 +549,8 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
     kernel_gops_weighted += kt.gops * kt.seconds;
     pct_weighted += kt.pct_of_peak * kt.seconds;
     active_cores = std::max(active_cores, kt.active_cores);
+    cev.kernel_start = evk.start;
+    cev.kernel_end = evk.end;
 
     // Read the C chunk back.
     readback.resize(rows * c_row_bytes);
@@ -432,6 +558,11 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
         *c_bufs[slot], std::span<std::byte>(readback.data(),
                                             readback.size()));
     result.timing.d2h_s += evr.duration();
+    cev.d2h_start = evr.start;
+    cev.d2h_end = evr.end;
+  }
+  if (async) {
+    graph->wait();  // rethrows the first chunk-task exception, if any
   }
 
   const double end = q.finish();
@@ -510,7 +641,12 @@ Context::StreamingSearchResult Context::identity_search_streaming(
       best.resize(top_k);
     }
   };
+  // Async compare() delivers chunks from a serialized in-order drain
+  // chain, so callbacks never overlap — the mutex makes the fold's
+  // thread-safety independent of that scheduling detail.
+  std::mutex fold_mu;
   opts.chunk_callback = [&](const ComputeOptions::ChunkView& view) {
+    const std::lock_guard<std::mutex> lock(fold_mu);
     if (view.streamed_b) {
       // Usual case: the database streams; this block holds database
       // columns [row0, row0 + cols) for every query row.
@@ -625,7 +761,11 @@ Context::StreamingMixtureResult Context::mixture_analysis_streaming(
   ComputeOptions opts = options;
   opts.functional = true;
   opts.keep_counts = false;
+  // See identity_search_streaming: deliveries are already serialized
+  // in order by the drain chain; the lock keeps the fold self-contained.
+  std::mutex fold_mu;
   opts.chunk_callback = [&](const ComputeOptions::ChunkView& view) {
+    const std::lock_guard<std::mutex> lock(fold_mu);
     if (view.streamed_b) {
       // Tiny profile set against many mixtures: this block holds mixture
       // columns [row0, row0 + cols) for every profile row.

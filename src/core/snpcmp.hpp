@@ -28,6 +28,7 @@
 #include "model/config.hpp"
 #include "model/device.hpp"
 #include "sim/timing.hpp"
+#include "sim/trace.hpp"
 #include "sim/transfer.hpp"
 #include "stats/em_ld.hpp"
 
@@ -49,6 +50,20 @@ struct ComputeOptions {
   /// Rows of the streamed operand per chunk; 0 = largest that fits the
   /// device's allocation limits with two in-flight buffers.
   std::size_t chunk_rows = 0;
+
+  /// Host worker threads for the asynchronous chunk pipeline. 0 (default)
+  /// keeps the fully serial legacy path. With threads >= 1, compare()
+  /// schedules pack -> kernel -> reduce per chunk on a thread pool
+  /// (double-buffered packing), and a dedicated drain task delivers chunk
+  /// results strictly in stream order. Results — counts, callback payloads
+  /// and delivery order, and the simulated timing — are bit-identical to
+  /// the serial path for every thread count; chunk_callback runs on a pool
+  /// thread instead of the calling thread.
+  std::size_t threads = 0;
+  /// Async path only: bound on chunks in flight (scheduled but not yet
+  /// drained); the producer blocks once the bound is reached, keeping host
+  /// memory proportional to the bound at paper scale. 0 = 2 x threads.
+  std::size_t max_inflight_chunks = 0;
 
   /// One finished chunk of the gamma matrix, delivered in stream order.
   /// `part` is the block of rows [row0, row0+part.rows()) when the A
@@ -85,6 +100,12 @@ struct TimingReport {
   int active_cores = 0;
   std::string device;
   std::string config;
+  /// Per-chunk simulated queue/start/end intervals plus, on the async
+  /// path, the real host wall-clock of each pack/execute/drain task —
+  /// feed to sim::write_host_chrome_trace to visualize the measured host
+  /// pipeline (functional compare() only; estimate() fills a
+  /// sim::Timeline via ComputeOptions::timeline_out instead).
+  std::vector<sim::HostChunkEvent> chunk_events;
 };
 
 struct CompareResult {

@@ -1,8 +1,13 @@
 #include "cpu/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <vector>
+
+#include "exec/task_graph.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace snp::cpu {
 
@@ -90,6 +95,41 @@ MicroKernelFn select_kernel(Comparison op) {
   throw std::invalid_argument("compare_blocked: unknown comparison");
 }
 
+/// Loops 2 (n_r) and 1 (m_r) around the micro-kernel for one packed
+/// m_c x n_c macro-tile. Shared verbatim by the OpenMP and task-graph
+/// paths so their accumulation into C is instruction-identical.
+void run_macro_tile(MicroKernelFn kernel, const Word64* a_packed,
+                    const Word64* b_packed, std::size_t ic, std::size_t mc,
+                    std::size_t jc, std::size_t nc, std::size_t kw,
+                    std::size_t m, std::size_t n, std::uint32_t* cdata,
+                    std::size_t ldc) {
+  constexpr std::size_t m_r = CpuBlocking::m_r;
+  constexpr std::size_t n_r = CpuBlocking::n_r;
+  const std::size_t col_strips = bits::ceil_div(nc, n_r);
+  const std::size_t row_strips = bits::ceil_div(mc, m_r);
+  std::uint32_t edge[m_r * n_r];
+  for (std::size_t js = 0; js < col_strips; ++js) {
+    const Word64* b_strip = b_packed + js * kw * n_r;
+    for (std::size_t is = 0; is < row_strips; ++is) {
+      const Word64* a_strip = a_packed + is * kw * m_r;
+      const std::size_t ci = ic + is * m_r;
+      const std::size_t cj = jc + js * n_r;
+      const bool interior = ci + m_r <= m && cj + n_r <= n;
+      if (interior) {
+        kernel(a_strip, b_strip, kw, cdata + ci * ldc + cj, ldc);
+      } else {
+        std::fill(edge, edge + m_r * n_r, 0u);
+        kernel(a_strip, b_strip, kw, edge, n_r);
+        for (std::size_t i = 0; i < m_r && ci + i < m; ++i) {
+          for (std::size_t j = 0; j < n_r && cj + j < n; ++j) {
+            cdata[(ci + i) * ldc + cj + j] += edge[i * n_r + j];
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 bits::CountMatrix compare_blocked(const bits::BitMatrix& a,
@@ -102,8 +142,6 @@ bits::CountMatrix compare_blocked(const bits::BitMatrix& a,
   if (!blocking.valid()) {
     throw std::invalid_argument("compare_blocked: invalid blocking");
   }
-  constexpr std::size_t m_r = CpuBlocking::m_r;
-  constexpr std::size_t n_r = CpuBlocking::n_r;
   const MicroKernelFn kernel = select_kernel(op);
 
   const std::size_t m = a.rows();
@@ -135,34 +173,133 @@ bits::CountMatrix compare_blocked(const bits::BitMatrix& a,
         const std::size_t mc = std::min(blocking.m_c, m - ic);
         std::vector<Word64> a_packed;
         pack_a(a, ic, mc, pc, kw, a_packed);
-
-        // Loops 2 (n_r) and 1 (m_r) around the micro-kernel.
-        const std::size_t col_strips = bits::ceil_div(nc, n_r);
-        const std::size_t row_strips = bits::ceil_div(mc, m_r);
-        std::uint32_t edge[m_r * n_r];
-        for (std::size_t js = 0; js < col_strips; ++js) {
-          const Word64* b_strip = b_packed.data() + js * kw * n_r;
-          for (std::size_t is = 0; is < row_strips; ++is) {
-            const Word64* a_strip = a_packed.data() + is * kw * m_r;
-            const std::size_t ci = ic + is * m_r;
-            const std::size_t cj = jc + js * n_r;
-            const bool interior = ci + m_r <= m && cj + n_r <= n;
-            if (interior) {
-              kernel(a_strip, b_strip, kw, cdata + ci * ldc + cj, ldc);
-            } else {
-              std::fill(edge, edge + m_r * n_r, 0u);
-              kernel(a_strip, b_strip, kw, edge, n_r);
-              for (std::size_t i = 0; i < m_r && ci + i < m; ++i) {
-                for (std::size_t j = 0; j < n_r && cj + j < n; ++j) {
-                  cdata[(ci + i) * ldc + cj + j] += edge[i * n_r + j];
-                }
-              }
-            }
-          }
-        }
+        run_macro_tile(kernel, a_packed.data(), b_packed.data(), ic, mc,
+                       jc, nc, kw, m, n, cdata, ldc);
       }
     }
   }
+  return c;
+}
+
+bits::CountMatrix compare_blocked_async(const bits::BitMatrix& a,
+                                        const bits::BitMatrix& b,
+                                        Comparison op,
+                                        exec::ThreadPool& pool,
+                                        const CpuBlocking& blocking) {
+  if (a.bit_cols() != b.bit_cols()) {
+    throw std::invalid_argument(
+        "compare_blocked_async: operands must share the K dimension");
+  }
+  if (!blocking.valid()) {
+    throw std::invalid_argument("compare_blocked_async: invalid blocking");
+  }
+  const MicroKernelFn kernel = select_kernel(op);
+
+  const std::size_t m = a.rows();
+  const std::size_t n = b.rows();
+  const std::size_t k_words =
+      bits::ceil_div(a.bit_cols(), bits::kBitsPerWord64);
+  bits::CountMatrix c(m, n);
+  if (m == 0 || n == 0 || k_words == 0) {
+    return c;
+  }
+  const std::size_t ldc = n;
+  std::uint32_t* cdata = c.raw().data();
+
+  const std::size_t m_blocks = bits::ceil_div(m, blocking.m_c);
+  const std::size_t n_blocks = bits::ceil_div(n, blocking.n_c);
+
+  // Two panel generations (k_c strips) may be in flight at once: packing
+  // for generation g+1 overlaps the macro-tile compute of generation g,
+  // and the generation-complete marker frees its panels before releasing
+  // the slot — so peak packed memory is bounded at two generations.
+  constexpr std::size_t kPanelGenerations = 2;
+  exec::Semaphore generations(kPanelGenerations);
+  std::vector<std::vector<Word64>> a_store[kPanelGenerations];
+  std::vector<std::vector<Word64>> b_store[kPanelGenerations];
+  // Last compute task per (m, n) macro-tile: each tile's k_c accumulation
+  // chain runs in the serial panel order, so C is bit-identical to
+  // compare_blocked regardless of pool size.
+  std::vector<exec::TaskGraph::TaskId> tile_chain(m_blocks * n_blocks);
+  std::vector<bool> tile_started(m_blocks * n_blocks, false);
+
+  exec::TaskGraph graph(pool);
+  std::size_t generation = 0;
+  for (std::size_t pc = 0; pc < k_words;
+       pc += blocking.k_c, ++generation) {
+    const std::size_t kw = std::min(blocking.k_c, k_words - pc);
+    const std::size_t slot = generation % kPanelGenerations;
+    // Failure-aware acquire: if any task threw, the marker that releases
+    // this slot may be skipped — stop producing and let graph.wait()
+    // rethrow instead of deadlocking.
+    bool acquired = false;
+    while (!(acquired =
+                 generations.acquire_for(std::chrono::milliseconds(20)))) {
+      if (graph.failed()) {
+        break;
+      }
+    }
+    if (!acquired) {
+      break;
+    }
+    a_store[slot].assign(m_blocks, {});
+    b_store[slot].assign(n_blocks, {});
+
+    std::vector<exec::TaskGraph::TaskId> a_packs(m_blocks);
+    std::vector<exec::TaskGraph::TaskId> b_packs(n_blocks);
+    for (std::size_t ib = 0; ib < m_blocks; ++ib) {
+      const std::size_t ic = ib * blocking.m_c;
+      const std::size_t mc = std::min(blocking.m_c, m - ic);
+      auto* dst = &a_store[slot][ib];
+      a_packs[ib] = graph.add(
+          [&a, ic, mc, pc, kw, dst] { pack_a(a, ic, mc, pc, kw, *dst); });
+    }
+    for (std::size_t jb = 0; jb < n_blocks; ++jb) {
+      const std::size_t jc = jb * blocking.n_c;
+      const std::size_t nc = std::min(blocking.n_c, n - jc);
+      auto* dst = &b_store[slot][jb];
+      b_packs[jb] = graph.add(
+          [&b, jc, nc, pc, kw, dst] { pack_b(b, jc, nc, pc, kw, *dst); });
+    }
+
+    std::vector<exec::TaskGraph::TaskId> computes;
+    computes.reserve(m_blocks * n_blocks);
+    for (std::size_t jb = 0; jb < n_blocks; ++jb) {
+      const std::size_t jc = jb * blocking.n_c;
+      const std::size_t nc = std::min(blocking.n_c, n - jc);
+      for (std::size_t ib = 0; ib < m_blocks; ++ib) {
+        const std::size_t ic = ib * blocking.m_c;
+        const std::size_t mc = std::min(blocking.m_c, m - ic);
+        const std::size_t tile = jb * m_blocks + ib;
+        std::vector<exec::TaskGraph::TaskId> deps{a_packs[ib],
+                                                  b_packs[jb]};
+        if (tile_started[tile]) {
+          deps.push_back(tile_chain[tile]);
+        }
+        const auto* a_panel = &a_store[slot][ib];
+        const auto* b_panel = &b_store[slot][jb];
+        tile_chain[tile] = graph.add(
+            [kernel, a_panel, b_panel, ic, mc, jc, nc, kw, m, n, cdata,
+             ldc] {
+              run_macro_tile(kernel, a_panel->data(), b_panel->data(), ic,
+                             mc, jc, nc, kw, m, n, cdata, ldc);
+            },
+            deps);
+        tile_started[tile] = true;
+        computes.push_back(tile_chain[tile]);
+      }
+    }
+    // Generation marker: frees this generation's panels and opens the slot
+    // for packing two strips ahead.
+    graph.add(
+        [&a_store, &b_store, slot, &generations] {
+          a_store[slot].clear();
+          b_store[slot].clear();
+          generations.release();
+        },
+        computes);
+  }
+  graph.wait();
   return c;
 }
 

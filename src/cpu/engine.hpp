@@ -15,6 +15,10 @@
 #include "bits/bitmatrix.hpp"
 #include "bits/compare.hpp"
 
+namespace snp::exec {
+class ThreadPool;
+}
+
 namespace snp::cpu {
 
 /// Cache-blocking parameters in 64-bit words / rows. Defaults target a
@@ -37,6 +41,18 @@ struct CpuBlocking {
 [[nodiscard]] bits::CountMatrix compare_blocked(
     const bits::BitMatrix& a, const bits::BitMatrix& b, bits::Comparison op,
     const CpuBlocking& blocking = {});
+
+/// Asynchronous variant of compare_blocked: the same five-loop blocking
+/// expressed as a task graph on `pool` instead of OpenMP pragmas. A and B
+/// panels are packed by dedicated tasks (at most two k_c panel generations
+/// in flight — double-buffered packing, so packing for panel p+1 overlaps
+/// the micro-kernels of panel p), and each m_c x n_c macro-tile runs as
+/// one task whose k_c accumulation chain preserves the serial order.
+/// Results are bit-identical to compare_blocked for any pool size
+/// (including an inline 0-thread pool).
+[[nodiscard]] bits::CountMatrix compare_blocked_async(
+    const bits::BitMatrix& a, const bits::BitMatrix& b, bits::Comparison op,
+    exec::ThreadPool& pool, const CpuBlocking& blocking = {});
 
 /// Convenience single-call LD (Eq. 1): C = (A & A)^T-style self-comparison,
 /// i.e. compare_blocked(a, a, kAnd).

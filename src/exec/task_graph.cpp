@@ -1,0 +1,166 @@
+#include "exec/task_graph.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace snp::exec {
+
+TaskGraph::~TaskGraph() {
+  try {
+    wait();
+  } catch (...) {
+    // wait() already quiesced the graph; the error is intentionally
+    // dropped when the caller never asked for it.
+  }
+}
+
+TaskGraph::TaskId TaskGraph::add(std::function<void()> fn,
+                                 const std::vector<TaskId>& deps) {
+  TaskId id = 0;
+  bool ready = false;
+  bool dead = false;
+  {
+    const std::lock_guard lock(mu_);
+    id = nodes_.size();
+    auto node = std::make_unique<Node>();
+    node->fn = std::move(fn);
+    for (const TaskId dep : deps) {
+      if (dep >= id) {
+        throw std::out_of_range("TaskGraph::add: unknown dependency");
+      }
+      Node& d = *nodes_[dep];
+      switch (d.state) {
+        case State::kDone:
+          break;  // already satisfied
+        case State::kFailed:
+        case State::kSkipped:
+          node->dep_failed = true;
+          break;
+        default:
+          d.dependents.push_back(id);
+          ++node->pending;
+      }
+    }
+    ready = node->pending == 0;
+    dead = node->dep_failed;
+    nodes_.push_back(std::move(node));
+    ++open_;
+    if (ready) {
+      nodes_[id]->state = State::kQueued;
+    }
+  }
+  if (ready) {
+    if (dead) {
+      finish(id, State::kSkipped);
+    } else {
+      schedule(id);
+    }
+  }
+  return id;
+}
+
+void TaskGraph::schedule(TaskId id) {
+  pool_.post([this, id] { run(id); });
+}
+
+void TaskGraph::run(TaskId id) {
+  std::function<void()> fn;
+  {
+    const std::lock_guard lock(mu_);
+    fn = std::move(nodes_[id]->fn);
+  }
+  try {
+    fn();
+  } catch (...) {
+    {
+      const std::lock_guard lock(mu_);
+      if (!error_) {
+        error_ = std::current_exception();
+      }
+    }
+    finish(id, State::kFailed);
+    return;
+  }
+  finish(id, State::kDone);
+}
+
+void TaskGraph::finish(TaskId id, State terminal) {
+  // Terminal states cascade: a failed/skipped task poisons its dependents,
+  // which may themselves become terminal without running. Process the
+  // closure with a worklist, collect runnable tasks, schedule them with
+  // the lock released (inline pools run tasks inside post()).
+  std::vector<TaskId> to_run;
+  std::vector<std::pair<TaskId, State>> worklist{{id, terminal}};
+  {
+    const std::lock_guard lock(mu_);
+    while (!worklist.empty()) {
+      const auto [cur, state] = worklist.back();
+      worklist.pop_back();
+      Node& node = *nodes_[cur];
+      node.state = state;
+      --open_;
+      if (state == State::kDone) {
+        ++completed_;
+      } else if (state == State::kSkipped) {
+        ++skipped_;
+      }
+      const bool bad = state != State::kDone;
+      for (const TaskId dep_id : node.dependents) {
+        Node& d = *nodes_[dep_id];
+        d.dep_failed = d.dep_failed || bad;
+        if (--d.pending == 0) {
+          d.state = State::kQueued;
+          if (d.dep_failed) {
+            worklist.emplace_back(dep_id, State::kSkipped);
+          } else {
+            to_run.push_back(dep_id);
+          }
+        }
+      }
+      node.dependents.clear();
+    }
+    if (open_ == 0) {
+      // Notify while still holding mu_: the instant a waiter can observe
+      // open_ == 0 it may return from wait() and destroy this graph, so no
+      // member (cv_done_ included) may be touched after the lock drops.
+      cv_done_.notify_all();
+    }
+  }
+  for (const TaskId next : to_run) {
+    schedule(next);
+  }
+}
+
+void TaskGraph::wait() {
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [&] { return open_ == 0; });
+  if (error_) {
+    // Sticky: a failed graph keeps rethrowing from every wait() — it never
+    // silently looks healthy again.
+    const std::exception_ptr err = error_;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t TaskGraph::added() const {
+  const std::lock_guard lock(mu_);
+  return nodes_.size();
+}
+
+std::size_t TaskGraph::completed() const {
+  const std::lock_guard lock(mu_);
+  return completed_;
+}
+
+std::size_t TaskGraph::skipped() const {
+  const std::lock_guard lock(mu_);
+  return skipped_;
+}
+
+bool TaskGraph::failed() const {
+  const std::lock_guard lock(mu_);
+  return error_ != nullptr;
+}
+
+}  // namespace snp::exec

@@ -1,0 +1,70 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace snp::exec {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // inline mode: the posting thread is the worker
+    return;
+  }
+  {
+    const std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and the queue fully drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      const std::lock_guard lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        cv_idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace snp::exec

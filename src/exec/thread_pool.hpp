@@ -1,0 +1,129 @@
+// snp::exec — host-side asynchronous execution engine.
+//
+// The paper's end-to-end numbers depend on overlapping chunk transfer with
+// compute (Section VI-A); Beyer & Bientinesi's HDD->GPU streaming work and
+// Samsi et al.'s GPU DNA-mixture pipeline both reach sustained throughput
+// the same way: an asynchronous host pipeline keeps every engine busy.
+// This module is the reusable scheduler behind our async paths — a plain
+// fixed-size worker pool with a FIFO work queue, futures for one-shot
+// results, and a counting semaphore for bounded in-flight backpressure.
+// TaskGraph (task_graph.hpp) layers dependency edges on top.
+//
+// Threading contract: submission is thread-safe; tasks run exactly once;
+// a pool constructed with 0 threads degenerates to inline execution on the
+// submitting thread (the serial path — used to make "async with 1-thread
+// semantics" trivially deterministic and debuggable).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace snp::exec {
+
+/// Counting semaphore used for bounded in-flight chunk scheduling (the
+/// producer blocks in acquire() once `count` chunks are queued but not yet
+/// drained). std::counting_semaphore exists, but this one is introspectable
+/// (available()) and keeps the module self-contained.
+class Semaphore {
+ public:
+  explicit Semaphore(std::size_t count) : count_(count) {}
+
+  void acquire() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return count_ > 0; });
+    --count_;
+  }
+
+  /// acquire() that gives up after `timeout`. Producers gating on tasks
+  /// that release slots must use this and poll an abort condition (e.g.
+  /// TaskGraph::failed()): a failed pipeline skips its remaining tasks,
+  /// so the releases pending on them never happen and a plain acquire()
+  /// would deadlock.
+  [[nodiscard]] bool acquire_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return count_ > 0; })) {
+      return false;
+    }
+    --count_;
+    return true;
+  }
+
+  void release() {
+    {
+      const std::lock_guard lock(mu_);
+      ++count_;
+    }
+    cv_.notify_one();
+  }
+
+  [[nodiscard]] std::size_t available() const {
+    const std::lock_guard lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+/// Fixed-size worker pool over a FIFO queue. Destruction drains: every task
+/// posted before the destructor runs is executed before the workers join
+/// (shutdown never drops queued work — an async compare() that goes out of
+/// scope mid-stream still delivers every chunk).
+class ThreadPool {
+ public:
+  /// `threads == 0` runs every task inline on the posting thread.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  /// legally return 0).
+  [[nodiscard]] static std::size_t hardware_threads();
+
+  /// Fire-and-forget. Tasks must not throw (wrap with submit() or TaskGraph
+  /// when exceptions are possible); a throwing posted task terminates.
+  void post(std::function<void()> task);
+
+  /// Schedules `fn` and returns a future carrying its result or exception.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    post([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Blocks until the queue is empty and every worker is idle. Tasks posted
+  /// concurrently with wait_idle() may or may not be covered; quiesce your
+  /// producers first.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;   ///< workers wait here for tasks
+  std::condition_variable cv_idle_;   ///< wait_idle() waits here
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;  ///< tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace snp::exec

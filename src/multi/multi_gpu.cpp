@@ -1,8 +1,12 @@
 #include "multi/multi_gpu.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <future>
 #include <stdexcept>
+#include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "model/peak.hpp"
 
 namespace snp::multi {
@@ -102,6 +106,23 @@ std::vector<Shard> make_shards(std::size_t rows,
   return shards;
 }
 
+/// Runs `task(d)` for every shard index through the exec thread pool —
+/// shards land on distinct devices, so they are independent — and
+/// propagates the first failure. With threads == 0 the pool runs each
+/// task inline at submit time, i.e. the exact serial loop.
+template <typename Fn>
+void for_each_shard(std::size_t count, std::size_t threads, Fn&& task) {
+  exec::ThreadPool pool(std::min(threads, count));
+  std::vector<std::future<void>> done;
+  done.reserve(count);
+  for (std::size_t d = 0; d < count; ++d) {
+    done.push_back(pool.submit([&task, d] { task(d); }));
+  }
+  for (auto& f : done) {
+    f.get();
+  }
+}
+
 }  // namespace
 
 MultiCompareResult MultiGpuContext::compare(const BitMatrix& a,
@@ -122,15 +143,28 @@ MultiCompareResult MultiGpuContext::compare(const BitMatrix& a,
     result.counts = CountMatrix(a.rows(), b.rows());
   }
 
+  // Run each shard's single-GPU pipeline as an executor task (each shard
+  // owns a distinct device/context), then merge on the calling thread in
+  // shard order — the merge order, counts, and timing are therefore
+  // identical for every host_threads value.
+  std::vector<CompareResult> shard_results(shards.size());
+  for_each_shard(shards.size(), options.host_threads,
+                 [&](std::size_t d) {
+                   const Shard s = shards[d];
+                   Context& ctx = contexts_[s.device];
+                   const BitMatrix part =
+                       shard_b ? b.row_slice(s.begin, s.end)
+                               : a.row_slice(s.begin, s.end);
+                   shard_results[d] =
+                       shard_b
+                           ? ctx.compare(a, part, op, options.per_device)
+                           : ctx.compare(part, b, op, options.per_device);
+                 });
+
   double worst = 0.0;
   for (std::size_t d = 0; d < shards.size(); ++d) {
     const Shard s = shards[d];
-    Context& ctx = contexts_[s.device];
-    const BitMatrix part = shard_b ? b.row_slice(s.begin, s.end)
-                                   : a.row_slice(s.begin, s.end);
-    const CompareResult r =
-        shard_b ? ctx.compare(a, part, op, options.per_device)
-                : ctx.compare(part, b, op, options.per_device);
+    const CompareResult& r = shard_results[d];
     result.timing.per_device_end_to_end_s.push_back(
         r.timing.end_to_end_s);
     if (r.timing.end_to_end_s > worst) {
@@ -167,14 +201,19 @@ MultiGpuReport MultiGpuContext::estimate(std::size_t m, std::size_t n,
 
   MultiGpuReport rep;
   rep.devices = static_cast<int>(shards.size());
+  std::vector<TimingReport> shard_reports(shards.size());
+  for_each_shard(
+      shards.size(), options.host_threads, [&](std::size_t d) {
+        const std::size_t len = shards[d].end - shards[d].begin;
+        const Context& ctx = contexts_[shards[d].device];
+        shard_reports[d] =
+            shard_b
+                ? ctx.estimate(m, len, k_bits, op, options.per_device)
+                : ctx.estimate(len, n, k_bits, op, options.per_device);
+      });
   double worst = 0.0;
   for (std::size_t d = 0; d < shards.size(); ++d) {
-    const std::size_t len = shards[d].end - shards[d].begin;
-    const Context& ctx = contexts_[shards[d].device];
-    const TimingReport t =
-        shard_b
-            ? ctx.estimate(m, len, k_bits, op, options.per_device)
-            : ctx.estimate(len, n, k_bits, op, options.per_device);
+    const TimingReport& t = shard_reports[d];
     rep.per_device_end_to_end_s.push_back(t.end_to_end_s);
     if (t.end_to_end_s > worst) {
       worst = t.end_to_end_s;

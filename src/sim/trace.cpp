@@ -59,4 +59,37 @@ std::string chrome_trace_json(const Timeline& tl,
   return os.str();
 }
 
+void write_host_chrome_trace(std::span<const HostChunkEvent> chunks,
+                             std::ostream& os, const std::string& label) {
+  os << "[\n";
+  bool first = true;
+  const char* tracks[] = {"pack", "execute", "drain"};
+  for (int tid = 0; tid < 3; ++tid) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+       << "\"tid\": " << tid << ", \"args\": {\"name\": \"" << tracks[tid]
+       << " (" << label << ")\"}}";
+  }
+  for (const HostChunkEvent& c : chunks) {
+    const std::string idx = std::to_string(c.index);
+    emit_event(os, first, "pack chunk " + idx, 0, c.host_pack_start,
+               c.host_pack_end);
+    emit_event(os, first, "exec chunk " + idx, 1, c.host_exec_start,
+               c.host_exec_end);
+    emit_event(os, first, "drain chunk " + idx, 2, c.host_drain_start,
+               c.host_drain_end);
+  }
+  os << "\n]\n";
+}
+
+std::string host_chrome_trace_json(std::span<const HostChunkEvent> chunks,
+                                   const std::string& label) {
+  std::ostringstream os;
+  write_host_chrome_trace(chunks, os, label);
+  return os.str();
+}
+
 }  // namespace snp::sim

@@ -7,7 +7,9 @@
 // sanity-check the Fig. 6/8 pipelines.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <span>
 #include <string>
 
 #include "sim/transfer.hpp"
@@ -22,5 +24,39 @@ void write_chrome_trace(const Timeline& tl, std::ostream& os,
 /// Convenience: render to a string (tests, small timelines).
 [[nodiscard]] std::string chrome_trace_json(
     const Timeline& tl, const std::string& device_name = "simulated GPU");
+
+/// One chunk of a host-driven compare() pipeline, as recorded in
+/// TimingReport::chunk_events: the simulated device intervals of the
+/// chunk's h2d / kernel / d2h commands (virtual clock), plus the real
+/// host wall-clock intervals of the asynchronous pack -> execute -> drain
+/// stages (seconds since the call started; all zero on the serial path,
+/// which has no host pipeline).
+struct HostChunkEvent {
+  std::size_t index = 0;
+  std::size_t row0 = 0;  ///< first streamed row of the chunk
+  std::size_t rows = 0;
+  // Simulated virtual-clock intervals.
+  double h2d_start = 0.0, h2d_end = 0.0;
+  double kernel_start = 0.0, kernel_end = 0.0;
+  double d2h_start = 0.0, d2h_end = 0.0;
+  // Real host wall-clock of the thread-pool pipeline.
+  double host_queued = 0.0;  ///< when the chunk entered the task graph
+  double host_pack_start = 0.0, host_pack_end = 0.0;
+  double host_exec_start = 0.0, host_exec_end = 0.0;
+  double host_drain_start = 0.0, host_drain_end = 0.0;
+};
+
+/// Emits the *host* pipeline of an async compare() as Trace Event Format
+/// JSON: tracks pack(0), execute(1), drain(2), wall-clock microseconds.
+/// This is the measured counterpart of write_chrome_trace's simulated
+/// timeline — pack bars sliding under execute bars show the thread pool
+/// overlapping I/O-side packing with compute.
+void write_host_chrome_trace(std::span<const HostChunkEvent> chunks,
+                             std::ostream& os,
+                             const std::string& label = "host pipeline");
+
+[[nodiscard]] std::string host_chrome_trace_json(
+    std::span<const HostChunkEvent> chunks,
+    const std::string& label = "host pipeline");
 
 }  // namespace snp::sim

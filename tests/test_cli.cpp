@@ -30,8 +30,17 @@ CliResult run_cli(std::vector<std::string> args) {
   return {code, out.str(), err.str()};
 }
 
+/// Per-test unique temp path. ctest -j runs each discovered test as its
+/// own process of this binary; a shared name under TempDir() would let
+/// concurrent tests clobber each other's files.
 std::string tmp(const std::string& name) {
-  return (fs::path(::testing::TempDir()) / name).string();
+  const auto* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       (std::string("snpcmp_cli_") +
+                        info->test_suite_name() + "_" + info->name());
+  fs::create_directories(dir);
+  return (dir / name).string();
 }
 
 TEST(Cli, HelpAndNoArgs) {

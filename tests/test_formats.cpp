@@ -85,8 +85,12 @@ TEST(Formats, GenotypeTsvRejectsBadValues) {
 }
 
 TEST(Formats, FileRoundTrip) {
-  const auto dir = ::testing::TempDir();
-  const auto path = std::filesystem::path(dir) / "m.sbm";
+  // Unique subdirectory: TempDir() is shared with every concurrently
+  // running test process, so generic names like "m.sbm" can collide.
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "snpcmp_formats_FileRoundTrip";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "m.sbm";
   const auto m = random_bitmatrix(5, 80, 0.5, 63);
   save_bitmatrix(m, path);
   EXPECT_EQ(load_bitmatrix(path), m);

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full verification sweep:
+#   1. Release build + the whole test suite (tier1 + slow labels).
+#   2. ASan/UBSan build + tier-1 tests.
+#   3. TSan build + the concurrency-heavy suites (exec scheduler and
+#      async-vs-serial conformance) — OpenMP is compiled out under TSan,
+#      so every data race the thread-pool pipeline could introduce is
+#      visible to the tool.
+#
+# Usage: tools/check.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+skip_san=no
+[[ "${1:-}" == "--skip-sanitizers" ]] && skip_san=yes
+
+echo "== release build + full test suite =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$skip_san" == yes ]]; then
+  echo "== sanitizers skipped =="
+  exit 0
+fi
+
+echo "== ASan/UBSan build + tier-1 tests =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$jobs"
+ASAN_OPTIONS=detect_leaks=1 \
+  ctest --test-dir build-asan -L tier1 --output-on-failure -j "$jobs"
+
+echo "== TSan build + exec/conformance tests =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$jobs" \
+  --target test_exec test_async_conformance
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_exec
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_async_conformance
+
+echo "== all checks passed =="
