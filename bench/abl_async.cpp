@@ -35,7 +35,7 @@ double wall_seconds(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("ABLATION -- async host pipeline vs serial chunk loop");
 
@@ -56,6 +56,8 @@ int main() {
   Context ctx = Context::gpu("titanv");
   bench::CsvWriter csv("abl_async");
   csv.row("threads", "wall_s", "speedup", "chunks");
+  bench::JsonWriter json("abl_async", argc, argv);
+  json.header("threads", "wall_s", "speedup", "chunks");
 
   // Streamed fold keeps host memory bounded (no 32 x 1M gamma matrix);
   // the checksum defeats dead-code elimination and pins bit-identity.
@@ -85,6 +87,7 @@ int main() {
   std::printf("  %-10s %s %8s\n", "serial",
               bench::fmt_time(serial_s).c_str(), "1.00x");
   csv.row(0, serial_s, 1.0, chunks);
+  json.row(0, serial_s, 1.0, chunks);
 
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}, std::size_t{8}}) {
@@ -97,6 +100,7 @@ int main() {
                 bench::fmt_time(async_s).c_str(), serial_s / async_s,
                 sum == base_sum ? "" : "  CHECKSUM MISMATCH");
     csv.row(threads, async_s, serial_s / async_s, ch);
+    json.row(threads, async_s, serial_s / async_s, ch);
   }
 
   std::printf("\n  (Identical checksums across rows = the async pipeline "

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 namespace snp::bench {
 
@@ -63,6 +65,88 @@ class CsvWriter {
 
  private:
   std::ofstream os_;
+};
+
+/// Machine-readable output #2: `--json <path>` on the bench command line
+/// writes the series as one JSON document
+///   {"bench": "<name>", "rows": [{"col": value, ...}, ...]}
+/// (falling back to $SNP_BENCH_JSON/<name>.json when the flag is absent
+/// but that directory variable is set; inactive otherwise). Declare the
+/// column names once with header(), then emit row() with matching cells —
+/// numbers stay raw JSON numbers, everything else is quoted.
+/// tools/run_bench.sh drives the flag and aggregates the documents into a
+/// dated BENCH_<date>.json.
+class JsonWriter {
+ public:
+  JsonWriter(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    std::string path;
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        path = argv[i + 1];
+      }
+    }
+    if (path.empty()) {
+      const char* dir = std::getenv("SNP_BENCH_JSON");
+      if (dir == nullptr || *dir == '\0') {
+        return;
+      }
+      std::filesystem::create_directories(dir);
+      path = (std::filesystem::path(dir) / (name_ + ".json")).string();
+    }
+    os_.open(path);
+    if (os_.is_open()) {
+      os_ << "{\"bench\": \"" << name_ << "\", \"rows\": [";
+    }
+  }
+
+  ~JsonWriter() {
+    if (os_.is_open()) {
+      os_ << "\n]}\n";
+    }
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  [[nodiscard]] bool active() const { return os_.is_open(); }
+
+  template <typename... Cells>
+  void header(const Cells&... cells) {
+    (keys_.push_back(std::string(cells)), ...);
+  }
+
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    if (!active()) {
+      return;
+    }
+    const std::vector<std::string> vals{cell(cells)...};
+    os_ << (first_ ? "\n" : ",\n") << "  {";
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      const std::string key =
+          i < keys_.size() ? keys_[i] : "col" + std::to_string(i);
+      os_ << (i > 0 ? ", " : "") << "\"" << key << "\": " << vals[i];
+    }
+    os_ << "}";
+    first_ = false;
+  }
+
+ private:
+  template <typename T>
+  static std::string cell(const T& v) {
+    std::ostringstream ss;
+    if constexpr (std::is_arithmetic_v<std::decay_t<T>>) {
+      ss << v;
+    } else {
+      ss << '"' << v << '"';
+    }
+    return ss.str();
+  }
+
+  std::string name_;
+  std::vector<std::string> keys_;
+  std::ofstream os_;
+  bool first_ = true;
 };
 
 }  // namespace snp::bench

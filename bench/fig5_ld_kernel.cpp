@@ -13,11 +13,13 @@
 #include "model/peak.hpp"
 #include "sim/timing.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("FIGURE 5 -- LD kernel throughput vs #SNP strings");
   bench::CsvWriter csv("fig5_ld_kernel");
   csv.row("device", "snp_strings", "gops", "pct_of_peak", "kernel_s");
+  bench::JsonWriter json("fig5_ld_kernel", argc, argv);
+  json.header("device", "snp_strings", "gops", "pct_of_peak", "kernel_s");
 
   struct Case {
     const char* name;
@@ -49,6 +51,7 @@ int main() {
       std::printf("  %10zu | %12.1f | %9.1f%% | %s\n", s, t.gops,
                   t.pct_of_peak, bench::fmt_time(t.seconds).c_str());
       csv.row(dev.name, s, t.gops, t.pct_of_peak, t.seconds);
+      json.row(dev.name, s, t.gops, t.pct_of_peak, t.seconds);
     }
     // The exact right-edge point the paper quotes.
     const sim::KernelShape edge{c.max_snps, c.max_snps,
@@ -59,6 +62,7 @@ int main() {
                 c.max_strings, t.gops, t.pct_of_peak,
                 bench::fmt_time(t.seconds).c_str(), c.paper_pct);
     csv.row(dev.name, c.max_strings, t.gops, t.pct_of_peak, t.seconds);
+    json.row(dev.name, c.max_strings, t.gops, t.pct_of_peak, t.seconds);
   }
   std::printf("\n");
   return 0;

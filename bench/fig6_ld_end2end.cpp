@@ -13,7 +13,7 @@
 #include "bench_util.hpp"
 #include "core/snpcmp.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("FIGURE 6 -- end-to-end LD, 10,000 SNPs, growing #sequences");
 
@@ -25,6 +25,8 @@ int main() {
   opts.functional = false;
   bench::CsvWriter csv("fig6_ld_end2end");
   csv.row("sequences", "device", "end_to_end_s", "cpu_model_s");
+  bench::JsonWriter json("fig6_ld_end2end", argc, argv);
+  json.header("sequences", "device", "end_to_end_s", "cpu_model_s");
 
   std::printf("\n  %9s | %12s", "sequences", "Xeon (model)");
   for (const char* name : {"gtx980", "titanv", "vega64"}) {
@@ -45,6 +47,7 @@ int main() {
       std::printf(" | %s (%+5.0f%%)",
                   bench::fmt_time(tg.end_to_end_s).c_str(), faster);
       csv.row(seqs, name, tg.end_to_end_s, tc.kernel_s);
+      json.row(seqs, name, tg.end_to_end_s, tc.kernel_s);
     }
     std::printf("\n");
   }

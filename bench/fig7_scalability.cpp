@@ -12,12 +12,14 @@
 #include "bench_util.hpp"
 #include "sim/timing.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("FIGURE 7 -- per-core performance vs #cores (relative to "
                "1 core)");
   bench::CsvWriter csv("fig7_scalability");
   csv.row("device", "cores", "perf_per_core_pct", "mem_efficiency");
+  bench::JsonWriter json("fig7_scalability", argc, argv);
+  json.header("device", "cores", "perf_per_core_pct", "mem_efficiency");
 
   for (const auto& dev : model::all_gpus()) {
     auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
@@ -51,6 +53,7 @@ int main() {
       std::printf("  %6d | %11.1f%% | %9.3f\n", cores, rel,
                   t.mem_efficiency);
       csv.row(dev.name, cores, rel, t.mem_efficiency);
+      json.row(dev.name, cores, rel, t.mem_efficiency);
     }
     if ((dev.n_cores & (dev.n_cores - 1)) != 0) {
       // Also print the full-device point for non-power-of-two cores.

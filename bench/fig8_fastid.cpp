@@ -10,7 +10,7 @@
 #include "bench_util.hpp"
 #include "core/snpcmp.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("FIGURE 8 -- FastID: 32 queries vs 20 M profiles, "
                "end-to-end");
@@ -21,6 +21,8 @@ int main() {
   opts.functional = false;
   bench::CsvWriter csv("fig8_fastid");
   csv.row("snps", "device", "end_to_end_s", "chunks");
+  bench::JsonWriter json("fig8_fastid", argc, argv);
+  json.header("snps", "device", "end_to_end_s", "chunks");
 
   std::printf("\n  %6s", "SNPs");
   for (const char* name : {"gtx980", "titanv", "vega64"}) {
@@ -36,6 +38,7 @@ int main() {
       std::printf(" | %s (%3d ch)",
                   bench::fmt_time(t.end_to_end_s).c_str(), t.chunks);
       csv.row(snps, name, t.end_to_end_s, t.chunks);
+      json.row(snps, name, t.end_to_end_s, t.chunks);
     }
     std::printf("\n");
   }

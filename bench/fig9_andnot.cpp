@@ -12,12 +12,14 @@
 #include "bench_util.hpp"
 #include "sim/timing.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("FIGURE 9 -- AND vs AND-NOT on 1 core (mixture analysis)");
 
   bench::CsvWriter csv("fig9_andnot");
   csv.row("device", "and_gops", "andnot_gops", "prenegated_gops");
+  bench::JsonWriter json("fig9_andnot", argc, argv);
+  json.header("device", "and_gops", "andnot_gops", "prenegated_gops");
   std::printf("\n  %-8s | %10s | %10s | %12s | %s\n", "GPU", "AND",
               "AND-NOT", "pre-negated", "ANDNOT/AND");
   for (const auto& dev : model::all_gpus()) {
@@ -36,6 +38,7 @@ int main() {
                 t_andn.gops / t_and.gops,
                 dev.fused_andnot ? "(fused ANDN)" : "(separate NOT)");
     csv.row(dev.name, t_and.gops, t_andn.gops, t_pre.gops);
+    json.row(dev.name, t_and.gops, t_andn.gops, t_pre.gops);
   }
   std::printf("\n  (Paper: no noticeable effect on the NVIDIA cards; "
               "throughput drops on the\n   Vega 64 because NOT shares the "

@@ -17,6 +17,7 @@
 #include "io/cohort_ops.hpp"
 #include "io/vcf_lite.hpp"
 #include "kern/opencl_source.hpp"
+#include "obs/obs.hpp"
 #include "sim/trace.hpp"
 #include "stats/assoc.hpp"
 #include "stats/forensic.hpp"
@@ -114,6 +115,75 @@ class Options {
   std::set<std::string> used_;
 };
 
+/// Shared `--metrics-out F` / `--trace-out F` / `--metrics-format
+/// json|prom` handling for the compute commands. Construct before
+/// reject_unknown() (parsing marks the flags used), call begin() before
+/// the work starts (arms the global TraceCollector and zeroes its epoch)
+/// and finish() after (writes the metrics snapshot and the merged Chrome
+/// trace).
+class Telemetry {
+ public:
+  explicit Telemetry(Options& opt)
+      : metrics_path_(opt.str("metrics-out", "")),
+        trace_path_(opt.str("trace-out", "")),
+        format_(opt.str("metrics-format", "json")) {
+    if (format_ != "json" && format_ != "prom") {
+      throw std::invalid_argument(
+          "--metrics-format must be json or prom");
+    }
+  }
+
+  [[nodiscard]] bool wants_trace() const { return !trace_path_.empty(); }
+
+  void begin() const {
+    if (wants_trace()) {
+      obs::TraceCollector::global().set_enabled(true);
+      obs::TraceCollector::global().begin_session();
+    }
+  }
+
+  /// `tl` (may be null) and `chunks` (may be empty) add the simulated
+  /// device timeline and the host chunk pipeline as extra track groups
+  /// alongside the collected spans.
+  void finish(std::ostream& out, const sim::Timeline* tl,
+              std::span<const sim::HostChunkEvent> chunks,
+              const std::string& device) const {
+    if (!metrics_path_.empty()) {
+      std::ofstream os(metrics_path_);
+      if (!os) {
+        throw std::runtime_error("cannot open metrics file " +
+                                 metrics_path_);
+      }
+      const obs::MetricsSnapshot snap =
+          obs::MetricsRegistry::global().snapshot();
+      if (format_ == "prom") {
+        obs::write_metrics_prometheus(snap, os);
+      } else {
+        obs::write_metrics_json(snap, os);
+      }
+      out << "wrote metrics (" << format_ << ") to " << metrics_path_
+          << "\n";
+    }
+    if (wants_trace()) {
+      obs::TraceCollector& spans = obs::TraceCollector::global();
+      spans.set_enabled(false);
+      std::ofstream os(trace_path_);
+      if (!os) {
+        throw std::runtime_error("cannot open trace file " + trace_path_);
+      }
+      sim::write_merged_chrome_trace(spans, tl, chunks, os, device);
+      out << "wrote merged chrome trace (" << spans.size()
+          << " host spans, " << chunks.size() << " pipeline chunks) to "
+          << trace_path_ << "\n";
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::string format_;
+};
+
 bits::Comparison parse_op(const std::string& s) {
   if (s == "and" || s == "ld") {
     return bits::Comparison::kAnd;
@@ -149,6 +219,18 @@ void print_timing(std::ostream& out, const TimingReport& t) {
   if (t.kernel_gops > 0.0) {
     out << "throughput:  " << t.kernel_gops << " Gword-ops/s ("
         << t.pct_of_peak << "% of peak)\n";
+  }
+  if (t.attainable_gops > 0.0) {
+    // Achieved-vs-model roofline efficiency (obs::EfficiencySummary);
+    // peak recovered from pct_of_peak = achieved / peak * 100.
+    obs::EfficiencySummary eff;
+    eff.achieved_gops = t.kernel_gops;
+    eff.attainable_gops = t.attainable_gops;
+    eff.peak_gops = t.pct_of_peak > 0.0
+                        ? t.kernel_gops * 100.0 / t.pct_of_peak
+                        : 0.0;
+    eff.memory_bound = t.memory_bound;
+    out << "roofline:    " << eff.to_line() << "\n";
   }
 }
 
@@ -245,7 +327,9 @@ int cmd_ld(Options& opt, std::ostream& out) {
   const std::string gamma_out = opt.str("out", "");
   const std::size_t top = opt.num("top", 10);
   const std::size_t threads = opt.num("threads", 0);
+  const Telemetry tele(opt);
   opt.reject_unknown();
+  tele.begin();
   const auto m = io::load_bitmatrix(std::filesystem::path(in));
   Context ctx = make_context(device);
   ComputeOptions copts;
@@ -255,6 +339,7 @@ int cmd_ld(Options& opt, std::ostream& out) {
     io::save_countmatrix(res.counts, std::filesystem::path(gamma_out));
   }
   print_timing(out, res.timing);
+  tele.finish(out, nullptr, res.timing.chunk_events, res.timing.device);
   const auto counts = stats::row_counts(m);
   struct Hit {
     std::size_t i, j;
@@ -287,7 +372,9 @@ int cmd_search(Options& opt, std::ostream& out) {
   const std::size_t top = opt.num("top", 3);
   const std::size_t threads = opt.num("threads", 0);
   const std::string host_trace = opt.str("host-trace", "");
+  const Telemetry tele(opt);
   opt.reject_unknown();
+  tele.begin();
   const auto queries = io::load_bitmatrix(std::filesystem::path(qpath));
   const auto db = io::load_bitmatrix(std::filesystem::path(dbpath));
   Context ctx = make_context(device);
@@ -295,6 +382,8 @@ int cmd_search(Options& opt, std::ostream& out) {
   copts.threads = threads;
   const auto res = ctx.identity_search(queries, db, copts);
   print_timing(out, res.comparison.timing);
+  tele.finish(out, nullptr, res.comparison.timing.chunk_events,
+              res.comparison.timing.device);
   if (!host_trace.empty()) {
     std::ofstream os(host_trace);
     if (!os) {
@@ -328,7 +417,9 @@ int cmd_mixture(Options& opt, std::ostream& out) {
                                                             0));
   const bool pre_negate = opt.str("pre-negate", "no") == "yes";
   const std::size_t threads = opt.num("threads", 0);
+  const Telemetry tele(opt);
   opt.reject_unknown();
+  tele.begin();
   const auto profiles = io::load_bitmatrix(std::filesystem::path(ppath));
   const auto mixtures = io::load_bitmatrix(std::filesystem::path(mpath));
   Context ctx = make_context(device);
@@ -338,6 +429,8 @@ int cmd_mixture(Options& opt, std::ostream& out) {
   const auto res =
       ctx.mixture_analysis(profiles, mixtures, tolerance, copts);
   print_timing(out, res.comparison.timing);
+  tele.finish(out, nullptr, res.comparison.timing.chunk_events,
+              res.comparison.timing.device);
   for (std::size_t m = 0; m < mixtures.rows(); ++m) {
     out << "mixture " << m << ": " << res.included[m].size()
         << " consistent profiles:";
@@ -737,6 +830,31 @@ int cmd_report(Options& opt, std::ostream& out) {
        << t.kernel_s * 1e3 << " ms, end-to-end " << t.end_to_end_s * 1e3
        << " ms (" << t.kernel_gops << " Gword-ops/s, " << t.pct_of_peak
        << "% of peak)\n";
+    if (t.attainable_gops > 0.0) {
+      obs::EfficiencySummary eff;
+      eff.achieved_gops = t.kernel_gops;
+      eff.attainable_gops = t.attainable_gops;
+      eff.peak_gops = t.pct_of_peak > 0.0
+                          ? t.kernel_gops * 100.0 / t.pct_of_peak
+                          : 0.0;
+      eff.memory_bound = t.memory_bound;
+      os << "\nRoofline: " << eff.to_line() << "\n";
+    }
+  }
+
+  // Process-wide telemetry accumulated while building this report (io
+  // loads, model estimates, any pool activity) — the `report` summary
+  // view of the src/obs registry.
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::global().snapshot();
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    os << "\n## Telemetry\n\n| metric | value |\n|---|---|\n";
+    for (const auto& [name, value] : snap.counters) {
+      os << "| " << name << " | " << value << " |\n";
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      os << "| " << name << " (gauge) | " << value << " |\n";
+    }
   }
   out << "wrote report to " << out_path << "\n";
   return 0;
@@ -777,13 +895,16 @@ int cmd_estimate(Options& opt, std::ostream& out) {
   const std::string device = opt.str("device", "titanv");
   const bool no_init = opt.str("no-init", "no") == "yes";
   const std::string trace_path = opt.str("trace", "");
+  const Telemetry tele(opt);
   opt.reject_unknown();
+  tele.begin();
   Context ctx = make_context(device);
   ComputeOptions copts;
   copts.functional = false;
   copts.include_init = !no_init;
   sim::Timeline timeline;
-  if (!trace_path.empty()) {
+  const bool want_timeline = !trace_path.empty() || tele.wants_trace();
+  if (want_timeline) {
     copts.timeline_out = &timeline;
   }
   const auto t = ctx.estimate(m, n, k_bits, op, copts);
@@ -798,6 +919,8 @@ int cmd_estimate(Options& opt, std::ostream& out) {
     sim::write_chrome_trace(timeline, os, t.device);
     out << "wrote chrome://tracing timeline to " << trace_path << "\n";
   }
+  tele.finish(out, want_timeline && ctx.is_gpu() ? &timeline : nullptr, {},
+              t.device);
   return 0;
 }
 
@@ -829,11 +952,13 @@ commands:
             [--k N] [--device D] [--format auto|plink|vcf]
   ld        --in F.sbm          linkage disequilibrium (Eq. 1)
             [--device D] [--out gamma.scm] [--top K] [--threads N]
+            [telemetry flags]
   search    --queries F --db F  FastID identity search (Eq. 2)
             [--device D] [--top K] [--threads N] [--host-trace F.json]
+            [telemetry flags]
   mixture   --profiles F --mixtures F   FastID mixture analysis (Eq. 3)
             [--device D] [--tolerance T] [--pre-negate yes|no]
-            [--threads N]
+            [--threads N] [telemetry flags]
   merge     --a F --b F --out F [--axis samples|loci]
             combine genotyping batches (samples) or marker panels (loci)
   subset    --in F --out F [--samples n1,n2,...] [--loci a-b | i,j,...]
@@ -846,7 +971,15 @@ commands:
             [--cases L] [--device D] [--format auto|plink|vcf]
   estimate  [--m N] [--n N] [--kbits N] [--op and|xor|andnot]
             [--device D] [--no-init yes|no] [--trace F.json]
+            [telemetry flags]
             paper-scale projection (+ chrome://tracing timeline)
+
+telemetry flags (ld, search, mixture, estimate):
+  --metrics-out F.json          dump the process metrics registry
+  --metrics-format json|prom    metrics dump format (default json)
+  --trace-out F.json            merged Perfetto/chrome://tracing trace:
+                                host spans + chunk pipeline + simulated
+                                device timeline in one file
 
 devices: cpu, gtx980, titanv, vega64
 )";

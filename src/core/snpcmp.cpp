@@ -13,6 +13,8 @@
 #include "exec/thread_pool.hpp"
 #include "kern/gpu_kernel.hpp"
 #include "model/peak.hpp"
+#include "obs/obs.hpp"
+#include "sim/roofline.hpp"
 #include "sim/transfer.hpp"
 #include "stats/forensic.hpp"
 #include "stats/ld.hpp"
@@ -206,6 +208,8 @@ TimingReport Context::estimate(std::size_t m, std::size_t n,
   chunks.push_back({plan.resident_bytes, 0.0, 0});  // resident upload
   double kernel_gops_weighted = 0.0;
   double pct_weighted = 0.0;
+  double attainable_weighted = 0.0;
+  double memory_bound_s = 0.0;
   double total_kernel_s = 0.0;
   int active_cores = 0;
   for (std::size_t row0 = 0; row0 < plan.stream_rows;
@@ -216,11 +220,17 @@ TimingReport Context::estimate(std::size_t m, std::size_t n,
                                  plan.stream_b ? rows : n, k_words};
     const auto kt =
         sim::estimate_kernel(dev, cfg, op, shape, cfg.pre_negated);
+    const sim::RooflinePoint rp =
+        sim::roofline_for(dev, cfg, op, shape, cfg.pre_negated);
     chunks.push_back({rows * plan.stream_row_bytes, kt.seconds,
                       rows * plan.c_row_bytes});
     total_kernel_s += kt.seconds;
     kernel_gops_weighted += kt.gops * kt.seconds;
     pct_weighted += kt.pct_of_peak * kt.seconds;
+    attainable_weighted += rp.attainable_gops * kt.seconds;
+    if (rp.memory_bound) {
+      memory_bound_s += kt.seconds;
+    }
     active_cores = std::max(active_cores, kt.active_cores);
   }
 
@@ -245,6 +255,8 @@ TimingReport Context::estimate(std::size_t m, std::size_t n,
   if (total_kernel_s > 0.0) {
     t.kernel_gops = kernel_gops_weighted / total_kernel_s;
     t.pct_of_peak = pct_weighted / total_kernel_s;
+    t.attainable_gops = attainable_weighted / total_kernel_s;
+    t.memory_bound = memory_bound_s > total_kernel_s / 2;
   }
   const double serial = t.init_s + t.h2d_s + t.kernel_s + t.d2h_s;
   t.overlap_hidden_s = std::max(0.0, serial - t.end_to_end_s);
@@ -262,6 +274,8 @@ CompareResult Context::compare(const BitMatrix& a, const BitMatrix& b,
 CompareResult Context::compare_cpu(const BitMatrix& a, const BitMatrix& b,
                                    Comparison op,
                                    const ComputeOptions& options) {
+  SNP_OBS_SPAN("core.compare_cpu");
+  SNP_OBS_COUNT("core.compare.calls", 1);
   CompareResult result;
   result.timing.device = device_name();
   result.timing.chunks = 1;
@@ -269,6 +283,7 @@ CompareResult Context::compare_cpu(const BitMatrix& a, const BitMatrix& b,
                          static_cast<double>(b.rows()) *
                          static_cast<double>(bits::ceil_div(
                              a.bit_cols(), bits::kBitsPerWord32));
+  SNP_OBS_COUNT("core.kernel.wordops", wordops);
   if (options.functional) {
     const auto t0 = std::chrono::steady_clock::now();
     bits::CountMatrix counts;
@@ -305,6 +320,8 @@ CompareResult Context::compare_cpu(const BitMatrix& a, const BitMatrix& b,
 CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
                                    Comparison op,
                                    const ComputeOptions& options) {
+  SNP_OBS_SPAN("core.compare_gpu");
+  SNP_OBS_COUNT("core.compare.calls", 1);
   const model::GpuSpec& dev = gpu_->spec();
   model::KernelConfig cfg = effective_config(a, b, op, options);
   const auto check = model::validate(cfg, dev);
@@ -362,6 +379,7 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
             reinterpret_cast<const std::byte*>(raw.data()),
             raw.size_bytes()));
     result.timing.h2d_s += ev.duration();
+    SNP_OBS_COUNT("core.h2d.bytes", raw.size_bytes());
   }
 
   const int inflight = options.double_buffer ? 2 : 1;
@@ -375,6 +393,8 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
 
   double kernel_gops_weighted = 0.0;
   double pct_weighted = 0.0;
+  double attainable_weighted = 0.0;
+  double memory_bound_s = 0.0;
   double total_kernel_s = 0.0;
   int active_cores = 0;
 
@@ -443,6 +463,8 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
               reinterpret_cast<const std::byte*>(raw.data()),
               raw.size_bytes()));
       result.timing.h2d_s += ev.duration();
+      SNP_OBS_COUNT("core.compare.chunks", 1);
+      SNP_OBS_COUNT("core.h2d.bytes", raw.size_bytes());
       cev.h2d_start = ev.start;
       cev.h2d_end = ev.end;
     }
@@ -452,6 +474,12 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
     const sim::KernelShape shape{stream_b ? a.rows() : rows,
                                  stream_b ? rows : b_eff.rows(), k_words};
     const sim::KernelTiming kt = kernel.timing(shape);
+    const sim::RooflinePoint rp =
+        sim::roofline_for(dev, cfg, op, shape, cfg.pre_negated);
+    SNP_OBS_COUNT("core.kernel.wordops",
+                  static_cast<double>(shape.m) *
+                      static_cast<double>(shape.n) *
+                      static_cast<double>(shape.k_words));
     cl::Buffer* reads[] = {resident_buf.get(), stream_bufs[slot].get()};
     cl::Buffer* writes[] = {c_bufs[slot].get()};
     std::function<void()> functional;
@@ -467,15 +495,18 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
           options.chunk_callback ? &options.chunk_callback : nullptr;
       auto state = std::make_shared<ChunkState>();
       auto pack = [state, streamed_ptr, off, rows]() {
+        SNP_OBS_SPAN("core.chunk.pack");
         state->chunk = streamed_ptr->row_slice(off, off + rows);
       };
       auto execute = [state, resident_ptr, sb, kptr]() {
+        SNP_OBS_SPAN("core.chunk.execute");
         const BitMatrix* ap = sb ? resident_ptr : &state->chunk;
         const BitMatrix* bp = sb ? &state->chunk : resident_ptr;
         state->part = CountMatrix(ap->rows(), bp->rows());
         kptr->execute(*ap, *bp, state->part);
       };
       auto drain = [state, counts, off, sb, callback]() {
+        SNP_OBS_SPAN("core.chunk.drain");
         const CountMatrix& part = state->part;
         if (callback != nullptr) {
           (*callback)(ComputeOptions::ChunkView{off, sb, part});
@@ -548,6 +579,10 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
     total_kernel_s += evk.duration();
     kernel_gops_weighted += kt.gops * kt.seconds;
     pct_weighted += kt.pct_of_peak * kt.seconds;
+    attainable_weighted += rp.attainable_gops * kt.seconds;
+    if (rp.memory_bound) {
+      memory_bound_s += kt.seconds;
+    }
     active_cores = std::max(active_cores, kt.active_cores);
     cev.kernel_start = evk.start;
     cev.kernel_end = evk.end;
@@ -558,6 +593,7 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
         *c_bufs[slot], std::span<std::byte>(readback.data(),
                                             readback.size()));
     result.timing.d2h_s += evr.duration();
+    SNP_OBS_COUNT("core.d2h.bytes", readback.size());
     cev.d2h_start = evr.start;
     cev.d2h_end = evr.end;
   }
@@ -576,6 +612,8 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
   if (total_kernel_s > 0.0) {
     result.timing.kernel_gops = kernel_gops_weighted / total_kernel_s;
     result.timing.pct_of_peak = pct_weighted / total_kernel_s;
+    result.timing.attainable_gops = attainable_weighted / total_kernel_s;
+    result.timing.memory_bound = memory_bound_s > total_kernel_s / 2;
   }
   const double serial = result.timing.init_s + result.timing.h2d_s +
                         result.timing.kernel_s + result.timing.d2h_s;

@@ -95,6 +95,15 @@ struct TimingReport {
   double end_to_end_s = 0.0;
   double kernel_gops = 0.0;    ///< achieved Gword-ops/s (32-bit words)
   double pct_of_peak = 0.0;
+  /// Roofline-attainable Gword-ops/s for this shape on this device:
+  /// min(FU peak, arithmetic intensity x effective bandwidth), weighted
+  /// across chunks like kernel_gops. 0 on CPU contexts (no modeled
+  /// roofline); compare kernel_gops against it for the achieved-vs-model
+  /// efficiency line (obs::EfficiencySummary).
+  double attainable_gops = 0.0;
+  /// True when the kernel-time-weighted majority of chunks sit left of
+  /// the device's ridge point (under the memory roof, sim/roofline.hpp).
+  bool memory_bound = false;
   double overlap_hidden_s = 0.0;  ///< transfer time hidden under compute
   int chunks = 0;
   int active_cores = 0;

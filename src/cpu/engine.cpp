@@ -8,6 +8,7 @@
 
 #include "exec/task_graph.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace snp::cpu {
 
@@ -23,6 +24,7 @@ void pack_a(const bits::BitMatrix& a, std::size_t row0, std::size_t rows,
   constexpr std::size_t m_r = CpuBlocking::m_r;
   const std::size_t strips = bits::ceil_div(rows, m_r);
   out.assign(strips * kw * m_r, 0);
+  SNP_OBS_COUNT("cpu.pack_a.words", out.size());
   for (std::size_t s = 0; s < strips; ++s) {
     Word64* dst = out.data() + s * kw * m_r;
     for (std::size_t k = 0; k < kw; ++k) {
@@ -41,6 +43,7 @@ void pack_b(const bits::BitMatrix& b, std::size_t col0, std::size_t cols,
   constexpr std::size_t n_r = CpuBlocking::n_r;
   const std::size_t strips = bits::ceil_div(cols, n_r);
   out.assign(strips * kw * n_r, 0);
+  SNP_OBS_COUNT("cpu.pack_b.words", out.size());
   for (std::size_t s = 0; s < strips; ++s) {
     Word64* dst = out.data() + s * kw * n_r;
     for (std::size_t k = 0; k < kw; ++k) {
@@ -107,6 +110,11 @@ void run_macro_tile(MicroKernelFn kernel, const Word64* a_packed,
   constexpr std::size_t n_r = CpuBlocking::n_r;
   const std::size_t col_strips = bits::ceil_div(nc, n_r);
   const std::size_t row_strips = bits::ceil_div(mc, m_r);
+  SNP_OBS_COUNT("cpu.macro_tiles", 1);
+  // Padded micro-tile work, in 64-bit word-ops (edge strips included —
+  // the micro-kernel always runs full m_r x n_r registers).
+  SNP_OBS_COUNT("cpu.wordops",
+                row_strips * m_r * col_strips * n_r * kw);
   std::uint32_t edge[m_r * n_r];
   for (std::size_t js = 0; js < col_strips; ++js) {
     const Word64* b_strip = b_packed + js * kw * n_r;
@@ -142,6 +150,7 @@ bits::CountMatrix compare_blocked(const bits::BitMatrix& a,
   if (!blocking.valid()) {
     throw std::invalid_argument("compare_blocked: invalid blocking");
   }
+  SNP_OBS_SPAN("cpu.compare_blocked");
   const MicroKernelFn kernel = select_kernel(op);
 
   const std::size_t m = a.rows();
@@ -193,6 +202,7 @@ bits::CountMatrix compare_blocked_async(const bits::BitMatrix& a,
   if (!blocking.valid()) {
     throw std::invalid_argument("compare_blocked_async: invalid blocking");
   }
+  SNP_OBS_SPAN("cpu.compare_blocked_async");
   const MicroKernelFn kernel = select_kernel(op);
 
   const std::size_t m = a.rows();

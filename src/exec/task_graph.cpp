@@ -45,6 +45,7 @@ TaskGraph::TaskId TaskGraph::add(std::function<void()> fn,
     dead = node->dep_failed;
     nodes_.push_back(std::move(node));
     ++open_;
+    SNP_OBS_COUNT("exec.graph.tasks_added", 1);
     if (ready) {
       nodes_[id]->state = State::kQueued;
     }
@@ -78,6 +79,7 @@ void TaskGraph::run(TaskId id) {
         error_ = std::current_exception();
       }
     }
+    SNP_OBS_COUNT("exec.graph.tasks_failed", 1);
     finish(id, State::kFailed);
     return;
   }
@@ -101,13 +103,16 @@ void TaskGraph::finish(TaskId id, State terminal) {
       --open_;
       if (state == State::kDone) {
         ++completed_;
+        SNP_OBS_COUNT("exec.graph.tasks_completed", 1);
       } else if (state == State::kSkipped) {
         ++skipped_;
+        SNP_OBS_COUNT("exec.graph.tasks_skipped", 1);
       }
       const bool bad = state != State::kDone;
       for (const TaskId dep_id : node.dependents) {
         Node& d = *nodes_[dep_id];
         d.dep_failed = d.dep_failed || bad;
+        SNP_OBS_COUNT("exec.graph.deps_resolved", 1);
         if (--d.pending == 0) {
           d.state = State::kQueued;
           if (d.dep_failed) {

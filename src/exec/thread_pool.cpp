@@ -4,11 +4,23 @@
 
 namespace snp::exec {
 
+namespace {
+
+[[maybe_unused]] double seconds_since(
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  SNP_OBS_GAUGE_SET("exec.pool.workers", threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -26,14 +38,34 @@ std::size_t ThreadPool::hardware_threads() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  const std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::active_workers() const {
+  const std::lock_guard lock(mu_);
+  return active_;
+}
+
 void ThreadPool::post(std::function<void()> task) {
+  SNP_OBS_COUNT("exec.pool.tasks_posted", 1);
   if (workers_.empty()) {
-    task();  // inline mode: the posting thread is the worker
+    // Inline mode: the posting thread is the worker.
+    SNP_OBS_COUNT("exec.pool.tasks_inline", 1);
+    task();
     return;
+  }
+  QueuedTask item;
+  item.fn = std::move(task);
+  if constexpr (obs::kEnabled) {
+    item.enqueued = std::chrono::steady_clock::now();
   }
   {
     const std::lock_guard lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(item));
+    SNP_OBS_GAUGE_SET("exec.pool.queue_depth",
+                      static_cast<std::int64_t>(queue_.size()));
   }
   cv_work_.notify_one();
 }
@@ -45,7 +77,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mu_);
       cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
@@ -54,9 +86,23 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      SNP_OBS_GAUGE_SET("exec.pool.queue_depth",
+                        static_cast<std::int64_t>(queue_.size()));
       ++active_;
     }
-    task();
+    SNP_OBS_GAUGE_ADD("exec.pool.active_workers", 1);
+    if constexpr (obs::kEnabled) {
+      SNP_OBS_OBSERVE("exec.pool.task_wait_seconds",
+                      seconds_since(task.enqueued));
+      // maybe_unused: with SNPCMP_OBS=OFF the OBSERVE below is a no-op.
+      [[maybe_unused]] const auto run0 = std::chrono::steady_clock::now();
+      task.fn();
+      SNP_OBS_OBSERVE("exec.pool.task_run_seconds", seconds_since(run0));
+    } else {
+      task.fn();
+    }
+    SNP_OBS_COUNT("exec.pool.tasks_run", 1);
+    SNP_OBS_GAUGE_SUB("exec.pool.active_workers", 1);
     {
       const std::lock_guard lock(mu_);
       --active_;

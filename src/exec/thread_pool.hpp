@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace snp::exec {
 
 /// Counting semaphore used for bounded in-flight chunk scheduling (the
@@ -91,6 +93,14 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
+  /// Tasks queued but not yet picked up by a worker. Instantaneous —
+  /// meaningful as a backpressure signal, not a completion check (pair
+  /// with active_workers() or wait_idle()). Feeds the
+  /// "exec.pool.queue_depth" gauge.
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Workers currently executing a task (0 on an inline pool).
+  [[nodiscard]] std::size_t active_workers() const;
+
   /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
   /// legally return 0).
   [[nodiscard]] static std::size_t hardware_threads();
@@ -115,12 +125,20 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  /// Queue entry: the task plus its enqueue timestamp, which feeds the
+  /// "exec.pool.task_wait_seconds" histogram (only stamped in
+  /// SNPCMP_OBS=ON builds; default-initialized otherwise).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_work_;   ///< workers wait here for tasks
   std::condition_variable cv_idle_;   ///< wait_idle() waits here
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;  ///< tasks currently executing
   bool stop_ = false;

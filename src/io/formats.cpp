@@ -1,5 +1,7 @@
 #include "io/formats.hpp"
 
+#include "obs/obs.hpp"
+
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -95,6 +97,8 @@ std::ifstream open_in(const std::filesystem::path& path) {
 }  // namespace
 
 void save_bitmatrix(const bits::BitMatrix& m, std::ostream& os) {
+  SNP_OBS_SPAN("io.save_bitmatrix");
+  SNP_OBS_COUNT("io.save.bytes", m.raw64().size_bytes());
   os.write(kBitMagic.data(), kBitMagic.size());
   write_u64(os, m.rows());
   write_u64(os, m.bit_cols());
@@ -108,6 +112,7 @@ void save_bitmatrix(const bits::BitMatrix& m, std::ostream& os) {
 }
 
 bits::BitMatrix load_bitmatrix(std::istream& is) {
+  SNP_OBS_SPAN("io.load_bitmatrix");
   expect_magic(is, kBitMagic, "bit matrix");
   const std::uint64_t rows = read_u64(is);
   const std::uint64_t bit_cols = read_u64(is);
@@ -131,6 +136,7 @@ bits::BitMatrix load_bitmatrix(std::istream& is) {
     std::memcpy(dst.data(), buf.data() + r * stride,
                 stride * sizeof(bits::Word64));
   }
+  SNP_OBS_COUNT("io.load.bytes", buf.size() * sizeof(bits::Word64));
   if (!m.padding_is_zero()) {
     throw std::runtime_error(
         "snp::io: bit matrix violates the zero-padding invariant");
@@ -139,6 +145,8 @@ bits::BitMatrix load_bitmatrix(std::istream& is) {
 }
 
 void save_countmatrix(const bits::CountMatrix& m, std::ostream& os) {
+  SNP_OBS_SPAN("io.save_countmatrix");
+  SNP_OBS_COUNT("io.save.bytes", m.raw().size_bytes());
   os.write(kCountMagic.data(), kCountMagic.size());
   write_u64(os, m.rows());
   write_u64(os, m.cols());
@@ -151,6 +159,7 @@ void save_countmatrix(const bits::CountMatrix& m, std::ostream& os) {
 }
 
 bits::CountMatrix load_countmatrix(std::istream& is) {
+  SNP_OBS_SPAN("io.load_countmatrix");
   expect_magic(is, kCountMagic, "count matrix");
   const std::uint64_t rows = read_u64(is);
   const std::uint64_t cols = read_u64(is);
@@ -166,6 +175,7 @@ bits::CountMatrix load_countmatrix(std::istream& is) {
   if (!is) {
     throw std::runtime_error("snp::io: truncated count matrix");
   }
+  SNP_OBS_COUNT("io.load.bytes", raw.size_bytes());
   return m;
 }
 

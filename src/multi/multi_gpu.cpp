@@ -8,6 +8,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "model/peak.hpp"
+#include "obs/obs.hpp"
 
 namespace snp::multi {
 
@@ -147,9 +148,12 @@ MultiCompareResult MultiGpuContext::compare(const BitMatrix& a,
   // owns a distinct device/context), then merge on the calling thread in
   // shard order — the merge order, counts, and timing are therefore
   // identical for every host_threads value.
+  SNP_OBS_SPAN("multi.compare");
+  SNP_OBS_COUNT("multi.shards", shards.size());
   std::vector<CompareResult> shard_results(shards.size());
   for_each_shard(shards.size(), options.host_threads,
                  [&](std::size_t d) {
+                   SNP_OBS_SPAN("multi.shard");
                    const Shard s = shards[d];
                    Context& ctx = contexts_[s.device];
                    const BitMatrix part =
@@ -165,6 +169,8 @@ MultiCompareResult MultiGpuContext::compare(const BitMatrix& a,
   for (std::size_t d = 0; d < shards.size(); ++d) {
     const Shard s = shards[d];
     const CompareResult& r = shard_results[d];
+    SNP_OBS_OBSERVE("multi.shard.end_to_end_seconds",
+                    r.timing.end_to_end_s);
     result.timing.per_device_end_to_end_s.push_back(
         r.timing.end_to_end_s);
     if (r.timing.end_to_end_s > worst) {
@@ -199,6 +205,7 @@ MultiGpuReport MultiGpuContext::estimate(std::size_t m, std::size_t n,
   const std::size_t shard_rows = shard_b ? n : m;
   const auto shards = make_shards(shard_rows, weights_);
 
+  SNP_OBS_SPAN("multi.estimate");
   MultiGpuReport rep;
   rep.devices = static_cast<int>(shards.size());
   std::vector<TimingReport> shard_reports(shards.size());

@@ -1,0 +1,232 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace snp::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::latency_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->value();
+    snap.gauge_peaks[name] = g->peak();
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramView view;
+    view.bounds = h->bounds();
+    view.counts = h->bucket_counts();
+    view.count = h->count();
+    view.sum = h->sum();
+    snap.histograms[name] = std::move(view);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+/// JSON string escaping for metric names (names are ASCII identifiers by
+/// convention, but the writer must never emit invalid JSON regardless).
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+template <typename Map>
+void json_number_map(std::ostream& os, const Map& map) {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    json_string(os, name);
+    os << ": " << value;
+  }
+  os << "}";
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = "snpcmp_";
+  for (const char ch : name) {
+    out += std::isalnum(static_cast<unsigned char>(ch)) != 0 ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os) {
+  os << "{\n  \"counters\": ";
+  json_number_map(os, snap.counters);
+  os << ",\n  \"gauges\": ";
+  json_number_map(os, snap.gauges);
+  os << ",\n  \"gauge_peaks\": ";
+  json_number_map(os, snap.gauge_peaks);
+  os << ",\n  \"histograms\": {";
+  bool first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n    ";
+    json_string(os, name);
+    os << ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      os << (i != 0 ? ", " : "") << h.bounds[i];
+    }
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << (i != 0 ? ", " : "") << h.counts[i];
+    }
+    os << "], \"count\": " << h.count << ", \"sum\": " << h.sum << "}";
+  }
+  os << "\n  }\n}\n";
+}
+
+void write_metrics_prometheus(const MetricsSnapshot& snap,
+                              std::ostream& os) {
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << value << "\n";
+    const auto peak = snap.gauge_peaks.find(name);
+    if (peak != snap.gauge_peaks.end()) {
+      os << "# TYPE " << p << "_peak gauge\n"
+         << p << "_peak " << peak->second << "\n";
+    }
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      os << p << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
+         << "\n";
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+       << p << "_sum " << h.sum << "\n"
+       << p << "_count " << h.count << "\n";
+  }
+}
+
+}  // namespace snp::obs

@@ -1,0 +1,95 @@
+// snp::obs — umbrella header and the compile-time-gated instrumentation
+// macros.
+//
+// Every instrumented call site in the framework goes through these macros
+// rather than the classes directly, so a build configured with
+// -DSNPCMP_OBS=OFF compiles the hot paths to literal no-ops: the metric
+// name and delta expressions vanish from the translation unit — never
+// evaluated, nothing emitted. With
+// the default SNPCMP_OBS=ON, counters are single relaxed atomics and
+// spans are two clock reads (none at all while the global TraceCollector
+// is disabled, which is the default outside --trace-out runs).
+//
+// Usage:
+//   SNP_OBS_SPAN("core.compare.pack");            // RAII scope slice
+//   SNP_OBS_COUNT("core.h2d.bytes", raw.size());  // counter += delta
+//   SNP_OBS_GAUGE_ADD("exec.pool.queue_depth", 1);
+//   SNP_OBS_OBSERVE("exec.pool.task_run_seconds", dt);  // latency histo
+//
+// Metric handles are cached in function-local statics, so the registry
+// lock is taken once per call site, not per call.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+#include "obs/span.hpp"
+
+// CMake defines SNPCMP_OBS_ENABLED=0/1 from option(SNPCMP_OBS).
+// Standalone inclusion (no build-system definition) defaults to on.
+#ifndef SNPCMP_OBS_ENABLED
+#define SNPCMP_OBS_ENABLED 1
+#endif
+
+namespace snp::obs {
+/// True in builds whose instrumentation macros are live.
+inline constexpr bool kEnabled = SNPCMP_OBS_ENABLED != 0;
+}  // namespace snp::obs
+
+#define SNP_OBS_CONCAT_INNER(a, b) a##b
+#define SNP_OBS_CONCAT(a, b) SNP_OBS_CONCAT_INNER(a, b)
+
+#if SNPCMP_OBS_ENABLED
+
+#define SNP_OBS_SPAN(name) \
+  ::snp::obs::Span SNP_OBS_CONCAT(snp_obs_span_, __LINE__)(name)
+
+#define SNP_OBS_COUNT(name, delta)                                    \
+  do {                                                                \
+    static ::snp::obs::Counter& snp_obs_c =                           \
+        ::snp::obs::MetricsRegistry::global().counter(name);          \
+    snp_obs_c.add(static_cast<std::uint64_t>(delta));                 \
+  } while (0)
+
+#define SNP_OBS_GAUGE_SET(name, value)                                \
+  do {                                                                \
+    static ::snp::obs::Gauge& snp_obs_g =                             \
+        ::snp::obs::MetricsRegistry::global().gauge(name);            \
+    snp_obs_g.set(static_cast<std::int64_t>(value));                  \
+  } while (0)
+
+#define SNP_OBS_GAUGE_ADD(name, delta)                                \
+  do {                                                                \
+    static ::snp::obs::Gauge& snp_obs_g =                             \
+        ::snp::obs::MetricsRegistry::global().gauge(name);            \
+    snp_obs_g.add(static_cast<std::int64_t>(delta));                  \
+  } while (0)
+
+#define SNP_OBS_GAUGE_SUB(name, delta)                                \
+  do {                                                                \
+    static ::snp::obs::Gauge& snp_obs_g =                             \
+        ::snp::obs::MetricsRegistry::global().gauge(name);            \
+    snp_obs_g.sub(static_cast<std::int64_t>(delta));                  \
+  } while (0)
+
+#define SNP_OBS_OBSERVE(name, seconds)                                \
+  do {                                                                \
+    static ::snp::obs::Histogram& snp_obs_h =                         \
+        ::snp::obs::MetricsRegistry::global().histogram(              \
+            name, ::snp::obs::Histogram::latency_bounds());           \
+    snp_obs_h.observe(static_cast<double>(seconds));                  \
+  } while (0)
+
+#else  // SNPCMP_OBS=OFF: the arguments vanish — never evaluated.
+
+#define SNP_OBS_NOOP(...) \
+  do {                    \
+  } while (0)
+
+#define SNP_OBS_SPAN(name) SNP_OBS_NOOP(name)
+#define SNP_OBS_COUNT(name, delta) SNP_OBS_NOOP(name, delta)
+#define SNP_OBS_GAUGE_SET(name, value) SNP_OBS_NOOP(name, value)
+#define SNP_OBS_GAUGE_ADD(name, delta) SNP_OBS_NOOP(name, delta)
+#define SNP_OBS_GAUGE_SUB(name, delta) SNP_OBS_NOOP(name, delta)
+#define SNP_OBS_OBSERVE(name, seconds) SNP_OBS_NOOP(name, seconds)
+
+#endif  // SNPCMP_OBS_ENABLED

@@ -1,0 +1,29 @@
+#include "obs/perf.hpp"
+
+#include <cstdio>
+
+namespace snp::obs {
+
+std::string PhasePerf::to_line() const {
+  char buf[160];
+  if (wordops > 0.0) {
+    std::snprintf(buf, sizeof buf, "%s: %.2f Gword-ops/s (%.3g s, %.3g Gops)",
+                  phase.c_str(), gops(), seconds, wordops / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s: %.2f GB/s (%.3g s, %.3g GB)",
+                  phase.c_str(), gbps(), seconds, bytes / 1e9);
+  }
+  return buf;
+}
+
+std::string EfficiencySummary::to_line() const {
+  char buf[200];
+  std::snprintf(buf, sizeof buf,
+                "achieved %.1f of %.1f attainable Gword-ops/s (%.1f%% of "
+                "roofline, %s; FU peak %.1f)",
+                achieved_gops, attainable_gops, efficiency_pct(),
+                memory_bound ? "memory-bound" : "compute-bound", peak_gops);
+  return buf;
+}
+
+}  // namespace snp::obs

@@ -1,0 +1,57 @@
+// snp::obs — derived performance counters and roofline-style efficiency
+// accounting.
+//
+// Raw telemetry (bytes moved, word-ops executed, seconds elapsed) becomes
+// meaningful only as rates against a model: the paper's figures all plot
+// achieved GOPS next to a predicted bound. This header holds the pure
+// arithmetic for that step — phase rates (GB/s, Gword-ops/s) and the
+// achieved-vs-attainable efficiency line every instrumented run prints.
+// It is deliberately model-agnostic: callers (core/cli) feed in the
+// attainable and peak numbers from src/model + sim::roofline_for; obs
+// itself stays dependency-free.
+#pragma once
+
+#include <string>
+
+namespace snp::obs {
+
+/// One pipeline phase's raw accounting, as accumulated by the counters.
+struct PhasePerf {
+  std::string phase;     ///< e.g. "h2d", "kernel", "pack"
+  double seconds = 0.0;  ///< busy time attributed to the phase
+  double bytes = 0.0;    ///< bytes moved (0 for pure-compute phases)
+  double wordops = 0.0;  ///< 32-bit word-ops executed (0 for transfers)
+
+  /// Effective GB/s (1e9 bytes per second); 0 when seconds or bytes is 0.
+  [[nodiscard]] double gbps() const {
+    return seconds > 0.0 ? bytes / seconds / 1e9 : 0.0;
+  }
+  /// Effective Gword-ops/s; 0 when seconds or wordops is 0.
+  [[nodiscard]] double gops() const {
+    return seconds > 0.0 ? wordops / seconds / 1e9 : 0.0;
+  }
+  /// "h2d: 1.234 GB/s (0.56 s, 0.69 GB)"-style summary.
+  [[nodiscard]] std::string to_line() const;
+};
+
+/// Achieved-vs-model comparison for one run, in Gword-ops/s. `attainable`
+/// is the roofline bound min(peak, intensity x bandwidth) from
+/// sim::roofline_for; `peak` the pipe-bottleneck FU peak.
+struct EfficiencySummary {
+  double achieved_gops = 0.0;
+  double attainable_gops = 0.0;
+  double peak_gops = 0.0;
+  bool memory_bound = false;
+
+  /// achieved / attainable, in percent (0 when no attainable bound).
+  [[nodiscard]] double efficiency_pct() const {
+    return attainable_gops > 0.0 ? achieved_gops / attainable_gops * 100.0
+                                 : 0.0;
+  }
+  /// The line printed after every instrumented run, e.g.
+  /// "achieved 123.4 of 180.0 attainable Gword-ops/s (68.6% of roofline,
+  ///  compute-bound; FU peak 250.0)".
+  [[nodiscard]] std::string to_line() const;
+};
+
+}  // namespace snp::obs

@@ -1,0 +1,147 @@
+#include "obs/span.hpp"
+
+#include <ostream>
+#include <utility>
+
+namespace snp::obs {
+
+namespace {
+
+thread_local int t_span_depth = 0;
+
+void emit_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) >= 0x20) {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_trace_events(std::span<const TrackLabel> tracks,
+                        std::span<const TraceEvent> events,
+                        std::ostream& os) {
+  os << "[\n";
+  bool first = true;
+  for (const TrackLabel& t : tracks) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << t.pid
+       << ", \"tid\": " << t.tid << ", \"args\": {\"name\": ";
+    emit_json_string(os, t.name);
+    os << "}}";
+  }
+  for (const TraceEvent& ev : events) {
+    if (ev.dur_us <= 0.0) {
+      continue;  // zero-length slice (e.g. empty transfer)
+    }
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "  {\"name\": ";
+    emit_json_string(os, ev.name);
+    os << ", \"ph\": \"X\", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid
+       << ", \"ts\": " << ev.ts_us << ", \"dur\": " << ev.dur_us
+       << ", \"args\": {\"depth\": " << ev.depth << "}}";
+  }
+  os << "\n]\n";
+}
+
+TraceCollector::TraceCollector()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::record(TraceEvent ev) {
+  if (!enabled()) {
+    return;
+  }
+  const std::lock_guard lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  const std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::size_t TraceCollector::size() const {
+  const std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void TraceCollector::begin_session() {
+  const std::lock_guard lock(mu_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+double TraceCollector::now_us() const {
+  std::chrono::steady_clock::time_point epoch;
+  {
+    const std::lock_guard lock(mu_);
+    epoch = epoch_;
+  }
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+std::uint32_t TraceCollector::thread_track() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Span::Span(std::string name, TraceCollector& collector)
+    : collector_(collector), name_(std::move(name)) {
+  if (!collector_.enabled()) {
+    return;
+  }
+  active_ = true;
+  depth_ = t_span_depth++;
+  start_us_ = collector_.now_us();
+}
+
+Span::~Span() {
+  if (!active_) {
+    return;
+  }
+  --t_span_depth;
+  // Sampled at construction, so an end that races set_enabled(false)
+  // still records a consistent slice; record() drops it if disabled.
+  TraceEvent ev;
+  ev.name = std::move(name_);
+  ev.pid = 1;
+  ev.tid = TraceCollector::thread_track();
+  ev.ts_us = start_us_;
+  ev.dur_us = collector_.now_us() - start_us_;
+  ev.depth = depth_;
+  collector_.record(std::move(ev));
+}
+
+int Span::current_depth() { return t_span_depth; }
+
+}  // namespace snp::obs

@@ -5,6 +5,15 @@
 // with one track per engine. This is how you *see* double buffering doing
 // its job — upload bars sliding under kernel bars — and what we used to
 // sanity-check the Fig. 6/8 pipelines.
+//
+// All writers here are thin adapters over the single shared emitter in
+// obs/span.hpp (obs::write_trace_events): they convert their source —
+// simulated Timeline, per-chunk HostChunkEvents, collected obs::Spans —
+// into obs::TraceEvents on the canonical pid/tid tracks and emit one
+// consistent JSON dialect. write_merged_chrome_trace combines all three
+// sources into one file: pid 0 = simulated device engines (virtual
+// clock), pid 1 = host threads (span wall clock), pid 2 = host pipeline
+// stages (wall clock since the compare started).
 #pragma once
 
 #include <cstddef>
@@ -12,6 +21,7 @@
 #include <span>
 #include <string>
 
+#include "obs/span.hpp"
 #include "sim/transfer.hpp"
 
 namespace snp::sim {
@@ -58,5 +68,27 @@ void write_host_chrome_trace(std::span<const HostChunkEvent> chunks,
 [[nodiscard]] std::string host_chrome_trace_json(
     std::span<const HostChunkEvent> chunks,
     const std::string& label = "host pipeline");
+
+/// The unified per-run trace: one Chrome-trace JSON covering
+///   pid 0 — the simulated device timeline `tl` (pass nullptr when the run
+///           had none, e.g. CPU contexts), virtual-clock microseconds;
+///   pid 1 — host spans collected in `spans` (one track per real thread),
+///           wall-clock microseconds since the collector session began;
+///   pid 2 — the async pipeline's pack/execute/drain stage view from
+///           `chunks`, wall-clock microseconds since compare() started.
+/// The two wall-clock bases differ by the (sub-millisecond) setup time
+/// between session start and the compare call; the virtual clock is its
+/// own axis by construction. Perfetto renders the pids as separate
+/// process groups, so the offset never misleads within a track group.
+void write_merged_chrome_trace(const obs::TraceCollector& spans,
+                               const Timeline* tl,
+                               std::span<const HostChunkEvent> chunks,
+                               std::ostream& os,
+                               const std::string& device_name);
+
+[[nodiscard]] std::string merged_chrome_trace_json(
+    const obs::TraceCollector& spans, const Timeline* tl,
+    std::span<const HostChunkEvent> chunks,
+    const std::string& device_name);
 
 }  // namespace snp::sim

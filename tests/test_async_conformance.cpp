@@ -231,6 +231,62 @@ TEST(AsyncConformance, ExceptionInChunkCallbackPropagates) {
                std::runtime_error);
 }
 
+// Telemetry contract for the chunk pipeline: chunk_events arrive in
+// stream order (index i at slot i, row ranges tiling the streamed
+// operand) and their simulated timestamps are monotone — each engine
+// (h2d, kernel, d2h) is an in-order FIFO and every chunk's stages are
+// causally ordered. The async host stamps must respect the task-graph
+// dependencies (pack -> execute -> drain, drains chained in order).
+TEST(AsyncConformance, ChunkEventsStreamOrderedWithMonotonicTimestamps) {
+  const auto a = io::random_bitmatrix(5, 384, 0.5, 13);
+  const auto b = io::random_bitmatrix(310, 384, 0.5, 14);
+  Context ctx = Context::gpu("gtx980");
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    ComputeOptions opts;
+    opts.chunk_rows = 32;
+    opts.threads = threads;
+    const auto r = ctx.compare(a, b, Comparison::kXor, opts);
+    const auto& evs = r.timing.chunk_events;
+    ASSERT_GT(evs.size(), 1u) << "want a multi-chunk workload";
+    std::size_t next_row = 0;
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      const auto& e = evs[i];
+      EXPECT_EQ(e.index, i) << "chunk out of stream order";
+      EXPECT_EQ(e.row0, next_row) << "row ranges must tile the operand";
+      ASSERT_GT(e.rows, 0u);
+      next_row += e.rows;
+
+      // Within a chunk the simulated stages are causally ordered.
+      EXPECT_LE(e.h2d_start, e.h2d_end);
+      EXPECT_LE(e.h2d_end, e.kernel_start) << "kernel before its upload";
+      EXPECT_LE(e.kernel_start, e.kernel_end);
+      EXPECT_LE(e.kernel_end, e.d2h_start) << "readback before kernel";
+      EXPECT_LE(e.d2h_start, e.d2h_end);
+      if (i > 0) {
+        // Each simulated engine is an in-order FIFO.
+        const auto& p = evs[i - 1];
+        EXPECT_GE(e.h2d_start, p.h2d_end) << "h2d engine overlap";
+        EXPECT_GE(e.kernel_start, p.kernel_end) << "kernel engine overlap";
+        EXPECT_GE(e.d2h_start, p.d2h_end) << "d2h engine overlap";
+      }
+      if (threads > 0) {
+        // Host wall-clock stamps follow the task-graph dependencies.
+        EXPECT_LE(e.host_queued, e.host_pack_start);
+        EXPECT_LE(e.host_pack_start, e.host_pack_end);
+        EXPECT_LE(e.host_pack_end, e.host_exec_start);
+        EXPECT_LE(e.host_exec_start, e.host_exec_end);
+        EXPECT_LE(e.host_exec_end, e.host_drain_start);
+        EXPECT_LE(e.host_drain_start, e.host_drain_end);
+        if (i > 0) {
+          EXPECT_GE(e.host_drain_start, evs[i - 1].host_drain_end)
+              << "drains must run in stream order";
+        }
+      }
+    }
+    EXPECT_EQ(next_row, b.rows()) << "chunks must cover every row once";
+  }
+}
+
 TEST(AsyncConformance, MaxInflightOneStillCorrect) {
   const auto a = io::random_bitmatrix(5, 192, 0.5, 11);
   const auto b = io::random_bitmatrix(180, 192, 0.5, 12);

@@ -1,0 +1,324 @@
+// src/obs unit tests: registry concurrency (counters/gauges/histograms
+// hammered from many threads), fixed-bucket histogram semantics, span
+// nesting depth bookkeeping, and structural validity of the emitted
+// metrics/trace JSON.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "sim/trace.hpp"
+
+namespace snp::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = hay.find(needle); at != std::string::npos;
+       at = hay.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// Structural JSON sanity without a parser: balanced braces/brackets and
+/// no trailing comma before a closer.
+void expect_balanced_json(const std::string& s) {
+  long braces = 0;
+  long brackets = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+    if (c == ',') {
+      const auto next = s.find_first_not_of(" \n\t", i + 1);
+      ASSERT_NE(next, std::string::npos);
+      EXPECT_NE(s[next], '}') << "trailing comma at offset " << i;
+      EXPECT_NE(s[next], ']') << "trailing comma at offset " << i;
+    }
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("a.b.c");
+  Counter& c2 = reg.counter("a.b.c");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  EXPECT_EQ(c2.value(), 3u);
+
+  Gauge& g = reg.gauge("a.b.level");
+  g.set(7);
+  g.sub(2);
+  EXPECT_EQ(reg.gauge("a.b.level").value(), 5);
+  EXPECT_EQ(g.peak(), 7);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesFromManyThreads) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      // Registration races with updates on purpose: every thread looks
+      // the metrics up by name each iteration block.
+      Counter& c = reg.counter("stress.counter");
+      Gauge& g = reg.gauge("stress.gauge");
+      Histogram& h =
+          reg.histogram("stress.histo", {0.001, 0.01, 0.1, 1.0});
+      for (int i = 0; i < kIters; ++i) {
+        c.increment();
+        g.add(1);
+        g.sub(1);
+        h.observe(0.005);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("stress.counter"),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.gauges.at("stress.gauge"), 0);
+  EXPECT_GE(snap.gauge_peaks.at("stress.gauge"), 1);
+  const auto& h = snap.histograms.at("stress.histo");
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads) * kIters);
+  // 0.005 lands in the (0.001, 0.01] bucket.
+  EXPECT_EQ(h.counts[1], h.count);
+  EXPECT_NEAR(h.sum, 0.005 * static_cast<double>(h.count),
+              1e-6 * static_cast<double>(h.count));
+}
+
+TEST(Histogram, BucketBoundariesUseLowerInclusiveLeSemantics) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // <= 1        -> bucket 0
+  h.observe(1.0);   // <= 1        -> bucket 0 (le is inclusive)
+  h.observe(1.5);   // <= 2        -> bucket 1
+  h.observe(5.0);   // <= 5        -> bucket 2
+  h.observe(99.0);  // overflow    -> bucket 3
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 99.0);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+}
+
+TEST(Histogram, LatencyBoundsAreStrictlyIncreasing) {
+  const auto b = Histogram::latency_bounds();
+  ASSERT_FALSE(b.empty());
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+  EXPECT_TRUE(std::adjacent_find(b.begin(), b.end()) == b.end());
+  EXPECT_LE(b.front(), 1e-6);
+  EXPECT_GE(b.back(), 10.0);
+}
+
+TEST(Span, NestingTracksDepthAndContainment) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  collector.begin_session();
+  EXPECT_EQ(Span::current_depth(), 0);
+  {
+    Span outer("outer", collector);
+    EXPECT_EQ(Span::current_depth(), 1);
+    {
+      Span inner("inner", collector);
+      EXPECT_EQ(Span::current_depth(), 2);
+    }
+    EXPECT_EQ(Span::current_depth(), 1);
+  }
+  EXPECT_EQ(Span::current_depth(), 0);
+
+  const auto events = collector.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it is recorded first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].depth, 0);
+  // Containment: outer's interval covers inner's.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+  // Same thread, same track.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(Span, DisabledCollectorRecordsNothing) {
+  TraceCollector collector;
+  ASSERT_FALSE(collector.enabled());
+  {
+    Span s("ignored", collector);
+  }
+  EXPECT_EQ(collector.size(), 0u);
+  EXPECT_EQ(Span::current_depth(), 0);
+}
+
+TEST(TraceCollector, BeginSessionClearsAndRezeroesEpoch) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  { Span s("first", collector); }
+  ASSERT_EQ(collector.size(), 1u);
+  collector.begin_session();
+  EXPECT_EQ(collector.size(), 0u);
+  { Span s("second", collector); }
+  const auto events = collector.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GE(events[0].ts_us, 0.0);
+}
+
+TEST(TraceWriter, EmitsValidChromeTraceJson) {
+  std::vector<TrackLabel> tracks{{0, 0, "engine a"}, {1, 3, "thread 3"}};
+  std::vector<TraceEvent> events;
+  TraceEvent ev;
+  ev.name = "slice \"quoted\"";
+  ev.pid = 0;
+  ev.tid = 0;
+  ev.ts_us = 1.5;
+  ev.dur_us = 2.5;
+  events.push_back(ev);
+  ev.name = "zero-length";
+  ev.dur_us = 0.0;  // must be dropped
+  events.push_back(ev);
+
+  std::ostringstream os;
+  write_trace_events(tracks, events, os);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  EXPECT_EQ(count_occurrences(json, "thread_name"), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "zero-length"), 0u);
+  // The quote inside the span name must be escaped.
+  EXPECT_NE(json.find("slice \\\"quoted\\\""), std::string::npos);
+}
+
+TEST(MetricsWriter, JsonSnapshotIsStructurallyValid) {
+  MetricsRegistry reg;
+  reg.counter("x.bytes").add(42);
+  reg.gauge("x.depth").set(3);
+  reg.histogram("x.lat", {0.1, 1.0}).observe(0.5);
+  std::ostringstream os;
+  write_metrics_json(reg.snapshot(), os);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"x.bytes\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"gauge_peaks\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+}
+
+TEST(MetricsWriter, PrometheusFormatSanitizesAndPrefixes) {
+  MetricsRegistry reg;
+  reg.counter("exec.pool.tasks_run").add(7);
+  reg.gauge("exec.pool.queue_depth").set(2);
+  reg.histogram("exec.pool.task_wait_seconds", {0.1, 1.0}).observe(0.05);
+  std::ostringstream os;
+  write_metrics_prometheus(reg.snapshot(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("snpcmp_exec_pool_tasks_run 7"), std::string::npos);
+  EXPECT_NE(text.find("snpcmp_exec_pool_queue_depth 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\""), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("_count 1"), std::string::npos);
+  EXPECT_EQ(text.find("exec.pool"), std::string::npos)
+      << "dots must be sanitized";
+}
+
+TEST(MergedTrace, CombinesSpansTimelineAndChunksOnDistinctPids) {
+  TraceCollector collector;
+  collector.set_enabled(true);
+  collector.begin_session();
+  // Record a span-shaped event directly so its duration is deterministic
+  // (a real Span closed immediately could round to 0 us and be dropped).
+  TraceEvent span_ev;
+  span_ev.name = "host work";
+  span_ev.tid = 0;
+  span_ev.ts_us = 10.0;
+  span_ev.dur_us = 50.0;
+  collector.record(span_ev);
+
+  sim::Timeline tl;
+  tl.init_seconds = 0.25;
+  sim::ChunkTimes ct;
+  ct.h2d_start = 0.25;
+  ct.h2d_end = 0.5;
+  ct.kernel_start = 0.5;
+  ct.kernel_end = 1.0;
+  ct.d2h_start = 1.0;
+  ct.d2h_end = 1.25;
+  tl.chunks.push_back(ct);
+
+  sim::HostChunkEvent hc;
+  hc.index = 0;
+  hc.rows = 8;
+  hc.host_pack_start = 0.001;
+  hc.host_pack_end = 0.002;
+  hc.host_exec_start = 0.002;
+  hc.host_exec_end = 0.005;
+  hc.host_drain_start = 0.005;
+  hc.host_drain_end = 0.006;
+  const std::vector<sim::HostChunkEvent> chunks{hc};
+
+  std::ostringstream os;
+  sim::write_merged_chrome_trace(collector, &tl, chunks, os, "testdev");
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  // All three pid groups appear: device engines (0), host spans (1),
+  // pipeline stages (2).
+  EXPECT_NE(json.find("\"pid\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+  EXPECT_NE(json.find("host work"), std::string::npos);
+  EXPECT_NE(json.find("kernel chunk 0"), std::string::npos);
+  EXPECT_NE(json.find("pack chunk 0"), std::string::npos);
+  EXPECT_NE(json.find("virtual clock"), std::string::npos);
+}
+
+TEST(ObsMacros, CompileAndUpdateTheGlobalRegistry) {
+  // The macros target the process-global registry; read back through a
+  // snapshot delta so other tests' metrics don't interfere.
+  const auto before = MetricsRegistry::global().snapshot();
+  const std::uint64_t base =
+      before.counters.count("test.macro.counter") != 0
+          ? before.counters.at("test.macro.counter")
+          : 0;
+  SNP_OBS_COUNT("test.macro.counter", 2);
+  SNP_OBS_GAUGE_SET("test.macro.gauge", 5);
+  SNP_OBS_OBSERVE("test.macro.lat", 0.001);
+  {
+    SNP_OBS_SPAN("test.macro.span");
+  }
+  const auto after = MetricsRegistry::global().snapshot();
+  if constexpr (kEnabled) {
+    EXPECT_EQ(after.counters.at("test.macro.counter"), base + 2);
+    EXPECT_EQ(after.gauges.at("test.macro.gauge"), 5);
+    EXPECT_GE(after.histograms.at("test.macro.lat").count, 1u);
+  } else {
+    EXPECT_EQ(after.counters.count("test.macro.counter"), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace snp::obs

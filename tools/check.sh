@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Full verification sweep:
-#   1. Release build + the whole test suite (tier1 + slow labels).
+#   1. Release build + the whole test suite (tier1 + slow labels), plus
+#      a telemetry smoke: a real search run with --metrics-out /
+#      --trace-out whose outputs are validated as JSON.
 #   2. ASan/UBSan build + tier-1 tests.
-#   3. TSan build + the concurrency-heavy suites (exec scheduler and
-#      async-vs-serial conformance) — OpenMP is compiled out under TSan,
-#      so every data race the thread-pool pipeline could introduce is
-#      visible to the tool.
+#   3. TSan build + the concurrency-heavy suites (exec scheduler,
+#      async-vs-serial conformance, and the obs metrics/span registry) —
+#      OpenMP is compiled out under TSan, so every data race the
+#      thread-pool pipeline could introduce is visible to the tool.
 #
 # Usage: tools/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -20,6 +22,26 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "== telemetry smoke (metrics + merged trace round-trip) =="
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+./build/tools/snpcmp gendb --out "$smoke/db.sbm" --profiles 200 --snps 256 >/dev/null
+./build/tools/snpcmp gendb --out "$smoke/q.sbm" --profiles 4 --snps 256 >/dev/null
+./build/tools/snpcmp search --queries "$smoke/q.sbm" --db "$smoke/db.sbm" \
+  --threads 4 --metrics-out "$smoke/m.json" --trace-out "$smoke/t.json" >/dev/null
+python3 - "$smoke/m.json" "$smoke/t.json" <<'EOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+assert metrics["counters"]["core.compare.chunks"] > 0, "no chunk counters"
+assert "exec.pool.queue_depth" in metrics["gauge_peaks"], "no pool gauges"
+trace = json.load(open(sys.argv[2]))
+pids = {ev["pid"] for ev in trace}
+assert {1, 2} <= pids, f"merged trace missing host tracks: {pids}"
+assert all(ev["ph"] in ("M", "X") for ev in trace)
+print(f"telemetry smoke ok: {len(metrics['counters'])} counters, "
+      f"{len(trace)} trace events, pids {sorted(pids)}")
+EOF
+
 if [[ "$skip_san" == yes ]]; then
   echo "== sanitizers skipped =="
   exit 0
@@ -31,11 +53,12 @@ cmake --build --preset asan -j "$jobs"
 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-asan -L tier1 --output-on-failure -j "$jobs"
 
-echo "== TSan build + exec/conformance tests =="
+echo "== TSan build + exec/conformance/obs tests =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" \
-  --target test_exec test_async_conformance
+  --target test_exec test_async_conformance test_obs
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_exec
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_async_conformance
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_obs
 
 echo "== all checks passed =="
