@@ -13,6 +13,7 @@
 // determinism are covered by tests/test_async_conformance.cpp).
 //
 // SNP_ABL_ASYNC_PROFILES overrides the database size for quick runs.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -55,9 +56,15 @@ int main(int argc, char** argv) {
 
   Context ctx = Context::gpu("titanv");
   bench::CsvWriter csv("abl_async");
-  csv.row("threads", "wall_s", "speedup", "chunks");
+  csv.row("threads", bench::stats_cols("wall_s"), "speedup", "chunks");
   bench::JsonWriter json("abl_async", argc, argv);
-  json.header("threads", "wall_s", "speedup", "chunks");
+  json.set_primary("wall_s", /*lower_better=*/true);
+  json.header("threads", bench::stats_cols("wall_s"), "speedup", "chunks");
+
+  // Real wall-clock work: keep the repetition floor low so the bench
+  // stays affordable, and let the CI width report the observed noise.
+  auto policy = bench::bench_policy();
+  policy.min_reps = std::min<std::size_t>(policy.min_reps, 3);
 
   // Streamed fold keeps host memory bounded (no 32 x 1M gamma matrix);
   // the checksum defeats dead-code elimination and pins bit-identity.
@@ -80,27 +87,32 @@ int main(int argc, char** argv) {
 
   std::uint64_t base_sum = 0;
   int chunks = 0;
-  const double serial_s =
-      wall_seconds([&] { run(0, &base_sum, &chunks); });
+  const auto serial_stats = bench::measure(
+      [&] { return wall_seconds([&] { run(0, &base_sum, &chunks); }); },
+      policy);
+  const double serial_s = serial_stats.median;
   std::printf("\n  %-10s %12s %9s   (%d chunks)\n", "mode", "wall", "vs serial",
               chunks);
   std::printf("  %-10s %s %8s\n", "serial",
-              bench::fmt_time(serial_s).c_str(), "1.00x");
-  csv.row(0, serial_s, 1.0, chunks);
-  json.row(0, serial_s, 1.0, chunks);
+              bench::fmt_summary(serial_stats).c_str(), "1.00x");
+  csv.row(0, serial_stats, 1.0, chunks);
+  json.row(0, serial_stats, 1.0, chunks);
 
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}, std::size_t{8}}) {
     std::uint64_t sum = 0;
     int ch = 0;
-    const double async_s = wall_seconds([&] { run(threads, &sum, &ch); });
+    const auto async_stats = bench::measure(
+        [&] { return wall_seconds([&] { run(threads, &sum, &ch); }); },
+        policy);
+    const double async_s = async_stats.median;
     char label[32];
     std::snprintf(label, sizeof label, "async x%zu", threads);
     std::printf("  %-10s %s %7.2fx%s\n", label,
-                bench::fmt_time(async_s).c_str(), serial_s / async_s,
+                bench::fmt_summary(async_stats).c_str(), serial_s / async_s,
                 sum == base_sum ? "" : "  CHECKSUM MISMATCH");
-    csv.row(threads, async_s, serial_s / async_s, ch);
-    json.row(threads, async_s, serial_s / async_s, ch);
+    csv.row(threads, async_stats, serial_s / async_s, ch);
+    json.row(threads, async_stats, serial_s / async_s, ch);
   }
 
   std::printf("\n  (Identical checksums across rows = the async pipeline "

@@ -7,9 +7,17 @@
 #include "bench_util.hpp"
 #include "sim/autotune.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("ABLATION -- autotuned configuration vs Table II preset");
+
+  bench::CsvWriter csv("abl_autotune");
+  csv.row("workload", "device", "preset_s",
+          bench::stats_cols("tuned_s"), "speedup");
+  bench::JsonWriter json("abl_autotune", argc, argv);
+  json.set_primary("tuned_s", /*lower_better=*/true);
+  json.header("workload", "device", "preset_s",
+              bench::stats_cols("tuned_s"), "speedup");
 
   struct Workload {
     const char* label;
@@ -41,10 +49,19 @@ int main() {
       std::printf("  %-8s | preset %-37s | %s | baseline\n",
                   dev.name.c_str(), preset.to_string().c_str(),
                   bench::fmt_time(pt.seconds).c_str());
+      const auto st = bench::measure([&] {
+        return sim::estimate_kernel(dev, best.config, w.op, shape,
+                                    best.config.pre_negated)
+            .seconds;
+      });
       std::printf("  %-8s | tuned  %-37s | %s | %.2fx\n", "",
                   best.config.to_string().c_str(),
                   bench::fmt_time(best.seconds).c_str(),
                   pt.seconds / best.seconds);
+      csv.row(w.label, dev.name, pt.seconds, st,
+              pt.seconds / best.seconds);
+      json.row(w.label, dev.name, pt.seconds, st,
+              pt.seconds / best.seconds);
     }
   }
   std::printf("\n  (Exhaustive search over the feasible space -- shared "

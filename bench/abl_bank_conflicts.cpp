@@ -10,9 +10,17 @@
 #include "bench_util.hpp"
 #include "sim/pipeline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("ABLATION -- shared-memory bank conflicts vs access stride");
+
+  bench::CsvWriter csv("abl_bank_conflicts");
+  csv.row("device", "stride", "model_factor",
+          bench::stats_cols("slowdown"));
+  bench::JsonWriter json("abl_bank_conflicts", argc, argv);
+  json.set_primary("slowdown", /*lower_better=*/true);
+  json.header("device", "stride", "model_factor",
+              bench::stats_cols("slowdown"));
 
   for (const auto& dev : model::all_gpus()) {
     bench::section(dev.name + "  (" + std::to_string(dev.banks) +
@@ -26,10 +34,14 @@ int main() {
     for (const int stride : {0, 1, 2, 4, 8, 16, 32, 17, 33}) {
       const int factor = sim::bank_conflict_factor(dev, stride);
       const auto prog = sim::strided_lds(stride, 16, 256);
-      const auto cycles = core.run(prog, dev.n_clusters * 2).cycles;
+      const auto slowdown = bench::measure([&] {
+        const auto cycles = core.run(prog, dev.n_clusters * 2).cycles;
+        return static_cast<double>(cycles) / static_cast<double>(base);
+      });
       std::printf("  %8d | %13dx | %15.2fx\n", stride, factor,
-                  static_cast<double>(cycles) /
-                      static_cast<double>(base));
+                  slowdown.median);
+      csv.row(dev.name, stride, factor, slowdown);
+      json.row(dev.name, stride, factor, slowdown);
     }
   }
   std::printf("\n  (Stride 0 is a broadcast; odd strides are conflict-free "

@@ -10,10 +10,18 @@
 #include "bench_util.hpp"
 #include "core/snpcmp.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("ABLATION -- streaming chunk size (FastID 32 x 20M x 1024 "
                "bits)");
+
+  bench::CsvWriter csv("abl_chunk_size");
+  csv.row("device", "chunk_rows", "chunks",
+          bench::stats_cols("end_to_end_s"), "hidden_s");
+  bench::JsonWriter json("abl_chunk_size", argc, argv);
+  json.set_primary("end_to_end_s", /*lower_better=*/true);
+  json.header("device", "chunk_rows", "chunks",
+              bench::stats_cols("end_to_end_s"), "hidden_s");
 
   for (const char* name : {"gtx980", "titanv", "vega64"}) {
     Context ctx = Context::gpu(name);
@@ -28,17 +36,31 @@ int main() {
       opts.chunk_rows = rows;
       const auto t =
           ctx.estimate(32, 20'000'000, 1024, bits::Comparison::kXor, opts);
+      const auto st = bench::measure([&] {
+        return ctx
+            .estimate(32, 20'000'000, 1024, bits::Comparison::kXor, opts)
+            .end_to_end_s;
+      });
       std::printf("  %12zu | %8d | %s | %s\n", rows, t.chunks,
                   bench::fmt_time(t.end_to_end_s).c_str(),
                   bench::fmt_time(t.overlap_hidden_s).c_str());
+      csv.row(name, rows, t.chunks, st, t.overlap_hidden_s);
+      json.row(name, rows, t.chunks, st, t.overlap_hidden_s);
     }
     opts.chunk_rows = 0;  // the framework's automatic choice
     const auto t =
         ctx.estimate(32, 20'000'000, 1024, bits::Comparison::kXor, opts);
     auto_time = t.end_to_end_s;
+    const auto st = bench::measure([&] {
+      return ctx
+          .estimate(32, 20'000'000, 1024, bits::Comparison::kXor, opts)
+          .end_to_end_s;
+    });
     std::printf("  %12s | %8d | %s | %s   <-- automatic\n", "auto",
                 t.chunks, bench::fmt_time(auto_time).c_str(),
                 bench::fmt_time(t.overlap_hidden_s).c_str());
+    csv.row(name, 0, t.chunks, st, t.overlap_hidden_s);
+    json.row(name, 0, t.chunks, st, t.overlap_hidden_s);
   }
   std::printf("\n  (Tiny chunks pay PCIe latency and launch overhead per "
               "chunk; one giant\n   chunk serializes upload -> kernel -> "

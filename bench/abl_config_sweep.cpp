@@ -4,6 +4,7 @@
 // observation that losing a little shared memory (k_c 384 -> 383) is
 // inconsequential.
 #include <cstdio>
+#include <limits>
 
 #include "bench_util.hpp"
 #include "sim/timing.hpp"
@@ -34,45 +35,73 @@ void print_row(const char* label, double gops, double base) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("ABLATION -- configuration sensitivity around the Table II "
                "presets");
+
+  bench::CsvWriter csv("abl_config_sweep");
+  csv.row("device", "variant", bench::stats_cols("gops"));
+  bench::JsonWriter json("abl_config_sweep", argc, argv);
+  json.set_primary("gops", /*lower_better=*/false);
+  json.header("device", "variant", bench::stats_cols("gops"));
 
   for (const auto& dev : model::all_gpus()) {
     const auto preset = model::paper_preset(dev, model::WorkloadKind::kLd);
     const double base = gops_for(dev, preset);
     bench::section(dev.name + "  preset " + preset.to_string());
-    std::printf("  %-24s | %8.1f G/s | baseline\n", "preset", base);
+
+    // Emit a stats row for one variant: invalid configurations (gops < 0)
+    // become null cells via a NaN median so the document stays parseable.
+    const auto emit = [&](const char* label,
+                          const model::KernelConfig& cfg) {
+      const double gops = gops_for(dev, cfg);
+      print_row(label, gops, base);
+      if (gops < 0.0) {
+        obs::Summary invalid;
+        invalid.median = std::numeric_limits<double>::quiet_NaN();
+        invalid.ci_lo = invalid.median;
+        invalid.ci_hi = invalid.median;
+        csv.row(dev.name, label, invalid);
+        json.row(dev.name, label, invalid);
+        return;
+      }
+      const auto st =
+          bench::measure([&] { return gops_for(dev, cfg); });
+      csv.row(dev.name, label, st);
+      json.row(dev.name, label, st);
+    };
+
+    emit("preset", preset);
 
     // k_c: the shared-memory reservation effect (§V-E): one word fewer is
     // negligible; a quarter of the tile is not.
     auto cfg = preset;
     cfg.k_c = preset.k_c - 1;
-    print_row("k_c - 1 (reservation)", gops_for(dev, cfg), base);
+    emit("k_c - 1 (reservation)", cfg);
     cfg = preset;
     cfg.k_c = preset.k_c / 2;
-    print_row("k_c / 2", gops_for(dev, cfg), base);
+    emit("k_c / 2", cfg);
 
     // n_r: below the preset (less latency hiding / reuse), and the Eq. 7
     // lower bound.
     cfg = preset;
     cfg.n_r = model::n_r_lower_bound(dev, preset.m_r, preset.m_c);
-    print_row("n_r = Eq.7 lower bound", gops_for(dev, cfg), base);
+    emit("n_r = Eq.7 lower bound", cfg);
 
     // m_c: the Eq. 5-as-printed value (8) vs the Table II value (32).
     cfg = preset;
     cfg.m_c = model::m_c_eq5(dev);
     cfg.k_c = preset.k_c;  // same depth; smaller tile
-    print_row("m_c = Eq.5 (N_b/N_cl)", gops_for(dev, cfg), base);
+    emit("m_c = Eq.5 (N_b/N_cl)", cfg);
 
     // Grid: all cores on one dimension vs the preset split.
     cfg = preset;
     cfg.grid = {1, dev.n_cores};
-    print_row("grid 1 x N_c", gops_for(dev, cfg), base);
+    emit("grid 1 x N_c", cfg);
     cfg = preset;
     cfg.grid = {dev.n_cores, 1};
-    print_row("grid N_c x 1", gops_for(dev, cfg), base);
+    emit("grid N_c x 1", cfg);
   }
   std::printf("\n  (k_c - 1 is the NVIDIA shared-memory reservation of "
               "Section V-E: 'the impact\n   ... is minimized since the "

@@ -9,9 +9,17 @@
 #include "bench_util.hpp"
 #include "core/snpcmp.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("ABLATION -- double buffering vs serialized transfers");
+
+  bench::CsvWriter csv("abl_double_buffer");
+  csv.row("workload", "device", bench::stats_cols("overlapped_s"),
+          "serialized_s", "chunks");
+  bench::JsonWriter json("abl_double_buffer", argc, argv);
+  json.set_primary("overlapped_s", /*lower_better=*/true);
+  json.header("workload", "device", bench::stats_cols("overlapped_s"),
+              "serialized_s", "chunks");
 
   struct Workload {
     const char* label;
@@ -37,6 +45,11 @@ int main() {
       off.double_buffer = false;
       const auto t_on = ctx.estimate(w.m, w.n, w.k_bits, w.op, on);
       const auto t_off = ctx.estimate(w.m, w.n, w.k_bits, w.op, off);
+      const auto st = bench::measure([&] {
+        return ctx.estimate(w.m, w.n, w.k_bits, w.op, on).end_to_end_s;
+      });
+      csv.row(w.label, name, st, t_off.end_to_end_s, t_on.chunks);
+      json.row(w.label, name, st, t_off.end_to_end_s, t_on.chunks);
       std::printf("  %-8s | %s | %s | %6.1f%% | %d\n", name,
                   bench::fmt_time(t_on.end_to_end_s).c_str(),
                   bench::fmt_time(t_off.end_to_end_s).c_str(),

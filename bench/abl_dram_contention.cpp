@@ -34,10 +34,20 @@ snp::sim::Program mem_mix(int ldgs, int adds, std::uint64_t iterations) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("ABLATION -- shared-DRAM contention: lockstep simulation "
                "vs the soft-min model");
+
+  bench::CsvWriter csv("abl_dram_contention");
+  csv.row("bus_bytes_per_cycle", "cores",
+          bench::stats_cols("measured_eff_pct"), "softmin_pct",
+          "bus_util_pct");
+  bench::JsonWriter json("abl_dram_contention", argc, argv);
+  json.set_primary("measured_eff_pct", /*lower_better=*/false);
+  json.header("bus_bytes_per_cycle", "cores",
+              bench::stats_cols("measured_eff_pct"), "softmin_pct",
+              "bus_util_pct");
 
   auto dev = model::gtx980();
   dev.n_cores = 64;
@@ -61,10 +71,19 @@ int main() {
       const auto t = dsim.run(prog, 8, n, 128.0);
       const double eff = static_cast<double>(solo.core_cycles[0]) /
                          static_cast<double>(t.cycles);
+      const auto eff_stats = bench::measure([&] {
+        const auto r = dsim.run(prog, 8, n, 128.0);
+        return 100.0 * static_cast<double>(solo.core_cycles[0]) /
+               static_cast<double>(r.cycles);
+      });
       const double ratio = n * demand / bus_rate;
       const double soft = std::pow(1.0 + std::pow(ratio, 4.0), -0.25);
       std::printf("  %6d | %9.1f%% | %9.1f%% | %9.1f%%\n", n, 100.0 * eff,
                   100.0 * soft, 100.0 * t.bus_utilization);
+      csv.row(bus_rate, n, eff_stats, 100.0 * soft,
+              100.0 * t.bus_utilization);
+      json.row(bus_rate, n, eff_stats, 100.0 * soft,
+               100.0 * t.bus_utilization);
     }
   }
   std::printf("\n  (The lockstep bus simulation and the calibrated curve "

@@ -8,9 +8,17 @@
 #include "bench_util.hpp"
 #include "multi/multi_gpu.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("EXTENSION -- multi-GPU scaling (DGX-2-like box)");
+
+  bench::CsvWriter csv("abl_multigpu");
+  csv.row("device", "devices", bench::stats_cols("end_to_end_s"),
+          "speedup");
+  bench::JsonWriter json("abl_multigpu", argc, argv);
+  json.set_primary("end_to_end_s", /*lower_better=*/true);
+  json.header("device", "devices", bench::stats_cols("end_to_end_s"),
+              "speedup");
 
   multi::MultiGpuOptions opts;
   opts.per_device.functional = false;
@@ -28,6 +36,13 @@ int main() {
       if (devices == 1) {
         base = t.end_to_end_s;
       }
+      const auto st = bench::measure([&] {
+        return box
+            .estimate(32, 80'000'000, 1024, bits::Comparison::kXor, opts)
+            .end_to_end_s;
+      });
+      csv.row(name, devices, st, base / t.end_to_end_s);
+      json.row(name, devices, st, base / t.end_to_end_s);
       const auto& s = t.slowest_device;
       std::printf("  %-8s | %7d | %s | %9.2fx | init %.0f ms, h2d %.0f "
                   "ms, kern %.0f ms, d2h %.0f ms\n",

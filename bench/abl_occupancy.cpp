@@ -12,10 +12,18 @@
 #include "model/peak.hpp"
 #include "sim/pipeline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("ABLATION -- occupancy vs throughput (cycle-level kernel "
                "inner loop)");
+
+  bench::CsvWriter csv("abl_occupancy");
+  csv.row("device", "groups", bench::stats_cols("wordops_per_cycle"),
+          "pct_of_bound");
+  bench::JsonWriter json("abl_occupancy", argc, argv);
+  json.set_primary("wordops_per_cycle", /*lower_better=*/false);
+  json.header("device", "groups", bench::stats_cols("wordops_per_cycle"),
+              "pct_of_bound");
 
   for (const auto& dev : model::all_gpus()) {
     const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
@@ -45,9 +53,15 @@ int main() {
                               info.program.iterations) *
           groups;
       const double rate = ops / static_cast<double>(stats.cycles);
+      const auto st = bench::measure([&] {
+        return ops /
+               static_cast<double>(core.run(info.program, groups).cycles);
+      });
       std::printf("  %8d | %14.2f | %9.1f%%%s\n", groups, rate,
                   100.0 * rate / analytic,
                   groups == policy ? "   <-- framework occupancy" : "");
+      csv.row(dev.name, groups, st, 100.0 * rate / analytic);
+      json.row(dev.name, groups, st, 100.0 * rate / analytic);
     }
   }
   std::printf("\n  (The plateau at or before N_cl x L_fn groups is the "

@@ -12,9 +12,17 @@
 #include "model/peak.hpp"
 #include "sim/roofline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("ABLATION -- roofline placement of the LD kernel");
+
+  bench::CsvWriter csv("abl_roofline");
+  csv.row("device", "k_words", "intensity", "attainable_gops",
+          bench::stats_cols("achieved_gops"), "memory_bound");
+  bench::JsonWriter json("abl_roofline", argc, argv);
+  json.set_primary("achieved_gops", /*lower_better=*/false);
+  json.header("device", "k_words", "intensity", "attainable_gops",
+              bench::stats_cols("achieved_gops"), "memory_bound");
 
   for (const auto& dev : model::all_gpus()) {
     const auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
@@ -32,10 +40,21 @@ int main() {
       const auto p = sim::roofline_for(dev, cfg, bits::Comparison::kAnd,
                                        {8192, 8192, kw});
       pts.push_back(p);
+      const auto st = bench::measure([&] {
+        return sim::roofline_for(dev, cfg, bits::Comparison::kAnd,
+                                 {8192, 8192, kw})
+            .achieved_gops;
+      });
       std::printf("  %8zu | %7.3f op/B | %8.0f G/s | %8.0f G/s | %s\n",
                   static_cast<std::size_t>(kw), p.arithmetic_intensity,
                   p.attainable_gops, p.achieved_gops,
                   p.memory_bound ? "memory-bound" : "compute-bound");
+      csv.row(dev.name, static_cast<std::size_t>(kw),
+              p.arithmetic_intensity, p.attainable_gops, st,
+              p.memory_bound ? 1 : 0);
+      json.row(dev.name, static_cast<std::size_t>(kw),
+               p.arithmetic_intensity, p.attainable_gops, st,
+               p.memory_bound ? 1 : 0);
     }
 
     // ASCII roofline: x = log2 intensity in [2^-3, 2^6], y = achieved

@@ -12,9 +12,17 @@
 #include "io/datagen.hpp"
 #include "sparse/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("EXTENSION -- dense vs sparse representation crossover");
+
+  bench::CsvWriter csv("abl_sparse_crossover");
+  csv.row("density", bench::stats_cols("dense_s"),
+          bench::stats_cols("sparse_s"), "agree");
+  bench::JsonWriter json("abl_sparse_crossover", argc, argv);
+  json.set_primary("dense_s", /*lower_better=*/true);
+  json.header("density", bench::stats_cols("dense_s"),
+              bench::stats_cols("sparse_s"), "agree");
 
   const sim::KernelShape shape{8192, 8192, 383};
   bench::section("modeled GPU kernel time (8192 x 8192 x 12,256 bits)");
@@ -60,21 +68,39 @@ int main() {
     const auto b = io::random_bitmatrix(512, 16384, d, 78);
     const auto sa = sparse::SparseBitMatrix::from_dense(a);
     const auto sb = sparse::SparseBitMatrix::from_dense(b);
-    const auto t0 = std::chrono::steady_clock::now();
     const auto dense_c =
         cpu::compare_blocked(a, b, bits::Comparison::kAnd);
-    const auto t1 = std::chrono::steady_clock::now();
     const auto sparse_c =
         sparse::sparse_compare(sa, sb, bits::Comparison::kAnd);
-    const auto t2 = std::chrono::steady_clock::now();
-    const double dense_s = std::chrono::duration<double>(t1 - t0).count();
-    const double sparse_s = std::chrono::duration<double>(t2 - t1).count();
     const bool agree = dense_c == sparse_c;
+    // Real wall-clock: adaptive repetition under the shared policy gives
+    // each engine a genuine CI instead of a single noisy reading.
+    std::size_t sink = 0;
+    const auto dense_stats = bench::measure([&] {
+      const auto s0 = std::chrono::steady_clock::now();
+      sink += cpu::compare_blocked(a, b, bits::Comparison::kAnd).rows();
+      const auto s1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double>(s1 - s0).count();
+    });
+    const auto sparse_stats = bench::measure([&] {
+      const auto s0 = std::chrono::steady_clock::now();
+      sink +=
+          sparse::sparse_compare(sa, sb, bits::Comparison::kAnd).rows();
+      const auto s1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double>(s1 - s0).count();
+    });
+    if (sink == 0) {
+      std::printf("  (empty results?)\n");
+    }
+    const double dense_s = dense_stats.median;
+    const double sparse_s = sparse_stats.median;
     std::printf("  %8.1f%% | %s | %s | %s%s\n", 100.0 * d,
-                bench::fmt_time(dense_s).c_str(),
-                bench::fmt_time(sparse_s).c_str(),
+                bench::fmt_summary(dense_stats).c_str(),
+                bench::fmt_summary(sparse_stats).c_str(),
                 sparse_s < dense_s ? "sparse" : "dense",
                 agree ? "" : "  !! RESULTS DISAGREE");
+    csv.row(d, dense_stats, sparse_stats, agree ? 1 : 0);
+    json.row(d, dense_stats, sparse_stats, agree ? 1 : 0);
   }
   std::printf("\n  (Engines agree bit-for-bit at every density; sparse "
               "time scales with nnz\n   while dense time is flat. The CPU "

@@ -1,8 +1,16 @@
 // Shared formatting helpers for the reproduction benches. Each bench binary
 // regenerates one table or figure of the paper as aligned text, with the
 // paper's reported values alongside where applicable.
+//
+// Measurement discipline: every figure/ablation row carries a statistical
+// summary (median, ci_lo, ci_hi, reps) produced by obs::run_benchmark —
+// see src/obs/stats.hpp for the policy. Deterministic simulator estimates
+// converge at min_reps with a zero-width CI; real wall-clock sections get
+// genuine intervals. tools/bench_compare consumes these intervals to
+// separate regressions from noise.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -11,6 +19,9 @@
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "obs/envinfo.hpp"
+#include "obs/stats.hpp"
 
 namespace snp::bench {
 
@@ -35,10 +46,144 @@ inline std::string fmt_time(double seconds) {
   return buf;
 }
 
+/// "1.234 ms ±2.1%" — median with relative CI half-width, for the printed
+/// tables (the JSON carries the full interval).
+inline std::string fmt_summary(const obs::Summary& s) {
+  char buf[96];
+  const double pct = 100.0 * s.rel_ci_width();
+  if (pct >= 0.05) {
+    std::snprintf(buf, sizeof buf, "%s ±%.1f%%",
+                  fmt_time(s.median).c_str(), pct);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s", fmt_time(s.median).c_str());
+  }
+  return buf;
+}
+
+/// The repetition policy all benches share, tunable per run via env:
+///   SNP_BENCH_MIN_REPS / SNP_BENCH_MAX_REPS — repetition bounds
+///   SNP_BENCH_BUDGET_S                      — wall budget per measurement
+///   SNP_BENCH_TARGET_CI                     — target relative CI width
+inline obs::RepetitionPolicy bench_policy() {
+  obs::RepetitionPolicy p;
+  if (const char* v = std::getenv("SNP_BENCH_MIN_REPS")) {
+    p.min_reps = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+  }
+  if (const char* v = std::getenv("SNP_BENCH_MAX_REPS")) {
+    p.max_reps = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+  }
+  if (const char* v = std::getenv("SNP_BENCH_BUDGET_S")) {
+    p.time_budget_s = std::strtod(v, nullptr);
+  }
+  if (const char* v = std::getenv("SNP_BENCH_TARGET_CI")) {
+    p.target_rel_ci = std::strtod(v, nullptr);
+  }
+  return p;
+}
+
+/// Adaptive measurement of one quantity: repeats `fn` (returning one
+/// sample, usually seconds) under the shared policy and returns the robust
+/// summary. The workhorse behind every stats-carrying bench row.
+template <typename Fn>
+[[nodiscard]] obs::Summary measure(Fn&& fn,
+                                   const obs::RepetitionPolicy& policy =
+                                       bench_policy()) {
+  return obs::run_benchmark(std::function<double()>(std::forward<Fn>(fn)),
+                            policy);
+}
+
+/// Tag type: expands to the four statistics column names in header() and
+/// pairs with an obs::Summary cell in row(). Usage:
+///   w.header("n", bench::stats_cols("end_to_end_s"));
+///   w.row(n, summary);
+struct StatsCols {
+  std::string metric;
+};
+inline StatsCols stats_cols(std::string metric) {
+  return StatsCols{std::move(metric)};
+}
+
+namespace detail {
+
+/// One JSON-ready cell: numbers stay raw (non-finite becomes null so the
+/// document always parses), strings are escaped and quoted.
+template <typename T>
+std::string json_cell(const T& v) {
+  if constexpr (std::is_arithmetic_v<std::decay_t<T>>) {
+    if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+      if (!std::isfinite(static_cast<double>(v))) {
+        return "null";
+      }
+    }
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+  } else {
+    std::ostringstream raw;
+    raw << v;
+    return '"' + obs::json_escape(raw.str()) + '"';
+  }
+}
+
+/// Append a value's flattened cells: a Summary expands into its four
+/// statistics, everything else is one cell.
+inline void append_cells(std::vector<std::string>& out,
+                         const obs::Summary& s) {
+  out.push_back(json_cell(s.median));
+  out.push_back(json_cell(s.ci_lo));
+  out.push_back(json_cell(s.ci_hi));
+  out.push_back(json_cell(s.reps));
+}
+template <typename T>
+void append_cells(std::vector<std::string>& out, const T& v) {
+  out.push_back(json_cell(v));
+}
+
+/// Append a header token's key names: StatsCols expands into
+/// <metric>, <metric>_ci_lo, <metric>_ci_hi, <metric>_reps. The point
+/// estimate keeps the plain metric name so bench_compare and older
+/// consumers address it directly (it IS the median).
+inline void append_keys(std::vector<std::string>& out, const StatsCols& c) {
+  out.push_back(c.metric);
+  out.push_back(c.metric + "_ci_lo");
+  out.push_back(c.metric + "_ci_hi");
+  out.push_back(c.metric + "_reps");
+}
+inline void append_keys(std::vector<std::string>& out, const char* key) {
+  out.emplace_back(key);
+}
+inline void append_keys(std::vector<std::string>& out,
+                        const std::string& key) {
+  out.push_back(key);
+}
+
+/// CSV cells mirror the JSON flattening (Summary -> 4 columns) but keep
+/// plain formatting.
+inline void append_csv(std::ostringstream& line, bool& first,
+                       const obs::Summary& s) {
+  line << (first ? "" : ",") << s.median << ',' << s.ci_lo << ','
+       << s.ci_hi << ',' << s.reps;
+  first = false;
+}
+template <typename T>
+void append_csv(std::ostringstream& line, bool& first, const T& v) {
+  line << (first ? "" : ",") << v;
+  first = false;
+}
+inline void append_csv(std::ostringstream& line, bool& first,
+                       const StatsCols& c) {
+  line << (first ? "" : ",") << c.metric << ',' << c.metric << "_ci_lo,"
+       << c.metric << "_ci_hi," << c.metric << "_reps";
+  first = false;
+}
+
+}  // namespace detail
+
 /// Optional machine-readable output: when the SNP_BENCH_CSV environment
 /// variable names a directory, each figure bench also writes its series
 /// there as <name>.csv (header row first). Inactive otherwise — the
-/// printed tables remain the primary output.
+/// printed tables remain the primary output. Summary cells flatten to
+/// median,ci_lo,ci_hi,reps columns exactly as in the JSON.
 class CsvWriter {
  public:
   explicit CsvWriter(const std::string& name) {
@@ -59,7 +204,7 @@ class CsvWriter {
     }
     std::ostringstream line;
     bool first = true;
-    ((line << (first ? "" : ",") << cells, first = false), ...);
+    (detail::append_csv(line, first, cells), ...);
     os_ << line.str() << '\n';
   }
 
@@ -69,13 +214,16 @@ class CsvWriter {
 
 /// Machine-readable output #2: `--json <path>` on the bench command line
 /// writes the series as one JSON document
-///   {"bench": "<name>", "rows": [{"col": value, ...}, ...]}
+///   {"bench": "<name>",
+///    "primary": {"metric": "...", "lower_better": true},   (if declared)
+///    "rows": [{"col": value, ...}, ...]}
 /// (falling back to $SNP_BENCH_JSON/<name>.json when the flag is absent
 /// but that directory variable is set; inactive otherwise). Declare the
-/// column names once with header(), then emit row() with matching cells —
-/// numbers stay raw JSON numbers, everything else is quoted.
+/// column names once with header() — a stats_cols("m") token expands to
+/// m, m_ci_lo, m_ci_hi, m_reps and pairs with an obs::Summary cell in
+/// row(). Strings are JSON-escaped; non-finite numbers become null.
 /// tools/run_bench.sh drives the flag and aggregates the documents into a
-/// dated BENCH_<date>.json.
+/// dated BENCH_<date>.json consumed by tools/bench_compare.
 class JsonWriter {
  public:
   JsonWriter(std::string name, int argc, char** argv)
@@ -94,14 +242,18 @@ class JsonWriter {
       std::filesystem::create_directories(dir);
       path = (std::filesystem::path(dir) / (name_ + ".json")).string();
     }
-    os_.open(path);
-    if (os_.is_open()) {
-      os_ << "{\"bench\": \"" << name_ << "\", \"rows\": [";
-    }
+    open(path);
+  }
+
+  /// Direct-to-path variant (tests, ad-hoc tooling).
+  JsonWriter(std::string name, const std::string& path)
+      : name_(std::move(name)) {
+    open(path);
   }
 
   ~JsonWriter() {
     if (os_.is_open()) {
+      close_prologue();
       os_ << "\n]}\n";
     }
   }
@@ -110,9 +262,16 @@ class JsonWriter {
 
   [[nodiscard]] bool active() const { return os_.is_open(); }
 
+  /// Declares which metric the regression gate should judge this bench
+  /// by, and its direction. Must be called before the first row().
+  void set_primary(std::string metric, bool lower_better) {
+    primary_metric_ = std::move(metric);
+    primary_lower_better_ = lower_better;
+  }
+
   template <typename... Cells>
   void header(const Cells&... cells) {
-    (keys_.push_back(std::string(cells)), ...);
+    (detail::append_keys(keys_, cells), ...);
   }
 
   template <typename... Cells>
@@ -120,33 +279,50 @@ class JsonWriter {
     if (!active()) {
       return;
     }
-    const std::vector<std::string> vals{cell(cells)...};
+    close_prologue();
+    std::vector<std::string> vals;
+    (detail::append_cells(vals, cells), ...);
     os_ << (first_ ? "\n" : ",\n") << "  {";
     for (std::size_t i = 0; i < vals.size(); ++i) {
       const std::string key =
           i < keys_.size() ? keys_[i] : "col" + std::to_string(i);
-      os_ << (i > 0 ? ", " : "") << "\"" << key << "\": " << vals[i];
+      os_ << (i > 0 ? ", " : "") << "\"" << obs::json_escape(key)
+          << "\": " << vals[i];
     }
     os_ << "}";
     first_ = false;
   }
 
  private:
-  template <typename T>
-  static std::string cell(const T& v) {
-    std::ostringstream ss;
-    if constexpr (std::is_arithmetic_v<std::decay_t<T>>) {
-      ss << v;
-    } else {
-      ss << '"' << v << '"';
+  void open(const std::string& path) {
+    os_.open(path);
+    if (os_.is_open()) {
+      os_ << "{\"bench\": \"" << obs::json_escape(name_) << "\"";
     }
-    return ss.str();
+  }
+
+  /// The prologue (primary metadata + "rows": [) is deferred until the
+  /// first row so set_primary() can run after construction.
+  void close_prologue() {
+    if (prologue_done_ || !os_.is_open()) {
+      return;
+    }
+    if (!primary_metric_.empty()) {
+      os_ << ", \"primary\": {\"metric\": \""
+          << obs::json_escape(primary_metric_) << "\", \"lower_better\": "
+          << (primary_lower_better_ ? "true" : "false") << "}";
+    }
+    os_ << ", \"rows\": [";
+    prologue_done_ = true;
   }
 
   std::string name_;
+  std::string primary_metric_;
+  bool primary_lower_better_ = true;
   std::vector<std::string> keys_;
   std::ofstream os_;
   bool first_ = true;
+  bool prologue_done_ = false;
 };
 
 }  // namespace snp::bench

@@ -17,9 +17,12 @@ int main(int argc, char** argv) {
   using namespace snp;
   bench::title("FIGURE 5 -- LD kernel throughput vs #SNP strings");
   bench::CsvWriter csv("fig5_ld_kernel");
-  csv.row("device", "snp_strings", "gops", "pct_of_peak", "kernel_s");
+  csv.row("device", "snp_strings", "gops", "pct_of_peak",
+          bench::stats_cols("kernel_s"));
   bench::JsonWriter json("fig5_ld_kernel", argc, argv);
-  json.header("device", "snp_strings", "gops", "pct_of_peak", "kernel_s");
+  json.set_primary("kernel_s", /*lower_better=*/true);
+  json.header("device", "snp_strings", "gops", "pct_of_peak",
+              bench::stats_cols("kernel_s"));
 
   struct Case {
     const char* name;
@@ -48,21 +51,29 @@ int main(int argc, char** argv) {
                                    bits::ceil_div(s, 32)};
       const auto t =
           sim::estimate_kernel(dev, cfg, bits::Comparison::kAnd, shape);
+      const auto st = bench::measure([&] {
+        return sim::estimate_kernel(dev, cfg, bits::Comparison::kAnd, shape)
+            .seconds;
+      });
       std::printf("  %10zu | %12.1f | %9.1f%% | %s\n", s, t.gops,
-                  t.pct_of_peak, bench::fmt_time(t.seconds).c_str());
-      csv.row(dev.name, s, t.gops, t.pct_of_peak, t.seconds);
-      json.row(dev.name, s, t.gops, t.pct_of_peak, t.seconds);
+                  t.pct_of_peak, bench::fmt_summary(st).c_str());
+      csv.row(dev.name, s, t.gops, t.pct_of_peak, st);
+      json.row(dev.name, s, t.gops, t.pct_of_peak, st);
     }
     // The exact right-edge point the paper quotes.
     const sim::KernelShape edge{c.max_snps, c.max_snps,
                                 bits::ceil_div(c.max_strings, 32)};
     const auto t =
         sim::estimate_kernel(dev, cfg, bits::Comparison::kAnd, edge);
+    const auto st = bench::measure([&] {
+      return sim::estimate_kernel(dev, cfg, bits::Comparison::kAnd, edge)
+          .seconds;
+    });
     std::printf("  %10zu | %12.1f | %9.1f%% | %s   <-- paper: %.1f%%\n",
                 c.max_strings, t.gops, t.pct_of_peak,
-                bench::fmt_time(t.seconds).c_str(), c.paper_pct);
-    csv.row(dev.name, c.max_strings, t.gops, t.pct_of_peak, t.seconds);
-    json.row(dev.name, c.max_strings, t.gops, t.pct_of_peak, t.seconds);
+                bench::fmt_summary(st).c_str(), c.paper_pct);
+    csv.row(dev.name, c.max_strings, t.gops, t.pct_of_peak, st);
+    json.row(dev.name, c.max_strings, t.gops, t.pct_of_peak, st);
   }
   std::printf("\n");
   return 0;

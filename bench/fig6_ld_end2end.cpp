@@ -24,9 +24,12 @@ int main(int argc, char** argv) {
   ComputeOptions opts;
   opts.functional = false;
   bench::CsvWriter csv("fig6_ld_end2end");
-  csv.row("sequences", "device", "end_to_end_s", "cpu_model_s");
+  csv.row("sequences", "device", bench::stats_cols("end_to_end_s"),
+          "cpu_model_s");
   bench::JsonWriter json("fig6_ld_end2end", argc, argv);
-  json.header("sequences", "device", "end_to_end_s", "cpu_model_s");
+  json.set_primary("end_to_end_s", /*lower_better=*/true);
+  json.header("sequences", "device", bench::stats_cols("end_to_end_s"),
+              "cpu_model_s");
 
   std::printf("\n  %9s | %12s", "sequences", "Xeon (model)");
   for (const char* name : {"gtx980", "titanv", "vega64"}) {
@@ -42,12 +45,17 @@ int main(int argc, char** argv) {
       Context gpu = Context::gpu(name);
       const auto tg =
           gpu.estimate(kSnps, kSnps, seqs, bits::Comparison::kAnd, opts);
+      const auto st = bench::measure([&] {
+        return gpu.estimate(kSnps, kSnps, seqs, bits::Comparison::kAnd,
+                            opts)
+            .end_to_end_s;
+      });
       const double faster =
           100.0 * (tc.kernel_s / tg.end_to_end_s - 1.0);
       std::printf(" | %s (%+5.0f%%)",
                   bench::fmt_time(tg.end_to_end_s).c_str(), faster);
-      csv.row(seqs, name, tg.end_to_end_s, tc.kernel_s);
-      json.row(seqs, name, tg.end_to_end_s, tc.kernel_s);
+      csv.row(seqs, name, st, tc.kernel_s);
+      json.row(seqs, name, st, tc.kernel_s);
     }
     std::printf("\n");
   }

@@ -17,9 +17,12 @@ int main(int argc, char** argv) {
   bench::title("FIGURE 7 -- per-core performance vs #cores (relative to "
                "1 core)");
   bench::CsvWriter csv("fig7_scalability");
-  csv.row("device", "cores", "perf_per_core_pct", "mem_efficiency");
+  csv.row("device", "cores", bench::stats_cols("perf_per_core_pct"),
+          "mem_efficiency");
   bench::JsonWriter json("fig7_scalability", argc, argv);
-  json.header("device", "cores", "perf_per_core_pct", "mem_efficiency");
+  json.set_primary("perf_per_core_pct", /*lower_better=*/false);
+  json.header("device", "cores", bench::stats_cols("perf_per_core_pct"),
+              "mem_efficiency");
 
   for (const auto& dev : model::all_gpus()) {
     auto cfg = model::paper_preset(dev, model::WorkloadKind::kLd);
@@ -49,8 +52,12 @@ int main(int argc, char** argv) {
           n_cols, kw};
       const auto t =
           sim::estimate_kernel(dev, g, bits::Comparison::kAnd, s);
-      const double rel = 100.0 * t.wordops / t.seconds / cores / base_rate;
-      std::printf("  %6d | %11.1f%% | %9.3f\n", cores, rel,
+      const auto rel = bench::measure([&] {
+        const auto r = sim::estimate_kernel(dev, g, bits::Comparison::kAnd,
+                                            s);
+        return 100.0 * r.wordops / r.seconds / cores / base_rate;
+      });
+      std::printf("  %6d | %11.1f%% | %9.3f\n", cores, rel.median,
                   t.mem_efficiency);
       csv.row(dev.name, cores, rel, t.mem_efficiency);
       json.row(dev.name, cores, rel, t.mem_efficiency);

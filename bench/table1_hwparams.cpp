@@ -13,9 +13,17 @@
 #include "micro/microbench.hpp"
 #include "model/peak.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snp;
   bench::title("TABLE I -- platform parameters (spec + microbenchmarked)");
+
+  bench::CsvWriter csv("table1_hwparams");
+  csv.row("device", "instr", bench::stats_cols("cycles_per_instr"),
+          "lanes_per_cycle", "units_per_cluster");
+  bench::JsonWriter json("table1_hwparams", argc, argv);
+  json.set_primary("cycles_per_instr", /*lower_better=*/true);
+  json.header("device", "instr", bench::stats_cols("cycles_per_instr"),
+              "lanes_per_cycle", "units_per_cluster");
 
   const auto cpu = model::xeon_e5_2620v2();
   std::printf("\nCPU baseline: %s (%s), %.1f GHz x %d cores\n",
@@ -45,6 +53,7 @@ int main() {
                 "meas.chain", "lanes/cycle", "units/cluster");
     for (const auto& c : rep.instrs) {
       const auto cls = sim::instr_class(c.op);
+      const auto st = micro::measure_latency_stats(dev, c.op);
       std::printf("  %-6s | %7.2f    | %9.2f    | meas %5.1f (cfg %d, "
                   "L_fn %d)\n",
                   std::string(sim::to_string(c.op)).c_str(),
@@ -52,6 +61,10 @@ int main() {
                   c.inferred_units_per_cluster,
                   dev.pipe(cls).units_per_cluster,
                   dev.pipe(cls).latency_cycles);
+      csv.row(dev.name, std::string(sim::to_string(c.op)), st,
+              c.measured_lanes_per_cycle, c.inferred_units_per_cluster);
+      json.row(dev.name, std::string(sim::to_string(c.op)), st,
+               c.measured_lanes_per_cycle, c.inferred_units_per_cluster);
     }
     std::printf("  pipe discovery: POPC %s from INT math; ADD & AND %s a "
                 "pipe\n",

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <ostream>
@@ -37,16 +38,29 @@ namespace {
 class Options {
  public:
   Options(const std::vector<std::string>& args, std::size_t first) {
+    // Boolean flags take no value; everything else is `--key value`.
+    static const std::set<std::string> kBoolFlags = {"perf"};
     for (std::size_t i = first; i < args.size(); ++i) {
       const std::string& a = args[i];
       if (a.rfind("--", 0) != 0) {
         throw std::invalid_argument("expected --option, got '" + a + "'");
       }
+      const std::string key = a.substr(2);
+      if (kBoolFlags.count(key) != 0) {
+        values_[key] = "yes";
+        continue;
+      }
       if (i + 1 >= args.size()) {
         throw std::invalid_argument("missing value for '" + a + "'");
       }
-      values_[a.substr(2)] = args[++i];
+      values_[key] = args[++i];
     }
+  }
+
+  /// Presence of a boolean flag (declared in kBoolFlags above).
+  [[nodiscard]] bool flag(const std::string& key) {
+    used_.insert(key);
+    return values_.find(key) != values_.end();
   }
 
   [[nodiscard]] std::string str(const std::string& key,
@@ -116,17 +130,21 @@ class Options {
 };
 
 /// Shared `--metrics-out F` / `--trace-out F` / `--metrics-format
-/// json|prom` handling for the compute commands. Construct before
-/// reject_unknown() (parsing marks the flags used), call begin() before
-/// the work starts (arms the global TraceCollector and zeroes its epoch)
-/// and finish() after (writes the metrics snapshot and the merged Chrome
-/// trace).
+/// json|prom` / `--perf` handling for the compute commands. Construct
+/// before reject_unknown() (parsing marks the flags used), call begin()
+/// before the work starts (arms the global TraceCollector and zeroes its
+/// epoch; opens and starts the hardware counter group when --perf was
+/// given) and finish() after (prints the IPC/cache line, publishes the
+/// obs.hw.* counters, then writes the metrics snapshot and the merged
+/// Chrome trace). Counter failures never affect the computed results —
+/// an unavailable PMU degrades to a one-line note.
 class Telemetry {
  public:
   explicit Telemetry(Options& opt)
       : metrics_path_(opt.str("metrics-out", "")),
         trace_path_(opt.str("trace-out", "")),
-        format_(opt.str("metrics-format", "json")) {
+        format_(opt.str("metrics-format", "json")),
+        perf_(opt.flag("perf")) {
     if (format_ != "json" && format_ != "prom") {
       throw std::invalid_argument(
           "--metrics-format must be json or prom");
@@ -136,6 +154,10 @@ class Telemetry {
   [[nodiscard]] bool wants_trace() const { return !trace_path_.empty(); }
 
   void begin() const {
+    if (perf_) {
+      hw_ = std::make_unique<obs::HwCounters>();
+      hw_->start();
+    }
     if (wants_trace()) {
       obs::TraceCollector::global().set_enabled(true);
       obs::TraceCollector::global().begin_session();
@@ -148,6 +170,20 @@ class Telemetry {
   void finish(std::ostream& out, const sim::Timeline* tl,
               std::span<const sim::HostChunkEvent> chunks,
               const std::string& device) const {
+    if (hw_) {
+      hw_->stop();
+      const obs::HwCounterValues v = hw_->read();
+      if (v.valid) {
+        out << "perf:        " << v.to_line() << "\n";
+        // Into the registry before the snapshot below, so --metrics-out
+        // dumps carry the same numbers.
+        obs::HwCounters::publish(v, obs::MetricsRegistry::global());
+      } else {
+        out << "perf:        perf counters unavailable"
+            << (hw_->error().empty() ? "" : " (" + hw_->error() + ")")
+            << "\n";
+      }
+    }
     if (!metrics_path_.empty()) {
       std::ofstream os(metrics_path_);
       if (!os) {
@@ -182,6 +218,10 @@ class Telemetry {
   std::string metrics_path_;
   std::string trace_path_;
   std::string format_;
+  bool perf_ = false;
+  /// Owned lazily by the const begin()/finish() pair — the Telemetry
+  /// object itself stays logically const through the command body.
+  mutable std::unique_ptr<obs::HwCounters> hw_;
 };
 
 bits::Comparison parse_op(const std::string& s) {
@@ -243,6 +283,36 @@ int cmd_devices(std::ostream& out) {
         << dev.shared_bytes / 1024 << " KiB shared, "
         << static_cast<double>(dev.global_bytes) / (1 << 30)
         << " GiB global\n";
+  }
+  return 0;
+}
+
+/// `snpcmp env`: the benchmark-environment fingerprint (CPU model,
+/// cores, governor, compiler, git sha) plus perf-counter availability —
+/// the header tools/run_bench.sh embeds in every aggregated BENCH json
+/// so regressions can be told apart from hardware changes.
+int cmd_env(Options& opt, std::ostream& out) {
+  const std::string format = opt.str("format", "text");
+  opt.reject_unknown();
+  const obs::EnvInfo env = obs::collect_env_info();
+  const bool perf_ok = obs::HwCounters::available();
+  if (format == "json") {
+    obs::write_env_json(env, out);
+    out << "\n";
+  } else if (format == "text") {
+    out << "cpu:        " << env.cpu_model << "\n"
+        << "cores:      " << env.logical_cores << "\n"
+        << "governor:   " << env.governor << "\n"
+        << "compiler:   " << env.compiler << "\n"
+        << "git_sha:    " << env.git_sha << "\n"
+        << "hostname:   " << env.hostname << "\n"
+        << "kernel:     " << env.kernel << "\n"
+        << "perf:       "
+        << (perf_ok ? "hardware counters available"
+                    : "perf counters unavailable")
+        << "\n";
+  } else {
+    throw std::invalid_argument("--format must be json or text");
   }
   return 0;
 }
@@ -931,6 +1001,10 @@ std::string usage() {
 
 commands:
   devices                       list available (simulated) devices
+  env       [--format text|json]
+                                benchmark environment fingerprint (CPU,
+                                governor, compiler, git sha, perf-counter
+                                availability)
   gen       --out F             generate a genotype cohort
             [--loci N] [--samples N] [--seed S] [--ld-block N]
             [--maf-min X] [--maf-max X] [--format plink|vcf|tsv]
@@ -980,6 +1054,10 @@ telemetry flags (ld, search, mixture, estimate):
   --trace-out F.json            merged Perfetto/chrome://tracing trace:
                                 host spans + chunk pipeline + simulated
                                 device timeline in one file
+  --perf                        wrap the run in hardware perf counters
+                                (Linux perf_event_open) and print IPC and
+                                cache/branch miss rates; degrades to a
+                                note where counters are unavailable
 
 devices: cpu, gtx980, titanv, vega64
 )";
@@ -997,6 +1075,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return cmd_devices(out);
     }
     Options opt(args, 1);
+    if (cmd == "env") {
+      return cmd_env(opt, out);
+    }
     if (cmd == "gen") {
       return cmd_gen(opt, out);
     }

@@ -37,6 +37,22 @@ LatencyResult measure_latency(const model::GpuSpec& dev, sim::Opcode op,
   return r;
 }
 
+obs::Summary measure_latency_stats(const model::GpuSpec& dev,
+                                   sim::Opcode op, int chain_len,
+                                   const obs::RepetitionPolicy& policy) {
+  // Vary the loop trip count across repetitions: each reading amortizes
+  // the fixed prologue/loop overhead differently, giving the summary a
+  // real spread around the asymptotic chain latency.
+  std::size_t k = 0;
+  return obs::run_benchmark(
+      [&] {
+        const std::uint64_t iterations = 192 + 16 * (k++ % 9);
+        return measure_latency(dev, op, chain_len, iterations)
+            .cycles_per_instr;
+      },
+      policy);
+}
+
 std::vector<ThroughputPoint> throughput_sweep(const model::GpuSpec& dev,
                                               sim::Opcode op,
                                               int max_groups) {

@@ -19,6 +19,7 @@
 
 #include "bits/compare.hpp"
 #include "model/device.hpp"
+#include "obs/stats.hpp"
 #include "sim/isa.hpp"
 #include "sim/pipeline.hpp"
 
@@ -38,6 +39,16 @@ struct LatencyResult {
                                             sim::Opcode op,
                                             int chain_len = 64,
                                             std::uint64_t iterations = 256);
+
+/// Statistical variant of measure_latency: repeats the dependent-chain
+/// measurement with varying loop iteration counts, so the amortization of
+/// prologue and loop overhead produces a genuine distribution of
+/// cycles-per-instruction readings, and summarizes them under `policy`
+/// (median, MAD, bootstrap CI — see obs/stats.hpp). The median converges
+/// on the same value measure_latency reports with long chains.
+[[nodiscard]] obs::Summary measure_latency_stats(
+    const model::GpuSpec& dev, sim::Opcode op, int chain_len = 64,
+    const obs::RepetitionPolicy& policy = {});
 
 struct ThroughputPoint {
   int n_groups = 0;

@@ -1,0 +1,166 @@
+#include "obs/envinfo.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+namespace snp::obs {
+
+namespace {
+
+std::string trim(std::string s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) {
+    return {};
+  }
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+std::string first_line_of(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) {
+    return {};
+  }
+  return trim(line);
+}
+
+std::string cpu_model_name() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (in && std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        return trim(line.substr(colon + 1));
+      }
+    }
+  }
+  return {};
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#elif defined(_MSC_VER)
+  return "msvc";
+#else
+  return "unknown";
+#endif
+}
+
+std::string git_sha_of_cwd() {
+  if (const char* env = std::getenv("SNPCMP_GIT_SHA");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) {
+    return {};
+  }
+  char buf[128] = {};
+  std::string out;
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) {
+    out += buf;
+  }
+  ::pclose(pipe);
+  return trim(out);
+#else
+  return {};
+#endif
+}
+
+std::string or_unknown(std::string s) {
+  return s.empty() ? std::string("unknown") : s;
+}
+
+}  // namespace
+
+EnvInfo collect_env_info() {
+  EnvInfo env;
+  env.cpu_model = or_unknown(cpu_model_name());
+  env.logical_cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  env.governor = or_unknown(first_line_of(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"));
+  env.compiler = compiler_id();
+  env.git_sha = or_unknown(git_sha_of_cwd());
+#if defined(__unix__) || defined(__APPLE__)
+  char host[256] = {};
+  if (::gethostname(host, sizeof host - 1) == 0) {
+    env.hostname = host;
+  }
+  utsname uts{};
+  if (::uname(&uts) == 0) {
+    env.kernel = std::string(uts.sysname) + " " + uts.release;
+  }
+#endif
+  env.hostname = or_unknown(std::move(env.hostname));
+  env.kernel = or_unknown(std::move(env.kernel));
+  return env;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(
+                            static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_env_json(const EnvInfo& env, std::ostream& os) {
+  os << "{\"cpu_model\": \"" << json_escape(env.cpu_model)
+     << "\", \"logical_cores\": " << env.logical_cores
+     << ", \"governor\": \"" << json_escape(env.governor)
+     << "\", \"compiler\": \"" << json_escape(env.compiler)
+     << "\", \"git_sha\": \"" << json_escape(env.git_sha)
+     << "\", \"hostname\": \"" << json_escape(env.hostname)
+     << "\", \"kernel\": \"" << json_escape(env.kernel) << "\"}";
+}
+
+}  // namespace snp::obs

@@ -1,0 +1,39 @@
+// snp::obs — execution-environment capture for measurement provenance.
+//
+// A benchmark number without its environment is not reproducible: the
+// CPU model, core count, frequency governor, compiler, and source
+// revision all move the result. This module captures that header once
+// per run; tools/run_bench.sh embeds it in the aggregated BENCH_*.json
+// and write_metrics_json attaches it to every metrics snapshot, so any
+// two documents fed to tools/bench_compare carry enough context to judge
+// whether a delta is a code change or a machine change.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace snp::obs {
+
+struct EnvInfo {
+  std::string cpu_model;    ///< /proc/cpuinfo "model name" (or "unknown")
+  int logical_cores = 0;    ///< std::thread::hardware_concurrency
+  std::string governor;     ///< cpu0 scaling_governor ("unknown" if none)
+  std::string compiler;     ///< compiler id + __VERSION__
+  std::string git_sha;      ///< $SNPCMP_GIT_SHA, else `git rev-parse`
+  std::string hostname;
+  std::string kernel;       ///< uname sysname + release
+};
+
+/// Gathers everything above. Never throws; fields degrade to "unknown"
+/// (or 0) when a source is unavailable, e.g. in containers.
+[[nodiscard]] EnvInfo collect_env_info();
+
+/// `{"cpu_model": "...", "logical_cores": N, ...}` — one flat object.
+void write_env_json(const EnvInfo& env, std::ostream& os);
+
+/// Minimal JSON string escaping (backslash, quote, control chars) shared
+/// by every JSON emitter that handles uncontrolled strings.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace snp::obs

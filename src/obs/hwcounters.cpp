@@ -1,0 +1,252 @@
+#include "obs/hwcounters.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace snp::obs {
+
+double HwCounterValues::ipc() const {
+  if (!valid || !has_instructions || cycles == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(instructions) / static_cast<double>(cycles);
+}
+
+double HwCounterValues::cache_miss_pct() const {
+  if (!valid || !has_cache || cache_refs == 0) {
+    return 0.0;
+  }
+  return 100.0 * static_cast<double>(cache_misses) /
+         static_cast<double>(cache_refs);
+}
+
+double HwCounterValues::branch_miss_per_kinstr() const {
+  if (!valid || !has_branch || !has_instructions || instructions == 0) {
+    return 0.0;
+  }
+  return 1000.0 * static_cast<double>(branch_misses) /
+         static_cast<double>(instructions);
+}
+
+std::string HwCounterValues::to_line() const {
+  if (!valid) {
+    return "perf counters unavailable";
+  }
+  char buf[256];
+  std::string line;
+  std::snprintf(buf, sizeof buf, "%.3g cycles", static_cast<double>(cycles));
+  line += buf;
+  if (has_instructions) {
+    std::snprintf(buf, sizeof buf, " | ipc %.2f", ipc());
+    line += buf;
+  }
+  if (has_cache) {
+    std::snprintf(buf, sizeof buf, " | cache-miss %.1f%% of %.3g refs",
+                  cache_miss_pct(), static_cast<double>(cache_refs));
+    line += buf;
+  }
+  if (has_branch && has_instructions) {
+    std::snprintf(buf, sizeof buf, " | branch-miss %.2f/kinstr",
+                  branch_miss_per_kinstr());
+    line += buf;
+  }
+  if (scale > 1.001) {
+    std::snprintf(buf, sizeof buf, " (multiplexed x%.2f)", scale);
+    line += buf;
+  }
+  return line;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1U : 0U;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                     PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1,
+                                  group_fd, 0));
+}
+
+std::uint64_t event_id(int fd) {
+  std::uint64_t id = 0;
+  if (ioctl(fd, PERF_EVENT_IOC_ID, &id) != 0) {
+    return 0;
+  }
+  return id;
+}
+
+}  // namespace
+
+HwCounters::HwCounters() {
+  leader_fd_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader_fd_ < 0) {
+    error_ = std::string("perf_event_open: ") + std::strerror(errno);
+    return;
+  }
+  leader_id_ = event_id(leader_fd_);
+  const struct {
+    std::uint64_t config;
+    std::uint64_t HwCounterValues::*field;
+  } wanted[] = {
+      {PERF_COUNT_HW_INSTRUCTIONS, &HwCounterValues::instructions},
+      {PERF_COUNT_HW_CACHE_REFERENCES, &HwCounterValues::cache_refs},
+      {PERF_COUNT_HW_CACHE_MISSES, &HwCounterValues::cache_misses},
+      {PERF_COUNT_HW_BRANCH_MISSES, &HwCounterValues::branch_misses},
+  };
+  for (const auto& w : wanted) {
+    const int fd = perf_open(PERF_TYPE_HARDWARE, w.config, leader_fd_);
+    if (fd < 0) {
+      continue;  // member individually unsupported; group stays usable
+    }
+    Member m;
+    m.fd = fd;
+    m.id = event_id(fd);
+    m.field = w.field;
+    members_.push_back(m);
+  }
+}
+
+HwCounters::~HwCounters() {
+  for (const auto& m : members_) {
+    close(m.fd);
+  }
+  if (leader_fd_ >= 0) {
+    close(leader_fd_);
+  }
+}
+
+void HwCounters::start() {
+  if (!ok()) {
+    return;
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void HwCounters::stop() {
+  if (!ok()) {
+    return;
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+HwCounterValues HwCounters::read() const {
+  HwCounterValues v;
+  if (!ok()) {
+    return v;
+  }
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+  // {value, id} x nr.
+  constexpr std::size_t kMaxEvents = 8;
+  std::uint64_t buf[3 + 2 * kMaxEvents] = {};
+  const ssize_t got = ::read(leader_fd_, buf, sizeof buf);
+  if (got < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) {
+    return v;
+  }
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t time_enabled = buf[1];
+  const std::uint64_t time_running = buf[2];
+  if (nr > kMaxEvents || time_running == 0) {
+    return v;  // group never scheduled onto the PMU
+  }
+  v.scale = time_running > 0
+                ? static_cast<double>(time_enabled) /
+                      static_cast<double>(time_running)
+                : 1.0;
+  for (std::uint64_t i = 0; i < nr; ++i) {
+    const std::uint64_t value = buf[3 + 2 * i];
+    const std::uint64_t id = buf[3 + 2 * i + 1];
+    const auto scaled = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(value) * v.scale));
+    if (id == leader_id_) {
+      v.cycles = scaled;
+      continue;
+    }
+    for (const auto& m : members_) {
+      if (m.id == id) {
+        v.*(m.field) = scaled;
+        if (m.field == &HwCounterValues::instructions) {
+          v.has_instructions = true;
+        } else if (m.field == &HwCounterValues::cache_refs ||
+                   m.field == &HwCounterValues::cache_misses) {
+          v.has_cache = true;
+        } else if (m.field == &HwCounterValues::branch_misses) {
+          v.has_branch = true;
+        }
+        break;
+      }
+    }
+  }
+  v.valid = true;
+  return v;
+}
+
+#else  // !__linux__: every operation is a documented no-op.
+
+HwCounters::HwCounters() { error_ = "not supported on this platform"; }
+HwCounters::~HwCounters() = default;
+void HwCounters::start() {}
+void HwCounters::stop() {}
+HwCounterValues HwCounters::read() const { return {}; }
+
+#endif  // __linux__
+
+bool HwCounters::available() {
+  static const bool cached = [] {
+    const HwCounters probe;
+    return probe.ok();
+  }();
+  return cached;
+}
+
+void HwCounters::publish(const HwCounterValues& v, MetricsRegistry& reg) {
+  if (!v.valid) {
+    return;
+  }
+  reg.counter("obs.hw.cycles").add(v.cycles);
+  if (v.has_instructions) {
+    reg.counter("obs.hw.instructions").add(v.instructions);
+  }
+  if (v.has_cache) {
+    reg.counter("obs.hw.cache_refs").add(v.cache_refs);
+    reg.counter("obs.hw.cache_misses").add(v.cache_misses);
+  }
+  if (v.has_branch) {
+    reg.counter("obs.hw.branch_misses").add(v.branch_misses);
+  }
+}
+
+HwCounterSpan::HwCounterSpan(std::string name)
+    : span_(std::move(name)) {
+  counters_.start();
+}
+
+HwCounterSpan::~HwCounterSpan() {
+  counters_.stop();
+  HwCounters::publish(counters_.read(), MetricsRegistry::global());
+}
+
+HwCounterValues HwCounterSpan::sample() const { return counters_.read(); }
+
+}  // namespace snp::obs

@@ -1,0 +1,126 @@
+// snp::obs — Linux hardware performance counters via perf_event_open.
+//
+// The roofline line in every instrumented run says how close we got to
+// the model's ceiling; hardware counters say WHY. One HwCounters object
+// owns a perf event group — cycles (leader), instructions, cache
+// references/misses, branch misses — read atomically in a single grouped
+// read so the derived rates (IPC, miss ratios) are internally consistent.
+//
+// Availability is a runtime property, not a build option: containers,
+// locked-down kernels (perf_event_paranoid), and non-Linux hosts all
+// land on the same graceful path — ok() is false, reads return invalid
+// values, and to_line() says "perf counters unavailable" instead of
+// lying with zeros. Results of the measured computation are never
+// affected either way.
+//
+// Attachment points:
+//  - CLI `--perf`: counts across the whole compute command, printed next
+//    to the roofline line and published into the MetricsRegistry (the
+//    obs.hw.* counters) so --metrics-out dumps include them.
+//  - HwCounterSpan: RAII — a Span plus counters over the same scope,
+//    published on destruction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace snp::obs {
+
+class MetricsRegistry;
+
+/// One consistent grouped read. Absent counters (PMU slot exhausted, or
+/// the specific event unsupported) read as 0 with the matching has_*
+/// flag false; `valid` is false when the whole group is unavailable.
+struct HwCounterValues {
+  bool valid = false;
+  double scale = 1.0;  ///< time_enabled/time_running multiplexing factor
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_refs = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  bool has_instructions = false;
+  bool has_cache = false;
+  bool has_branch = false;
+
+  /// Instructions per cycle (0 when unavailable).
+  [[nodiscard]] double ipc() const;
+  /// cache_misses / cache_refs in percent (0 when unavailable).
+  [[nodiscard]] double cache_miss_pct() const;
+  /// branch_misses per 1000 instructions (0 when unavailable).
+  [[nodiscard]] double branch_miss_per_kinstr() const;
+  /// "ipc 1.23 | cache-miss 4.5% of 12.3M refs | branch-miss 0.8/kinstr"
+  /// or "perf counters unavailable (<reason>)".
+  [[nodiscard]] std::string to_line() const;
+};
+
+/// RAII owner of the perf event group. Construction opens the group
+/// disabled; start()/stop() toggle counting; read() performs one grouped
+/// read. All operations are safe no-ops when ok() is false.
+class HwCounters {
+ public:
+  HwCounters();
+  ~HwCounters();
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  /// True when the leader (cycles) opened; member counters may still be
+  /// individually absent.
+  [[nodiscard]] bool ok() const { return leader_fd_ >= 0; }
+  /// Human-readable reason when ok() is false ("perf_event_open:
+  /// Permission denied", "not supported on this platform", ...).
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Zeroes and enables the group.
+  void start();
+  /// Disables the group (values retained for read()).
+  void stop();
+  /// One grouped read of every member; invalid when !ok() or the group
+  /// was never scheduled onto the PMU.
+  [[nodiscard]] HwCounterValues read() const;
+
+  /// Cheap process-wide probe: does opening a cycles counter work at
+  /// all? Computed once, cached.
+  [[nodiscard]] static bool available();
+
+  /// Publishes `v` into `reg` as obs.hw.* counters (cycles,
+  /// instructions, cache_refs, cache_misses, branch_misses). No-op for
+  /// invalid values.
+  static void publish(const HwCounterValues& v, MetricsRegistry& reg);
+
+ private:
+  struct Member {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::uint64_t HwCounterValues::*field = nullptr;
+  };
+  int leader_fd_ = -1;
+  std::uint64_t leader_id_ = 0;
+  std::vector<Member> members_;
+  std::string error_;
+};
+
+/// Span + counters over one scope: counts start at construction and are
+/// published to MetricsRegistry::global() at destruction, alongside the
+/// span's trace slice. Opt-in (constructing a perf group is a few
+/// syscalls) — hot paths should keep using SNP_OBS_SPAN.
+class HwCounterSpan {
+ public:
+  explicit HwCounterSpan(std::string name);
+  ~HwCounterSpan();
+  HwCounterSpan(const HwCounterSpan&) = delete;
+  HwCounterSpan& operator=(const HwCounterSpan&) = delete;
+
+  /// The most recent read (populated at destruction; valid earlier only
+  /// via explicit sample()).
+  [[nodiscard]] HwCounterValues sample() const;
+
+ private:
+  Span span_;
+  HwCounters counters_;
+};
+
+}  // namespace snp::obs

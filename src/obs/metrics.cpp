@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include "obs/envinfo.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -171,7 +173,9 @@ std::string prom_name(const std::string& name) {
 }  // namespace
 
 void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os) {
-  os << "{\n  \"counters\": ";
+  os << "{\n  \"env\": ";
+  write_env_json(collect_env_info(), os);
+  os << ",\n  \"counters\": ";
   json_number_map(os, snap.counters);
   os << ",\n  \"gauges\": ";
   json_number_map(os, snap.gauges);

@@ -20,9 +20,12 @@
 // lock is taken once per call site, not per call.
 #pragma once
 
+#include "obs/envinfo.hpp"
+#include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 #include "obs/span.hpp"
+#include "obs/stats.hpp"
 
 // CMake defines SNPCMP_OBS_ENABLED=0/1 from option(SNPCMP_OBS).
 // Standalone inclusion (no build-system definition) defaults to on.

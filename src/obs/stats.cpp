@@ -1,0 +1,297 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace snp::obs {
+
+namespace {
+
+/// sigma-consistency factor for the MAD under normality.
+constexpr double kMadScale = 1.4826;
+
+/// splitmix64: deterministic, seedable, good enough for bootstrap
+/// resampling indices.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Acklam's rational approximation of the standard normal quantile
+/// (|error| < 1.15e-9 over (0, 1)).
+double normal_quantile(double p) {
+  constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                          -2.759285104469687e+02, 1.383577518672690e+02,
+                          -3.066479806614716e+01, 2.506628277459239e+00};
+  constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                          -1.556989798598866e+02, 6.680131188771972e+01,
+                          -1.328068155288572e+01};
+  constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                          -2.400758277161838e+00, -2.549732539343734e+00,
+                          4.374664141464968e+00,  2.938163982698783e+00};
+  constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                          2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p <= 0.0 || p >= 1.0) {
+    return 0.0;  // callers clamp; keep this total
+  }
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+/// Quantile of an already-sorted vector (linear interpolation).
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double pos =
+      q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double Summary::rel_ci_width() const {
+  const double denom = std::abs(median);
+  if (denom <= 0.0 || reps == 0) {
+    return 0.0;
+  }
+  return (ci_hi - ci_lo) / (2.0 * denom);
+}
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double upper = v[mid];
+  if (v.size() % 2 == 1) {
+    return upper;
+  }
+  const double lower =
+      *std::max_element(v.begin(),
+                        v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+double mad_of(std::span<const double> v, double center) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::vector<double> dev(v.size());
+  std::transform(v.begin(), v.end(), dev.begin(),
+                 [center](double x) { return std::abs(x - center); });
+  return kMadScale * median_of(std::move(dev));
+}
+
+std::size_t warmup_cutoff(std::span<const double> samples, double mads) {
+  if (samples.size() < 8) {
+    return 0;
+  }
+  // Steady-state reference: the second half of the series, which by
+  // construction excludes any initial transient of bounded length.
+  const std::size_t half = samples.size() / 2;
+  const std::vector<double> tail(samples.begin() +
+                                     static_cast<std::ptrdiff_t>(half),
+                                 samples.end());
+  const double med = median_of(tail);
+  double spread = mad_of(std::span<const double>(tail), med);
+  // Degenerate tail (all equal): allow a sliver of relative tolerance so
+  // deterministic series never flag warmup.
+  if (spread <= 0.0) {
+    spread = 1e-9 * std::max(std::abs(med), 1e-300);
+  }
+  std::size_t cut = 0;
+  while (cut < half && samples[cut] - med > mads * spread) {
+    ++cut;
+  }
+  return cut;
+}
+
+std::vector<double> reject_outliers(std::span<const double> samples,
+                                    double mads, std::size_t* n_rejected) {
+  std::vector<double> kept;
+  kept.reserve(samples.size());
+  const double med =
+      median_of(std::vector<double>(samples.begin(), samples.end()));
+  const double spread = mad_of(samples, med);
+  if (spread <= 0.0) {
+    kept.assign(samples.begin(), samples.end());
+    if (n_rejected != nullptr) {
+      *n_rejected = 0;
+    }
+    return kept;
+  }
+  for (const double x : samples) {
+    if (std::abs(x - med) <= mads * spread) {
+      kept.push_back(x);
+    }
+  }
+  if (n_rejected != nullptr) {
+    *n_rejected = samples.size() - kept.size();
+  }
+  return kept;
+}
+
+double t_critical(double confidence, std::size_t df) {
+  if (df == 0) {
+    return 0.0;
+  }
+  const double c = std::clamp(confidence, 0.5, 0.9999);
+  const double p = 1.0 - (1.0 - c) / 2.0;  // one-sided tail point
+  if (df == 1) {
+    return std::tan(3.14159265358979323846 * (p - 0.5));
+  }
+  if (df == 2) {
+    const double a = 2.0 * p - 1.0;
+    return a * std::sqrt(2.0 / (1.0 - a * a));
+  }
+  // Cornish-Fisher expansion around the normal quantile; good to ~1e-3
+  // for df >= 3.
+  const double z = normal_quantile(p);
+  const double v = static_cast<double>(df);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  return z + (z3 + z) / (4.0 * v) +
+         (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * v * v) +
+         (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) /
+             (384.0 * v * v * v);
+}
+
+Summary summarize(std::span<const double> samples,
+                  const RepetitionPolicy& policy) {
+  Summary s;
+  s.samples = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+
+  const std::size_t cut = warmup_cutoff(samples, policy.outlier_mads);
+  s.warmup_dropped = cut;
+  const auto steady = samples.subspan(cut);
+
+  const std::vector<double> kept =
+      reject_outliers(steady, policy.outlier_mads, &s.outliers_dropped);
+  s.reps = kept.size();
+  if (kept.empty()) {
+    return s;
+  }
+
+  const auto [mn, mx] = std::minmax_element(kept.begin(), kept.end());
+  s.min = *mn;
+  s.max = *mx;
+  s.mean = std::accumulate(kept.begin(), kept.end(), 0.0) /
+           static_cast<double>(kept.size());
+  if (kept.size() > 1) {
+    double ss = 0.0;
+    for (const double x : kept) {
+      ss += (x - s.mean) * (x - s.mean);
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(kept.size() - 1));
+    s.mean_ci_halfwidth =
+        t_critical(policy.confidence, kept.size() - 1) * s.stddev /
+        std::sqrt(static_cast<double>(kept.size()));
+  }
+  s.median = median_of(kept);
+  s.mad = mad_of(std::span<const double>(kept), s.median);
+
+  // Percentile bootstrap on the median. Deterministic by construction:
+  // fixed seed, fixed resample count, fixed sample order.
+  if (policy.bootstrap_resamples == 0 || kept.size() == 1 ||
+      s.mad <= 0.0) {
+    // Degenerate spread (or bootstrap disabled): the median is the
+    // interval. With outliers already rejected this is the honest answer
+    // for deterministic measurements.
+    s.ci_lo = s.median;
+    s.ci_hi = s.median;
+    if (policy.bootstrap_resamples == 0 && s.mad > 0.0) {
+      // No bootstrap requested but real spread: fall back to the t-CI
+      // shape centered on the median.
+      s.ci_lo = s.median - s.mean_ci_halfwidth;
+      s.ci_hi = s.median + s.mean_ci_halfwidth;
+    }
+    return s;
+  }
+  std::uint64_t rng = policy.seed;
+  std::vector<double> medians;
+  medians.reserve(policy.bootstrap_resamples);
+  std::vector<double> resample(kept.size());
+  for (std::size_t b = 0; b < policy.bootstrap_resamples; ++b) {
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      resample[i] = kept[splitmix64(rng) % kept.size()];
+    }
+    medians.push_back(median_of(resample));
+  }
+  std::sort(medians.begin(), medians.end());
+  const double alpha = (1.0 - policy.confidence) / 2.0;
+  s.ci_lo = sorted_quantile(medians, alpha);
+  s.ci_hi = sorted_quantile(medians, 1.0 - alpha);
+  return s;
+}
+
+Summary run_benchmark(const std::function<double()>& sample_fn,
+                      const RepetitionPolicy& policy) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  const std::size_t floor_reps = std::max<std::size_t>(
+      1, std::min<std::size_t>(3, policy.min_reps));
+  std::vector<double> samples;
+  samples.reserve(policy.min_reps);
+  while (true) {
+    samples.push_back(sample_fn());
+    if (samples.size() < floor_reps) {
+      continue;
+    }
+    if (samples.size() < policy.min_reps) {
+      // Below min_reps only a badly blown budget stops the loop (a
+      // single sample costing multiples of the budget).
+      if (elapsed() > 4.0 * policy.time_budget_s) {
+        break;
+      }
+      continue;
+    }
+    const Summary s = summarize(samples, policy);
+    if (s.reps > 0 && s.rel_ci_width() <= policy.target_rel_ci) {
+      break;
+    }
+    if (samples.size() >= policy.max_reps ||
+        elapsed() >= policy.time_budget_s) {
+      break;
+    }
+  }
+  return summarize(samples, policy);
+}
+
+}  // namespace snp::obs

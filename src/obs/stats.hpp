@@ -1,0 +1,119 @@
+// snp::obs — statistically rigorous benchmark measurement.
+//
+// The paper's third contribution is a measurement methodology: hidden
+// hardware parameters are recovered from repeated microbenchmark runs, not
+// single-shot timings. This module gives every bench binary in the repo
+// the same discipline — a sample vector becomes a robust Summary (median,
+// MAD, outlier count, confidence interval) and a measurement loop becomes
+// an adaptive repetition: run until the relative CI width hits a target or
+// a time budget expires.
+//
+// Design choices, stated once:
+//  - The central estimate is the MEDIAN, not the mean: timing noise is
+//    one-sided (preemption, frequency ramps, cache pollution only ever
+//    make a run slower), so the median tracks the undisturbed run.
+//  - Spread is the MAD (median absolute deviation), scaled by 1.4826 to
+//    be sigma-consistent under normality; outliers are samples more than
+//    `outlier_mads` scaled MADs from the median (Iglewicz-Hoaglin).
+//  - The reported CI is a percentile bootstrap on the median with a
+//    deterministic RNG (same samples -> same interval, so test runs and
+//    regression gates are reproducible). A t-based CI on the mean is also
+//    computed for reference.
+//  - Warmup (cold caches, lazy allocation, JIT-like first-touch effects)
+//    is detected, not configured: leading samples that sit far above the
+//    steady-state median are dropped before summarizing.
+//
+// Everything here is pure arithmetic over std types; no clocks except in
+// run_benchmark's budget accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace snp::obs {
+
+/// When to stop repeating a measurement. The loop runs at least
+/// `min_reps` samples (hard floor 1), then continues until the relative
+/// CI width reaches `target_rel_ci`, the wall budget `time_budget_s` is
+/// spent, or `max_reps` is hit — whichever comes first.
+struct RepetitionPolicy {
+  std::size_t min_reps = 5;
+  std::size_t max_reps = 200;
+  double time_budget_s = 1.0;   ///< wall budget for the whole loop
+  double target_rel_ci = 0.05;  ///< stop when rel. CI half-width <= this
+  double confidence = 0.95;     ///< 0.95 or 0.99 (CI coverage)
+  double outlier_mads = 3.5;    ///< scaled-MAD multiple for rejection
+  std::size_t bootstrap_resamples = 200;  ///< 0 disables the bootstrap
+  std::uint64_t seed = 0x5eedU;           ///< bootstrap RNG seed
+};
+
+/// Robust summary of one measurement's samples. `reps` is the number of
+/// samples the estimates are computed from (after warmup and outlier
+/// removal); `samples` is the raw count collected.
+struct Summary {
+  std::size_t samples = 0;
+  std::size_t reps = 0;
+  std::size_t warmup_dropped = 0;
+  std::size_t outliers_dropped = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double median = 0.0;
+  double mad = 0.0;  ///< scaled MAD (1.4826 x raw MAD)
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;               ///< bootstrap CI on the median
+  double mean_ci_halfwidth = 0.0;   ///< t-based CI half-width on the mean
+
+  /// (ci_hi - ci_lo) / (2 |median|); 0 for a degenerate or empty summary.
+  [[nodiscard]] double rel_ci_width() const;
+  /// True when the two medians' confidence intervals overlap — i.e. the
+  /// difference is not resolvable above the measured noise.
+  [[nodiscard]] bool ci_overlaps(const Summary& other) const {
+    return ci_lo <= other.ci_hi && other.ci_lo <= ci_hi;
+  }
+};
+
+/// Median (by copy; O(n) nth_element). 0 for an empty vector.
+[[nodiscard]] double median_of(std::vector<double> v);
+
+/// Scaled median absolute deviation around `center` (1.4826 x raw MAD).
+[[nodiscard]] double mad_of(std::span<const double> v, double center);
+
+/// Index of the first steady-state sample: leading samples more than
+/// `mads` scaled MADs above the median of the second half are treated as
+/// warmup. At most half the samples are ever dropped; returns 0 when the
+/// series starts steady (or is too short to judge, < 8 samples).
+[[nodiscard]] std::size_t warmup_cutoff(std::span<const double> samples,
+                                        double mads = 3.5);
+
+/// Samples within `mads` scaled MADs of the median. Deterministic: the
+/// same input always keeps the same subset, in input order. A zero MAD
+/// (over half the samples identical) rejects nothing. `n_rejected`
+/// (optional) receives the number removed.
+[[nodiscard]] std::vector<double> reject_outliers(
+    std::span<const double> samples, double mads,
+    std::size_t* n_rejected = nullptr);
+
+/// Two-sided Student-t critical value for `confidence` coverage at `df`
+/// degrees of freedom (exact for df 1-2, Cornish-Fisher beyond; ~1e-3
+/// accurate, plenty for stopping rules).
+[[nodiscard]] double t_critical(double confidence, std::size_t df);
+
+/// Full summary of a sample vector: warmup removal, outlier rejection,
+/// robust location/spread, bootstrap CI on the median (deterministic via
+/// policy.seed), t-CI on the mean.
+[[nodiscard]] Summary summarize(std::span<const double> samples,
+                                const RepetitionPolicy& policy = {});
+
+/// Adaptive repetition driver: calls `sample_fn` (returning one
+/// measurement, e.g. seconds) until the policy says stop, then returns
+/// the summary of everything collected. Deterministic sample functions
+/// (the cycle simulator) converge at `min_reps` with a zero-width CI.
+[[nodiscard]] Summary run_benchmark(const std::function<double()>& sample_fn,
+                                    const RepetitionPolicy& policy = {});
+
+}  // namespace snp::obs

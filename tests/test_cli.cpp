@@ -147,6 +147,51 @@ TEST(Cli, EstimateCommand) {
   EXPECT_NE(cpu.out.find("Xeon"), std::string::npos);
 }
 
+TEST(Cli, EnvCommand) {
+  const auto text = run_cli({"env"});
+  ASSERT_EQ(text.code, 0) << text.err;
+  EXPECT_NE(text.out.find("cpu:"), std::string::npos);
+  EXPECT_NE(text.out.find("compiler:"), std::string::npos);
+  EXPECT_NE(text.out.find("perf:"), std::string::npos);
+  const auto json = run_cli({"env", "--format", "json"});
+  ASSERT_EQ(json.code, 0) << json.err;
+  EXPECT_EQ(json.out.front(), '{');
+  EXPECT_NE(json.out.find("\"cpu_model\""), std::string::npos);
+  EXPECT_NE(json.out.find("\"logical_cores\""), std::string::npos);
+  EXPECT_EQ(run_cli({"env", "--format", "xml"}).code, 1);
+}
+
+TEST(Cli, EstimatePerfFlag) {
+  // --perf must never change the computed results: with or without it,
+  // the projection lines are identical, and the perf line itself is
+  // either real counters or a clean "unavailable" note (no PMU in CI).
+  const std::vector<std::string> base = {"estimate", "--m",      "32",
+                                         "--n",      "1000000",  "--kbits",
+                                         "512",      "--device", "gtx980"};
+  const auto plain = run_cli(base);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  auto with_perf = base;
+  with_perf.emplace_back("--perf");
+  const auto perf = run_cli(with_perf);
+  ASSERT_EQ(perf.code, 0) << perf.err;
+  EXPECT_NE(perf.out.find("perf:"), std::string::npos) << perf.out;
+  const bool have_counters =
+      perf.out.find("IPC") != std::string::npos;
+  const bool clean_fallback =
+      perf.out.find("perf counters unavailable") != std::string::npos;
+  EXPECT_TRUE(have_counters || clean_fallback) << perf.out;
+  // Strip the perf line; everything else must match the plain run.
+  std::string scrubbed;
+  std::istringstream lines(perf.out);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("perf:", 0) == 0) {
+      continue;
+    }
+    scrubbed += line + "\n";
+  }
+  EXPECT_EQ(scrubbed, plain.out);
+}
+
 TEST(Cli, GenTsvFormat) {
   const std::string path = tmp("g.tsv");
   const auto r = run_cli({"gen", "--loci", "5", "--samples", "8", "--out",

@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "obs/obs.hpp"
 #include "sim/trace.hpp"
 
@@ -318,6 +322,248 @@ TEST(ObsMacros, CompileAndUpdateTheGlobalRegistry) {
   } else {
     EXPECT_EQ(after.counters.count("test.macro.counter"), 0u);
   }
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, MedianAndMadOfKnownSeries) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+  const std::vector<double> v{1.0, 1.0, 2.0, 2.0, 4.0};
+  // raw MAD around median 2 is 1; scaled by 1.4826.
+  EXPECT_NEAR(mad_of(v, 2.0), 1.4826, 1e-9);
+}
+
+TEST(Stats, OutlierRejectionIsDeterministicAndOrderPreserving) {
+  const std::vector<double> v{10.0, 10.2, 9.9, 10.1, 50.0, 10.0, 9.8};
+  std::size_t n1 = 0, n2 = 0;
+  const auto kept1 = reject_outliers(v, 3.5, &n1);
+  const auto kept2 = reject_outliers(v, 3.5, &n2);
+  EXPECT_EQ(kept1, kept2);  // same input -> same subset, always
+  EXPECT_EQ(n1, 1u);
+  EXPECT_EQ(kept1.size(), 6u);
+  EXPECT_TRUE(std::find(kept1.begin(), kept1.end(), 50.0) == kept1.end());
+  // Zero MAD (majority identical) must reject nothing, even far points.
+  std::size_t n3 = 0;
+  const std::vector<double> flat{5.0, 5.0, 5.0, 5.0, 99.0};
+  EXPECT_EQ(reject_outliers(flat, 3.5, &n3).size(), 5u);
+  EXPECT_EQ(n3, 0u);
+}
+
+TEST(Stats, ConstantSamplesGiveZeroWidthCi) {
+  const std::vector<double> v(12, 3.25);
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.median, 3.25);
+  EXPECT_DOUBLE_EQ(s.ci_lo, 3.25);
+  EXPECT_DOUBLE_EQ(s.ci_hi, 3.25);
+  EXPECT_DOUBLE_EQ(s.rel_ci_width(), 0.0);
+  EXPECT_EQ(s.outliers_dropped, 0u);
+}
+
+TEST(Stats, CiShrinksWithMoreSamples) {
+  // Deterministic pseudo-noise around 1.0; the bootstrap CI on the
+  // median must tighten as the sample count grows.
+  auto noisy = [](std::size_t n) {
+    std::vector<double> v;
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      v.push_back(1.0 + 0.1 * (static_cast<double>(x % 1000) / 1000.0 -
+                               0.5));
+    }
+    return v;
+  };
+  const Summary small = summarize(noisy(10));
+  const Summary large = summarize(noisy(120));
+  EXPECT_GT(small.rel_ci_width(), 0.0);
+  EXPECT_LT(large.rel_ci_width(), small.rel_ci_width());
+}
+
+TEST(Stats, WarmupDetectionDropsLeadingColdSamples) {
+  // 3 cold samples far above a long steady tail.
+  std::vector<double> v{9.0, 7.5, 6.0};
+  for (int i = 0; i < 20; ++i) {
+    v.push_back(1.0 + 0.01 * (i % 3));
+  }
+  EXPECT_EQ(warmup_cutoff(v), 3u);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.warmup_dropped, 3u);
+  EXPECT_LT(s.median, 1.1);
+  // Short series are never trimmed: too little evidence to judge.
+  const std::vector<double> tiny{5.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(warmup_cutoff(tiny), 0u);
+  // A steady series keeps everything.
+  const std::vector<double> steady(16, 2.0);
+  EXPECT_EQ(warmup_cutoff(steady), 0u);
+}
+
+TEST(Stats, TCriticalMatchesStandardTables) {
+  EXPECT_NEAR(t_critical(0.95, 1), 12.706, 0.01);
+  EXPECT_NEAR(t_critical(0.95, 4), 2.776, 0.01);
+  EXPECT_NEAR(t_critical(0.95, 30), 2.042, 0.01);
+  EXPECT_NEAR(t_critical(0.95, 1000), 1.962, 0.01);
+  EXPECT_NEAR(t_critical(0.99, 10), 3.169, 0.02);
+}
+
+TEST(Stats, RunBenchmarkConvergesAtMinRepsForDeterministicFn) {
+  std::size_t calls = 0;
+  RepetitionPolicy p;
+  p.min_reps = 5;
+  p.max_reps = 200;
+  const Summary s = run_benchmark(
+      [&calls]() {
+        ++calls;
+        return 0.001;
+      },
+      p);
+  // A zero-variance sample function satisfies the CI target immediately
+  // after the minimum repetitions — no wasted work.
+  EXPECT_EQ(calls, 5u);
+  EXPECT_EQ(s.reps, 5u);
+  EXPECT_DOUBLE_EQ(s.median, 0.001);
+  EXPECT_DOUBLE_EQ(s.ci_lo, s.ci_hi);
+}
+
+TEST(Stats, RunBenchmarkRespectsMaxReps) {
+  std::size_t calls = 0;
+  RepetitionPolicy p;
+  p.min_reps = 3;
+  p.max_reps = 10;
+  p.target_rel_ci = 0.0;  // unreachable: only max_reps can stop it
+  p.time_budget_s = 1e9;
+  std::uint64_t x = 1;
+  (void)run_benchmark(
+      [&]() {
+        ++calls;
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        return 1.0 + static_cast<double>(x % 100) / 100.0;
+      },
+      p);
+  EXPECT_EQ(calls, 10u);
+}
+
+// ------------------------------------------------------- hardware counters
+
+TEST(HwCountersTest, GracefulWhateverThePlatformAllows) {
+  // This test must pass both on a PMU-enabled host and inside a locked
+  // down container: either the counters count, or every operation is a
+  // clean no-op with a reason attached.
+  HwCounters hw;
+  hw.start();
+  volatile double acc = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    acc = acc + static_cast<double>(i) * 1e-9;
+  }
+  hw.stop();
+  const HwCounterValues v = hw.read();
+  if (hw.ok()) {
+    if (v.valid) {
+      EXPECT_GT(v.cycles, 0u);
+      EXPECT_NE(v.to_line().find("ipc"), std::string::npos);
+    }
+  } else {
+    EXPECT_FALSE(v.valid);
+    EXPECT_FALSE(hw.error().empty());
+    EXPECT_NE(v.to_line().find("perf counters unavailable"),
+              std::string::npos);
+  }
+  // available() agrees with what construction experienced.
+  EXPECT_EQ(HwCounters::available(), hw.ok());
+}
+
+TEST(HwCountersTest, InvalidValuesNeverPublish) {
+  MetricsRegistry reg;
+  HwCounterValues v;  // valid == false
+  v.cycles = 123;
+  HwCounters::publish(v, reg);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.count("obs.hw.cycles"), 0u);
+  v.valid = true;
+  v.has_instructions = true;
+  v.instructions = 456;
+  HwCounters::publish(v, reg);
+  const auto snap2 = reg.snapshot();
+  EXPECT_EQ(snap2.counters.at("obs.hw.cycles"), 123u);
+  EXPECT_EQ(snap2.counters.at("obs.hw.instructions"), 456u);
+}
+
+TEST(HwCountersTest, DerivedRatesHandleZeroDenominators) {
+  HwCounterValues v;
+  EXPECT_DOUBLE_EQ(v.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(v.cache_miss_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(v.branch_miss_per_kinstr(), 0.0);
+}
+
+// ----------------------------------------------------------------- envinfo
+
+TEST(EnvInfo, CollectNeverThrowsAndPopulatesCoreFields) {
+  const EnvInfo env = collect_env_info();
+  EXPECT_FALSE(env.cpu_model.empty());
+  EXPECT_FALSE(env.compiler.empty());
+  EXPECT_FALSE(env.kernel.empty());
+  EXPECT_GE(env.logical_cores, 1);
+  std::ostringstream os;
+  write_env_json(env, os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"cpu_model\""), std::string::npos);
+  EXPECT_NE(json.find("\"logical_cores\""), std::string::npos);
+}
+
+TEST(EnvInfo, JsonEscapeHandlesEveryClass) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape("a\x01" "b"), "a\\u0001b");
+}
+
+// --------------------------------------------------------- bench JsonWriter
+
+TEST(BenchJsonWriter, EscapingAndNonFiniteRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::path(::testing::TempDir()) / "snp_obs_jsonwriter.json";
+  {
+    bench::JsonWriter w("escape \"me\"", path.string());
+    ASSERT_TRUE(w.active());
+    w.set_primary("wall_s", /*lower_better=*/true);
+    w.header("label", bench::stats_cols("wall_s"), "ratio");
+    Summary s;
+    s.median = 1.5;
+    s.ci_lo = 1.4;
+    s.ci_hi = 1.6;
+    s.reps = 7;
+    w.row(std::string("tab\there \"q\" back\\slash"), s,
+          std::numeric_limits<double>::quiet_NaN());
+  }  // dtor closes the document
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  // Control characters and quotes must appear escaped, non-finite as
+  // null — the document always parses.
+  EXPECT_NE(doc.find("\"bench\": \"escape \\\"me\\\"\""),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("tab\\there \\\"q\\\" back\\\\slash"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"ratio\": null"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"primary\": {\"metric\": \"wall_s\", "
+                     "\"lower_better\": true}"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"wall_s\": 1.5"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"wall_s_ci_lo\": 1.4"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"wall_s_ci_hi\": 1.6"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"wall_s_reps\": 7"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find('\t'), std::string::npos);  // no raw controls
+  fs::remove(path);
 }
 
 }  // namespace

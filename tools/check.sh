@@ -9,13 +9,20 @@
 #      OpenMP is compiled out under TSan, so every data race the
 #      thread-pool pipeline could introduce is visible to the tool.
 #
-# Usage: tools/check.sh [--skip-sanitizers]
+# Usage: tools/check.sh [--skip-sanitizers | --ci]
+#
+# --ci is the GitHub Actions profile: release build, the full test
+# suite, the telemetry smoke, the bench_compare self-test, and a quick
+# benchmark-regression smoke (a mini aggregate compared against itself
+# must be clean) — but no sanitizer rebuilds, which dominate wall time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
 skip_san=no
-[[ "${1:-}" == "--skip-sanitizers" ]] && skip_san=yes
+[[ "${1:-}" == "--skip-sanitizers" || "${1:-}" == "--ci" ]] && skip_san=yes
+ci_mode=no
+[[ "${1:-}" == "--ci" ]] && ci_mode=yes
 
 echo "== release build + full test suite =="
 cmake --preset default >/dev/null
@@ -42,8 +49,36 @@ print(f"telemetry smoke ok: {len(metrics['counters'])} counters, "
       f"{len(trace)} trace events, pids {sorted(pids)}")
 EOF
 
+echo "== bench_compare self-test (regression-gate fixtures) =="
+tools/bench_compare --self-test
+
+echo "== benchmark regression smoke (mini aggregate vs itself) =="
+# Fast subset with tiny workloads; a self-comparison must be clean, and
+# the aggregate must carry the env header and per-row CI columns.
+SNP_BENCH_MAX_REPS=8 SNP_BENCH_BUDGET_S=0.2 SNP_ABL_ASYNC_PROFILES=20000 \
+  tools/run_bench.sh "$smoke/bench.json" build >/dev/null
+python3 - "$smoke/bench.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert "env" in doc and "cpu_model" in doc["env"], "no env header"
+for name, b in doc["benches"].items():
+    assert "primary" in b, f"{name}: no primary metric"
+    m = b["primary"]["metric"]
+    for row in b["rows"]:
+        for col in (m, f"{m}_ci_lo", f"{m}_ci_hi", f"{m}_reps"):
+            assert col in row, f"{name}: row missing {col}"
+print(f"aggregate ok: {len(doc['benches'])} benches carry "
+      f"median/ci_lo/ci_hi/reps on their primary metric")
+EOF
+tools/bench_compare "$smoke/bench.json" "$smoke/bench.json" --quiet
+echo "self-comparison clean"
+
 if [[ "$skip_san" == yes ]]; then
-  echo "== sanitizers skipped =="
+  if [[ "$ci_mode" == yes ]]; then
+    echo "== ci profile complete =="
+  else
+    echo "== sanitizers skipped =="
+  fi
   exit 0
 fi
 

@@ -20,7 +20,18 @@ benches=(
   fig7_scalability
   fig8_fastid
   fig9_andnot
+  table1_hwparams
   abl_async
+  abl_autotune
+  abl_bank_conflicts
+  abl_chunk_size
+  abl_config_sweep
+  abl_double_buffer
+  abl_dram_contention
+  abl_multigpu
+  abl_occupancy
+  abl_roofline
+  abl_sparse_crossover
 )
 
 tmp="$(mktemp -d)"
@@ -43,14 +54,26 @@ if [[ ${#ran[@]} -eq 0 ]]; then
   exit 1
 fi
 
+# Environment fingerprint for the run header, so a regression flagged by
+# tools/bench_compare can be told apart from a host/compiler change.
+snpcmp="${build_dir}/tools/snpcmp"
+if [[ -x "${snpcmp}" ]]; then
+  "${snpcmp}" env --format json > "${tmp}/env.json"
+else
+  echo '{}' > "${tmp}/env.json"
+fi
+
 python3 - "${out}" "${tmp}" "${ran[@]}" <<'EOF'
 import datetime
 import json
 import sys
 
 out, tmp, names = sys.argv[1], sys.argv[2], sys.argv[3:]
+with open(f"{tmp}/env.json") as f:
+    env = json.load(f)
 doc = {
     "date": datetime.date.today().isoformat(),
+    "env": env,
     "benches": {},
 }
 for name in names:
