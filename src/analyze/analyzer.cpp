@@ -1,0 +1,75 @@
+#include "analyze/analyzer.hpp"
+
+#include "kern/kernel_program.hpp"
+#include "kern/opencl_source.hpp"
+
+namespace snp::analyze {
+
+const std::vector<CheckInfo>& check_registry() {
+  static const std::vector<CheckInfo> kChecks = {
+      {"SNP-DEV-001", Severity::kError,
+       "device spec incomplete or inconsistent"},
+      {"SNP-CFG-001", Severity::kError,
+       "non-positive blocking parameter"},
+      {"SNP-CFG-002", Severity::kError, "m_r violates Eq. 4 (N_vec)"},
+      {"SNP-CFG-003", Severity::kError, "m_c not a multiple of m_r"},
+      {"SNP-CFG-004", Severity::kError, "n_r not divisible by L_fn"},
+      {"SNP-CFG-005", Severity::kError, "n_r below the Eq. 7 lower bound"},
+      {"SNP-CFG-006", Severity::kInfo,
+       "m_c follows Table II (N_b), not Eq. 5 as printed"},
+      {"SNP-SHMEM-001", Severity::kError,
+       "A tile exceeds usable shared memory"},
+      {"SNP-SHMEM-002", Severity::kInfo,
+       "A tile leaves >25% of shared memory idle"},
+      {"SNP-REG-001", Severity::kError,
+       "per-thread registers exceed the budget (spill)"},
+      {"SNP-OCC-001", Severity::kError,
+       "N_cl x L_fn plateau exceeds the resident-group limit"},
+      {"SNP-OCC-002", Severity::kWarn, "core grid leaves cores idle"},
+      {"SNP-GRID-001", Severity::kError,
+       "core grid invalid or larger than the device"},
+      {"SNP-BANK-001", Severity::kError,
+       "m_c beyond N_b serializes every A-tile access"},
+      {"SNP-BANK-002", Severity::kWarn,
+       "strided shared access collides modulo N_b"},
+      {"SNP-IR-001", Severity::kError,
+       "shared read before barrier publication"},
+      {"SNP-IR-002", Severity::kError, "read of an undefined register"},
+      {"SNP-IR-003", Severity::kWarn, "result register never consumed"},
+      {"SNP-IR-004", Severity::kWarn,
+       "dependent chains too deep to hide pipe latency"},
+      {"SNP-SRC-001", Severity::kError,
+       "kernel references an undefined macro"},
+      {"SNP-SRC-002", Severity::kError,
+       "macro redefined with a different value"},
+      {"SNP-SRC-003", Severity::kError,
+       "barrier in divergent control flow or unbalanced scopes"},
+  };
+  return kChecks;
+}
+
+Report analyze(const model::GpuSpec& dev, const model::KernelConfig& cfg,
+               bits::Comparison op, const AnalyzeOptions& opts) {
+  Report report;
+  check_config(dev, cfg, report);
+  if (report.has_errors()) {
+    // The kern builders throw on exactly these conditions; the envelope
+    // findings above already explain why.
+    return report;
+  }
+  if (opts.ir) {
+    const auto info = kern::build_kernel_program(dev, cfg, op,
+                                                 opts.k_iterations,
+                                                 opts.unroll);
+    // The occupancy policy keeps L_fn groups per cluster resident
+    // (model::KernelConfig::groups_per_core spread over N_cl clusters).
+    check_program(dev, info.program, dev.groups_per_cluster(), report);
+  }
+  if (opts.source) {
+    check_source(kern::render_config_header(dev, cfg, op),
+                 kern::render_kernel_source(dev, cfg, op), report);
+  }
+  return report;
+}
+
+}  // namespace snp::analyze

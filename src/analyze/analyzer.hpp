@@ -1,0 +1,34 @@
+// snp::analyze — full static-analysis pipeline over one kernel instance.
+//
+// `analyze()` proves a (device, config, op) triple safe and well-formed
+// before anything runs: the config envelope is checked first, and only a
+// config with zero error-severity findings proceeds to IR generation
+// (kern::build_kernel_program) and source rendering (kern::render_*),
+// because those builders reject invalid configs by throwing. The result
+// is a Report the caller renders (CLI `snpcmp lint`) or attaches to a
+// TimingReport (the warn-only pre-launch pass in core::compare).
+#pragma once
+
+#include <cstdint>
+
+#include "analyze/checks.hpp"
+#include "bits/compare.hpp"
+
+namespace snp::analyze {
+
+struct AnalyzeOptions {
+  bool ir = true;      ///< run the sim::Program IR pass
+  bool source = true;  ///< run the rendered-OpenCL lint pass
+  /// IR generation shape: enough k-steps to expose steady-state behavior
+  /// without inflating analysis time.
+  std::uint64_t k_iterations = 16;
+  int unroll = 2;
+};
+
+/// Runs every applicable pass and returns the combined report.
+[[nodiscard]] Report analyze(const model::GpuSpec& dev,
+                             const model::KernelConfig& cfg,
+                             bits::Comparison op,
+                             const AnalyzeOptions& opts = {});
+
+}  // namespace snp::analyze

@@ -1,0 +1,51 @@
+// The individual analyzer passes. Each pass appends Diagnostics to a
+// Report and never throws; callers that need the full pipeline (config ->
+// IR -> source, with generation gated on a clean config) use
+// analyze::analyze() from analyzer.hpp instead of calling these directly.
+//
+// Check IDs, severities, and rationale are documented in
+// docs/static-analysis.md; check_registry() is the machine-readable copy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostics.hpp"
+#include "model/config.hpp"
+#include "model/device.hpp"
+#include "sim/isa.hpp"
+
+namespace snp::analyze {
+
+struct CheckInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// Every check the analyzer can emit, with its fixed severity — the
+/// authoritative list docs/static-analysis.md and tests are pinned to.
+[[nodiscard]] const std::vector<CheckInfo>& check_registry();
+
+/// Resource-envelope, blocking-equation, occupancy, and bank-layout checks
+/// on a (device, config) pair. Mirrors model::validate() as diagnostics
+/// (every validate() failure maps to an error-severity check) and adds the
+/// warn/info findings validate() has no channel for.
+void check_config(const model::GpuSpec& dev, const model::KernelConfig& cfg,
+                  Report& report);
+
+/// IR-level checks on a sim::Program: barrier publication before shared
+/// reads, register def/use liveness, and dependent-chain depth vs the
+/// latency the resident groups can hide. `resident_groups_per_cluster` is
+/// the occupancy the schedule assumes (the N_cl x L_fn policy passes
+/// L_fn).
+void check_program(const model::GpuSpec& dev, const sim::Program& program,
+                   int resident_groups_per_cluster, Report& report);
+
+/// Source-level lint of the rendered OpenCL C: every SNP_* macro the body
+/// references is defined by the header, no macro is redefined to a
+/// different value, and barriers sit in uniform control flow.
+void check_source(const std::string& header, const std::string& body,
+                  Report& report);
+
+}  // namespace snp::analyze

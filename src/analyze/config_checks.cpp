@@ -1,0 +1,139 @@
+#include <sstream>
+
+#include "analyze/checks.hpp"
+
+namespace snp::analyze {
+
+namespace {
+
+int latency(const model::GpuSpec& dev) {
+  return dev.pipe(model::InstrClass::kPopc).latency_cycles;
+}
+
+/// A tile filling less than this fraction of usable shared memory leaves
+/// reuse on the table (Eq. 6 sizes k_c to fill it).
+constexpr int kShmemUseNumer = 3;
+constexpr int kShmemUseDenom = 4;
+
+}  // namespace
+
+void check_config(const model::GpuSpec& dev, const model::KernelConfig& cfg,
+                  Report& report) {
+  std::ostringstream msg;
+  if (!dev.valid() || dev.n_vec <= 0 || dev.n_grp_max <= 0 ||
+      dev.regs_per_core == 0 || dev.max_regs_per_thread <= 0 ||
+      dev.shared_reserved >= dev.shared_bytes) {
+    report.add("SNP-DEV-001", Severity::kError,
+               "device spec '" + dev.name +
+                   "' is incomplete or inconsistent; no further checks run");
+    return;
+  }
+  if (cfg.m_r <= 0 || cfg.m_c <= 0 || cfg.k_c <= 0 || cfg.n_r <= 0) {
+    msg << "all blocking parameters must be positive, got " <<
+        cfg.to_string();
+    report.add("SNP-CFG-001", Severity::kError, msg.str());
+    return;  // everything below divides by them
+  }
+
+  const int lfn = latency(dev);
+  if (cfg.m_r % dev.n_vec != 0) {
+    msg.str("");
+    msg << "m_r = " << cfg.m_r << " is not a multiple of N_vec = "
+        << dev.n_vec << " (Eq. 4: vectorized loads need m_r = N_vec)";
+    report.add("SNP-CFG-002", Severity::kError, msg.str());
+  }
+  if (cfg.m_c % cfg.m_r != 0) {
+    msg.str("");
+    msg << "m_c = " << cfg.m_c << " is not a multiple of m_r = " << cfg.m_r
+        << "; row sub-tiles would straddle micro-tile boundaries";
+    report.add("SNP-CFG-003", Severity::kError, msg.str());
+  }
+  if (cfg.n_r % lfn != 0) {
+    msg.str("");
+    msg << "n_r = " << cfg.n_r << " does not split into L_fn = " << lfn
+        << " latency-hiding column groups";
+    report.add("SNP-CFG-004", Severity::kError, msg.str());
+  }
+  if (cfg.n_r < model::n_r_lower_bound(dev, cfg.m_r, cfg.m_c)) {
+    msg.str("");
+    msg << "n_r = " << cfg.n_r << " is below the Eq. 7 lower bound "
+        << model::n_r_lower_bound(dev, cfg.m_r, cfg.m_c)
+        << "; too few columns per core to hide pipe latency";
+    report.add("SNP-CFG-005", Severity::kError, msg.str());
+  }
+  if (cfg.m_c == dev.banks && cfg.m_c != model::m_c_eq5(dev)) {
+    msg.str("");
+    msg << "m_c = N_b = " << cfg.m_c
+        << " follows Table II, not Eq. 5 as printed (N_b / N_cl = "
+        << model::m_c_eq5(dev)
+        << "); see the Eq. 5 discrepancy note in DESIGN.md";
+    report.add("SNP-CFG-006", Severity::kInfo, msg.str());
+  }
+
+  // Shared-memory envelope.
+  const std::size_t usable = dev.shared_bytes - dev.shared_reserved;
+  const std::size_t tile = cfg.shared_tile_bytes();
+  if (tile > usable) {
+    msg.str("");
+    msg << "A tile (m_c * k_c * 4 = " << tile
+        << " bytes) exceeds usable shared memory (" << usable
+        << " bytes = N_shared - reserved)";
+    report.add("SNP-SHMEM-001", Severity::kError, msg.str());
+  } else if (tile * kShmemUseDenom < usable * kShmemUseNumer) {
+    msg.str("");
+    msg << "A tile uses only " << tile << " of " << usable
+        << " usable shared-memory bytes; Eq. 6 would pick k_c = "
+        << usable / (4 * static_cast<std::size_t>(cfg.m_c))
+        << " to maximize B reuse";
+    report.add("SNP-SHMEM-002", Severity::kInfo, msg.str());
+  }
+
+  // Register envelope at the N_cl x L_fn occupancy plateau.
+  const int demand = model::register_demand_per_thread(cfg, dev);
+  const int budget = model::register_budget_per_thread(dev);
+  if (demand > budget) {
+    msg.str("");
+    msg << "per-thread register demand " << demand
+        << " exceeds the budget " << budget
+        << " at N_cl x L_fn occupancy (the compiler would spill)";
+    report.add("SNP-REG-001", Severity::kError, msg.str());
+  }
+
+  // Occupancy plateau vs the device's resident-group limit.
+  const int plateau = cfg.groups_per_core(dev);
+  if (plateau > dev.n_grp_max) {
+    msg.str("");
+    msg << "occupancy plateau N_cl * L_fn = " << plateau
+        << " groups/core exceeds the device limit N_grp = "
+        << dev.n_grp_max;
+    report.add("SNP-OCC-001", Severity::kError, msg.str());
+  }
+
+  // Core grid.
+  if (cfg.grid.grid_m <= 0 || cfg.grid.grid_n <= 0 ||
+      cfg.grid.cores() > dev.n_cores) {
+    msg.str("");
+    msg << "core grid " << cfg.grid.to_string()
+        << " is invalid or uses more than the device's " << dev.n_cores
+        << " cores";
+    report.add("SNP-GRID-001", Severity::kError, msg.str());
+  } else if (cfg.grid.cores() < dev.n_cores) {
+    msg.str("");
+    msg << "core grid " << cfg.grid.to_string() << " uses "
+        << cfg.grid.cores() << " of " << dev.n_cores
+        << " cores; the rest idle for the whole comparison";
+    report.add("SNP-OCC-002", Severity::kWarn, msg.str());
+  }
+
+  // Bank layout: the k-major A tile gives lanes stride 1 over rows, which
+  // is conflict-free exactly while a row index fits in one bank pass.
+  if (cfg.m_c > dev.banks) {
+    msg.str("");
+    msg << "m_c = " << cfg.m_c << " > N_b = " << dev.banks
+        << ": lanes of a group collide modulo N_b on every A-tile access "
+        << "(the Eq. 5 bank constraint)";
+    report.add("SNP-BANK-001", Severity::kError, msg.str());
+  }
+}
+
+}  // namespace snp::analyze

@@ -1,0 +1,57 @@
+#include "analyze/diagnostics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/envinfo.hpp"
+
+namespace snp::analyze {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kInfo:
+      return "info";
+  }
+  return "?";
+}
+
+void Report::add(std::string id, Severity severity, std::string message) {
+  diags_.push_back({std::move(id), severity, std::move(message)});
+}
+
+bool Report::has(std::string_view id) const {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [&](const Diagnostic& d) { return d.id == id; });
+}
+
+std::size_t Report::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [&](const Diagnostic& d) {
+        return d.severity == severity;
+      }));
+}
+
+void Report::write_text(std::ostream& os) const {
+  for (const auto& d : diags_) {
+    os << to_string(d.severity) << "  " << d.id << "  " << d.message
+       << "\n";
+  }
+}
+
+void Report::write_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const auto& d : diags_) {
+    os << (first ? "" : ", ") << "{\"id\": \"" << obs::json_escape(d.id)
+       << "\", \"severity\": \"" << to_string(d.severity)
+       << "\", \"message\": \"" << obs::json_escape(d.message) << "\"}";
+    first = false;
+  }
+  os << "]";
+}
+
+}  // namespace snp::analyze

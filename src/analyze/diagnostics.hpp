@@ -1,0 +1,61 @@
+// snp::analyze — diagnostics for the kernel/config static analyzer.
+//
+// Every finding the analyzer produces is a Diagnostic: a stable check ID
+// (e.g. "SNP-SHMEM-001", documented in docs/static-analysis.md), a
+// severity, and a human-readable message. IDs are part of the tool's
+// interface — tests pin them, CI greps them, and users suppress by them —
+// so existing IDs never change meaning; new checks get new IDs.
+//
+// Severity policy:
+//   kError — the config/kernel is unsafe or cannot work on the device
+//            (would fail validate(), spill, or exceed a hard limit).
+//            `snpcmp lint` exits non-zero when any are present.
+//   kWarn  — runs, but the analytical model predicts degraded performance
+//            (idle cores, bank conflicts, unhidden latency).
+//   kInfo  — noteworthy modeling facts, e.g. the Eq. 5 discrepancy.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snp::analyze {
+
+enum class Severity { kError, kWarn, kInfo };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+struct Diagnostic {
+  std::string id;        ///< stable check ID, "SNP-<AREA>-<NNN>"
+  Severity severity = Severity::kInfo;
+  std::string message;
+};
+
+/// Accumulates diagnostics across analyzer passes. Never throws on add;
+/// the analyzer reports problems, it does not fail on them.
+class Report {
+ public:
+  void add(std::string id, Severity severity, std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  /// True when at least one diagnostic with exactly this ID is present.
+  [[nodiscard]] bool has(std::string_view id) const;
+  [[nodiscard]] bool has_errors() const {
+    return count(Severity::kError) > 0;
+  }
+  [[nodiscard]] std::size_t count(Severity severity) const;
+
+  /// One `severity  ID  message` line per diagnostic.
+  void write_text(std::ostream& os) const;
+  /// JSON array of {"id", "severity", "message"} objects.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace snp::analyze

@@ -1,0 +1,196 @@
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "analyze/checks.hpp"
+#include "sim/pipeline.hpp"
+
+namespace snp::analyze {
+
+namespace {
+
+using sim::Instr;
+using sim::Opcode;
+
+const char* section_name(int s) {
+  return s == 0 ? "prologue" : (s == 1 ? "body" : "epilogue");
+}
+
+struct Located {
+  const Instr* ins;
+  int section;        ///< 0 = prologue, 1 = body, 2 = epilogue
+  std::size_t index;  ///< position within its section
+};
+
+/// Prologue + ONE body iteration + epilogue. Iteration 1 is the weakest
+/// ordering: later iterations see strictly more definitions and barrier
+/// publications, so anything well-formed here is well-formed throughout.
+std::vector<Located> linearize(const sim::Program& p) {
+  std::vector<Located> out;
+  out.reserve(p.prologue.size() + p.body.size() + p.epilogue.size());
+  for (std::size_t i = 0; i < p.prologue.size(); ++i) {
+    out.push_back({&p.prologue[i], 0, i});
+  }
+  for (std::size_t i = 0; i < p.body.size(); ++i) {
+    out.push_back({&p.body[i], 1, i});
+  }
+  for (std::size_t i = 0; i < p.epilogue.size(); ++i) {
+    out.push_back({&p.epilogue[i], 2, i});
+  }
+  return out;
+}
+
+bool is_compute(model::InstrClass c) {
+  return c != model::InstrClass::kMem;
+}
+
+}  // namespace
+
+void check_program(const model::GpuSpec& dev, const sim::Program& program,
+                   int resident_groups_per_cluster, Report& report) {
+  const auto linear = linearize(program);
+  std::ostringstream msg;
+
+  // SNP-IR-001: every shared-memory read must be preceded by a barrier
+  // that publishes all earlier shared-memory stores; a kLds while a kSts
+  // is pending reads words other lanes may not have written yet.
+  std::size_t pending_sts = 0;
+  for (const auto& li : linear) {
+    if (li.ins->op == Opcode::kSts) {
+      ++pending_sts;
+    } else if (li.ins->op == Opcode::kBar) {
+      pending_sts = 0;
+    } else if (li.ins->op == Opcode::kLds && pending_sts > 0) {
+      msg.str("");
+      msg << "LDS at " << section_name(li.section) << "[" << li.index
+          << "] reads shared memory with " << pending_sts
+          << " STS not yet published by a barrier";
+      report.add("SNP-IR-001", Severity::kError, msg.str());
+      pending_sts = 0;  // one diagnostic per missing barrier, not per load
+    }
+  }
+
+  // SNP-IR-002: use-before-def. A body read is defined on iteration 1
+  // only by the prologue or by earlier body instructions.
+  std::set<int> defined;
+  std::set<int> reported_undef;
+  for (const auto& li : linear) {
+    for (const int src : {li.ins->src1, li.ins->src2}) {
+      if (src != sim::kNoReg && defined.count(src) == 0 &&
+          reported_undef.insert(src).second) {
+        msg.str("");
+        msg << sim::to_string(li.ins->op) << " at "
+            << section_name(li.section) << "[" << li.index
+            << "] reads r" << src << " before any instruction defines it";
+        report.add("SNP-IR-002", Severity::kError, msg.str());
+      }
+    }
+    if (li.ins->dst != sim::kNoReg) {
+      defined.insert(li.ins->dst);
+    }
+  }
+
+  // SNP-IR-003: accumulator liveness — a register written somewhere but
+  // read nowhere (stores count as reads) holds a result no one consumes.
+  std::set<int> read;
+  for (const auto& li : linear) {
+    if (li.ins->src1 != sim::kNoReg) {
+      read.insert(li.ins->src1);
+    }
+    if (li.ins->src2 != sim::kNoReg) {
+      read.insert(li.ins->src2);
+    }
+  }
+  std::vector<int> dead;
+  for (const int reg : defined) {
+    if (read.count(reg) == 0) {
+      dead.push_back(reg);
+    }
+  }
+  if (!dead.empty()) {
+    msg.str("");
+    msg << "result registers written but never read or stored:";
+    for (const int reg : dead) {
+      msg << " r" << reg;
+    }
+    report.add("SNP-IR-003", Severity::kWarn, msg.str());
+  }
+
+  // SNP-IR-004: dependent-chain depth vs latency hiding. For each compute
+  // class, the body's longest same-class dependence chain D bounds the
+  // independent work per iteration at n/D; with G resident groups the
+  // pipe sees G*n/D independent instructions, which must reach L_fn to
+  // cover the latency (Eq. 7's purpose).
+  const int resident = std::max(resident_groups_per_cluster, 1);
+  constexpr std::array<model::InstrClass, 3> kComputeClasses = {
+      model::InstrClass::kLogic, model::InstrClass::kAdd,
+      model::InstrClass::kPopc};
+  for (const auto cls : kComputeClasses) {
+    // chain[r] = number of class-`cls` instructions on the longest
+    // dependence path (through any registers) ending in r's value.
+    std::map<int, long long> chain;
+    long long depth = 0;
+    long long count = 0;
+    for (const auto& ins : program.body) {
+      if (!is_compute(sim::instr_class(ins.op))) {
+        continue;
+      }
+      long long in = 0;
+      for (const int src : {ins.src1, ins.src2}) {
+        if (src != sim::kNoReg) {
+          const auto it = chain.find(src);
+          if (it != chain.end()) {
+            in = std::max(in, it->second);
+          }
+        }
+      }
+      const bool mine = sim::instr_class(ins.op) == cls;
+      const long long out = in + (mine ? 1 : 0);
+      if (ins.dst != sim::kNoReg) {
+        chain[ins.dst] = out;
+      }
+      if (mine) {
+        count += 1;
+        depth = std::max(depth, out);
+      }
+    }
+    if (count == 0 || depth == 0) {
+      continue;
+    }
+    const int lfn = dev.pipe(cls).latency_cycles;
+    if (static_cast<long long>(resident) * count < depth * lfn) {
+      msg.str("");
+      msg << "dependent chain of " << depth << " ops (of " << count
+          << " per iteration) on the "
+          << (cls == model::InstrClass::kPopc
+                  ? "popcount"
+                  : (cls == model::InstrClass::kAdd ? "add" : "logic"))
+          << " pipe: " << resident << " resident group(s) leave fewer "
+          << "than L_fn = " << lfn
+          << " independent instructions in flight (latency not hidden)";
+      report.add("SNP-IR-004", Severity::kWarn, msg.str());
+    }
+  }
+
+  // SNP-BANK-002: strided shared-memory accesses that collide modulo N_b.
+  std::set<std::pair<bool, int>> reported_strides;
+  for (const auto& li : linear) {
+    if (li.ins->op != Opcode::kLds && li.ins->op != Opcode::kSts) {
+      continue;
+    }
+    const int factor = sim::bank_conflict_factor(dev, li.ins->imm);
+    if (factor > 1 &&
+        reported_strides.insert({li.ins->op == Opcode::kSts, li.ins->imm})
+            .second) {
+      msg.str("");
+      msg << sim::to_string(li.ins->op) << " with per-lane stride "
+          << li.ins->imm << " words serializes " << factor
+          << "x across the " << dev.banks << " shared-memory banks";
+      report.add("SNP-BANK-002", Severity::kWarn, msg.str());
+    }
+  }
+}
+
+}  // namespace snp::analyze

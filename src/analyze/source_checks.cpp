@@ -1,0 +1,223 @@
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/checks.hpp"
+
+namespace snp::analyze {
+
+namespace {
+
+/// Blanks out // and /* */ comments (and string literals, which the
+/// kernels do not use but which would otherwise hide tokens) so the
+/// token scans below cannot match inside them.
+std::string strip_comments(const std::string& src) {
+  std::string out = src;
+  enum class St { kCode, kLine, kBlock } st = St::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    switch (st) {
+      case St::kCode:
+        if (out[i] == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+          st = St::kLine;
+          out[i] = ' ';
+        } else if (out[i] == '/' && i + 1 < out.size() &&
+                   out[i + 1] == '*') {
+          st = St::kBlock;
+          out[i] = ' ';
+        }
+        break;
+      case St::kLine:
+        if (out[i] == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (out[i] == '*' && i + 1 < out.size() && out[i + 1] == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (out[i] != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Trailing/leading whitespace trimmed.
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// `name -> value` for every `#define name value` line (value may be
+/// empty for flag macros).
+std::map<std::string, std::string> parse_defines(const std::string& src,
+                                                 Report& report) {
+  std::map<std::string, std::string> defines;
+  std::istringstream is(src);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string t = trim(line);
+    if (t.rfind("#define", 0) != 0) {
+      continue;
+    }
+    std::string rest = trim(t.substr(7));
+    std::size_t split = 0;
+    while (split < rest.size() && ident_char(rest[split])) {
+      ++split;
+    }
+    const std::string name = rest.substr(0, split);
+    const std::string value = trim(rest.substr(split));
+    if (name.empty()) {
+      continue;
+    }
+    const auto it = defines.find(name);
+    if (it != defines.end() && it->second != value) {
+      report.add("SNP-SRC-002", Severity::kError,
+                 "macro " + name + " defined twice with different values ('" +
+                     it->second + "' vs '" + value + "')");
+    }
+    defines[name] = value;
+  }
+  return defines;
+}
+
+/// All `SNP_*` identifiers referenced in `src`, in order of appearance.
+std::set<std::string> snp_macro_refs(const std::string& src) {
+  std::set<std::string> refs;
+  for (std::size_t i = 0; i < src.size();) {
+    if (!ident_char(src[i]) ||
+        (i > 0 && ident_char(src[i - 1]))) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < src.size() && ident_char(src[j])) {
+      ++j;
+    }
+    const std::string tok = src.substr(i, j - i);
+    if (tok.rfind("SNP_", 0) == 0) {
+      refs.insert(tok);
+    }
+    i = j;
+  }
+  return refs;
+}
+
+}  // namespace
+
+void check_source(const std::string& header, const std::string& body,
+                  Report& report) {
+  const std::string clean_header = strip_comments(header);
+  const std::string clean_body = strip_comments(body);
+
+  // SNP-SRC-001/002: macro definitions and references. Macros may also
+  // be defined inside the body (the header is the usual place).
+  auto defines = parse_defines(clean_header, report);
+  for (auto& [name, value] : parse_defines(clean_body, report)) {
+    const auto it = defines.find(name);
+    if (it != defines.end() && it->second != value) {
+      report.add("SNP-SRC-002", Severity::kError,
+                 "macro " + name + " defined twice with different values ('" +
+                     it->second + "' vs '" + value + "')");
+    }
+    defines.emplace(name, value);
+  }
+  for (const auto& ref : snp_macro_refs(clean_body)) {
+    if (defines.count(ref) == 0) {
+      report.add("SNP-SRC-001", Severity::kError,
+                 "kernel body references " + ref +
+                     " but the config header never defines it");
+    }
+  }
+  // References inside macro replacement values count too (e.g.
+  // SNP_COLS_PER_GROUP expands to SNP_N_R / SNP_L_FN).
+  for (const auto& [name, value] : defines) {
+    for (const auto& ref : snp_macro_refs(value)) {
+      if (defines.count(ref) == 0) {
+        report.add("SNP-SRC-001", Severity::kError,
+                   "macro " + name + " expands to undefined macro " + ref);
+      }
+    }
+  }
+
+  // SNP-SRC-003: barrier() must sit in uniform control flow. Work-group
+  // barriers inside if/else (potentially divergent) deadlock lanes that
+  // take the other path; counted `for`/`while` loops over uniform bounds
+  // are fine. A brace-kind stack approximates the scope nesting.
+  std::vector<char> scopes;  // 'd' = divergent (if/else/switch), 'u' = other
+  char pending = 0;          // scope keyword seen, waiting for its '{'
+  int paren_depth = 0;
+  for (std::size_t i = 0; i < clean_body.size();) {
+    const char c = clean_body[i];
+    if (ident_char(c) && (i == 0 || !ident_char(clean_body[i - 1]))) {
+      std::size_t j = i;
+      while (j < clean_body.size() && ident_char(clean_body[j])) {
+        ++j;
+      }
+      const std::string tok = clean_body.substr(i, j - i);
+      if (tok == "if" || tok == "else" || tok == "switch") {
+        pending = 'd';
+      } else if (tok == "for" || tok == "while" || tok == "do") {
+        pending = 'u';
+      } else if (tok == "barrier") {
+        bool divergent = pending == 'd';
+        for (const char s : scopes) {
+          divergent = divergent || s == 'd';
+        }
+        if (divergent) {
+          report.add("SNP-SRC-003", Severity::kError,
+                     "barrier() inside divergent control flow (if/else/"
+                     "switch): lanes taking the other path deadlock the "
+                     "group");
+        }
+      }
+      i = j;
+      continue;
+    }
+    if (c == '(') {
+      ++paren_depth;
+    } else if (c == ')') {
+      --paren_depth;
+    } else if (c == '{') {
+      scopes.push_back(pending == 0 ? 'u' : pending);
+      pending = 0;
+    } else if (c == '}') {
+      if (scopes.empty()) {
+        report.add("SNP-SRC-003", Severity::kError,
+                   "unbalanced braces: '}' with no open scope");
+      } else {
+        scopes.pop_back();
+      }
+    } else if (c == ';' && paren_depth == 0) {
+      pending = 0;  // statement ended before any '{' — scope never opened
+    }
+    ++i;
+  }
+  if (!scopes.empty()) {
+    report.add("SNP-SRC-003", Severity::kError,
+               "unbalanced braces: " + std::to_string(scopes.size()) +
+                   " scope(s) never closed");
+  }
+}
+
+}  // namespace snp::analyze

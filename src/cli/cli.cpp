@@ -10,6 +10,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "analyze/analyzer.hpp"
 #include "bits/genotype.hpp"
 #include "core/snpcmp.hpp"
 #include "io/datagen.hpp"
@@ -249,6 +250,9 @@ void print_timing(std::ostream& out, const TimingReport& t) {
   out << "device:      " << t.device << "\n";
   if (!t.config.empty()) {
     out << "config:      " << t.config << "\n";
+  }
+  for (const auto& note : t.lint_notes) {
+    out << "lint:        " << note << "\n";
   }
   out << "init:        " << t.init_s * 1e3 << " ms\n"
       << "h2d:         " << t.h2d_s * 1e3 << " ms\n"
@@ -957,6 +961,66 @@ int cmd_kernel_src(Options& opt, std::ostream& out) {
   return 0;
 }
 
+/// `snpcmp lint`: the src/analyze static analyzer as a CLI verb. With no
+/// overrides it checks the Table II preset for --device/--workload; the
+/// --m-r/--m-c/--k-c/--n-r/--grid-m/--grid-n overrides let CI and tests
+/// probe deliberately corrupted configs. Exit 0 = clean (warn/info
+/// allowed), 3 = at least one error-severity diagnostic; 1/2 keep their
+/// usual usage/runtime meanings.
+int cmd_lint(Options& opt, std::ostream& out) {
+  const std::string device = opt.str("device", "titanv");
+  const std::string workload = opt.str("workload", "ld");
+  if (workload != "ld" && workload != "fastid") {
+    throw std::invalid_argument("--workload must be ld or fastid");
+  }
+  const auto kind = workload == "ld" ? model::WorkloadKind::kLd
+                                     : model::WorkloadKind::kFastId;
+  const auto op = parse_op(opt.str("op", workload == "ld" ? "and" : "xor"));
+  const bool pre_negate = opt.str("pre-negate", "no") == "yes";
+  const std::string format = opt.str("format", "text");
+  if (format != "text" && format != "json") {
+    throw std::invalid_argument("--format must be text or json");
+  }
+  const auto dev = model::gpu_by_name(device);
+  auto cfg = model::paper_preset(dev, kind);
+  cfg.pre_negated = pre_negate && op == bits::Comparison::kAndNot;
+  cfg.m_r = static_cast<int>(
+      opt.num("m-r", static_cast<std::uint64_t>(cfg.m_r)));
+  cfg.m_c = static_cast<int>(
+      opt.num("m-c", static_cast<std::uint64_t>(cfg.m_c)));
+  cfg.k_c = static_cast<int>(
+      opt.num("k-c", static_cast<std::uint64_t>(cfg.k_c)));
+  cfg.n_r = static_cast<int>(
+      opt.num("n-r", static_cast<std::uint64_t>(cfg.n_r)));
+  cfg.grid.grid_m = static_cast<int>(
+      opt.num("grid-m", static_cast<std::uint64_t>(cfg.grid.grid_m)));
+  cfg.grid.grid_n = static_cast<int>(
+      opt.num("grid-n", static_cast<std::uint64_t>(cfg.grid.grid_n)));
+  opt.reject_unknown();
+
+  const analyze::Report report = analyze::analyze(dev, cfg, op);
+  const auto errors = report.count(analyze::Severity::kError);
+  const auto warns = report.count(analyze::Severity::kWarn);
+  const auto infos = report.count(analyze::Severity::kInfo);
+  if (format == "json") {
+    out << "{\"device\": \"" << obs::json_escape(dev.name)
+        << "\", \"workload\": \"" << workload << "\", \"op\": \""
+        << to_string(op) << "\", \"config\": \""
+        << obs::json_escape(cfg.to_string()) << "\", \"errors\": "
+        << errors << ", \"warnings\": " << warns << ", \"infos\": "
+        << infos << ", \"diagnostics\": ";
+    report.write_json(out);
+    out << "}\n";
+  } else {
+    out << "lint: " << dev.name << " " << workload << " " << to_string(op)
+        << " " << cfg.to_string() << "\n";
+    report.write_text(out);
+    out << errors << " error(s), " << warns << " warning(s), " << infos
+        << " info(s)\n";
+  }
+  return report.has_errors() ? 3 : 0;
+}
+
 int cmd_estimate(Options& opt, std::ostream& out) {
   const std::size_t m = opt.num("m", 32);
   const std::size_t n = opt.num("n", 20'000'000);
@@ -1040,6 +1104,12 @@ commands:
   kernel-src [--device D] [--workload ld|fastid] [--op and|xor|andnot]
             [--pre-negate yes|no] [--out F.cl]
             render the parameterized OpenCL kernel for a device
+  lint      [--device D] [--workload ld|fastid] [--op and|xor|andnot]
+            [--pre-negate yes|no] [--format text|json]
+            [--m-r N] [--m-c N] [--k-c N] [--n-r N] [--grid-m N] [--grid-n N]
+            static analysis of the kernel config, instruction IR, and
+            rendered OpenCL source (docs/static-analysis.md); exit 3 when
+            error-severity diagnostics are present
   report    --in F --out R.md   markdown cohort report (QC + kinship +
             optional association + projected device performance)
             [--cases L] [--device D] [--format auto|plink|vcf]
@@ -1110,6 +1180,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     }
     if (cmd == "kernel-src") {
       return cmd_kernel_src(opt, out);
+    }
+    if (cmd == "lint") {
+      return cmd_lint(opt, out);
     }
     if (cmd == "merge") {
       return cmd_merge(opt, out);

@@ -8,6 +8,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "analyze/analyzer.hpp"
 #include "cpu/engine.hpp"
 #include "exec/task_graph.hpp"
 #include "exec/thread_pool.hpp"
@@ -33,7 +34,7 @@ model::WorkloadKind workload_for(std::size_t m_rows, std::size_t n_rows,
   // shapes are square-ish. Pick the Table II preset accordingly.
   const std::size_t small = std::min(m_rows, n_rows);
   const std::size_t large = std::max(m_rows, n_rows);
-  const auto query_like = static_cast<std::size_t>(4 * dev.banks);
+  const auto query_like = 4 * static_cast<std::size_t>(dev.banks);
   return (small <= query_like && large > 8 * small)
              ? model::WorkloadKind::kFastId
              : model::WorkloadKind::kLd;
@@ -364,6 +365,19 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
   CompareResult result;
   result.timing.device = dev.name;
   result.timing.config = cfg.to_string();
+  if (options.lint) {
+    // Warn-only pre-launch pass: the config already passed validate(), so
+    // only warn/info findings (idle cores, bank conflicts, Eq. 5 note)
+    // can surface here.
+    SNP_OBS_SPAN("core.lint");
+    const auto lint = analyze::analyze(dev, cfg, op);
+    SNP_OBS_COUNT("core.lint.diags", lint.diagnostics().size());
+    for (const auto& d : lint.diagnostics()) {
+      result.timing.lint_notes.push_back(
+          std::string(analyze::to_string(d.severity)) + "  " + d.id +
+          "  " + d.message);
+    }
+  }
   if (options.functional && options.keep_counts) {
     result.counts = CountMatrix(a.rows(), b.rows());
   }

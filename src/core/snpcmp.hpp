@@ -51,6 +51,12 @@ struct ComputeOptions {
   /// device's allocation limits with two in-flight buffers.
   std::size_t chunk_rows = 0;
 
+  /// GPU contexts: run the static analyzer (src/analyze) on the effective
+  /// config before launch and attach its findings to
+  /// TimingReport::lint_notes. Warn-only — it never blocks the run
+  /// (error-severity configs are already rejected by model::validate).
+  bool lint = true;
+
   /// Host worker threads for the asynchronous chunk pipeline. 0 (default)
   /// keeps the fully serial legacy path. With threads >= 1, compare()
   /// schedules pack -> kernel -> reduce per chunk on a thread pool
@@ -115,6 +121,10 @@ struct TimingReport {
   /// pipeline (functional compare() only; estimate() fills a
   /// sim::Timeline via ComputeOptions::timeline_out instead).
   std::vector<sim::HostChunkEvent> chunk_events;
+  /// Pre-launch static-analysis findings, one "severity  ID  message"
+  /// line each (ComputeOptions::lint, GPU contexts only). Error severity
+  /// never appears here: such configs fail validate() before launch.
+  std::vector<std::string> lint_notes;
 };
 
 struct CompareResult {

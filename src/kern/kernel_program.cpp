@@ -43,8 +43,18 @@ KernelProgramInfo build_kernel_program(const model::GpuSpec& dev,
   info.registers_per_thread = tmp_base + n_acc;
 
   sim::Program& p = info.program;
-  // Prologue: zero the accumulators (move from a loaded seed) and prime
-  // the B double buffer from global memory.
+  // Prologue: this thread's share of the cooperative A-tile staging (the
+  // third loop packs A into local memory, k-major so lanes land in
+  // distinct banks), published to the group by a barrier before any lane
+  // reads it back; then zero the accumulators (move from a loaded seed)
+  // and prime the B double buffer from global memory.
+  for (int r = 0; r < cfg.m_r; ++r) {
+    p.prologue.push_back({Opcode::kLdg, a_base + r, kNoReg, kNoReg, 0});
+  }
+  for (int r = 0; r < cfg.m_r; ++r) {
+    p.prologue.push_back({Opcode::kSts, kNoReg, a_base + r, kNoReg, 1});
+  }
+  p.prologue.push_back({Opcode::kBar, kNoReg, kNoReg, kNoReg, 0});
   p.prologue.push_back({Opcode::kLdg, tmp_base, kNoReg, kNoReg, 0});
   for (int acc = 0; acc < n_acc; ++acc) {
     p.prologue.push_back({Opcode::kMov, acc, tmp_base, kNoReg, 0});

@@ -71,8 +71,11 @@ std::string render_kernel_source(const model::GpuSpec& dev,
  * snp_compare: the third BLIS loop around the micro-kernel.
  *
  * One work-group per (m_c x n_r) tile of C. The group cooperatively
- * packs the m_c x k_c tile of A into local memory (k-major rows, stride
- * 1 across banks), then streams B from global memory while each thread
+ * packs the m_c x k_c tile of A into local memory k-major — word (r, k)
+ * lives at a_tile[k * SNP_M_C + r], so the lanes of a group (consecutive
+ * rows at one k) touch consecutive words and hit distinct banks as long
+ * as SNP_M_C <= N_b (the Eq. 5 constraint) — then streams B from global
+ * memory while each thread
  * accumulates SNP_OUTPUTS_PER_THREAD popcount inner products in
  * registers. A is (m x k_words) and B is (n x k_words), both row-major
  * over the shared K dimension; C is (m x n) counts.
@@ -98,12 +101,13 @@ __kernel void snp_compare(__global const uint* restrict A,
   for (uint k0 = 0; k0 < k_words; k0 += SNP_K_C) {
     const uint kw = min((uint)SNP_K_C, k_words - k0);
 
-    /* Cooperative A-tile load: zero-fill edge rows so compute below is
-     * branch-free. */
+    /* Cooperative A-tile load, k-major: consecutive work-items write
+     * consecutive local words (conflict-free stores), zero-filling edge
+     * rows so compute below is branch-free. */
     for (uint idx = lid; idx < SNP_M_C * kw; idx += lsize) {
-      const uint r = idx / kw;
-      const uint k = idx % kw;
-      a_tile[r * SNP_K_C + k] =
+      const uint r = idx % SNP_M_C;
+      const uint k = idx / SNP_M_C;
+      a_tile[k * SNP_M_C + r] =
           (tile_row + r < m) ? A[(tile_row + r) * lda + k0 + k] : 0u;
     }
     barrier(CLK_LOCAL_MEM_FENCE);
@@ -116,7 +120,7 @@ __kernel void snp_compare(__global const uint* restrict A,
         const uint row = out_idx % SNP_M_C;
         const uint col = out_idx / SNP_M_C;
         const uint gcol = tile_col + col;
-        const uint a_val = a_tile[row * SNP_K_C + k];
+        const uint a_val = a_tile[k * SNP_M_C + row];
         const uint b_val = (gcol < n) ? B[gcol * ldb + k0 + k] : 0u;
 )";
   if (needs_explicit_not) {

@@ -9,10 +9,6 @@ namespace snp::model {
 
 namespace {
 
-/// Registers a thread needs beyond its accumulators: the m_r A values and
-/// N_vec B values in flight, loop counters and addresses.
-constexpr int kRegOverheadPerThread = 16;
-
 /// The paper never deploys n_r beyond 1024; larger values spill in
 /// practice, which the analytical model cannot see (Eq. 7 is an
 /// inequality for exactly this reason).
@@ -68,12 +64,8 @@ ConfigCheck validate(const KernelConfig& cfg, const GpuSpec& dev) {
   if (cfg.n_r < n_r_lower_bound(dev, cfg.m_r, cfg.m_c)) {
     return fail("n_r below the Eq. 7 lower bound");
   }
-  const auto resident_threads = static_cast<std::size_t>(
-      cfg.groups_per_core(dev) * dev.n_t);
-  const auto budget = static_cast<int>(
-      dev.regs_per_core / std::max<std::size_t>(resident_threads, 1));
-  const int need = cfg.accumulators_per_thread(dev) + kRegOverheadPerThread;
-  if (need > std::min(budget, dev.max_regs_per_thread)) {
+  if (register_demand_per_thread(cfg, dev) >
+      register_budget_per_thread(dev)) {
     return fail("per-thread register demand exceeds the device budget "
                 "(register spill)");
   }
@@ -92,6 +84,18 @@ ConfigCheck validate(const KernelConfig& cfg, const GpuSpec& dev) {
 
 int m_c_eq5(const GpuSpec& dev) { return dev.banks / dev.n_clusters; }
 
+int register_demand_per_thread(const KernelConfig& cfg, const GpuSpec& dev) {
+  return cfg.accumulators_per_thread(dev) + kRegOverheadPerThread;
+}
+
+int register_budget_per_thread(const GpuSpec& dev) {
+  const auto resident_threads = static_cast<std::size_t>(
+      dev.n_clusters * latency(dev) * dev.n_t);
+  const auto budget = static_cast<int>(
+      dev.regs_per_core / std::max<std::size_t>(resident_threads, 1));
+  return std::min(budget, dev.max_regs_per_thread);
+}
+
 int n_r_lower_bound(const GpuSpec& dev, int m_r, int m_c) {
   // Eq. 7: n_r >= (N_T * m_r / m_c) * N_vec * L_fn.
   return (dev.n_t * m_r / m_c) * dev.n_vec * latency(dev);
@@ -100,11 +104,7 @@ int n_r_lower_bound(const GpuSpec& dev, int m_r, int m_c) {
 int n_r_upper_bound(const GpuSpec& dev, int m_r, int m_c) {
   const int lfn = latency(dev);
   const int step = std::max(n_r_lower_bound(dev, m_r, m_c), lfn);
-  const auto resident_threads =
-      static_cast<std::size_t>(dev.n_clusters * lfn * dev.n_t);
-  const auto budget = static_cast<int>(dev.regs_per_core / resident_threads);
-  const int reg_cap = std::min(budget, dev.max_regs_per_thread) -
-                      kRegOverheadPerThread;
+  const int reg_cap = register_budget_per_thread(dev) - kRegOverheadPerThread;
   // accumulators/thread = m_r * n_r / (L_fn * N_T) <= reg_cap
   const auto by_regs =
       static_cast<int>(static_cast<long long>(reg_cap) * lfn * dev.n_t / m_r);

@@ -71,6 +71,20 @@ struct ConfigCheck {
 /// Eq. 5 exactly as printed: m_c = N_b / N_cl.
 [[nodiscard]] int m_c_eq5(const GpuSpec& dev);
 
+/// Registers a thread needs beyond its accumulators: the m_r A values and
+/// N_vec B values in flight, loop counters and addresses.
+inline constexpr int kRegOverheadPerThread = 16;
+
+/// Per-thread register demand of `cfg`: accumulators plus the fixed
+/// kRegOverheadPerThread overhead.
+[[nodiscard]] int register_demand_per_thread(const KernelConfig& cfg,
+                                             const GpuSpec& dev);
+
+/// Per-thread register budget at the framework's occupancy plateau
+/// (N_cl x L_fn resident groups of N_T threads), capped by the ISA's
+/// per-thread limit.
+[[nodiscard]] int register_budget_per_thread(const GpuSpec& dev);
+
 /// Eq. 7 lower bound: n_r >= (N_T * m_r / m_c) * N_vec * L_fn.
 [[nodiscard]] int n_r_lower_bound(const GpuSpec& dev, int m_r, int m_c);
 

@@ -159,7 +159,7 @@ DeviceStats DeviceSim::run(const Program& program, int groups_per_core,
     // Rotate the core that gets first claim on the bus each cycle so no
     // core is structurally favored.
     const std::size_t first =
-        cores.size() > 0 ? cycle % cores.size() : 0;
+        cores.empty() ? 0 : cycle % cores.size();
     for (std::size_t ci = 0; ci < cores.size(); ++ci) {
       CoreState& core = cores[(first + ci) % cores.size()];
       if (core.done_count >= core.groups.size()) {

@@ -32,6 +32,8 @@ enum class Opcode : std::uint8_t {
   kLds,   ///< dst = shared[...]; imm = per-lane stride in words (mem pipe)
   kLdg,   ///< dst = global[...]           (mem pipe, long latency)
   kStg,   ///< global[...] = src1          (mem pipe)
+  kSts,   ///< shared[...] = src1; imm = per-lane stride in words (mem pipe)
+  kBar,   ///< thread-group barrier (publishes prior kSts to the group)
 };
 
 [[nodiscard]] constexpr model::InstrClass instr_class(Opcode op) {
@@ -49,6 +51,8 @@ enum class Opcode : std::uint8_t {
     case Opcode::kLds:
     case Opcode::kLdg:
     case Opcode::kStg:
+    case Opcode::kSts:
+    case Opcode::kBar:
       return model::InstrClass::kMem;
   }
   return model::InstrClass::kLogic;
@@ -76,6 +80,10 @@ enum class Opcode : std::uint8_t {
       return "LDG";
     case Opcode::kStg:
       return "STG";
+    case Opcode::kSts:
+      return "STS";
+    case Opcode::kBar:
+      return "BAR";
   }
   return "?";
 }

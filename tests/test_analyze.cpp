@@ -1,0 +1,444 @@
+// The static-analysis subsystem: check registry, config/IR/source passes,
+// the full analyze() pipeline over every paper preset, and a seeded
+// property sweep over perturbed devices (derive() output must always be
+// error-free; targeted corruptions must trip their specific check IDs).
+#include "analyze/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "io/rng.hpp"
+#include "kern/kernel_program.hpp"
+#include "kern/opencl_source.hpp"
+
+namespace snp::analyze {
+namespace {
+
+using bits::Comparison;
+using model::GpuSpec;
+using model::KernelConfig;
+using model::WorkloadKind;
+
+Severity severity_of(const std::string& id) {
+  for (const auto& c : check_registry()) {
+    if (id == c.id) {
+      return c.severity;
+    }
+  }
+  ADD_FAILURE() << "check ID not in registry: " << id;
+  return Severity::kInfo;
+}
+
+TEST(Diagnostics, ReportCountsAndQueries) {
+  Report r;
+  EXPECT_FALSE(r.has_errors());
+  r.add("SNP-TST-001", Severity::kError, "e");
+  r.add("SNP-TST-002", Severity::kWarn, "w");
+  r.add("SNP-TST-003", Severity::kInfo, "i");
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_TRUE(r.has("SNP-TST-002"));
+  EXPECT_FALSE(r.has("SNP-TST-004"));
+  EXPECT_EQ(r.count(Severity::kError), 1u);
+  EXPECT_EQ(r.count(Severity::kWarn), 1u);
+  EXPECT_EQ(r.count(Severity::kInfo), 1u);
+}
+
+TEST(Diagnostics, TextAndJsonRendering) {
+  Report r;
+  r.add("SNP-TST-001", Severity::kError, "a \"quoted\" message");
+  std::ostringstream text;
+  r.write_text(text);
+  EXPECT_NE(text.str().find("error  SNP-TST-001"), std::string::npos);
+  std::ostringstream json;
+  r.write_json(json);
+  EXPECT_NE(json.str().find("\\\"quoted\\\""), std::string::npos)
+      << json.str();
+  EXPECT_EQ(json.str().front(), '[');
+  EXPECT_EQ(json.str().back(), ']');
+}
+
+TEST(Registry, IdsAreUniqueAndWellFormed) {
+  const auto& checks = check_registry();
+  EXPECT_GE(checks.size(), 20u);
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const std::string id = checks[i].id;
+    EXPECT_EQ(id.rfind("SNP-", 0), 0u) << id;
+    for (std::size_t j = i + 1; j < checks.size(); ++j) {
+      EXPECT_STRNE(checks[i].id, checks[j].id);
+    }
+  }
+}
+
+// ---- config pass -----------------------------------------------------
+
+TEST(ConfigChecks, EveryPresetIsErrorFree) {
+  for (const auto& dev : model::all_gpus()) {
+    for (const auto kind : {WorkloadKind::kLd, WorkloadKind::kFastId}) {
+      const auto cfg = model::paper_preset(dev, kind);
+      Report r;
+      check_config(dev, cfg, r);
+      EXPECT_FALSE(r.has_errors())
+          << dev.name << " " << cfg.to_string();
+    }
+  }
+}
+
+TEST(ConfigChecks, Eq5DiscrepancyReportedAsInfoCitingDesignDoc) {
+  // Satellite: the shipped m_c = N_b vs Eq. 5 as printed must surface as
+  // an info diagnostic pointing at the DESIGN.md note, on every preset.
+  for (const auto& dev : model::all_gpus()) {
+    for (const auto kind : {WorkloadKind::kLd, WorkloadKind::kFastId}) {
+      Report r;
+      check_config(dev, model::paper_preset(dev, kind), r);
+      ASSERT_TRUE(r.has("SNP-CFG-006")) << dev.name;
+      const auto it = std::find_if(
+          r.diagnostics().begin(), r.diagnostics().end(),
+          [](const Diagnostic& d) { return d.id == "SNP-CFG-006"; });
+      EXPECT_EQ(it->severity, Severity::kInfo);
+      EXPECT_NE(it->message.find("DESIGN.md"), std::string::npos);
+      EXPECT_NE(it->message.find(std::to_string(model::m_c_eq5(dev))),
+                std::string::npos);
+    }
+  }
+}
+
+/// One corrupted field -> one specific check ID (plus possibly others).
+void expect_trips(const GpuSpec& dev, const KernelConfig& cfg,
+                  const std::string& id) {
+  Report r;
+  check_config(dev, cfg, r);
+  EXPECT_TRUE(r.has(id)) << cfg.to_string() << " should trip " << id;
+  EXPECT_EQ(severity_of(id), Severity::kError);
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(ConfigChecks, CorruptedConfigsTripTheirCheckIds) {
+  const auto dev = model::gtx980();
+  const auto base = model::paper_preset(dev, WorkloadKind::kLd);
+
+  auto cfg = base;
+  cfg.k_c = 9999;  // tile blows past usable shared memory
+  expect_trips(dev, cfg, "SNP-SHMEM-001");
+
+  cfg = base;
+  cfg.n_r = 24;  // multiple of L_fn = 6 but below the Eq. 7 bound of 96
+  expect_trips(dev, cfg, "SNP-CFG-005");
+
+  cfg = base;
+  cfg.n_r = 100;  // not a multiple of L_fn = 6
+  expect_trips(dev, cfg, "SNP-CFG-004");
+
+  cfg = base;
+  cfg.m_r = 3;  // not a multiple of N_vec = 4
+  expect_trips(dev, cfg, "SNP-CFG-002");
+
+  cfg = base;
+  cfg.m_c = 30;  // not a multiple of m_r = 4
+  expect_trips(dev, cfg, "SNP-CFG-003");
+
+  cfg = base;
+  cfg.m_c = 0;
+  expect_trips(dev, cfg, "SNP-CFG-001");
+
+  cfg = base;
+  cfg.n_r = 6144;  // 128 accumulators/thread: far past the register budget
+  expect_trips(dev, cfg, "SNP-REG-001");
+
+  cfg = base;
+  cfg.grid = {17, 1};  // 17 > the GTX 980's 16 cores
+  expect_trips(dev, cfg, "SNP-GRID-001");
+
+  const auto vega = model::vega64();
+  cfg = model::paper_preset(vega, WorkloadKind::kLd);
+  cfg.m_c = 64;  // beyond N_b = 32
+  expect_trips(vega, cfg, "SNP-BANK-001");
+
+  auto small = dev;
+  small.n_grp_max = 8;  // below the N_cl x L_fn = 24 plateau
+  expect_trips(small, base, "SNP-OCC-001");
+
+  auto broken = dev;
+  broken.banks = 0;
+  Report r;
+  check_config(broken, base, r);
+  EXPECT_TRUE(r.has("SNP-DEV-001"));
+}
+
+TEST(ConfigChecks, IdleCoresWarnButDoNotError) {
+  const auto dev = model::gtx980();
+  auto cfg = model::paper_preset(dev, WorkloadKind::kLd);
+  cfg.grid = {4, 2};  // 8 of 16 cores
+  Report r;
+  check_config(dev, cfg, r);
+  EXPECT_TRUE(r.has("SNP-OCC-002"));
+  EXPECT_FALSE(r.has_errors());
+}
+
+// ---- IR pass ---------------------------------------------------------
+
+TEST(IrChecks, KernelProgramIsCleanAtPolicyOccupancy) {
+  for (const auto& dev : model::all_gpus()) {
+    for (const auto kind : {WorkloadKind::kLd, WorkloadKind::kFastId}) {
+      const auto cfg = model::paper_preset(dev, kind);
+      const auto info = kern::build_kernel_program(
+          dev, cfg, Comparison::kAndNot, 16, 2);
+      Report r;
+      check_program(dev, info.program, dev.groups_per_cluster(), r);
+      EXPECT_TRUE(r.diagnostics().empty())
+          << dev.name << ": " << r.diagnostics().front().id << " "
+          << r.diagnostics().front().message;
+    }
+  }
+}
+
+TEST(IrChecks, MissingBarrierAfterStagingTripsIr001) {
+  const auto dev = model::gtx980();
+  const auto cfg = model::paper_preset(dev, WorkloadKind::kLd);
+  auto info = kern::build_kernel_program(dev, cfg, Comparison::kAnd, 8, 2);
+  auto& pro = info.program.prologue;
+  pro.erase(std::remove_if(pro.begin(), pro.end(),
+                           [](const sim::Instr& i) {
+                             return i.op == sim::Opcode::kBar;
+                           }),
+            pro.end());
+  Report r;
+  check_program(dev, info.program, dev.groups_per_cluster(), r);
+  EXPECT_TRUE(r.has("SNP-IR-001"));
+  EXPECT_TRUE(r.has_errors());
+}
+
+TEST(IrChecks, UndefinedRegisterReadTripsIr002) {
+  sim::Program p;
+  p.body.push_back({sim::Opcode::kAdd, 0, 0, 7, 0});  // r0, r7 undefined
+  p.iterations = 4;
+  p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 0, sim::kNoReg, 0});
+  Report r;
+  check_program(model::gtx980(), p, 1, r);
+  EXPECT_TRUE(r.has("SNP-IR-002"));
+}
+
+TEST(IrChecks, DeadResultRegisterTripsIr003) {
+  sim::Program p;
+  p.prologue.push_back({sim::Opcode::kLdg, 0, sim::kNoReg, sim::kNoReg, 0});
+  p.body.push_back({sim::Opcode::kPopc, 1, 0, sim::kNoReg, 0});  // r1 dead
+  p.iterations = 4;
+  p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 0, sim::kNoReg, 0});
+  Report r;
+  check_program(model::gtx980(), p, 1, r);
+  EXPECT_TRUE(r.has("SNP-IR-003"));
+  EXPECT_FALSE(r.has_errors());  // liveness is a warning, not an error
+}
+
+TEST(IrChecks, DeepDependentChainWarnsOnlyWhenOccupancyCannotHideIt) {
+  const auto dev = model::gtx980();
+  const auto lfn = dev.pipe(model::InstrClass::kPopc).latency_cycles;
+  const auto p = sim::dependent_chain(sim::Opcode::kPopc, 16, 64);
+  Report starved;
+  check_program(dev, p, 1, starved);
+  EXPECT_TRUE(starved.has("SNP-IR-004"));
+  Report hidden;
+  check_program(dev, p, lfn, hidden);
+  EXPECT_FALSE(hidden.has("SNP-IR-004"));
+}
+
+TEST(IrChecks, StridedSharedAccessTripsBank002) {
+  const auto dev = model::gtx980();  // 32 banks
+  const auto p = sim::strided_lds(dev.banks, 4, 16);
+  Report r;
+  check_program(dev, p, 1, r);
+  EXPECT_TRUE(r.has("SNP-BANK-002"));
+  const auto unit = sim::strided_lds(1, 4, 16);
+  Report clean;
+  check_program(dev, unit, 1, clean);
+  EXPECT_FALSE(clean.has("SNP-BANK-002"));
+}
+
+// ---- source pass -----------------------------------------------------
+
+TEST(SourceChecks, RenderedKernelIsClean) {
+  for (const auto& dev : model::all_gpus()) {
+    for (const auto op :
+         {Comparison::kAnd, Comparison::kXor, Comparison::kAndNot}) {
+      const auto cfg = model::paper_preset(dev, WorkloadKind::kLd);
+      Report r;
+      check_source(kern::render_config_header(dev, cfg, op),
+                   kern::render_kernel_source(dev, cfg, op), r);
+      EXPECT_TRUE(r.diagnostics().empty())
+          << dev.name << ": " << r.diagnostics().front().message;
+    }
+  }
+}
+
+TEST(SourceChecks, UndefinedMacroTripsSrc001) {
+  Report r;
+  check_source("#define SNP_M_C 32\n",
+               "__kernel void k() { int x = SNP_MISSING; }\n", r);
+  EXPECT_TRUE(r.has("SNP-SRC-001"));
+}
+
+TEST(SourceChecks, ConflictingRedefinitionTripsSrc002) {
+  Report r;
+  check_source("#define SNP_M_C 32\n#define SNP_M_C 64\n",
+               "__kernel void k() { int x = SNP_M_C; }\n", r);
+  EXPECT_TRUE(r.has("SNP-SRC-002"));
+  // Same value twice is benign (include-guard style), and commented-out
+  // defines do not count.
+  Report benign;
+  check_source("#define SNP_M_C 32\n// #define SNP_M_C 64\n"
+               "#define SNP_M_C 32\n",
+               "__kernel void k() { int x = SNP_M_C; }\n", benign);
+  EXPECT_FALSE(benign.has("SNP-SRC-002"));
+}
+
+TEST(SourceChecks, BarrierInDivergentControlFlowTripsSrc003) {
+  Report r;
+  check_source("",
+               "__kernel void k(int t) {\n"
+               "  if (t > 0) {\n"
+               "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+               "  }\n"
+               "}\n",
+               r);
+  EXPECT_TRUE(r.has("SNP-SRC-003"));
+  // Counted loops are uniform: every lane executes the same trip count.
+  Report loop;
+  check_source("",
+               "__kernel void k(int n) {\n"
+               "  for (int i = 0; i < n; ++i) {\n"
+               "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+               "  }\n"
+               "}\n",
+               loop);
+  EXPECT_FALSE(loop.has("SNP-SRC-003"));
+  Report unbalanced;
+  check_source("", "__kernel void k() { {\n", unbalanced);
+  EXPECT_TRUE(unbalanced.has("SNP-SRC-003"));
+}
+
+// ---- full pipeline ---------------------------------------------------
+
+TEST(Analyze, EveryPresetWorkloadOpCombinationIsErrorFree) {
+  for (const auto& dev : model::all_gpus()) {
+    for (const auto kind : {WorkloadKind::kLd, WorkloadKind::kFastId}) {
+      for (const auto op :
+           {Comparison::kAnd, Comparison::kXor, Comparison::kAndNot}) {
+        for (const bool pre : {false, true}) {
+          auto cfg = model::paper_preset(dev, kind);
+          cfg.pre_negated = pre && op == Comparison::kAndNot;
+          const Report r = analyze(dev, cfg, op);
+          EXPECT_FALSE(r.has_errors())
+              << dev.name << " " << bits::to_string(op);
+          EXPECT_TRUE(r.has("SNP-CFG-006")) << dev.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(Analyze, NeverThrowsOnGarbageConfigs) {
+  const auto dev = model::titan_v();
+  KernelConfig cfg;  // all zeros: build_kernel_program would throw
+  const Report r = analyze(dev, cfg, Comparison::kAnd);
+  EXPECT_TRUE(r.has("SNP-CFG-001"));
+  EXPECT_TRUE(r.has_errors());
+}
+
+// ---- property sweep over perturbed devices ---------------------------
+
+/// A random but internally consistent GpuSpec: fields move through
+/// realistic ranges while the invariants derive() depends on hold (the
+/// register file can hold the overhead, the group limit admits the
+/// N_cl x L_fn plateau).
+GpuSpec perturbed_device(std::uint64_t seed) {
+  io::Rng rng(seed);
+  GpuSpec dev;
+  switch (rng.next_below(3)) {
+    case 0:
+      dev = model::gtx980();
+      break;
+    case 1:
+      dev = model::titan_v();
+      break;
+    default:
+      dev = model::vega64();
+      break;
+  }
+  dev.n_t = rng.next_below(2) == 0 ? 32 : 64;
+  dev.n_clusters = static_cast<int>(1 + rng.next_below(8));
+  dev.banks = 16 << rng.next_below(3);  // 16, 32, 64
+  dev.n_vec = 1 << rng.next_below(3);   // 1, 2, 4
+  const int lfn = static_cast<int>(2 + rng.next_below(5));  // 2..6
+  for (auto& pipe : dev.pipes) {
+    pipe.latency_cycles = lfn;
+    pipe.units_per_cluster = static_cast<int>(1 + rng.next_below(64));
+  }
+  dev.n_cores = static_cast<int>(1 + rng.next_below(100));
+  dev.shared_bytes = (32u << rng.next_below(3)) * 1024u;  // 32/64/128 KiB
+  dev.shared_reserved = rng.next_below(2) == 0 ? 0 : 128;
+  dev.regs_per_core = (128u << rng.next_below(3)) * 1024u;
+  dev.max_regs_per_thread = rng.next_below(2) == 0 ? 128 : 255;
+  // Keep the resident-group limit above the occupancy plateau; derive()
+  // has no n_grp_max escape hatch (that is exactly what SNP-OCC-001
+  // guards in hand-written configs).
+  dev.n_grp_max = dev.n_clusters * lfn +
+                  static_cast<int>(rng.next_below(16));
+  return dev;
+}
+
+TEST(AnalyzeProperty, DerivedConfigsPassOnAThousandPerturbedDevices) {
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    const GpuSpec dev = perturbed_device(seed);
+    for (const auto kind : {WorkloadKind::kLd, WorkloadKind::kFastId}) {
+      const auto cfg = model::derive(dev, kind);
+      const Report r = analyze(dev, cfg, Comparison::kXor);
+      ASSERT_FALSE(r.has_errors())
+          << "seed " << seed << " " << dev.name << " n_t=" << dev.n_t
+          << " n_cl=" << dev.n_clusters << " banks=" << dev.banks
+          << " cfg=" << cfg.to_string() << "\nfirst: "
+          << r.diagnostics().front().id << " "
+          << r.diagnostics().front().message;
+    }
+  }
+}
+
+TEST(AnalyzeProperty, CorruptedDerivedConfigsTripTheirCheckIds) {
+  std::uint64_t shmem_tested = 0;
+  std::uint64_t eq7_tested = 0;
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    const GpuSpec dev = perturbed_device(seed);
+    const auto base = model::derive(dev, WorkloadKind::kLd);
+    const int lfn = dev.pipe(model::InstrClass::kPopc).latency_cycles;
+
+    // k_c inflated past N_shared must always trip the shared-memory check.
+    auto cfg = base;
+    cfg.k_c = base.k_c +
+              static_cast<int>(dev.shared_bytes /
+                               (4 * static_cast<std::size_t>(cfg.m_c)));
+    Report r;
+    check_config(dev, cfg, r);
+    EXPECT_TRUE(r.has("SNP-SHMEM-001")) << "seed " << seed;
+    ++shmem_tested;
+
+    // n_r below Eq. 7 (when a positive L_fn-multiple below the bound
+    // exists) must trip the latency-hiding bound.
+    const int bound = model::n_r_lower_bound(dev, base.m_r, base.m_c);
+    if (bound >= 2 * lfn) {
+      cfg = base;
+      cfg.n_r = bound - lfn;
+      Report r2;
+      check_config(dev, cfg, r2);
+      EXPECT_TRUE(r2.has("SNP-CFG-005")) << "seed " << seed;
+      ++eq7_tested;
+    }
+  }
+  EXPECT_EQ(shmem_tested, 1000u);
+  // The Eq. 7 corruption needs headroom below the bound; most sampled
+  // devices have it, and the sweep must exercise a healthy share.
+  EXPECT_GT(eq7_tested, 400u);
+}
+
+}  // namespace
+}  // namespace snp::analyze

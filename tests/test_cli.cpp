@@ -358,6 +358,71 @@ TEST(Cli, KernelSrcCommand) {
 }
 
 
+TEST(Cli, LintCleanOnEveryPresetCombination) {
+  for (const std::string device : {"gtx980", "titanv", "vega64"}) {
+    for (const std::string workload : {"ld", "fastid"}) {
+      for (const std::string op : {"and", "xor", "andnot"}) {
+        const auto r = run_cli({"lint", "--device", device, "--workload",
+                                workload, "--op", op});
+        EXPECT_EQ(r.code, 0) << device << " " << workload << " " << op
+                             << "\n" << r.out << r.err;
+        EXPECT_NE(r.out.find("0 error(s)"), std::string::npos);
+        // The Eq. 5 discrepancy info rides along on every preset.
+        EXPECT_NE(r.out.find("SNP-CFG-006"), std::string::npos);
+        EXPECT_NE(r.out.find("DESIGN.md"), std::string::npos);
+      }
+    }
+  }
+}
+
+TEST(Cli, LintJsonFormat) {
+  const auto r = run_cli({"lint", "--device", "gtx980", "--format",
+                          "json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"device\": \"GTX 980\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"errors\": 0"), std::string::npos);
+  EXPECT_NE(r.out.find("\"diagnostics\": ["), std::string::npos);
+  EXPECT_NE(r.out.find("SNP-CFG-006"), std::string::npos);
+}
+
+TEST(Cli, LintCorruptedConfigsExitNonZeroWithCheckIds) {
+  // Exit 3 distinguishes "found errors" from usage (1) / runtime (2).
+  auto r = run_cli({"lint", "--device", "titanv", "--k-c", "9999"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.out.find("SNP-SHMEM-001"), std::string::npos);
+  r = run_cli({"lint", "--device", "gtx980", "--n-r", "24"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.out.find("SNP-CFG-005"), std::string::npos);
+  r = run_cli({"lint", "--device", "vega64", "--m-c", "64"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.out.find("SNP-BANK-001"), std::string::npos);
+  r = run_cli({"lint", "--device", "titanv", "--grid-m", "81"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.out.find("SNP-GRID-001"), std::string::npos);
+}
+
+TEST(Cli, LintRejectsBadFlags) {
+  EXPECT_EQ(run_cli({"lint", "--workload", "bogus"}).code, 1);
+  EXPECT_EQ(run_cli({"lint", "--format", "yaml"}).code, 1);
+  EXPECT_EQ(run_cli({"lint", "--bogus", "1"}).code, 1);
+}
+
+TEST(Cli, ComputeCommandsSurfaceLintNotes) {
+  // An idle-core grid reaches the user as a `lint:` line in the timing
+  // report (the warn-only pre-launch pass in core::compare).
+  const std::string cohort = tmp("lint_cohort.plink");
+  const std::string packed = tmp("lint_cohort.sbm");
+  auto r = run_cli({"gen", "--loci", "40", "--samples", "200", "--seed",
+                    "11", "--out", cohort});
+  ASSERT_EQ(r.code, 0) << r.err;
+  r = run_cli({"encode", "--in", cohort, "--out", packed});
+  ASSERT_EQ(r.code, 0) << r.err;
+  r = run_cli({"ld", "--in", packed, "--device", "gtx980", "--top", "3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("lint:"), std::string::npos);
+  EXPECT_NE(r.out.find("SNP-CFG-006"), std::string::npos);
+}
+
 TEST(Cli, QcLdPruneOption) {
   const std::string cohort = tmp("prune_cohort.plink");
   auto r = run_cli({"gen", "--loci", "60", "--samples", "800",

@@ -18,7 +18,14 @@ TEST(Config, Eq5AsPrintedDisagreesWithTableII) {
   // 32 for every device.
   for (const auto& d : all_gpus()) {
     EXPECT_EQ(m_c_eq5(d), 8) << d.name;
-    EXPECT_EQ(paper_preset(d, WorkloadKind::kLd).m_c, 32) << d.name;
+    // Both values pinned for every paper preset: the shipped m_c is
+    // N_b = 32 on each device and workload, never the printed 8.
+    for (const auto kind : {WorkloadKind::kLd, WorkloadKind::kFastId}) {
+      const auto preset = paper_preset(d, kind);
+      EXPECT_EQ(preset.m_c, 32) << d.name;
+      EXPECT_EQ(preset.m_c, d.banks) << d.name;
+      EXPECT_NE(preset.m_c, m_c_eq5(d)) << d.name;
+    }
   }
 }
 

@@ -2,7 +2,9 @@
 # Full verification sweep:
 #   1. Release build + the whole test suite (tier1 + slow labels), plus
 #      a telemetry smoke: a real search run with --metrics-out /
-#      --trace-out whose outputs are validated as JSON.
+#      --trace-out whose outputs are validated as JSON, and a
+#      static-analyzer smoke: `snpcmp lint --format json` on two device
+#      presets, validated the same way (zero errors, Eq. 5 note present).
 #   2. ASan/UBSan build + tier-1 tests.
 #   3. TSan build + the concurrency-heavy suites (exec scheduler,
 #      async-vs-serial conformance, and the obs metrics/span registry) —
@@ -47,6 +49,27 @@ assert {1, 2} <= pids, f"merged trace missing host tracks: {pids}"
 assert all(ev["ph"] in ("M", "X") for ev in trace)
 print(f"telemetry smoke ok: {len(metrics['counters'])} counters, "
       f"{len(trace)} trace events, pids {sorted(pids)}")
+EOF
+
+echo "== static-analyzer smoke (snpcmp lint JSON round-trip) =="
+# Two presets through the kernel/config analyzer: the JSON must parse,
+# carry zero error-severity diagnostics, and surface the Eq. 5
+# discrepancy info note (SNP-CFG-006, docs/static-analysis.md).
+./build/tools/snpcmp lint --device gtx980 --format json \
+  > "$smoke/lint_gtx980.json"
+./build/tools/snpcmp lint --device vega64 --workload fastid --format json \
+  > "$smoke/lint_vega64.json"
+python3 - "$smoke/lint_gtx980.json" "$smoke/lint_vega64.json" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    doc = json.load(open(path))
+    assert doc["errors"] == 0, f"{doc['device']}: {doc['errors']} errors"
+    ids = {d["id"] for d in doc["diagnostics"]}
+    assert "SNP-CFG-006" in ids, f"{doc['device']}: Eq. 5 note missing"
+    sev = {d["severity"] for d in doc["diagnostics"]}
+    assert sev <= {"warn", "info"}, f"{doc['device']}: bad severities {sev}"
+    print(f"lint ok: {doc['device']} {doc['workload']} "
+          f"{len(doc['diagnostics'])} diagnostic(s), 0 errors")
 EOF
 
 echo "== bench_compare self-test (regression-gate fixtures) =="

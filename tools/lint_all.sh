@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Sweep `snpcmp lint` across every device preset x workload x op
+# combination (the acceptance matrix for the static analyzer): each run
+# must exit 0 with zero error-severity diagnostics. Used by the CI lint
+# job and callable locally after any change to src/analyze, src/model,
+# or src/kern.
+#
+# Usage: tools/lint_all.sh [path/to/snpcmp]   (default: build/tools/snpcmp)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+snpcmp=${1:-build/tools/snpcmp}
+if [[ ! -x "$snpcmp" ]]; then
+  echo "lint_all: $snpcmp not built (cmake --build build)" >&2
+  exit 2
+fi
+
+combos=0
+for device in gtx980 titanv vega64; do
+  for workload in ld fastid; do
+    for op in and xor andnot; do
+      if ! out=$("$snpcmp" lint --device "$device" --workload "$workload" \
+                 --op "$op"); then
+        echo "lint_all: FAILED for $device $workload $op:" >&2
+        echo "$out" >&2
+        exit 1
+      fi
+      combos=$((combos + 1))
+    done
+  done
+done
+echo "lint_all: $combos preset combinations clean"
