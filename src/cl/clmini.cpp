@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "rt/fault.hpp"
+#include "rt/status.hpp"
 #include "sim/memory.hpp"
 
 namespace snp::cl {
@@ -31,14 +33,18 @@ std::shared_ptr<Buffer> Context::create_buffer(std::size_t bytes) {
   if (bytes == 0) {
     throw std::invalid_argument("create_buffer: zero-size buffer");
   }
+  // Injection precedes the accounting mutation so a retried allocation
+  // replays against unchanged state.
+  rt::maybe_inject(rt::FaultSite::kAlloc);
   if (bytes > device_.max_alloc_bytes()) {
-    throw std::length_error(
+    throw rt::Error(
+        rt::ErrorCode::kAlloc,
         "create_buffer: allocation exceeds CL_DEVICE_MAX_MEM_ALLOC_SIZE (" +
-        std::to_string(device_.max_alloc_bytes()) + " bytes)");
+            std::to_string(device_.max_alloc_bytes()) + " bytes)");
   }
   if (allocated_bytes_ + bytes > device_.global_bytes()) {
-    throw std::length_error(
-        "create_buffer: device global memory exhausted");
+    throw rt::Error(rt::ErrorCode::kAlloc,
+                    "create_buffer: device global memory exhausted");
   }
   allocated_bytes_ += bytes;
   return std::shared_ptr<Buffer>(new Buffer(bytes));
@@ -65,6 +71,9 @@ Event CommandQueue::enqueue_write(Buffer& dst,
   if (src.size() > dst.size()) {
     throw std::out_of_range("enqueue_write: source larger than buffer");
   }
+  // All injection sites sit before the first clock/buffer mutation: a
+  // retried enqueue must observe bit-identical virtual-clock state.
+  rt::maybe_inject(rt::FaultSite::kH2d);
   Event ev;
   ev.queued = host_now_;
   // A write may not begin until prior consumers of this buffer are done
@@ -85,6 +94,7 @@ Event CommandQueue::enqueue_read(const Buffer& src,
   if (dst.size() > src.size()) {
     throw std::out_of_range("enqueue_read: destination larger than buffer");
   }
+  rt::maybe_inject(rt::FaultSite::kReadback);
   Event ev;
   ev.queued = host_now_;
   ev.submitted = std::max(d2h_free_, ev.queued);
@@ -107,6 +117,7 @@ Event CommandQueue::enqueue_kernel(double simulated_seconds,
   if (simulated_seconds < 0.0) {
     throw std::invalid_argument("enqueue_kernel: negative duration");
   }
+  rt::maybe_inject(rt::FaultSite::kLaunch);
   Event ev;
   ev.queued = host_now_;
   ev.submitted = std::max(compute_free_, ev.queued);

@@ -20,6 +20,9 @@
 #include "io/vcf_lite.hpp"
 #include "kern/opencl_source.hpp"
 #include "obs/obs.hpp"
+#include "rt/fault.hpp"
+#include "rt/recovery.hpp"
+#include "rt/status.hpp"
 #include "sim/trace.hpp"
 #include "stats/assoc.hpp"
 #include "stats/forensic.hpp"
@@ -225,6 +228,43 @@ class Telemetry {
   mutable std::unique_ptr<obs::HwCounters> hw_;
 };
 
+/// Shared `--inject-faults SPEC` / `--fail-policy P` handling for the
+/// compute commands (docs/robustness.md). Construct before
+/// reject_unknown(); apply() validates the flags, sets the recovery
+/// policy on the compute options, and arms the fault plan for this
+/// object's lifetime — i.e. exactly the command body, so sequential
+/// in-process cli::run() calls (tests, batch drivers) never leak an
+/// armed plan into each other.
+class FaultControl {
+ public:
+  explicit FaultControl(Options& opt)
+      : spec_(opt.str("inject-faults", "")),
+        policy_text_(opt.str("fail-policy", "")) {}
+
+  void apply(ComputeOptions& copts) {
+    if (!policy_text_.empty()) {
+      const auto policy = rt::parse_fail_policy(policy_text_);
+      if (!policy) {
+        throw std::invalid_argument(
+            "--fail-policy must be abort, retry, failover or degrade");
+      }
+      copts.recovery.policy = *policy;
+    }
+    if (!spec_.empty()) {
+      try {
+        scoped_.emplace(rt::FaultPlan::parse(spec_));
+      } catch (const rt::Error& e) {
+        throw std::invalid_argument(e.status().message);
+      }
+    }
+  }
+
+ private:
+  std::string spec_;
+  std::string policy_text_;
+  std::optional<rt::ScopedFaultPlan> scoped_;
+};
+
 bits::Comparison parse_op(const std::string& s) {
   if (s == "and" || s == "ld") {
     return bits::Comparison::kAnd;
@@ -260,6 +300,29 @@ void print_timing(std::ostream& out, const TimingReport& t) {
       << "d2h:         " << t.d2h_s * 1e3 << " ms\n"
       << "end-to-end:  " << t.end_to_end_s * 1e3 << " ms\n"
       << "chunks:      " << t.chunks << "\n";
+  // Only on faulty runs, so golden output on clean runs stays stable.
+  if (!t.fault_events.empty() || t.degraded) {
+    out << "faults:      " << t.fault_events.size() << " event(s)"
+        << (t.degraded ? ", degraded to CPU" : "") << "\n";
+    const std::size_t shown =
+        std::min<std::size_t>(t.fault_events.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const rt::FaultEvent& ev = t.fault_events[i];
+      out << "  fault:     " << ev.site << " " << rt::code_name(ev.code)
+          << " -> " << ev.action;
+      if (ev.chunk >= 0) {
+        out << " (chunk " << ev.chunk << ")";
+      }
+      if (ev.attempt > 0) {
+        out << " attempt " << ev.attempt;
+      }
+      out << "\n";
+    }
+    if (t.fault_events.size() > shown) {
+      out << "  ...        " << t.fault_events.size() - shown
+          << " more event(s)\n";
+    }
+  }
   if (t.kernel_gops > 0.0) {
     out << "throughput:  " << t.kernel_gops << " Gword-ops/s ("
         << t.pct_of_peak << "% of peak)\n";
@@ -402,12 +465,14 @@ int cmd_ld(Options& opt, std::ostream& out) {
   const std::size_t top = opt.num("top", 10);
   const std::size_t threads = opt.num("threads", 0);
   const Telemetry tele(opt);
+  FaultControl faults(opt);
   opt.reject_unknown();
   tele.begin();
   const auto m = io::load_bitmatrix(std::filesystem::path(in));
   Context ctx = make_context(device);
   ComputeOptions copts;
   copts.threads = threads;
+  faults.apply(copts);
   const auto res = ctx.ld(m, copts);
   if (!gamma_out.empty()) {
     io::save_countmatrix(res.counts, std::filesystem::path(gamma_out));
@@ -447,6 +512,7 @@ int cmd_search(Options& opt, std::ostream& out) {
   const std::size_t threads = opt.num("threads", 0);
   const std::string host_trace = opt.str("host-trace", "");
   const Telemetry tele(opt);
+  FaultControl faults(opt);
   opt.reject_unknown();
   tele.begin();
   const auto queries = io::load_bitmatrix(std::filesystem::path(qpath));
@@ -454,6 +520,7 @@ int cmd_search(Options& opt, std::ostream& out) {
   Context ctx = make_context(device);
   ComputeOptions copts;
   copts.threads = threads;
+  faults.apply(copts);
   const auto res = ctx.identity_search(queries, db, copts);
   print_timing(out, res.comparison.timing);
   tele.finish(out, nullptr, res.comparison.timing.chunk_events,
@@ -492,6 +559,7 @@ int cmd_mixture(Options& opt, std::ostream& out) {
   const bool pre_negate = opt.str("pre-negate", "no") == "yes";
   const std::size_t threads = opt.num("threads", 0);
   const Telemetry tele(opt);
+  FaultControl faults(opt);
   opt.reject_unknown();
   tele.begin();
   const auto profiles = io::load_bitmatrix(std::filesystem::path(ppath));
@@ -500,6 +568,7 @@ int cmd_mixture(Options& opt, std::ostream& out) {
   ComputeOptions copts;
   copts.pre_negate = pre_negate;
   copts.threads = threads;
+  faults.apply(copts);
   const auto res =
       ctx.mixture_analysis(profiles, mixtures, tolerance, copts);
   print_timing(out, res.comparison.timing);
@@ -1118,6 +1187,18 @@ commands:
             [telemetry flags]
             paper-scale projection (+ chrome://tracing timeline)
 
+fault-tolerance flags (ld, search, mixture; docs/robustness.md):
+  --fail-policy abort|retry|failover|degrade
+                                recovery policy for device faults
+                                (default retry; degrade falls back to the
+                                host engine with bit-identical results)
+  --inject-faults SPEC          deterministic fault plan, e.g.
+                                "launch:p=0.05:seed=7" or "h2d:after=3"
+                                (sites: alloc h2d launch readback pool io
+                                shard timeout; also via SNPCMP_FAULTS);
+                                unrecovered faults exit 4 with the stable
+                                SNPRT-* code on stderr
+
 telemetry flags (ld, search, mixture, estimate):
   --metrics-out F.json          dump the process metrics registry
   --metrics-format json|prom    metrics dump format (default json)
@@ -1201,6 +1282,12 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   } catch (const std::invalid_argument& e) {
     err << "error: " << e.what() << "\n" << usage();
     return 1;
+  } catch (const rt::Error& e) {
+    // Structured runtime failure (exhausted retries under --fail-policy
+    // abort/retry, unrecoverable corruption, ...): the stable SNPRT-*
+    // code is the first token so scripts can match on it.
+    err << "error: " << e.what() << "\n";
+    return 4;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 2;

@@ -16,7 +16,9 @@ namespace snp::cli {
 
 /// Runs one CLI invocation. `args` excludes the program name. Normal
 /// output goes to `out`, diagnostics to `err`; the return value is the
-/// process exit code (0 success, 1 usage error, 2 runtime failure).
+/// process exit code (0 success, 1 usage error, 2 runtime failure,
+/// 3 lint errors, 4 structured rt::Error — the stable SNPRT-* code is
+/// the first stderr token).
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 

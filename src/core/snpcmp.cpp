@@ -15,6 +15,7 @@
 #include "kern/gpu_kernel.hpp"
 #include "model/peak.hpp"
 #include "obs/obs.hpp"
+#include "rt/fault.hpp"
 #include "sim/roofline.hpp"
 #include "sim/transfer.hpp"
 #include "stats/forensic.hpp"
@@ -128,7 +129,8 @@ ChunkPlan plan_chunks(const model::GpuSpec& dev,
   p.stream_row_bytes = row_bytes;
   p.resident_bytes = resident_rows * row_bytes;
   if (p.resident_bytes > dev.max_alloc_bytes) {
-    throw std::length_error(
+    throw rt::Error(
+        rt::ErrorCode::kAlloc,
         "compare: resident operand exceeds the device allocation limit; "
         "reduce the smaller matrix or use a larger-memory device");
   }
@@ -160,7 +162,8 @@ ChunkPlan plan_chunks(const model::GpuSpec& dev,
   }
   p.chunk_rows = std::min(p.chunk_rows, p.stream_rows);
   if (p.chunk_rows == 0) {
-    throw std::length_error("compare: device memory cannot hold one chunk");
+    throw rt::Error(rt::ErrorCode::kAlloc,
+                    "compare: device memory cannot hold one chunk");
   }
   return p;
 }
@@ -268,8 +271,91 @@ CompareResult Context::compare(const BitMatrix& a, const BitMatrix& b,
                                Comparison op,
                                const ComputeOptions& options) {
   check_operands(a, b, op, options);
-  return gpu_ ? compare_gpu(a, b, op, options)
-              : compare_cpu(a, b, op, options);
+  if (!gpu_) {
+    return compare_cpu(a, b, op, options);
+  }
+  rt::FaultLog fault_log;
+  GpuProgress progress;
+  CompareResult result;
+  try {
+    compare_gpu(a, b, op, options, &fault_log, &progress, result);
+    result.timing.fault_events = fault_log.snapshot();
+    return result;
+  } catch (const rt::Error& e) {
+    const rt::FailPolicy policy = options.recovery.policy;
+    // On a single device the failover rung has no surviving peer to move
+    // work to, so it shares the degradation rung with kDegrade
+    // (multi::MultiGpuContext owns true shard failover).
+    if (policy != rt::FailPolicy::kDegrade &&
+        policy != rt::FailPolicy::kFailover) {
+      throw;  // abort/retry: propagate with the structured code intact
+    }
+    SNP_OBS_COUNT("rt.degrades", 1);
+    {
+      rt::FaultEvent ev;
+      ev.site = "compare.degrade";
+      ev.code = e.code();
+      ev.action = "degrade";
+      ev.detail = e.what();
+      fault_log.record(std::move(ev));
+    }
+    // GPU->CPU graceful degradation: the in-order drain chain guarantees
+    // the delivered rows form an exact prefix of the streamed operand, so
+    // the host engine recomputes only the remainder — streaming consumers
+    // see each chunk exactly once, and the merged counts are bit-identical
+    // to a clean run (the functional kernels and the host engine agree
+    // bit-for-bit by the conformance suite).
+    const std::string gpu_name = gpu_->name();
+    const auto wall0 = std::chrono::steady_clock::now();
+    if (options.functional) {
+      const bool sb = progress.stream_b;
+      const std::size_t total_rows = sb ? b.rows() : a.rows();
+      const std::size_t delivered =
+          std::min(progress.delivered_rows.load(), total_rows);
+      if (delivered < total_rows) {
+        const BitMatrix remainder = sb ? b.row_slice(delivered, total_rows)
+                                       : a.row_slice(delivered, total_rows);
+        const BitMatrix& cpu_a = sb ? a : remainder;
+        const BitMatrix& cpu_b = sb ? remainder : b;
+        CountMatrix part;
+        if (options.threads > 0) {
+          exec::ThreadPool pool(options.threads);
+          part = cpu::compare_blocked_async(cpu_a, cpu_b, op, pool);
+        } else {
+          part = cpu::compare_blocked(cpu_a, cpu_b, op);
+        }
+        if (options.chunk_callback) {
+          options.chunk_callback(
+              ComputeOptions::ChunkView{delivered, sb, part});
+        }
+        if (options.keep_counts) {
+          if (result.counts.rows() != a.rows() ||
+              result.counts.cols() != b.rows()) {
+            result.counts = CountMatrix(a.rows(), b.rows());
+          }
+          for (std::size_t i = 0; i < part.rows(); ++i) {
+            for (std::size_t j = 0; j < part.cols(); ++j) {
+              if (sb) {
+                result.counts.at(i, delivered + j) = part.at(i, j);
+              } else {
+                result.counts.at(delivered + i, j) = part.at(i, j);
+              }
+            }
+          }
+        }
+      }
+    }
+    const double fallback_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+    result.timing.degraded = true;
+    result.timing.device = gpu_name + " -> cpu (degraded)";
+    result.timing.kernel_s += fallback_s;
+    result.timing.end_to_end_s += fallback_s;
+    result.timing.fault_events = fault_log.snapshot();
+    return result;
+  }
 }
 
 CompareResult Context::compare_cpu(const BitMatrix& a, const BitMatrix& b,
@@ -318,11 +404,13 @@ CompareResult Context::compare_cpu(const BitMatrix& a, const BitMatrix& b,
   return result;
 }
 
-CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
-                                   Comparison op,
-                                   const ComputeOptions& options) {
+void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
+                          Comparison op, const ComputeOptions& options,
+                          rt::FaultLog* fault_log, GpuProgress* progress,
+                          CompareResult& result) {
   SNP_OBS_SPAN("core.compare_gpu");
   SNP_OBS_COUNT("core.compare.calls", 1);
+  const rt::RecoveryOptions rec = options.recovery;
   const model::GpuSpec& dev = gpu_->spec();
   model::KernelConfig cfg = effective_config(a, b, op, options);
   const auto check = model::validate(cfg, dev);
@@ -352,6 +440,7 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
       plan_chunks(dev, cfg, a.rows(), b_eff.rows(),
                   streamed_ref.words64_per_row() * 8, options.chunk_rows);
   const bool stream_b = plan.stream_b;
+  progress->stream_b = stream_b;
   const BitMatrix& resident = stream_b ? a : b_eff;
   const BitMatrix& streamed = stream_b ? b_eff : a;
   const std::size_t resident_bytes = resident.size_bytes();
@@ -362,7 +451,6 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
   cl::Context clctx(*gpu_);
   cl::CommandQueue& q = clctx.queue();
 
-  CompareResult result;
   result.timing.device = dev.name;
   result.timing.config = cfg.to_string();
   if (options.lint) {
@@ -384,14 +472,22 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
 
   const kern::GpuSnpKernel kernel(dev, cfg, op);
 
-  auto resident_buf = clctx.create_buffer(resident_bytes);
+  // Every device operation below runs under the bounded-retry rung: the
+  // clmini injection sites throw before any virtual-clock or accounting
+  // mutation, so a retried call replays against bit-identical state and
+  // recovered runs stay indistinguishable from clean ones.
+  auto resident_buf = rt::with_retry(rec, "alloc", -1, fault_log, [&] {
+    return clctx.create_buffer(resident_bytes);
+  });
   {
     const auto raw = resident.raw64();
-    const cl::Event ev = q.enqueue_write(
-        *resident_buf,
-        std::span<const std::byte>(
-            reinterpret_cast<const std::byte*>(raw.data()),
-            raw.size_bytes()));
+    const cl::Event ev = rt::with_retry(rec, "h2d", -1, fault_log, [&] {
+      return q.enqueue_write(
+          *resident_buf,
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(raw.data()),
+              raw.size_bytes()));
+    });
     result.timing.h2d_s += ev.duration();
     SNP_OBS_COUNT("core.h2d.bytes", raw.size_bytes());
   }
@@ -400,9 +496,12 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
   std::vector<std::shared_ptr<cl::Buffer>> stream_bufs;
   std::vector<std::shared_ptr<cl::Buffer>> c_bufs;
   for (int i = 0; i < inflight; ++i) {
-    stream_bufs.push_back(
-        clctx.create_buffer(chunk_rows * stream_row_bytes));
-    c_bufs.push_back(clctx.create_buffer(chunk_rows * c_row_bytes));
+    stream_bufs.push_back(rt::with_retry(rec, "alloc", i, fault_log, [&] {
+      return clctx.create_buffer(chunk_rows * stream_row_bytes);
+    }));
+    c_bufs.push_back(rt::with_retry(rec, "alloc", i, fault_log, [&] {
+      return clctx.create_buffer(chunk_rows * c_row_bytes);
+    }));
   }
 
   double kernel_gops_weighted = 0.0;
@@ -444,6 +543,22 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
         options.max_inflight_chunks > 0 ? options.max_inflight_chunks
                                         : 2 * options.threads);
   }
+  // If an enqueue fault exhausts its retries mid-loop, the unwind must
+  // not destroy chunk-task captures while pool workers still run them:
+  // this guard quiesces the graph first (swallowing its own error — the
+  // original exception is the one that propagates). Declared after the
+  // graph so it is destroyed before it.
+  struct GraphQuiesce {
+    exec::TaskGraph* graph = nullptr;
+    ~GraphQuiesce() {
+      if (graph != nullptr) {
+        try {
+          graph->wait();
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+        }
+      }
+    }
+  } quiesce{graph.get()};
 
   struct ChunkState {
     BitMatrix chunk;    ///< packed slice of the streamed operand
@@ -471,11 +586,14 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
       const auto raw = streamed.raw64().subspan(
           row0 * streamed.words64_per_row(),
           rows * streamed.words64_per_row());
-      const cl::Event ev = q.enqueue_write(
-          *stream_bufs[slot],
-          std::span<const std::byte>(
-              reinterpret_cast<const std::byte*>(raw.data()),
-              raw.size_bytes()));
+      const cl::Event ev = rt::with_retry(
+          rec, "h2d", static_cast<std::int64_t>(ci), fault_log, [&] {
+            return q.enqueue_write(
+                *stream_bufs[slot],
+                std::span<const std::byte>(
+                    reinterpret_cast<const std::byte*>(raw.data()),
+                    raw.size_bytes()));
+          });
       result.timing.h2d_s += ev.duration();
       SNP_OBS_COUNT("core.compare.chunks", 1);
       SNP_OBS_COUNT("core.h2d.bytes", raw.size_bytes());
@@ -508,35 +626,58 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
       const auto* callback =
           options.chunk_callback ? &options.chunk_callback : nullptr;
       auto state = std::make_shared<ChunkState>();
-      auto pack = [state, streamed_ptr, off, rows]() {
-        SNP_OBS_SPAN("core.chunk.pack");
-        state->chunk = streamed_ptr->row_slice(off, off + rows);
+      // The pipeline bodies sample the `pool` injection site inside their
+      // own retry scope: a transient task fault re-runs the body alone —
+      // the virtual clock only moves in the enqueue calls on the calling
+      // thread, so recovery cannot perturb simulated timing. The
+      // injection check precedes any work, so a retried body is
+      // idempotent by construction.
+      const auto ci_ix = static_cast<std::int64_t>(ci);
+      auto pack = [state, streamed_ptr, off, rows, rec, fault_log,
+                   ci_ix]() {
+        rt::with_retry(rec, "pool.pack", ci_ix, fault_log, [&] {
+          rt::maybe_inject(rt::FaultSite::kPool, ci_ix);
+          SNP_OBS_SPAN("core.chunk.pack");
+          state->chunk = streamed_ptr->row_slice(off, off + rows);
+        });
       };
-      auto execute = [state, resident_ptr, sb, kptr]() {
-        SNP_OBS_SPAN("core.chunk.execute");
-        const BitMatrix* ap = sb ? resident_ptr : &state->chunk;
-        const BitMatrix* bp = sb ? &state->chunk : resident_ptr;
-        state->part = CountMatrix(ap->rows(), bp->rows());
-        kptr->execute(*ap, *bp, state->part);
+      auto execute = [state, resident_ptr, sb, kptr, rec, fault_log,
+                      ci_ix]() {
+        rt::with_retry(rec, "pool.execute", ci_ix, fault_log, [&] {
+          rt::maybe_inject(rt::FaultSite::kPool, ci_ix);
+          SNP_OBS_SPAN("core.chunk.execute");
+          const BitMatrix* ap = sb ? resident_ptr : &state->chunk;
+          const BitMatrix* bp = sb ? &state->chunk : resident_ptr;
+          state->part = CountMatrix(ap->rows(), bp->rows());
+          kptr->execute(*ap, *bp, state->part);
+        });
       };
-      auto drain = [state, counts, off, sb, callback]() {
-        SNP_OBS_SPAN("core.chunk.drain");
-        const CountMatrix& part = state->part;
-        if (callback != nullptr) {
-          (*callback)(ComputeOptions::ChunkView{off, sb, part});
-        }
-        if (counts != nullptr) {
-          // Scatter the chunk block into the full gamma matrix.
-          for (std::size_t i = 0; i < part.rows(); ++i) {
-            for (std::size_t j = 0; j < part.cols(); ++j) {
-              if (sb) {
-                counts->at(i, off + j) = part.at(i, j);
-              } else {
-                counts->at(off + i, j) = part.at(i, j);
+      auto drain = [state, counts, off, sb, callback, rec, fault_log,
+                    ci_ix, rows, progress]() {
+        rt::with_retry(rec, "pool.drain", ci_ix, fault_log, [&] {
+          rt::maybe_inject(rt::FaultSite::kPool, ci_ix);
+          SNP_OBS_SPAN("core.chunk.drain");
+          const CountMatrix& part = state->part;
+          if (callback != nullptr) {
+            (*callback)(ComputeOptions::ChunkView{off, sb, part});
+          }
+          if (counts != nullptr) {
+            // Scatter the chunk block into the full gamma matrix.
+            for (std::size_t i = 0; i < part.rows(); ++i) {
+              for (std::size_t j = 0; j < part.cols(); ++j) {
+                if (sb) {
+                  counts->at(i, off + j) = part.at(i, j);
+                } else {
+                  counts->at(off + i, j) = part.at(i, j);
+                }
               }
             }
           }
-        }
+        });
+        // Only after a fully delivered chunk (callback ran, block
+        // scattered) does the delivered prefix grow — the degradation
+        // rung trusts this to never redeliver or skip rows.
+        progress->delivered_rows.store(off + rows);
       };
       if (async) {
         // Bounded in-flight backpressure, failure-aware: a failed chunk
@@ -588,8 +729,10 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
         };
       }
     }
-    const cl::Event evk =
-        q.enqueue_kernel(kt.seconds, reads, writes, functional);
+    const cl::Event evk = rt::with_retry(
+        rec, "launch", static_cast<std::int64_t>(ci), fault_log, [&] {
+          return q.enqueue_kernel(kt.seconds, reads, writes, functional);
+        });
     total_kernel_s += evk.duration();
     kernel_gops_weighted += kt.gops * kt.seconds;
     pct_weighted += kt.pct_of_peak * kt.seconds;
@@ -603,9 +746,12 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
 
     // Read the C chunk back.
     readback.resize(rows * c_row_bytes);
-    const cl::Event evr = q.enqueue_read(
-        *c_bufs[slot], std::span<std::byte>(readback.data(),
-                                            readback.size()));
+    const cl::Event evr = rt::with_retry(
+        rec, "readback", static_cast<std::int64_t>(ci), fault_log, [&] {
+          return q.enqueue_read(
+              *c_bufs[slot],
+              std::span<std::byte>(readback.data(), readback.size()));
+        });
     result.timing.d2h_s += evr.duration();
     SNP_OBS_COUNT("core.d2h.bytes", readback.size());
     cev.d2h_start = evr.start;
@@ -633,7 +779,6 @@ CompareResult Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
                         result.timing.kernel_s + result.timing.d2h_s;
   result.timing.overlap_hidden_s =
       std::max(0.0, serial - result.timing.end_to_end_s);
-  return result;
 }
 
 CompareResult Context::ld(const BitMatrix& loci,

@@ -13,6 +13,7 @@
 // simulated device's virtual clock.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -27,6 +28,7 @@
 #include "cl/clmini.hpp"
 #include "model/config.hpp"
 #include "model/device.hpp"
+#include "rt/recovery.hpp"
 #include "sim/timing.hpp"
 #include "sim/trace.hpp"
 #include "sim/transfer.hpp"
@@ -91,6 +93,16 @@ struct ComputeOptions {
   /// timeline (init + per-chunk h2d/kernel/d2h intervals) — feed it to
   /// sim::write_chrome_trace to visualize the pipeline.
   sim::Timeline* timeline_out = nullptr;
+
+  /// Fault-recovery policy for the device pipeline (docs/robustness.md):
+  /// per-operation bounded retry with deterministic backoff, an optional
+  /// per-operation deadline, and — under kDegrade/kFailover — a final
+  /// GPU->CPU rung that recomputes the undelivered remainder on the host
+  /// engine. Recovered runs deliver counts and chunk callbacks
+  /// bit-identical to a clean run; every incident is logged to
+  /// TimingReport::fault_events. The default (kRetry) only retries; CPU
+  /// contexts ignore this.
+  rt::RecoveryOptions recovery;
 };
 
 struct TimingReport {
@@ -125,6 +137,14 @@ struct TimingReport {
   /// line each (ComputeOptions::lint, GPU contexts only). Error severity
   /// never appears here: such configs fail validate() before launch.
   std::vector<std::string> lint_notes;
+  /// Every fault the recovery machinery observed this run and the action
+  /// taken (retry/exhausted/degrade/...), in completion order. Empty on
+  /// clean runs.
+  std::vector<rt::FaultEvent> fault_events;
+  /// True when the GPU pipeline could not finish and the remainder was
+  /// recomputed on the CPU rung (ComputeOptions::recovery). The counts
+  /// are still exact; only the performance story changed.
+  bool degraded = false;
 };
 
 struct CompareResult {
@@ -257,10 +277,21 @@ class Context {
                                           const bits::BitMatrix& b,
                                           bits::Comparison op,
                                           const ComputeOptions& options);
-  [[nodiscard]] CompareResult compare_gpu(const bits::BitMatrix& a,
-                                          const bits::BitMatrix& b,
-                                          bits::Comparison op,
-                                          const ComputeOptions& options);
+
+  /// How far the device pipeline got before failing: the in-order drain
+  /// chain makes `delivered_rows` an exact prefix of the streamed
+  /// operand, so the degradation rung recomputes only the remainder and
+  /// never redelivers a chunk to streaming consumers.
+  struct GpuProgress {
+    bool stream_b = true;
+    std::atomic<std::size_t> delivered_rows{0};
+  };
+  /// Fills `out` in place (partial results survive a mid-run throw for
+  /// the degradation rung to finish from).
+  void compare_gpu(const bits::BitMatrix& a, const bits::BitMatrix& b,
+                   bits::Comparison op, const ComputeOptions& options,
+                   rt::FaultLog* fault_log, GpuProgress* progress,
+                   CompareResult& out);
 
   std::optional<cl::Device> gpu_;
 };

@@ -73,6 +73,20 @@ void ThreadPool::post(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::rethrow_exception(first_error_);
+  }
+}
+
+std::size_t ThreadPool::failed_count() const {
+  const std::lock_guard lock(mu_);
+  return failed_;
+}
+
+void ThreadPool::clear_error() {
+  const std::lock_guard lock(mu_);
+  first_error_ = nullptr;
+  failed_ = 0;
 }
 
 void ThreadPool::worker_loop() {
@@ -91,15 +105,27 @@ void ThreadPool::worker_loop() {
       ++active_;
     }
     SNP_OBS_GAUGE_ADD("exec.pool.active_workers", 1);
-    if constexpr (obs::kEnabled) {
-      SNP_OBS_OBSERVE("exec.pool.task_wait_seconds",
-                      seconds_since(task.enqueued));
-      // maybe_unused: with SNPCMP_OBS=OFF the OBSERVE below is a no-op.
-      [[maybe_unused]] const auto run0 = std::chrono::steady_clock::now();
-      task.fn();
-      SNP_OBS_OBSERVE("exec.pool.task_run_seconds", seconds_since(run0));
-    } else {
-      task.fn();
+    // A throwing task must not unwind the worker (std::thread would
+    // terminate): capture the first exception for wait_idle() and keep
+    // the pool serving — shutdown still drains every queued task.
+    try {
+      if constexpr (obs::kEnabled) {
+        SNP_OBS_OBSERVE("exec.pool.task_wait_seconds",
+                        seconds_since(task.enqueued));
+        // maybe_unused: with SNPCMP_OBS=OFF the OBSERVE below is a no-op.
+        [[maybe_unused]] const auto run0 = std::chrono::steady_clock::now();
+        task.fn();
+        SNP_OBS_OBSERVE("exec.pool.task_run_seconds", seconds_since(run0));
+      } else {
+        task.fn();
+      }
+    } catch (...) {
+      SNP_OBS_COUNT("exec.pool.tasks_failed", 1);
+      const std::lock_guard lock(mu_);
+      ++failed_;
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
     }
     SNP_OBS_COUNT("exec.pool.tasks_run", 1);
     SNP_OBS_GAUGE_SUB("exec.pool.active_workers", 1);

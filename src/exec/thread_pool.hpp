@@ -105,8 +105,12 @@ class ThreadPool {
   /// legally return 0).
   [[nodiscard]] static std::size_t hardware_threads();
 
-  /// Fire-and-forget. Tasks must not throw (wrap with submit() or TaskGraph
-  /// when exceptions are possible); a throwing posted task terminates.
+  /// Fire-and-forget. A throwing posted task no longer terminates the
+  /// process: the first exception is captured and rethrown from the next
+  /// wait_idle() (sticky until cleared), later ones are counted in
+  /// failed_count(). On an inline (0-thread) pool the exception
+  /// propagates directly to the poster. Use submit() or TaskGraph when a
+  /// per-task result/exception channel is needed.
   void post(std::function<void()> task);
 
   /// Schedules `fn` and returns a future carrying its result or exception.
@@ -119,10 +123,17 @@ class ThreadPool {
     return fut;
   }
 
-  /// Blocks until the queue is empty and every worker is idle. Tasks posted
-  /// concurrently with wait_idle() may or may not be covered; quiesce your
-  /// producers first.
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first exception any posted task threw since the last
+  /// clear_error() (the error is sticky: repeated calls keep throwing
+  /// until cleared). Tasks posted concurrently with wait_idle() may or
+  /// may not be covered; quiesce your producers first.
   void wait_idle();
+
+  /// Tasks that threw since construction / the last clear_error().
+  [[nodiscard]] std::size_t failed_count() const;
+  /// Drops the captured first exception and resets failed_count().
+  void clear_error();
 
  private:
   /// Queue entry: the task plus its enqueue timestamp, which feeds the
@@ -142,6 +153,8 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;  ///< tasks currently executing
   bool stop_ = false;
+  std::exception_ptr first_error_;  ///< first pooled-task throw (sticky)
+  std::size_t failed_ = 0;          ///< pooled tasks that threw
 };
 
 }  // namespace snp::exec

@@ -1,5 +1,7 @@
 #include "io/formats.hpp"
 
+#include "io/checked_load.hpp"
+
 #include "obs/obs.hpp"
 
 #include <array>
@@ -111,7 +113,9 @@ void save_bitmatrix(const bits::BitMatrix& m, std::ostream& os) {
   }
 }
 
-bits::BitMatrix load_bitmatrix(std::istream& is) {
+namespace {
+
+bits::BitMatrix load_bitmatrix_impl(std::istream& is) {
   SNP_OBS_SPAN("io.load_bitmatrix");
   expect_magic(is, kBitMagic, "bit matrix");
   const std::uint64_t rows = read_u64(is);
@@ -138,8 +142,24 @@ bits::BitMatrix load_bitmatrix(std::istream& is) {
   }
   SNP_OBS_COUNT("io.load.bytes", buf.size() * sizeof(bits::Word64));
   if (!m.padding_is_zero()) {
+    // Set bits in the word-padding region cannot come from the writer —
+    // this is bit-flip corruption made detectable by construction.
     throw std::runtime_error(
         "snp::io: bit matrix violates the zero-padding invariant");
+  }
+  return m;
+}
+
+}  // namespace
+
+rt::Status try_load_bitmatrix(std::istream& is, bits::BitMatrix& out) {
+  return checked_load(is, [&] { out = load_bitmatrix_impl(is); });
+}
+
+bits::BitMatrix load_bitmatrix(std::istream& is) {
+  bits::BitMatrix m;
+  if (rt::Status st = try_load_bitmatrix(is, m); !st.ok()) {
+    throw rt::Error(std::move(st));
   }
   return m;
 }
@@ -158,7 +178,9 @@ void save_countmatrix(const bits::CountMatrix& m, std::ostream& os) {
   }
 }
 
-bits::CountMatrix load_countmatrix(std::istream& is) {
+namespace {
+
+bits::CountMatrix load_countmatrix_impl(std::istream& is) {
   SNP_OBS_SPAN("io.load_countmatrix");
   expect_magic(is, kCountMagic, "count matrix");
   const std::uint64_t rows = read_u64(is);
@@ -179,6 +201,20 @@ bits::CountMatrix load_countmatrix(std::istream& is) {
   return m;
 }
 
+}  // namespace
+
+rt::Status try_load_countmatrix(std::istream& is, bits::CountMatrix& out) {
+  return checked_load(is, [&] { out = load_countmatrix_impl(is); });
+}
+
+bits::CountMatrix load_countmatrix(std::istream& is) {
+  bits::CountMatrix m;
+  if (rt::Status st = try_load_countmatrix(is, m); !st.ok()) {
+    throw rt::Error(std::move(st));
+  }
+  return m;
+}
+
 void save_genotypes_tsv(const bits::GenotypeMatrix& g, std::ostream& os) {
   os << "#loci\t" << g.loci() << "\tsamples\t" << g.samples() << '\n';
   for (std::size_t locus = 0; locus < g.loci(); ++locus) {
@@ -192,7 +228,9 @@ void save_genotypes_tsv(const bits::GenotypeMatrix& g, std::ostream& os) {
   }
 }
 
-bits::GenotypeMatrix load_genotypes_tsv(std::istream& is) {
+namespace {
+
+bits::GenotypeMatrix load_genotypes_tsv_impl(std::istream& is) {
   std::string header;
   if (!std::getline(is, header)) {
     throw std::runtime_error("snp::io: missing genotype tsv header");
@@ -213,6 +251,21 @@ bits::GenotypeMatrix load_genotypes_tsv(std::istream& is) {
       }
       g.at(locus, s) = static_cast<std::uint8_t>(v);
     }
+  }
+  return g;
+}
+
+}  // namespace
+
+rt::Status try_load_genotypes_tsv(std::istream& is,
+                                  bits::GenotypeMatrix& out) {
+  return checked_load(is, [&] { out = load_genotypes_tsv_impl(is); });
+}
+
+bits::GenotypeMatrix load_genotypes_tsv(std::istream& is) {
+  bits::GenotypeMatrix g;
+  if (rt::Status st = try_load_genotypes_tsv(is, g); !st.ok()) {
+    throw rt::Error(std::move(st));
   }
   return g;
 }

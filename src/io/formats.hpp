@@ -13,6 +13,7 @@
 
 #include "bits/bitmatrix.hpp"
 #include "bits/genotype.hpp"
+#include "rt/status.hpp"
 
 namespace snp::io {
 
@@ -29,6 +30,11 @@ void save_bitmatrix(const bits::BitMatrix& m,
 [[nodiscard]] bits::BitMatrix load_bitmatrix(std::istream& is);
 [[nodiscard]] bits::BitMatrix load_bitmatrix(
     const std::filesystem::path& path);
+/// Status-returning variant: on failure returns kIoCorrupt with the byte
+/// offset at which parsing stopped and leaves `out` untouched or
+/// partially filled (do not use it). Never throws on corrupt input.
+[[nodiscard]] rt::Status try_load_bitmatrix(std::istream& is,
+                                            bits::BitMatrix& out);
 
 void save_countmatrix(const bits::CountMatrix& m, std::ostream& os);
 void save_countmatrix(const bits::CountMatrix& m,
@@ -36,6 +42,8 @@ void save_countmatrix(const bits::CountMatrix& m,
 [[nodiscard]] bits::CountMatrix load_countmatrix(std::istream& is);
 [[nodiscard]] bits::CountMatrix load_countmatrix(
     const std::filesystem::path& path);
+[[nodiscard]] rt::Status try_load_countmatrix(std::istream& is,
+                                              bits::CountMatrix& out);
 
 void save_genotypes_tsv(const bits::GenotypeMatrix& g, std::ostream& os);
 void save_genotypes_tsv(const bits::GenotypeMatrix& g,
@@ -43,5 +51,7 @@ void save_genotypes_tsv(const bits::GenotypeMatrix& g,
 [[nodiscard]] bits::GenotypeMatrix load_genotypes_tsv(std::istream& is);
 [[nodiscard]] bits::GenotypeMatrix load_genotypes_tsv(
     const std::filesystem::path& path);
+[[nodiscard]] rt::Status try_load_genotypes_tsv(std::istream& is,
+                                                bits::GenotypeMatrix& out);
 
 }  // namespace snp::io

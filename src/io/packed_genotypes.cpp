@@ -1,5 +1,6 @@
 #include "io/packed_genotypes.hpp"
 
+#include "io/checked_load.hpp"
 #include "io/formats.hpp"
 
 #include <array>
@@ -146,7 +147,9 @@ void save_packed_genotypes(const PackedGenotypes& p, std::ostream& os) {
   }
 }
 
-PackedGenotypes load_packed_genotypes(std::istream& is) {
+namespace {
+
+PackedGenotypes load_packed_genotypes_impl(std::istream& is) {
   std::array<char, 4> magic{};
   is.read(magic.data(), magic.size());
   if (!is || magic != kMagic) {
@@ -177,6 +180,21 @@ PackedGenotypes load_packed_genotypes(std::istream& is) {
                  static_cast<std::uint8_t>((byte >> (2 * (s % 4))) &
                                            0b11));
     }
+  }
+  return p;
+}
+
+}  // namespace
+
+rt::Status try_load_packed_genotypes(std::istream& is,
+                                     PackedGenotypes& out) {
+  return checked_load(is, [&] { out = load_packed_genotypes_impl(is); });
+}
+
+PackedGenotypes load_packed_genotypes(std::istream& is) {
+  PackedGenotypes p;
+  if (rt::Status st = try_load_packed_genotypes(is, p); !st.ok()) {
+    throw rt::Error(std::move(st));
   }
   return p;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bits/genotype.hpp"
+#include "rt/status.hpp"
 
 namespace snp::io {
 
@@ -72,5 +73,8 @@ void save_packed_genotypes(const PackedGenotypes& p,
 [[nodiscard]] PackedGenotypes load_packed_genotypes(std::istream& is);
 [[nodiscard]] PackedGenotypes load_packed_genotypes(
     const std::filesystem::path& path);
+/// Status-returning variant (kIoCorrupt + byte offset on failure).
+[[nodiscard]] rt::Status try_load_packed_genotypes(std::istream& is,
+                                                   PackedGenotypes& out);
 
 }  // namespace snp::io

@@ -1,5 +1,7 @@
 #include "io/plink_lite.hpp"
 
+#include "io/checked_load.hpp"
+
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -54,7 +56,9 @@ void save_plink_lite(const PlinkLiteDataset& ds, std::ostream& os) {
   }
 }
 
-PlinkLiteDataset load_plink_lite(std::istream& is) {
+namespace {
+
+PlinkLiteDataset load_plink_lite_impl(std::istream& is) {
   std::string line;
   if (!std::getline(is, line) || line != "#plink-lite v1") {
     throw std::runtime_error("plink-lite: missing or bad version header");
@@ -121,6 +125,8 @@ PlinkLiteDataset load_plink_lite(std::istream& is) {
   return ds;
 }
 
+}  // namespace
+
 PlinkLiteDataset with_synthetic_metadata(bits::GenotypeMatrix genotypes,
                                          const std::string& chrom,
                                          std::uint64_t start_pos,
@@ -148,6 +154,18 @@ void save_plink_lite(const PlinkLiteDataset& ds,
                      const std::filesystem::path& path) {
   auto os = open_out(path);
   save_plink_lite(ds, os);
+}
+
+rt::Status try_load_plink_lite(std::istream& is, PlinkLiteDataset& out) {
+  return checked_load(is, [&] { out = load_plink_lite_impl(is); });
+}
+
+PlinkLiteDataset load_plink_lite(std::istream& is) {
+  PlinkLiteDataset ds;
+  if (rt::Status st = try_load_plink_lite(is, ds); !st.ok()) {
+    throw rt::Error(std::move(st));
+  }
+  return ds;
 }
 
 PlinkLiteDataset load_plink_lite(const std::filesystem::path& path) {

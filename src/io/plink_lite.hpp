@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bits/genotype.hpp"
+#include "rt/status.hpp"
 
 namespace snp::io {
 
@@ -56,6 +57,9 @@ void save_plink_lite(const PlinkLiteDataset& ds,
 [[nodiscard]] PlinkLiteDataset load_plink_lite(std::istream& is);
 [[nodiscard]] PlinkLiteDataset load_plink_lite(
     const std::filesystem::path& path);
+/// Status-returning variant (kIoCorrupt + byte offset on failure).
+[[nodiscard]] rt::Status try_load_plink_lite(std::istream& is,
+                                             PlinkLiteDataset& out);
 
 /// Wraps a bare genotype matrix with synthetic metadata (rs-ids, evenly
 /// spaced positions, generated sample names) so generated datasets can be

@@ -1,5 +1,7 @@
 #include "io/vcf_lite.hpp"
 
+#include "io/checked_load.hpp"
+
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -82,7 +84,9 @@ void save_vcf_lite(const PlinkLiteDataset& ds, std::ostream& os) {
   }
 }
 
-PlinkLiteDataset load_vcf_lite(std::istream& is) {
+namespace {
+
+PlinkLiteDataset load_vcf_lite_impl(std::istream& is) {
   PlinkLiteDataset ds;
   std::string line;
   bool header_seen = false;
@@ -151,6 +155,8 @@ PlinkLiteDataset load_vcf_lite(std::istream& is) {
   return ds;
 }
 
+}  // namespace
+
 void save_vcf_lite(const PlinkLiteDataset& ds,
                    const std::filesystem::path& path) {
   std::ofstream os(path);
@@ -159,6 +165,18 @@ void save_vcf_lite(const PlinkLiteDataset& ds,
                              path.string());
   }
   save_vcf_lite(ds, os);
+}
+
+rt::Status try_load_vcf_lite(std::istream& is, PlinkLiteDataset& out) {
+  return checked_load(is, [&] { out = load_vcf_lite_impl(is); });
+}
+
+PlinkLiteDataset load_vcf_lite(std::istream& is) {
+  PlinkLiteDataset ds;
+  if (rt::Status st = try_load_vcf_lite(is, ds); !st.ok()) {
+    throw rt::Error(std::move(st));
+  }
+  return ds;
 }
 
 PlinkLiteDataset load_vcf_lite(const std::filesystem::path& path) {

@@ -10,6 +10,7 @@
 #include <iosfwd>
 
 #include "io/plink_lite.hpp"
+#include "rt/status.hpp"
 
 namespace snp::io {
 
@@ -19,5 +20,8 @@ void save_vcf_lite(const PlinkLiteDataset& ds,
 [[nodiscard]] PlinkLiteDataset load_vcf_lite(std::istream& is);
 [[nodiscard]] PlinkLiteDataset load_vcf_lite(
     const std::filesystem::path& path);
+/// Status-returning variant (kIoCorrupt + byte offset on failure).
+[[nodiscard]] rt::Status try_load_vcf_lite(std::istream& is,
+                                           PlinkLiteDataset& out);
 
 }  // namespace snp::io

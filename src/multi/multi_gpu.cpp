@@ -1,14 +1,21 @@
 #include "multi/multi_gpu.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <future>
+#include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "cpu/engine.hpp"
 #include "exec/thread_pool.hpp"
 #include "model/peak.hpp"
 #include "obs/obs.hpp"
+#include "rt/fault.hpp"
 
 namespace snp::multi {
 
@@ -124,6 +131,43 @@ void for_each_shard(std::size_t count, std::size_t threads, Fn&& task) {
   }
 }
 
+/// Host-engine fallback for one shard's row range — the final rung of the
+/// recovery ladder when the shard's device (and, under failover, every
+/// other device) is gone. Counts are bit-identical to the device path by
+/// the cross-engine conformance suite.
+CompareResult host_compare_shard(const BitMatrix& a, const BitMatrix& b,
+                                 Comparison op, bool shard_b,
+                                 const Shard& s,
+                                 const ComputeOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CompareResult r;
+  if (opts.functional) {
+    const BitMatrix part = shard_b ? b.row_slice(s.begin, s.end)
+                                   : a.row_slice(s.begin, s.end);
+    const BitMatrix& ca = shard_b ? a : part;
+    const BitMatrix& cb = shard_b ? part : b;
+    if (opts.threads > 0) {
+      exec::ThreadPool pool(opts.threads);
+      r.counts = cpu::compare_blocked_async(ca, cb, op, pool);
+    } else {
+      r.counts = cpu::compare_blocked(ca, cb, op);
+    }
+    if (opts.chunk_callback) {
+      // Same shard-relative offsets as the device pipeline's chunks.
+      opts.chunk_callback(
+          ComputeOptions::ChunkView{0, shard_b, r.counts});
+    }
+  }
+  r.timing.device = "cpu (shard fallback)";
+  r.timing.degraded = true;
+  r.timing.chunks = 1;
+  r.timing.end_to_end_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  r.timing.kernel_s = r.timing.end_to_end_s;
+  return r;
+}
+
 }  // namespace
 
 MultiCompareResult MultiGpuContext::compare(const BitMatrix& a,
@@ -144,35 +188,160 @@ MultiCompareResult MultiGpuContext::compare(const BitMatrix& a,
     result.counts = CountMatrix(a.rows(), b.rows());
   }
 
+  const rt::FailPolicy policy = options.per_device.recovery.policy;
+  // Under failover a shard's in-pipeline failure must surface *here* —
+  // the single-device rung would otherwise absorb it by degrading that
+  // shard to the host locally. The shard still gets the full retry rung
+  // first; only retry exhaustion escalates to shard failover.
+  ComputeOptions shard_opts = options.per_device;
+  if (policy == rt::FailPolicy::kFailover) {
+    shard_opts.recovery.policy = rt::FailPolicy::kRetry;
+  }
+
   // Run each shard's single-GPU pipeline as an executor task (each shard
   // owns a distinct device/context), then merge on the calling thread in
-  // shard order — the merge order, counts, and timing are therefore
+  // row order — the merge order, counts, and timing are therefore
   // identical for every host_threads value.
   SNP_OBS_SPAN("multi.compare");
   SNP_OBS_COUNT("multi.shards", shards.size());
-  std::vector<CompareResult> shard_results(shards.size());
-  for_each_shard(shards.size(), options.host_threads,
-                 [&](std::size_t d) {
-                   SNP_OBS_SPAN("multi.shard");
-                   const Shard s = shards[d];
-                   Context& ctx = contexts_[s.device];
-                   const BitMatrix part =
-                       shard_b ? b.row_slice(s.begin, s.end)
-                               : a.row_slice(s.begin, s.end);
-                   shard_results[d] =
-                       shard_b
-                           ? ctx.compare(a, part, op, options.per_device)
-                           : ctx.compare(part, b, op, options.per_device);
-                 });
 
+  struct Done {
+    Shard shard;
+    CompareResult res;
+  };
+  std::vector<Done> completed;
+  completed.reserve(shards.size());
+  rt::FaultLog fault_log;
+  std::vector<bool> device_lost(contexts_.size(), false);
+
+  // Failover runs in rounds: every round with a failure permanently loses
+  // at least one device (work is only ever assigned to live devices), so
+  // the loop ends after at most device_count() rounds — the last one on
+  // the host rung if nothing survives.
+  std::vector<Shard> work(shards.begin(), shards.end());
+  while (!work.empty()) {
+    const std::vector<Shard> batch = std::move(work);
+    work.clear();
+    std::vector<CompareResult> res(batch.size());
+    std::vector<std::optional<rt::Status>> errs(batch.size());
+    for_each_shard(batch.size(), options.host_threads, [&](std::size_t d) {
+      SNP_OBS_SPAN("multi.shard");
+      const Shard s = batch[d];
+      try {
+        // Whole-device loss (node crash, hung driver) is modeled at the
+        // shard site, keyed by device index for `shard:at=K` plans.
+        rt::maybe_inject(rt::FaultSite::kShard,
+                         static_cast<std::int64_t>(s.device));
+        Context& ctx = contexts_[s.device];
+        const BitMatrix part = shard_b ? b.row_slice(s.begin, s.end)
+                                       : a.row_slice(s.begin, s.end);
+        res[d] = shard_b ? ctx.compare(a, part, op, shard_opts)
+                         : ctx.compare(part, b, op, shard_opts);
+      } catch (const rt::Error& e) {
+        if (policy == rt::FailPolicy::kFailover ||
+            policy == rt::FailPolicy::kDegrade) {
+          errs[d] = e.status();  // handled below, on the calling thread
+          return;
+        }
+        throw;  // abort/retry: propagate the structured code intact
+      }
+    });
+
+    std::vector<Shard> failed;
+    for (std::size_t d = 0; d < batch.size(); ++d) {
+      if (errs[d].has_value()) {
+        failed.push_back(batch[d]);
+        rt::FaultEvent ev;
+        ev.site = "multi.shard";
+        ev.code = errs[d]->code;
+        ev.action = policy == rt::FailPolicy::kFailover ? "failover"
+                                                        : "degrade";
+        ev.chunk = static_cast<std::int64_t>(batch[d].device);
+        ev.detail = errs[d]->to_string();
+        fault_log.record(std::move(ev));
+      } else {
+        completed.push_back({batch[d], std::move(res[d])});
+      }
+    }
+    if (failed.empty()) {
+      continue;
+    }
+
+    if (policy == rt::FailPolicy::kDegrade) {
+      // Each failed shard falls straight to the host rung.
+      SNP_OBS_COUNT("rt.degrades", failed.size());
+      for (const Shard& s : failed) {
+        completed.push_back(
+            {s, host_compare_shard(a, b, op, shard_b, s,
+                                   options.per_device)});
+      }
+      result.timing.degraded = true;
+      continue;
+    }
+
+    // kFailover: mark the shard's device lost and re-shard its rows
+    // across the survivors by their throughput weights.
+    for (const Shard& s : failed) {
+      if (!device_lost[s.device]) {
+        device_lost[s.device] = true;
+        SNP_OBS_COUNT("rt.failovers", 1);
+        result.timing.lost_devices.push_back(
+            contexts_[s.device].device_name() + "[" +
+            std::to_string(s.device) + "]");
+      }
+    }
+    std::vector<std::size_t> survivors;
+    std::vector<double> surv_weights;
+    for (std::size_t d = 0; d < contexts_.size(); ++d) {
+      if (!device_lost[d]) {
+        survivors.push_back(d);
+        surv_weights.push_back(weights_[d]);
+      }
+    }
+    if (survivors.empty()) {
+      // Whole box gone: final degradation rung.
+      SNP_OBS_COUNT("rt.degrades", failed.size());
+      for (const Shard& s : failed) {
+        completed.push_back(
+            {s, host_compare_shard(a, b, op, shard_b, s,
+                                   options.per_device)});
+      }
+      result.timing.degraded = true;
+      continue;
+    }
+    const double total = std::accumulate(surv_weights.begin(),
+                                         surv_weights.end(), 0.0);
+    for (auto& w : surv_weights) {
+      w /= total;
+    }
+    for (const Shard& s : failed) {
+      for (const Shard& sub :
+           make_shards(s.end - s.begin, surv_weights)) {
+        work.push_back({s.begin + sub.begin, s.begin + sub.end,
+                        survivors[sub.device]});
+      }
+    }
+  }
+
+  // Merge in row order so counts, timing vectors, and the report are
+  // deterministic regardless of which round produced each piece.
+  std::sort(completed.begin(), completed.end(),
+            [](const Done& x, const Done& y) {
+              return x.shard.begin < y.shard.begin;
+            });
   double worst = 0.0;
-  for (std::size_t d = 0; d < shards.size(); ++d) {
-    const Shard s = shards[d];
-    const CompareResult& r = shard_results[d];
+  for (const Done& done : completed) {
+    const Shard& s = done.shard;
+    const CompareResult& r = done.res;
     SNP_OBS_OBSERVE("multi.shard.end_to_end_seconds",
                     r.timing.end_to_end_s);
     result.timing.per_device_end_to_end_s.push_back(
         r.timing.end_to_end_s);
+    result.timing.degraded =
+        result.timing.degraded || r.timing.degraded;
+    for (const rt::FaultEvent& ev : r.timing.fault_events) {
+      result.timing.fault_events.push_back(ev);
+    }
     if (r.timing.end_to_end_s > worst) {
       worst = r.timing.end_to_end_s;
       result.timing.slowest_device = r.timing;
@@ -188,6 +357,9 @@ MultiCompareResult MultiGpuContext::compare(const BitMatrix& a,
         }
       }
     }
+  }
+  for (rt::FaultEvent& ev : fault_log.snapshot()) {
+    result.timing.fault_events.push_back(std::move(ev));
   }
   result.timing.gather_s =
       options.gather_on_device

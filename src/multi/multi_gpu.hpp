@@ -52,6 +52,15 @@ struct MultiGpuReport {
   double gather_s = 0.0;
   int devices = 0;
   std::vector<double> per_device_end_to_end_s;
+  /// Devices that died mid-run and had their shards failed over
+  /// ("titanv[2]" = third device of the box). Empty on clean runs.
+  std::vector<std::string> lost_devices;
+  /// Every fault observed across all shards (shard-level incidents plus
+  /// each shard pipeline's own TimingReport::fault_events).
+  std::vector<rt::FaultEvent> fault_events;
+  /// True when any rows were recomputed on the CPU rung (either a shard
+  /// pipeline degraded internally or no device survived for failover).
+  bool degraded = false;
 };
 
 struct MultiCompareResult {
@@ -80,6 +89,15 @@ class MultiGpuContext {
   /// Shards the larger operand row-wise across the devices; each shard
   /// runs the standard single-GPU pipeline (init happens concurrently on
   /// every device). Results are bit-identical to the single-device path.
+  ///
+  /// Fault tolerance follows per_device.recovery.policy
+  /// (docs/robustness.md): under kFailover a shard whose device keeps
+  /// failing is marked lost (MultiGpuReport::lost_devices) and its rows
+  /// are re-sharded across the surviving devices by their throughput
+  /// weights — with none left, the rows fall to the host engine. Under
+  /// kDegrade each failed shard falls to the host directly. Merged counts
+  /// are bit-identical to a clean run in every case; kAbort/kRetry
+  /// propagate the structured rt::Error instead.
   [[nodiscard]] MultiCompareResult compare(const bits::BitMatrix& a,
                                            const bits::BitMatrix& b,
                                            bits::Comparison op,

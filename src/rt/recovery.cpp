@@ -1,0 +1,79 @@
+#include "rt/recovery.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace snp::rt {
+namespace {
+
+double wall_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string_view to_string(FailPolicy policy) {
+  switch (policy) {
+    case FailPolicy::kAbort:
+      return "abort";
+    case FailPolicy::kRetry:
+      return "retry";
+    case FailPolicy::kFailover:
+      return "failover";
+    case FailPolicy::kDegrade:
+      return "degrade";
+  }
+  return "?";
+}
+
+std::optional<FailPolicy> parse_fail_policy(std::string_view text) {
+  if (text == "abort") return FailPolicy::kAbort;
+  if (text == "retry") return FailPolicy::kRetry;
+  if (text == "failover") return FailPolicy::kFailover;
+  if (text == "degrade") return FailPolicy::kDegrade;
+  return std::nullopt;
+}
+
+double backoff_delay_s(const RecoveryOptions& opts, int attempt) {
+  if (attempt < 1 || opts.backoff_base_s <= 0.0) return 0.0;
+  const double raw = opts.backoff_base_s * std::ldexp(1.0, attempt - 1);
+  return std::min(raw, opts.backoff_max_s);
+}
+
+void backoff_sleep(const RecoveryOptions& opts, int attempt) {
+  const double delay = backoff_delay_s(opts, attempt);
+  if (delay <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+}
+
+Deadline::Deadline(double seconds)
+    : seconds_(seconds), start_s_(seconds > 0.0 ? wall_now_s() : 0.0) {}
+
+bool Deadline::expired(std::int64_t index) const {
+  auto& injector = FaultInjector::global();
+  if (injector.armed() &&
+      injector.check(FaultSite::kTimeout, index).has_value()) {
+    return true;
+  }
+  if (seconds_ <= 0.0) return false;
+  return wall_now_s() - start_s_ > seconds_;
+}
+
+Status status_from_exception(const std::exception& e) {
+  if (const auto* err = dynamic_cast<const Error*>(&e))
+    return err->status();
+  return Status::failure(ErrorCode::kInternal, e.what());
+}
+
+namespace detail {
+void count_retry_metrics(bool retried) {
+  if (retried) SNP_OBS_COUNT("rt.retries", 1);
+}
+}  // namespace detail
+
+}  // namespace snp::rt

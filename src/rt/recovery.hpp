@@ -1,0 +1,179 @@
+// snp::rt — recovery policy: bounded retry, deadlines, and the
+// failover/degrade ladder.
+//
+// The policy ladder (docs/robustness.md):
+//   abort    — propagate the first failure unchanged; no second chances.
+//   retry    — each faulting operation is re-attempted up to
+//              max_attempts times with deterministic exponential
+//              backoff; exhaustion propagates kExhausted.
+//   failover — retry first; a shard whose device stays dead has its
+//              rows redistributed across surviving devices
+//              (multi::MultiGpuContext); with no survivors, fall
+//              through to the CPU rung.
+//   degrade  — retry first; if the device pipeline still cannot finish,
+//              the remaining rows are recomputed on the host
+//              (cpu::compare_blocked_async) and the report is flagged
+//              `degraded` — slower, never wrong, never silent.
+//
+// Everything here is deterministic: backoff is a pure function of the
+// attempt number, and FaultEvents are logged in completion order under a
+// lock so soak tests can assert exact recovery behaviour across 100
+// seeds.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/fault.hpp"
+#include "rt/status.hpp"
+
+namespace snp::rt {
+
+enum class FailPolicy : std::uint8_t {
+  kAbort = 0,
+  kRetry,
+  kFailover,
+  kDegrade,
+};
+
+[[nodiscard]] std::string_view to_string(FailPolicy policy);
+/// Parses "abort|retry|failover|degrade"; nullopt on anything else.
+[[nodiscard]] std::optional<FailPolicy> parse_fail_policy(
+    std::string_view text);
+
+/// Knobs for the retry rung. Backoff for attempt n (1-based, i.e. after
+/// the nth failure) is min(backoff_base_s * 2^(n-1), backoff_max_s) —
+/// deterministic, so two runs with the same plan sleep identically.
+struct RecoveryOptions {
+  FailPolicy policy = FailPolicy::kRetry;
+  int max_attempts = 4;             ///< total tries per operation
+  double backoff_base_s = 100e-6;   ///< first-retry sleep
+  double backoff_max_s = 10e-3;     ///< backoff ceiling
+  double op_deadline_s = 0.0;       ///< per-operation watchdog (0 = off)
+};
+
+[[nodiscard]] double backoff_delay_s(const RecoveryOptions& opts,
+                                     int attempt);
+
+/// One recovery-relevant incident: a fault observed and what was done
+/// about it. Collected into TimingReport::fault_events / the CLI report.
+struct FaultEvent {
+  std::string site;     ///< injection-site / operation label
+  ErrorCode code = ErrorCode::kInternal;
+  std::string action;   ///< "retry" | "failover" | "degrade" | "abort" |
+                        ///< "exhausted"
+  std::int64_t chunk = -1;   ///< chunk index or device id (-1 = n/a)
+  int attempt = 0;           ///< attempt number the fault hit
+  std::string detail;        ///< human-readable cause (Error::what())
+};
+
+/// Thread-safe event sink shared by every retry scope of one run.
+class FaultLog {
+ public:
+  void record(FaultEvent event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(event));
+  }
+  [[nodiscard]] std::vector<FaultEvent> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaultEvent> events_;
+};
+
+/// Sleeps for the deterministic backoff of `attempt` (no-op for
+/// non-positive delays). Split out so tests can pin the schedule.
+void backoff_sleep(const RecoveryOptions& opts, int attempt);
+
+/// Per-operation watchdog. start() is wall-clock; expired() both checks
+/// the real deadline and samples the kTimeout injection site, so stuck
+/// operations are testable without real stalls.
+class Deadline {
+ public:
+  explicit Deadline(double seconds);
+  /// True if the deadline passed (or a timeout fault fired). `index`
+  /// feeds the injector's at= filter.
+  [[nodiscard]] bool expired(std::int64_t index = -1) const;
+  [[nodiscard]] double seconds() const { return seconds_; }
+
+ private:
+  double seconds_ = 0.0;
+  double start_s_ = 0.0;
+};
+
+/// Extracts an rt::Status from any in-flight exception: rt::Error passes
+/// its status through; everything else is wrapped as kInternal (and is
+/// therefore not retried — unknown failures are bugs until classified).
+[[nodiscard]] Status status_from_exception(const std::exception& e);
+
+namespace detail {
+/// Out-of-line so this header does not pull in the obs macros.
+void count_retry_metrics(bool retried);
+}  // namespace detail
+
+/// Runs `fn` under the retry rung: up to opts.max_attempts tries while
+/// the failure is retryable (see is_retryable(Status)), with
+/// deterministic backoff between tries and an optional per-operation
+/// deadline. Policy kAbort rethrows the first failure immediately.
+/// Exhaustion throws Error(kExhausted) — deliberately non-retryable, so
+/// an enclosing retry scope cannot multiply attempts. Every fault and
+/// the action taken is recorded in `log` (if non-null) and counted in
+/// rt.retries.
+template <typename Fn>
+auto with_retry(const RecoveryOptions& opts, std::string_view site_label,
+                std::int64_t chunk, FaultLog* log, Fn&& fn)
+    -> decltype(fn()) {
+  const int max_attempts =
+      opts.policy == FailPolicy::kAbort ? 1 : std::max(1, opts.max_attempts);
+  Deadline deadline(opts.op_deadline_s);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (deadline.expired(chunk)) {
+        throw Error(ErrorCode::kTimeout,
+                    "operation '" + std::string(site_label) +
+                        "' exceeded its deadline");
+      }
+      return fn();
+    } catch (const Error& e) {
+      const Status& st = e.status();
+      const bool can_retry = attempt < max_attempts && is_retryable(st) &&
+                             st.code != ErrorCode::kExhausted;
+      detail::count_retry_metrics(can_retry);
+      if (log != nullptr) {
+        FaultEvent ev;
+        ev.site = std::string(site_label);
+        ev.code = st.code;
+        ev.action = opts.policy == FailPolicy::kAbort ? "abort"
+                    : can_retry                       ? "retry"
+                                                      : "exhausted";
+        ev.chunk = chunk;
+        ev.attempt = attempt;
+        ev.detail = e.what();
+        log->record(std::move(ev));
+      }
+      if (opts.policy == FailPolicy::kAbort) throw;
+      if (!can_retry) {
+        if (!is_retryable(st) || st.code == ErrorCode::kExhausted) throw;
+        throw Error(ErrorCode::kExhausted,
+                    "operation '" + std::string(site_label) + "' failed " +
+                        std::to_string(attempt) +
+                        " attempt(s); last: " + e.what());
+      }
+      backoff_sleep(opts, attempt);
+    }
+  }
+}
+
+}  // namespace snp::rt

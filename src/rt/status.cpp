@@ -1,0 +1,63 @@
+#include "rt/status.hpp"
+
+namespace snp::rt {
+
+std::string_view code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "SNPRT-OK";
+    case ErrorCode::kAlloc:
+      return "SNPRT-ALLOC";
+    case ErrorCode::kH2d:
+      return "SNPRT-H2D";
+    case ErrorCode::kLaunch:
+      return "SNPRT-LAUNCH";
+    case ErrorCode::kReadback:
+      return "SNPRT-READBACK";
+    case ErrorCode::kTimeout:
+      return "SNPRT-TIMEOUT";
+    case ErrorCode::kIoCorrupt:
+      return "SNPRT-IO-CORRUPT";
+    case ErrorCode::kShardLost:
+      return "SNPRT-SHARD-LOST";
+    case ErrorCode::kPoolTask:
+      return "SNPRT-POOL";
+    case ErrorCode::kExhausted:
+      return "SNPRT-EXHAUSTED";
+    case ErrorCode::kCancelled:
+      return "SNPRT-CANCELLED";
+    case ErrorCode::kInternal:
+      return "SNPRT-INTERNAL";
+  }
+  return "SNPRT-INTERNAL";
+}
+
+bool is_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kAlloc:
+    case ErrorCode::kH2d:
+    case ErrorCode::kLaunch:
+    case ErrorCode::kReadback:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kPoolTask:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Status::to_string() const {
+  std::string out = "[";
+  out += code_name(code);
+  out += "] ";
+  out += message;
+  if (code == ErrorCode::kIoCorrupt) {
+    out += " (byte ";
+    out += std::to_string(offset);
+    out += ")";
+  }
+  if (injected) out += " [injected]";
+  return out;
+}
+
+}  // namespace snp::rt

@@ -513,5 +513,68 @@ TEST(Cli, MissingFileIsRuntimeError) {
   EXPECT_NE(r.err.find("error:"), std::string::npos);
 }
 
+TEST(Cli, UsageDocumentsFaultToleranceFlags) {
+  const auto help = run_cli({"help"});
+  EXPECT_NE(help.out.find("--fail-policy"), std::string::npos);
+  EXPECT_NE(help.out.find("--inject-faults"), std::string::npos);
+  EXPECT_NE(help.out.find("docs/robustness.md"), std::string::npos);
+}
+
+TEST(Cli, BadFaultFlagsAreUsageErrors) {
+  const std::string db = tmp("db.sbm");
+  auto r = run_cli({"gendb", "--profiles", "50", "--snps", "128",
+                    "--out", db});
+  ASSERT_EQ(r.code, 0) << r.err;
+  r = run_cli({"search", "--queries", db, "--db", db, "--fail-policy",
+               "panic"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--fail-policy"), std::string::npos);
+  r = run_cli({"search", "--queries", db, "--db", db, "--inject-faults",
+               "warp:p=0.5"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("bad fault plan"), std::string::npos);
+}
+
+TEST(Cli, LdRecoversUnderInjectionAndReportsFaults) {
+  const std::string cohort = tmp("cohort.txt");
+  const std::string packed = tmp("cohort.sbm");
+  auto r = run_cli({"gen", "--loci", "30", "--samples", "128", "--seed",
+                    "21", "--out", cohort});
+  ASSERT_EQ(r.code, 0) << r.err;
+  r = run_cli({"encode", "--in", cohort, "--out", packed});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const auto clean = run_cli(
+      {"ld", "--in", packed, "--device", "titanv", "--top", "3"});
+  ASSERT_EQ(clean.code, 0) << clean.err;
+  EXPECT_EQ(clean.out.find("faults:"), std::string::npos);
+  const auto faulty = run_cli(
+      {"ld", "--in", packed, "--device", "titanv", "--top", "3",
+       "--inject-faults", "launch:p=1:seed=4", "--fail-policy",
+       "degrade"});
+  ASSERT_EQ(faulty.code, 0) << faulty.err;
+  EXPECT_NE(faulty.out.find("faults:"), std::string::npos);
+  EXPECT_NE(faulty.out.find("degraded to CPU"), std::string::npos);
+  // The ranked pairs (everything after the report) must be identical.
+  const auto pairs_of = [](const std::string& text) {
+    return text.substr(text.find("top locus pairs"));
+  };
+  EXPECT_EQ(pairs_of(faulty.out), pairs_of(clean.out));
+}
+
+TEST(Cli, AbortPolicyExitsFourWithStableCode) {
+  const std::string db = tmp("db.sbm");
+  auto r = run_cli({"gendb", "--profiles", "64", "--snps", "128",
+                    "--out", db});
+  ASSERT_EQ(r.code, 0) << r.err;
+  r = run_cli({"search", "--queries", db, "--db", db, "--inject-faults",
+               "readback:after=1", "--fail-policy", "abort"});
+  EXPECT_EQ(r.code, 4);
+  EXPECT_NE(r.err.find("SNPRT-READBACK"), std::string::npos);
+  // The plan is scoped to the command: a follow-up run is clean.
+  r = run_cli({"search", "--queries", db, "--db", db});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.find("faults:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace snp::cli

@@ -2,6 +2,8 @@
 // profiling semantics, engine overlap, barriers.
 #include "cl/clmini.hpp"
 
+#include "rt/status.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -37,8 +39,13 @@ TEST(Context, AllocationLimits) {
   Context ctx(Platform::device("gtx980"));
   const auto& dev = ctx.device();
   EXPECT_THROW((void)ctx.create_buffer(0), std::invalid_argument);
-  EXPECT_THROW((void)ctx.create_buffer(dev.max_alloc_bytes() + 1),
-               std::length_error);
+  try {
+    (void)ctx.create_buffer(dev.max_alloc_bytes() + 1);
+    FAIL() << "oversized allocation did not throw";
+  } catch (const snp::rt::Error& e) {
+    EXPECT_EQ(e.code(), snp::rt::ErrorCode::kAlloc);
+    EXPECT_NE(std::string(e.what()).find("SNPRT-ALLOC"), std::string::npos);
+  }
   // Exhaust global memory with max-size allocations.
   std::vector<std::shared_ptr<Buffer>> held;
   EXPECT_THROW(
@@ -47,7 +54,7 @@ TEST(Context, AllocationLimits) {
           held.push_back(ctx.create_buffer(dev.max_alloc_bytes()));
         }
       },
-      std::length_error);
+      snp::rt::Error);
   const std::size_t before = ctx.allocated_bytes();
   ctx.release_buffer(held.back());
   EXPECT_LT(ctx.allocated_bytes(), before);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "io/datagen.hpp"
+#include "rt/status.hpp"
 
 namespace snp {
 namespace {
@@ -228,7 +229,7 @@ TEST(Context, ResidentOperandTooLargeThrows) {
   // Both sides of a square problem over the limit: the resident operand
   // cannot fit, so the framework refuses (data-free estimate path).
   EXPECT_THROW((void)ctx.estimate(600000, 600000, 16384, Comparison::kAnd),
-               std::length_error);
+               rt::Error);
 }
 
 TEST(Context, EstimateMatchesCompareChunking) {

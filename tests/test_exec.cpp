@@ -70,6 +70,65 @@ TEST(ThreadPool, WaitIdleObservesAllPostedWork) {
   EXPECT_EQ(ran.load(), 100);
 }
 
+TEST(ThreadPool, PostedTaskExceptionPropagatesToWaitIdle) {
+  // Regression: a throwing post()ed task used to escape the worker loop
+  // (std::terminate). The first exception must be captured and rethrown
+  // from the next wait_idle(); later tasks keep running.
+  ThreadPool pool(2);
+  pool.post([] { throw std::runtime_error("task boom"); });
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.post([&ran] { ++ran; });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(pool.failed_count(), 1u);
+  // Sticky until cleared, so callers that wait in several places cannot
+  // miss it; clear_error() re-arms the pool for reuse.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.clear_error();
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(pool.failed_count(), 0u);
+}
+
+TEST(ThreadPool, OnlyTheFirstExceptionIsRethrown) {
+  ThreadPool pool(1);  // single worker => deterministic failure order
+  pool.post([] { throw std::runtime_error("first"); });
+  pool.post([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_EQ(pool.failed_count(), 2u);
+}
+
+TEST(ThreadPool, InlineModePropagatesDirectlyFromPost) {
+  ThreadPool pool(0);
+  EXPECT_THROW(pool.post([] { throw std::runtime_error("inline"); }),
+               std::runtime_error);
+  EXPECT_NO_THROW(pool.wait_idle());  // nothing captured: it unwound
+}
+
+TEST(ThreadPool, DestructorDrainsCleanlyPastFailingTasks) {
+  // Shutdown with a queue full of throwing tasks must drain and join
+  // without terminating the process.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.post([&ran, i] {
+        ++ran;
+        if (i % 2 == 0) {
+          throw std::runtime_error("flaky shutdown task");
+        }
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
 TEST(Semaphore, BlocksAtZeroUntilReleased) {
   Semaphore sem(2);
   sem.acquire();

@@ -4,6 +4,7 @@
 // stand in for a fuzzer in this offline environment.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 
 #include "io/datagen.hpp"
@@ -12,6 +13,8 @@
 #include "io/plink_lite.hpp"
 #include "io/rng.hpp"
 #include "io/vcf_lite.hpp"
+#include "rt/fault.hpp"
+#include "rt/status.hpp"
 
 namespace snp::io {
 namespace {
@@ -135,6 +138,108 @@ TEST(TextFuzz, VcfLiteGarbageLines) {
     std::stringstream ss(c);
     EXPECT_THROW((void)load_vcf_lite(ss), std::exception) << c;
   }
+}
+
+// --- rt::Status loader API (docs/robustness.md): truncation at *every*
+// byte boundary must come back as a structured kIoCorrupt with the byte
+// offset where parsing stopped — never a crash, hang, or silent success.
+
+TEST(StatusApi, BinaryLoadersFlagEveryTruncationBoundaryWithOffset) {
+  const struct {
+    const char* name;
+    std::string blob;
+    std::function<rt::Status(std::istream&)> try_load;
+  } cases[] = {
+      {"sbm", valid_sbm(),
+       [](std::istream& is) {
+         bits::BitMatrix out;
+         return try_load_bitmatrix(is, out);
+       }},
+      {"sgp", valid_sgp(),
+       [](std::istream& is) {
+         PackedGenotypes out;
+         return try_load_packed_genotypes(is, out);
+       }},
+      {"scm", valid_scm(),
+       [](std::istream& is) {
+         bits::CountMatrix out;
+         return try_load_countmatrix(is, out);
+       }},
+  };
+  for (const auto& c : cases) {
+    for (std::size_t cut = 0; cut < c.blob.size(); ++cut) {
+      std::stringstream ss(c.blob.substr(0, cut));
+      const rt::Status st = c.try_load(ss);
+      ASSERT_FALSE(st.ok()) << c.name << " truncated at byte " << cut;
+      EXPECT_EQ(st.code, rt::ErrorCode::kIoCorrupt)
+          << c.name << " @" << cut << ": " << st.to_string();
+      EXPECT_LE(st.offset, cut) << c.name << " @" << cut;
+    }
+    // The untruncated blob still loads clean through the same API.
+    std::stringstream ss(c.blob);
+    EXPECT_TRUE(c.try_load(ss).ok()) << c.name;
+  }
+}
+
+TEST(StatusApi, TextLoadersNeverCrashOnTruncation) {
+  // Text formats may truncate onto a line boundary and legitimately
+  // parse as a shorter file; the contract is structured-status-or-ok,
+  // never a crash or an unclassified escape.
+  PopulationParams p;
+  p.seed = 31;
+  const auto ds = with_synthetic_metadata(generate_genotypes(4, 6, p));
+  std::stringstream plink_ss, vcf_ss;
+  save_plink_lite(ds, plink_ss);
+  save_vcf_lite(ds, vcf_ss);
+  const std::string plink_text = plink_ss.str();
+  const std::string vcf_text = vcf_ss.str();
+  for (std::size_t cut = 0; cut < plink_text.size(); ++cut) {
+    std::stringstream ss(plink_text.substr(0, cut));
+    PlinkLiteDataset out;
+    const rt::Status st = try_load_plink_lite(ss, out);
+    if (!st.ok()) {
+      EXPECT_EQ(st.code, rt::ErrorCode::kIoCorrupt) << "plink @" << cut;
+    }
+  }
+  for (std::size_t cut = 0; cut < vcf_text.size(); ++cut) {
+    std::stringstream ss(vcf_text.substr(0, cut));
+    PlinkLiteDataset out;
+    const rt::Status st = try_load_vcf_lite(ss, out);
+    if (!st.ok()) {
+      EXPECT_EQ(st.code, rt::ErrorCode::kIoCorrupt) << "vcf @" << cut;
+    }
+  }
+}
+
+TEST(StatusApi, ThrowingAndStatusLoadersAgree) {
+  const std::string blob = valid_sbm();
+  const std::string cut = blob.substr(0, blob.size() / 2);
+  std::stringstream ss1(cut);
+  bits::BitMatrix out;
+  const rt::Status st = try_load_bitmatrix(ss1, out);
+  ASSERT_FALSE(st.ok());
+  std::stringstream ss2(cut);
+  try {
+    (void)load_bitmatrix(ss2);
+    FAIL() << "expected rt::Error";
+  } catch (const rt::Error& e) {
+    EXPECT_EQ(e.code(), st.code);
+    EXPECT_EQ(e.status().offset, st.offset);
+  }
+}
+
+TEST(StatusApi, IoInjectionSiteSynthesizesCorruption) {
+  rt::ScopedFaultPlan plan(rt::FaultPlan::parse("io:after=1"));
+  const std::string blob = valid_sbm();
+  std::stringstream ss(blob);
+  bits::BitMatrix out;
+  const rt::Status st = try_load_bitmatrix(ss, out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code, rt::ErrorCode::kIoCorrupt);
+  EXPECT_TRUE(st.injected);
+  // Second load: the one-shot plan is spent, the bytes are fine.
+  std::stringstream ss2(blob);
+  EXPECT_TRUE(try_load_bitmatrix(ss2, out).ok());
 }
 
 }  // namespace

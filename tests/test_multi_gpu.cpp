@@ -4,6 +4,7 @@
 
 #include "io/datagen.hpp"
 #include "multi/multi_gpu.hpp"
+#include "rt/fault.hpp"
 
 namespace snp::multi {
 namespace {
@@ -163,6 +164,99 @@ TEST(MultiGpu, HeterogeneousResultsBitIdentical) {
   EXPECT_TRUE(r.counts ==
               bits::compare_reference(a, b, bits::Comparison::kXor));
   EXPECT_EQ(r.timing.devices, 3);
+}
+
+// --- shard failover conformance (docs/robustness.md) ---
+
+MultiGpuOptions failover_opts(rt::FailPolicy policy) {
+  MultiGpuOptions opts;
+  opts.per_device.recovery.policy = policy;
+  opts.per_device.recovery.backoff_base_s = 0.0;
+  return opts;
+}
+
+TEST(MultiGpuFailover, KillingEachShardKeepsCountsBitIdentical) {
+  const auto a = io::random_bitmatrix(5, 192, 0.4, 970);
+  const auto b = io::random_bitmatrix(500, 192, 0.5, 971);
+  Context single = Context::gpu("titanv");
+  const auto expected = single.compare(a, b, Comparison::kXor).counts;
+  for (int k = 0; k < 3; ++k) {
+    rt::ScopedFaultPlan plan(rt::FaultPlan::parse(
+        "shard:at=" + std::to_string(k) + ":after=1"));
+    MultiGpuContext box("titanv", 3);
+    const auto r = box.compare(a, b, Comparison::kXor,
+                               failover_opts(rt::FailPolicy::kFailover));
+    EXPECT_TRUE(r.counts == expected) << "killed shard " << k;
+    ASSERT_EQ(r.timing.lost_devices.size(), 1u) << "killed shard " << k;
+    EXPECT_NE(r.timing.lost_devices[0].find(
+                  "[" + std::to_string(k) + "]"),
+              std::string::npos)
+        << r.timing.lost_devices[0];
+    EXPECT_FALSE(r.timing.fault_events.empty());
+    EXPECT_FALSE(r.timing.degraded);  // survivors absorbed the rows
+  }
+}
+
+TEST(MultiGpuFailover, WholeBoxLossFallsToTheHostRung) {
+  const auto a = io::random_bitmatrix(4, 128, 0.4, 972);
+  const auto b = io::random_bitmatrix(300, 128, 0.5, 973);
+  Context single = Context::gpu("gtx980");
+  const auto expected = single.compare(a, b, Comparison::kAnd).counts;
+  rt::ScopedFaultPlan plan(
+      rt::FaultPlan::parse("shard:p=1"));  // every shard attempt dies
+  MultiGpuContext box("gtx980", 3);
+  const auto r = box.compare(a, b, Comparison::kAnd,
+                             failover_opts(rt::FailPolicy::kFailover));
+  EXPECT_TRUE(r.counts == expected);
+  EXPECT_EQ(r.timing.lost_devices.size(), 3u);
+  EXPECT_TRUE(r.timing.degraded);
+}
+
+TEST(MultiGpuFailover, DegradePolicyRecomputesTheShardOnHost) {
+  const auto a = io::random_bitmatrix(4, 128, 0.4, 974);
+  const auto b = io::random_bitmatrix(256, 128, 0.5, 975);
+  Context single = Context::gpu("vega64");
+  const auto expected = single.compare(a, b, Comparison::kXor).counts;
+  rt::ScopedFaultPlan plan(
+      rt::FaultPlan::parse("shard:at=1:after=1"));
+  MultiGpuContext box("vega64", 2);
+  const auto r = box.compare(a, b, Comparison::kXor,
+                             failover_opts(rt::FailPolicy::kDegrade));
+  EXPECT_TRUE(r.counts == expected);
+  EXPECT_TRUE(r.timing.degraded);
+  EXPECT_TRUE(r.timing.lost_devices.empty());  // no failover happened
+}
+
+TEST(MultiGpuFailover, AbortPolicyPropagatesShardLoss) {
+  const auto a = io::random_bitmatrix(4, 128, 0.4, 976);
+  const auto b = io::random_bitmatrix(200, 128, 0.5, 977);
+  rt::ScopedFaultPlan plan(
+      rt::FaultPlan::parse("shard:at=0:after=1"));
+  MultiGpuContext box("titanv", 2);
+  try {
+    (void)box.compare(a, b, Comparison::kXor,
+                      failover_opts(rt::FailPolicy::kAbort));
+    FAIL() << "expected rt::Error";
+  } catch (const rt::Error& e) {
+    EXPECT_EQ(e.code(), rt::ErrorCode::kShardLost);
+  }
+}
+
+TEST(MultiGpuFailover, HostThreadsDoNotChangeFailoverResults) {
+  const auto a = io::random_bitmatrix(5, 160, 0.4, 978);
+  const auto b = io::random_bitmatrix(400, 160, 0.5, 979);
+  Context single = Context::gpu("titanv");
+  const auto expected = single.compare(a, b, Comparison::kXor).counts;
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    rt::ScopedFaultPlan plan(
+        rt::FaultPlan::parse("shard:at=2:after=1"));
+    MultiGpuContext box("titanv", 4);
+    MultiGpuOptions opts = failover_opts(rt::FailPolicy::kFailover);
+    opts.host_threads = threads;
+    const auto r = box.compare(a, b, Comparison::kXor, opts);
+    EXPECT_TRUE(r.counts == expected) << threads << " host threads";
+    EXPECT_EQ(r.timing.lost_devices.size(), 1u);
+  }
 }
 
 }  // namespace

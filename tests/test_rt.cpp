@@ -1,0 +1,286 @@
+// src/rt unit tests: error taxonomy, fault-plan parsing, deterministic
+// injection, backoff schedule, and the with_retry rung.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rt/fault.hpp"
+#include "rt/recovery.hpp"
+#include "rt/status.hpp"
+
+namespace snp::rt {
+namespace {
+
+TEST(RtStatus, CodesHaveStableNames) {
+  EXPECT_EQ(code_name(ErrorCode::kOk), "SNPRT-OK");
+  EXPECT_EQ(code_name(ErrorCode::kAlloc), "SNPRT-ALLOC");
+  EXPECT_EQ(code_name(ErrorCode::kLaunch), "SNPRT-LAUNCH");
+  EXPECT_EQ(code_name(ErrorCode::kIoCorrupt), "SNPRT-IO-CORRUPT");
+  EXPECT_EQ(code_name(ErrorCode::kShardLost), "SNPRT-SHARD-LOST");
+  EXPECT_EQ(code_name(ErrorCode::kExhausted), "SNPRT-EXHAUSTED");
+}
+
+TEST(RtStatus, RetryabilityByClass) {
+  EXPECT_TRUE(is_retryable(ErrorCode::kLaunch));
+  EXPECT_TRUE(is_retryable(ErrorCode::kH2d));
+  EXPECT_TRUE(is_retryable(ErrorCode::kTimeout));
+  EXPECT_FALSE(is_retryable(ErrorCode::kIoCorrupt));
+  EXPECT_FALSE(is_retryable(ErrorCode::kExhausted));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInternal));
+  // Injected faults are always retryable regardless of class, so plans
+  // can exercise the retry rung at any site.
+  Status st = Status::failure(ErrorCode::kInternal, "boom");
+  EXPECT_FALSE(is_retryable(st));
+  st.injected = true;
+  EXPECT_TRUE(is_retryable(st));
+}
+
+TEST(RtStatus, ToStringCarriesCodeOffsetAndInjection) {
+  Status st = Status::failure(ErrorCode::kIoCorrupt, "bad magic", 17);
+  EXPECT_EQ(st.to_string(), "[SNPRT-IO-CORRUPT] bad magic (byte 17)");
+  st.injected = true;
+  EXPECT_EQ(st.to_string(),
+            "[SNPRT-IO-CORRUPT] bad magic (byte 17) [injected]");
+}
+
+TEST(RtStatus, ErrorIsARuntimeError) {
+  // Legacy catch sites (and EXPECT_THROW on std::runtime_error) must
+  // keep working across the taxonomy migration.
+  try {
+    throw Error(ErrorCode::kAlloc, "over budget");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("SNPRT-ALLOC"),
+              std::string::npos);
+  }
+}
+
+TEST(RtFaultPlan, ParsesTheDocumentedGrammar) {
+  const FaultPlan plan =
+      FaultPlan::parse("launch:p=0.25:seed=7,h2d:after=3,"
+                       "shard:at=1:after=1:count=2");
+  ASSERT_EQ(plan.clauses.size(), 3u);
+  EXPECT_EQ(plan.clauses[0].site, FaultSite::kLaunch);
+  EXPECT_DOUBLE_EQ(plan.clauses[0].p, 0.25);
+  EXPECT_EQ(plan.clauses[0].seed, 7u);
+  EXPECT_EQ(plan.clauses[1].site, FaultSite::kH2d);
+  EXPECT_EQ(plan.clauses[1].after, 3u);
+  EXPECT_EQ(plan.clauses[2].site, FaultSite::kShard);
+  EXPECT_EQ(plan.clauses[2].at, 1);
+  EXPECT_EQ(plan.clauses[2].count, 2u);
+}
+
+TEST(RtFaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)FaultPlan::parse("warp:p=0.1"), Error);  // bad site
+  EXPECT_THROW((void)FaultPlan::parse("launch:p=2"), Error);  // p > 1
+  EXPECT_THROW((void)FaultPlan::parse("launch:bogus=1"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("launch"), Error);  // no trigger
+  EXPECT_TRUE(FaultPlan::parse("").empty());  // unset env var == no plan
+}
+
+TEST(RtInjector, DisarmedChecksNeverFire) {
+  auto& inj = FaultInjector::global();
+  inj.disarm();
+  EXPECT_FALSE(inj.armed());
+  EXPECT_FALSE(inj.check(FaultSite::kLaunch).has_value());
+  EXPECT_NO_THROW(maybe_inject(FaultSite::kLaunch));
+}
+
+TEST(RtInjector, AfterFiresOnExactlyTheNthCheck) {
+  ScopedFaultPlan plan(FaultPlan::parse("launch:after=3"));
+  auto& inj = FaultInjector::global();
+  EXPECT_FALSE(inj.check(FaultSite::kLaunch).has_value());
+  EXPECT_FALSE(inj.check(FaultSite::kLaunch).has_value());
+  const auto st = inj.check(FaultSite::kLaunch);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->code, ErrorCode::kLaunch);
+  EXPECT_TRUE(st->injected);
+  EXPECT_FALSE(inj.check(FaultSite::kLaunch).has_value());
+  EXPECT_EQ(inj.fires(), 1u);
+}
+
+TEST(RtInjector, AtFiltersByOperandIndex) {
+  ScopedFaultPlan plan(FaultPlan::parse("shard:at=2:after=1"));
+  auto& inj = FaultInjector::global();
+  EXPECT_FALSE(inj.check(FaultSite::kShard, 0).has_value());
+  EXPECT_FALSE(inj.check(FaultSite::kShard, 1).has_value());
+  EXPECT_TRUE(inj.check(FaultSite::kShard, 2).has_value());
+}
+
+TEST(RtInjector, CountCapsTotalFires) {
+  ScopedFaultPlan plan(FaultPlan::parse("h2d:p=1:count=2"));
+  auto& inj = FaultInjector::global();
+  EXPECT_TRUE(inj.check(FaultSite::kH2d).has_value());
+  EXPECT_TRUE(inj.check(FaultSite::kH2d).has_value());
+  EXPECT_FALSE(inj.check(FaultSite::kH2d).has_value());
+  EXPECT_EQ(inj.fires(), 2u);
+}
+
+TEST(RtInjector, ProbabilityDrawsAreSeedDeterministic) {
+  // Same seed => the same fire pattern over an ordinal sequence; a
+  // different seed must eventually disagree.
+  auto pattern = [](std::uint64_t seed) {
+    ScopedFaultPlan plan(FaultPlan::parse(
+        "launch:p=0.3:seed=" + std::to_string(seed)));
+    auto& inj = FaultInjector::global();
+    std::vector<bool> fired;
+    fired.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(inj.check(FaultSite::kLaunch).has_value());
+    }
+    return fired;
+  };
+  EXPECT_EQ(pattern(11), pattern(11));
+  EXPECT_NE(pattern(11), pattern(12));
+}
+
+TEST(RtInjector, SitesDoNotPerturbEachOther) {
+  // Interleaving checks at a second site must not shift the first
+  // site's ordinals (stateless per-site hashing, no shared stream).
+  auto pattern = [](bool interleave) {
+    ScopedFaultPlan plan(FaultPlan::parse("launch:p=0.3:seed=5"));
+    auto& inj = FaultInjector::global();
+    std::vector<bool> fired;
+    for (int i = 0; i < 32; ++i) {
+      if (interleave) {
+        (void)inj.check(FaultSite::kH2d);
+      }
+      fired.push_back(inj.check(FaultSite::kLaunch).has_value());
+    }
+    return fired;
+  };
+  EXPECT_EQ(pattern(false), pattern(true));
+}
+
+TEST(RtRecovery, PolicyNamesRoundTrip) {
+  for (const auto policy :
+       {FailPolicy::kAbort, FailPolicy::kRetry, FailPolicy::kFailover,
+        FailPolicy::kDegrade}) {
+    const auto parsed = parse_fail_policy(to_string(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(parse_fail_policy("panic").has_value());
+}
+
+TEST(RtRecovery, BackoffIsDeterministicExponentialWithCap) {
+  RecoveryOptions opts;
+  opts.backoff_base_s = 1e-3;
+  opts.backoff_max_s = 3e-3;
+  EXPECT_DOUBLE_EQ(backoff_delay_s(opts, 1), 1e-3);
+  EXPECT_DOUBLE_EQ(backoff_delay_s(opts, 2), 2e-3);
+  EXPECT_DOUBLE_EQ(backoff_delay_s(opts, 3), 3e-3);  // capped
+  EXPECT_DOUBLE_EQ(backoff_delay_s(opts, 9), 3e-3);
+  EXPECT_DOUBLE_EQ(backoff_delay_s(opts, 0), 0.0);
+}
+
+RecoveryOptions fast_retry() {
+  RecoveryOptions opts;
+  opts.policy = FailPolicy::kRetry;
+  opts.max_attempts = 3;
+  opts.backoff_base_s = 0.0;  // no sleeping in unit tests
+  return opts;
+}
+
+TEST(RtRecovery, WithRetryRecoversTransientFaults) {
+  FaultLog log;
+  int calls = 0;
+  const int v = with_retry(fast_retry(), "op", 7, &log, [&] {
+    if (++calls < 3) {
+      throw Error(ErrorCode::kLaunch, "flaky");
+    }
+    return 42;
+  });
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(calls, 3);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].action, "retry");
+  EXPECT_EQ(events[0].chunk, 7);
+  EXPECT_EQ(events[0].attempt, 1);
+  EXPECT_EQ(events[1].attempt, 2);
+}
+
+TEST(RtRecovery, WithRetryExhaustionThrowsExhausted) {
+  FaultLog log;
+  int calls = 0;
+  try {
+    with_retry(fast_retry(), "op", -1, &log, [&]() -> int {
+      ++calls;
+      throw Error(ErrorCode::kH2d, "dead");
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kExhausted);
+  }
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(log.snapshot().back().action, "exhausted");
+}
+
+TEST(RtRecovery, ExhaustedIsNotRetriedByOuterScopes) {
+  // Nested retry scopes must not multiply attempts: the inner rung's
+  // kExhausted is terminal for the outer rung too.
+  int outer_calls = 0;
+  EXPECT_THROW(
+      with_retry(fast_retry(), "outer", -1, nullptr, [&]() -> int {
+        ++outer_calls;
+        return with_retry(fast_retry(), "inner", -1, nullptr,
+                          []() -> int {
+                            throw Error(ErrorCode::kLaunch, "dead");
+                          });
+      }),
+      Error);
+  EXPECT_EQ(outer_calls, 1);
+}
+
+TEST(RtRecovery, AbortPolicyNeverRetries) {
+  RecoveryOptions opts = fast_retry();
+  opts.policy = FailPolicy::kAbort;
+  int calls = 0;
+  try {
+    with_retry(opts, "op", -1, nullptr, [&]() -> int {
+      ++calls;
+      throw Error(ErrorCode::kLaunch, "boom");
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kLaunch);  // original, not wrapped
+  }
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RtRecovery, NonRetryableCodesPropagateImmediately) {
+  int calls = 0;
+  try {
+    with_retry(fast_retry(), "op", -1, nullptr, [&]() -> int {
+      ++calls;
+      throw Error(ErrorCode::kIoCorrupt, "bad bytes", 9);
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoCorrupt);
+    EXPECT_EQ(e.status().offset, 9u);
+  }
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RtRecovery, DeadlineSamplesTheTimeoutSite) {
+  ScopedFaultPlan plan(FaultPlan::parse("timeout:after=1"));
+  const Deadline d(0.0);  // real watchdog off; only injection can fire
+  EXPECT_TRUE(d.expired());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(RtRecovery, WithRetryTurnsInjectedTimeoutIntoTimeoutError) {
+  ScopedFaultPlan plan(FaultPlan::parse("timeout:after=1"));
+  RecoveryOptions opts = fast_retry();
+  FaultLog log;
+  // First attempt hits the injected timeout, later attempts succeed.
+  const int v = with_retry(opts, "op", -1, &log, [] { return 7; });
+  EXPECT_EQ(v, 7);
+  ASSERT_FALSE(log.snapshot().empty());
+  EXPECT_EQ(log.snapshot()[0].code, ErrorCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace snp::rt

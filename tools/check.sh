@@ -7,9 +7,15 @@
 #      presets, validated the same way (zero errors, Eq. 5 note present).
 #   2. ASan/UBSan build + tier-1 tests.
 #   3. TSan build + the concurrency-heavy suites (exec scheduler,
-#      async-vs-serial conformance, and the obs metrics/span registry) —
-#      OpenMP is compiled out under TSan, so every data race the
-#      thread-pool pipeline could introduce is visible to the tool.
+#      async-vs-serial conformance, the obs metrics/span registry, and
+#      the fault-injection soak) — OpenMP is compiled out under TSan, so
+#      every data race the thread-pool pipeline could introduce is
+#      visible to the tool.
+#
+# The release stage also runs a fault-injection smoke: an injected
+# search under --fail-policy degrade must match the clean ranking and
+# report its fault events; abort must exit 4 with the SNPRT-* code
+# (docs/robustness.md).
 #
 # Usage: tools/check.sh [--skip-sanitizers | --ci]
 #
@@ -72,6 +78,31 @@ for path in sys.argv[1:]:
           f"{len(doc['diagnostics'])} diagnostic(s), 0 errors")
 EOF
 
+echo "== fault-injection smoke (recovery ladder end-to-end) =="
+# docs/robustness.md: a heavily injected run under --fail-policy degrade
+# must succeed, rank identically to the clean run, and report its fault
+# events; abort must exit 4 with the stable SNPRT-* code on stderr.
+./build/tools/snpcmp search --queries "$smoke/q.sbm" --db "$smoke/db.sbm" \
+  > "$smoke/clean.txt"
+./build/tools/snpcmp search --queries "$smoke/q.sbm" --db "$smoke/db.sbm" \
+  --inject-faults 'launch:p=0.5:seed=9' --fail-policy degrade \
+  > "$smoke/degraded.txt"
+grep -q '^faults:' "$smoke/degraded.txt" || {
+  echo "degraded run did not report its fault events"; exit 1; }
+diff <(grep '^query ' "$smoke/clean.txt") \
+     <(grep '^query ' "$smoke/degraded.txt") || {
+  echo "degraded run diverged from the clean ranking"; exit 1; }
+set +e
+./build/tools/snpcmp search --queries "$smoke/q.sbm" --db "$smoke/db.sbm" \
+  --inject-faults 'launch:after=1' --fail-policy abort \
+  > /dev/null 2> "$smoke/abort.err"
+rc=$?
+set -e
+[[ $rc -eq 4 ]] || { echo "abort policy exited $rc, want 4"; exit 1; }
+grep -q 'SNPRT-LAUNCH' "$smoke/abort.err" || {
+  echo "abort stderr lacks the stable SNPRT-LAUNCH code"; exit 1; }
+echo "fault-injection smoke ok: degrade bit-identical, abort exits 4"
+
 echo "== bench_compare self-test (regression-gate fixtures) =="
 tools/bench_compare --self-test
 
@@ -111,12 +142,13 @@ cmake --build --preset asan -j "$jobs"
 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-asan -L tier1 --output-on-failure -j "$jobs"
 
-echo "== TSan build + exec/conformance/obs tests =="
+echo "== TSan build + exec/conformance/obs/fault tests =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" \
-  --target test_exec test_async_conformance test_obs
+  --target test_exec test_async_conformance test_obs test_fault_injection
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_exec
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_async_conformance
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_obs
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_fault_injection
 
 echo "== all checks passed =="
