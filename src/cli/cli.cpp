@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -32,6 +33,7 @@
 #include "stats/ld.hpp"
 #include "stats/ld_prune.hpp"
 #include "stats/qc.hpp"
+#include "svc/service.hpp"
 
 namespace snp::cli {
 
@@ -1127,6 +1129,282 @@ int cmd_estimate(Options& opt, std::ostream& out) {
   return 0;
 }
 
+// ---- serve / submit: the ServiceEngine front-end (docs/service.md) ----
+
+/// FNV-1a over a gamma row — a stable per-request digest, so golden CLI
+/// tests can pin result identity without printing thousands of counts.
+std::string row_digest(std::span<const std::uint32_t> row) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint32_t v : row) {
+    for (int i = 0; i < 4; ++i) {
+      h ^= (v >> (8 * i)) & 0xffU;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Minimal field extractors for the request-script JSONL lines — the
+/// grammar is three fixed keys, not general JSON (docs/service.md).
+std::optional<std::string> json_field(const std::string& line,
+                                      const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  pos = line.find(':', pos + needle.size());
+  if (pos == std::string::npos) return std::nullopt;
+  ++pos;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  if (pos >= line.size()) return std::nullopt;
+  if (line[pos] == '"') {
+    const auto end = line.find('"', pos + 1);
+    if (end == std::string::npos) return std::nullopt;
+    return line.substr(pos + 1, end - pos - 1);
+  }
+  std::size_t end = pos;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' &&
+         line[end] != ' ') {
+    ++end;
+  }
+  return line.substr(pos, end - pos);
+}
+
+std::optional<std::uint64_t> json_num(const std::string& line,
+                                      const std::string& key) {
+  const auto text = json_field(line, key);
+  if (!text) return std::nullopt;
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text->data(), text->data() + text->size(), v);
+  if (ec != std::errc{} || ptr != text->data() + text->size()) {
+    throw std::invalid_argument("script: '" + key +
+                                "' expects an integer, got '" + *text + "'");
+  }
+  return v;
+}
+
+svc::ServiceConfig parse_service_config(Options& opt) {
+  svc::ServiceConfig cfg;
+  cfg.device = opt.str("device", "titanv");
+  cfg.op = parse_op(opt.str("op", "xor"));
+  cfg.pre_negate = opt.str("pre-negate", "no") == "yes";
+  cfg.max_batch_rows = opt.num("max-batch", 32);
+  cfg.coalesce_window_s = opt.real("window-ms", 0.0) / 1e3;
+  cfg.max_queue = opt.num("max-queue", 256);
+  cfg.cache_capacity = opt.num("cache", 1024);
+  cfg.compute_threads = opt.num("threads", 0);
+  const std::string admission = opt.str("admission", "reject");
+  const auto policy = svc::parse_admission_policy(admission);
+  if (!policy) {
+    throw std::invalid_argument("--admission must be reject or block");
+  }
+  cfg.admission = *policy;
+  // Script-driven runs gate batch formation on barriers, so batch ids and
+  // widths are a pure function of the script — CI-golden by construction.
+  cfg.start_paused = true;
+  return cfg;
+}
+
+/// One scripted request's outcome slot, resolved after the final barrier.
+struct ScriptedRequest {
+  std::future<svc::QueryResult> fut;
+  std::string shed_code;  ///< non-empty: rejected at admission
+};
+
+/// The deterministic "service:" report block (golden in test_service_cli)
+/// plus the wall-clock "slo:" line, which goldens must not match on.
+void print_service_report(std::ostream& out, const svc::ServiceEngine& eng) {
+  const svc::ServiceStats s = eng.stats();
+  const svc::ServiceConfig& cfg = eng.config();
+  out << "service:     device=" << cfg.device << " op=" << to_string(cfg.op)
+      << " pre-negate=" << (cfg.pre_negate ? "yes" : "no") << "\n"
+      << "service:     requests=" << s.submitted << " completed="
+      << s.completed << " failed=" << s.failed << " rejected=" << s.rejected
+      << "\n"
+      << "service:     batches=" << s.batches << " mean-width="
+      << s.mean_batch_rows << " max-width=" << s.max_batch_rows << "\n"
+      << "service:     cache hits=" << s.cache_hits << " misses="
+      << s.cache_misses << "\n"
+      << "service:     queue peak=" << s.peak_queue_depth << " epoch="
+      << s.epoch << "\n";
+  if (s.fault_events > 0 || s.degraded_batches > 0) {
+    out << "service:     faults=" << s.fault_events << " degraded-batches="
+        << s.degraded_batches << "\n";
+  }
+  out << "slo:         p50=" << s.p50_latency_s * 1e3 << " ms p99="
+      << s.p99_latency_s * 1e3 << " ms max=" << s.max_latency_s * 1e3
+      << " ms\n";
+}
+
+/// Resolves every scripted request in submission order, prints its stable
+/// per-request line, and returns the first batch failure (the CLI rethrows
+/// it after the report so the SNPRT-* exit-4 contract holds end to end).
+std::exception_ptr print_request_lines(std::ostream& out,
+                                       std::vector<ScriptedRequest>& reqs) {
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    out << "req " << i << ": ";
+    if (!reqs[i].shed_code.empty()) {
+      out << "rejected [" << reqs[i].shed_code << "]\n";
+      continue;
+    }
+    try {
+      const svc::QueryResult r = reqs[i].fut.get();
+      if (r.cache_hit) {
+        out << "cache-hit epoch=" << r.epoch;
+      } else {
+        out << "batch=" << r.batch_id << " width=" << r.batch_rows
+            << " epoch=" << r.epoch;
+      }
+      if (r.degraded) {
+        out << " degraded";
+      }
+      out << " digest=" << row_digest(r.row) << "\n";
+    } catch (const rt::Error& e) {
+      out << "error [" << rt::code_name(e.code()) << "]\n";
+      if (!first_error) first_error = std::current_exception();
+    } catch (const std::exception&) {
+      out << "error\n";
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  return first_error;
+}
+
+/// Submits query row `q`, mapping an admission shed to a printed line
+/// instead of a fatal error (the service kept running — that is the point
+/// of a shed policy).
+void submit_one(svc::ServiceEngine& engine, const bits::BitMatrix& queries,
+                std::size_t q,
+                const std::optional<rt::RecoveryOptions>& recovery,
+                std::vector<ScriptedRequest>& reqs) {
+  ScriptedRequest slot;
+  try {
+    slot.fut = engine.submit(queries.row_slice(q, q + 1), recovery);
+  } catch (const rt::Error& e) {
+    if (e.code() != rt::ErrorCode::kOverload) throw;
+    slot.shed_code = rt::code_name(e.code());
+  }
+  reqs.push_back(std::move(slot));
+}
+
+/// `snpcmp serve`: drive a ServiceEngine from a JSONL request script.
+/// Lines: {"submit": Q [, "policy": "...", "count": N]} enqueues query
+/// row Q; {"barrier": true} releases the backlog and waits for it
+/// (resume -> drain -> pause), closing the current coalescing generation;
+/// {"epoch": "FILE.sbm"} swaps the resident database. '#' and blank
+/// lines are skipped; a final barrier is implicit.
+int cmd_serve(Options& opt, std::ostream& out) {
+  const std::string dbpath = opt.require("db");
+  const std::string qpath = opt.require("queries");
+  const std::string script_path = opt.require("script");
+  svc::ServiceConfig cfg = parse_service_config(opt);
+  const Telemetry tele(opt);
+  FaultControl faults(opt);
+  opt.reject_unknown();
+  tele.begin();
+  // Reuse the shared fault flags: the armed plan spans the engine's whole
+  // lifetime, and the recovery policy becomes the engine default.
+  ComputeOptions proto;
+  faults.apply(proto);
+  cfg.recovery = proto.recovery;
+
+  const auto queries = io::load_bitmatrix(std::filesystem::path(qpath));
+  svc::ServiceEngine engine(
+      io::load_bitmatrix(std::filesystem::path(dbpath)), cfg);
+
+  std::ifstream script(script_path);
+  if (!script) {
+    throw std::invalid_argument("serve: cannot open --script " +
+                                script_path);
+  }
+  std::vector<ScriptedRequest> reqs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(script, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    try {
+      if (json_field(line, "barrier")) {
+        engine.resume();
+        engine.drain();
+        engine.pause();
+      } else if (const auto path = json_field(line, "epoch")) {
+        engine.update_database(
+            io::load_bitmatrix(std::filesystem::path(*path)));
+      } else if (const auto q = json_num(line, "submit")) {
+        if (*q >= queries.rows()) {
+          throw std::invalid_argument("query row out of range");
+        }
+        std::optional<rt::RecoveryOptions> recovery;
+        if (const auto policy_text = json_field(line, "policy")) {
+          const auto policy = rt::parse_fail_policy(*policy_text);
+          if (!policy) {
+            throw std::invalid_argument("bad policy '" + *policy_text +
+                                        "'");
+          }
+          recovery = cfg.recovery;
+          recovery->policy = *policy;
+        }
+        const std::uint64_t count = json_num(line, "count").value_or(1);
+        for (std::uint64_t c = 0; c < count; ++c) {
+          submit_one(engine, queries, *q, recovery, reqs);
+        }
+      } else {
+        throw std::invalid_argument(
+            "expected \"submit\", \"barrier\" or \"epoch\"");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("serve: " + script_path + ":" +
+                                  std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  engine.resume();
+  engine.drain();
+
+  const std::exception_ptr first_error = print_request_lines(out, reqs);
+  print_service_report(out, engine);
+  tele.finish(out, nullptr, {}, cfg.device);
+  if (first_error) std::rethrow_exception(first_error);
+  return 0;
+}
+
+/// `snpcmp submit`: one-shot convenience — every row of --queries becomes
+/// one request, coalesced under --max-batch. Equivalent to a script of N
+/// submit lines and one barrier.
+int cmd_submit(Options& opt, std::ostream& out) {
+  const std::string dbpath = opt.require("db");
+  const std::string qpath = opt.require("queries");
+  svc::ServiceConfig cfg = parse_service_config(opt);
+  const Telemetry tele(opt);
+  FaultControl faults(opt);
+  opt.reject_unknown();
+  tele.begin();
+  ComputeOptions proto;
+  faults.apply(proto);
+  cfg.recovery = proto.recovery;
+
+  const auto queries = io::load_bitmatrix(std::filesystem::path(qpath));
+  svc::ServiceEngine engine(
+      io::load_bitmatrix(std::filesystem::path(dbpath)), cfg);
+  std::vector<ScriptedRequest> reqs;
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    submit_one(engine, queries, q, std::nullopt, reqs);
+  }
+  engine.resume();
+  engine.drain();
+
+  const std::exception_ptr first_error = print_request_lines(out, reqs);
+  print_service_report(out, engine);
+  tele.finish(out, nullptr, {}, cfg.device);
+  if (first_error) std::rethrow_exception(first_error);
+  return 0;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -1186,8 +1464,20 @@ commands:
             [--device D] [--no-init yes|no] [--trace F.json]
             [telemetry flags]
             paper-scale projection (+ chrome://tracing timeline)
+  serve     --db F.sbm --queries F.sbm --script R.jsonl
+            script-driven resident-DB query service (docs/service.md);
+            script lines: {"submit": Q[, "policy": P, "count": N]},
+            {"barrier": true}, {"epoch": "F.sbm"}
+            [--device D] [--op and|xor|andnot] [--pre-negate yes|no]
+            [--max-batch N] [--window-ms X] [--max-queue N]
+            [--admission reject|block] [--cache N] [--threads N]
+            [fault-tolerance flags] [telemetry flags]
+  submit    --db F.sbm --queries F.sbm
+            one-shot service submission: every query row becomes one
+            request, coalesced under --max-batch (same options as serve)
 
-fault-tolerance flags (ld, search, mixture; docs/robustness.md):
+fault-tolerance flags (ld, search, mixture, serve, submit;
+docs/robustness.md):
   --fail-policy abort|retry|failover|degrade
                                 recovery policy for device faults
                                 (default retry; degrade falls back to the
@@ -1276,6 +1566,12 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     }
     if (cmd == "estimate") {
       return cmd_estimate(opt, out);
+    }
+    if (cmd == "serve") {
+      return cmd_serve(opt, out);
+    }
+    if (cmd == "submit") {
+      return cmd_submit(opt, out);
     }
     err << "unknown command '" << cmd << "'\n" << usage();
     return 1;

@@ -28,6 +28,8 @@ std::string_view code_name(ErrorCode code) {
       return "SNPRT-CANCELLED";
     case ErrorCode::kInternal:
       return "SNPRT-INTERNAL";
+    case ErrorCode::kOverload:
+      return "SNPRT-OVERLOAD";
   }
   return "SNPRT-INTERNAL";
 }

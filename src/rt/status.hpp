@@ -40,6 +40,7 @@ enum class ErrorCode : std::uint8_t {
   kExhausted,      ///< bounded retries (or the op deadline) ran out
   kCancelled,      ///< run abandoned because a sibling failure poisoned it
   kInternal,       ///< invariant violation — a bug, never retried
+  kOverload,       ///< admission control shed the request (queue full)
 };
 
 /// The stable wire/CLI name of a code ("SNPRT-ALLOC", "SNPRT-LAUNCH", ...).

@@ -1,0 +1,511 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
+#include "rt/status.hpp"
+
+namespace snp::svc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+[[nodiscard]] Context make_context(const std::string& device) {
+  if (device == "cpu") return Context::cpu();
+  return Context::gpu(device);
+}
+
+/// Requests only share a batch when their whole recovery policy matches:
+/// one compare launch runs under exactly one policy, so mixing classes
+/// would silently upgrade or downgrade somebody's contract.
+[[nodiscard]] bool same_class(const rt::RecoveryOptions& a,
+                              const rt::RecoveryOptions& b) {
+  return a.policy == b.policy && a.max_attempts == b.max_attempts &&
+         a.backoff_base_s == b.backoff_base_s &&
+         a.backoff_max_s == b.backoff_max_s &&
+         a.op_deadline_s == b.op_deadline_s;
+}
+
+/// FNV-1a over the query's canonical words; op and epoch are folded in so
+/// one table serves every (op, epoch) generation.
+[[nodiscard]] std::uint64_t cache_hash(std::span<const bits::Word64> words,
+                                       bits::Comparison op,
+                                       std::uint64_t epoch) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto w : words) mix(w);
+  mix(static_cast<std::uint64_t>(op));
+  mix(epoch);
+  return h;
+}
+
+[[nodiscard]] double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size(), std::max<std::size_t>(rank, 1)) - 1];
+}
+
+}  // namespace
+
+std::string_view to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kReject:
+      return "reject";
+    case AdmissionPolicy::kBlock:
+      return "block";
+  }
+  return "?";
+}
+
+std::optional<AdmissionPolicy> parse_admission_policy(std::string_view text) {
+  if (text == "reject") return AdmissionPolicy::kReject;
+  if (text == "block") return AdmissionPolicy::kBlock;
+  return std::nullopt;
+}
+
+struct ServiceEngine::Impl {
+  /// One accepted, not-yet-resolved query.
+  struct Request {
+    std::vector<bits::Word64> words;  ///< canonical (base-stride) query row
+    std::uint64_t key = 0;            ///< cache key at admission epoch
+    rt::RecoveryOptions recovery;
+    Clock::time_point submitted;
+    std::promise<QueryResult> promise;
+  };
+
+  /// A formed batch: the FIFO same-class prefix plus the database
+  /// generation it was formed under (in-flight batches finish against
+  /// their own epoch even if update_database() lands meanwhile).
+  struct Batch {
+    std::vector<Request> requests;
+    std::shared_ptr<const bits::BitMatrix> db;
+    std::uint64_t epoch = 1;
+    std::uint64_t id = 0;
+  };
+
+  struct CacheEntry {
+    std::vector<bits::Word64> words;  ///< stored for exact collision check
+    std::uint64_t epoch = 1;
+    std::vector<std::uint32_t> row;
+  };
+
+  Impl(bits::BitMatrix database, ServiceConfig config)
+      : cfg(std::move(config)),
+        ctx(make_context(cfg.device)),
+        pool(1),
+        paused(cfg.start_paused) {
+    if (database.empty()) {
+      throw std::invalid_argument("svc: database must be non-empty");
+    }
+    if (cfg.max_batch_rows == 0) {
+      throw std::invalid_argument("svc: max_batch_rows must be >= 1");
+    }
+    effective_op = cfg.op;
+    if (cfg.op == bits::Comparison::kAndNot && cfg.pre_negate) {
+      // Eq. 3 served as AND against the stored complement — bit-identical
+      // to AND-NOT by negation duality (pinned in test_properties).
+      database = database.negated();
+      effective_op = bits::Comparison::kAnd;
+    }
+    db = std::make_shared<const bits::BitMatrix>(std::move(database));
+    dispatcher = std::thread([this] { dispatch_loop(); });
+  }
+
+  ~Impl() {
+    {
+      const std::lock_guard lock(mu);
+      stop = true;
+      paused = false;  // shutdown drains even a paused engine
+    }
+    cv_work.notify_all();
+    cv_space.notify_all();
+    dispatcher.join();
+  }
+
+  // ---- client side -------------------------------------------------------
+
+  std::future<QueryResult> submit(
+      const bits::BitMatrix& query,
+      const std::optional<rt::RecoveryOptions>& recovery) {
+    const auto submitted = Clock::now();
+    if (query.rows() != 1 || query.bit_cols() != db_bit_cols()) {
+      throw std::invalid_argument(
+          "svc: query must be a single row with the database's bit_cols");
+    }
+    // Canonicalize to the base stride so clients with padded strides hash
+    // and batch identically (padding words are zero by invariant).
+    const std::size_t base_words = (query.bit_cols() + 63) / 64;
+    const auto src = query.row64(0);
+    std::vector<bits::Word64> words(src.begin(),
+                                    src.begin() + static_cast<std::ptrdiff_t>(
+                                                      base_words));
+
+    std::unique_lock lock(mu);
+    submitted_count++;
+    SNP_OBS_COUNT("svc.requests", 1);
+
+    const std::uint64_t key = cache_hash(words, cfg.op, epoch);
+    if (cfg.cache_capacity > 0) {
+      if (const auto it = cache.find(key);
+          it != cache.end() && it->second.epoch == epoch &&
+          it->second.words == words) {
+        cache_hits++;
+        SNP_OBS_COUNT("svc.cache.hits", 1);
+        QueryResult qr;
+        qr.row = it->second.row;
+        qr.cache_hit = true;
+        qr.epoch = epoch;
+        qr.latency_s = seconds_between(submitted, Clock::now());
+        completed_count++;
+        latencies.push_back(qr.latency_s);
+        SNP_OBS_OBSERVE("svc.request_latency_seconds", qr.latency_s);
+        std::promise<QueryResult> p;
+        auto fut = p.get_future();
+        p.set_value(std::move(qr));
+        return fut;
+      }
+      cache_misses++;
+      SNP_OBS_COUNT("svc.cache.misses", 1);
+    }
+
+    // Admission control: the pending queue is the only unbounded-growth
+    // surface, so it is the one that is bounded.
+    if (pending.size() >= cfg.max_queue) {
+      if (cfg.admission == AdmissionPolicy::kReject) {
+        rejected_count++;
+        SNP_OBS_COUNT("svc.rejected", 1);
+        throw rt::Error(rt::ErrorCode::kOverload,
+                        "service queue full (" +
+                            std::to_string(cfg.max_queue) +
+                            " pending); request shed");
+      }
+      cv_space.wait(lock,
+                    [&] { return stop || pending.size() < cfg.max_queue; });
+      if (stop) {
+        throw rt::Error(rt::ErrorCode::kCancelled,
+                        "service shut down while request was blocked on "
+                        "admission");
+      }
+    }
+
+    Request req;
+    req.words = std::move(words);
+    req.key = key;
+    req.recovery = recovery.value_or(cfg.recovery);
+    req.submitted = submitted;
+    auto fut = req.promise.get_future();
+    pending.push_back(std::move(req));
+    peak_queue = std::max(peak_queue, pending.size());
+    SNP_OBS_GAUGE_ADD("svc.queue_depth", 1);
+    lock.unlock();
+    cv_work.notify_one();
+    return fut;
+  }
+
+  void update_database(bits::BitMatrix database) {
+    if (database.empty() || database.bit_cols() != db_bit_cols()) {
+      throw std::invalid_argument(
+          "svc: replacement database must be non-empty with matching "
+          "bit_cols");
+    }
+    if (cfg.op == bits::Comparison::kAndNot && cfg.pre_negate) {
+      database = database.negated();
+    }
+    auto next = std::make_shared<const bits::BitMatrix>(std::move(database));
+    const std::lock_guard lock(mu);
+    db = std::move(next);
+    epoch++;
+    cache.clear();
+    cache_fifo.clear();
+    SNP_OBS_COUNT("svc.epoch_bumps", 1);
+  }
+
+  void drain() {
+    std::unique_lock lock(mu);
+    cv_drain.wait(lock, [&] { return pending.empty() && inflight == 0; });
+  }
+
+  void set_paused(bool value) {
+    {
+      const std::lock_guard lock(mu);
+      paused = value;
+    }
+    if (!value) cv_work.notify_all();
+  }
+
+  // ---- dispatcher side ---------------------------------------------------
+
+  void dispatch_loop() {
+    for (;;) {
+      std::unique_lock lock(mu);
+      cv_work.wait(lock,
+                   [&] { return stop || (!paused && !pending.empty()); });
+      if (pending.empty()) {
+        if (stop) return;
+        continue;
+      }
+      // Keep the batch open for the coalescing window (unless it is
+      // already full or the engine is shutting down).
+      if (cfg.coalesce_window_s > 0.0 &&
+          pending.size() < cfg.max_batch_rows) {
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   cfg.coalesce_window_s));
+        cv_work.wait_until(lock, deadline, [&] {
+          return stop || pending.size() >= cfg.max_batch_rows;
+        });
+      }
+
+      auto batch = std::make_shared<Batch>();
+      batch->db = db;
+      batch->epoch = epoch;
+      batch->id = ++batch_counter;
+      // FIFO prefix of one recovery class: later same-class arrivals never
+      // jump ahead of an earlier different-class request.
+      while (!pending.empty() &&
+             batch->requests.size() < cfg.max_batch_rows &&
+             (batch->requests.empty() ||
+              same_class(batch->requests.front().recovery,
+                         pending.front().recovery))) {
+        batch->requests.push_back(std::move(pending.front()));
+        pending.pop_front();
+        SNP_OBS_GAUGE_SUB("svc.queue_depth", 1);
+      }
+      inflight = batch->requests.size();
+      lock.unlock();
+      cv_space.notify_all();
+
+      // Batches run on the pool's sticky-error channel on purpose: this is
+      // the path the PR-6 regression test pins. A failed batch scatters
+      // its rt::Error to its own futures, the dispatcher swallows the
+      // sticky rethrow and clears it — so batch N failing can never
+      // poison batch N+1.
+      pool.post([this, batch] { execute_batch(*batch); });
+      try {
+        pool.wait_idle();
+      } catch (...) {
+        // Already delivered to the batch's promises in execute_batch().
+      }
+      pool.clear_error();
+
+      lock.lock();
+      inflight = 0;
+      lock.unlock();
+      cv_drain.notify_all();
+    }
+  }
+
+  void execute_batch(Batch& batch) {
+    SNP_OBS_SPAN("svc.batch");
+    const std::size_t n = batch.requests.size();
+    try {
+      bits::BitMatrix a(n, db_bit_cols());
+      for (std::size_t i = 0; i < n; ++i) {
+        auto dst = a.row64(i);
+        const auto& src = batch.requests[i].words;
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+
+      ComputeOptions copts;
+      copts.threads = cfg.compute_threads;
+      copts.lint = false;  // per-batch lint would spam the serve path
+      copts.recovery = batch.requests.front().recovery;
+      auto result = ctx.compare(a, *batch.db, effective_op, copts);
+
+      const auto done = Clock::now();
+      const auto counts = result.counts.raw();
+      const std::size_t cols = batch.db->rows();
+      std::vector<QueryResult> rows(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto& qr = rows[i];
+        const auto row = counts.subspan(i * cols, cols);
+        qr.row.assign(row.begin(), row.end());
+        qr.batch_id = batch.id;
+        qr.batch_rows = n;
+        qr.epoch = batch.epoch;
+        qr.degraded = result.timing.degraded;
+        qr.latency_s = seconds_between(batch.requests[i].submitted, done);
+      }
+
+      {
+        const std::lock_guard lock(mu);
+        completed_count += n;
+        batch_count++;
+        batch_rows_total += n;
+        max_batch = std::max(max_batch, n);
+        fault_event_count += result.timing.fault_events.size();
+        if (result.timing.degraded) degraded_batch_count++;
+        for (std::size_t i = 0; i < n; ++i) {
+          latencies.push_back(rows[i].latency_s);
+          SNP_OBS_OBSERVE("svc.request_latency_seconds", rows[i].latency_s);
+          if (cfg.cache_capacity > 0 && batch.epoch == epoch) {
+            cache_insert(batch.requests[i], rows[i].row);
+          }
+        }
+      }
+      SNP_OBS_COUNT("svc.batches", 1);
+      SNP_OBS_COUNT("svc.batch.rows", n);
+
+      // Exactly-once: every promise is resolved here and nowhere else.
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.requests[i].promise.set_value(std::move(rows[i]));
+      }
+    } catch (...) {
+      {
+        const std::lock_guard lock(mu);
+        failed_count += n;
+        batch_count++;
+        batch_rows_total += n;
+        max_batch = std::max(max_batch, n);
+      }
+      SNP_OBS_COUNT("svc.batches", 1);
+      SNP_OBS_COUNT("svc.batch.failures", 1);
+      for (auto& req : batch.requests) {
+        req.promise.set_exception(std::current_exception());
+      }
+      throw;  // lands in the pool's sticky channel; dispatcher clears it
+    }
+  }
+
+  /// Caller holds mu. Single-probe table: a hash collision with different
+  /// key material is overwritten (verified by the stored words on lookup),
+  /// eviction is FIFO by insertion order.
+  void cache_insert(const Request& req, const std::vector<std::uint32_t>& row) {
+    if (cache.find(req.key) == cache.end()) {
+      while (cache.size() >= cfg.cache_capacity && !cache_fifo.empty()) {
+        cache.erase(cache_fifo.front());
+        cache_fifo.pop_front();
+      }
+      cache_fifo.push_back(req.key);
+    }
+    auto& entry = cache[req.key];
+    entry.words = req.words;
+    entry.epoch = epoch;
+    entry.row = row;
+  }
+
+  [[nodiscard]] std::size_t db_bit_cols() const { return db->bit_cols(); }
+
+  ServiceStats stats() const {
+    std::vector<double> lat;
+    ServiceStats s;
+    {
+      const std::lock_guard lock(mu);
+      s.submitted = submitted_count;
+      s.completed = completed_count;
+      s.failed = failed_count;
+      s.rejected = rejected_count;
+      s.batches = batch_count;
+      s.cache_hits = cache_hits;
+      s.cache_misses = cache_misses;
+      s.fault_events = fault_event_count;
+      s.degraded_batches = degraded_batch_count;
+      s.max_batch_rows = max_batch;
+      s.mean_batch_rows =
+          batch_count == 0 ? 0.0
+                           : static_cast<double>(batch_rows_total) /
+                                 static_cast<double>(batch_count);
+      s.peak_queue_depth = peak_queue;
+      s.epoch = epoch;
+      lat = latencies;
+    }
+    std::sort(lat.begin(), lat.end());
+    s.p50_latency_s = percentile(lat, 0.50);
+    s.p99_latency_s = percentile(lat, 0.99);
+    s.max_latency_s = lat.empty() ? 0.0 : lat.back();
+    return s;
+  }
+
+  // ---- state -------------------------------------------------------------
+
+  const ServiceConfig cfg;
+  Context ctx;
+  bits::Comparison effective_op = bits::Comparison::kXor;
+  exec::ThreadPool pool;  ///< 1-thread batch executor (sticky-error channel)
+
+  mutable std::mutex mu;
+  std::condition_variable cv_work;   ///< dispatcher waits for arrivals
+  std::condition_variable cv_space;  ///< kBlock submitters wait for room
+  std::condition_variable cv_drain;  ///< drain() waits for quiescence
+  std::shared_ptr<const bits::BitMatrix> db;
+  std::deque<Request> pending;
+  std::unordered_map<std::uint64_t, CacheEntry> cache;
+  std::deque<std::uint64_t> cache_fifo;
+  std::uint64_t epoch = 1;
+  bool paused = false;
+  bool stop = false;
+  std::size_t inflight = 0;
+
+  std::uint64_t submitted_count = 0;
+  std::uint64_t completed_count = 0;
+  std::uint64_t failed_count = 0;
+  std::uint64_t rejected_count = 0;
+  std::uint64_t batch_count = 0;
+  std::uint64_t batch_counter = 0;
+  std::uint64_t batch_rows_total = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t fault_event_count = 0;
+  std::uint64_t degraded_batch_count = 0;
+  std::size_t max_batch = 0;
+  std::size_t peak_queue = 0;
+  std::vector<double> latencies;
+
+  std::thread dispatcher;
+};
+
+ServiceEngine::ServiceEngine(bits::BitMatrix database, ServiceConfig config)
+    : impl_(std::make_unique<Impl>(std::move(database), std::move(config))) {}
+
+ServiceEngine::~ServiceEngine() = default;
+
+std::future<QueryResult> ServiceEngine::submit(
+    const bits::BitMatrix& query,
+    const std::optional<rt::RecoveryOptions>& recovery) {
+  return impl_->submit(query, recovery);
+}
+
+void ServiceEngine::update_database(bits::BitMatrix database) {
+  impl_->update_database(std::move(database));
+}
+
+std::uint64_t ServiceEngine::epoch() const {
+  const std::lock_guard lock(impl_->mu);
+  return impl_->epoch;
+}
+
+void ServiceEngine::drain() { impl_->drain(); }
+void ServiceEngine::pause() { impl_->set_paused(true); }
+void ServiceEngine::resume() { impl_->set_paused(false); }
+
+ServiceStats ServiceEngine::stats() const { return impl_->stats(); }
+
+const ServiceConfig& ServiceEngine::config() const { return impl_->cfg; }
+
+std::size_t ServiceEngine::db_rows() const {
+  const std::lock_guard lock(impl_->mu);
+  return impl_->db->rows();
+}
+
+}  // namespace snp::svc

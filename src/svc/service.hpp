@@ -1,0 +1,197 @@
+// snp::svc — batched resident-database query service.
+//
+// The FastID workloads (Eqs. 2-3) are shaped exactly like a high-QPS
+// lookup service: a tiny query matrix against a ~20M-profile database
+// that never changes between requests. ServiceEngine keeps that database
+// loaded and packed once (pre-negated per Eq. 3 when serving AND-NOT),
+// accepts independent client queries through a thread-safe submission
+// API, and coalesces queries that arrive close together into one batched
+// A-operand per core::compare launch — the paper's own insight that
+// kernel launches only amortize when the A operand is wide enough,
+// applied to serving. Samsi et al.'s GPU DNA-mixture pipeline (PAPERS.md)
+// motivates the same serve-many-small-queries-against-one-big-DB shape.
+//
+// Contracts the conformance suite (tests/test_service.cpp) pins:
+//  * Batching is invisible: every result row is bit-identical to a
+//    serial per-query core::compare run, for any batch width, arrival
+//    order, or client thread count.
+//  * Exactly-once: every accepted request resolves its future exactly
+//    once — with a result row or with the rt::Error that killed its
+//    batch. A failed batch never poisons later batches (the engine
+//    clears the exec::ThreadPool's sticky error after scattering it).
+//  * Admission control: a bounded pending queue sheds (kReject ->
+//    rt::Error(kOverload)) or backpressures (kBlock) before the service
+//    falls over; shed requests are counted, never half-processed.
+//  * Cache coherence: the result cache is keyed by (query hash, op,
+//    DB epoch); update_database() bumps the epoch, so a stale entry can
+//    never be served after a swap.
+//
+// SLO telemetry: per-request latency (p50/p99), batch width, queue depth
+// and cache hit rates are published through the obs registry ("svc.*")
+// and summarized by stats() for the CLI "service:" report block.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bits/bitmatrix.hpp"
+#include "bits/compare.hpp"
+#include "core/snpcmp.hpp"
+#include "rt/recovery.hpp"
+
+namespace snp::exec {
+class ThreadPool;
+}  // namespace snp::exec
+
+namespace snp::svc {
+
+/// What to do with a submit() that finds the pending queue full.
+enum class AdmissionPolicy : std::uint8_t {
+  kReject = 0,  ///< shed: submit() throws rt::Error(kOverload)
+  kBlock,       ///< backpressure: submit() blocks until space frees up
+};
+
+[[nodiscard]] std::string_view to_string(AdmissionPolicy policy);
+/// Parses "reject|block"; nullopt on anything else.
+[[nodiscard]] std::optional<AdmissionPolicy> parse_admission_policy(
+    std::string_view text);
+
+struct ServiceConfig {
+  /// "cpu" or a simulated GPU name ("gtx980", "titanv", "vega64").
+  std::string device = "titanv";
+  /// The comparison every request runs (one engine serves one workload).
+  bits::Comparison op = bits::Comparison::kXor;
+  /// AND-NOT only: store the database negated once at load and serve AND
+  /// (the Eq. 3 simplification) — results stay bit-identical to AND-NOT
+  /// against the raw database.
+  bool pre_negate = false;
+
+  /// Coalescing: the dispatcher batches up to this many pending queries
+  /// into one A-operand per compare launch (the paper's batch width).
+  std::size_t max_batch_rows = 32;
+  /// After picking up the first query of a batch, keep the batch open
+  /// this long for more arrivals (0 = dispatch whatever is already
+  /// queued). Scripted/CI runs use 0 so batch formation is
+  /// deterministic; the soak and bench explore nonzero windows.
+  double coalesce_window_s = 0.0;
+
+  /// Admission control: pending (not yet batched) requests are bounded.
+  std::size_t max_queue = 256;
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
+
+  /// Result cache keyed by (query-row hash, op, DB epoch); 0 disables.
+  std::size_t cache_capacity = 1024;
+
+  /// Default per-request recovery policy (a request class may override
+  /// at submit()).
+  rt::RecoveryOptions recovery;
+
+  /// Host worker threads for each batch's chunk pipeline
+  /// (ComputeOptions::threads); batches themselves execute one at a
+  /// time, in submission order, for deterministic replay.
+  std::size_t compute_threads = 0;
+
+  /// Construct paused: the dispatcher holds off until resume() — used by
+  /// the scripted CLI driver and the admission-control tests to make
+  /// batch formation deterministic.
+  bool start_paused = false;
+};
+
+/// One resolved query.
+struct QueryResult {
+  /// gamma row: result.row[j] = popc(op(query, db[j])) for every
+  /// database profile j (Eqs. 1-3 restricted to one query row).
+  std::vector<std::uint32_t> row;
+  bool cache_hit = false;
+  /// Batch this request rode in (0 for cache hits) and its width.
+  std::uint64_t batch_id = 0;
+  std::size_t batch_rows = 0;
+  /// DB epoch the result was computed against.
+  std::uint64_t epoch = 0;
+  /// submit() -> delivery wall time.
+  double latency_s = 0.0;
+  /// True when the batch finished on the CPU degrade rung.
+  bool degraded = false;
+};
+
+/// Point-in-time service telemetry (also published as "svc.*" metrics).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;    ///< requests whose batch errored
+  std::uint64_t rejected = 0;  ///< admission sheds (kOverload)
+  std::uint64_t batches = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t fault_events = 0;  ///< recovery incidents across batches
+  std::uint64_t degraded_batches = 0;
+  std::size_t max_batch_rows = 0;
+  double mean_batch_rows = 0.0;
+  std::size_t peak_queue_depth = 0;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  std::uint64_t epoch = 1;
+};
+
+/// Long-running, in-process query service over one resident database.
+/// Thread-safe: submit()/stats()/update_database() may be called from
+/// any number of client threads; a single dispatcher thread forms
+/// batches and executes them in submission order on an exec::ThreadPool.
+class ServiceEngine {
+ public:
+  /// Loads and packs `database` once (negated here when config.op is
+  /// AND-NOT and config.pre_negate is set). Throws std::invalid_argument
+  /// on an empty database or unknown device.
+  ServiceEngine(bits::BitMatrix database, ServiceConfig config);
+  /// Drains: every accepted request is resolved before destruction
+  /// returns (shutdown never drops a future).
+  ~ServiceEngine();
+  ServiceEngine(const ServiceEngine&) = delete;
+  ServiceEngine& operator=(const ServiceEngine&) = delete;
+
+  /// Submits one query profile (a 1-row BitMatrix with the database's
+  /// bit_cols). Returns a future resolved exactly once — with the gamma
+  /// row, or with the rt::Error that killed this request's batch.
+  /// Throws rt::Error(kOverload) when the queue is full under kReject;
+  /// blocks under kBlock; throws std::invalid_argument on shape
+  /// mismatch. `recovery` overrides the engine default for this
+  /// request's class; requests of different classes never share a batch.
+  [[nodiscard]] std::future<QueryResult> submit(
+      const bits::BitMatrix& query,
+      const std::optional<rt::RecoveryOptions>& recovery = std::nullopt);
+
+  /// Atomically swaps the resident database and bumps the epoch; every
+  /// cached result is invalidated (the cache key carries the epoch, and
+  /// the store is purged). In-flight batches finish against the epoch
+  /// they were formed under. The new database must have the same
+  /// bit_cols as the current one.
+  void update_database(bits::BitMatrix database);
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Blocks until every request accepted so far is resolved. (Requests
+  /// submitted concurrently with drain() may or may not be covered.)
+  void drain();
+
+  /// Dispatcher gate for deterministic batch formation: while paused,
+  /// submissions queue up but no batch is formed. resume() releases the
+  /// backlog — the dispatcher then coalesces it FIFO into
+  /// max_batch_rows-wide batches.
+  void pause();
+  void resume();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const;
+  /// Database profile count (the gamma row length).
+  [[nodiscard]] std::size_t db_rows() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace snp::svc

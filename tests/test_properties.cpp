@@ -3,11 +3,16 @@
 // randomized inputs (parameterized over seeds).
 #include <gtest/gtest.h>
 
+#include <future>
+#include <random>
+#include <vector>
+
 #include "bits/compare.hpp"
 #include "cpu/engine.hpp"
 #include "io/datagen.hpp"
 #include "kern/gpu_kernel.hpp"
 #include "sparse/engine.hpp"
+#include "svc/service.hpp"
 
 namespace snp {
 namespace {
@@ -154,6 +159,58 @@ TEST(Determinism, ParallelEnginesAreRunToRunIdentical)
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperties,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
                                            34u));
+
+// ServiceEngine batching invariance (PR 6): for any partition of a query
+// set Q into Q1 (+) Q2, serving Q in one engine yields exactly the rows of
+// serving Q1 and Q2 in separate engines — i.e. which requests happen to
+// coalesce into a batch is unobservable in the results. 500 seeds, each
+// with its own random split.
+TEST(ServiceProperties, PartitionedQuerySetsYieldIdenticalRows) {
+  const auto db = io::random_bitmatrix(21, 128, 0.5, 7001);
+  const auto queries = io::random_bitmatrix(6, 128, 0.4, 7002);
+
+  const auto serve = [&](const std::vector<std::size_t>& subset) {
+    svc::ServiceConfig cfg;
+    cfg.device = "cpu";
+    cfg.op = Comparison::kXor;
+    cfg.max_batch_rows = 4;
+    cfg.cache_capacity = 0;
+    cfg.start_paused = true;  // one deterministic coalescing generation
+    svc::ServiceEngine engine(db, cfg);
+    std::vector<std::future<svc::QueryResult>> futs;
+    futs.reserve(subset.size());
+    for (const std::size_t q : subset) {
+      futs.push_back(engine.submit(queries.row_slice(q, q + 1)));
+    }
+    engine.resume();
+    engine.drain();
+    std::vector<std::vector<std::uint32_t>> rows;
+    rows.reserve(futs.size());
+    for (auto& f : futs) rows.push_back(f.get().row);
+    return rows;
+  };
+
+  std::vector<std::size_t> all(queries.rows());
+  for (std::size_t q = 0; q < all.size(); ++q) all[q] = q;
+  const auto whole = serve(all);
+
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<std::size_t> q1, q2;
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      (rng() % 2 == 0 ? q1 : q2).push_back(q);
+    }
+    const auto rows1 = serve(q1);
+    const auto rows2 = serve(q2);
+    ASSERT_EQ(rows1.size() + rows2.size(), whole.size());
+    for (std::size_t i = 0; i < q1.size(); ++i) {
+      ASSERT_EQ(rows1[i], whole[q1[i]]) << "seed=" << seed << " q=" << q1[i];
+    }
+    for (std::size_t i = 0; i < q2.size(); ++i) {
+      ASSERT_EQ(rows2[i], whole[q2[i]]) << "seed=" << seed << " q=" << q2[i];
+    }
+  }
+}
 
 }  // namespace
 }  // namespace snp

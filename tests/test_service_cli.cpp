@@ -1,0 +1,323 @@
+// CLI contract tests for `snpcmp serve` / `snpcmp submit` (PR 6): exit
+// codes, fault propagation through the service path (exit 4 with the
+// SNPRT-* code leading stderr), and golden checks on the deterministic
+// "service:" report block and per-request lines.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "io/datagen.hpp"
+#include "io/formats.hpp"
+
+namespace snp::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Per-test unique temp path (mirrors test_cli.cpp: ctest -j runs each
+/// discovered test as its own process, so shared names would collide).
+std::string tmp(const std::string& name) {
+  const auto* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       (std::string("snpcmp_svc_") +
+                        info->test_suite_name() + "_" + info->name());
+  fs::create_directories(dir);
+  return (dir / name).string();
+}
+
+/// A small deterministic db + query pair every test shares.
+struct Fixture {
+  std::string db = tmp("db.sbm");
+  std::string queries = tmp("q.sbm");
+  Fixture() {
+    io::save_bitmatrix(io::random_bitmatrix(41, 192, 0.5, 8101),
+                       fs::path(db));
+    io::save_bitmatrix(io::random_bitmatrix(6, 192, 0.4, 8102),
+                       fs::path(queries));
+  }
+};
+
+std::string write_script(const std::string& path,
+                         const std::vector<std::string>& lines) {
+  std::ofstream os(path);
+  for (const auto& line : lines) os << line << "\n";
+  return path;
+}
+
+/// Extracts "digest=..." from the `req N:` line for request N.
+std::string digest_of(const std::string& out, std::size_t req) {
+  const std::string needle = "req " + std::to_string(req) + ": ";
+  const auto pos = out.find(needle);
+  if (pos == std::string::npos) {
+    ADD_FAILURE() << "no line for request " << req << " in:\n" << out;
+    return "";
+  }
+  const auto d = out.find("digest=", pos);
+  if (d == std::string::npos) {
+    ADD_FAILURE() << "no digest on request " << req << " in:\n" << out;
+    return "";
+  }
+  return out.substr(d + 7, 16);
+}
+
+TEST(ServeCli, GoldenReportBlockAndRequestLines) {
+  const Fixture f;
+  const auto script = write_script(
+      tmp("req.jsonl"),
+      {R"({"submit": 0})", R"({"submit": 1})",
+       R"({"submit": 2, "count": 2})", "# a comment, skipped", "",
+       R"({"barrier": true})", R"({"submit": 0})"});
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "cpu",
+                          "--max-batch", "8"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // The deterministic block, golden line by line. (The "slo:" line is
+  // wall-clock and deliberately NOT matched.)
+  EXPECT_NE(r.out.find("service:     device=cpu op=XOR pre-negate=no"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find(
+                "service:     requests=5 completed=5 failed=0 rejected=0"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(
+      r.out.find("service:     batches=1 mean-width=4 max-width=4"),
+      std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("service:     cache hits=1 misses=4"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("service:     queue peak=4 epoch=1"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("slo:         p50="), std::string::npos) << r.out;
+  // Duplicate submissions of the same profile must carry one digest.
+  EXPECT_EQ(digest_of(r.out, 2), digest_of(r.out, 3));
+  EXPECT_EQ(digest_of(r.out, 0), digest_of(r.out, 4));
+  EXPECT_NE(r.out.find("req 4: cache-hit epoch=1"), std::string::npos)
+      << r.out;
+}
+
+TEST(ServeCli, SubmitVerbMatchesEquivalentScript) {
+  const Fixture f;
+  const auto script = write_script(
+      tmp("req.jsonl"), {R"({"submit": 0})", R"({"submit": 1})",
+                         R"({"submit": 2})", R"({"submit": 3})",
+                         R"({"submit": 4})", R"({"submit": 5})"});
+  const auto served =
+      run_cli({"serve", "--db", f.db, "--queries", f.queries, "--script",
+               script, "--device", "cpu", "--max-batch", "4"});
+  const auto oneshot =
+      run_cli({"submit", "--db", f.db, "--queries", f.queries, "--device",
+               "cpu", "--max-batch", "4"});
+  ASSERT_EQ(served.code, 0) << served.err;
+  ASSERT_EQ(oneshot.code, 0) << oneshot.err;
+  for (std::size_t q = 0; q < 6; ++q) {
+    EXPECT_EQ(digest_of(served.out, q), digest_of(oneshot.out, q))
+        << "query " << q;
+  }
+  EXPECT_NE(oneshot.out.find(
+                "service:     requests=6 completed=6 failed=0 rejected=0"),
+            std::string::npos)
+      << oneshot.out;
+  EXPECT_NE(oneshot.out.find(
+                "service:     batches=2 mean-width=3 max-width=4"),
+            std::string::npos)
+      << oneshot.out;
+}
+
+TEST(ServeCli, InjectedFaultExitsFourWithCodeLeadingStderr) {
+  const Fixture f;
+  const auto script = write_script(
+      tmp("req.jsonl"),
+      {R"({"submit": 0})", R"({"submit": 1})", R"({"barrier": true})",
+       R"({"submit": 2})"});
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "titanv",
+                          "--inject-faults", "launch:after=1",
+                          "--fail-policy", "abort"});
+  EXPECT_EQ(r.code, 4);
+  // The stable code must be the first stderr token after "error:" —
+  // scripts match on it (docs/robustness.md exit contract).
+  EXPECT_EQ(r.err.rfind("error: [SNPRT-LAUNCH]", 0), 0U) << r.err;
+  // The failed batch is per-request visible, and the next batch (after
+  // the barrier) still completed — the report block proves the engine
+  // survived the failure.
+  EXPECT_NE(r.out.find("req 0: error [SNPRT-LAUNCH]"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find(
+                "service:     requests=3 completed=1 failed=2 rejected=0"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(ServeCli, DegradePolicyRecoversWithExitZero) {
+  const Fixture f;
+  const auto script =
+      write_script(tmp("req.jsonl"), {R"({"submit": 0, "count": 4})"});
+  const auto clean =
+      run_cli({"serve", "--db", f.db, "--queries", f.queries, "--script",
+               script, "--device", "titanv"});
+  const auto faulty = run_cli(
+      {"serve", "--db", f.db, "--queries", f.queries, "--script", script,
+       "--device", "titanv", "--inject-faults", "launch:p=0.9:seed=5",
+       "--fail-policy", "degrade"});
+  ASSERT_EQ(clean.code, 0) << clean.err;
+  ASSERT_EQ(faulty.code, 0) << faulty.err;
+  // Degraded, slower — but bit-identical to the clean run.
+  EXPECT_EQ(digest_of(clean.out, 0), digest_of(faulty.out, 0));
+  EXPECT_NE(faulty.out.find("service:     faults="), std::string::npos)
+      << faulty.out;
+}
+
+TEST(ServeCli, EpochSwapRecomputesAgainstNewDatabase) {
+  const Fixture f;
+  const std::string db2 = tmp("db2.sbm");
+  io::save_bitmatrix(io::random_bitmatrix(41, 192, 0.5, 8201),
+                     fs::path(db2));
+  const auto script = write_script(
+      tmp("req.jsonl"),
+      {R"({"submit": 0})", R"({"barrier": true})", R"({"epoch": ")" + db2 +
+                                                       R"("})",
+       R"({"submit": 0})"});
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "cpu"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // Same profile, new epoch: cache must NOT serve the stale row.
+  EXPECT_NE(r.out.find("req 0: batch=1"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("req 1: batch=2"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("epoch=2"), std::string::npos) << r.out;
+  EXPECT_NE(digest_of(r.out, 0), digest_of(r.out, 1));
+  EXPECT_NE(r.out.find("service:     queue peak=1 epoch=2"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(ServeCli, AdmissionRejectShedsAreReportedNotFatal) {
+  const Fixture f;
+  const auto script =
+      write_script(tmp("req.jsonl"), {R"({"submit": 0, "count": 4})"});
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "cpu",
+                          "--max-queue", "2", "--cache", "0"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("req 2: rejected [SNPRT-OVERLOAD]"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("req 3: rejected [SNPRT-OVERLOAD]"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find(
+                "service:     requests=4 completed=2 failed=0 rejected=2"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(ServeCli, UsageErrors) {
+  const Fixture f;
+  // Missing required options.
+  EXPECT_EQ(run_cli({"serve", "--db", f.db}).code, 1);
+  EXPECT_EQ(run_cli({"submit", "--db", f.db}).code, 1);
+  // Bad option values.
+  const auto script =
+      write_script(tmp("req.jsonl"), {R"({"submit": 0})"});
+  EXPECT_EQ(run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                     "--script", script, "--admission", "drop"})
+                .code,
+            1);
+  EXPECT_EQ(run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                     "--script", script, "--op", "nand"})
+                .code,
+            1);
+  // Missing script file.
+  EXPECT_EQ(run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                     "--script", tmp("nope.jsonl")})
+                .code,
+            1);
+}
+
+TEST(ServeCli, ScriptErrorsCarryLineNumbers) {
+  const Fixture f;
+  {
+    const auto script =
+        write_script(tmp("bad1.jsonl"), {R"({"submit": 0})", R"({"pop": 1})"});
+    const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                            "--script", script, "--device", "cpu"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find(":2:"), std::string::npos) << r.err;
+  }
+  {
+    // Query row out of range.
+    const auto script =
+        write_script(tmp("bad2.jsonl"), {R"({"submit": 99})"});
+    const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                            "--script", script, "--device", "cpu"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("out of range"), std::string::npos) << r.err;
+  }
+  {
+    // Unknown per-request policy.
+    const auto script = write_script(
+        tmp("bad3.jsonl"), {R"({"submit": 0, "policy": "panic"})"});
+    const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                            "--script", script, "--device", "cpu"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("bad policy"), std::string::npos) << r.err;
+  }
+}
+
+TEST(ServeCli, PerRequestPolicySplitsBatches) {
+  const Fixture f;
+  const auto script = write_script(
+      tmp("req.jsonl"),
+      {R"({"submit": 0})", R"({"submit": 1, "policy": "degrade"})",
+       R"({"submit": 2})"});
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "cpu",
+                          "--max-batch", "8"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // Different recovery classes never share a batch: [0], [1], [2].
+  EXPECT_NE(r.out.find("req 0: batch=1 width=1"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("req 1: batch=2 width=1"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("req 2: batch=3 width=1"), std::string::npos)
+      << r.out;
+}
+
+TEST(ServeCli, MetricsDumpIncludesServiceCounters) {
+  const Fixture f;
+  const std::string metrics = tmp("metrics.json");
+  const auto script =
+      write_script(tmp("req.jsonl"), {R"({"submit": 0, "count": 3})"});
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "cpu",
+                          "--metrics-out", metrics});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream is(metrics);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  EXPECT_NE(buf.str().find("svc.requests"), std::string::npos);
+  EXPECT_NE(buf.str().find("svc.batches"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snp::cli

@@ -7,8 +7,9 @@
 #      presets, validated the same way (zero errors, Eq. 5 note present).
 #   2. ASan/UBSan build + tier-1 tests.
 #   3. TSan build + the concurrency-heavy suites (exec scheduler,
-#      async-vs-serial conformance, the obs metrics/span registry, and
-#      the fault-injection soak) — OpenMP is compiled out under TSan, so
+#      async-vs-serial conformance, the obs metrics/span registry, the
+#      fault-injection soak, and the multi-client service-engine
+#      soak) — OpenMP is compiled out under TSan, so
 #      every data race the thread-pool pipeline could introduce is
 #      visible to the tool.
 #
@@ -110,6 +111,7 @@ echo "== benchmark regression smoke (mini aggregate vs itself) =="
 # Fast subset with tiny workloads; a self-comparison must be clean, and
 # the aggregate must carry the env header and per-row CI columns.
 SNP_BENCH_MAX_REPS=8 SNP_BENCH_BUDGET_S=0.2 SNP_ABL_ASYNC_PROFILES=20000 \
+  SNP_ABL_SERVICE_PROFILES=512 SNP_ABL_SERVICE_QUERIES=64 \
   tools/run_bench.sh "$smoke/bench.json" build >/dev/null
 python3 - "$smoke/bench.json" <<'EOF'
 import json, sys
@@ -142,13 +144,15 @@ cmake --build --preset asan -j "$jobs"
 ASAN_OPTIONS=detect_leaks=1 \
   ctest --test-dir build-asan -L tier1 --output-on-failure -j "$jobs"
 
-echo "== TSan build + exec/conformance/obs/fault tests =="
+echo "== TSan build + exec/conformance/obs/fault/service tests =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" \
-  --target test_exec test_async_conformance test_obs test_fault_injection
+  --target test_exec test_async_conformance test_obs test_fault_injection \
+           test_service
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_exec
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_async_conformance
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_obs
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_fault_injection
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_service
 
 echo "== all checks passed =="

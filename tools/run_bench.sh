@@ -31,6 +31,7 @@ benches=(
   abl_multigpu
   abl_occupancy
   abl_roofline
+  abl_service
   abl_sparse_crossover
 )
 
