@@ -149,6 +149,7 @@ class Telemetry {
   explicit Telemetry(Options& opt)
       : metrics_path_(opt.str("metrics-out", "")),
         trace_path_(opt.str("trace-out", "")),
+        flight_path_(opt.str("flight-out", "")),
         format_(opt.str("metrics-format", "json")),
         perf_(opt.flag("perf")) {
     if (format_ != "json" && format_ != "prom") {
@@ -164,6 +165,13 @@ class Telemetry {
       hw_ = std::make_unique<obs::HwCounters>();
       hw_->start();
     }
+    if (!flight_path_.empty()) {
+      // Configure the recorder's automatic-dump destination up front so
+      // the exit-4 fault path and SLO-breach dumps land here too — those
+      // fire while this command's stack is unwinding, after finish() can
+      // no longer run.
+      obs::FlightRecorder::global().set_dump_path(flight_path_);
+    }
     if (wants_trace()) {
       obs::TraceCollector::global().set_enabled(true);
       obs::TraceCollector::global().begin_session();
@@ -172,10 +180,14 @@ class Telemetry {
 
   /// `tl` (may be null) and `chunks` (may be empty) add the simulated
   /// device timeline and the host chunk pipeline as extra track groups
-  /// alongside the collected spans.
+  /// alongside the collected spans. `host_anchor_us` is the span-clock
+  /// time at which the compare started (TimingReport::trace_anchor_us);
+  /// it re-anchors the pid-0/pid-2 tracks onto the span clock so flow
+  /// arrows stay monotone across pids.
   void finish(std::ostream& out, const sim::Timeline* tl,
               std::span<const sim::HostChunkEvent> chunks,
-              const std::string& device) const {
+              const std::string& device,
+              double host_anchor_us = 0.0) const {
     if (hw_) {
       hw_->stop();
       const obs::HwCounterValues v = hw_->read();
@@ -213,16 +225,29 @@ class Telemetry {
       if (!os) {
         throw std::runtime_error("cannot open trace file " + trace_path_);
       }
-      sim::write_merged_chrome_trace(spans, tl, chunks, os, device);
+      sim::write_merged_chrome_trace(spans, tl, chunks, os, device,
+                                     host_anchor_us);
       out << "wrote merged chrome trace (" << spans.size()
           << " host spans, " << chunks.size() << " pipeline chunks) to "
           << trace_path_ << "\n";
+    }
+    if (!flight_path_.empty()) {
+      // On-demand dump for runs that finished cleanly; faulted runs are
+      // dumped by the exit-4 path in run() instead.
+      obs::FlightRecorder& fr = obs::FlightRecorder::global();
+      if (fr.dump_to_file(flight_path_, "on-demand")) {
+        out << "wrote flight recording (" << fr.snapshot().size()
+            << " events) to " << flight_path_ << "\n";
+      } else {
+        throw std::runtime_error("cannot open flight file " + flight_path_);
+      }
     }
   }
 
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string flight_path_;
   std::string format_;
   bool perf_ = false;
   /// Owned lazily by the const begin()/finish() pair — the Telemetry
@@ -480,7 +505,8 @@ int cmd_ld(Options& opt, std::ostream& out) {
     io::save_countmatrix(res.counts, std::filesystem::path(gamma_out));
   }
   print_timing(out, res.timing);
-  tele.finish(out, nullptr, res.timing.chunk_events, res.timing.device);
+  tele.finish(out, nullptr, res.timing.chunk_events, res.timing.device,
+              res.timing.trace_anchor_us);
   const auto counts = stats::row_counts(m);
   struct Hit {
     std::size_t i, j;
@@ -526,7 +552,8 @@ int cmd_search(Options& opt, std::ostream& out) {
   const auto res = ctx.identity_search(queries, db, copts);
   print_timing(out, res.comparison.timing);
   tele.finish(out, nullptr, res.comparison.timing.chunk_events,
-              res.comparison.timing.device);
+              res.comparison.timing.device,
+              res.comparison.timing.trace_anchor_us);
   if (!host_trace.empty()) {
     std::ofstream os(host_trace);
     if (!os) {
@@ -575,7 +602,8 @@ int cmd_mixture(Options& opt, std::ostream& out) {
       ctx.mixture_analysis(profiles, mixtures, tolerance, copts);
   print_timing(out, res.comparison.timing);
   tele.finish(out, nullptr, res.comparison.timing.chunk_events,
-              res.comparison.timing.device);
+              res.comparison.timing.device,
+              res.comparison.timing.trace_anchor_us);
   for (std::size_t m = 0; m < mixtures.rows(); ++m) {
     out << "mixture " << m << ": " << res.included[m].size()
         << " consistent profiles:";
@@ -1125,7 +1153,7 @@ int cmd_estimate(Options& opt, std::ostream& out) {
     out << "wrote chrome://tracing timeline to " << trace_path << "\n";
   }
   tele.finish(out, want_timeline && ctx.is_gpu() ? &timeline : nullptr, {},
-              t.device);
+              t.device, t.trace_anchor_us);
   return 0;
 }
 
@@ -1202,6 +1230,10 @@ svc::ServiceConfig parse_service_config(Options& opt) {
     throw std::invalid_argument("--admission must be reject or block");
   }
   cfg.admission = *policy;
+  // Latency SLO: --slo-ms arms the burn-rate monitor (docs/observability
+  // .md); a breach dumps the flight recorder to the --flight-out /
+  // $SNPCMP_FLIGHT_OUT destination.
+  cfg.slo.objective_s = opt.real("slo-ms", 0.0) / 1e3;
   // Script-driven runs gate batch formation on barriers, so batch ids and
   // widths are a pure function of the script — CI-golden by construction.
   cfg.start_paused = true;
@@ -1211,7 +1243,8 @@ svc::ServiceConfig parse_service_config(Options& opt) {
 /// One scripted request's outcome slot, resolved after the final barrier.
 struct ScriptedRequest {
   std::future<svc::QueryResult> fut;
-  std::string shed_code;  ///< non-empty: rejected at admission
+  std::string shed_code;        ///< non-empty: rejected at admission
+  std::uint64_t trace_id = 0;   ///< allocated by submit() even for sheds
 };
 
 /// The deterministic "service:" report block (golden in test_service_cli)
@@ -1234,9 +1267,29 @@ void print_service_report(std::ostream& out, const svc::ServiceEngine& eng) {
     out << "service:     faults=" << s.fault_events << " degraded-batches="
         << s.degraded_batches << "\n";
   }
-  out << "slo:         p50=" << s.p50_latency_s * 1e3 << " ms p99="
-      << s.p99_latency_s * 1e3 << " ms max=" << s.max_latency_s * 1e3
-      << " ms\n";
+  // Honest percentiles: the SLO monitor's histogram gives bucket upper
+  // bounds, marked '~=' (docs/observability.md). Falls back to the exact
+  // sorted-sample readout when obs is compiled out (empty histogram).
+  const svc::SloReport slo = eng.slo();
+  if (slo.state.total > 0) {
+    out << "slo:         p50~=" << slo.p50_le_s * 1e3 << " ms p99~="
+        << slo.p99_le_s * 1e3 << " ms max=" << s.max_latency_s * 1e3
+        << " ms (bucket upper bounds)\n";
+  } else {
+    out << "slo:         p50=" << s.p50_latency_s * 1e3 << " ms p99="
+        << s.p99_latency_s * 1e3 << " ms max=" << s.max_latency_s * 1e3
+        << " ms\n";
+  }
+  if (slo.objective_s > 0.0) {
+    out << "slo:         objective=" << slo.objective_s * 1e3
+        << " ms breaches=" << slo.state.breaches << "/" << slo.state.total
+        << " burn fast=" << slo.state.burn_fast << " slow="
+        << slo.state.burn_slow << " trips=" << slo.state.trips << "\n";
+    if (slo.worst.has_value()) {
+      out << "slo:         exemplar trace=" << slo.worst->trace_id
+          << " latency=" << slo.worst->latency_s * 1e3 << " ms\n";
+    }
+  }
 }
 
 /// Resolves every scripted request in submission order, prints its stable
@@ -1247,8 +1300,11 @@ std::exception_ptr print_request_lines(std::ostream& out,
   std::exception_ptr first_error;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     out << "req " << i << ": ";
+    // Every line ends with the request's trace id — the handle into the
+    // merged Perfetto trace and the flight-recorder dump.
     if (!reqs[i].shed_code.empty()) {
-      out << "rejected [" << reqs[i].shed_code << "]\n";
+      out << "rejected [" << reqs[i].shed_code << "] trace="
+          << reqs[i].trace_id << "\n";
       continue;
     }
     try {
@@ -1262,12 +1318,14 @@ std::exception_ptr print_request_lines(std::ostream& out,
       if (r.degraded) {
         out << " degraded";
       }
-      out << " digest=" << row_digest(r.row) << "\n";
+      out << " digest=" << row_digest(r.row) << " trace=" << r.trace_id
+          << "\n";
     } catch (const rt::Error& e) {
-      out << "error [" << rt::code_name(e.code()) << "]\n";
+      out << "error [" << rt::code_name(e.code()) << "] trace="
+          << reqs[i].trace_id << "\n";
       if (!first_error) first_error = std::current_exception();
     } catch (const std::exception&) {
-      out << "error\n";
+      out << "error trace=" << reqs[i].trace_id << "\n";
       if (!first_error) first_error = std::current_exception();
     }
   }
@@ -1283,7 +1341,8 @@ void submit_one(svc::ServiceEngine& engine, const bits::BitMatrix& queries,
                 std::vector<ScriptedRequest>& reqs) {
   ScriptedRequest slot;
   try {
-    slot.fut = engine.submit(queries.row_slice(q, q + 1), recovery);
+    slot.fut = engine.submit(queries.row_slice(q, q + 1), recovery,
+                             &slot.trace_id);
   } catch (const rt::Error& e) {
     if (e.code() != rt::ErrorCode::kOverload) throw;
     slot.shed_code = rt::code_name(e.code());
@@ -1471,6 +1530,8 @@ commands:
             [--device D] [--op and|xor|andnot] [--pre-negate yes|no]
             [--max-batch N] [--window-ms X] [--max-queue N]
             [--admission reject|block] [--cache N] [--threads N]
+            [--slo-ms X: latency objective for the burn-rate monitor;
+            a breach dumps the flight recorder]
             [fault-tolerance flags] [telemetry flags]
   submit    --db F.sbm --queries F.sbm
             one-shot service submission: every query row becomes one
@@ -1489,12 +1550,19 @@ docs/robustness.md):
                                 unrecovered faults exit 4 with the stable
                                 SNPRT-* code on stderr
 
-telemetry flags (ld, search, mixture, estimate):
+telemetry flags (ld, search, mixture, estimate, serve, submit):
   --metrics-out F.json          dump the process metrics registry
   --metrics-format json|prom    metrics dump format (default json)
   --trace-out F.json            merged Perfetto/chrome://tracing trace:
                                 host spans + chunk pipeline + simulated
-                                device timeline in one file
+                                device timeline in one file, with flow
+                                arrows linking each service request's
+                                submit -> batch -> chunks -> resolution
+  --flight-out F.json           dump the always-on flight recorder (ring
+                                of enqueue/batch/chunk/fault events) at
+                                exit; also the destination for automatic
+                                dumps on exit-4 faults and SLO breaches
+                                (env fallback: SNPCMP_FLIGHT_OUT)
   --perf                        wrap the run in hardware perf counters
                                 (Linux perf_event_open) and print IPC and
                                 cache/branch miss rates; degrades to a
@@ -1510,6 +1578,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     out << usage();
     return args.empty() ? 1 : 0;
   }
+  // In-process callers (tests, batch drivers) run many commands through
+  // this entry point: a previous command's --flight-out must not become
+  // this command's automatic fault-dump destination.
+  obs::FlightRecorder::global().set_dump_path("");
   try {
     const std::string& cmd = args[0];
     if (cmd == "devices") {
@@ -1581,8 +1653,15 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   } catch (const rt::Error& e) {
     // Structured runtime failure (exhausted retries under --fail-policy
     // abort/retry, unrecoverable corruption, ...): the stable SNPRT-*
-    // code is the first token so scripts can match on it.
+    // code is the first token so scripts can match on it. The flight
+    // recorder is dumped after the error line (stderr contract: the code
+    // stays first) to --flight-out / $SNPCMP_FLIGHT_OUT when configured.
     err << "error: " << e.what() << "\n";
+    const std::string dumped = obs::FlightRecorder::global().auto_dump(
+        "fault: " + std::string(rt::code_name(e.code())));
+    if (!dumped.empty()) {
+      err << "flight: wrote " << dumped << "\n";
+    }
     return 4;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";

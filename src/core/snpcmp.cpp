@@ -247,6 +247,11 @@ TimingReport Context::estimate(std::size_t m, std::size_t n,
   }
 
   TimingReport t;
+  if constexpr (obs::kEnabled) {
+    if (obs::TraceCollector::global().enabled()) {
+      t.trace_anchor_us = obs::TraceCollector::global().now_us();
+    }
+  }
   t.device = dev.name;
   t.config = cfg.to_string();
   t.init_s = tl.init_seconds;
@@ -291,12 +296,15 @@ CompareResult Context::compare(const BitMatrix& a, const BitMatrix& b,
       throw;  // abort/retry: propagate with the structured code intact
     }
     SNP_OBS_COUNT("rt.degrades", 1);
+    SNP_OBS_FLIGHT(obs::FlightKind::kFault, obs::current_trace().trace_id,
+                   static_cast<std::uint32_t>(e.code()), -1, 0);
     {
       rt::FaultEvent ev;
       ev.site = "compare.degrade";
       ev.code = e.code();
       ev.action = "degrade";
       ev.detail = e.what();
+      ev.trace_id = obs::current_trace().trace_id;
       fault_log.record(std::move(ev));
     }
     // GPU->CPU graceful degradation: the in-order drain chain guarantees
@@ -364,6 +372,11 @@ CompareResult Context::compare_cpu(const BitMatrix& a, const BitMatrix& b,
   SNP_OBS_SPAN("core.compare_cpu");
   SNP_OBS_COUNT("core.compare.calls", 1);
   CompareResult result;
+  if constexpr (obs::kEnabled) {
+    if (obs::TraceCollector::global().enabled()) {
+      result.timing.trace_anchor_us = obs::TraceCollector::global().now_us();
+    }
+  }
   result.timing.device = device_name();
   result.timing.chunks = 1;
   const double wordops = static_cast<double>(a.rows()) *
@@ -410,6 +423,13 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
                           CompareResult& result) {
   SNP_OBS_SPAN("core.compare_gpu");
   SNP_OBS_COUNT("core.compare.calls", 1);
+  if constexpr (obs::kEnabled) {
+    // Session-clock anchor for the merged trace: pid-0/pid-2 events are
+    // relative to this compare, pid-1 spans to the collector session.
+    if (obs::TraceCollector::global().enabled()) {
+      result.timing.trace_anchor_us = obs::TraceCollector::global().now_us();
+    }
+  }
   const rt::RecoveryOptions rec = options.recovery;
   const model::GpuSpec& dev = gpu_->spec();
   model::KernelConfig cfg = effective_config(a, b, op, options);
@@ -640,6 +660,8 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
           SNP_OBS_SPAN("core.chunk.pack");
           state->chunk = streamed_ptr->row_slice(off, off + rows);
         });
+        SNP_OBS_FLIGHT(obs::FlightKind::kChunkPack,
+                       obs::current_trace().trace_id, 0, ci_ix, rows);
       };
       auto execute = [state, resident_ptr, sb, kptr, rec, fault_log,
                       ci_ix]() {
@@ -651,6 +673,9 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
           state->part = CountMatrix(ap->rows(), bp->rows());
           kptr->execute(*ap, *bp, state->part);
         });
+        SNP_OBS_FLIGHT(obs::FlightKind::kChunkExec,
+                       obs::current_trace().trace_id, 0, ci_ix,
+                       state->part.rows());
       };
       auto drain = [state, counts, off, sb, callback, rec, fault_log,
                     ci_ix, rows, progress]() {
@@ -674,6 +699,8 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
             }
           }
         });
+        SNP_OBS_FLIGHT(obs::FlightKind::kChunkDrain,
+                       obs::current_trace().trace_id, 0, ci_ix, rows);
         // Only after a fully delivered chunk (callback ran, block
         // scattered) does the delivered prefix grow — the degradation
         // rung trusts this to never redeliver or skip rows.

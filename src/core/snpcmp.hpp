@@ -145,6 +145,13 @@ struct TimingReport {
   /// recomputed on the CPU rung (ComputeOptions::recovery). The counts
   /// are still exact; only the performance story changed.
   bool degraded = false;
+  /// Wall-clock session time (obs::TraceCollector::global().now_us())
+  /// sampled when the compare started. The merged Perfetto trace shifts
+  /// the device timeline (pid 0, virtual t=0 at compare start) and the
+  /// host chunk pipeline (pid 2, wall clock relative to compare start)
+  /// by this anchor so all pids share the span clock's origin and flow
+  /// arrows stay monotone. 0 when the collector was disabled.
+  double trace_anchor_us = 0.0;
 };
 
 struct CompareResult {

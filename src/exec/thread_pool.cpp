@@ -58,6 +58,9 @@ void ThreadPool::post(std::function<void()> task) {
   }
   QueuedTask item;
   item.fn = std::move(task);
+  // Trace identity is part of the execution contract (request ids exist
+  // even with telemetry compiled out); only the wait clock is obs-gated.
+  item.trace = obs::current_trace();
   if constexpr (obs::kEnabled) {
     item.enqueued = std::chrono::steady_clock::now();
   }
@@ -109,6 +112,10 @@ void ThreadPool::worker_loop() {
     // terminate): capture the first exception for wait_idle() and keep
     // the pool serving — shutdown still drains every queued task.
     try {
+      // Run under the poster's trace context: spans, flight events,
+      // and fault records inside the task — and any tasks it posts in
+      // turn (TaskGraph successors) — inherit the request identity.
+      const obs::ScopedTraceContext trace_scope(task.trace);
       if constexpr (obs::kEnabled) {
         SNP_OBS_OBSERVE("exec.pool.task_wait_seconds",
                         seconds_since(task.enqueued));

@@ -136,12 +136,15 @@ class ThreadPool {
   void clear_error();
 
  private:
-  /// Queue entry: the task plus its enqueue timestamp, which feeds the
-  /// "exec.pool.task_wait_seconds" histogram (only stamped in
+  /// Queue entry: the task, its enqueue timestamp (feeds the
+  /// "exec.pool.task_wait_seconds" histogram), and the poster's trace
+  /// context, which the worker re-installs around the task body so
+  /// request identity crosses the pool boundary (both only stamped in
   /// SNPCMP_OBS=ON builds; default-initialized otherwise).
   struct QueuedTask {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
+    obs::TraceContext trace;
   };
 
   void worker_loop();

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -51,6 +53,38 @@ std::vector<double> Histogram::latency_bounds() {
   }
   bounds.push_back(10.0);
   return bounds;
+}
+
+std::vector<double> Histogram::service_latency_bounds() {
+  static const double kSteps[] = {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 7.5};
+  std::vector<double> bounds;
+  for (double decade = 1e-5; decade < 1.0; decade *= 10.0) {
+    for (const double step : kSteps) {
+      bounds.push_back(decade * step);
+    }
+  }
+  bounds.push_back(1.0);
+  bounds.push_back(1.5);
+  bounds.push_back(2.5);
+  return bounds;
+}
+
+double MetricsSnapshot::HistogramView::percentile_le(double q) const {
+  if (count == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  // Rank of the q-quantile observation under the exact ceil-rank
+  // definition; walk the cumulative counts to its bucket.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      return bounds[i];
+    }
+  }
+  return std::numeric_limits<double>::infinity();  // overflow bucket
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -198,7 +232,23 @@ void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os) {
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
       os << (i != 0 ? ", " : "") << h.counts[i];
     }
-    os << "], \"count\": " << h.count << ", \"sum\": " << h.sum << "}";
+    os << "], \"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"percentiles\": {";
+    const char* sep = "";
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"p50_le", 0.50},
+          {"p90_le", 0.90},
+          {"p99_le", 0.99}}) {
+      const double le = h.percentile_le(q);
+      os << sep << "\"" << label << "\": ";
+      if (std::isfinite(le)) {
+        os << le;
+      } else {
+        os << "null";  // empty histogram or overflow bucket
+      }
+      sep = ", ";
+    }
+    os << ", \"approx\": true}}";
   }
   os << "\n  }\n}\n";
 }

@@ -105,6 +105,12 @@ class Histogram {
   /// 1-2-5 subdivision — wide enough for pack tasks and end-to-end runs.
   [[nodiscard]] static std::vector<double> latency_bounds();
 
+  /// Tighter bounds for service request latencies (svc.request.latency):
+  /// 10 us .. 2.5 s with 1-1.5-2-2.5-3-4-5-7.5 decade subdivision, so a
+  /// bucket-resolution percentile is within ~50% of the true value in
+  /// the millisecond range a serving SLO cares about.
+  [[nodiscard]] static std::vector<double> service_latency_bounds();
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds + overflow
@@ -120,6 +126,12 @@ struct MetricsSnapshot {
     std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
     std::uint64_t count = 0;
     double sum = 0.0;
+    /// Honest bucket-resolution quantile: the upper bound ("le") of the
+    /// bucket holding the q-quantile observation — an upper bound, not
+    /// an interpolation, so presentation must carry a '~' or
+    /// "approx":true marker. Returns +inf when the quantile lands in
+    /// the overflow bucket, NaN on an empty histogram.
+    [[nodiscard]] double percentile_le(double q) const;
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
@@ -157,7 +169,11 @@ class MetricsRegistry {
 /// Serializes a snapshot as a single JSON object:
 ///   {"counters": {..}, "gauges": {..}, "gauge_peaks": {..},
 ///    "histograms": {name: {"bounds": [..], "counts": [..],
-///                          "count": n, "sum": s}}}
+///                          "count": n, "sum": s,
+///                          "percentiles": {"p50_le": x, "p90_le": y,
+///                                          "p99_le": z, "approx": true}}}}
+/// Percentile values are bucket upper bounds (see
+/// HistogramView::percentile_le), hence the explicit "approx" flag.
 void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os);
 
 /// Prometheus text exposition format (metric names sanitized to

@@ -21,11 +21,14 @@
 #pragma once
 
 #include "obs/envinfo.hpp"
+#include "obs/flight.hpp"
 #include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
 #include "obs/stats.hpp"
+#include "obs/trace_context.hpp"
 
 // CMake defines SNPCMP_OBS_ENABLED=0/1 from option(SNPCMP_OBS).
 // Standalone inclusion (no build-system definition) defaults to on.
@@ -82,6 +85,20 @@ inline constexpr bool kEnabled = SNPCMP_OBS_ENABLED != 0;
     snp_obs_h.observe(static_cast<double>(seconds));                  \
   } while (0)
 
+// Flight-recorder append (obs/flight.hpp): kind, originating trace id,
+// rt error code (0 outside fault paths), two kind-specific payloads.
+#define SNP_OBS_FLIGHT(kind, trace, code, a, b)                       \
+  ::snp::obs::FlightRecorder::global().record(                        \
+      (kind), static_cast<std::uint64_t>(trace),                      \
+      static_cast<std::uint32_t>(code), static_cast<std::int64_t>(a), \
+      static_cast<std::int64_t>(b))
+
+// Flow endpoint on the request arrow chain: phase 's' at ingress
+// (submit), 'f' at resolution; spans in between are steps already.
+#define SNP_OBS_FLOW_POINT(name, flow_id, phase)                      \
+  ::snp::obs::TraceCollector::global().instant(                       \
+      (name), static_cast<std::uint64_t>(flow_id), (phase))
+
 #else  // SNPCMP_OBS=OFF: the arguments vanish — never evaluated.
 
 #define SNP_OBS_NOOP(...) \
@@ -94,5 +111,9 @@ inline constexpr bool kEnabled = SNPCMP_OBS_ENABLED != 0;
 #define SNP_OBS_GAUGE_ADD(name, delta) SNP_OBS_NOOP(name, delta)
 #define SNP_OBS_GAUGE_SUB(name, delta) SNP_OBS_NOOP(name, delta)
 #define SNP_OBS_OBSERVE(name, seconds) SNP_OBS_NOOP(name, seconds)
+#define SNP_OBS_FLIGHT(kind, trace, code, a, b) \
+  SNP_OBS_NOOP(kind, trace, code, a, b)
+#define SNP_OBS_FLOW_POINT(name, flow_id, phase) \
+  SNP_OBS_NOOP(name, flow_id, phase)
 
 #endif  // SNPCMP_OBS_ENABLED

@@ -1,7 +1,10 @@
 #include "obs/span.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <utility>
+
+#include "obs/trace_context.hpp"
 
 namespace snp::obs {
 
@@ -48,8 +51,15 @@ void write_trace_events(std::span<const TrackLabel> tracks,
     emit_json_string(os, t.name);
     os << "}}";
   }
+  std::vector<const TraceEvent*> flows;
   for (const TraceEvent& ev : events) {
-    if (ev.dur_us <= 0.0) {
+    const bool on_flow = ev.flow_id != 0 && (ev.flow_phase == 's' ||
+                                             ev.flow_phase == 't' ||
+                                             ev.flow_phase == 'f');
+    if (on_flow) {
+      flows.push_back(&ev);
+    }
+    if (ev.dur_us <= 0.0 && !on_flow) {
       continue;  // zero-length slice (e.g. empty transfer)
     }
     if (!first) {
@@ -58,9 +68,44 @@ void write_trace_events(std::span<const TrackLabel> tracks,
     first = false;
     os << "  {\"name\": ";
     emit_json_string(os, ev.name);
-    os << ", \"ph\": \"X\", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid
-       << ", \"ts\": " << ev.ts_us << ", \"dur\": " << ev.dur_us
-       << ", \"args\": {\"depth\": " << ev.depth << "}}";
+    if (ev.dur_us <= 0.0) {
+      // Flow endpoint with no extent: a thread-scoped instant marker.
+      os << ", \"ph\": \"i\", \"s\": \"t\", \"pid\": " << ev.pid
+         << ", \"tid\": " << ev.tid << ", \"ts\": " << ev.ts_us;
+    } else {
+      os << ", \"ph\": \"X\", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid
+         << ", \"ts\": " << ev.ts_us << ", \"dur\": " << ev.dur_us;
+    }
+    os << ", \"args\": {\"depth\": " << ev.depth;
+    if (ev.trace_id != 0) {
+      os << ", \"trace\": " << ev.trace_id;
+    }
+    os << "}}";
+  }
+  // Flow records after the slices, in timestamp order per the Trace Event
+  // Format contract: within one flow id the "s" record must precede every
+  // "t" and the terminating "f". Each record binds to the enclosing slice
+  // at the same pid/tid/ts emitted above.
+  std::stable_sort(flows.begin(), flows.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->flow_id != b->flow_id) {
+                       return a->flow_id < b->flow_id;
+                     }
+                     return a->ts_us < b->ts_us;
+                   });
+  for (const TraceEvent* ev : flows) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "  {\"name\": \"req\", \"cat\": \"req\", \"ph\": \""
+       << ev->flow_phase << "\", \"id\": " << ev->flow_id
+       << ", \"pid\": " << ev->pid << ", \"tid\": " << ev->tid
+       << ", \"ts\": " << ev->ts_us;
+    if (ev->flow_phase == 'f') {
+      os << ", \"bp\": \"e\"";
+    }
+    os << "}";
   }
   os << "\n]\n";
 }
@@ -79,6 +124,24 @@ void TraceCollector::record(TraceEvent ev) {
   }
   const std::lock_guard lock(mu_);
   events_.push_back(std::move(ev));
+}
+
+void TraceCollector::instant(std::string name, std::uint64_t flow_id,
+                             char flow_phase) {
+  if (!enabled()) {
+    return;
+  }
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.pid = 1;
+  ev.tid = thread_track();
+  ev.ts_us = now_us();
+  ev.dur_us = 0.0;
+  ev.depth = t_span_depth;
+  ev.trace_id = flow_id;
+  ev.flow_id = flow_id;
+  ev.flow_phase = flow_phase;
+  record(std::move(ev));
 }
 
 std::vector<TraceEvent> TraceCollector::events() const {
@@ -122,6 +185,7 @@ Span::Span(std::string name, TraceCollector& collector)
   }
   active_ = true;
   depth_ = t_span_depth++;
+  trace_id_ = current_trace().trace_id;
   start_us_ = collector_.now_us();
 }
 
@@ -139,6 +203,13 @@ Span::~Span() {
   ev.ts_us = start_us_;
   ev.dur_us = collector_.now_us() - start_us_;
   ev.depth = depth_;
+  ev.trace_id = trace_id_;
+  if (trace_id_ != 0) {
+    // Spans taken on behalf of a request are flow steps: Perfetto draws
+    // the submit -> batch -> chunk -> resolve arrow chain through them.
+    ev.flow_id = trace_id_;
+    ev.flow_phase = 't';
+  }
   collector_.record(std::move(ev));
 }
 

@@ -35,6 +35,16 @@ namespace snp::obs {
 /// (process rows in Perfetto); `tid` is the track within the group.
 /// Convention used by the merged trace: pid 0 = simulated device engines,
 /// pid 1 = host threads (spans), pid 2 = host pipeline stages.
+///
+/// A slice may additionally carry request-trace linkage: `trace_id` tags
+/// the slice (emitted into "args" for grep/conformance), and a nonzero
+/// `flow_id` makes the emitter append a Perfetto flow record ("ph"
+/// "s"/"t"/"f", chained by `flow_id`) bound to the slice start, so all
+/// work done on behalf of one request is drawn as one arrow chain. An
+/// event with `dur_us == 0` and a nonzero `flow_id` is emitted as an
+/// instant ("ph" "i") plus its flow record — the submit/resolve
+/// endpoints of a request chain; flowless zero-duration events are still
+/// dropped (e.g. empty transfers).
 struct TraceEvent {
   std::string name;
   std::uint32_t pid = 1;
@@ -42,6 +52,9 @@ struct TraceEvent {
   double ts_us = 0.0;   ///< slice start, microseconds
   double dur_us = 0.0;  ///< slice duration, microseconds
   int depth = 0;        ///< open-span nesting depth at slice start
+  std::uint64_t trace_id = 0;  ///< originating request (0 = none)
+  std::uint64_t flow_id = 0;   ///< flow chain id (0 = not on a flow)
+  char flow_phase = 0;         ///< 's' start | 't' step | 'f' finish
 };
 
 /// Named track label: emitted as thread_name metadata so Perfetto shows
@@ -53,9 +66,12 @@ struct TrackLabel {
 };
 
 /// Shared Trace Event Format emitter: metadata records for `tracks`, then
-/// one "X" event per TraceEvent. Every trace writer in the framework
-/// (simulated timeline, host pipeline, spans, merged) funnels through
-/// this, so the JSON dialect is defined in exactly one place.
+/// one "X" (or, for flow endpoints, "i") event per TraceEvent, then the
+/// flow records ("s"/"t"/"f") of every flow-carrying event, sorted by
+/// timestamp so each chain's arrows read start -> steps -> finish. Every
+/// trace writer in the framework (simulated timeline, host pipeline,
+/// spans, merged) funnels through this, so the JSON dialect is defined in
+/// exactly one place.
 void write_trace_events(std::span<const TrackLabel> tracks,
                         std::span<const TraceEvent> events,
                         std::ostream& os);
@@ -79,6 +95,11 @@ class TraceCollector {
   }
 
   void record(TraceEvent ev);
+  /// Records a zero-duration flow endpoint ("ph" "i" + flow record) at
+  /// the current session time on the calling thread's host track:
+  /// phase 's' opens a request's flow chain (submit), 'f' closes it
+  /// (resolve). No-op while disabled.
+  void instant(std::string name, std::uint64_t flow_id, char flow_phase);
   [[nodiscard]] std::vector<TraceEvent> events() const;
   [[nodiscard]] std::size_t size() const;
   /// Clears events and re-zeroes the timestamp epoch: spans recorded after
@@ -119,6 +140,7 @@ class Span {
   std::string name_;
   double start_us_ = 0.0;
   int depth_ = 0;
+  std::uint64_t trace_id_ = 0;
   bool active_ = false;
 };
 

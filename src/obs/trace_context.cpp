@@ -1,0 +1,26 @@
+#include "obs/trace_context.hpp"
+
+#include <atomic>
+
+namespace snp::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_trace_id{1};
+thread_local TraceContext t_current{};
+
+}  // namespace
+
+std::uint64_t next_trace_id() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext current_trace() { return t_current; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) : saved_(t_current) {
+  t_current = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current = saved_; }
+
+}  // namespace snp::obs

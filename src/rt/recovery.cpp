@@ -74,6 +74,25 @@ namespace detail {
 void count_retry_metrics(bool retried) {
   if (retried) SNP_OBS_COUNT("rt.retries", 1);
 }
+
+void record_fault_flight([[maybe_unused]] ErrorCode code,
+                         [[maybe_unused]] std::int64_t chunk,
+                         [[maybe_unused]] int attempt,
+                         [[maybe_unused]] bool retried) {
+#if SNPCMP_OBS_ENABLED
+  // One-time namer install: dumps print "SNPRT-LAUNCH", not a number.
+  static const bool namer_installed = [] {
+    obs::FlightRecorder::global().set_code_namer(+[](std::uint32_t c) {
+      return code_name(static_cast<ErrorCode>(c));
+    });
+    return true;
+  }();
+  (void)namer_installed;
+  SNP_OBS_FLIGHT(retried ? obs::FlightKind::kRetry : obs::FlightKind::kFault,
+                 obs::current_trace().trace_id,
+                 static_cast<std::uint32_t>(code), chunk, attempt);
+#endif
+}
 }  // namespace detail
 
 }  // namespace snp::rt

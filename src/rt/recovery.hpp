@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace_context.hpp"
 #include "rt/fault.hpp"
 #include "rt/status.hpp"
 
@@ -70,6 +71,7 @@ struct FaultEvent {
   std::int64_t chunk = -1;   ///< chunk index or device id (-1 = n/a)
   int attempt = 0;           ///< attempt number the fault hit
   std::string detail;        ///< human-readable cause (Error::what())
+  std::uint64_t trace_id = 0;  ///< originating request (0 = none)
 };
 
 /// Thread-safe event sink shared by every retry scope of one run.
@@ -121,6 +123,11 @@ class Deadline {
 namespace detail {
 /// Out-of-line so this header does not pull in the obs macros.
 void count_retry_metrics(bool retried);
+/// Flight-recorder hook: records a fault/retry event tagged with the
+/// ambient trace id (and installs the SNPRT code namer on first use so
+/// dumps print "SNPRT-LAUNCH" instead of a number).
+void record_fault_flight(ErrorCode code, std::int64_t chunk, int attempt,
+                         bool retried);
 }  // namespace detail
 
 /// Runs `fn` under the retry rung: up to opts.max_attempts tries while
@@ -151,6 +158,7 @@ auto with_retry(const RecoveryOptions& opts, std::string_view site_label,
       const bool can_retry = attempt < max_attempts && is_retryable(st) &&
                              st.code != ErrorCode::kExhausted;
       detail::count_retry_metrics(can_retry);
+      detail::record_fault_flight(st.code, chunk, attempt, can_retry);
       if (log != nullptr) {
         FaultEvent ev;
         ev.site = std::string(site_label);
@@ -161,6 +169,7 @@ auto with_retry(const RecoveryOptions& opts, std::string_view site_label,
         ev.chunk = chunk;
         ev.attempt = attempt;
         ev.detail = e.what();
+        ev.trace_id = obs::current_trace().trace_id;
         log->record(std::move(ev));
       }
       if (opts.policy == FailPolicy::kAbort) throw;

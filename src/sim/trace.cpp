@@ -113,12 +113,22 @@ void write_merged_chrome_trace(const obs::TraceCollector& spans,
                                const Timeline* tl,
                                std::span<const HostChunkEvent> chunks,
                                std::ostream& os,
-                               const std::string& device_name) {
+                               const std::string& device_name,
+                               double host_anchor_us) {
   std::vector<obs::TrackLabel> tracks;
   std::vector<obs::TraceEvent> events;
+  // Re-anchors a [from, events.size()) range of just-appended events
+  // (device virtual clock or compare-relative wall clock, both t=0 at
+  // compare start) onto the span clock's session origin.
+  const auto shift_from = [&events, host_anchor_us](std::size_t from) {
+    for (std::size_t i = from; i < events.size(); ++i) {
+      events[i].ts_us += host_anchor_us;
+    }
+  };
   if (tl != nullptr) {
     append_timeline(*tl, device_name + ", virtual clock", kDevicePid,
                     tracks, events);
+    shift_from(0);
   } else if (!chunks.empty()) {
     // Functional compare() has no Timeline, but each chunk event carries
     // the simulated h2d/kernel/d2h intervals — reconstruct the device
@@ -139,6 +149,7 @@ void write_merged_chrome_trace(const obs::TraceCollector& spans,
       push_slice(events, "d2h chunk " + idx, kDevicePid, 3, c.d2h_start,
                  c.d2h_end);
     }
+    shift_from(0);
   }
   // Host spans already carry pid 1 and a per-thread tid; label the
   // threads that actually appear.
@@ -157,8 +168,10 @@ void write_merged_chrome_trace(const obs::TraceCollector& spans,
     }
   }
   if (!chunks.empty()) {
+    const std::size_t pipeline_from = events.size();
     append_host_chunks(chunks, device_name + " chunk pipeline",
                        kPipelinePid, tracks, events);
+    shift_from(pipeline_from);
   }
   obs::write_trace_events(tracks, events, os);
 }
@@ -166,9 +179,11 @@ void write_merged_chrome_trace(const obs::TraceCollector& spans,
 std::string merged_chrome_trace_json(const obs::TraceCollector& spans,
                                      const Timeline* tl,
                                      std::span<const HostChunkEvent> chunks,
-                                     const std::string& device_name) {
+                                     const std::string& device_name,
+                                     double host_anchor_us) {
   std::ostringstream os;
-  write_merged_chrome_trace(spans, tl, chunks, os, device_name);
+  write_merged_chrome_trace(spans, tl, chunks, os, device_name,
+                            host_anchor_us);
   return os.str();
 }
 

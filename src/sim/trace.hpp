@@ -76,19 +76,22 @@ void write_host_chrome_trace(std::span<const HostChunkEvent> chunks,
 ///           wall-clock microseconds since the collector session began;
 ///   pid 2 — the async pipeline's pack/execute/drain stage view from
 ///           `chunks`, wall-clock microseconds since compare() started.
-/// The two wall-clock bases differ by the (sub-millisecond) setup time
-/// between session start and the compare call; the virtual clock is its
-/// own axis by construction. Perfetto renders the pids as separate
-/// process groups, so the offset never misleads within a track group.
+/// `host_anchor_us` is the session-clock time at which the compare
+/// started (TimingReport::trace_anchor_us): pid-0 and pid-2 timestamps
+/// are shifted by it so all three pids share the span clock's origin —
+/// required for the cross-pid flow arrows (request chains) to stay
+/// monotone. Pass 0 to keep each source on its native origin (legacy
+/// layout; flow arrows between pids may then point backwards).
 void write_merged_chrome_trace(const obs::TraceCollector& spans,
                                const Timeline* tl,
                                std::span<const HostChunkEvent> chunks,
                                std::ostream& os,
-                               const std::string& device_name);
+                               const std::string& device_name,
+                               double host_anchor_us = 0.0);
 
 [[nodiscard]] std::string merged_chrome_trace_json(
     const obs::TraceCollector& spans, const Timeline* tl,
     std::span<const HostChunkEvent> chunks,
-    const std::string& device_name);
+    const std::string& device_name, double host_anchor_us = 0.0);
 
 }  // namespace snp::sim

@@ -88,6 +88,7 @@ struct ServiceEngine::Impl {
   struct Request {
     std::vector<bits::Word64> words;  ///< canonical (base-stride) query row
     std::uint64_t key = 0;            ///< cache key at admission epoch
+    std::uint64_t trace_id = 0;       ///< allocated at submit()
     rt::RecoveryOptions recovery;
     Clock::time_point submitted;
     std::promise<QueryResult> promise;
@@ -113,6 +114,7 @@ struct ServiceEngine::Impl {
       : cfg(std::move(config)),
         ctx(make_context(cfg.device)),
         pool(1),
+        slo_mon(cfg.slo),
         paused(cfg.start_paused) {
     if (database.empty()) {
       throw std::invalid_argument("svc: database must be non-empty");
@@ -146,12 +148,19 @@ struct ServiceEngine::Impl {
 
   std::future<QueryResult> submit(
       const bits::BitMatrix& query,
-      const std::optional<rt::RecoveryOptions>& recovery) {
+      const std::optional<rt::RecoveryOptions>& recovery,
+      std::uint64_t* trace_out) {
     const auto submitted = Clock::now();
+    // Identity first: the id exists (and reaches the caller) before any
+    // admission decision, so even a shed request is chaseable in the
+    // flight recorder and the Perfetto flow chain.
+    const std::uint64_t trace_id = obs::next_trace_id();
+    if (trace_out != nullptr) *trace_out = trace_id;
     if (query.rows() != 1 || query.bit_cols() != db_bit_cols()) {
       throw std::invalid_argument(
           "svc: query must be a single row with the database's bit_cols");
     }
+    SNP_OBS_FLOW_POINT("req.submit", trace_id, 's');
     // Canonicalize to the base stride so clients with padded strides hash
     // and batch identically (padding words are zero by invariant).
     const std::size_t base_words = (query.bit_cols() + 63) / 64;
@@ -171,17 +180,33 @@ struct ServiceEngine::Impl {
           it->second.words == words) {
         cache_hits++;
         SNP_OBS_COUNT("svc.cache.hits", 1);
+        SNP_OBS_FLIGHT(obs::FlightKind::kCacheHit, trace_id, 0,
+                       static_cast<std::int64_t>(epoch), 0);
         QueryResult qr;
         qr.row = it->second.row;
         qr.cache_hit = true;
         qr.epoch = epoch;
+        qr.trace_id = trace_id;
         qr.latency_s = seconds_between(submitted, Clock::now());
         completed_count++;
         latencies.push_back(qr.latency_s);
         SNP_OBS_OBSERVE("svc.request_latency_seconds", qr.latency_s);
+        bool tripped = false;
+        if constexpr (obs::kEnabled) {
+          tripped = slo_mon.record(qr.latency_s, trace_id);
+          if (cfg.slo.objective_s > 0.0 &&
+              qr.latency_s > cfg.slo.objective_s) {
+            SNP_OBS_COUNT("svc.slo.breaches", 1);
+          }
+        }
+        SNP_OBS_FLIGHT(obs::FlightKind::kResolve, trace_id, 0, 0,
+                       static_cast<std::int64_t>(qr.latency_s * 1e6));
+        SNP_OBS_FLOW_POINT("req.resolve", trace_id, 'f');
         std::promise<QueryResult> p;
         auto fut = p.get_future();
         p.set_value(std::move(qr));
+        lock.unlock();
+        if (tripped) on_slo_trip(trace_id);
         return fut;
       }
       cache_misses++;
@@ -194,6 +219,8 @@ struct ServiceEngine::Impl {
       if (cfg.admission == AdmissionPolicy::kReject) {
         rejected_count++;
         SNP_OBS_COUNT("svc.rejected", 1);
+        SNP_OBS_FLIGHT(obs::FlightKind::kShed, trace_id, 0,
+                       static_cast<std::int64_t>(pending.size()), 0);
         throw rt::Error(rt::ErrorCode::kOverload,
                         "service queue full (" +
                             std::to_string(cfg.max_queue) +
@@ -211,12 +238,15 @@ struct ServiceEngine::Impl {
     Request req;
     req.words = std::move(words);
     req.key = key;
+    req.trace_id = trace_id;
     req.recovery = recovery.value_or(cfg.recovery);
     req.submitted = submitted;
     auto fut = req.promise.get_future();
     pending.push_back(std::move(req));
     peak_queue = std::max(peak_queue, pending.size());
     SNP_OBS_GAUGE_ADD("svc.queue_depth", 1);
+    SNP_OBS_FLIGHT(obs::FlightKind::kEnqueue, trace_id, 0,
+                   static_cast<std::int64_t>(pending.size()), 0);
     lock.unlock();
     cv_work.notify_one();
     return fut;
@@ -238,6 +268,9 @@ struct ServiceEngine::Impl {
     cache.clear();
     cache_fifo.clear();
     SNP_OBS_COUNT("svc.epoch_bumps", 1);
+    SNP_OBS_FLIGHT(obs::FlightKind::kEpoch, obs::current_trace().trace_id,
+                   0, static_cast<std::int64_t>(epoch),
+                   static_cast<std::int64_t>(db->rows()));
   }
 
   void drain() {
@@ -301,7 +334,17 @@ struct ServiceEngine::Impl {
       // its rt::Error to its own futures, the dispatcher swallows the
       // sticky rethrow and clears it — so batch N failing can never
       // poison batch N+1.
-      pool.post([this, batch] { execute_batch(*batch); });
+      //
+      // The batch executes under its root (first) request's trace
+      // context: post() snapshots the installed context into the task,
+      // the worker re-installs it, and every downstream span / chunk
+      // flight record / fault event inherits the id. The other members
+      // stay visible through their own per-request flow points.
+      {
+        const obs::ScopedTraceContext root_scope(
+            obs::TraceContext{batch->requests.front().trace_id});
+        pool.post([this, batch] { execute_batch(*batch); });
+      }
       try {
         pool.wait_idle();
       } catch (...) {
@@ -319,6 +362,16 @@ struct ServiceEngine::Impl {
   void execute_batch(Batch& batch) {
     SNP_OBS_SPAN("svc.batch");
     const std::size_t n = batch.requests.size();
+    SNP_OBS_FLIGHT(obs::FlightKind::kBatch, obs::current_trace().trace_id,
+                   0, static_cast<std::int64_t>(batch.id),
+                   static_cast<std::int64_t>(n));
+    if constexpr (obs::kEnabled) {
+      // Every member request's flow arrow passes through the batch, not
+      // just the root whose context the batch runs under.
+      for (const auto& req : batch.requests) {
+        SNP_OBS_FLOW_POINT("req.batch", req.trace_id, 't');
+      }
+    }
     try {
       bits::BitMatrix a(n, db_bit_cols());
       for (std::size_t i = 0; i < n; ++i) {
@@ -345,9 +398,11 @@ struct ServiceEngine::Impl {
         qr.batch_rows = n;
         qr.epoch = batch.epoch;
         qr.degraded = result.timing.degraded;
+        qr.trace_id = batch.requests[i].trace_id;
         qr.latency_s = seconds_between(batch.requests[i].submitted, done);
       }
 
+      [[maybe_unused]] std::uint64_t trip_trace = 0;
       {
         const std::lock_guard lock(mu);
         completed_count += n;
@@ -359,6 +414,15 @@ struct ServiceEngine::Impl {
         for (std::size_t i = 0; i < n; ++i) {
           latencies.push_back(rows[i].latency_s);
           SNP_OBS_OBSERVE("svc.request_latency_seconds", rows[i].latency_s);
+          if constexpr (obs::kEnabled) {
+            if (slo_mon.record(rows[i].latency_s, rows[i].trace_id)) {
+              trip_trace = rows[i].trace_id;
+            }
+            if (cfg.slo.objective_s > 0.0 &&
+                rows[i].latency_s > cfg.slo.objective_s) {
+              SNP_OBS_COUNT("svc.slo.breaches", 1);
+            }
+          }
           if (cfg.cache_capacity > 0 && batch.epoch == epoch) {
             cache_insert(batch.requests[i], rows[i].row);
           }
@@ -366,12 +430,27 @@ struct ServiceEngine::Impl {
       }
       SNP_OBS_COUNT("svc.batches", 1);
       SNP_OBS_COUNT("svc.batch.rows", n);
+      if constexpr (obs::kEnabled) {
+        // Dump outside the service mutex: the breach path does file I/O.
+        if (trip_trace != 0) on_slo_trip(trip_trace);
+      }
 
       // Exactly-once: every promise is resolved here and nowhere else.
       for (std::size_t i = 0; i < n; ++i) {
+        SNP_OBS_FLIGHT(obs::FlightKind::kResolve, rows[i].trace_id, 0,
+                       static_cast<std::int64_t>(batch.id),
+                       static_cast<std::int64_t>(rows[i].latency_s * 1e6));
+        SNP_OBS_FLOW_POINT("req.resolve", rows[i].trace_id, 'f');
         batch.requests[i].promise.set_value(std::move(rows[i]));
       }
     } catch (...) {
+      [[maybe_unused]] std::uint32_t code = 0;
+      try {
+        throw;
+      } catch (const rt::Error& e) {
+        code = static_cast<std::uint32_t>(e.code());
+      } catch (...) {
+      }
       {
         const std::lock_guard lock(mu);
         failed_count += n;
@@ -382,9 +461,28 @@ struct ServiceEngine::Impl {
       SNP_OBS_COUNT("svc.batches", 1);
       SNP_OBS_COUNT("svc.batch.failures", 1);
       for (auto& req : batch.requests) {
+        // Failed resolution keeps the flow arrow closed and records the
+        // SNPRT code the future will carry; latency payload is -1.
+        SNP_OBS_FLIGHT(obs::FlightKind::kResolve, req.trace_id, code,
+                       static_cast<std::int64_t>(batch.id), -1);
+        SNP_OBS_FLOW_POINT("req.resolve", req.trace_id, 'f');
         req.promise.set_exception(std::current_exception());
       }
       throw;  // lands in the pool's sticky channel; dispatcher clears it
+    }
+  }
+
+  /// Burn-rate trigger edge: pin the breach in the flight stream, then
+  /// dump the rings while the evidence is still resident. Never called
+  /// under mu (auto_dump writes a file).
+  void on_slo_trip(std::uint64_t trace_id) {
+    if constexpr (obs::kEnabled) {
+      const auto snap = slo_mon.snapshot();
+      SNP_OBS_COUNT("svc.slo.trips", 1);
+      SNP_OBS_FLIGHT(obs::FlightKind::kSloBreach, trace_id, 0,
+                     static_cast<std::int64_t>(snap.breaches),
+                     static_cast<std::int64_t>(snap.total));
+      obs::FlightRecorder::global().auto_dump("slo-breach");
     }
   }
 
@@ -434,7 +532,32 @@ struct ServiceEngine::Impl {
     s.p50_latency_s = percentile(lat, 0.50);
     s.p99_latency_s = percentile(lat, 0.99);
     s.max_latency_s = lat.empty() ? 0.0 : lat.back();
+    if constexpr (obs::kEnabled) {
+      const auto slo = slo_mon.snapshot();
+      s.slo_breaches = slo.breaches;
+      s.slo_trips = slo.trips;
+      s.slo_burn_fast = slo.burn_fast;
+      s.slo_burn_slow = slo.burn_slow;
+    }
     return s;
+  }
+
+  [[nodiscard]] SloReport slo_report() const {
+    SloReport r;
+    r.objective_s = cfg.slo.objective_s;
+    r.state = slo_mon.snapshot();
+    r.p50_le_s = slo_mon.percentile_le(0.50);
+    r.p99_le_s = slo_mon.percentile_le(0.99);
+    r.bounds = slo_mon.bounds();
+    r.bucket_counts = slo_mon.bucket_counts();
+    r.exemplars = slo_mon.exemplars();
+    for (std::size_t i = r.exemplars.size(); i-- > 0;) {
+      if (r.exemplars[i].has_value()) {
+        r.worst = r.exemplars[i];
+        break;
+      }
+    }
+    return r;
   }
 
   // ---- state -------------------------------------------------------------
@@ -443,6 +566,9 @@ struct ServiceEngine::Impl {
   Context ctx;
   bits::Comparison effective_op = bits::Comparison::kXor;
   exec::ThreadPool pool;  ///< 1-thread batch executor (sticky-error channel)
+  /// Internally locked; fed on completion paths, never under mu for the
+  /// dump-triggering edge (see on_slo_trip).
+  obs::SloMonitor slo_mon;
 
   mutable std::mutex mu;
   std::condition_variable cv_work;   ///< dispatcher waits for arrivals
@@ -482,8 +608,9 @@ ServiceEngine::~ServiceEngine() = default;
 
 std::future<QueryResult> ServiceEngine::submit(
     const bits::BitMatrix& query,
-    const std::optional<rt::RecoveryOptions>& recovery) {
-  return impl_->submit(query, recovery);
+    const std::optional<rt::RecoveryOptions>& recovery,
+    std::uint64_t* trace_out) {
+  return impl_->submit(query, recovery, trace_out);
 }
 
 void ServiceEngine::update_database(bits::BitMatrix database) {
@@ -500,6 +627,8 @@ void ServiceEngine::pause() { impl_->set_paused(true); }
 void ServiceEngine::resume() { impl_->set_paused(false); }
 
 ServiceStats ServiceEngine::stats() const { return impl_->stats(); }
+
+SloReport ServiceEngine::slo() const { return impl_->slo_report(); }
 
 const ServiceConfig& ServiceEngine::config() const { return impl_->cfg; }
 

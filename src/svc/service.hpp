@@ -28,7 +28,17 @@
 //
 // SLO telemetry: per-request latency (p50/p99), batch width, queue depth
 // and cache hit rates are published through the obs registry ("svc.*")
-// and summarized by stats() for the CLI "service:" report block.
+// and summarized by stats() for the CLI "service:" report block. When
+// ServiceConfig::slo sets a latency objective, an obs::SloMonitor
+// evaluates rolling-window burn rates over completions and trips a
+// flight-recorder dump on breach (see slo() / docs/observability.md).
+//
+// Request tracing: submit() allocates a process-unique trace id per
+// request (obs::TraceContext). The dispatcher installs the batch root's
+// context around batch execution so every span, chunk flight record and
+// fault event downstream carries the originating request's id, and the
+// merged Perfetto trace links submit -> batch -> chunks -> resolution
+// with flow arrows.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +51,7 @@
 #include "bits/bitmatrix.hpp"
 #include "bits/compare.hpp"
 #include "core/snpcmp.hpp"
+#include "obs/slo.hpp"
 #include "rt/recovery.hpp"
 
 namespace snp::exec {
@@ -99,6 +110,12 @@ struct ServiceConfig {
   /// the scripted CLI driver and the admission-control tests to make
   /// batch formation deterministic.
   bool start_paused = false;
+
+  /// Latency SLO for the burn-rate monitor. objective_s == 0 (the
+  /// default) disables burn evaluation; the exemplar histogram behind
+  /// slo() still accumulates so the report's approximate percentiles
+  /// work without an objective.
+  obs::SloOptions slo;
 };
 
 /// One resolved query.
@@ -116,6 +133,10 @@ struct QueryResult {
   double latency_s = 0.0;
   /// True when the batch finished on the CPU degrade rung.
   bool degraded = false;
+  /// The request's process-unique trace id (allocated at submit();
+  /// never 0 for an accepted request). The same id tags the request's
+  /// spans, flight records and fault events.
+  std::uint64_t trace_id = 0;
 };
 
 /// Point-in-time service telemetry (also published as "svc.*" metrics).
@@ -136,6 +157,31 @@ struct ServiceStats {
   double p99_latency_s = 0.0;
   double max_latency_s = 0.0;
   std::uint64_t epoch = 1;
+  /// SLO monitor readout (all zero when obs is compiled out or no
+  /// requests have completed).
+  std::uint64_t slo_breaches = 0;  ///< completions over the objective
+  std::uint64_t slo_trips = 0;     ///< burn-rate trigger edges
+  double slo_burn_fast = 0.0;
+  double slo_burn_slow = 0.0;
+};
+
+/// Point-in-time SLO report from the engine's burn-rate monitor. The
+/// percentiles are honest bucket upper bounds (obs::SloMonitor
+/// ::percentile_le): NaN when nothing was recorded, +inf when the
+/// quantile fell in the overflow bucket; render with a '~' marker.
+struct SloReport {
+  double objective_s = 0.0;  ///< 0 = burn evaluation disabled
+  obs::SloSnapshot state;    ///< totals, breaches, burn rates, trips
+  double p50_le_s = 0.0;
+  double p99_le_s = 0.0;
+  /// Per-bucket exemplars parallel to bounds (plus overflow): the last
+  /// (latency, trace id) seen in each latency bucket.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::vector<std::optional<obs::SloExemplar>> exemplars;
+  /// Exemplar from the highest populated bucket — the trace id to chase
+  /// when asking "which request was the outlier?".
+  std::optional<obs::SloExemplar> worst;
 };
 
 /// Long-running, in-process query service over one resident database.
@@ -161,9 +207,13 @@ class ServiceEngine {
   /// blocks under kBlock; throws std::invalid_argument on shape
   /// mismatch. `recovery` overrides the engine default for this
   /// request's class; requests of different classes never share a batch.
+  /// `trace_out`, when non-null, receives the request's trace id as soon
+  /// as it is allocated — before any possible throw — so callers can
+  /// correlate even shed/failed submissions with the flight recorder.
   [[nodiscard]] std::future<QueryResult> submit(
       const bits::BitMatrix& query,
-      const std::optional<rt::RecoveryOptions>& recovery = std::nullopt);
+      const std::optional<rt::RecoveryOptions>& recovery = std::nullopt,
+      std::uint64_t* trace_out = nullptr);
 
   /// Atomically swaps the resident database and bumps the epoch; every
   /// cached result is invalidated (the cache key carries the epoch, and
@@ -185,6 +235,10 @@ class ServiceEngine {
   void resume();
 
   [[nodiscard]] ServiceStats stats() const;
+  /// The burn-rate monitor's current state: approximate percentiles,
+  /// burn rates, per-bucket exemplars. Cheap (one mutex + histogram
+  /// copy); safe to call concurrently with submissions.
+  [[nodiscard]] SloReport slo() const;
   [[nodiscard]] const ServiceConfig& config() const;
   /// Database profile count (the gamma row length).
   [[nodiscard]] std::size_t db_rows() const;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -248,6 +249,127 @@ TEST(MetricsWriter, PrometheusFormatSanitizesAndPrefixes) {
   EXPECT_NE(text.find("_count 1"), std::string::npos);
   EXPECT_EQ(text.find("exec.pool"), std::string::npos)
       << "dots must be sanitized";
+}
+
+TEST(MetricsWriter, HistogramPercentilesAreMarkedApproximate) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("svc.latency", {0.001, 0.01, 0.1});
+  h.observe(0.0005);
+  h.observe(0.0005);
+  h.observe(0.05);
+  std::ostringstream os;
+  write_metrics_json(reg.snapshot(), os);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  // Satellite 1: published percentiles are bucket upper bounds and say
+  // so — "approx": true rides next to them in every histogram block.
+  EXPECT_NE(json.find("\"percentiles\": {\"p50_le\": 0.001"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"p99_le\": 0.1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"approx\": true"), std::string::npos) << json;
+}
+
+TEST(MetricsWriter, EmptyAndOverflowPercentilesAreNull) {
+  MetricsRegistry reg;
+  (void)reg.histogram("svc.empty", {0.001});
+  reg.histogram("svc.over", {0.001}).observe(5.0);  // overflow only
+  std::ostringstream os;
+  write_metrics_json(reg.snapshot(), os);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  // NaN (empty) and +inf (overflow bucket) are not JSON: both render as
+  // null rather than poisoning the document.
+  EXPECT_EQ(count_occurrences(json, "\"p50_le\": null"), 2u) << json;
+  EXPECT_EQ(count_occurrences(json, "nan"), 0u);
+  EXPECT_EQ(count_occurrences(json, "inf"), 0u);
+}
+
+// ---- SLO burn-rate monitor ---------------------------------------------
+
+TEST(Slo, ServiceLatencyBoundsAreStrictlyIncreasing) {
+  const auto b = Histogram::service_latency_bounds();
+  ASSERT_FALSE(b.empty());
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+  EXPECT_TRUE(std::adjacent_find(b.begin(), b.end()) == b.end());
+  EXPECT_LE(b.front(), 1e-5);
+  EXPECT_GE(b.back(), 2.0);
+}
+
+TEST(Slo, PercentileLeIsBucketUpperBoundOverflowAndEmptyAreHonest) {
+  SloMonitor mon(SloOptions{});  // no objective: histogram still feeds
+  EXPECT_TRUE(std::isnan(mon.percentile_le(0.5)));
+
+  mon.record(2e-5, 1);
+  mon.record(2e-5, 2);
+  mon.record(2e-5, 3);
+  // All three sit in the (1e-5, 2.5e-5] bucket: p50 reports its upper
+  // bound, never an interpolated fiction below a real observation.
+  const double p50 = mon.percentile_le(0.5);
+  EXPECT_GE(p50, 2e-5);
+  EXPECT_LE(p50, 2.5e-5);
+
+  mon.record(100.0, 4);  // beyond the last bound -> overflow
+  EXPECT_TRUE(std::isinf(mon.percentile_le(1.0)));
+}
+
+TEST(Slo, ExemplarsRetainTheLatestTraceIdPerBucket) {
+  SloMonitor mon(SloOptions{});
+  mon.record(2e-5, 7);
+  mon.record(2e-5, 9);    // same bucket: newest wins
+  mon.record(0.5, 1234);  // far bucket
+  const auto counts = mon.bucket_counts();
+  const auto exemplars = mon.exemplars();
+  ASSERT_EQ(counts.size(), mon.bounds().size() + 1);  // + overflow
+  ASSERT_EQ(exemplars.size(), counts.size());
+  std::uint64_t total = 0;
+  bool saw9 = false;
+  bool saw1234 = false;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (counts[i] == 0) {
+      EXPECT_FALSE(exemplars[i].has_value());
+      continue;
+    }
+    ASSERT_TRUE(exemplars[i].has_value());
+    saw9 = saw9 || exemplars[i]->trace_id == 9;
+    saw1234 = saw1234 || exemplars[i]->trace_id == 1234;
+    EXPECT_NE(exemplars[i]->trace_id, 7u) << "stale exemplar kept";
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_TRUE(saw9);
+  EXPECT_TRUE(saw1234);
+}
+
+TEST(Slo, BurnRateTripsOnceAndEdgeDetects) {
+  SloOptions opt;
+  opt.objective_s = 1e-9;  // everything breaches
+  opt.error_budget = 0.01;
+  opt.breach_burn_rate = 10.0;
+  SloMonitor mon(opt);
+  // Breach fraction 1.0 / budget 0.01 = burn 100 on both windows: the
+  // first record crosses the trigger; the monitor then stays tripped
+  // without re-firing (edge detection) while burn stays high.
+  EXPECT_TRUE(mon.record(1.0, 1));
+  EXPECT_FALSE(mon.record(1.0, 2));
+  EXPECT_FALSE(mon.record(1.0, 3));
+  const SloSnapshot snap = mon.snapshot();
+  EXPECT_EQ(snap.total, 3u);
+  EXPECT_EQ(snap.breaches, 3u);
+  EXPECT_EQ(snap.trips, 1u);
+  EXPECT_GE(snap.burn_fast, opt.breach_burn_rate);
+  EXPECT_GE(snap.burn_slow, opt.breach_burn_rate);
+}
+
+TEST(Slo, NoObjectiveMeansNoBurnEvaluation) {
+  SloMonitor mon(SloOptions{});  // objective_s == 0
+  EXPECT_FALSE(mon.record(100.0, 1));
+  const SloSnapshot snap = mon.snapshot();
+  EXPECT_EQ(snap.total, 1u);
+  EXPECT_EQ(snap.breaches, 0u);
+  EXPECT_EQ(snap.trips, 0u);
+  EXPECT_EQ(snap.burn_fast, 0.0);
+  EXPECT_EQ(snap.burn_slow, 0.0);
 }
 
 TEST(MergedTrace, CombinesSpansTimelineAndChunksOnDistinctPids) {

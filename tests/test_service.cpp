@@ -17,6 +17,7 @@
 #include "core/snpcmp.hpp"
 #include "exec/thread_pool.hpp"
 #include "io/datagen.hpp"
+#include "obs/obs.hpp"
 #include "rt/fault.hpp"
 #include "svc/service.hpp"
 
@@ -499,6 +500,61 @@ TEST(ServiceEngineContract, StatsLatencyPercentilesArePopulated) {
   EXPECT_GE(s.p99_latency_s, s.p50_latency_s);
   EXPECT_GE(s.max_latency_s, s.p99_latency_s);
   EXPECT_GT(s.mean_batch_rows, 0.0);
+}
+
+TEST(ServiceSlo, TinyObjectiveCountsEveryCompletionAsBreach) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "SLO monitor compiles away under SNPCMP_OBS=OFF";
+  }
+  const BitMatrix db = io::random_bitmatrix(19, 128, 0.5, 741);
+  const BitMatrix queries = io::random_bitmatrix(6, 128, 0.4, 742);
+  ServiceConfig cfg = base_config("cpu", Comparison::kXor, 4);
+  cfg.start_paused = false;
+  cfg.slo.objective_s = 1e-12;  // everything breaches
+  cfg.slo.error_budget = 0.01;
+  cfg.slo.breach_burn_rate = 10.0;
+  ServiceEngine engine(db, cfg);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    (void)engine.submit(queries.row_slice(q, q + 1)).get();
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.slo_breaches, queries.rows());
+  EXPECT_GE(s.slo_trips, 1u);  // burn 100 >> 10 trips on first record
+  EXPECT_GE(s.slo_burn_fast, 10.0);
+  EXPECT_GE(s.slo_burn_slow, 10.0);
+
+  const svc::SloReport report = engine.slo();
+  EXPECT_DOUBLE_EQ(report.objective_s, 1e-12);
+  EXPECT_EQ(report.state.total, queries.rows());
+  EXPECT_EQ(report.state.breaches, queries.rows());
+  EXPECT_GT(report.p50_le_s, 0.0);
+  EXPECT_GE(report.p99_le_s, report.p50_le_s);
+  ASSERT_TRUE(report.worst.has_value());
+  EXPECT_NE(report.worst->trace_id, 0u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : report.bucket_counts) {
+    total += c;
+  }
+  EXPECT_EQ(total, queries.rows());
+}
+
+TEST(ServiceSlo, NoObjectiveStillFeedsApproxPercentiles) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "SLO monitor compiles away under SNPCMP_OBS=OFF";
+  }
+  const BitMatrix db = io::random_bitmatrix(19, 128, 0.5, 743);
+  const BitMatrix query = io::random_bitmatrix(1, 128, 0.4, 744);
+  ServiceConfig cfg = base_config("cpu", Comparison::kXor, 4);
+  cfg.start_paused = false;
+  ServiceEngine engine(db, cfg);
+  (void)engine.submit(query).get();
+  const auto s = engine.stats();
+  EXPECT_EQ(s.slo_breaches, 0u);
+  EXPECT_EQ(s.slo_trips, 0u);
+  const svc::SloReport report = engine.slo();
+  EXPECT_DOUBLE_EQ(report.objective_s, 0.0);
+  EXPECT_EQ(report.state.total, 1u);
+  EXPECT_GT(report.p50_le_s, 0.0);  // exemplar histogram fed regardless
 }
 
 TEST(ServiceEngineContract, AdmissionPolicyParsing) {

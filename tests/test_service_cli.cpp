@@ -13,6 +13,7 @@
 #include "cli/cli.hpp"
 #include "io/datagen.hpp"
 #include "io/formats.hpp"
+#include "obs/obs.hpp"
 
 namespace snp::cli {
 namespace {
@@ -108,7 +109,16 @@ TEST(ServeCli, GoldenReportBlockAndRequestLines) {
   EXPECT_NE(r.out.find("service:     queue peak=4 epoch=1"),
             std::string::npos)
       << r.out;
-  EXPECT_NE(r.out.find("slo:         p50="), std::string::npos) << r.out;
+  // Approximate (bucket-upper-bound) percentiles carry the '~' marker;
+  // with obs compiled out the CLI falls back to exact sorted-sample
+  // percentiles and honestly drops the marker.
+  if constexpr (obs::kEnabled) {
+    EXPECT_NE(r.out.find("slo:         p50~="), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("(bucket upper bounds)"), std::string::npos)
+        << r.out;
+  } else {
+    EXPECT_NE(r.out.find("slo:         p50="), std::string::npos) << r.out;
+  }
   // Duplicate submissions of the same profile must carry one digest.
   EXPECT_EQ(digest_of(r.out, 2), digest_of(r.out, 3));
   EXPECT_EQ(digest_of(r.out, 0), digest_of(r.out, 4));
@@ -167,6 +177,126 @@ TEST(ServeCli, InjectedFaultExitsFourWithCodeLeadingStderr) {
                 "service:     requests=3 completed=1 failed=2 rejected=0"),
             std::string::npos)
       << r.out;
+}
+
+/// Satellite 5 / acceptance: the fault-path flight dump is deterministic
+/// and self-identifying — it names the SNPRT code and carries the failed
+/// request's trace id, which is the same id printed on its `req N:` line.
+TEST(ServeCli, FaultFlightDumpNamesCodeAndFailedRequest) {
+  if (!obs::kEnabled) GTEST_SKIP() << "flight recorder compiled out";
+  const Fixture f;
+  const auto script = write_script(
+      tmp("req.jsonl"), {R"({"submit": 0})", R"({"submit": 1})"});
+  const auto dump = tmp("flight.json");
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "titanv",
+                          "--inject-faults", "launch:after=1",
+                          "--fail-policy", "abort", "--flight-out", dump});
+  EXPECT_EQ(r.code, 4);
+  // The SNPRT token must stay the first stderr token (exit contract);
+  // the flight note follows it.
+  EXPECT_EQ(r.err.rfind("error: [SNPRT-LAUNCH]", 0), 0U) << r.err;
+  EXPECT_NE(r.err.find("flight: wrote " + dump), std::string::npos)
+      << r.err;
+
+  // The failed request's trace id, from its own report line.
+  const auto line = r.out.find("req 0: error [SNPRT-LAUNCH]");
+  ASSERT_NE(line, std::string::npos) << r.out;
+  const auto tpos = r.out.find("trace=", line);
+  ASSERT_NE(tpos, std::string::npos) << r.out;
+  const auto tend =
+      r.out.find_first_not_of("0123456789", tpos + 6);
+  const std::string trace = r.out.substr(tpos + 6, tend - (tpos + 6));
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NE(trace, "0");
+
+  std::ifstream is(dump);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"flight\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reason\": \"fault: SNPRT-LAUNCH\""),
+            std::string::npos)
+      << json;
+  // The fault event carries the batch root's (= failed request's) trace
+  // id and the named code.
+  EXPECT_NE(json.find("\"kind\": \"fault\", \"trace\": " + trace),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"code\": \"SNPRT-LAUNCH\""), std::string::npos)
+      << json;
+  // Both requests resolved (exactly-once even on failure): resolve
+  // events made it into the ring before the dump.
+  EXPECT_NE(json.find("\"kind\": \"resolve\""), std::string::npos) << json;
+}
+
+TEST(ServeCli, OnDemandFlightDumpAndRequestTraceIds) {
+  if (!obs::kEnabled) GTEST_SKIP() << "flight recorder compiled out";
+  const Fixture f;
+  const auto script = write_script(
+      tmp("req.jsonl"),
+      {R"({"submit": 0})", R"({"submit": 1})", R"({"barrier": true})",
+       R"({"submit": 0})"});
+  const auto dump = tmp("flight.json");
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "cpu",
+                          "--flight-out", dump});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote flight recording ("), std::string::npos)
+      << r.out;
+  // Every request line names its trace id; ids are unique, including
+  // the cache hit (identity is per-request, the cached row is shared).
+  std::vector<std::string> traces;
+  for (std::size_t req = 0; req < 3; ++req) {
+    const auto line = r.out.find("req " + std::to_string(req) + ": ");
+    ASSERT_NE(line, std::string::npos) << r.out;
+    const auto tpos = r.out.find("trace=", line);
+    ASSERT_NE(tpos, std::string::npos) << r.out;
+    const auto tend = r.out.find_first_not_of("0123456789", tpos + 6);
+    traces.push_back(r.out.substr(tpos + 6, tend - (tpos + 6)));
+    EXPECT_NE(traces.back(), "0");
+    EXPECT_NE(traces.back(), "");
+  }
+  EXPECT_NE(traces[0], traces[1]);
+  EXPECT_NE(traces[0], traces[2]);
+
+  std::ifstream is(dump);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"reason\": \"on-demand\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"kind\": \"enqueue\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\": \"cache-hit\", \"trace\": " + traces[2]),
+            std::string::npos)
+      << json;
+}
+
+TEST(ServeCli, SloObjectiveReportsBurnAndExemplar) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SLO monitor compiled out";
+  const Fixture f;
+  const auto script = write_script(
+      tmp("req.jsonl"), {R"({"submit": 0, "count": 4})"});
+  // Unmeetable objective: every completion breaches, the monitor trips,
+  // and the exemplar names a real request.
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "cpu",
+                          "--slo-ms", "0.000001"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("slo:         objective=1e-06 ms breaches=4/4"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find(" trips=1"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("slo:         exemplar trace="), std::string::npos)
+      << r.out;
+
+  // A generous objective reports zero breaches and no trips.
+  const auto ok = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                           "--script", script, "--device", "cpu",
+                           "--slo-ms", "60000"});
+  ASSERT_EQ(ok.code, 0) << ok.err;
+  EXPECT_NE(ok.out.find("breaches=0/4"), std::string::npos) << ok.out;
+  EXPECT_NE(ok.out.find(" trips=0"), std::string::npos) << ok.out;
 }
 
 TEST(ServeCli, DegradePolicyRecoversWithExitZero) {
@@ -304,6 +434,7 @@ TEST(ServeCli, PerRequestPolicySplitsBatches) {
 }
 
 TEST(ServeCli, MetricsDumpIncludesServiceCounters) {
+  if (!obs::kEnabled) GTEST_SKIP() << "metrics registry compiled out";
   const Fixture f;
   const std::string metrics = tmp("metrics.json");
   const auto script =

@@ -53,7 +53,10 @@ assert "exec.pool.queue_depth" in metrics["gauge_peaks"], "no pool gauges"
 trace = json.load(open(sys.argv[2]))
 pids = {ev["pid"] for ev in trace}
 assert {1, 2} <= pids, f"merged trace missing host tracks: {pids}"
-assert all(ev["ph"] in ("M", "X") for ev in trace)
+# Slices + metadata plus the request-flow dialect: instants ("i") and
+# flow records ("s"/"t"/"f") chained by id (docs/observability.md).
+assert all(ev["ph"] in ("M", "X", "i", "s", "t", "f") for ev in trace)
+assert all("id" in ev for ev in trace if ev["ph"] in ("s", "t", "f"))
 print(f"telemetry smoke ok: {len(metrics['counters'])} counters, "
       f"{len(trace)} trace events, pids {sorted(pids)}")
 EOF
@@ -104,6 +107,44 @@ grep -q 'SNPRT-LAUNCH' "$smoke/abort.err" || {
   echo "abort stderr lacks the stable SNPRT-LAUNCH code"; exit 1; }
 echo "fault-injection smoke ok: degrade bit-identical, abort exits 4"
 
+echo "== flight-recorder smoke (fault-path dump golden) =="
+# docs/observability.md: a fault-injected serve with --flight-out must
+# exit 4 with the SNPRT code leading stderr, note the dump it wrote, and
+# the dump must be valid JSON naming the code and the failed request's
+# trace id (the same id printed on its `req N:` line).
+printf '{"submit": 0}\n{"submit": 1}\n' > "$smoke/req.jsonl"
+set +e
+./build/tools/snpcmp serve --db "$smoke/db.sbm" --queries "$smoke/q.sbm" \
+  --script "$smoke/req.jsonl" --device titanv \
+  --inject-faults 'launch:after=1' --fail-policy abort \
+  --flight-out "$smoke/flight.json" \
+  > "$smoke/serve.out" 2> "$smoke/serve.err"
+rc=$?
+set -e
+[[ $rc -eq 4 ]] || { echo "fault serve exited $rc, want 4"; exit 1; }
+head -1 "$smoke/serve.err" | grep -q '^error: \[SNPRT-LAUNCH\]' || {
+  echo "SNPRT code does not lead stderr"; exit 1; }
+grep -q "flight: wrote $smoke/flight.json" "$smoke/serve.err" || {
+  echo "stderr lacks the flight-dump note"; exit 1; }
+python3 - "$smoke/flight.json" "$smoke/serve.out" <<'EOF'
+import json, re, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["flight"] == 1, "bad schema marker"
+assert doc["reason"] == "fault: SNPRT-LAUNCH", doc["reason"]
+kinds = {ev["kind"] for ev in doc["events"]}
+assert {"enqueue", "batch", "fault", "resolve"} <= kinds, kinds
+faults = [ev for ev in doc["events"] if ev["kind"] == "fault"]
+assert any(ev.get("code") == "SNPRT-LAUNCH" for ev in faults), faults
+out = open(sys.argv[2]).read()
+m = re.search(r"req 0: error \[SNPRT-LAUNCH\].* trace=(\d+)", out)
+assert m, f"no traced failure line in:\n{out}"
+trace = int(m.group(1))
+assert any(ev["trace"] == trace for ev in faults), \
+    f"fault events {faults} lack failed request trace {trace}"
+print(f"flight dump ok: {len(doc['events'])} events, fault named and "
+      f"correlated to request trace {trace}")
+EOF
+
 echo "== bench_compare self-test (regression-gate fixtures) =="
 tools/bench_compare --self-test
 
@@ -148,11 +189,15 @@ echo "== TSan build + exec/conformance/obs/fault/service tests =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" \
   --target test_exec test_async_conformance test_obs test_fault_injection \
-           test_service
+           test_service test_flight test_tracing
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_exec
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_async_conformance
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_obs
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_fault_injection
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_service
+# The flight-recorder seqlock soak (concurrent writers + dumper) and the
+# trace-context propagation suite are the PR-7 concurrency surface.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_flight
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_tracing
 
 echo "== all checks passed =="

@@ -29,6 +29,7 @@ benches=(
   abl_double_buffer
   abl_dram_contention
   abl_multigpu
+  abl_obs_overhead
   abl_occupancy
   abl_roofline
   abl_service
