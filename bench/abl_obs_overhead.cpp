@@ -20,11 +20,20 @@
 // scheduler drift between the blocks (±8% swings either direction), not
 // the nanosecond-scale appends; pairing cancels the drift.
 //
+// PR 8 adds a second always-on path: the per-request cost ledger
+// (obs::CostLedger), which attributes every executed batch's totals to
+// its member requests (integer splits + one mutex-guarded append per
+// batch, plus the per-request queue/service clock reads). A second
+// paired A/B arm prices it the same way — attribution on vs the
+// runtime kill switch (CostLedger::set_attribution_enabled(false)) —
+// with the flight recorder at its production default (on) in both arms,
+// so each arm isolates exactly one knob.
+//
 // Reported: per-arm drain wall time and the paired overhead percentage
-// with its CI. The acceptance gate for the PR is overhead < 2%; the
-// bench reports rather than hard-fails, because on a noisy CI host the
-// CI half-widths tell the real story — compare the intervals before
-// believing a single percentage.
+// with its CI. The acceptance gate for the PR is overhead < 2% (each
+// arm); the bench reports rather than hard-fails, because on a noisy CI
+// host the CI half-widths tell the real story — compare the intervals
+// before believing a single percentage.
 //
 // SNP_ABL_SERVICE_QUERIES / SNP_ABL_SERVICE_PROFILES override the
 // offered load, matching abl_service.
@@ -37,6 +46,7 @@
 
 #include "bench_util.hpp"
 #include "io/datagen.hpp"
+#include "obs/cost.hpp"
 #include "obs/obs.hpp"
 #include "svc/service.hpp"
 
@@ -181,5 +191,64 @@ int main(int argc, char** argv) {
               "straddling 0 means the appends\n   vanished under request "
               "work.)\n\n",
               over.median, over.ci_lo, over.ci_hi, on_s.size());
+
+  // ---- arm 2: per-request cost ledger (attribution on vs off) ----
+  // Same paired-interleaved protocol; the flight recorder stays at its
+  // production default (on) in both arms so this isolates only the
+  // ledger: per-batch quantize + split_exact + mutex append, and the
+  // per-request wall-clock bookkeeping in the accounting loop.
+  const auto timed_ledger = [&](bool ledger_on, std::uint64_t* checksum) {
+    obs::CostLedger::set_attribution_enabled(ledger_on);
+    const double s = rep(checksum);
+    obs::CostLedger::set_attribution_enabled(true);  // production default
+    return s;
+  };
+
+  std::vector<double> lon_s, loff_s, lover_pct;
+  std::uint64_t lon_sum = 0, loff_sum = 0;
+  bool lchecksum_ok = true;
+  const auto lloop0 = std::chrono::steady_clock::now();
+  for (std::size_t pair = 0;; ++pair) {
+    double a = 0.0, b = 0.0;
+    if (pair % 2 == 0) {
+      a = timed_ledger(true, &lon_sum);
+      b = timed_ledger(false, &loff_sum);
+    } else {
+      b = timed_ledger(false, &loff_sum);
+      a = timed_ledger(true, &lon_sum);
+    }
+    lchecksum_ok = lchecksum_ok && lon_sum == loff_sum;
+    lon_s.push_back(a);
+    loff_s.push_back(b);
+    lover_pct.push_back((a / b - 1.0) * 100.0);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      lloop0)
+            .count();
+    if (pair + 1 >= policy.min_reps &&
+        (pair + 1 >= policy.max_reps || elapsed >= policy.time_budget_s)) {
+      break;
+    }
+  }
+
+  const obs::Summary lon = obs::summarize(lon_s, policy);
+  const obs::Summary loff = obs::summarize(loff_s, policy);
+  const obs::Summary lover = obs::summarize(lover_pct, policy);
+
+  const Row lrows[] = {{"ledger-on", &lon, lover.median},
+                       {"ledger-off", &loff, 0.0}};
+  for (const Row& r : lrows) {
+    const double qps = static_cast<double>(n_queries) / r.wall->median;
+    std::printf("  %-12s %s %9.0f %9.2f%%%s\n", r.name,
+                bench::fmt_summary(*r.wall).c_str(), qps, r.overhead_pct,
+                lchecksum_ok ? "" : "  CHECKSUM MISMATCH");
+    csv.row(r.name, *r.wall, qps, r.overhead_pct);
+    json.row(r.name, *r.wall, qps, r.overhead_pct);
+  }
+
+  std::printf("\n  per-request cost ledger overhead: %+.2f%% "
+              "(paired CI [%+.2f%%, %+.2f%%] over %zu pairs; acceptance "
+              "gate: < 2%%)\n\n",
+              lover.median, lover.ci_lo, lover.ci_hi, lon_s.size());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <optional>
 #include <set>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "analyze/analyzer.hpp"
@@ -21,6 +22,7 @@
 #include "io/vcf_lite.hpp"
 #include "kern/opencl_source.hpp"
 #include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "rt/fault.hpp"
 #include "rt/recovery.hpp"
 #include "rt/status.hpp"
@@ -896,7 +898,57 @@ int cmd_subset(Options& opt, std::ostream& out) {
   return 0;
 }
 
+/// `snpcmp report --trace T --metrics M [--cost C]`: offline pipeline
+/// bottleneck analysis over the artifacts a run already wrote (see
+/// obs::analyze_pipeline / docs/observability.md). Deterministic: same
+/// input files, same report bytes.
+int cmd_report_pipeline(Options& opt, std::ostream& out) {
+  const std::string trace_path = opt.require("trace");
+  const std::string metrics_path = opt.require("metrics");
+  const std::string cost_path = opt.str("cost", "");
+  const std::string out_path = opt.str("out", "");
+  obs::ReportOptions ropts;
+  ropts.top_n = opt.num("top", 5);
+  ropts.littles_tolerance = opt.real("littles-tol", 0.10);
+  opt.reject_unknown();
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream is(path);
+    if (!is) {
+      throw std::runtime_error("report: cannot open " + path);
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+  };
+  const obs::jsonlite::Value trace = obs::jsonlite::parse(slurp(trace_path));
+  const obs::jsonlite::Value metrics =
+      obs::jsonlite::parse(slurp(metrics_path));
+  std::optional<obs::jsonlite::Value> cost;
+  if (!cost_path.empty()) {
+    cost = obs::jsonlite::parse(slurp(cost_path));
+  }
+  const obs::PipelineReport rep = obs::analyze_pipeline(
+      trace, metrics, cost ? &*cost : nullptr, ropts);
+  if (out_path.empty()) {
+    obs::write_pipeline_report(rep, out);
+  } else {
+    std::ofstream os(out_path);
+    if (!os) {
+      throw std::runtime_error("report: cannot open " + out_path);
+    }
+    obs::write_pipeline_report(rep, os);
+    out << "wrote pipeline report to " << out_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_report(Options& opt, std::ostream& out) {
+  // --trace selects the pipeline-bottleneck mode; the original cohort
+  // report (--in/--out) is unchanged.
+  if (!opt.str("trace", "").empty()) {
+    return cmd_report_pipeline(opt, out);
+  }
   const std::string in = opt.require("in");
   const std::string out_path = opt.require("out");
   const std::string format = opt.str("format", "auto");
@@ -1292,6 +1344,44 @@ void print_service_report(std::ostream& out, const svc::ServiceEngine& eng) {
   }
 }
 
+/// The deterministic "cost:" report block: ledger totals over the run.
+/// Counts and bytes/word-ops are pure functions of a scripted workload
+/// (CI-golden); attributed times are kept off these lines because the
+/// degrade rung adds measured wall clock to them. Silent when the ledger
+/// is empty (SNPCMP_OBS=OFF or attribution disabled).
+void print_cost_report(std::ostream& out, const svc::ServiceEngine& eng) {
+  const obs::CostSnapshot cs = eng.cost();
+  if (cs.total_requests == 0 && cs.batches.empty()) {
+    return;
+  }
+  out << "cost:        requests=" << cs.total_requests << " cache-hits="
+      << cs.cache_hits << " batches=" << cs.batches.size() << " dropped="
+      << cs.dropped_requests << "\n"
+      << "cost:        h2d=" << cs.h2d_bytes << " B d2h=" << cs.d2h_bytes
+      << " B wordops=" << cs.wordops << "\n";
+  if (cs.retries > 0 || cs.failovers > 0 || cs.degraded_batches > 0) {
+    out << "cost:        retries=" << cs.retries << " failovers="
+        << cs.failovers << " degraded-batches=" << cs.degraded_batches
+        << "\n";
+  }
+}
+
+/// Shared `--cost-out F.json` handling for serve/submit: writes the
+/// engine ledger's deterministic JSON document after the report blocks.
+void write_cost_out(std::ostream& out, const svc::ServiceEngine& eng,
+                    const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open cost file " + path);
+  }
+  eng.write_cost_json(os);
+  out << "wrote cost ledger (" << eng.cost().total_requests
+      << " requests) to " << path << "\n";
+}
+
 /// Resolves every scripted request in submission order, prints its stable
 /// per-request line, and returns the first batch failure (the CLI rethrows
 /// it after the report so the SNPRT-* exit-4 contract holds end to end).
@@ -1360,6 +1450,7 @@ int cmd_serve(Options& opt, std::ostream& out) {
   const std::string dbpath = opt.require("db");
   const std::string qpath = opt.require("queries");
   const std::string script_path = opt.require("script");
+  const std::string cost_path = opt.str("cost-out", "");
   svc::ServiceConfig cfg = parse_service_config(opt);
   const Telemetry tele(opt);
   FaultControl faults(opt);
@@ -1427,6 +1518,8 @@ int cmd_serve(Options& opt, std::ostream& out) {
 
   const std::exception_ptr first_error = print_request_lines(out, reqs);
   print_service_report(out, engine);
+  print_cost_report(out, engine);
+  write_cost_out(out, engine, cost_path);
   tele.finish(out, nullptr, {}, cfg.device);
   if (first_error) std::rethrow_exception(first_error);
   return 0;
@@ -1438,6 +1531,7 @@ int cmd_serve(Options& opt, std::ostream& out) {
 int cmd_submit(Options& opt, std::ostream& out) {
   const std::string dbpath = opt.require("db");
   const std::string qpath = opt.require("queries");
+  const std::string cost_path = opt.str("cost-out", "");
   svc::ServiceConfig cfg = parse_service_config(opt);
   const Telemetry tele(opt);
   FaultControl faults(opt);
@@ -1459,6 +1553,8 @@ int cmd_submit(Options& opt, std::ostream& out) {
 
   const std::exception_ptr first_error = print_request_lines(out, reqs);
   print_service_report(out, engine);
+  print_cost_report(out, engine);
+  write_cost_out(out, engine, cost_path);
   tele.finish(out, nullptr, {}, cfg.device);
   if (first_error) std::rethrow_exception(first_error);
   return 0;
@@ -1519,6 +1615,13 @@ commands:
   report    --in F --out R.md   markdown cohort report (QC + kinship +
             optional association + projected device performance)
             [--cases L] [--device D] [--format auto|plink|vcf]
+  report    --trace T.json --metrics M.json
+            pipeline bottleneck analysis over a run's telemetry
+            artifacts: per-stage utilization, overlap and coalescing
+            efficiency, queue-wait decomposition, Little's-law
+            consistency check, top-N most expensive requests
+            [--cost C.json: cost ledger for the top-N section]
+            [--top N] [--littles-tol X] [--out R.txt]
   estimate  [--m N] [--n N] [--kbits N] [--op and|xor|andnot]
             [--device D] [--no-init yes|no] [--trace F.json]
             [telemetry flags]
@@ -1532,6 +1635,8 @@ commands:
             [--admission reject|block] [--cache N] [--threads N]
             [--slo-ms X: latency objective for the burn-rate monitor;
             a breach dumps the flight recorder]
+            [--cost-out F.json: per-request cost ledger (exact batch-
+            cost shares by gamma-row ownership; docs/observability.md)]
             [fault-tolerance flags] [telemetry flags]
   submit    --db F.sbm --queries F.sbm
             one-shot service submission: every query row becomes one

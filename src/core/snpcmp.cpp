@@ -186,6 +186,7 @@ TimingReport Context::estimate(std::size_t m, std::size_t n,
     t.kernel_s = sim::cpu_kernel_seconds(model::xeon_e5_2620v2(), wordops);
     t.end_to_end_s = t.kernel_s;
     t.kernel_gops = wordops / t.kernel_s / 1e9;
+    t.wordops = static_cast<std::uint64_t>(m) * n * k_words;
     t.chunks = 1;
     return t;
   }
@@ -215,6 +216,9 @@ TimingReport Context::estimate(std::size_t m, std::size_t n,
   double attainable_weighted = 0.0;
   double memory_bound_s = 0.0;
   double total_kernel_s = 0.0;
+  std::uint64_t h2d_bytes = plan.resident_bytes;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t wordops_exact = 0;
   int active_cores = 0;
   for (std::size_t row0 = 0; row0 < plan.stream_rows;
        row0 += plan.chunk_rows) {
@@ -228,6 +232,10 @@ TimingReport Context::estimate(std::size_t m, std::size_t n,
         sim::roofline_for(dev, cfg, op, shape, cfg.pre_negated);
     chunks.push_back({rows * plan.stream_row_bytes, kt.seconds,
                       rows * plan.c_row_bytes});
+    h2d_bytes += rows * plan.stream_row_bytes;
+    d2h_bytes += rows * plan.c_row_bytes;
+    wordops_exact +=
+        static_cast<std::uint64_t>(shape.m) * shape.n * shape.k_words;
     total_kernel_s += kt.seconds;
     kernel_gops_weighted += kt.gops * kt.seconds;
     pct_weighted += kt.pct_of_peak * kt.seconds;
@@ -258,6 +266,9 @@ TimingReport Context::estimate(std::size_t m, std::size_t n,
   t.h2d_s = tl.h2d_seconds;
   t.kernel_s = total_kernel_s;
   t.d2h_s = tl.d2h_seconds;
+  t.h2d_bytes = h2d_bytes;
+  t.d2h_bytes = d2h_bytes;
+  t.wordops = wordops_exact;
   t.end_to_end_s = tl.total_seconds;
   t.chunks = static_cast<int>(chunks.size()) - 1;
   t.active_cores = active_cores;
@@ -332,6 +343,11 @@ CompareResult Context::compare(const BitMatrix& a, const BitMatrix& b,
         } else {
           part = cpu::compare_blocked(cpu_a, cpu_b, op);
         }
+        // The host rung really popcounts the remainder; the cost ledger
+        // should see that work even though no device kernel ran it.
+        result.timing.wordops +=
+            static_cast<std::uint64_t>(cpu_a.rows()) * cpu_b.rows() *
+            bits::ceil_div(a.bit_cols(), bits::kBitsPerWord32);
         if (options.chunk_callback) {
           options.chunk_callback(
               ComputeOptions::ChunkView{delivered, sb, part});
@@ -384,6 +400,9 @@ CompareResult Context::compare_cpu(const BitMatrix& a, const BitMatrix& b,
                          static_cast<double>(bits::ceil_div(
                              a.bit_cols(), bits::kBitsPerWord32));
   SNP_OBS_COUNT("core.kernel.wordops", wordops);
+  result.timing.wordops =
+      static_cast<std::uint64_t>(a.rows()) * b.rows() *
+      bits::ceil_div(a.bit_cols(), bits::kBitsPerWord32);
   if (options.functional) {
     const auto t0 = std::chrono::steady_clock::now();
     bits::CountMatrix counts;
@@ -509,6 +528,7 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
               raw.size_bytes()));
     });
     result.timing.h2d_s += ev.duration();
+    result.timing.h2d_bytes += raw.size_bytes();
     SNP_OBS_COUNT("core.h2d.bytes", raw.size_bytes());
   }
 
@@ -615,6 +635,7 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
                     raw.size_bytes()));
           });
       result.timing.h2d_s += ev.duration();
+      result.timing.h2d_bytes += raw.size_bytes();
       SNP_OBS_COUNT("core.compare.chunks", 1);
       SNP_OBS_COUNT("core.h2d.bytes", raw.size_bytes());
       cev.h2d_start = ev.start;
@@ -632,6 +653,8 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
                   static_cast<double>(shape.m) *
                       static_cast<double>(shape.n) *
                       static_cast<double>(shape.k_words));
+    result.timing.wordops +=
+        static_cast<std::uint64_t>(shape.m) * shape.n * shape.k_words;
     cl::Buffer* reads[] = {resident_buf.get(), stream_bufs[slot].get()};
     cl::Buffer* writes[] = {c_bufs[slot].get()};
     std::function<void()> functional;
@@ -780,6 +803,7 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
               std::span<std::byte>(readback.data(), readback.size()));
         });
     result.timing.d2h_s += evr.duration();
+    result.timing.d2h_bytes += readback.size();
     SNP_OBS_COUNT("core.d2h.bytes", readback.size());
     cev.d2h_start = evr.start;
     cev.d2h_end = evr.end;
@@ -935,6 +959,9 @@ Context::GenotypeLdResult Context::genotype_ld(
     out.timing.kernel_s += r->timing.kernel_s;
     out.timing.d2h_s += r->timing.d2h_s;
     out.timing.end_to_end_s += r->timing.end_to_end_s;
+    out.timing.h2d_bytes += r->timing.h2d_bytes;
+    out.timing.d2h_bytes += r->timing.d2h_bytes;
+    out.timing.wordops += r->timing.wordops;
     out.timing.chunks += r->timing.chunks;
   }
 

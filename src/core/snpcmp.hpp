@@ -123,6 +123,15 @@ struct TimingReport {
   /// the device's ridge point (under the memory roof, sim/roofline.hpp).
   bool memory_bound = false;
   double overlap_hidden_s = 0.0;  ///< transfer time hidden under compute
+  /// Exact integer transfer/compute totals for cost attribution
+  /// (obs::CostLedger): bytes enqueued host->device / device->host and
+  /// 32-bit words popcounted. Mirrors of the core.h2d.bytes /
+  /// core.d2h.bytes / core.kernel.wordops counters, but per-run instead
+  /// of process-wide — integer so per-request shares can sum back
+  /// bit-identically.
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t wordops = 0;
   int chunks = 0;
   int active_cores = 0;
   std::string device;

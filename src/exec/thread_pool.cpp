@@ -16,6 +16,7 @@ namespace {
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  last_queue_change_ = std::chrono::steady_clock::now();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -66,6 +67,9 @@ void ThreadPool::post(std::function<void()> task) {
   }
   {
     const std::lock_guard lock(mu_);
+    if constexpr (obs::kEnabled) {
+      note_queue_transition(item.enqueued);
+    }
     queue_.push_back(std::move(item));
     SNP_OBS_GAUGE_SET("exec.pool.queue_depth",
                       static_cast<std::int64_t>(queue_.size()));
@@ -92,6 +96,22 @@ void ThreadPool::clear_error() {
   failed_ = 0;
 }
 
+void ThreadPool::note_queue_transition(
+    std::chrono::steady_clock::time_point now) {
+  if (now < last_queue_change_) {
+    return;  // a poster's pre-lock timestamp may race an earlier pop
+  }
+  depth_time_ns_ +=
+      static_cast<std::uint64_t>(queue_.size()) *
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - last_queue_change_)
+              .count());
+  last_queue_change_ = now;
+  SNP_OBS_GAUGE_SET("exec.pool.queue_depth_time_us",
+                    depth_time_ns_ / 1000);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     QueuedTask task;
@@ -100,6 +120,9 @@ void ThreadPool::worker_loop() {
       cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // stop_ set and the queue fully drained
+      }
+      if constexpr (obs::kEnabled) {
+        note_queue_transition(std::chrono::steady_clock::now());
       }
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -148,6 +149,11 @@ class ThreadPool {
   };
 
   void worker_loop();
+  /// Caller holds mu_. Accrues the queue-depth time integral up to `now`
+  /// (before the queue mutates) and republishes the
+  /// "exec.pool.queue_depth_time_us" gauge — the pool-side Little's-law
+  /// anchor, mirroring the service queue's svc.queue.depth_time_us.
+  void note_queue_transition(std::chrono::steady_clock::time_point now);
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;   ///< workers wait here for tasks
@@ -158,6 +164,9 @@ class ThreadPool {
   bool stop_ = false;
   std::exception_ptr first_error_;  ///< first pooled-task throw (sticky)
   std::size_t failed_ = 0;          ///< pooled tasks that threw
+  /// Queue-depth time integral state (note_queue_transition).
+  std::uint64_t depth_time_ns_ = 0;
+  std::chrono::steady_clock::time_point last_queue_change_;
 };
 
 }  // namespace snp::exec

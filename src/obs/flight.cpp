@@ -1,6 +1,8 @@
 #include "obs/flight.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
@@ -17,13 +19,33 @@ std::size_t round_up_pow2(std::size_t n) {
   return p;
 }
 
-std::size_t configured_capacity() {
-  if (const char* env = std::getenv("SNPCMP_FLIGHT_RING")) {
-    const auto n = std::strtoull(env, nullptr, 10);
-    if (n >= 16) {
-      return round_up_pow2(static_cast<std::size_t>(n));
-    }
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\n' || s.front() == '\r')) {
+    s.remove_prefix(1);
   }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\n' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::size_t configured_capacity() {
+  const char* env = std::getenv("SNPCMP_FLIGHT_RING");
+  if (env == nullptr) {
+    return FlightRecorder::kDefaultCapacity;
+  }
+  if (const auto cap = parse_flight_ring(env)) {
+    return *cap;
+  }
+  // Documented fallback: never throw over an env var — the recorder is
+  // constructed lazily on a serving path's first record().
+  std::fprintf(stderr,
+               "snpcmp: ignoring invalid SNPCMP_FLIGHT_RING='%s' "
+               "(expected an integer in [16, %zu]); using default %zu\n",
+               env, FlightRecorder::kMaxCapacity,
+               FlightRecorder::kDefaultCapacity);
   return FlightRecorder::kDefaultCapacity;
 }
 
@@ -282,13 +304,34 @@ std::string FlightRecorder::auto_dump(std::string_view reason) const {
   std::string path = dump_path();
   if (path.empty()) {
     if (const char* env = std::getenv("SNPCMP_FLIGHT_OUT")) {
-      path = env;
+      // Blank (empty or whitespace-only) values are treated as unset:
+      // `SNPCMP_FLIGHT_OUT= snpcmp ...` and stray-space exports must not
+      // produce a dump file named " ".
+      path = std::string(trim(env));
     }
   }
   if (path.empty()) {
     return {};
   }
   return dump_to_file(path, reason) ? path : std::string{};
+}
+
+std::optional<std::size_t> parse_flight_ring(std::string_view text) {
+  const std::string_view t = trim(text);
+  if (t.empty()) {
+    return std::nullopt;
+  }
+  std::uint64_t n = 0;
+  const char* begin = t.data();
+  const char* end = begin + t.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, n, 10);
+  if (ec != std::errc{} || ptr != end) {
+    return std::nullopt;  // non-digits, trailing garbage, sign, overflow
+  }
+  if (n < 16 || n > FlightRecorder::kMaxCapacity) {
+    return std::nullopt;
+  }
+  return round_up_pow2(static_cast<std::size_t>(n));
 }
 
 void FlightRecorder::clear() {

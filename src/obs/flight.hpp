@@ -33,6 +33,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -77,7 +78,13 @@ class FlightRecorder {
   /// Default per-thread ring capacity (records). Overridable at first
   /// use via SNPCMP_FLIGHT_RING (rounded up to a power of two); at 48
   /// bytes per slot the default ring is ~96 KiB per recording thread.
+  /// An unparsable or out-of-range value falls back to this default
+  /// with a one-line stderr warning (see parse_flight_ring).
   static constexpr std::size_t kDefaultCapacity = 2048;
+  /// Largest capacity SNPCMP_FLIGHT_RING may request (per thread; 16M
+  /// slots = 768 MiB/thread — past any plausible diagnostic need, and a
+  /// guard against a byte count pasted where a record count goes).
+  static constexpr std::size_t kMaxCapacity = 1ULL << 24U;
 
   [[nodiscard]] static FlightRecorder& global();
   FlightRecorder();
@@ -149,5 +156,16 @@ class FlightRecorder {
   std::atomic<CodeNamer> namer_{nullptr};
   std::string dump_path_;
 };
+
+/// Strict SNPCMP_FLIGHT_RING parser: accepts a base-10 record count in
+/// [16, FlightRecorder::kMaxCapacity] with optional surrounding
+/// whitespace, and returns it rounded up to a power of two. Everything
+/// else — empty/blank text, non-digits, trailing garbage ("4096x",
+/// "1e4"), signs, out-of-range or overflowing values — returns nullopt,
+/// which the recorder maps to kDefaultCapacity plus a one-line stderr
+/// warning (never a throw: a bad env var must not take down a serving
+/// process at first record()).
+[[nodiscard]] std::optional<std::size_t> parse_flight_ring(
+    std::string_view text);
 
 }  // namespace snp::obs

@@ -204,6 +204,45 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+/// Renders a double per the exposition format: non-finite values must be
+/// spelled NaN / +Inf / -Inf (ostream's "nan"/"inf" are not valid
+/// Prometheus sample values).
+void prom_number(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0.0 ? "+Inf" : "-Inf");
+  } else {
+    os << v;
+  }
+}
+
+/// `# HELP` text escaping: backslash and newline only (quotes are legal
+/// in help text, unlike label values).
+std::string prom_escape_help(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '\\') {
+      out += "\\\\";
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+/// One family header: `# HELP` first, `# TYPE` second (the exposition
+/// format requires HELP to precede TYPE when both are present).
+void prom_family(std::ostream& os, const std::string& p,
+                 const std::string& source_name, const char* type) {
+  os << "# HELP " << p << " "
+     << prom_escape_help("snpcmp registry metric " + source_name) << "\n"
+     << "# TYPE " << p << " " << type << "\n";
+}
+
 }  // namespace
 
 void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os) {
@@ -253,34 +292,69 @@ void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os) {
   os << "\n  }\n}\n";
 }
 
+std::string prom_escape_label(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '\\') {
+      out += "\\\\";
+    } else if (ch == '"') {
+      out += "\\\"";
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
 void write_metrics_prometheus(const MetricsSnapshot& snap,
-                              std::ostream& os) {
+                              const EnvInfo& env, std::ostream& os) {
+  // Provenance as labels on a constant-1 gauge — the standard
+  // build_info join-key idiom; env strings are uncontrolled, so every
+  // label value goes through prom_escape_label.
+  os << "# HELP snpcmp_build_info execution environment of this process\n"
+     << "# TYPE snpcmp_build_info gauge\n"
+     << "snpcmp_build_info{compiler=\"" << prom_escape_label(env.compiler)
+     << "\",git_sha=\"" << prom_escape_label(env.git_sha) << "\",host=\""
+     << prom_escape_label(env.hostname) << "\",kernel=\""
+     << prom_escape_label(env.kernel) << "\",cpu=\""
+     << prom_escape_label(env.cpu_model) << "\"} 1\n";
   for (const auto& [name, value] : snap.counters) {
     const std::string p = prom_name(name);
-    os << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+    prom_family(os, p, name, "counter");
+    os << p << " " << value << "\n";
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string p = prom_name(name);
-    os << "# TYPE " << p << " gauge\n" << p << " " << value << "\n";
+    prom_family(os, p, name, "gauge");
+    os << p << " " << value << "\n";
     const auto peak = snap.gauge_peaks.find(name);
     if (peak != snap.gauge_peaks.end()) {
-      os << "# TYPE " << p << "_peak gauge\n"
-         << p << "_peak " << peak->second << "\n";
+      prom_family(os, p + "_peak", name + " high-water mark", "gauge");
+      os << p << "_peak " << peak->second << "\n";
     }
   }
   for (const auto& [name, h] : snap.histograms) {
     const std::string p = prom_name(name);
-    os << "# TYPE " << p << " histogram\n";
+    prom_family(os, p, name, "histogram");
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.counts[i];
-      os << p << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
-         << "\n";
+      os << p << "_bucket{le=\"";
+      prom_number(os, h.bounds[i]);
+      os << "\"} " << cumulative << "\n";
     }
-    os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n"
-       << p << "_sum " << h.sum << "\n"
-       << p << "_count " << h.count << "\n";
+    os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n" << p << "_sum ";
+    prom_number(os, h.sum);
+    os << "\n" << p << "_count " << h.count << "\n";
   }
+}
+
+void write_metrics_prometheus(const MetricsSnapshot& snap,
+                              std::ostream& os) {
+  write_metrics_prometheus(snap, collect_env_info(), os);
 }
 
 }  // namespace snp::obs

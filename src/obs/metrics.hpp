@@ -33,6 +33,8 @@
 
 namespace snp::obs {
 
+struct EnvInfo;
+
 /// Monotonic event/byte/op count.
 class Counter {
  public:
@@ -176,9 +178,23 @@ class MetricsRegistry {
 /// HistogramView::percentile_le), hence the explicit "approx" flag.
 void write_metrics_json(const MetricsSnapshot& snap, std::ostream& os);
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote, and newline become \\, \", and \n. Used for
+/// the snpcmp_build_info labels (env strings are uncontrolled input).
+[[nodiscard]] std::string prom_escape_label(std::string_view s);
+
 /// Prometheus text exposition format (metric names sanitized to
 /// [a-zA-Z0-9_] with a "snpcmp_" prefix; histograms as cumulative
-/// _bucket{le=...} series plus _count and _sum).
+/// _bucket{le=...} series plus _count and _sum). Conformance details
+/// pinned by tests/test_obs.cpp:
+///  * every family emits `# HELP` then `# TYPE` then its samples;
+///  * non-finite values render as NaN / +Inf / -Inf (never inf/nan);
+///  * a snpcmp_build_info gauge (value 1) carries the environment as
+///    escaped labels — the standard join-key idiom for provenance.
+/// The two-argument form collects the live environment; pass EnvInfo
+/// explicitly for byte-stable output (golden tests).
 void write_metrics_prometheus(const MetricsSnapshot& snap, std::ostream& os);
+void write_metrics_prometheus(const MetricsSnapshot& snap,
+                              const EnvInfo& env, std::ostream& os);
 
 }  // namespace snp::obs

@@ -64,6 +64,24 @@ bool Deadline::expired(std::int64_t index) const {
   return wall_now_s() - start_s_ > seconds_;
 }
 
+ActionCounts count_actions(std::span<const FaultEvent> events) {
+  ActionCounts counts;
+  for (const FaultEvent& ev : events) {
+    if (ev.action == "retry") {
+      counts.retries++;
+    } else if (ev.action == "failover") {
+      counts.failovers++;
+    } else if (ev.action == "degrade") {
+      counts.degrades++;
+    } else if (ev.action == "abort") {
+      counts.aborts++;
+    } else if (ev.action == "exhausted") {
+      counts.exhausted++;
+    }
+  }
+  return counts;
+}
+
 Status status_from_exception(const std::exception& e) {
   if (const auto* err = dynamic_cast<const Error*>(&e))
     return err->status();

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -73,6 +74,21 @@ struct FaultEvent {
   std::string detail;        ///< human-readable cause (Error::what())
   std::uint64_t trace_id = 0;  ///< originating request (0 = none)
 };
+
+/// Tally of recovery actions over a run's fault events — the shape the
+/// cost ledger's retry/failover/degrade surcharges want (obs::CostLedger
+/// must not depend on rt, so svc folds these counts in).
+struct ActionCounts {
+  std::uint32_t retries = 0;
+  std::uint32_t failovers = 0;
+  std::uint32_t degrades = 0;
+  std::uint32_t aborts = 0;
+  std::uint32_t exhausted = 0;
+};
+
+/// Counts events by their recorded action string (unknown actions are
+/// ignored — forward compatibility over strictness).
+[[nodiscard]] ActionCounts count_actions(std::span<const FaultEvent> events);
 
 /// Thread-safe event sink shared by every retry scope of one run.
 class FaultLog {

@@ -91,6 +91,12 @@ struct ServiceEngine::Impl {
     std::uint64_t trace_id = 0;       ///< allocated at submit()
     rt::RecoveryOptions recovery;
     Clock::time_point submitted;
+    /// When the request entered the pending queue (after any admission
+    /// block) — the queue-wait clock starts here, not at submit().
+    Clock::time_point enqueued;
+    /// Filled at batch formation: enqueued -> formation, the per-request
+    /// side of the queue-depth time integral (Little's law).
+    std::uint64_t queue_wait_ns = 0;
     std::promise<QueryResult> promise;
   };
 
@@ -130,6 +136,11 @@ struct ServiceEngine::Impl {
       effective_op = bits::Comparison::kAnd;
     }
     db = std::make_shared<const bits::BitMatrix>(std::move(database));
+    last_queue_change = Clock::now();
+    // Published once so the offline analyzer can compute coalescing
+    // efficiency (achieved batch width / configured maximum) from a
+    // metrics snapshot alone.
+    SNP_OBS_GAUGE_SET("svc.config.max_batch_rows", cfg.max_batch_rows);
     dispatcher = std::thread([this] { dispatch_loop(); });
   }
 
@@ -190,7 +201,22 @@ struct ServiceEngine::Impl {
         qr.latency_s = seconds_between(submitted, Clock::now());
         completed_count++;
         latencies.push_back(qr.latency_s);
+        // A cache hit never queues: wait 0, the whole latency is service.
+        queue_waits.push_back(0.0);
+        service_times.push_back(qr.latency_s);
         SNP_OBS_OBSERVE("svc.request_latency_seconds", qr.latency_s);
+        SNP_OBS_OBSERVE("svc.queue.wait_seconds", 0.0);
+        SNP_OBS_OBSERVE("svc.service.time_seconds", qr.latency_s);
+        if constexpr (obs::kEnabled) {
+          qr.cost.trace_id = trace_id;
+          qr.cost.epoch = epoch;
+          qr.cost.cache_hit = true;
+          qr.cost.service_ns =
+              obs::quantize_cost_ns(qr.latency_s);
+          if (obs::CostLedger::attribution_enabled()) {
+            ledger.record_cache_hit(qr.cost);
+          }
+        }
         bool tripped = false;
         if constexpr (obs::kEnabled) {
           tripped = slo_mon.record(qr.latency_s, trace_id);
@@ -241,7 +267,9 @@ struct ServiceEngine::Impl {
     req.trace_id = trace_id;
     req.recovery = recovery.value_or(cfg.recovery);
     req.submitted = submitted;
+    req.enqueued = Clock::now();
     auto fut = req.promise.get_future();
+    note_queue_transition(req.enqueued);
     pending.push_back(std::move(req));
     peak_queue = std::max(peak_queue, pending.size());
     SNP_OBS_GAUGE_ADD("svc.queue_depth", 1);
@@ -314,6 +342,12 @@ struct ServiceEngine::Impl {
       batch->db = db;
       batch->epoch = epoch;
       batch->id = ++batch_counter;
+      // One formation timestamp for the whole batch: the depth integral
+      // accrues the open interval once, and every popped request's
+      // queue wait ends at this same instant — so the integral equals
+      // the sum of waits identically (the Little's-law cross-check).
+      const auto formed = Clock::now();
+      note_queue_transition(formed);
       // FIFO prefix of one recovery class: later same-class arrivals never
       // jump ahead of an earlier different-class request.
       while (!pending.empty() &&
@@ -321,7 +355,14 @@ struct ServiceEngine::Impl {
              (batch->requests.empty() ||
               same_class(batch->requests.front().recovery,
                          pending.front().recovery))) {
-        batch->requests.push_back(std::move(pending.front()));
+        Request& head = pending.front();
+        head.queue_wait_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                formed - head.enqueued)
+                .count());
+        SNP_OBS_OBSERVE("svc.queue.wait_seconds",
+                        static_cast<double>(head.queue_wait_ns) * 1e-9);
+        batch->requests.push_back(std::move(head));
         pending.pop_front();
         SNP_OBS_GAUGE_SUB("svc.queue_depth", 1);
       }
@@ -402,6 +443,12 @@ struct ServiceEngine::Impl {
         qr.latency_s = seconds_between(batch.requests[i].submitted, done);
       }
 
+      if constexpr (obs::kEnabled) {
+        if (obs::CostLedger::attribution_enabled()) {
+          attribute_batch_costs(batch, result.timing, done, rows);
+        }
+      }
+
       [[maybe_unused]] std::uint64_t trip_trace = 0;
       {
         const std::lock_guard lock(mu);
@@ -412,8 +459,18 @@ struct ServiceEngine::Impl {
         fault_event_count += result.timing.fault_events.size();
         if (result.timing.degraded) degraded_batch_count++;
         for (std::size_t i = 0; i < n; ++i) {
+          const double wait_s =
+              static_cast<double>(batch.requests[i].queue_wait_ns) * 1e-9;
+          // Formation -> resolution; enqueued + wait is the formation
+          // instant, so this excludes any pre-queue admission block.
+          const double service_s = std::max(
+              0.0,
+              seconds_between(batch.requests[i].enqueued, done) - wait_s);
           latencies.push_back(rows[i].latency_s);
+          queue_waits.push_back(wait_s);
+          service_times.push_back(service_s);
           SNP_OBS_OBSERVE("svc.request_latency_seconds", rows[i].latency_s);
+          SNP_OBS_OBSERVE("svc.service.time_seconds", service_s);
           if constexpr (obs::kEnabled) {
             if (slo_mon.record(rows[i].latency_s, rows[i].trace_id)) {
               trip_trace = rows[i].trace_id;
@@ -472,6 +529,66 @@ struct ServiceEngine::Impl {
     }
   }
 
+  /// Builds the batch's quantized cost totals from the compare timing,
+  /// splits them across the member requests by gamma-row ownership
+  /// (every member owns exactly one row of the batched A operand), and
+  /// records batch + shares in the ledger. The integer shares sum
+  /// bit-identically to the batch totals (obs::split_exact).
+  void attribute_batch_costs(Batch& batch, const TimingReport& timing,
+                             Clock::time_point done,
+                             std::vector<QueryResult>& rows) {
+    const std::size_t n = batch.requests.size();
+    obs::BatchCostTotals totals;
+    totals.batch_id = batch.id;
+    totals.width = static_cast<std::uint32_t>(n);
+    totals.rows = n;
+    totals.epoch = batch.epoch;
+    totals.degraded = timing.degraded;
+    const rt::ActionCounts actions = rt::count_actions(timing.fault_events);
+    totals.retries = actions.retries;
+    totals.failovers = actions.failovers;
+    totals.device_ns = obs::quantize_cost_ns(timing.kernel_s);
+    totals.h2d_ns = obs::quantize_cost_ns(timing.h2d_s);
+    totals.d2h_ns = obs::quantize_cost_ns(timing.d2h_s);
+    totals.h2d_bytes = timing.h2d_bytes;
+    totals.d2h_bytes = timing.d2h_bytes;
+    totals.wordops = timing.wordops;
+
+    std::vector<std::uint64_t> trace_ids(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      trace_ids[i] = batch.requests[i].trace_id;
+    }
+    const std::vector<std::uint64_t> rows_owned(n, 1);
+    auto costs = obs::attribute_batch(totals, trace_ids, rows_owned);
+    for (std::size_t i = 0; i < n; ++i) {
+      costs[i].queue_wait_ns = batch.requests[i].queue_wait_ns;
+      const double service_s = std::max(
+          0.0, seconds_between(batch.requests[i].enqueued, done) -
+                   static_cast<double>(batch.requests[i].queue_wait_ns) *
+                       1e-9);
+      costs[i].service_ns = obs::quantize_cost_ns(service_s);
+      rows[i].cost = costs[i];
+    }
+    ledger.record_batch(totals, costs);
+  }
+
+  /// Caller holds mu. Accrues the queue-depth time integral
+  /// (sum of depth x dt over pending-queue transitions) up to `now`,
+  /// *before* the queue is mutated. Published as the
+  /// svc.queue.depth_time_us gauge — exact at every transition, so any
+  /// quiescent read (post-drain) equals the sum of per-request queue
+  /// waits identically: the Little's-law consistency anchor.
+  void note_queue_transition(Clock::time_point now) {
+    depth_time_ns +=
+        static_cast<std::uint64_t>(pending.size()) *
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - last_queue_change)
+                .count());
+    last_queue_change = now;
+    SNP_OBS_GAUGE_SET("svc.queue.depth_time_us", depth_time_ns / 1000);
+  }
+
   /// Burn-rate trigger edge: pin the breach in the flight stream, then
   /// dump the rings while the evidence is still resident. Never called
   /// under mu (auto_dump writes a file).
@@ -507,6 +624,8 @@ struct ServiceEngine::Impl {
 
   ServiceStats stats() const {
     std::vector<double> lat;
+    std::vector<double> waits;
+    std::vector<double> services;
     ServiceStats s;
     {
       const std::lock_guard lock(mu);
@@ -527,11 +646,25 @@ struct ServiceEngine::Impl {
       s.peak_queue_depth = peak_queue;
       s.epoch = epoch;
       lat = latencies;
+      waits = queue_waits;
+      services = service_times;
     }
     std::sort(lat.begin(), lat.end());
     s.p50_latency_s = percentile(lat, 0.50);
     s.p99_latency_s = percentile(lat, 0.99);
     s.max_latency_s = lat.empty() ? 0.0 : lat.back();
+    const auto mean = [](const std::vector<double>& v) {
+      if (v.empty()) return 0.0;
+      double sum = 0.0;
+      for (const double x : v) sum += x;
+      return sum / static_cast<double>(v.size());
+    };
+    s.mean_queue_wait_s = mean(waits);
+    s.mean_service_time_s = mean(services);
+    std::sort(waits.begin(), waits.end());
+    std::sort(services.begin(), services.end());
+    s.p99_queue_wait_s = percentile(waits, 0.99);
+    s.p99_service_time_s = percentile(services, 0.99);
     if constexpr (obs::kEnabled) {
       const auto slo = slo_mon.snapshot();
       s.slo_breaches = slo.breaches;
@@ -597,6 +730,13 @@ struct ServiceEngine::Impl {
   std::size_t max_batch = 0;
   std::size_t peak_queue = 0;
   std::vector<double> latencies;
+  std::vector<double> queue_waits;    ///< enqueue -> batch formation
+  std::vector<double> service_times;  ///< formation -> resolution
+  /// Queue-depth time integral state (note_queue_transition).
+  std::uint64_t depth_time_ns = 0;
+  Clock::time_point last_queue_change;
+  /// Per-engine cost ledger (batch totals + exact per-request shares).
+  obs::CostLedger ledger;
 
   std::thread dispatcher;
 };
@@ -627,6 +767,14 @@ void ServiceEngine::pause() { impl_->set_paused(true); }
 void ServiceEngine::resume() { impl_->set_paused(false); }
 
 ServiceStats ServiceEngine::stats() const { return impl_->stats(); }
+
+obs::CostSnapshot ServiceEngine::cost() const {
+  return impl_->ledger.snapshot();
+}
+
+void ServiceEngine::write_cost_json(std::ostream& os) const {
+  impl_->ledger.write_json(os);
+}
 
 SloReport ServiceEngine::slo() const { return impl_->slo_report(); }
 

@@ -43,6 +43,7 @@
 
 #include <cstdint>
 #include <future>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -51,6 +52,7 @@
 #include "bits/bitmatrix.hpp"
 #include "bits/compare.hpp"
 #include "core/snpcmp.hpp"
+#include "obs/cost.hpp"
 #include "obs/slo.hpp"
 #include "rt/recovery.hpp"
 
@@ -137,6 +139,12 @@ struct QueryResult {
   /// never 0 for an accepted request). The same id tags the request's
   /// spans, flight records and fault events.
   std::uint64_t trace_id = 0;
+  /// What this request cost, attributed from its batch by gamma-row
+  /// ownership (obs::CostLedger): exact integer shares of device-sim
+  /// time, H2D/D2H bytes and popcounted words that sum bit-identically
+  /// to the batch totals, plus measured queue-wait/service wall time.
+  /// All-zero under SNPCMP_OBS=OFF or when attribution is disabled.
+  obs::RequestCost cost;
 };
 
 /// Point-in-time service telemetry (also published as "svc.*" metrics).
@@ -156,6 +164,14 @@ struct ServiceStats {
   double p50_latency_s = 0.0;
   double p99_latency_s = 0.0;
   double max_latency_s = 0.0;
+  /// Queue-wait / service-time decomposition of the latency above
+  /// (wait = enqueue -> batch formation, service = formation ->
+  /// resolution; cache hits count as wait 0). Published as the
+  /// svc.queue.wait_seconds / svc.service.time_seconds histograms too.
+  double mean_queue_wait_s = 0.0;
+  double p99_queue_wait_s = 0.0;
+  double mean_service_time_s = 0.0;
+  double p99_service_time_s = 0.0;
   std::uint64_t epoch = 1;
   /// SLO monitor readout (all zero when obs is compiled out or no
   /// requests have completed).
@@ -235,6 +251,12 @@ class ServiceEngine {
   void resume();
 
   [[nodiscard]] ServiceStats stats() const;
+  /// Snapshot of the engine's cost ledger (per-batch totals + exact
+  /// per-request shares; see obs::CostLedger). Empty under
+  /// SNPCMP_OBS=OFF or when attribution is disabled.
+  [[nodiscard]] obs::CostSnapshot cost() const;
+  /// Writes the ledger's deterministic JSON document (--cost-out).
+  void write_cost_json(std::ostream& os) const;
   /// The burn-rate monitor's current state: approximate percentiles,
   /// burn rates, per-bucket exemplars. Cheap (one mutex + histogram
   /// copy); safe to call concurrently with submissions.

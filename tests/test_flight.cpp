@@ -197,5 +197,63 @@ TEST(Flight, ConcurrentWritersAndDumperYieldOnlyWholeRecords) {
                 final_events.size());
 }
 
+// ---------------------------------------------------------------------
+// SNPCMP_FLIGHT_RING parsing (PR-8 satellite). parse_flight_ring is the
+// single source of truth for what the env var accepts; the table below
+// is the contract docs/observability.md documents.
+
+TEST(FlightEnv, ParseAcceptsBase10AndRoundsUpToPowerOfTwo) {
+  struct Case {
+    const char* text;
+    std::size_t want;
+  };
+  const Case cases[] = {
+      {"16", 16},          // lower bound, already a power of two
+      {"17", 32},          // rounds up, never down
+      {"100", 128},
+      {"4096", 4096},
+      {"  4096", 4096},    // leading whitespace tolerated
+      {"4096  ", 4096},    // trailing whitespace tolerated
+      {"\t 65535 \n", 65536},
+      {"16777216", 1ULL << 24U},  // kMaxCapacity exactly
+  };
+  for (const auto& c : cases) {
+    const auto got = parse_flight_ring(c.text);
+    ASSERT_TRUE(got.has_value()) << "rejected: \"" << c.text << "\"";
+    EXPECT_EQ(*got, c.want) << "input: \"" << c.text << "\"";
+  }
+}
+
+TEST(FlightEnv, ParseRejectsEverythingElseWithoutThrowing) {
+  const char* cases[] = {
+      "",         // unset-equivalent
+      "   ",      // blank
+      "abc",      // non-digit
+      "4096x",    // trailing garbage
+      "1e4",      // no scientific notation
+      "0x1000",   // no hex
+      "+4096",    // no signs, even benign ones
+      "-4096",
+      "40 96",    // interior whitespace is garbage
+      "15",       // below the 16-record floor
+      "0",
+      "16777217",                // above kMaxCapacity
+      "99999999999999999999999"  // overflows uint64 parsing
+  };
+  for (const auto* c : cases) {
+    EXPECT_FALSE(parse_flight_ring(c).has_value())
+        << "accepted: \"" << c << "\"";
+  }
+}
+
+TEST(FlightEnv, ParseBoundsMatchRecorderConstants) {
+  // The accepted range is tied to the recorder's own limits so the two
+  // can't drift apart silently.
+  EXPECT_EQ(parse_flight_ring("16777216"), FlightRecorder::kMaxCapacity);
+  EXPECT_FALSE(parse_flight_ring(
+                   std::to_string(FlightRecorder::kMaxCapacity + 1))
+                   .has_value());
+}
+
 }  // namespace
 }  // namespace snp::obs

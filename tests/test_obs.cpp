@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/envinfo.hpp"
 #include "obs/obs.hpp"
 #include "sim/trace.hpp"
 
@@ -247,8 +248,118 @@ TEST(MetricsWriter, PrometheusFormatSanitizesAndPrefixes) {
   EXPECT_NE(text.find("_bucket{le=\""), std::string::npos);
   EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
   EXPECT_NE(text.find("_count 1"), std::string::npos);
-  EXPECT_EQ(text.find("exec.pool"), std::string::npos)
-      << "dots must be sanitized";
+  // Dots only survive inside `# HELP` text (where the exposition format
+  // allows them and the original registry name is genuinely useful);
+  // sample lines must use the sanitized spelling.
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    EXPECT_EQ(line.find("exec.pool"), std::string::npos)
+        << "dots must be sanitized outside HELP: " << line;
+  }
+}
+
+TEST(MetricsWriter, PrometheusConformanceGolden) {
+  // PR-8 satellite: the exposition format pinned byte-for-byte — HELP
+  // before TYPE before samples for every family, build_info first with
+  // escaped label values, gauges growing a _peak twin, histograms as
+  // cumulative buckets + _sum + _count.
+  MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.depth").set(2);
+  auto& h = reg.histogram("c.lat_seconds", {0.5});
+  h.observe(0.25);
+  h.observe(2.0);
+  EnvInfo env;
+  env.compiler = "g++ \"13\"";
+  env.git_sha = "abc123";
+  env.hostname = "node\\1";
+  env.kernel = "6.1";
+  env.cpu_model = "Test\nCPU";
+  std::ostringstream os;
+  write_metrics_prometheus(reg.snapshot(), env, os);
+  const std::string expected =
+      "# HELP snpcmp_build_info execution environment of this process\n"
+      "# TYPE snpcmp_build_info gauge\n"
+      "snpcmp_build_info{compiler=\"g++ \\\"13\\\"\",git_sha=\"abc123\","
+      "host=\"node\\\\1\",kernel=\"6.1\",cpu=\"Test\\nCPU\"} 1\n"
+      "# HELP snpcmp_a_count snpcmp registry metric a.count\n"
+      "# TYPE snpcmp_a_count counter\n"
+      "snpcmp_a_count 3\n"
+      "# HELP snpcmp_b_depth snpcmp registry metric b.depth\n"
+      "# TYPE snpcmp_b_depth gauge\n"
+      "snpcmp_b_depth 2\n"
+      "# HELP snpcmp_b_depth_peak snpcmp registry metric b.depth "
+      "high-water mark\n"
+      "# TYPE snpcmp_b_depth_peak gauge\n"
+      "snpcmp_b_depth_peak 2\n"
+      "# HELP snpcmp_c_lat_seconds snpcmp registry metric c.lat_seconds\n"
+      "# TYPE snpcmp_c_lat_seconds histogram\n"
+      "snpcmp_c_lat_seconds_bucket{le=\"0.5\"} 1\n"
+      "snpcmp_c_lat_seconds_bucket{le=\"+Inf\"} 2\n"
+      "snpcmp_c_lat_seconds_sum 2.25\n"
+      "snpcmp_c_lat_seconds_count 2\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(MetricsWriter, PrometheusHelpPrecedesTypeForEveryFamily) {
+  MetricsRegistry reg;
+  reg.counter("x.n").increment();
+  reg.gauge("y.g").set(1);
+  reg.histogram("z.h", {1.0}).observe(0.5);
+  std::ostringstream os;
+  write_metrics_prometheus(reg.snapshot(), os);
+  const std::string text = os.str();
+  // Scan line pairs: every `# TYPE <name>` must be directly preceded by
+  // `# HELP <name>` (the format requires HELP first when both appear).
+  std::istringstream is(text);
+  std::string prev;
+  std::string line;
+  std::size_t families = 0;
+  while (std::getline(is, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++families;
+      const std::string name =
+          line.substr(7, line.find(' ', 7) - 7);
+      ASSERT_EQ(prev.rfind("# HELP " + name + " ", 0), 0U)
+          << "TYPE for " << name << " not preceded by its HELP:\n"
+          << text;
+    }
+    prev = line;
+  }
+  EXPECT_GE(families, 5U);  // build_info + counter + gauge + peak + hist
+}
+
+TEST(MetricsWriter, PrometheusNonFiniteValuesRenderPerExposition) {
+  MetricsRegistry reg;
+  // An infinite histogram bound and ±inf observations must render as
+  // +Inf / -Inf (ostream would print "inf", which Prometheus rejects).
+  auto& hi = reg.histogram("inf.bound",
+                           {1.0, std::numeric_limits<double>::infinity()});
+  hi.observe(std::numeric_limits<double>::infinity());
+  auto& lo = reg.histogram("neg.obs", {1.0});
+  lo.observe(-std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  write_metrics_prometheus(reg.snapshot(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("snpcmp_inf_bound_bucket{le=\"+Inf\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("snpcmp_inf_bound_sum +Inf"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("snpcmp_neg_obs_sum -Inf"), std::string::npos)
+      << text;
+  // Bare ostream spellings must never appear as sample values.
+  EXPECT_EQ(text.find(" inf\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find(" nan\n"), std::string::npos) << text;
+}
+
+TEST(MetricsWriter, PromEscapeLabelHandlesEveryClass) {
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_escape_label("two\nlines"), "two\\nlines");
 }
 
 TEST(MetricsWriter, HistogramPercentilesAreMarkedApproximate) {

@@ -39,8 +39,16 @@ cmake --build --preset default -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "== telemetry smoke (metrics + merged trace round-trip) =="
-smoke=$(mktemp -d)
-trap 'rm -rf "$smoke"' EXIT
+if [[ "$ci_mode" == yes ]]; then
+  # Persistent scratch dir in CI: the workflow uploads it as a failure
+  # artifact (flight dumps, merged traces, cost ledgers).
+  smoke=build/diag
+  rm -rf "$smoke"
+  mkdir -p "$smoke"
+else
+  smoke=$(mktemp -d)
+  trap 'rm -rf "$smoke"' EXIT
+fi
 ./build/tools/snpcmp gendb --out "$smoke/db.sbm" --profiles 200 --snps 256 >/dev/null
 ./build/tools/snpcmp gendb --out "$smoke/q.sbm" --profiles 4 --snps 256 >/dev/null
 ./build/tools/snpcmp search --queries "$smoke/q.sbm" --db "$smoke/db.sbm" \
@@ -144,6 +152,57 @@ assert any(ev["trace"] == trace for ev in faults), \
 print(f"flight dump ok: {len(doc['events'])} events, fault named and "
       f"correlated to request trace {trace}")
 EOF
+
+echo "== cost-ledger + pipeline-report smoke (serve -> report) =="
+# docs/observability.md: the --cost-out shares must sum bit-identically
+# to their batch totals on every integer axis, `snpcmp report` must be
+# byte-deterministic over the same inputs, and its Little's-law
+# consistency check must PASS on a drained scripted run.
+printf '{"submit": 0}\n{"submit": 1}\n{"submit": 2, "count": 3}\n{"barrier": true}\n{"submit": 3, "count": 4}\n' \
+  > "$smoke/cost.jsonl"
+./build/tools/snpcmp serve --db "$smoke/db.sbm" --queries "$smoke/q.sbm" \
+  --script "$smoke/cost.jsonl" --device titanv --max-batch 4 \
+  --metrics-out "$smoke/cost_m.json" --trace-out "$smoke/cost_t.json" \
+  --cost-out "$smoke/cost_c.json" > "$smoke/cost_serve.out"
+grep -q '^cost:' "$smoke/cost_serve.out" || {
+  echo "serve report lacks the cost: block"; exit 1; }
+python3 - "$smoke/cost_c.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["cost"] == 1, "bad schema marker"
+axes = ("device_ns", "h2d_ns", "d2h_ns", "h2d_bytes", "d2h_bytes",
+        "wordops")
+by_batch = {b["batch"]: b for b in doc["batches"]}
+sums = {b: {a: 0 for a in axes} for b in by_batch}
+for r in doc["requests"]:
+    if r["cache_hit"]:
+        continue
+    for a in axes:
+        sums[r["batch"]][a] += r[a]
+for bid, batch in by_batch.items():
+    for a in axes:
+        assert sums[bid][a] == batch[a], \
+            f"batch {bid} axis {a}: shares sum {sums[bid][a]} != " \
+            f"total {batch[a]}"
+print(f"cost ledger ok: {len(doc['requests'])} request shares sum "
+      f"bit-identically across {len(by_batch)} batches x {len(axes)} axes")
+EOF
+./build/tools/snpcmp report --trace "$smoke/cost_t.json" \
+  --metrics "$smoke/cost_m.json" --cost "$smoke/cost_c.json" \
+  > "$smoke/report1.txt"
+./build/tools/snpcmp report --trace "$smoke/cost_t.json" \
+  --metrics "$smoke/cost_m.json" --cost "$smoke/cost_c.json" \
+  > "$smoke/report2.txt"
+cmp -s "$smoke/report1.txt" "$smoke/report2.txt" || {
+  echo "snpcmp report is not deterministic over the same inputs"; exit 1; }
+grep -q '^pipeline report:' "$smoke/report1.txt" || {
+  echo "report lacks the pipeline header"; exit 1; }
+grep -Eq 'littles law: .* PASS' "$smoke/report1.txt" || {
+  echo "Little's-law consistency check did not PASS:"
+  cat "$smoke/report1.txt"; exit 1; }
+grep -q 'top requests by device time:' "$smoke/report1.txt" || {
+  echo "report lacks the top-requests section"; exit 1; }
+echo "pipeline report ok: deterministic bytes, Little's check PASS"
 
 echo "== bench_compare self-test (regression-gate fixtures) =="
 tools/bench_compare --self-test
