@@ -32,12 +32,35 @@ const std::vector<CheckInfo>& check_registry() {
        "m_c beyond N_b serializes every A-tile access"},
       {"SNP-BANK-002", Severity::kWarn,
        "strided shared access collides modulo N_b"},
+      // Superseded IDs stay listed forever: suppressions and goldens
+      // reference them, and the registry documents what replaced them.
+      // They are never emitted again.
       {"SNP-IR-001", Severity::kError,
-       "shared read before barrier publication"},
-      {"SNP-IR-002", Severity::kError, "read of an undefined register"},
-      {"SNP-IR-003", Severity::kWarn, "result register never consumed"},
+       "shared read before barrier publication (superseded)",
+       "SNP-RACE-002"},
+      {"SNP-IR-002", Severity::kError,
+       "read of an undefined register (superseded)", "SNP-DF-001"},
+      {"SNP-IR-003", Severity::kWarn,
+       "result register never consumed (superseded)", "SNP-DF-002"},
       {"SNP-IR-004", Severity::kWarn,
        "dependent chains too deep to hide pipe latency"},
+      {"SNP-RACE-001", Severity::kError,
+       "cross-lane shared-memory write-write overlap in one barrier "
+       "interval"},
+      {"SNP-RACE-002", Severity::kError,
+       "cross-lane shared-memory read-write overlap with no intervening "
+       "barrier"},
+      {"SNP-BOUND-001", Severity::kError,
+       "shared access escapes the declared Eq. 4/5 tile allocation"},
+      {"SNP-BOUND-002", Severity::kError,
+       "global access escapes the declared operand extent"},
+      {"SNP-BOUND-003", Severity::kError,
+       "declared LDS allocation exceeds usable shared memory"},
+      {"SNP-OVF-001", Severity::kError,
+       "Eq. 2-3 popcount accumulator can overflow its 32-bit register"},
+      {"SNP-DF-001", Severity::kError, "read of a never-written register"},
+      {"SNP-DF-002", Severity::kWarn,
+       "register written but never consumed (dead store)"},
       {"SNP-SRC-001", Severity::kError,
        "kernel references an undefined macro"},
       {"SNP-SRC-002", Severity::kError,
@@ -46,6 +69,15 @@ const std::vector<CheckInfo>& check_registry() {
        "barrier in divergent control flow or unbalanced scopes"},
   };
   return kChecks;
+}
+
+const CheckInfo* find_check(std::string_view id) {
+  for (const auto& c : check_registry()) {
+    if (id == c.id) {
+      return &c;
+    }
+  }
+  return nullptr;
 }
 
 Report analyze(const model::GpuSpec& dev, const model::KernelConfig& cfg,
@@ -58,9 +90,15 @@ Report analyze(const model::GpuSpec& dev, const model::KernelConfig& cfg,
     return report;
   }
   if (opts.ir) {
-    const auto info = kern::build_kernel_program(dev, cfg, op,
-                                                 opts.k_iterations,
-                                                 opts.unroll);
+    auto info = kern::build_kernel_program(dev, cfg, op,
+                                           opts.k_iterations,
+                                           opts.unroll);
+    if (opts.lds_words > 0) {
+      // Probe an explicit launch-time allocation instead of the config's
+      // Eq. 4/5 tile (how an autotune point under-allocating the tile is
+      // caught before launch).
+      info.program.shared_words = opts.lds_words;
+    }
     // The occupancy policy keeps L_fn groups per cluster resident
     // (model::KernelConfig::groups_per_core spread over N_cl clusters).
     check_program(dev, info.program, dev.groups_per_cluster(), report);

@@ -17,12 +17,17 @@
 namespace snp::analyze {
 
 struct AnalyzeOptions {
-  bool ir = true;      ///< run the sim::Program IR pass
+  bool ir = true;      ///< run the sim::Program IR dataflow pass
   bool source = true;  ///< run the rendered-OpenCL lint pass
-  /// IR generation shape: enough k-steps to expose steady-state behavior
-  /// without inflating analysis time.
+  /// IR generation shape. The dataflow proofs (races, bounds, overflow)
+  /// hold for exactly this trip count; pass the real k-loop trip count
+  /// (as the pre-launch pass does) to prove the actual launch.
   std::uint64_t k_iterations = 16;
   int unroll = 2;
+  /// When > 0, overrides the program's declared LDS allocation (in words)
+  /// with an explicit launch-time value, e.g. an autotuner's proposed
+  /// tile. The SNP-BOUND-* proofs then run against this allocation.
+  int lds_words = 0;
 };
 
 /// Runs every applicable pass and returns the combined report.

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analyze/diagnostics.hpp"
@@ -21,11 +22,18 @@ struct CheckInfo {
   const char* id;
   Severity severity;
   const char* summary;
+  /// Non-null when a newer check replaced this one. The old ID stays in
+  /// the registry forever (suppressions and goldens reference it) but is
+  /// never emitted again; diagnostics come from the superseding check.
+  const char* superseded_by = nullptr;
 };
 
 /// Every check the analyzer can emit, with its fixed severity — the
 /// authoritative list docs/static-analysis.md and tests are pinned to.
 [[nodiscard]] const std::vector<CheckInfo>& check_registry();
+
+/// Registry entry for `id`, or nullptr for an unknown ID.
+[[nodiscard]] const CheckInfo* find_check(std::string_view id);
 
 /// Resource-envelope, blocking-equation, occupancy, and bank-layout checks
 /// on a (device, config) pair. Mirrors model::validate() as diagnostics
@@ -34,11 +42,15 @@ struct CheckInfo {
 void check_config(const model::GpuSpec& dev, const model::KernelConfig& cfg,
                   Report& report);
 
-/// IR-level checks on a sim::Program: barrier publication before shared
-/// reads, register def/use liveness, and dependent-chain depth vs the
-/// latency the resident groups can hide. `resident_groups_per_cluster` is
-/// the occupancy the schedule assumes (the N_cl x L_fn policy passes
-/// L_fn).
+/// IR-level dataflow verification of a sim::Program (see
+/// analyze/dataflow.hpp for the engine): per-lane shared-memory race
+/// detection between barrier intervals (SNP-RACE-*), interval bounds
+/// proofs for every tracked memory access (SNP-BOUND-*), accumulator
+/// overflow proofs over the full trip count (SNP-OVF-*), register
+/// def-use/liveness (SNP-DF-*), dependent-chain depth vs the latency the
+/// resident groups can hide (SNP-IR-004), and bank-conflict strides
+/// (SNP-BANK-002). `resident_groups_per_cluster` is the occupancy the
+/// schedule assumes (the N_cl x L_fn policy passes L_fn).
 void check_program(const model::GpuSpec& dev, const sim::Program& program,
                    int resident_groups_per_cluster, Report& report);
 

@@ -1,0 +1,560 @@
+#include "analyze/dataflow.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace snp::analyze {
+
+namespace {
+
+using sim::Instr;
+using sim::Opcode;
+using sim::Space;
+
+constexpr unsigned long long kWordMax = 0xFFFFFFFFULL;
+
+const char* section_name(int s) {
+  return s == 0 ? "prologue" : (s == 1 ? "body" : "epilogue");
+}
+
+bool is_mem_access(Opcode op) {
+  return op == Opcode::kLds || op == Opcode::kSts || op == Opcode::kLdg ||
+         op == Opcode::kStg;
+}
+
+bool is_write(Opcode op) {
+  return op == Opcode::kSts || op == Opcode::kStg;
+}
+
+/// One executed instruction instance in the two-iteration unrolling:
+/// prologue, body copy (iter 0), body copy (iter 1, when iterations >= 2),
+/// epilogue. `interval` counts barriers seen so far — accesses by
+/// different lanes are unordered within an interval.
+struct Exec {
+  const Instr* ins;
+  int section;        ///< 0 = prologue, 1 = body, 2 = epilogue
+  std::size_t index;  ///< position within its section
+  std::uint64_t iter;  ///< body copy's iteration number (0 otherwise)
+  int interval;
+};
+
+std::vector<Exec> unroll_two(const sim::Program& p) {
+  std::vector<Exec> out;
+  const std::uint64_t copies = std::min<std::uint64_t>(2, p.iterations);
+  out.reserve(p.prologue.size() + p.body.size() * copies +
+              p.epilogue.size());
+  int interval = 0;
+  auto append = [&](const std::vector<Instr>& sec, int section,
+                    std::uint64_t iter) {
+    for (std::size_t i = 0; i < sec.size(); ++i) {
+      if (sec[i].op == Opcode::kBar) {
+        ++interval;
+        continue;
+      }
+      out.push_back({&sec[i], section, i, iter, interval});
+    }
+  };
+  append(p.prologue, 0, 0);
+  for (std::uint64_t c = 0; c < copies; ++c) {
+    append(p.body, 1, c);
+  }
+  append(p.epilogue, 2, 0);
+  return out;
+}
+
+/// Lane `lane`'s word address for access `e` at its modeled iteration.
+long long addr_at(const Exec& e, int lane) {
+  return e.ins->base +
+         static_cast<long long>(lane) * e.ins->imm +
+         static_cast<long long>(e.iter) * e.ins->iter_stride;
+}
+
+/// True when the two-copy unrolling is an exact model of this access for
+/// race purposes: either its footprint never moves across iterations, or
+/// the program runs at most the two modeled trips.
+bool exact_for_races(const sim::Program& p, const Exec& e) {
+  return e.ins->iter_stride == 0 || e.section != 1 || p.iterations <= 2;
+}
+
+struct Witness {
+  int lane1 = 0;
+  int lane2 = 0;
+  long long word = 0;
+};
+
+/// Exact cross-lane collision: lanes l1 != l2 with addr1(l1) == addr2(l2).
+bool collide_exact(const Exec& a, const Exec& b, int n_t, Witness* w) {
+  const long long s2 = b.ins->imm;
+  const long long b2 = b.ins->base +
+                       static_cast<long long>(b.iter) * b.ins->iter_stride;
+  for (int l1 = 0; l1 < n_t; ++l1) {
+    const long long word = addr_at(a, l1);
+    if (s2 == 0) {
+      if (word != b2) {
+        continue;
+      }
+      // Every lane of `b` touches this word; any lane other than l1 races.
+      if (n_t >= 2) {
+        w->lane1 = l1;
+        w->lane2 = l1 == 0 ? 1 : 0;
+        w->word = word;
+        return true;
+      }
+      continue;
+    }
+    const long long num = word - b2;
+    if (num % s2 != 0) {
+      continue;
+    }
+    const long long l2 = num / s2;
+    if (l2 >= 0 && l2 < n_t && l2 != l1) {
+      w->lane1 = l1;
+      w->lane2 = static_cast<int>(l2);
+      w->word = word;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Conservative MAY-overlap of the two accesses' full footprints over all
+/// lanes and all trips (used when a shared footprint moves across
+/// iterations beyond the two modeled copies).
+bool overlap_may(const sim::Program& p, const Exec& a, const Exec& b,
+                 int n_t) {
+  auto range = [&](const Exec& e) {
+    const std::uint64_t last_iter =
+        e.section == 1 && p.iterations > 0 ? p.iterations - 1 : 0;
+    long long lo = e.ins->base;
+    long long hi = e.ins->base;
+    for (const long long lane : {0LL, static_cast<long long>(n_t - 1)}) {
+      for (const std::uint64_t it : {std::uint64_t{0}, last_iter}) {
+        const long long v = e.ins->base + lane * e.ins->imm +
+                            static_cast<long long>(it) * e.ins->iter_stride;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    return std::pair<long long, long long>{lo, hi};
+  };
+  const auto [alo, ahi] = range(a);
+  const auto [blo, bhi] = range(b);
+  return alo <= bhi && blo <= ahi;
+}
+
+/// Saturating arithmetic so the analysis itself cannot overflow.
+unsigned long long sat_add(unsigned long long a, unsigned long long b) {
+  return a > ULLONG_MAX - b ? ULLONG_MAX : a + b;
+}
+
+unsigned long long sat_mul(unsigned long long a, unsigned long long b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return a > ULLONG_MAX / b ? ULLONG_MAX : a * b;
+}
+
+/// Abstract value: either an arbitrary 32-bit word (loads, logic results —
+/// inherently in [0, 2^32-1], modular arithmetic) or a proven interval
+/// (immediates, popcounts, and sums thereof). Only interval-kind kAdd
+/// results participate in the overflow proof; word-typed adds model
+/// address/word arithmetic whose wraparound is intended.
+struct Val {
+  bool word = true;
+  unsigned long long lo = 0;
+  unsigned long long hi = kWordMax;
+};
+
+Val transfer(const Instr& ins, const std::map<int, Val>& regs) {
+  auto read = [&](int r) -> Val {
+    const auto it = regs.find(r);
+    return it == regs.end() ? Val{} : it->second;
+  };
+  switch (ins.op) {
+    case Opcode::kMovi: {
+      const auto v = static_cast<unsigned long long>(
+          ins.imm < 0 ? 0 : ins.imm);
+      return {false, v, v};
+    }
+    case Opcode::kMov:
+      return read(ins.src1);
+    case Opcode::kPopc:
+      return {false, 0, 32};
+    case Opcode::kAdd: {
+      const Val a = read(ins.src1);
+      const Val b = read(ins.src2);
+      if (a.word || b.word) {
+        return Val{};
+      }
+      return {false, sat_add(a.lo, b.lo), sat_add(a.hi, b.hi)};
+    }
+    default:
+      return Val{};
+  }
+}
+
+}  // namespace
+
+void check_races(const model::GpuSpec& dev, const sim::Program& program,
+                 Report& report) {
+  const auto execs = unroll_two(program);
+  const int n_t = std::max(dev.n_t, 1);
+  std::ostringstream msg;
+
+  std::vector<std::size_t> shared;
+  for (std::size_t i = 0; i < execs.size(); ++i) {
+    if (is_mem_access(execs[i].ins->op) &&
+        execs[i].ins->space == Space::kShared) {
+      shared.push_back(i);
+    }
+  }
+
+  // One diagnostic per (check, earlier instruction): a racy store is
+  // reported once, not once per racing partner.
+  std::set<std::tuple<std::string, int, std::size_t>> reported;
+  auto emit = [&](const char* id, const Exec& a, const Exec& b,
+                  bool exact, const Witness& w) {
+    if (!reported.insert({id, a.section, a.index}).second) {
+      return;
+    }
+    msg.str("");
+    msg << sim::to_string(a.ins->op) << " at " << section_name(a.section)
+        << "[" << a.index << "] and " << sim::to_string(b.ins->op)
+        << " at " << section_name(b.section) << "[" << b.index << "]";
+    if (a.section == 1 || b.section == 1) {
+      msg << " (iterations " << a.iter << "/" << b.iter << ")";
+    }
+    if (exact) {
+      msg << " touch shared word " << w.word << " from lanes " << w.lane1
+          << " and " << w.lane2;
+    } else {
+      msg << " have overlapping iteration-strided shared footprints";
+    }
+    msg << " with no intervening barrier";
+    report.add(id, Severity::kError, msg.str(), section_name(a.section),
+               a.index);
+  };
+
+  for (std::size_t x = 0; x < shared.size(); ++x) {
+    for (std::size_t y = x; y < shared.size(); ++y) {
+      const Exec& a = execs[shared[x]];
+      const Exec& b = execs[shared[y]];
+      if (a.interval != b.interval) {
+        continue;
+      }
+      const bool aw = is_write(a.ins->op);
+      const bool bw = is_write(b.ins->op);
+      if (!aw && !bw) {
+        continue;
+      }
+      if (shared[x] == shared[y] && !aw) {
+        continue;  // an instruction only self-races when it writes
+      }
+      const char* id = aw && bw ? "SNP-RACE-001" : "SNP-RACE-002";
+      Witness w;
+      if (exact_for_races(program, a) && exact_for_races(program, b)) {
+        if (collide_exact(a, b, n_t, &w)) {
+          emit(id, a, b, true, w);
+        }
+      } else if (overlap_may(program, a, b, n_t)) {
+        emit(id, a, b, false, w);
+      }
+    }
+  }
+}
+
+void check_bounds(const model::GpuSpec& dev, const sim::Program& program,
+                  Report& report) {
+  std::ostringstream msg;
+
+  const long long usable_words =
+      (static_cast<long long>(dev.shared_bytes) -
+       static_cast<long long>(dev.shared_reserved)) /
+      4;
+  if (program.shared_words > 0 && program.shared_words > usable_words) {
+    msg.str("");
+    msg << "declared LDS allocation of " << program.shared_words
+        << " words exceeds the " << usable_words
+        << " usable shared-memory words (N_shared minus the runtime "
+           "reservation)";
+    report.add("SNP-BOUND-003", Severity::kError, msg.str(), "prologue",
+               0);
+  }
+
+  const auto execs = unroll_two(program);
+  const int n_t = std::max(dev.n_t, 1);
+  std::set<std::pair<int, std::size_t>> seen;
+  for (const Exec& e : execs) {
+    if (!is_mem_access(e.ins->op) || e.ins->space == Space::kNone) {
+      continue;
+    }
+    const long long extent = program.extent_of(e.ins->space);
+    if (extent <= 0) {
+      continue;  // undeclared extent: nothing to prove against
+    }
+    if (!seen.insert({e.section, e.index}).second) {
+      continue;  // body copy 0 already covered the full iteration range
+    }
+    const std::uint64_t last_iter =
+        e.section == 1 && program.iterations > 0 ? program.iterations - 1
+                                                 : 0;
+    long long lo = e.ins->base;
+    long long hi = e.ins->base;
+    for (const long long lane : {0LL, static_cast<long long>(n_t - 1)}) {
+      for (const std::uint64_t it : {std::uint64_t{0}, last_iter}) {
+        const long long v = e.ins->base + lane * e.ins->imm +
+                            static_cast<long long>(it) * e.ins->iter_stride;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (lo >= 0 && hi < extent) {
+      continue;
+    }
+    const bool is_shared = e.ins->space == Space::kShared;
+    msg.str("");
+    msg << sim::to_string(e.ins->op) << " at " << section_name(e.section)
+        << "[" << e.index << "] touches ";
+    msg << (is_shared ? "shared" : "global") << " ";
+    if (!is_shared) {
+      msg << "operand " << sim::to_string(e.ins->space) << " ";
+    }
+    msg << "words [" << lo << ", " << hi << "] over lanes 0.." << n_t - 1;
+    if (last_iter > 0) {
+      msg << " and iterations 0.." << last_iter;
+    }
+    msg << "; the declared "
+        << (is_shared ? "tile allocation (Eq. 4/5)" : "extent") << " is [0, "
+        << extent << ")";
+    report.add(is_shared ? "SNP-BOUND-001" : "SNP-BOUND-002",
+               Severity::kError, msg.str(), section_name(e.section),
+               e.index);
+  }
+}
+
+void check_overflow(const model::GpuSpec& /*dev*/,
+                    const sim::Program& program, Report& report) {
+  std::ostringstream msg;
+  std::map<int, Val> regs;
+  // One diagnostic per accumulator register (not per add instruction):
+  // the reported instruction is the one producing the register's peak.
+  std::set<int> flagged;
+
+  auto trip = [&](const Instr& ins, int section, std::size_t index,
+                  unsigned long long bound, bool exact) {
+    if (!flagged.insert(ins.dst).second) {
+      return;
+    }
+    msg.str("");
+    msg << "ADD at " << section_name(section) << "[" << index
+        << "] accumulates r" << ins.dst << " to ";
+    if (exact) {
+      msg << "at most " << bound;
+    } else {
+      msg << "an unbounded value";
+    }
+    msg << " over " << program.iterations
+        << " iteration(s); exceeds the 32-bit register maximum "
+        << kWordMax << " (Eq. 2-3 popcount accumulation would wrap)";
+    report.add("SNP-OVF-001", Severity::kError, msg.str(),
+               section_name(section), index);
+  };
+
+  auto step = [&](const std::vector<Instr>& sec, int section,
+                  std::vector<unsigned long long>* add_his,
+                  std::vector<unsigned long long>* add_los) {
+    std::size_t add_idx = 0;
+    for (std::size_t i = 0; i < sec.size(); ++i) {
+      const Instr& ins = sec[i];
+      if (ins.dst == sim::kNoReg) {
+        continue;
+      }
+      const Val v = transfer(ins, regs);
+      regs[ins.dst] = v;
+      if (ins.op == Opcode::kAdd && !v.word) {
+        if (add_his != nullptr) {
+          if (add_idx >= add_his->size()) {
+            add_his->resize(add_idx + 1, 0);
+            add_los->resize(add_idx + 1, 0);
+          }
+          (*add_his)[add_idx] = v.hi;
+          (*add_los)[add_idx] = v.lo;
+          ++add_idx;
+        } else if (v.hi > kWordMax) {
+          trip(ins, section, i, v.hi, true);
+        }
+      }
+    }
+  };
+
+  step(program.prologue, 0, nullptr, nullptr);
+
+  // Maps the n-th interval-kind kAdd of a body pass to its body index.
+  std::vector<std::size_t> add_index;
+
+  const std::uint64_t n = program.iterations;
+  if (n <= 3) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      step(program.body, 1, nullptr, nullptr);
+    }
+  } else {
+    std::vector<unsigned long long> h1, h2, h3, l1, l2, l3;
+    step(program.body, 1, &h1, &l1);
+    step(program.body, 1, &h2, &l2);
+    step(program.body, 1, &h3, &l3);
+    // Record which body instruction each interval-kind add was on the
+    // third (steady-state) pass.
+    {
+      std::map<int, Val> probe = regs;
+      for (std::size_t i = 0; i < program.body.size(); ++i) {
+        const Instr& ins = program.body[i];
+        if (ins.dst == sim::kNoReg) {
+          continue;
+        }
+        const Val v = transfer(ins, probe);
+        probe[ins.dst] = v;
+        if (ins.op == Opcode::kAdd && !v.word) {
+          add_index.push_back(i);
+        }
+      }
+    }
+    const bool shape_stable =
+        h1.size() == h2.size() && h2.size() == h3.size() &&
+        add_index.size() == h3.size();
+    struct Peak {
+      std::size_t body_i = 0;
+      unsigned long long hi = 0;
+      bool exact = true;
+    };
+    std::map<int, Peak> peaks;  // per destination register
+    for (std::size_t a = 0; a < h3.size(); ++a) {
+      const std::size_t body_i = a < add_index.size() ? add_index[a] : 0;
+      if (!shape_stable) {
+        // The add set itself is unstable: saturate conservatively.
+        if (h3[a] > 0) {
+          trip(program.body[body_i], 1, body_i, ULLONG_MAX, false);
+        }
+        continue;
+      }
+      const unsigned long long dh = h3[a] - h2[a];
+      const unsigned long long dl = l3[a] - l2[a];
+      unsigned long long final_hi = 0;
+      bool exact = false;
+      if (h3[a] >= h2[a] && h2[a] >= h1[a] && h2[a] - h1[a] == dh &&
+          l3[a] >= l2[a] && l2[a] >= l1[a] && l2[a] - l1[a] == dl) {
+        // Affine growth: extrapolate the exact peak at trip n.
+        final_hi = sat_add(h1[a], sat_mul(n - 1, dh));
+        exact = true;
+      } else if (dh == 0) {
+        final_hi = h3[a];  // stabilized after warmup
+        exact = true;
+      } else {
+        final_hi = ULLONG_MAX;  // non-affine growth: saturate
+      }
+      const Instr& ins = program.body[body_i];
+      if (ins.dst != sim::kNoReg) {
+        auto& pk = peaks[ins.dst];
+        if (final_hi >= pk.hi) {
+          pk = {body_i, final_hi, exact};
+        }
+        // Seed the register state for the epilogue with the extrapolated
+        // bound so downstream adds see the full-trip value.
+        auto& rv = regs[ins.dst];
+        if (!rv.word) {
+          rv.hi = std::max(rv.hi, final_hi);
+          rv.lo = std::max(rv.lo, sat_add(l1[a], sat_mul(n - 1, dl)));
+        }
+      }
+    }
+    for (const auto& [reg, pk] : peaks) {
+      (void)reg;
+      if (pk.hi > kWordMax) {
+        trip(program.body[pk.body_i], 1, pk.body_i, pk.hi,
+             pk.exact && pk.hi != ULLONG_MAX);
+      }
+    }
+  }
+
+  step(program.epilogue, 2, nullptr, nullptr);
+}
+
+void check_defuse(const sim::Program& program, Report& report) {
+  std::ostringstream msg;
+
+  struct Located {
+    const Instr* ins;
+    int section;
+    std::size_t index;
+  };
+  std::vector<Located> linear;
+  linear.reserve(program.prologue.size() + program.body.size() +
+                 program.epilogue.size());
+  for (std::size_t i = 0; i < program.prologue.size(); ++i) {
+    linear.push_back({&program.prologue[i], 0, i});
+  }
+  for (std::size_t i = 0; i < program.body.size(); ++i) {
+    linear.push_back({&program.body[i], 1, i});
+  }
+  for (std::size_t i = 0; i < program.epilogue.size(); ++i) {
+    linear.push_back({&program.epilogue[i], 2, i});
+  }
+
+  // SNP-DF-001: use-before-def. A body read is defined on iteration 1
+  // only by the prologue or by earlier body instructions; later
+  // iterations see strictly more definitions, so iteration 1 is the
+  // weakest ordering.
+  std::set<int> defined;
+  std::set<int> reported_undef;
+  for (const auto& li : linear) {
+    for (const int src : {li.ins->src1, li.ins->src2}) {
+      if (src != sim::kNoReg && defined.count(src) == 0 &&
+          reported_undef.insert(src).second) {
+        msg.str("");
+        msg << sim::to_string(li.ins->op) << " at "
+            << section_name(li.section) << "[" << li.index << "] reads r"
+            << src << " before any instruction defines it";
+        report.add("SNP-DF-001", Severity::kError, msg.str(),
+                   section_name(li.section), li.index);
+      }
+    }
+    if (li.ins->dst != sim::kNoReg) {
+      defined.insert(li.ins->dst);
+    }
+  }
+
+  // SNP-DF-002: liveness — a register written somewhere but read nowhere
+  // (stores count as reads) holds a result no one consumes.
+  std::set<int> read;
+  for (const auto& li : linear) {
+    if (li.ins->src1 != sim::kNoReg) {
+      read.insert(li.ins->src1);
+    }
+    if (li.ins->src2 != sim::kNoReg) {
+      read.insert(li.ins->src2);
+    }
+  }
+  std::vector<int> dead;
+  for (const int reg : defined) {
+    if (read.count(reg) == 0) {
+      dead.push_back(reg);
+    }
+  }
+  if (!dead.empty()) {
+    msg.str("");
+    msg << "result registers written but never read or stored:";
+    for (const int reg : dead) {
+      msg << " r" << reg;
+    }
+    report.add("SNP-DF-002", Severity::kWarn, msg.str());
+  }
+}
+
+}  // namespace snp::analyze

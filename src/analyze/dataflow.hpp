@@ -1,0 +1,66 @@
+// snp::analyze — dataflow/abstract-interpretation engine over sim::Program.
+//
+// The engine models one cooperative thread group of N_T lanes executing a
+// program's prologue, counted body, and epilogue, and proves four families
+// of properties about every lane and every loop trip:
+//
+//   SNP-RACE-*  — per-lane shared-memory race freedom. Each kSts/kLds
+//                 footprint is the affine per-lane address
+//                     word(lane, iter) = base + lane*imm + iter*iter_stride
+//                 Accesses by *different* lanes within the same barrier
+//                 interval are unordered; two such accesses that touch the
+//                 same word with at least one write race. The body is
+//                 unrolled two iterations so races between the end of trip
+//                 i and the start of trip i+1 are visible.
+//   SNP-BOUND-* — interval bounds proofs. Every tracked access must stay
+//                 inside its declared extent (Program::shared_words for
+//                 the Eq. 4/5 LDS tile, Program::extent_words for global
+//                 operands) for all lanes and all trips, evaluated at the
+//                 corners of the affine address function.
+//   SNP-OVF-*   — accumulator width proofs. Values are intervals; kPopc
+//                 yields [0, 32], kAdd sums. The body's transfer function
+//                 is iterated symbolically and, when per-trip growth is
+//                 affine (delta-equal across consecutive trips), the exact
+//                 peak after Program::iterations trips is extrapolated; a
+//                 kAdd result that can exceed 2^32-1 is an error with the
+//                 exact bound in the diagnostic. Non-affine growth
+//                 saturates conservatively.
+//   SNP-DF-*    — def-use/liveness: reads of never-written registers and
+//                 registers written but never consumed.
+//
+// The engine is exact (no false positives) on programs whose tracked
+// accesses are affine and whose shared-memory footprints do not move
+// across iterations — which covers every program the kern builders emit —
+// and falls back to conservative MAY answers (reported as races/bounds
+// errors) when an access pattern defeats the exact analysis.
+//
+// Analyzer soundness is enforced by the seeded mutation soak in
+// analyze/mutate.hpp: every mutant of the shipped kernel corpus must trip
+// exactly its expected check.
+#pragma once
+
+#include "analyze/diagnostics.hpp"
+#include "model/device.hpp"
+#include "sim/isa.hpp"
+
+namespace snp::analyze {
+
+/// Per-lane shared-memory race detection (SNP-RACE-001 write-write,
+/// SNP-RACE-002 unsynchronized read-write).
+void check_races(const model::GpuSpec& dev, const sim::Program& program,
+                 Report& report);
+
+/// Bounds proofs for every tracked memory access (SNP-BOUND-001 shared,
+/// SNP-BOUND-002 global) and the declared LDS allocation itself
+/// (SNP-BOUND-003).
+void check_bounds(const model::GpuSpec& dev, const sim::Program& program,
+                  Report& report);
+
+/// Accumulator overflow proofs over the full trip count (SNP-OVF-001).
+void check_overflow(const model::GpuSpec& dev, const sim::Program& program,
+                    Report& report);
+
+/// Def-use/liveness (SNP-DF-001 read-before-def, SNP-DF-002 dead store).
+void check_defuse(const sim::Program& program, Report& report);
+
+}  // namespace snp::analyze

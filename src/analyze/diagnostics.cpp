@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <tuple>
 
 #include "obs/envinfo.hpp"
 
@@ -20,7 +21,15 @@ std::string_view to_string(Severity s) {
 }
 
 void Report::add(std::string id, Severity severity, std::string message) {
-  diags_.push_back({std::move(id), severity, std::move(message)});
+  diags_.push_back({std::move(id), severity, std::move(message), "",
+                    seq_++});
+}
+
+void Report::add(std::string id, Severity severity, std::string message,
+                 std::string section, std::size_t index) {
+  diags_.push_back({std::move(id), severity, std::move(message),
+                    std::move(section), index});
+  ++seq_;
 }
 
 bool Report::has(std::string_view id) const {
@@ -35,8 +44,53 @@ std::size_t Report::count(Severity severity) const {
       }));
 }
 
-void Report::write_text(std::ostream& os) const {
+namespace {
+
+/// Sections sort in program order, not lexicographically; diagnostics
+/// without a section (rank 0, empty string) keep their insertion index.
+int section_rank(const std::string& s) {
+  if (s == "prologue") {
+    return 1;
+  }
+  if (s == "body") {
+    return 2;
+  }
+  if (s == "epilogue") {
+    return 3;
+  }
+  return s.empty() ? 0 : 4;
+}
+
+bool canonical_less(const Diagnostic& a, const Diagnostic& b) {
+  const int ra = section_rank(a.section);
+  const int rb = section_rank(b.section);
+  return std::tie(a.id, ra, a.section, a.index) <
+         std::tie(b.id, rb, b.section, b.index);
+}
+
+}  // namespace
+
+const Diagnostic* Report::first_error() const {
+  const Diagnostic* best = nullptr;
   for (const auto& d : diags_) {
+    if (d.severity != Severity::kError) {
+      continue;
+    }
+    if (best == nullptr || canonical_less(d, *best)) {
+      best = &d;
+    }
+  }
+  return best;
+}
+
+std::vector<Diagnostic> Report::sorted() const {
+  std::vector<Diagnostic> out = diags_;
+  std::stable_sort(out.begin(), out.end(), canonical_less);
+  return out;
+}
+
+void Report::write_text(std::ostream& os) const {
+  for (const auto& d : sorted()) {
     os << to_string(d.severity) << "  " << d.id << "  " << d.message
        << "\n";
   }
@@ -45,10 +99,12 @@ void Report::write_text(std::ostream& os) const {
 void Report::write_json(std::ostream& os) const {
   os << "[";
   bool first = true;
-  for (const auto& d : diags_) {
+  for (const auto& d : sorted()) {
     os << (first ? "" : ", ") << "{\"id\": \"" << obs::json_escape(d.id)
        << "\", \"severity\": \"" << to_string(d.severity)
-       << "\", \"message\": \"" << obs::json_escape(d.message) << "\"}";
+       << "\", \"message\": \"" << obs::json_escape(d.message)
+       << "\", \"section\": \"" << obs::json_escape(d.section)
+       << "\", \"index\": " << d.index << "}";
     first = false;
   }
   os << "]";

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +32,13 @@ struct Diagnostic {
   std::string id;        ///< stable check ID, "SNP-<AREA>-<NNN>"
   Severity severity = Severity::kInfo;
   std::string message;
+  /// Where the finding anchors: a program section ("prologue", "body",
+  /// "epilogue"), "config", or "source". Empty for pass-level findings.
+  std::string section;
+  /// Position within `section` (instruction index, line, or an emission
+  /// counter when no natural position exists). Together with (id,
+  /// section) this keys the canonical output order.
+  std::size_t index = 0;
 };
 
 /// Accumulates diagnostics across analyzer passes. Never throws on add;
@@ -38,6 +46,8 @@ struct Diagnostic {
 class Report {
  public:
   void add(std::string id, Severity severity, std::string message);
+  void add(std::string id, Severity severity, std::string message,
+           std::string section, std::size_t index);
 
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
     return diags_;
@@ -48,14 +58,38 @@ class Report {
     return count(Severity::kError) > 0;
   }
   [[nodiscard]] std::size_t count(Severity severity) const;
+  /// The first error-severity diagnostic in canonical order, or nullptr.
+  [[nodiscard]] const Diagnostic* first_error() const;
 
-  /// One `severity  ID  message` line per diagnostic.
+  /// Diagnostics in canonical order: sorted by (id, section, index).
+  /// Emission order is an implementation detail of the passes; both
+  /// writers below use this order so output is deterministic.
+  [[nodiscard]] std::vector<Diagnostic> sorted() const;
+
+  /// One `severity  ID  message` line per diagnostic, canonical order.
   void write_text(std::ostream& os) const;
-  /// JSON array of {"id", "severity", "message"} objects.
+  /// JSON array of {"id", "severity", "message", "section", "index"}
+  /// objects, canonical order.
   void write_json(std::ostream& os) const;
 
  private:
   std::vector<Diagnostic> diags_;
+  std::size_t seq_ = 0;  ///< fallback index for section-less adds
+};
+
+/// Thrown by the blocking pre-launch verification pass when the analyzer
+/// proves a configured kernel unsafe (error-severity findings). Carries
+/// the first failed check's stable ID so callers can surface it as the
+/// leading stderr token (the CLI maps this to exit code 3).
+class VerificationError : public std::runtime_error {
+ public:
+  VerificationError(std::string check_id, const std::string& message)
+      : std::runtime_error(message), check_id_(std::move(check_id)) {}
+
+  [[nodiscard]] const std::string& check_id() const { return check_id_; }
+
+ private:
+  std::string check_id_;
 };
 
 }  // namespace snp::analyze

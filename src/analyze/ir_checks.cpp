@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analyze/checks.hpp"
+#include "analyze/dataflow.hpp"
 #include "sim/pipeline.hpp"
 
 namespace snp::analyze {
@@ -24,9 +25,9 @@ struct Located {
   std::size_t index;  ///< position within its section
 };
 
-/// Prologue + ONE body iteration + epilogue. Iteration 1 is the weakest
-/// ordering: later iterations see strictly more definitions and barrier
-/// publications, so anything well-formed here is well-formed throughout.
+/// Prologue + ONE body iteration + epilogue, for the per-instruction
+/// scans below (the dataflow engine does its own two-iteration
+/// unrolling).
 std::vector<Located> linearize(const sim::Program& p) {
   std::vector<Located> out;
   out.reserve(p.prologue.size() + p.body.size() + p.epilogue.size());
@@ -50,73 +51,17 @@ bool is_compute(model::InstrClass c) {
 
 void check_program(const model::GpuSpec& dev, const sim::Program& program,
                    int resident_groups_per_cluster, Report& report) {
+  // The dataflow engine (analyze/dataflow.hpp): per-lane race detection
+  // (SNP-RACE-*, superseding the SNP-IR-001 pending-STS heuristic),
+  // bounds proofs (SNP-BOUND-*), accumulator overflow proofs (SNP-OVF-*)
+  // and def-use/liveness (SNP-DF-*, superseding SNP-IR-002/003).
+  check_races(dev, program, report);
+  check_bounds(dev, program, report);
+  check_overflow(dev, program, report);
+  check_defuse(program, report);
+
   const auto linear = linearize(program);
   std::ostringstream msg;
-
-  // SNP-IR-001: every shared-memory read must be preceded by a barrier
-  // that publishes all earlier shared-memory stores; a kLds while a kSts
-  // is pending reads words other lanes may not have written yet.
-  std::size_t pending_sts = 0;
-  for (const auto& li : linear) {
-    if (li.ins->op == Opcode::kSts) {
-      ++pending_sts;
-    } else if (li.ins->op == Opcode::kBar) {
-      pending_sts = 0;
-    } else if (li.ins->op == Opcode::kLds && pending_sts > 0) {
-      msg.str("");
-      msg << "LDS at " << section_name(li.section) << "[" << li.index
-          << "] reads shared memory with " << pending_sts
-          << " STS not yet published by a barrier";
-      report.add("SNP-IR-001", Severity::kError, msg.str());
-      pending_sts = 0;  // one diagnostic per missing barrier, not per load
-    }
-  }
-
-  // SNP-IR-002: use-before-def. A body read is defined on iteration 1
-  // only by the prologue or by earlier body instructions.
-  std::set<int> defined;
-  std::set<int> reported_undef;
-  for (const auto& li : linear) {
-    for (const int src : {li.ins->src1, li.ins->src2}) {
-      if (src != sim::kNoReg && defined.count(src) == 0 &&
-          reported_undef.insert(src).second) {
-        msg.str("");
-        msg << sim::to_string(li.ins->op) << " at "
-            << section_name(li.section) << "[" << li.index
-            << "] reads r" << src << " before any instruction defines it";
-        report.add("SNP-IR-002", Severity::kError, msg.str());
-      }
-    }
-    if (li.ins->dst != sim::kNoReg) {
-      defined.insert(li.ins->dst);
-    }
-  }
-
-  // SNP-IR-003: accumulator liveness — a register written somewhere but
-  // read nowhere (stores count as reads) holds a result no one consumes.
-  std::set<int> read;
-  for (const auto& li : linear) {
-    if (li.ins->src1 != sim::kNoReg) {
-      read.insert(li.ins->src1);
-    }
-    if (li.ins->src2 != sim::kNoReg) {
-      read.insert(li.ins->src2);
-    }
-  }
-  std::vector<int> dead;
-  for (const int reg : defined) {
-    if (read.count(reg) == 0) {
-      dead.push_back(reg);
-    }
-  }
-  if (!dead.empty()) {
-    msg.str("");
-    msg << "result registers written but never read or stored:";
-    for (const int reg : dead) {
-      msg << " r" << reg;
-    }
-    report.add("SNP-IR-003", Severity::kWarn, msg.str());
-  }
 
   // SNP-IR-004: dependent-chain depth vs latency hiding. For each compute
   // class, the body's longest same-class dependence chain D bounds the
@@ -188,7 +133,8 @@ void check_program(const model::GpuSpec& dev, const sim::Program& program,
       msg << sim::to_string(li.ins->op) << " with per-lane stride "
           << li.ins->imm << " words serializes " << factor
           << "x across the " << dev.banks << " shared-memory banks";
-      report.add("SNP-BANK-002", Severity::kWarn, msg.str());
+      report.add("SNP-BANK-002", Severity::kWarn, msg.str(),
+                 section_name(li.section), li.index);
     }
   }
 }

@@ -1,0 +1,283 @@
+#include "analyze/mutate.hpp"
+
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "analyze/checks.hpp"
+#include "bits/compare.hpp"
+#include "kern/kernel_program.hpp"
+#include "model/config.hpp"
+#include "model/device.hpp"
+
+namespace snp::analyze {
+
+namespace {
+
+using sim::Instr;
+using sim::Opcode;
+
+/// splitmix64 — deterministic, dependency-free seed mixer; good enough to
+/// spread seeds over mutation sites.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t pick(std::uint64_t seed, std::size_t n) {
+  return static_cast<std::size_t>(mix(seed) % n);
+}
+
+/// Sections in program order, for mutations that address "the i-th
+/// instruction matching a predicate" across the whole program.
+std::array<std::vector<Instr>*, 3> sections(sim::Program& p) {
+  return {&p.prologue, &p.body, &p.epilogue};
+}
+
+const char* section_name(std::size_t s) {
+  return s == 0 ? "prologue" : (s == 1 ? "body" : "epilogue");
+}
+
+}  // namespace
+
+const char* to_string(Mutation m) {
+  switch (m) {
+    case Mutation::kDropBarrier:
+      return "drop-barrier";
+    case Mutation::kBumpStride:
+      return "bump-stride";
+    case Mutation::kShrinkTile:
+      return "shrink-tile";
+    case Mutation::kWidenTripCount:
+      return "widen-trip-count";
+    case Mutation::kSwapRegister:
+      return "swap-register";
+  }
+  return "?";
+}
+
+const char* expected_check(Mutation m) {
+  switch (m) {
+    case Mutation::kDropBarrier:
+      return "SNP-RACE-002";
+    case Mutation::kBumpStride:
+      return "SNP-RACE-001";
+    case Mutation::kShrinkTile:
+      return "SNP-BOUND-001";
+    case Mutation::kWidenTripCount:
+      return "SNP-OVF-001";
+    case Mutation::kSwapRegister:
+      return "SNP-DF-001";
+  }
+  return "?";
+}
+
+Mutant mutate(const sim::Program& base, Mutation m, std::uint64_t seed) {
+  Mutant out;
+  out.program = base;
+  out.expected = expected_check(m);
+  sim::Program& p = out.program;
+  std::ostringstream note;
+
+  switch (m) {
+    case Mutation::kDropBarrier: {
+      // Remove one kBar: the stores it published now share a barrier
+      // interval with the reads that consume them.
+      std::vector<std::pair<std::size_t, std::size_t>> bars;
+      const auto secs = sections(p);
+      for (std::size_t s = 0; s < secs.size(); ++s) {
+        for (std::size_t i = 0; i < secs[s]->size(); ++i) {
+          if ((*secs[s])[i].op == Opcode::kBar) {
+            bars.emplace_back(s, i);
+          }
+        }
+      }
+      if (bars.empty()) {
+        return out;
+      }
+      const auto [s, i] = bars[pick(seed, bars.size())];
+      secs[s]->erase(secs[s]->begin() + static_cast<std::ptrdiff_t>(i));
+      note << "dropped barrier at " << section_name(s) << "[" << i << "]";
+      break;
+    }
+    case Mutation::kBumpStride: {
+      // Widen one staging store's per-lane stride so its footprint climbs
+      // into the next store's range: a cross-lane write-write overlap.
+      // Eligible stores need an upward neighbor (another kSts at a higher
+      // base) to collide with.
+      std::vector<std::pair<std::size_t, std::size_t>> stores;
+      const auto secs = sections(p);
+      for (std::size_t s = 0; s < secs.size(); ++s) {
+        for (std::size_t i = 0; i < secs[s]->size(); ++i) {
+          const Instr& in = (*secs[s])[i];
+          if (in.op != Opcode::kSts || in.imm < 1) {
+            continue;
+          }
+          bool has_upward_neighbor = false;
+          for (const auto* sec : secs) {
+            for (const Instr& other : *sec) {
+              if (&other != &in && other.op == Opcode::kSts &&
+                  other.base > in.base) {
+                has_upward_neighbor = true;
+              }
+            }
+          }
+          if (has_upward_neighbor) {
+            stores.emplace_back(s, i);
+          }
+        }
+      }
+      if (stores.empty()) {
+        return out;
+      }
+      const auto [s, i] = stores[pick(seed, stores.size())];
+      Instr& in = (*secs[s])[i];
+      const int factor = 2 << (mix(seed ^ 0xB00ULL) % 3);  // 2, 4, or 8
+      note << "bumped STS stride at " << section_name(s) << "[" << i
+           << "] from " << in.imm << " to " << in.imm * factor;
+      in.imm *= factor;
+      break;
+    }
+    case Mutation::kShrinkTile: {
+      // Under-declare the LDS allocation, as a bad autotune point would:
+      // the staged footprint no longer fits.
+      if (p.shared_words <= 2) {
+        return out;
+      }
+      bool any_shared = false;
+      for (const auto* sec : sections(p)) {
+        for (const Instr& in : *sec) {
+          if (in.space == sim::Space::kShared) {
+            any_shared = true;
+          }
+        }
+      }
+      if (!any_shared) {
+        return out;
+      }
+      note << "shrank declared tile from " << p.shared_words
+           << " to 2 words";
+      p.shared_words = 2;
+      break;
+    }
+    case Mutation::kWidenTripCount: {
+      // Inflate the k trip count far past what a 32-bit accumulator can
+      // absorb. Operand extents scale with the trip count in the builder,
+      // so the mutation clears them (unknown extent = no bounds claim):
+      // the overflow proof must catch this alone.
+      if (p.iterations == 0) {
+        return out;
+      }
+      const std::uint64_t trips =
+          (1ULL << 28) + mix(seed ^ 0x717ULL) % 4096;
+      note << "widened trip count from " << p.iterations << " to "
+           << trips;
+      p.iterations = trips;
+      p.extent_words = {0, 0, 0};
+      break;
+    }
+    case Mutation::kSwapRegister: {
+      // Redirect one body logic source to a register nothing writes.
+      std::vector<std::size_t> cands;
+      for (std::size_t i = 0; i < p.body.size(); ++i) {
+        const Instr& in = p.body[i];
+        if (sim::instr_class(in.op) == model::InstrClass::kLogic &&
+            in.op != Opcode::kMovi && in.src1 != sim::kNoReg) {
+          cands.push_back(i);
+        }
+      }
+      if (cands.empty()) {
+        return out;
+      }
+      const std::size_t i = cands[pick(seed, cands.size())];
+      Instr& in = p.body[i];
+      const int fresh = p.max_register() + 1;
+      const bool swap_src2 =
+          in.src2 != sim::kNoReg && (mix(seed ^ 0x5EED) & 1) != 0;
+      note << "redirected " << sim::to_string(in.op) << " body[" << i
+           << "] " << (swap_src2 ? "src2" : "src1") << " to unwritten r"
+           << fresh;
+      (swap_src2 ? in.src2 : in.src1) = fresh;
+      break;
+    }
+  }
+
+  out.applicable = true;
+  out.note = note.str();
+  return out;
+}
+
+SoakStats mutation_soak(int seeds_per_cell) {
+  SoakStats stats;
+  constexpr std::array<bits::Comparison, 3> kOps = {
+      bits::Comparison::kAnd, bits::Comparison::kXor,
+      bits::Comparison::kAndNot};
+  constexpr std::array<model::WorkloadKind, 2> kKinds = {
+      model::WorkloadKind::kLd, model::WorkloadKind::kFastId};
+
+  std::uint64_t cell = 0;
+  for (const auto& dev : model::all_gpus()) {
+    for (const auto kind : kKinds) {
+      const auto cfg = model::paper_preset(dev, kind);
+      for (const auto op : kOps) {
+        const auto info = kern::build_kernel_program(dev, cfg, op, 16, 2);
+        auto describe = [&](Mutation m, std::uint64_t seed) {
+          std::ostringstream os;
+          os << dev.name << "/"
+             << (kind == model::WorkloadKind::kLd ? "ld" : "fastid") << "/"
+             << bits::to_string(op) << " " << to_string(m) << " seed "
+             << seed;
+          return os.str();
+        };
+
+        Report clean;
+        check_program(dev, info.program, dev.groups_per_cluster(), clean);
+        ++stats.programs;
+        if (!clean.diagnostics().empty()) {
+          stats.failures.push_back(
+              describe(Mutation::kDropBarrier, 0) +
+              ": unmutated program not clean, first id " +
+              clean.diagnostics().front().id);
+          continue;
+        }
+
+        for (const auto m : kAllMutations) {
+          ++cell;
+          for (int s = 0; s < seeds_per_cell; ++s) {
+            const std::uint64_t seed =
+                mix(cell * 1000003ULL) + static_cast<std::uint64_t>(s);
+            const Mutant mut = mutate(info.program, m, seed);
+            if (!mut.applicable) {
+              ++stats.skipped;
+              continue;
+            }
+            Report r;
+            check_program(dev, mut.program, dev.groups_per_cluster(), r);
+            ++stats.mutants;
+            if (!r.has(mut.expected)) {
+              stats.failures.push_back(describe(m, seed) +
+                                       ": FALSE NEGATIVE, expected " +
+                                       mut.expected + " (" + mut.note +
+                                       ")");
+              continue;
+            }
+            for (const auto& d : r.diagnostics()) {
+              if (d.severity == Severity::kError && d.id != mut.expected) {
+                stats.failures.push_back(describe(m, seed) +
+                                         ": unexpected error " + d.id +
+                                         " alongside " + mut.expected +
+                                         " (" + mut.note + ")");
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace snp::analyze

@@ -1,0 +1,78 @@
+// snp::analyze — seeded program mutator and mutation soundness soak.
+//
+// The dataflow verifier (analyze/dataflow.hpp) is itself checked by
+// construction-by-contradiction: take a known-clean kernel program, break
+// exactly one property with a seeded mutation, and require the analyzer to
+// trip exactly the expected check. Five mutation kinds cover the four
+// proof families:
+//
+//   kDropBarrier    — remove one kBar            -> SNP-RACE-002
+//   kBumpStride     — widen one kSts lane stride -> SNP-RACE-001
+//   kShrinkTile     — shrink the declared tile   -> SNP-BOUND-001
+//   kWidenTripCount — inflate the k trip count   -> SNP-OVF-001
+//   kSwapRegister   — redirect a body logic op's
+//                     source to a fresh register -> SNP-DF-001
+//
+// mutation_soak() sweeps device preset x workload x op x mutation x seed:
+// the unmutated corpus must analyze clean, and every applicable mutant
+// must report its expected check as the *only* error-severity ID (lower
+// severity fallout, e.g. a dead store created by kSwapRegister, is
+// allowed). Any deviation is a soundness failure — a false negative (the
+// analyzer missed a planted bug) or a false positive (it flagged a clean
+// program) — and is returned verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/isa.hpp"
+
+namespace snp::analyze {
+
+enum class Mutation {
+  kDropBarrier,
+  kBumpStride,
+  kShrinkTile,
+  kWidenTripCount,
+  kSwapRegister,
+};
+
+inline constexpr Mutation kAllMutations[] = {
+    Mutation::kDropBarrier,    Mutation::kBumpStride,
+    Mutation::kShrinkTile,     Mutation::kWidenTripCount,
+    Mutation::kSwapRegister,
+};
+
+[[nodiscard]] const char* to_string(Mutation m);
+
+/// The check ID a mutant of this kind must trip.
+[[nodiscard]] const char* expected_check(Mutation m);
+
+struct Mutant {
+  sim::Program program;
+  /// False when the base program has no site for this mutation (e.g. no
+  /// barrier to drop); `program` is then the unmodified base.
+  bool applicable = false;
+  const char* expected = nullptr;
+  std::string note;  ///< human-readable description of the applied edit
+};
+
+/// Applies one seeded mutation to a copy of `base`. Deterministic in
+/// (base, m, seed).
+[[nodiscard]] Mutant mutate(const sim::Program& base, Mutation m,
+                            std::uint64_t seed);
+
+struct SoakStats {
+  std::uint64_t programs = 0;  ///< corpus programs analyzed clean
+  std::uint64_t mutants = 0;   ///< applicable mutants analyzed
+  std::uint64_t skipped = 0;   ///< inapplicable (mutation had no site)
+  std::vector<std::string> failures;
+};
+
+/// Runs the soundness soak over the shipped corpus (every device preset x
+/// workload x comparison op) with `seeds_per_cell` seeds per (program,
+/// mutation) cell. ~1000 mutants at seeds_per_cell = 12.
+[[nodiscard]] SoakStats mutation_soak(int seeds_per_cell);
+
+}  // namespace snp::analyze

@@ -13,6 +13,7 @@
 #include <stdexcept>
 
 #include "analyze/analyzer.hpp"
+#include "analyze/mutate.hpp"
 #include "bits/genotype.hpp"
 #include "core/snpcmp.hpp"
 #include "io/datagen.hpp"
@@ -541,6 +542,7 @@ int cmd_search(Options& opt, std::ostream& out) {
   const std::size_t top = opt.num("top", 3);
   const std::size_t threads = opt.num("threads", 0);
   const std::string host_trace = opt.str("host-trace", "");
+  const auto lds_words = static_cast<int>(opt.num("lds-words", 0));
   const Telemetry tele(opt);
   FaultControl faults(opt);
   opt.reject_unknown();
@@ -550,6 +552,7 @@ int cmd_search(Options& opt, std::ostream& out) {
   Context ctx = make_context(device);
   ComputeOptions copts;
   copts.threads = threads;
+  copts.lds_words = lds_words;
   faults.apply(copts);
   const auto res = ctx.identity_search(queries, db, copts);
   print_timing(out, res.comparison.timing);
@@ -1115,10 +1118,25 @@ int cmd_kernel_src(Options& opt, std::ostream& out) {
 /// `snpcmp lint`: the src/analyze static analyzer as a CLI verb. With no
 /// overrides it checks the Table II preset for --device/--workload; the
 /// --m-r/--m-c/--k-c/--n-r/--grid-m/--grid-n overrides let CI and tests
-/// probe deliberately corrupted configs. Exit 0 = clean (warn/info
-/// allowed), 3 = at least one error-severity diagnostic; 1/2 keep their
-/// usual usage/runtime meanings.
+/// probe deliberately corrupted configs, --lds-words/--k-iters probe a
+/// specific launch shape (allocation and trip count) against the dataflow
+/// proofs, and --soak N runs the analyzer's own mutation soundness soak
+/// (N seeds per corpus cell). Exit 0 = clean (warn/info allowed), 3 = at
+/// least one error-severity diagnostic (or any soak failure); 1/2 keep
+/// their usual usage/runtime meanings.
 int cmd_lint(Options& opt, std::ostream& out) {
+  const auto soak_seeds = static_cast<int>(opt.num("soak", 0));
+  if (soak_seeds > 0) {
+    opt.reject_unknown();
+    const auto stats = analyze::mutation_soak(soak_seeds);
+    out << "soak: " << stats.programs << " corpus program(s), "
+        << stats.mutants << " mutant(s), " << stats.skipped
+        << " inapplicable, " << stats.failures.size() << " failure(s)\n";
+    for (const auto& f : stats.failures) {
+      out << "soak failure: " << f << "\n";
+    }
+    return stats.failures.empty() ? 0 : 3;
+  }
   const std::string device = opt.str("device", "titanv");
   const std::string workload = opt.str("workload", "ld");
   if (workload != "ld" && workload != "fastid") {
@@ -1147,9 +1165,12 @@ int cmd_lint(Options& opt, std::ostream& out) {
       opt.num("grid-m", static_cast<std::uint64_t>(cfg.grid.grid_m)));
   cfg.grid.grid_n = static_cast<int>(
       opt.num("grid-n", static_cast<std::uint64_t>(cfg.grid.grid_n)));
+  analyze::AnalyzeOptions aopts;
+  aopts.k_iterations = opt.num("k-iters", aopts.k_iterations);
+  aopts.lds_words = static_cast<int>(opt.num("lds-words", 0));
   opt.reject_unknown();
 
-  const analyze::Report report = analyze::analyze(dev, cfg, op);
+  const analyze::Report report = analyze::analyze(dev, cfg, op, aopts);
   const auto errors = report.count(analyze::Severity::kError);
   const auto warns = report.count(analyze::Severity::kWarn);
   const auto infos = report.count(analyze::Severity::kInfo);
@@ -1595,7 +1616,9 @@ commands:
             [telemetry flags]
   search    --queries F --db F  FastID identity search (Eq. 2)
             [--device D] [--top K] [--threads N] [--host-trace F.json]
-            [telemetry flags]
+            [--lds-words N: launch-time LDS allocation the pre-launch
+            verifier proves the kernel against; blocked with exit 3 if
+            too small] [telemetry flags]
   mixture   --profiles F --mixtures F   FastID mixture analysis (Eq. 3)
             [--device D] [--tolerance T] [--pre-negate yes|no]
             [--threads N] [telemetry flags]
@@ -1609,9 +1632,13 @@ commands:
   lint      [--device D] [--workload ld|fastid] [--op and|xor|andnot]
             [--pre-negate yes|no] [--format text|json]
             [--m-r N] [--m-c N] [--k-c N] [--n-r N] [--grid-m N] [--grid-n N]
-            static analysis of the kernel config, instruction IR, and
-            rendered OpenCL source (docs/static-analysis.md); exit 3 when
-            error-severity diagnostics are present
+            [--lds-words N] [--k-iters N] [--soak N]
+            static analysis of the kernel config, instruction IR
+            (dataflow race/bounds/overflow proofs), and rendered OpenCL
+            source (docs/static-analysis.md); --lds-words/--k-iters probe
+            an explicit launch shape, --soak N runs the mutation
+            soundness soak with N seeds per corpus cell; exit 3 when
+            error-severity diagnostics (or soak failures) are present
   report    --in F --out R.md   markdown cohort report (QC + kinship +
             optional association + projected device performance)
             [--cases L] [--device D] [--format auto|plink|vcf]
@@ -1755,6 +1782,13 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   } catch (const std::invalid_argument& e) {
     err << "error: " << e.what() << "\n" << usage();
     return 1;
+  } catch (const analyze::VerificationError& e) {
+    // Pre-launch verification failure: the dataflow engine proved the
+    // configured kernel unsafe, so nothing launched. The stable check ID
+    // is the first stderr token (same contract as SNPRT-* faults) and
+    // the exit code matches `snpcmp lint`'s error exit.
+    err << e.check_id() << " " << e.what() << "\n";
+    return 3;
   } catch (const rt::Error& e) {
     // Structured runtime failure (exhausted retries under --fail-policy
     // abort/retry, unrecoverable corruption, ...): the stable SNPRT-*

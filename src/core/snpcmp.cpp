@@ -493,16 +493,29 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
   result.timing.device = dev.name;
   result.timing.config = cfg.to_string();
   if (options.lint) {
-    // Warn-only pre-launch pass: the config already passed validate(), so
-    // only warn/info findings (idle cores, bank conflicts, Eq. 5 note)
-    // can surface here.
+    // Pre-launch verification: the dataflow engine proves the generated
+    // kernel program race-free, in-bounds, and overflow-free for the
+    // *actual* trip count and LDS allocation of this launch. Warn/info
+    // findings ride along in lint_notes; an error-severity finding means
+    // the kernel must not launch and aborts with exit code 3 (the first
+    // failed check's ID leads the message).
     SNP_OBS_SPAN("core.lint");
-    const auto lint = analyze::analyze(dev, cfg, op);
+    analyze::AnalyzeOptions aopts;
+    aopts.k_iterations = std::max<std::uint64_t>(
+        1, (k_words + static_cast<std::size_t>(aopts.unroll) - 1) /
+               static_cast<std::size_t>(aopts.unroll));
+    aopts.lds_words = options.lds_words;
+    const auto lint = analyze::analyze(dev, cfg, op, aopts);
     SNP_OBS_COUNT("core.lint.diags", lint.diagnostics().size());
     for (const auto& d : lint.diagnostics()) {
       result.timing.lint_notes.push_back(
           std::string(analyze::to_string(d.severity)) + "  " + d.id +
           "  " + d.message);
+    }
+    if (lint.has_errors()) {
+      const auto* first = lint.first_error();
+      throw analyze::VerificationError(
+          first->id, "pre-launch verification failed: " + first->message);
     }
   }
   if (options.functional && options.keep_counts) {

@@ -55,9 +55,17 @@ struct ComputeOptions {
 
   /// GPU contexts: run the static analyzer (src/analyze) on the effective
   /// config before launch and attach its findings to
-  /// TimingReport::lint_notes. Warn-only — it never blocks the run
-  /// (error-severity configs are already rejected by model::validate).
+  /// TimingReport::lint_notes. The dataflow proofs run for the real trip
+  /// count; warn/info findings never block, but an error-severity finding
+  /// (a race, out-of-bounds access, or accumulator overflow the engine
+  /// can prove) aborts the launch with analyze::VerificationError (CLI
+  /// exit code 3, check ID first).
   bool lint = true;
+  /// Launch-time LDS allocation override in 32-bit words for the lint
+  /// pass, e.g. an autotuner's proposed tile. 0 = the config's Eq. 4/5
+  /// tile. The SNP-BOUND-* proofs verify the staged footprint fits this
+  /// allocation before anything launches.
+  int lds_words = 0;
 
   /// Host worker threads for the asynchronous chunk pipeline. 0 (default)
   /// keeps the fully serial legacy path. With threads >= 1, compare()
@@ -144,7 +152,8 @@ struct TimingReport {
   std::vector<sim::HostChunkEvent> chunk_events;
   /// Pre-launch static-analysis findings, one "severity  ID  message"
   /// line each (ComputeOptions::lint, GPU contexts only). Error severity
-  /// never appears here: such configs fail validate() before launch.
+  /// only appears on runs aborted by analyze::VerificationError; clean
+  /// launches carry warn/info notes at most.
   std::vector<std::string> lint_notes;
   /// Every fault the recovery machinery observed this run and the action
   /// taken (retry/exhausted/degrade/...), in completion order. Empty on

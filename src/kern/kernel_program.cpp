@@ -7,6 +7,7 @@ namespace snp::kern {
 using sim::Instr;
 using sim::kNoReg;
 using sim::Opcode;
+using sim::Space;
 
 KernelProgramInfo build_kernel_program(const model::GpuSpec& dev,
                                        const model::KernelConfig& cfg,
@@ -43,23 +44,37 @@ KernelProgramInfo build_kernel_program(const model::GpuSpec& dev,
   info.registers_per_thread = tmp_base + n_acc;
 
   sim::Program& p = info.program;
+  const long long n_t = dev.n_t;
+  // Declared footprints the dataflow verifier proves accesses against:
+  // the Eq. 4/5 LDS tile, the packed A panel, the streamed B words (one
+  // n_t-wide vector per iteration plus the primed one), and the gamma
+  // write-back.
+  p.shared_words = cfg.m_c * cfg.k_c;
+  p.extent_words[0] = static_cast<long long>(cfg.m_c) * cfg.k_c;
+  p.extent_words[1] =
+      (static_cast<long long>(k_iterations) + 1) * n_t;
+  p.extent_words[2] = static_cast<long long>(n_acc) * n_t;
+
   // Prologue: this thread's share of the cooperative A-tile staging (the
   // third loop packs A into local memory, k-major so lanes land in
   // distinct banks), published to the group by a barrier before any lane
-  // reads it back; then zero the accumulators (move from a loaded seed)
-  // and prime the B double buffer from global memory.
+  // reads it back; then zero the accumulators and prime the B double
+  // buffer from global memory. Staging is coalesced: row r's share is
+  // the contiguous words [r*n_t, (r+1)*n_t), lane id selecting the word.
   for (int r = 0; r < cfg.m_r; ++r) {
-    p.prologue.push_back({Opcode::kLdg, a_base + r, kNoReg, kNoReg, 0});
+    p.prologue.push_back({Opcode::kLdg, a_base + r, kNoReg, kNoReg, 1,
+                          Space::kGlobalA, r * n_t, 0});
   }
   for (int r = 0; r < cfg.m_r; ++r) {
-    p.prologue.push_back({Opcode::kSts, kNoReg, a_base + r, kNoReg, 1});
+    p.prologue.push_back({Opcode::kSts, kNoReg, a_base + r, kNoReg, 1,
+                          Space::kShared, r * n_t, 0});
   }
   p.prologue.push_back({Opcode::kBar, kNoReg, kNoReg, kNoReg, 0});
-  p.prologue.push_back({Opcode::kLdg, tmp_base, kNoReg, kNoReg, 0});
   for (int acc = 0; acc < n_acc; ++acc) {
-    p.prologue.push_back({Opcode::kMov, acc, tmp_base, kNoReg, 0});
+    p.prologue.push_back({Opcode::kMovi, acc, kNoReg, kNoReg, 0});
   }
-  p.prologue.push_back({Opcode::kLdg, b_stage, kNoReg, kNoReg, 0});
+  p.prologue.push_back(
+      {Opcode::kLdg, b_stage, kNoReg, kNoReg, 1, Space::kGlobalB, 0, 0});
 
   const Opcode logic_op = [&] {
     switch (op) {
@@ -83,12 +98,19 @@ KernelProgramInfo build_kernel_program(const model::GpuSpec& dev,
   // iteration's compute (the double buffering the real kernel performs
   // with its registers).
   p.body.push_back({Opcode::kMov, b_consume, b_stage, kNoReg, 0});
-  p.body.push_back({Opcode::kLdg, b_stage, kNoReg, kNoReg, 0});
+  // Iteration i stages iteration i+1's B vector: lane-coalesced words
+  // [(i+1)*n_t, (i+2)*n_t).
+  p.body.push_back({Opcode::kLdg, b_stage, kNoReg, kNoReg, 1,
+                    Space::kGlobalB, n_t, dev.n_t});
   for (int u = 0; u < unroll; ++u) {
-    // m_r A values from shared memory (k-major layout, conflict-free
-    // stride 1).
+    // m_r A values from the k-major staged tile (word k*m_c + row). The
+    // whole group walks the same k-slot, so each read is a broadcast of
+    // one word (stride 0, conflict-free); the walk stays inside the
+    // staged tile, so the footprint is iteration-invariant.
     for (int r = 0; r < cfg.m_r; ++r) {
-      p.body.push_back({Opcode::kLds, a_base + r, kNoReg, kNoReg, 1});
+      p.body.push_back({Opcode::kLds, a_base + r, kNoReg, kNoReg, 0,
+                        Space::kShared,
+                        static_cast<long long>(u) * cfg.m_c + r, 0});
     }
 
     // Software-pipelined emission (what the compiler's scheduler does to
@@ -121,7 +143,8 @@ KernelProgramInfo build_kernel_program(const model::GpuSpec& dev,
   // Epilogue: store the accumulators (defeats nothing here, but mirrors
   // the real kernel's C write-back).
   for (int acc = 0; acc < n_acc; ++acc) {
-    p.epilogue.push_back({Opcode::kStg, kNoReg, acc, kNoReg, 0});
+    p.epilogue.push_back({Opcode::kStg, kNoReg, acc, kNoReg, 1,
+                          Space::kGlobalC, acc * n_t, 0});
   }
 
   info.wordops_per_iteration =

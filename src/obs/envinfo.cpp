@@ -61,6 +61,8 @@ std::string compiler_id() {
 }
 
 std::string git_sha_of_cwd() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env access;
+  // nothing in the process ever calls setenv.
   if (const char* env = std::getenv("SNPCMP_GIT_SHA");
       env != nullptr && *env != '\0') {
     return env;

@@ -32,6 +32,8 @@ std::string_view trim(std::string_view s) {
 }
 
 std::size_t configured_capacity() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-once at ring setup;
+  // nothing in the process ever calls setenv.
   const char* env = std::getenv("SNPCMP_FLIGHT_RING");
   if (env == nullptr) {
     return FlightRecorder::kDefaultCapacity;
@@ -303,6 +305,8 @@ bool FlightRecorder::dump_to_file(const std::string& path,
 std::string FlightRecorder::auto_dump(std::string_view reason) const {
   std::string path = dump_path();
   if (path.empty()) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env access;
+    // nothing in the process ever calls setenv.
     if (const char* env = std::getenv("SNPCMP_FLIGHT_OUT")) {
       // Blank (empty or whitespace-only) values are treated as unset:
       // `SNPCMP_FLIGHT_OUT= snpcmp ...` and stray-space exports must not

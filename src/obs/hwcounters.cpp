@@ -13,6 +13,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 #endif
 
 namespace snp::obs {
@@ -101,7 +102,7 @@ std::uint64_t event_id(int fd) {
 HwCounters::HwCounters() {
   leader_fd_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
   if (leader_fd_ < 0) {
-    error_ = std::string("perf_event_open: ") + std::strerror(errno);
+    error_ = "perf_event_open: " + std::system_category().message(errno);
     return;
   }
   leader_id_ = event_id(leader_fd_);

@@ -159,6 +159,8 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
 FaultInjector& FaultInjector::global() {
   static FaultInjector* injector = [] {
     auto* inj = new FaultInjector();
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-once at first use;
+    // nothing in the process ever calls setenv.
     if (const char* env = std::getenv("SNPCMP_FAULTS");
         env != nullptr && *env != '\0') {
       try {

@@ -13,6 +13,7 @@
 // pipe, shared-memory access stride for bank-conflict modeling).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -29,12 +30,40 @@ enum class Opcode : std::uint8_t {
   kAdd,   ///< dst = src1 + src2           (add pipe/class)
   kPopc,  ///< dst = popcount(src1)        (popcount pipe)
   kMov,   ///< dst = src1                  (logic pipe)
+  kMovi,  ///< dst = imm (immediate move, logic pipe)
   kLds,   ///< dst = shared[...]; imm = per-lane stride in words (mem pipe)
   kLdg,   ///< dst = global[...]           (mem pipe, long latency)
   kStg,   ///< global[...] = src1          (mem pipe)
   kSts,   ///< shared[...] = src1; imm = per-lane stride in words (mem pipe)
   kBar,   ///< thread-group barrier (publishes prior kSts to the group)
 };
+
+/// Address space a memory instruction touches. kShared is the per-group
+/// LDS tile; the global spaces name the kernel's three operands so the
+/// analyzer can prove accesses against their declared extents.
+enum class Space : std::uint8_t {
+  kNone,     ///< not a memory access, or address untracked (legacy)
+  kShared,   ///< the A tile staged in local/shared memory
+  kGlobalA,  ///< the packed A panel in global memory
+  kGlobalB,  ///< the streamed B operand in global memory
+  kGlobalC,  ///< the gamma/C output in global memory
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Space s) {
+  switch (s) {
+    case Space::kNone:
+      return "none";
+    case Space::kShared:
+      return "shared";
+    case Space::kGlobalA:
+      return "A";
+    case Space::kGlobalB:
+      return "B";
+    case Space::kGlobalC:
+      return "C";
+  }
+  return "?";
+}
 
 [[nodiscard]] constexpr model::InstrClass instr_class(Opcode op) {
   switch (op) {
@@ -43,6 +72,7 @@ enum class Opcode : std::uint8_t {
     case Opcode::kAndn:
     case Opcode::kNot:
     case Opcode::kMov:
+    case Opcode::kMovi:
       return model::InstrClass::kLogic;
     case Opcode::kAdd:
       return model::InstrClass::kAdd;
@@ -74,6 +104,8 @@ enum class Opcode : std::uint8_t {
       return "POPC";
     case Opcode::kMov:
       return "MOV";
+    case Opcode::kMovi:
+      return "MOVI";
     case Opcode::kLds:
       return "LDS";
     case Opcode::kLdg:
@@ -97,8 +129,21 @@ struct Instr {
   int dst = kNoReg;
   int src1 = kNoReg;
   int src2 = kNoReg;
-  /// kLds: per-lane address stride in 32-bit words (bank-conflict model).
+  /// Memory ops: per-lane address stride in 32-bit words. Drives the
+  /// bank-conflict timing model for kLds and the analyzer's per-lane
+  /// footprints for every memory op (0 = broadcast, all lanes read the
+  /// same word). kMovi: the immediate value moved into dst.
   int imm = 0;
+  /// Memory ops only: which operand the access touches. kNone leaves the
+  /// access untracked (legacy microbenchmark programs), which skips the
+  /// dataflow bounds/race footprint for that instruction.
+  Space space = Space::kNone;
+  /// Word offset of lane 0's access at body iteration 0 within `space`.
+  long long base = 0;
+  /// Words the access advances per body iteration (0 for prologue and
+  /// epilogue instructions, and for accesses that revisit the same words
+  /// every trip, e.g. the staged A tile).
+  int iter_stride = 0;
 };
 
 struct Program {
@@ -107,10 +152,35 @@ struct Program {
   std::uint64_t iterations = 1;
   std::vector<Instr> epilogue;
 
+  /// Declared LDS allocation in 32-bit words (the Eq. 4/5 tile). 0 means
+  /// "not declared": the analyzer skips shared-memory bounds proofs.
+  int shared_words = 0;
+  /// Declared extents, in words, of the three global operands
+  /// (index = Space::kGlobalA/B/C - Space::kGlobalA). 0 = unknown extent,
+  /// which skips the bounds proof for accesses to that operand.
+  std::array<long long, 3> extent_words{};
+
   [[nodiscard]] std::uint64_t dynamic_instructions() const {
     return prologue.size() + body.size() * iterations + epilogue.size();
   }
   [[nodiscard]] int max_register() const;
+  /// Declared extent of `space` in words (shared_words for kShared);
+  /// 0 when unknown or `space` is kNone.
+  [[nodiscard]] long long extent_of(Space space) const {
+    switch (space) {
+      case Space::kShared:
+        return shared_words;
+      case Space::kGlobalA:
+        return extent_words[0];
+      case Space::kGlobalB:
+        return extent_words[1];
+      case Space::kGlobalC:
+        return extent_words[2];
+      case Space::kNone:
+        break;
+    }
+    return 0;
+  }
 };
 
 /// Builders for the paper's microbenchmark program shapes.

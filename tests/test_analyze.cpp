@@ -1,7 +1,10 @@
 // The static-analysis subsystem: check registry, config/IR/source passes,
-// the full analyze() pipeline over every paper preset, and a seeded
-// property sweep over perturbed devices (derive() output must always be
-// error-free; targeted corruptions must trip their specific check IDs).
+// the dataflow verification engine (races, bounds, overflow, def-use) with
+// hand-built trip/clean fixture pairs per check ID, a reduced-seed
+// mutation soundness soak, the full analyze() pipeline over every paper
+// preset, and a seeded property sweep over perturbed devices (derive()
+// output must always be error-free; targeted corruptions must trip their
+// specific check IDs).
 #include "analyze/analyzer.hpp"
 
 #include <gtest/gtest.h>
@@ -10,6 +13,7 @@
 #include <sstream>
 #include <string>
 
+#include "analyze/mutate.hpp"
 #include "io/rng.hpp"
 #include "kern/kernel_program.hpp"
 #include "kern/opencl_source.hpp"
@@ -62,7 +66,7 @@ TEST(Diagnostics, TextAndJsonRendering) {
 
 TEST(Registry, IdsAreUniqueAndWellFormed) {
   const auto& checks = check_registry();
-  EXPECT_GE(checks.size(), 20u);
+  EXPECT_GE(checks.size(), 30u);
   for (std::size_t i = 0; i < checks.size(); ++i) {
     const std::string id = checks[i].id;
     EXPECT_EQ(id.rfind("SNP-", 0), 0u) << id;
@@ -70,6 +74,54 @@ TEST(Registry, IdsAreUniqueAndWellFormed) {
       EXPECT_STRNE(checks[i].id, checks[j].id);
     }
   }
+}
+
+TEST(Registry, SupersededIdsStayRegisteredAndPointAtReplacements) {
+  // Satellite: SNP-IR-001/002/003 were replaced by the dataflow engine but
+  // keep stable registry entries so old suppression lists do not dangle.
+  const struct {
+    const char* old_id;
+    const char* new_id;
+  } kPairs[] = {{"SNP-IR-001", "SNP-RACE-002"},
+                {"SNP-IR-002", "SNP-DF-001"},
+                {"SNP-IR-003", "SNP-DF-002"}};
+  for (const auto& pair : kPairs) {
+    const CheckInfo* old_check = find_check(pair.old_id);
+    ASSERT_NE(old_check, nullptr) << pair.old_id;
+    ASSERT_NE(old_check->superseded_by, nullptr) << pair.old_id;
+    EXPECT_STREQ(old_check->superseded_by, pair.new_id);
+    // The replacement must itself exist and not be superseded in turn.
+    const CheckInfo* new_check = find_check(pair.new_id);
+    ASSERT_NE(new_check, nullptr) << pair.new_id;
+    EXPECT_EQ(new_check->superseded_by, nullptr) << pair.new_id;
+  }
+  EXPECT_EQ(find_check("SNP-NOPE-999"), nullptr);
+}
+
+TEST(Diagnostics, ReportsRenderInCanonicalOrder) {
+  // Satellite: diagnostics sort by (check ID, section, index) regardless
+  // of insertion order, so `lint --format json` is byte-stable.
+  Report r;
+  r.add("SNP-TST-009", Severity::kWarn, "late id", "body", 4);
+  r.add("SNP-TST-001", Severity::kError, "early id, late site", "body", 7);
+  r.add("SNP-TST-001", Severity::kError, "early id, early site",
+        "prologue", 2);
+  const auto sorted = r.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].message, "early id, early site");
+  EXPECT_EQ(sorted[1].message, "early id, late site");
+  EXPECT_EQ(sorted[2].message, "late id");
+  const auto* first = r.first_error();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->message, "early id, early site");
+
+  std::ostringstream json;
+  r.write_json(json);
+  const std::string s = json.str();
+  EXPECT_LT(s.find("early id, early site"), s.find("early id, late site"));
+  EXPECT_LT(s.find("early id, late site"), s.find("late id"));
+  EXPECT_NE(s.find("\"section\": \"prologue\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"index\": 2"), std::string::npos) << s;
 }
 
 // ---- config pass -----------------------------------------------------
@@ -194,7 +246,26 @@ TEST(IrChecks, KernelProgramIsCleanAtPolicyOccupancy) {
   }
 }
 
-TEST(IrChecks, MissingBarrierAfterStagingTripsIr001) {
+TEST(IrChecks, KernelProgramDeclaresItsFootprints) {
+  const auto dev = model::gtx980();
+  const auto cfg = model::paper_preset(dev, WorkloadKind::kLd);
+  const auto info =
+      kern::build_kernel_program(dev, cfg, Comparison::kAnd, 16, 2);
+  const auto& p = info.program;
+  EXPECT_EQ(p.shared_words, cfg.m_c * cfg.k_c);
+  EXPECT_EQ(p.extent_words[0],
+            static_cast<long long>(cfg.m_c) * cfg.k_c);
+  EXPECT_EQ(p.extent_words[1], 17LL * dev.n_t);  // k_iterations + 1
+  EXPECT_EQ(p.extent_words[2],
+            static_cast<long long>(info.outputs_per_thread) * dev.n_t);
+}
+
+// ---- race detection --------------------------------------------------
+
+TEST(RaceChecks, DroppedStagingBarrierTripsRace002) {
+  // The SNP-IR-001 scenario, now proven as a real read-write race: with
+  // the staging barrier gone, the cooperative A-tile stores share an
+  // interval with the body's LDS reads of the same tile.
   const auto dev = model::gtx980();
   const auto cfg = model::paper_preset(dev, WorkloadKind::kLd);
   auto info = kern::build_kernel_program(dev, cfg, Comparison::kAnd, 8, 2);
@@ -206,21 +277,280 @@ TEST(IrChecks, MissingBarrierAfterStagingTripsIr001) {
             pro.end());
   Report r;
   check_program(dev, info.program, dev.groups_per_cluster(), r);
-  EXPECT_TRUE(r.has("SNP-IR-001"));
+  EXPECT_TRUE(r.has("SNP-RACE-002"));
+  EXPECT_FALSE(r.has("SNP-IR-001"));  // superseded ID is never emitted
   EXPECT_TRUE(r.has_errors());
 }
 
-TEST(IrChecks, UndefinedRegisterReadTripsIr002) {
+TEST(RaceChecks, OverlappingStoresTripRace001AndDisjointStoresAreClean) {
+  const auto dev = model::gtx980();  // n_t = 32
+  auto make = [](long long second_base) {
+    sim::Program p;
+    p.shared_words = 64;
+    p.prologue.push_back({sim::Opcode::kMovi, 0, sim::kNoReg, sim::kNoReg,
+                          0});
+    // Lane l writes word l, then word second_base + l: the footprints
+    // overlap whenever second_base < n_t.
+    p.prologue.push_back({sim::Opcode::kSts, sim::kNoReg, 0, sim::kNoReg,
+                          1, sim::Space::kShared, 0, 0});
+    p.prologue.push_back({sim::Opcode::kSts, sim::kNoReg, 0, sim::kNoReg,
+                          1, sim::Space::kShared, second_base, 0});
+    return p;
+  };
+  Report trip;
+  check_program(dev, make(16), 1, trip);
+  EXPECT_TRUE(trip.has("SNP-RACE-001"));
+  EXPECT_TRUE(trip.has_errors());
+  Report clean;
+  check_program(dev, make(32), 1, clean);
+  EXPECT_FALSE(clean.has("SNP-RACE-001"));
+
+  // A barrier between the two overlapping stores orders them: clean.
+  auto ordered = make(16);
+  ordered.prologue.insert(
+      ordered.prologue.begin() + 2,
+      {sim::Opcode::kBar, sim::kNoReg, sim::kNoReg, sim::kNoReg, 0});
+  Report barred;
+  check_program(dev, ordered, 1, barred);
+  EXPECT_FALSE(barred.has("SNP-RACE-001"));
+}
+
+TEST(RaceChecks, BroadcastStoreSelfRacesAcrossLanes) {
+  // Every lane writing the same word is a write-write race of the
+  // instruction with itself (stride 0, n_t >= 2 lanes).
+  const auto dev = model::gtx980();
+  sim::Program p;
+  p.shared_words = 4;
+  p.prologue.push_back({sim::Opcode::kMovi, 0, sim::kNoReg, sim::kNoReg,
+                        0});
+  p.prologue.push_back({sim::Opcode::kSts, sim::kNoReg, 0, sim::kNoReg, 0,
+                        sim::Space::kShared, 0, 0});
+  Report r;
+  check_program(dev, p, 1, r);
+  EXPECT_TRUE(r.has("SNP-RACE-001"));
+}
+
+/// A double-buffer gone wrong: iteration i writes shared words
+/// [32i, 32i+31] before a barrier and then reads words shifted one lane
+/// into iteration i+1's slot — so consecutive iterations race across
+/// lanes unless the body also ends with a barrier.
+sim::Program cross_iteration_program(std::uint64_t iterations) {
+  sim::Program p;
+  p.shared_words = 1024;
+  p.iterations = iterations;
+  p.prologue.push_back({sim::Opcode::kMovi, 0, sim::kNoReg, sim::kNoReg,
+                        0});
+  p.body.push_back({sim::Opcode::kSts, sim::kNoReg, 0, sim::kNoReg, 1,
+                    sim::Space::kShared, 0, 32});
+  p.body.push_back({sim::Opcode::kBar, sim::kNoReg, sim::kNoReg,
+                    sim::kNoReg, 0});
+  p.body.push_back({sim::Opcode::kLds, 1, sim::kNoReg, sim::kNoReg, 1,
+                    sim::Space::kShared, 33, 32});
+  p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 1, sim::kNoReg,
+                        0});
+  return p;
+}
+
+TEST(RaceChecks, CrossIterationRaceNeedsTheTwoIterationUnrolling) {
+  // Iteration i's read of word i+1 races with iteration i+1's write of
+  // the same word — invisible to a single-trip analysis.
+  const auto dev = model::gtx980();
+  Report two;
+  check_program(dev, cross_iteration_program(2), 1, two);
+  EXPECT_TRUE(two.has("SNP-RACE-002"));
+  Report one;
+  check_program(dev, cross_iteration_program(1), 1, one);
+  EXPECT_FALSE(one.has("SNP-RACE-002"));
+}
+
+TEST(RaceChecks, MovingFootprintsFallBackToConservativeOverlap) {
+  // Beyond the two modeled trips a moving shared footprint is judged by
+  // interval MAY-overlap; the same race is still caught, conservatively.
+  const auto dev = model::gtx980();
+  Report r;
+  check_program(dev, cross_iteration_program(16), 1, r);
+  EXPECT_TRUE(r.has("SNP-RACE-002"));
+}
+
+TEST(RaceChecks, TrailingBodyBarrierMakesCrossIterationAccessClean) {
+  auto p = cross_iteration_program(2);
+  p.body.push_back({sim::Opcode::kBar, sim::kNoReg, sim::kNoReg,
+                    sim::kNoReg, 0});
+  Report r;
+  check_program(model::gtx980(), p, 1, r);
+  EXPECT_FALSE(r.has("SNP-RACE-002"));
+  EXPECT_FALSE(r.has("SNP-RACE-001"));
+}
+
+// ---- bounds proofs ---------------------------------------------------
+
+TEST(BoundChecks, SharedAccessPastTheTileTripsBound001) {
+  const auto dev = model::gtx980();  // n_t = 32
+  auto make = [](long long base) {
+    sim::Program p;
+    p.shared_words = 64;
+    p.prologue.push_back({sim::Opcode::kLds, 0, sim::kNoReg, sim::kNoReg,
+                          1, sim::Space::kShared, base, 0});
+    p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 0, sim::kNoReg,
+                          0});
+    return p;
+  };
+  Report trip;
+  check_program(dev, make(60), 1, trip);  // lane 31 reads word 91
+  EXPECT_TRUE(trip.has("SNP-BOUND-001"));
+  EXPECT_TRUE(trip.has_errors());
+  Report clean;
+  check_program(dev, make(32), 1, clean);  // lane 31 reads word 63
+  EXPECT_FALSE(clean.has("SNP-BOUND-001"));
+}
+
+TEST(BoundChecks, GlobalAccessPastTheExtentTripsBound002) {
+  const auto dev = model::gtx980();
+  auto make = [](long long extent) {
+    sim::Program p;
+    p.extent_words[0] = extent;
+    p.prologue.push_back({sim::Opcode::kLdg, 0, sim::kNoReg, sim::kNoReg,
+                          1, sim::Space::kGlobalA, 16, 0});
+    p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 0, sim::kNoReg,
+                          0});
+    return p;
+  };
+  Report trip;
+  check_program(dev, make(32), 1, trip);  // lane 31 reads word 47
+  EXPECT_TRUE(trip.has("SNP-BOUND-002"));
+  Report clean;
+  check_program(dev, make(48), 1, clean);
+  EXPECT_FALSE(clean.has("SNP-BOUND-002"));
+}
+
+TEST(BoundChecks, BodyAccessesAreProvenOverTheFullTripRange) {
+  // The strided B stream is checked at the last iteration, not just the
+  // two unrolled copies.
+  const auto dev = model::gtx980();
+  sim::Program p;
+  p.iterations = 8;
+  p.extent_words[1] = 8LL * dev.n_t;  // one iteration short of the need
+  p.body.push_back({sim::Opcode::kLdg, 0, sim::kNoReg, sim::kNoReg, 1,
+                    sim::Space::kGlobalB, dev.n_t, dev.n_t});
+  p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 0, sim::kNoReg,
+                        0});
+  Report trip;
+  check_program(dev, p, 1, trip);
+  EXPECT_TRUE(trip.has("SNP-BOUND-002"));
+  p.extent_words[1] = 9LL * dev.n_t;
+  Report clean;
+  check_program(dev, p, 1, clean);
+  EXPECT_FALSE(clean.has("SNP-BOUND-002"));
+}
+
+TEST(BoundChecks, OversizedTileAllocationTripsBound003) {
+  const auto dev = model::gtx980();
+  const auto usable =
+      static_cast<long long>(dev.shared_bytes - dev.shared_reserved) / 4;
+  sim::Program p;
+  p.shared_words = static_cast<int>(usable) + 1;
+  Report r;
+  check_program(dev, p, 1, r);
+  EXPECT_TRUE(r.has("SNP-BOUND-003"));
+  p.shared_words = static_cast<int>(usable);
+  Report clean;
+  check_program(dev, p, 1, clean);
+  EXPECT_FALSE(clean.has("SNP-BOUND-003"));
+}
+
+// ---- overflow proofs -------------------------------------------------
+
+/// The Eq. 2-3 accumulation skeleton: r0 += popcount(...) once per trip.
+sim::Program accumulation_program(std::uint64_t iterations) {
+  sim::Program p;
+  p.iterations = iterations;
+  p.prologue.push_back({sim::Opcode::kMovi, 0, sim::kNoReg, sim::kNoReg,
+                        0});
+  p.prologue.push_back({sim::Opcode::kLdg, 2, sim::kNoReg, sim::kNoReg,
+                        0});
+  p.body.push_back({sim::Opcode::kPopc, 1, 2, sim::kNoReg, 0});
+  p.body.push_back({sim::Opcode::kAdd, 0, 0, 1, 0});
+  p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 0, sim::kNoReg,
+                        0});
+  return p;
+}
+
+TEST(OverflowChecks, HugeTripCountTripsOvf001WithTheExactBound) {
+  const auto dev = model::gtx980();
+  const std::uint64_t n = 1ULL << 28;
+  Report r;
+  check_program(dev, accumulation_program(n), 1, r);
+  ASSERT_TRUE(r.has("SNP-OVF-001"));
+  EXPECT_TRUE(r.has_errors());
+  const auto it = std::find_if(
+      r.diagnostics().begin(), r.diagnostics().end(),
+      [](const Diagnostic& d) { return d.id == "SNP-OVF-001"; });
+  // 32 popcount bits per trip, extrapolated exactly: 32 * 2^28.
+  EXPECT_NE(it->message.find("at most 8589934592"), std::string::npos)
+      << it->message;
+}
+
+TEST(OverflowChecks, BoundedAccumulationIsClean) {
+  const auto dev = model::gtx980();
+  for (const std::uint64_t n : {1ULL, 3ULL, 16ULL, 1ULL << 20}) {
+    Report r;
+    check_program(dev, accumulation_program(n), 1, r);
+    EXPECT_FALSE(r.has("SNP-OVF-001")) << "iterations " << n;
+  }
+}
+
+TEST(OverflowChecks, NonAffineGrowthSaturatesConservatively) {
+  // r0 doubles every trip — no affine extrapolation exists, so the proof
+  // must fall back to "unbounded" rather than miss the overflow.
+  const auto dev = model::gtx980();
+  sim::Program p;
+  p.iterations = 100;
+  p.prologue.push_back({sim::Opcode::kMovi, 0, sim::kNoReg, sim::kNoReg,
+                        1});
+  p.body.push_back({sim::Opcode::kAdd, 0, 0, 0, 0});
+  p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 0, sim::kNoReg,
+                        0});
+  Report r;
+  check_program(dev, p, 1, r);
+  ASSERT_TRUE(r.has("SNP-OVF-001"));
+  const auto it = std::find_if(
+      r.diagnostics().begin(), r.diagnostics().end(),
+      [](const Diagnostic& d) { return d.id == "SNP-OVF-001"; });
+  EXPECT_NE(it->message.find("unbounded"), std::string::npos)
+      << it->message;
+}
+
+TEST(OverflowChecks, WordArithmeticIsExemptFromTheProof) {
+  // Adds over loaded words model modular address/word arithmetic; they
+  // must not be mistaken for Eq. 2-3 accumulation.
+  const auto dev = model::gtx980();
+  sim::Program p;
+  p.iterations = 1ULL << 30;
+  p.prologue.push_back({sim::Opcode::kLdg, 0, sim::kNoReg, sim::kNoReg,
+                        0});
+  p.body.push_back({sim::Opcode::kAdd, 0, 0, 0, 0});
+  p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 0, sim::kNoReg,
+                        0});
+  Report r;
+  check_program(dev, p, 1, r);
+  EXPECT_FALSE(r.has("SNP-OVF-001"));
+}
+
+// ---- def-use and liveness --------------------------------------------
+
+TEST(DefUseChecks, UndefinedRegisterReadTripsDf001) {
   sim::Program p;
   p.body.push_back({sim::Opcode::kAdd, 0, 0, 7, 0});  // r0, r7 undefined
   p.iterations = 4;
   p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 0, sim::kNoReg, 0});
   Report r;
   check_program(model::gtx980(), p, 1, r);
-  EXPECT_TRUE(r.has("SNP-IR-002"));
+  EXPECT_TRUE(r.has("SNP-DF-001"));
+  EXPECT_FALSE(r.has("SNP-IR-002"));  // superseded ID is never emitted
+  EXPECT_TRUE(r.has_errors());
 }
 
-TEST(IrChecks, DeadResultRegisterTripsIr003) {
+TEST(DefUseChecks, DeadResultRegisterTripsDf002) {
   sim::Program p;
   p.prologue.push_back({sim::Opcode::kLdg, 0, sim::kNoReg, sim::kNoReg, 0});
   p.body.push_back({sim::Opcode::kPopc, 1, 0, sim::kNoReg, 0});  // r1 dead
@@ -228,8 +558,21 @@ TEST(IrChecks, DeadResultRegisterTripsIr003) {
   p.epilogue.push_back({sim::Opcode::kStg, sim::kNoReg, 0, sim::kNoReg, 0});
   Report r;
   check_program(model::gtx980(), p, 1, r);
-  EXPECT_TRUE(r.has("SNP-IR-003"));
+  EXPECT_TRUE(r.has("SNP-DF-002"));
   EXPECT_FALSE(r.has_errors());  // liveness is a warning, not an error
+}
+
+// ---- mutation soundness soak (reduced-seed tier-1 variant) -----------
+
+TEST(MutationSoak, ReducedSeedSweepHasNoFalseNegatives) {
+  // Full soak (>= 1000 mutants) lives in test_mutation_soak (slow tier);
+  // this keeps a 180-mutant canary in tier 1.
+  const SoakStats stats = mutation_soak(2);
+  EXPECT_EQ(stats.programs, 18u);
+  EXPECT_GE(stats.mutants, 150u);
+  for (const auto& f : stats.failures) {
+    ADD_FAILURE() << f;
+  }
 }
 
 TEST(IrChecks, DeepDependentChainWarnsOnlyWhenOccupancyCannotHideIt) {

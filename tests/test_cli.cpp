@@ -407,9 +407,73 @@ TEST(Cli, LintRejectsBadFlags) {
   EXPECT_EQ(run_cli({"lint", "--bogus", "1"}).code, 1);
 }
 
+TEST(Cli, LintUndersizedTileAllocationTripsBoundProof) {
+  // --lds-words probes a launch-time LDS allocation smaller than the
+  // staged tile: the interval bounds proof must reject it.
+  const auto r = run_cli({"lint", "--device", "titanv", "--lds-words",
+                          "64"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.out.find("SNP-BOUND-001"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("Eq. 4/5"), std::string::npos) << r.out;
+}
+
+TEST(Cli, LintHugeTripCountTripsOverflowProof) {
+  // --k-iters probes the real k-loop trip count; at 3e8 trips the Eq. 2-3
+  // popcount accumulators provably wrap 32 bits.
+  const auto r = run_cli({"lint", "--device", "titanv", "--k-iters",
+                          "300000000"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_NE(r.out.find("SNP-OVF-001"), std::string::npos) << r.out;
+}
+
+TEST(Cli, LintJsonOutputIsDeterministic) {
+  // The machine-readable report is sorted by (check ID, section, index):
+  // two runs must be byte-identical, and diagnostics carry their site.
+  const std::vector<std::string> args = {"lint",   "--device",    "gtx980",
+                                         "--format", "json"};
+  const auto a = run_cli(args);
+  const auto b = run_cli(args);
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_NE(a.out.find("\"section\":"), std::string::npos);
+  EXPECT_NE(a.out.find("\"index\":"), std::string::npos);
+}
+
+TEST(Cli, LintSoakRunsTheMutationSoundnessSweep) {
+  const auto r = run_cli({"lint", "--soak", "1"});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("18 corpus program(s)"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("0 failure(s)"), std::string::npos) << r.out;
+}
+
+TEST(Cli, SearchWithUndersizedLdsIsBlockedBeforeLaunch) {
+  // Acceptance fixture: a fabricated out-of-bounds tile configuration
+  // must be refused by the pre-launch verifier with exit 3 and the
+  // check ID as the first stderr token.
+  const std::string cohort = tmp("blocked.plink");
+  const std::string packed = tmp("blocked.sbm");
+  auto r = run_cli({"gen", "--loci", "8", "--samples", "128", "--seed",
+                    "5", "--out", cohort});
+  ASSERT_EQ(r.code, 0) << r.err;
+  r = run_cli({"encode", "--in", cohort, "--out", packed});
+  ASSERT_EQ(r.code, 0) << r.err;
+  r = run_cli({"search", "--queries", packed, "--db", packed, "--device",
+               "titanv", "--lds-words", "16"});
+  EXPECT_EQ(r.code, 3);
+  EXPECT_EQ(r.err.rfind("SNP-BOUND-001 ", 0), 0u) << r.err;
+  EXPECT_NE(r.err.find("pre-launch verification failed"),
+            std::string::npos)
+      << r.err;
+  // The same search without the corrupted allocation goes through.
+  r = run_cli({"search", "--queries", packed, "--db", packed, "--device",
+               "titanv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
 TEST(Cli, ComputeCommandsSurfaceLintNotes) {
   // An idle-core grid reaches the user as a `lint:` line in the timing
-  // report (the warn-only pre-launch pass in core::compare).
+  // report (the pre-launch pass warns but only error severity blocks).
   const std::string cohort = tmp("lint_cohort.plink");
   const std::string packed = tmp("lint_cohort.sbm");
   auto r = run_cli({"gen", "--loci", "40", "--samples", "200", "--seed",

@@ -4,7 +4,10 @@
 #      a telemetry smoke: a real search run with --metrics-out /
 #      --trace-out whose outputs are validated as JSON, and a
 #      static-analyzer smoke: `snpcmp lint --format json` on two device
-#      presets, validated the same way (zero errors, Eq. 5 note present).
+#      presets, validated the same way (zero errors, Eq. 5 note present),
+#      and a dataflow-verifier smoke: fabricated out-of-bounds launches
+#      must be blocked with exit 3 + their SNP-BOUND-*/SNP-OVF-* IDs,
+#      and a reduced-seed mutation soak must be failure-free.
 #   2. ASan/UBSan build + tier-1 tests.
 #   3. TSan build + the concurrency-heavy suites (exec scheduler,
 #      async-vs-serial conformance, the obs metrics/span registry, the
@@ -89,6 +92,39 @@ for path in sys.argv[1:]:
     print(f"lint ok: {doc['device']} {doc['workload']} "
           f"{len(doc['diagnostics'])} diagnostic(s), 0 errors")
 EOF
+
+echo "== dataflow verifier smoke (blocked launch + mutation soak) =="
+# docs/static-analysis.md: a fabricated out-of-bounds tile allocation
+# must be refused before launch with exit 3 and the SNP-BOUND-* check ID
+# as the first stderr token; a huge trip count must fail the overflow
+# proof; and a reduced-seed mutation soak must have no false negatives.
+set +e
+./build/tools/snpcmp lint --device titanv --lds-words 64 \
+  > "$smoke/blocked_tile.txt" 2>&1
+rc=$?
+set -e
+[[ $rc -eq 3 ]] || { echo "undersized tile lint exited $rc, want 3"; exit 1; }
+grep -q 'SNP-BOUND-001' "$smoke/blocked_tile.txt" || {
+  echo "undersized tile lint lacks SNP-BOUND-001"; exit 1; }
+set +e
+./build/tools/snpcmp lint --device gtx980 --k-iters 300000000 \
+  > "$smoke/overflow_trips.txt" 2>&1
+rc=$?
+set -e
+[[ $rc -eq 3 ]] || { echo "overflow lint exited $rc, want 3"; exit 1; }
+grep -q 'SNP-OVF-001' "$smoke/overflow_trips.txt" || {
+  echo "overflow lint lacks SNP-OVF-001"; exit 1; }
+set +e
+./build/tools/snpcmp search --queries "$smoke/q.sbm" --db "$smoke/db.sbm" \
+  --lds-words 16 > /dev/null 2> "$smoke/blocked_launch.err"
+rc=$?
+set -e
+[[ $rc -eq 3 ]] || { echo "blocked launch exited $rc, want 3"; exit 1; }
+head -1 "$smoke/blocked_launch.err" | grep -q '^SNP-BOUND-001 ' || {
+  echo "blocked launch stderr does not lead with the check ID"; exit 1; }
+./build/tools/snpcmp lint --soak 2 || {
+  echo "mutation soundness soak reported failures"; exit 1; }
+echo "dataflow verifier smoke ok: bad launches blocked, soak clean"
 
 echo "== fault-injection smoke (recovery ladder end-to-end) =="
 # docs/robustness.md: a heavily injected run under --fail-policy degrade

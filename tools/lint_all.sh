@@ -25,8 +25,27 @@ for device in gtx980 titanv vega64; do
         echo "$out" >&2
         exit 1
       fi
+      # The machine-readable report must be byte-stable (diagnostics are
+      # sorted by check ID, section, index) — downstream tooling diffs it.
+      json_a=$("$snpcmp" lint --device "$device" --workload "$workload" \
+               --op "$op" --format json)
+      json_b=$("$snpcmp" lint --device "$device" --workload "$workload" \
+               --op "$op" --format json)
+      if [[ "$json_a" != "$json_b" ]]; then
+        echo "lint_all: nondeterministic JSON for $device $workload $op" >&2
+        exit 1
+      fi
       combos=$((combos + 1))
     done
   done
 done
-echo "lint_all: $combos preset combinations clean"
+echo "lint_all: $combos preset combinations clean (JSON byte-stable)"
+
+# One-seed mutation soundness soak: every planted bug must trip exactly
+# its expected check (the full sweep runs as test_mutation_soak).
+if ! out=$("$snpcmp" lint --soak 1); then
+  echo "lint_all: mutation soak FAILED:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+echo "lint_all: $out"
