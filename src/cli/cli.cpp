@@ -1287,6 +1287,23 @@ std::optional<std::uint64_t> json_num(const std::string& line,
   return v;
 }
 
+/// Signed-double variant for keys like "deadline_ms", where a negative
+/// value means "already expired at submission" (docs/service.md).
+std::optional<double> json_real(const std::string& line,
+                                const std::string& key) {
+  const auto text = json_field(line, key);
+  if (!text) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(*text, &consumed);
+    if (consumed != text->size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("script: '" + key +
+                                "' expects a number, got '" + *text + "'");
+  }
+}
+
 svc::ServiceConfig parse_service_config(Options& opt) {
   svc::ServiceConfig cfg;
   cfg.device = opt.str("device", "titanv");
@@ -1307,6 +1324,13 @@ svc::ServiceConfig parse_service_config(Options& opt) {
   // .md); a breach dumps the flight recorder to the --flight-out /
   // $SNPCMP_FLIGHT_OUT destination.
   cfg.slo.objective_s = opt.real("slo-ms", 0.0) / 1e3;
+  // Request-lifecycle robustness knobs (docs/robustness.md): a per-device
+  // circuit breaker ahead of the recovery ladder, a per-class retry token
+  // bucket, and the brown-out shed ceiling used when the SLO trips.
+  cfg.breaker.failure_threshold = static_cast<int>(opt.num("breaker", 0));
+  cfg.retry_budget = opt.real("retry-budget", 0.0);
+  cfg.brownout_class_max =
+      static_cast<int>(opt.num("brownout-class", 0));
   // Script-driven runs gate batch formation on barriers, so batch ids and
   // widths are a pure function of the script — CI-golden by construction.
   cfg.start_paused = true;
@@ -1339,6 +1363,19 @@ void print_service_report(std::ostream& out, const svc::ServiceEngine& eng) {
   if (s.fault_events > 0 || s.degraded_batches > 0) {
     out << "service:     faults=" << s.fault_events << " degraded-batches="
         << s.degraded_batches << "\n";
+  }
+  // Deadline outcomes (docs/robustness.md): sheds never reached a kernel
+  // launch; expired means the result was delivered late or the batch was
+  // cancelled mid-pipeline. Silent when no request carried a deadline, so
+  // legacy goldens are unaffected.
+  if (s.deadline_shed > 0 || s.deadline_expired > 0 || s.deadline_met > 0) {
+    out << "deadlines:   met=" << s.deadline_met << " expired="
+        << s.deadline_expired << " shed=" << s.deadline_shed << "\n";
+  }
+  if (s.brownout_entries > 0 || s.brownout_shed > 0) {
+    out << "brownout:    entries=" << s.brownout_entries << " shed="
+        << s.brownout_shed
+        << (s.brownout_active ? " active=yes" : " active=no") << "\n";
   }
   // Honest percentiles: the SLO monitor's histogram gives bucket upper
   // bounds, marked '~=' (docs/observability.md). Falls back to the exact
@@ -1445,28 +1482,33 @@ std::exception_ptr print_request_lines(std::ostream& out,
 
 /// Submits query row `q`, mapping an admission shed to a printed line
 /// instead of a fatal error (the service kept running — that is the point
-/// of a shed policy).
+/// of a shed policy). Overload and expired-deadline sheds both stay
+/// non-fatal; every other admission error is a real bug and propagates.
 void submit_one(svc::ServiceEngine& engine, const bits::BitMatrix& queries,
-                std::size_t q,
-                const std::optional<rt::RecoveryOptions>& recovery,
+                std::size_t q, const svc::SubmitOptions& base,
                 std::vector<ScriptedRequest>& reqs) {
   ScriptedRequest slot;
+  svc::SubmitOptions options = base;
+  options.trace_out = &slot.trace_id;
   try {
-    slot.fut = engine.submit(queries.row_slice(q, q + 1), recovery,
-                             &slot.trace_id);
+    slot.fut = engine.submit(queries.row_slice(q, q + 1), options);
   } catch (const rt::Error& e) {
-    if (e.code() != rt::ErrorCode::kOverload) throw;
+    if (e.code() != rt::ErrorCode::kOverload &&
+        e.code() != rt::ErrorCode::kDeadline) {
+      throw;
+    }
     slot.shed_code = rt::code_name(e.code());
   }
   reqs.push_back(std::move(slot));
 }
 
 /// `snpcmp serve`: drive a ServiceEngine from a JSONL request script.
-/// Lines: {"submit": Q [, "policy": "...", "count": N]} enqueues query
-/// row Q; {"barrier": true} releases the backlog and waits for it
-/// (resume -> drain -> pause), closing the current coalescing generation;
-/// {"epoch": "FILE.sbm"} swaps the resident database. '#' and blank
-/// lines are skipped; a final barrier is implicit.
+/// Lines: {"submit": Q [, "policy": "...", "count": N, "deadline_ms": X,
+/// "class": C]} enqueues query row Q; {"barrier": true} releases the
+/// backlog and waits for it (resume -> drain -> pause), closing the
+/// current coalescing generation; {"epoch": "FILE.sbm"} swaps the
+/// resident database. '#' and blank lines are skipped; a final barrier
+/// is implicit.
 int cmd_serve(Options& opt, std::ostream& out) {
   const std::string dbpath = opt.require("db");
   const std::string qpath = opt.require("queries");
@@ -1511,19 +1553,22 @@ int cmd_serve(Options& opt, std::ostream& out) {
         if (*q >= queries.rows()) {
           throw std::invalid_argument("query row out of range");
         }
-        std::optional<rt::RecoveryOptions> recovery;
+        svc::SubmitOptions options;
         if (const auto policy_text = json_field(line, "policy")) {
           const auto policy = rt::parse_fail_policy(*policy_text);
           if (!policy) {
             throw std::invalid_argument("bad policy '" + *policy_text +
                                         "'");
           }
-          recovery = cfg.recovery;
-          recovery->policy = *policy;
+          options.recovery = cfg.recovery;
+          options.recovery->policy = *policy;
         }
+        options.deadline_ms = json_real(line, "deadline_ms").value_or(0.0);
+        options.request_class = static_cast<int>(
+            json_num(line, "class").value_or(1));
         const std::uint64_t count = json_num(line, "count").value_or(1);
         for (std::uint64_t c = 0; c < count; ++c) {
-          submit_one(engine, queries, *q, recovery, reqs);
+          submit_one(engine, queries, *q, options, reqs);
         }
       } else {
         throw std::invalid_argument(
@@ -1554,6 +1599,9 @@ int cmd_submit(Options& opt, std::ostream& out) {
   const std::string qpath = opt.require("queries");
   const std::string cost_path = opt.str("cost-out", "");
   svc::ServiceConfig cfg = parse_service_config(opt);
+  svc::SubmitOptions options;
+  options.deadline_ms = opt.real("deadline-ms", 0.0);
+  options.request_class = static_cast<int>(opt.num("class", 1));
   const Telemetry tele(opt);
   FaultControl faults(opt);
   opt.reject_unknown();
@@ -1567,7 +1615,7 @@ int cmd_submit(Options& opt, std::ostream& out) {
       io::load_bitmatrix(std::filesystem::path(dbpath)), cfg);
   std::vector<ScriptedRequest> reqs;
   for (std::size_t q = 0; q < queries.rows(); ++q) {
-    submit_one(engine, queries, q, std::nullopt, reqs);
+    submit_one(engine, queries, q, options, reqs);
   }
   engine.resume();
   engine.drain();
@@ -1655,19 +1703,31 @@ commands:
             paper-scale projection (+ chrome://tracing timeline)
   serve     --db F.sbm --queries F.sbm --script R.jsonl
             script-driven resident-DB query service (docs/service.md);
-            script lines: {"submit": Q[, "policy": P, "count": N]},
-            {"barrier": true}, {"epoch": "F.sbm"}
+            script lines: {"submit": Q[, "policy": P, "count": N,
+            "deadline_ms": X, "class": C]}, {"barrier": true},
+            {"epoch": "F.sbm"}; deadline_ms sets the request's
+            end-to-end deadline (negative = already expired; shed at
+            admission with SNPRT-DEADLINE), class its brown-out shed
+            priority (lowest sheds first)
             [--device D] [--op and|xor|andnot] [--pre-negate yes|no]
             [--max-batch N] [--window-ms X] [--max-queue N]
             [--admission reject|block] [--cache N] [--threads N]
             [--slo-ms X: latency objective for the burn-rate monitor;
-            a breach dumps the flight recorder]
+            a breach dumps the flight recorder and, with
+            --brownout-class, starts shedding low classes]
+            [--breaker N: open the per-device circuit breaker after N
+            consecutive device failures (docs/robustness.md)]
+            [--retry-budget X: per-class retry token bucket capacity;
+            an empty bucket fast-fails instead of retrying]
+            [--brownout-class C: during brown-out, shed classes <= C]
             [--cost-out F.json: per-request cost ledger (exact batch-
             cost shares by gamma-row ownership; docs/observability.md)]
             [fault-tolerance flags] [telemetry flags]
   submit    --db F.sbm --queries F.sbm
             one-shot service submission: every query row becomes one
-            request, coalesced under --max-batch (same options as serve)
+            request, coalesced under --max-batch (same options as
+            serve, plus [--deadline-ms X] [--class C] applied to every
+            request)
 
 fault-tolerance flags (ld, search, mixture, serve, submit;
 docs/robustness.md):

@@ -293,11 +293,35 @@ CompareResult Context::compare(const BitMatrix& a, const BitMatrix& b,
   rt::FaultLog fault_log;
   GpuProgress progress;
   CompareResult result;
+  rt::CircuitBreaker* breaker = nullptr;
+  if (options.breaker.failure_threshold > 0) {
+    breaker =
+        &rt::BreakerRegistry::global().get(gpu_->name(), options.breaker);
+  }
+  bool device_attempted = false;
   try {
+    // Breaker consult sits ahead of the whole retry rung: an open
+    // breaker means the device has failed persistently very recently,
+    // so burn zero device attempts and let the ladder below route the
+    // work (kCancelled is non-retryable, so abort/retry propagate and
+    // degrade/failover fall straight to the CPU rung).
+    if (breaker != nullptr && !breaker->allow()) {
+      throw rt::Error(rt::ErrorCode::kCancelled,
+                      "device '" + gpu_->name() +
+                          "' circuit breaker open; fast-failing to the "
+                          "recovery ladder");
+    }
+    device_attempted = true;
     compare_gpu(a, b, op, options, &fault_log, &progress, result);
+    if (breaker != nullptr) breaker->on_success();
     result.timing.fault_events = fault_log.snapshot();
     return result;
   } catch (const rt::Error& e) {
+    // A deadline cancellation is final: nobody is waiting for the
+    // answer, so never recompute it on the CPU rung — and it says
+    // nothing about device health, so the breaker is not fed either.
+    if (e.code() == rt::ErrorCode::kDeadline) throw;
+    if (breaker != nullptr && device_attempted) breaker->on_failure();
     const rt::FailPolicy policy = options.recovery.policy;
     // On a single device the failover rung has no surviving peer to move
     // work to, so it shares the degradation rung with kDegrade
@@ -620,6 +644,13 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
 
   std::vector<std::byte> readback;
   for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+    // Cooperative cancellation boundary: a fired token (explicit cancel
+    // or expired request deadline) stops the pipeline here, before this
+    // chunk's upload/launch, instead of running the stream to the end.
+    // GraphQuiesce below settles any in-flight async chunks on unwind.
+    if (options.cancel != nullptr) {
+      options.cancel->checkpoint(static_cast<std::int64_t>(ci));
+    }
     const std::size_t row0 = ci * chunk_rows;
     const std::size_t rows = std::min(chunk_rows, streamed.rows() - row0);
     const std::size_t slot =
@@ -689,8 +720,14 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
       // injection check precedes any work, so a retried body is
       // idempotent by construction.
       const auto ci_ix = static_cast<std::int64_t>(ci);
-      auto pack = [state, streamed_ptr, off, rows, rec, fault_log,
+      // Pool tasks honor the cancel token too: each stage checkpoints
+      // before doing work, so a batch whose deadline fired mid-pipeline
+      // stops at the next task boundary even when the stages run on
+      // exec::ThreadPool workers rather than the calling thread.
+      const std::shared_ptr<rt::CancelToken> cancel = options.cancel;
+      auto pack = [state, streamed_ptr, off, rows, rec, fault_log, cancel,
                    ci_ix]() {
+        if (cancel != nullptr) cancel->checkpoint(ci_ix);
         rt::with_retry(rec, "pool.pack", ci_ix, fault_log, [&] {
           rt::maybe_inject(rt::FaultSite::kPool, ci_ix);
           SNP_OBS_SPAN("core.chunk.pack");
@@ -700,7 +737,8 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
                        obs::current_trace().trace_id, 0, ci_ix, rows);
       };
       auto execute = [state, resident_ptr, sb, kptr, rec, fault_log,
-                      ci_ix]() {
+                      cancel, ci_ix]() {
+        if (cancel != nullptr) cancel->checkpoint(ci_ix);
         rt::with_retry(rec, "pool.execute", ci_ix, fault_log, [&] {
           rt::maybe_inject(rt::FaultSite::kPool, ci_ix);
           SNP_OBS_SPAN("core.chunk.execute");
@@ -714,7 +752,8 @@ void Context::compare_gpu(const BitMatrix& a, const BitMatrix& b,
                        state->part.rows());
       };
       auto drain = [state, counts, off, sb, callback, rec, fault_log,
-                    ci_ix, rows, progress]() {
+                    cancel, ci_ix, rows, progress]() {
+        if (cancel != nullptr) cancel->checkpoint(ci_ix);
         rt::with_retry(rec, "pool.drain", ci_ix, fault_log, [&] {
           rt::maybe_inject(rt::FaultSite::kPool, ci_ix);
           SNP_OBS_SPAN("core.chunk.drain");

@@ -111,6 +111,27 @@ struct ComputeOptions {
   /// TimingReport::fault_events. The default (kRetry) only retries; CPU
   /// contexts ignore this.
   rt::RecoveryOptions recovery;
+
+  /// Cooperative cancellation (docs/robustness.md "Request lifecycle").
+  /// When set, the pipeline checkpoints the token between chunks and at
+  /// the top of every pool task: a fired token (explicit cancel or an
+  /// attached expired deadline) aborts the run at the next boundary with
+  /// the token's structured status. A kDeadline cancellation is final —
+  /// compare() rethrows it without entering the degrade/failover rung,
+  /// because recomputing a request that already blew its budget on the
+  /// CPU would waste host time to produce an answer nobody is waiting
+  /// for. Null = never cancelled (and no extra fault-injector draws).
+  std::shared_ptr<rt::CancelToken> cancel;
+
+  /// Per-device circuit breaker (failure_threshold = 0 disables). When
+  /// enabled, compare() consults the device's breaker in
+  /// rt::BreakerRegistry::global() before the GPU attempt: an open
+  /// breaker fast-fails with kCancelled — ahead of the retry rung — so
+  /// the degrade/failover ladder routes around a persistently failing
+  /// device without paying another doomed attempt. GPU outcomes feed
+  /// the breaker (success closes, failure opens; deadline expiry is
+  /// neutral — it says nothing about device health).
+  rt::BreakerOptions breaker;
 };
 
 struct TimingReport {

@@ -101,6 +101,12 @@ const char* to_string(FlightKind kind) {
       return "epoch";
     case FlightKind::kSloBreach:
       return "slo-breach";
+    case FlightKind::kDeadlineShed:
+      return "deadline-shed";
+    case FlightKind::kBreaker:
+      return "breaker";
+    case FlightKind::kBrownout:
+      return "brownout";
   }
   return "unknown";
 }

@@ -55,6 +55,9 @@ enum class FlightKind : std::uint8_t {
   kResolve = 10,  ///< request future resolved  a=batch id      b=latency_us
   kEpoch = 11,    ///< database epoch bump      a=new epoch     b=rows
   kSloBreach = 12,///< burn-rate trigger tripped a=breaches     b=total
+  kDeadlineShed = 13,  ///< expired before launch a=queue depth  b=remaining_us
+  kBreaker = 14,  ///< breaker transition       code=new state
+  kBrownout = 15, ///< brown-out edge           a=1 enter/0 exit b=shed class
 };
 
 [[nodiscard]] const char* to_string(FlightKind kind);

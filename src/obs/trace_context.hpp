@@ -28,9 +28,15 @@
 
 namespace snp::obs {
 
-/// The ambient unit-of-work identity. 0 = no context.
+/// The ambient unit-of-work identity. 0 = no context. `deadline_s`
+/// carries the unit's remaining end-to-end budget at the point the
+/// context was installed (0 = none) — a plain double, not an rt type,
+/// because obs must not depend on rt; the svc dispatcher stamps it when
+/// installing a batch root's context so downstream spans and dumps can
+/// report how much budget a slice had left.
 struct TraceContext {
   std::uint64_t trace_id = 0;
+  double deadline_s = 0.0;
   [[nodiscard]] constexpr bool valid() const { return trace_id != 0; }
 };
 

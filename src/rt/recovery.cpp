@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "obs/obs.hpp"
@@ -9,10 +10,21 @@
 namespace snp::rt {
 namespace {
 
-double wall_now_s() {
+// Monotonic by contract: every deadline measurement in this file uses
+// steady_clock, never system_clock — an NTP step must not be able to
+// expire (or un-expire) a request deadline mid-flight.
+double mono_now_s() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// 0, +inf, and NaN all mean "no budget": the deadline never expires on
+// its own (the injector can still fire it). Negative budgets — -inf
+// included — are expired at birth and handled by the callers.
+bool deadline_disabled(double seconds) {
+  if (std::isnan(seconds)) return true;
+  return seconds == 0.0 || (std::isinf(seconds) && seconds > 0.0);
 }
 
 }  // namespace
@@ -52,7 +64,9 @@ void backoff_sleep(const RecoveryOptions& opts, int attempt) {
 }
 
 Deadline::Deadline(double seconds)
-    : seconds_(seconds), start_s_(seconds > 0.0 ? wall_now_s() : 0.0) {}
+    : seconds_(seconds),
+      start_s_(!deadline_disabled(seconds) && seconds > 0.0 ? mono_now_s()
+                                                            : 0.0) {}
 
 bool Deadline::expired(std::int64_t index) const {
   auto& injector = FaultInjector::global();
@@ -60,8 +74,157 @@ bool Deadline::expired(std::int64_t index) const {
       injector.check(FaultSite::kTimeout, index).has_value()) {
     return true;
   }
-  if (seconds_ <= 0.0) return false;
-  return wall_now_s() - start_s_ > seconds_;
+  if (deadline_disabled(seconds_)) return false;
+  if (seconds_ < 0.0) return true;  // expired at construction
+  return mono_now_s() - start_s_ > seconds_;
+}
+
+double Deadline::remaining_s() const {
+  if (deadline_disabled(seconds_)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (seconds_ < 0.0) return 0.0;
+  return std::max(0.0, seconds_ - (mono_now_s() - start_s_));
+}
+
+void CancelToken::cancel(Status reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  reason_ = std::move(reason);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+std::optional<Status> CancelToken::poll(std::int64_t index) const {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+  }
+  // No attached deadline → no injector sampling: adding checkpoints to
+  // a pipeline must not shift the kTimeout ordinal stream of existing
+  // seeded soaks.
+  if (deadline_.has_value() && deadline_->expired(index)) {
+    return Status::failure(ErrorCode::kDeadline,
+                           "request deadline expired before completion");
+  }
+  return std::nullopt;
+}
+
+void CancelToken::checkpoint(std::int64_t index) const {
+  if (auto pending = poll(index)) throw Error(std::move(*pending));
+}
+
+std::string_view to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kHalfOpen:
+      SNP_OBS_COUNT("rt.breaker.probe", 1);
+      return true;
+    case State::kOpen: {
+      ++denied_;
+      const auto interval =
+          static_cast<std::uint64_t>(std::max(1, opts_.probe_interval));
+      if (denied_ % interval == 0) {
+        transition_locked(State::kHalfOpen);
+        SNP_OBS_COUNT("rt.breaker.probe", 1);
+        return true;
+      }
+      SNP_OBS_COUNT("rt.breaker.fast_fail", 1);
+      return false;
+    }
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen &&
+      ++probe_successes_ >= std::max(1, opts_.success_threshold)) {
+    transition_locked(State::kClosed);
+  }
+}
+
+void CircuitBreaker::on_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_successes_ = 0;
+  if (state_ == State::kHalfOpen) {
+    transition_locked(State::kOpen);
+    return;
+  }
+  if (state_ == State::kClosed && opts_.failure_threshold > 0 &&
+      ++consecutive_failures_ >= opts_.failure_threshold) {
+    transition_locked(State::kOpen);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void CircuitBreaker::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  denied_ = 0;
+}
+
+void CircuitBreaker::transition_locked(State next) {
+  state_ = next;
+  switch (next) {
+    case State::kClosed:
+      denied_ = 0;
+      probe_successes_ = 0;
+      consecutive_failures_ = 0;
+      SNP_OBS_COUNT("rt.breaker.close", 1);
+      break;
+    case State::kOpen:
+      probe_successes_ = 0;
+      SNP_OBS_COUNT("rt.breaker.open", 1);
+      break;
+    case State::kHalfOpen:
+      SNP_OBS_COUNT("rt.breaker.half_open", 1);
+      break;
+  }
+  SNP_OBS_FLIGHT(obs::FlightKind::kBreaker, obs::current_trace().trace_id,
+                 static_cast<std::uint32_t>(next), -1, 0);
+}
+
+BreakerRegistry& BreakerRegistry::global() {
+  static BreakerRegistry registry;
+  return registry;
+}
+
+CircuitBreaker& BreakerRegistry::get(const std::string& name,
+                                     const BreakerOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(name);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(name, std::make_unique<CircuitBreaker>(name, opts))
+             .first;
+  }
+  return *it->second;
+}
+
+void BreakerRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  breakers_.clear();
 }
 
 ActionCounts count_actions(std::span<const FaultEvent> events) {
@@ -91,6 +254,10 @@ Status status_from_exception(const std::exception& e) {
 namespace detail {
 void count_retry_metrics(bool retried) {
   if (retried) SNP_OBS_COUNT("rt.retries", 1);
+}
+
+void count_budget_metrics(bool budget_dry) {
+  if (budget_dry) SNP_OBS_COUNT("rt.budget.fast_fail", 1);
 }
 
 void record_fault_flight([[maybe_unused]] ErrorCode code,

@@ -30,6 +30,8 @@ std::string_view code_name(ErrorCode code) {
       return "SNPRT-INTERNAL";
     case ErrorCode::kOverload:
       return "SNPRT-OVERLOAD";
+    case ErrorCode::kDeadline:
+      return "SNPRT-DEADLINE";
   }
   return "SNPRT-INTERNAL";
 }

@@ -41,6 +41,7 @@ enum class ErrorCode : std::uint8_t {
   kCancelled,      ///< run abandoned because a sibling failure poisoned it
   kInternal,       ///< invariant violation — a bug, never retried
   kOverload,       ///< admission control shed the request (queue full)
+  kDeadline,       ///< the request's end-to-end deadline expired
 };
 
 /// The stable wire/CLI name of a code ("SNPRT-ALLOC", "SNPRT-LAUNCH", ...).

@@ -31,13 +31,15 @@ using Clock = std::chrono::steady_clock;
 
 /// Requests only share a batch when their whole recovery policy matches:
 /// one compare launch runs under exactly one policy, so mixing classes
-/// would silently upgrade or downgrade somebody's contract.
+/// would silently upgrade or downgrade somebody's contract. Budgets
+/// compare by identity — two requests share a batch only when their
+/// retries draw from the same bucket.
 [[nodiscard]] bool same_class(const rt::RecoveryOptions& a,
                               const rt::RecoveryOptions& b) {
   return a.policy == b.policy && a.max_attempts == b.max_attempts &&
          a.backoff_base_s == b.backoff_base_s &&
          a.backoff_max_s == b.backoff_max_s &&
-         a.op_deadline_s == b.op_deadline_s;
+         a.op_deadline_s == b.op_deadline_s && a.budget == b.budget;
 }
 
 /// FNV-1a over the query's canonical words; op and epoch are folded in so
@@ -90,6 +92,13 @@ struct ServiceEngine::Impl {
     std::uint64_t key = 0;            ///< cache key at admission epoch
     std::uint64_t trace_id = 0;       ///< allocated at submit()
     rt::RecoveryOptions recovery;
+    /// End-to-end deadline (absolute, from submit() + deadline_ms).
+    /// Checked at batch formation and armed on the batch's CancelToken;
+    /// never re-checked at admission for positive budgets.
+    bool has_deadline = false;
+    Clock::time_point deadline_at;
+    /// Batching partition + brown-out shed order (SubmitOptions).
+    int request_class = 1;
     Clock::time_point submitted;
     /// When the request entered the pending queue (after any admission
     /// block) — the queue-wait clock starts here, not at submit().
@@ -146,27 +155,32 @@ struct ServiceEngine::Impl {
 
   ~Impl() {
     {
-      const std::lock_guard lock(mu);
+      std::unique_lock lock(mu);
       stop = true;
       paused = false;  // shutdown drains even a paused engine
+      cv_work.notify_all();
+      cv_space.notify_all();
+      // Handshake with kBlock submitters: a thread parked in submit()'s
+      // admission wait touches mu/cv_space when it wakes, so the
+      // destructor must not tear those down until every blocked
+      // submitter has observed stop and left (each resolves its submit
+      // with a structured kCancelled — never a deadlock, never a
+      // dangling wait). Pinned by the TSan regression test.
+      cv_blocked.wait(lock, [&] { return blocked_submitters == 0; });
     }
-    cv_work.notify_all();
-    cv_space.notify_all();
     dispatcher.join();
   }
 
   // ---- client side -------------------------------------------------------
 
-  std::future<QueryResult> submit(
-      const bits::BitMatrix& query,
-      const std::optional<rt::RecoveryOptions>& recovery,
-      std::uint64_t* trace_out) {
+  std::future<QueryResult> submit(const bits::BitMatrix& query,
+                                  const SubmitOptions& options) {
     const auto submitted = Clock::now();
     // Identity first: the id exists (and reaches the caller) before any
     // admission decision, so even a shed request is chaseable in the
     // flight recorder and the Perfetto flow chain.
     const std::uint64_t trace_id = obs::next_trace_id();
-    if (trace_out != nullptr) *trace_out = trace_id;
+    if (options.trace_out != nullptr) *options.trace_out = trace_id;
     if (query.rows() != 1 || query.bit_cols() != db_bit_cols()) {
       throw std::invalid_argument(
           "svc: query must be a single row with the database's bit_cols");
@@ -180,9 +194,32 @@ struct ServiceEngine::Impl {
                                     src.begin() + static_cast<std::ptrdiff_t>(
                                                       base_words));
 
+    const bool has_deadline = options.deadline_ms != 0.0;
+    const auto deadline_at =
+        submitted + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            options.deadline_ms * 1e-3));
+
     std::unique_lock lock(mu);
     submitted_count++;
     SNP_OBS_COUNT("svc.requests", 1);
+
+    // Only an already-expired budget (deadline_ms < 0) is checked at
+    // admission: the request cannot possibly be served in time, so it
+    // sheds before consuming queue space or a cache probe. Positive
+    // budgets are deliberately *not* checked here — expiry for them is
+    // enforced at batch formation and inside the pipeline, which keeps
+    // admission free of wall-clock races and makes formation-time
+    // shedding deterministically testable.
+    if (options.deadline_ms < 0.0) {
+      rejected_count++;
+      deadline_shed_count++;
+      SNP_OBS_COUNT("svc.deadline.shed", 1);
+      SNP_OBS_FLIGHT(obs::FlightKind::kDeadlineShed, trace_id, 0,
+                     static_cast<std::int64_t>(pending.size()), 0);
+      throw rt::Error(rt::ErrorCode::kDeadline,
+                      "request deadline already expired at submission");
+    }
 
     const std::uint64_t key = cache_hash(words, cfg.op, epoch);
     if (cfg.cache_capacity > 0) {
@@ -198,8 +235,19 @@ struct ServiceEngine::Impl {
         qr.cache_hit = true;
         qr.epoch = epoch;
         qr.trace_id = trace_id;
-        qr.latency_s = seconds_between(submitted, Clock::now());
+        const auto now = Clock::now();
+        qr.latency_s = seconds_between(submitted, now);
         completed_count++;
+        if (has_deadline) {
+          // A cache hit resolves inline, so the deadline is met unless
+          // the budget was so small it passed during the probe itself.
+          qr.deadline_expired = now > deadline_at;
+          if (qr.deadline_expired) {
+            deadline_expired_count++;
+          } else {
+            deadline_met_count++;
+          }
+        }
         latencies.push_back(qr.latency_s);
         // A cache hit never queues: wait 0, the whole latency is service.
         queue_waits.push_back(0.0);
@@ -239,6 +287,22 @@ struct ServiceEngine::Impl {
       SNP_OBS_COUNT("svc.cache.misses", 1);
     }
 
+    // Brown-out shed: while the SLO burn-rate trip is latched, the
+    // lowest request classes are turned away at the door (after the
+    // cache probe — hits cost nothing and still help the burn recover).
+    if (brownout && options.request_class <= cfg.brownout_class_max) {
+      rejected_count++;
+      brownout_shed_count++;
+      SNP_OBS_COUNT("svc.brownout.shed", 1);
+      SNP_OBS_FLIGHT(obs::FlightKind::kShed, trace_id, 0,
+                     static_cast<std::int64_t>(pending.size()),
+                     options.request_class);
+      throw rt::Error(rt::ErrorCode::kOverload,
+                      "brown-out: shedding request class " +
+                          std::to_string(options.request_class) +
+                          " until the SLO burn rate recovers");
+    }
+
     // Admission control: the pending queue is the only unbounded-growth
     // surface, so it is the one that is bounded.
     if (pending.size() >= cfg.max_queue) {
@@ -252,11 +316,36 @@ struct ServiceEngine::Impl {
                             std::to_string(cfg.max_queue) +
                             " pending); request shed");
       }
-      cv_space.wait(lock,
-                    [&] { return stop || pending.size() < cfg.max_queue; });
+      // kBlock backpressure. The destructor handshake (blocked_submitters
+      // / cv_blocked) guarantees a blocked submitter either re-acquires
+      // the queue or observes stop — never a dangling wait on a dying
+      // engine. A deadline bounds the block: waiting past it would hand
+      // the dispatcher a request that is already dead on arrival.
+      blocked_submitters++;
+      bool has_space = true;
+      if (has_deadline) {
+        has_space = cv_space.wait_until(lock, deadline_at, [&] {
+          return stop || pending.size() < cfg.max_queue;
+        });
+      } else {
+        cv_space.wait(lock,
+                      [&] { return stop || pending.size() < cfg.max_queue; });
+      }
+      blocked_submitters--;
+      if (blocked_submitters == 0) cv_blocked.notify_all();
       if (stop) {
         throw rt::Error(rt::ErrorCode::kCancelled,
                         "service shut down while request was blocked on "
+                        "admission");
+      }
+      if (!has_space) {
+        rejected_count++;
+        deadline_shed_count++;
+        SNP_OBS_COUNT("svc.deadline.shed", 1);
+        SNP_OBS_FLIGHT(obs::FlightKind::kDeadlineShed, trace_id, 0,
+                       static_cast<std::int64_t>(pending.size()), 0);
+        throw rt::Error(rt::ErrorCode::kDeadline,
+                        "request deadline expired while blocked on "
                         "admission");
       }
     }
@@ -265,7 +354,21 @@ struct ServiceEngine::Impl {
     req.words = std::move(words);
     req.key = key;
     req.trace_id = trace_id;
-    req.recovery = recovery.value_or(cfg.recovery);
+    req.recovery = options.recovery.value_or(cfg.recovery);
+    req.has_deadline = has_deadline;
+    req.deadline_at = deadline_at;
+    req.request_class = options.request_class;
+    if (cfg.retry_budget > 0.0 && req.recovery.budget == nullptr) {
+      // Classes draw from independent buckets; same_class() compares
+      // bucket identity, so sharing the class bucket keeps same-class
+      // requests batchable.
+      auto& bucket = class_budgets[options.request_class];
+      if (bucket == nullptr) {
+        bucket = std::make_shared<rt::RetryBudget>(cfg.retry_budget,
+                                                   cfg.retry_budget_refill);
+      }
+      req.recovery.budget = bucket;
+    }
     req.submitted = submitted;
     req.enqueued = Clock::now();
     auto fut = req.promise.get_future();
@@ -326,8 +429,10 @@ struct ServiceEngine::Impl {
         continue;
       }
       // Keep the batch open for the coalescing window (unless it is
-      // already full or the engine is shutting down).
-      if (cfg.coalesce_window_s > 0.0 &&
+      // already full or the engine is shutting down). Brown-out shrinks
+      // the window to zero: latency is already burning, so dispatch
+      // whatever is queued instead of waiting for width.
+      if (cfg.coalesce_window_s > 0.0 && !brownout &&
           pending.size() < cfg.max_batch_rows) {
         const auto deadline =
             Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -338,23 +443,38 @@ struct ServiceEngine::Impl {
         });
       }
 
-      auto batch = std::make_shared<Batch>();
-      batch->db = db;
-      batch->epoch = epoch;
-      batch->id = ++batch_counter;
       // One formation timestamp for the whole batch: the depth integral
       // accrues the open interval once, and every popped request's
       // queue wait ends at this same instant — so the integral equals
       // the sum of waits identically (the Little's-law cross-check).
       const auto formed = Clock::now();
       note_queue_transition(formed);
+      // Deadline gate: sweep the whole pending queue *before* forming a
+      // batch, so a request whose budget expired while it waited is
+      // resolved with kDeadline here and can never reach a launch —
+      // the svc.deadline.shed counter is the proof the acceptance tests
+      // check against batch-member trace ids.
+      shed_expired_locked(formed);
+      if (pending.empty()) {
+        lock.unlock();
+        cv_space.notify_all();
+        cv_drain.notify_all();
+        continue;
+      }
+
+      auto batch = std::make_shared<Batch>();
+      batch->db = db;
+      batch->epoch = epoch;
+      batch->id = ++batch_counter;
       // FIFO prefix of one recovery class: later same-class arrivals never
       // jump ahead of an earlier different-class request.
       while (!pending.empty() &&
              batch->requests.size() < cfg.max_batch_rows &&
              (batch->requests.empty() ||
-              same_class(batch->requests.front().recovery,
-                         pending.front().recovery))) {
+              (same_class(batch->requests.front().recovery,
+                          pending.front().recovery) &&
+               batch->requests.front().request_class ==
+                   pending.front().request_class))) {
         Request& head = pending.front();
         head.queue_wait_ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -382,8 +502,13 @@ struct ServiceEngine::Impl {
       // flight record / fault event inherits the id. The other members
       // stay visible through their own per-request flow points.
       {
-        const obs::ScopedTraceContext root_scope(
-            obs::TraceContext{batch->requests.front().trace_id});
+        obs::TraceContext root{batch->requests.front().trace_id};
+        if (batch->requests.front().has_deadline) {
+          root.deadline_s = std::max(
+              0.0, seconds_between(Clock::now(),
+                                   batch->requests.front().deadline_at));
+        }
+        const obs::ScopedTraceContext root_scope(root);
         pool.post([this, batch] { execute_batch(*batch); });
       }
       try {
@@ -395,6 +520,20 @@ struct ServiceEngine::Impl {
 
       lock.lock();
       inflight = 0;
+      // Brown-out recovery is edge-triggered on batch completion: once
+      // both burn windows fall back under the trip threshold, admission
+      // re-opens for the shed classes and the coalescing window is
+      // restored.
+      if (brownout) {
+        const auto snap = slo_mon.snapshot();
+        if (snap.burn_fast < cfg.slo.breach_burn_rate &&
+            snap.burn_slow < cfg.slo.breach_burn_rate) {
+          brownout = false;
+          SNP_OBS_FLIGHT(obs::FlightKind::kBrownout,
+                         obs::current_trace().trace_id, 0, 0,
+                         cfg.brownout_class_max);
+        }
+      }
       lock.unlock();
       cv_drain.notify_all();
     }
@@ -425,6 +564,23 @@ struct ServiceEngine::Impl {
       copts.threads = cfg.compute_threads;
       copts.lint = false;  // per-batch lint would spam the serve path
       copts.recovery = batch.requests.front().recovery;
+      copts.breaker = cfg.breaker;
+      // Arm cooperative cancellation only when *every* member carries a
+      // deadline, and with the latest one — a mixed batch must never be
+      // killed out from under its unbounded members, and under the
+      // latest deadline a kill wastes nothing (all members are already
+      // expired). Deadline-free batches get no token at all, so their
+      // pipelines take no extra fault-injector draws.
+      if (std::all_of(batch.requests.begin(), batch.requests.end(),
+                      [](const Request& r) { return r.has_deadline; })) {
+        auto latest = batch.requests.front().deadline_at;
+        for (const Request& r : batch.requests) {
+          latest = std::max(latest, r.deadline_at);
+        }
+        const double remaining = seconds_between(Clock::now(), latest);
+        copts.cancel = std::make_shared<rt::CancelToken>(
+            rt::Deadline(remaining > 0.0 ? remaining : -1.0));
+      }
       auto result = ctx.compare(a, *batch.db, effective_op, copts);
 
       const auto done = Clock::now();
@@ -441,6 +597,11 @@ struct ServiceEngine::Impl {
         qr.degraded = result.timing.degraded;
         qr.trace_id = batch.requests[i].trace_id;
         qr.latency_s = seconds_between(batch.requests[i].submitted, done);
+        // Late results are delivered and flagged, never dropped: the
+        // caller still gets its row, plus the honest signal that the
+        // budget was blown.
+        qr.deadline_expired = batch.requests[i].has_deadline &&
+                              done > batch.requests[i].deadline_at;
       }
 
       if constexpr (obs::kEnabled) {
@@ -459,6 +620,13 @@ struct ServiceEngine::Impl {
         fault_event_count += result.timing.fault_events.size();
         if (result.timing.degraded) degraded_batch_count++;
         for (std::size_t i = 0; i < n; ++i) {
+          if (batch.requests[i].has_deadline) {
+            if (rows[i].deadline_expired) {
+              deadline_expired_count++;
+            } else {
+              deadline_met_count++;
+            }
+          }
           const double wait_s =
               static_cast<double>(batch.requests[i].queue_wait_ns) * 1e-9;
           // Formation -> resolution; enqueued + wait is the formation
@@ -514,6 +682,13 @@ struct ServiceEngine::Impl {
         batch_count++;
         batch_rows_total += n;
         max_batch = std::max(max_batch, n);
+        if (code == static_cast<std::uint32_t>(rt::ErrorCode::kDeadline)) {
+          // The batch was killed mid-pipeline by its cancel token:
+          // every deadline-carrying member blew its budget.
+          for (const auto& req : batch.requests) {
+            if (req.has_deadline) deadline_expired_count++;
+          }
+        }
       }
       SNP_OBS_COUNT("svc.batches", 1);
       SNP_OBS_COUNT("svc.batch.failures", 1);
@@ -572,6 +747,35 @@ struct ServiceEngine::Impl {
     ledger.record_batch(totals, costs);
   }
 
+  /// Caller holds mu (and has already accrued the depth integral up to
+  /// `now`). Resolves every pending request whose deadline has passed
+  /// with rt::Error(kDeadline) and removes it from the queue — the
+  /// batch-formation gate that guarantees an expired request never
+  /// reaches a kernel launch. Erasures do not advance the clock, so the
+  /// depth integral is unaffected.
+  void shed_expired_locked(Clock::time_point now) {
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (!it->has_deadline || now < it->deadline_at) {
+        ++it;
+        continue;
+      }
+      failed_count++;
+      deadline_shed_count++;
+      SNP_OBS_COUNT("svc.deadline.shed", 1);
+      SNP_OBS_FLIGHT(obs::FlightKind::kDeadlineShed, it->trace_id, 0,
+                     static_cast<std::int64_t>(pending.size()),
+                     static_cast<std::int64_t>(
+                         seconds_between(it->deadline_at, now) * -1e6));
+      SNP_OBS_FLOW_POINT("req.resolve", it->trace_id, 'f');
+      it->promise.set_exception(std::make_exception_ptr(rt::Error(
+          rt::ErrorCode::kDeadline,
+          "request deadline expired before batch formation; shed without "
+          "a launch")));
+      it = pending.erase(it);
+      SNP_OBS_GAUGE_SUB("svc.queue_depth", 1);
+    }
+  }
+
   /// Caller holds mu. Accrues the queue-depth time integral
   /// (sum of depth x dt over pending-queue transitions) up to `now`,
   /// *before* the queue is mutated. Published as the
@@ -589,10 +793,20 @@ struct ServiceEngine::Impl {
     SNP_OBS_GAUGE_SET("svc.queue.depth_time_us", depth_time_ns / 1000);
   }
 
-  /// Burn-rate trigger edge: pin the breach in the flight stream, then
-  /// dump the rings while the evidence is still resident. Never called
-  /// under mu (auto_dump writes a file).
+  /// Burn-rate trigger edge: latch brown-out, pin the breach in the
+  /// flight stream, then dump the rings while the evidence is still
+  /// resident. Never called under mu (auto_dump writes a file).
   void on_slo_trip(std::uint64_t trace_id) {
+    {
+      const std::lock_guard lock(mu);
+      if (!brownout) {
+        brownout = true;
+        brownout_entry_count++;
+        SNP_OBS_COUNT("svc.brownout.entries", 1);
+        SNP_OBS_FLIGHT(obs::FlightKind::kBrownout, trace_id, 0, 1,
+                       cfg.brownout_class_max);
+      }
+    }
     if constexpr (obs::kEnabled) {
       const auto snap = slo_mon.snapshot();
       SNP_OBS_COUNT("svc.slo.trips", 1);
@@ -638,6 +852,12 @@ struct ServiceEngine::Impl {
       s.cache_misses = cache_misses;
       s.fault_events = fault_event_count;
       s.degraded_batches = degraded_batch_count;
+      s.deadline_shed = deadline_shed_count;
+      s.deadline_expired = deadline_expired_count;
+      s.deadline_met = deadline_met_count;
+      s.brownout_entries = brownout_entry_count;
+      s.brownout_shed = brownout_shed_count;
+      s.brownout_active = brownout;
       s.max_batch_rows = max_batch;
       s.mean_batch_rows =
           batch_count == 0 ? 0.0
@@ -715,6 +935,15 @@ struct ServiceEngine::Impl {
   bool paused = false;
   bool stop = false;
   std::size_t inflight = 0;
+  /// kBlock submitters currently parked in the admission wait; the
+  /// destructor waits (on cv_blocked) for this to reach zero.
+  std::size_t blocked_submitters = 0;
+  std::condition_variable cv_blocked;
+  /// Brown-out latch (set on SLO trip, cleared edge-triggered after a
+  /// batch completes with both burn rates back under the threshold).
+  bool brownout = false;
+  /// Per-class retry-budget buckets (created lazily at first use).
+  std::unordered_map<int, std::shared_ptr<rt::RetryBudget>> class_budgets;
 
   std::uint64_t submitted_count = 0;
   std::uint64_t completed_count = 0;
@@ -727,6 +956,11 @@ struct ServiceEngine::Impl {
   std::uint64_t cache_misses = 0;
   std::uint64_t fault_event_count = 0;
   std::uint64_t degraded_batch_count = 0;
+  std::uint64_t deadline_shed_count = 0;
+  std::uint64_t deadline_expired_count = 0;
+  std::uint64_t deadline_met_count = 0;
+  std::uint64_t brownout_entry_count = 0;
+  std::uint64_t brownout_shed_count = 0;
   std::size_t max_batch = 0;
   std::size_t peak_queue = 0;
   std::vector<double> latencies;
@@ -750,7 +984,15 @@ std::future<QueryResult> ServiceEngine::submit(
     const bits::BitMatrix& query,
     const std::optional<rt::RecoveryOptions>& recovery,
     std::uint64_t* trace_out) {
-  return impl_->submit(query, recovery, trace_out);
+  SubmitOptions options;
+  options.recovery = recovery;
+  options.trace_out = trace_out;
+  return impl_->submit(query, options);
+}
+
+std::future<QueryResult> ServiceEngine::submit(const bits::BitMatrix& query,
+                                               const SubmitOptions& options) {
+  return impl_->submit(query, options);
 }
 
 void ServiceEngine::update_database(bits::BitMatrix database) {

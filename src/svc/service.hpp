@@ -118,6 +118,54 @@ struct ServiceConfig {
   /// slo() still accumulates so the report's approximate percentiles
   /// work without an objective.
   obs::SloOptions slo;
+
+  /// Per-device circuit breaker for batch execution (failure_threshold
+  /// = 0 disables): consecutive GPU failures open the circuit and
+  /// subsequent batches fast-fail to the recovery ladder without paying
+  /// another doomed device attempt (see rt::CircuitBreaker).
+  rt::BreakerOptions breaker;
+
+  /// Per-request-class retry budget: capacity of the token bucket every
+  /// retry of that class must draw from (0 = unbounded, the default).
+  /// Classes get independent buckets; a dry bucket turns retryable
+  /// faults into immediate kExhausted fast-fails. A RecoveryOptions
+  /// passed at submit() with its own budget wins over this default.
+  double retry_budget = 0.0;
+  /// Tokens credited back per successful operation (fractions
+  /// accumulate; ordinal-driven, never wall-clock).
+  double retry_budget_refill = 0.1;
+
+  /// Brown-out: when the SLO burn-rate monitor trips, the dispatcher
+  /// drops the coalescing window to zero and admission sheds every
+  /// request whose class is <= this bound (lowest classes first, with
+  /// kOverload) until both burn rates fall back under the trip
+  /// threshold. The default (0) sheds only class <= 0 — the designated
+  /// best-effort tier — while the default request class (1) stays
+  /// admitted.
+  int brownout_class_max = 0;
+};
+
+/// Per-submission options (the richer submit() overload).
+struct SubmitOptions {
+  /// Recovery-policy override for this request's class (engine default
+  /// when unset). Requests of different classes never share a batch.
+  std::optional<rt::RecoveryOptions> recovery;
+  /// End-to-end deadline measured from submit(), in milliseconds.
+  /// 0 = no deadline. Negative = already expired at submission: the
+  /// submit throws rt::Error(kDeadline) immediately (counted as shed).
+  /// A positive deadline is never checked at admission — expiry is
+  /// enforced at batch formation (expired requests are shed with
+  /// kDeadline before any launch), at chunk boundaries inside the
+  /// compare pipeline via rt::CancelToken, and at delivery (late
+  /// results are flagged, never dropped).
+  double deadline_ms = 0.0;
+  /// Request class: batching partition and the brown-out shed order
+  /// (lowest sheds first). Default 1; class <= brownout_class_max is
+  /// the best-effort tier.
+  int request_class = 1;
+  /// When non-null, receives the request's trace id as soon as it is
+  /// allocated — before any possible throw.
+  std::uint64_t* trace_out = nullptr;
 };
 
 /// One resolved query.
@@ -135,6 +183,10 @@ struct QueryResult {
   double latency_s = 0.0;
   /// True when the batch finished on the CPU degrade rung.
   bool degraded = false;
+  /// True when the request carried a deadline and the result was
+  /// delivered after it passed (late results are delivered and flagged,
+  /// never silently dropped).
+  bool deadline_expired = false;
   /// The request's process-unique trace id (allocated at submit();
   /// never 0 for an accepted request). The same id tags the request's
   /// spans, flight records and fault events.
@@ -179,6 +231,18 @@ struct ServiceStats {
   std::uint64_t slo_trips = 0;     ///< burn-rate trigger edges
   double slo_burn_fast = 0.0;
   double slo_burn_slow = 0.0;
+  /// Deadline accounting (docs/robustness.md "Request lifecycle"):
+  /// shed = expired before any launch (admission or batch formation),
+  /// expired = completed but delivered late, met = completed in time.
+  /// Only requests that carried a deadline are counted.
+  std::uint64_t deadline_shed = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t deadline_met = 0;
+  /// Brown-out accounting: trigger edges entered and requests shed by
+  /// class while browned out.
+  std::uint64_t brownout_entries = 0;
+  std::uint64_t brownout_shed = 0;
+  bool brownout_active = false;
 };
 
 /// Point-in-time SLO report from the engine's burn-rate monitor. The
@@ -230,6 +294,14 @@ class ServiceEngine {
       const bits::BitMatrix& query,
       const std::optional<rt::RecoveryOptions>& recovery = std::nullopt,
       std::uint64_t* trace_out = nullptr);
+
+  /// Full-options submit: adds an end-to-end deadline and a request
+  /// class (see SubmitOptions). Additionally throws rt::Error(kDeadline)
+  /// for an already-expired deadline or when a kBlock admission wait
+  /// outlives the deadline, and rt::Error(kOverload) when brown-out
+  /// sheds the request's class.
+  [[nodiscard]] std::future<QueryResult> submit(const bits::BitMatrix& query,
+                                               const SubmitOptions& options);
 
   /// Atomically swaps the resident database and bumps the epoch; every
   /// cached result is invalidated (the cache key carries the epoch, and

@@ -2,6 +2,9 @@
 // injection, backoff schedule, and the with_retry rung.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -280,6 +283,228 @@ TEST(RtRecovery, WithRetryTurnsInjectedTimeoutIntoTimeoutError) {
   EXPECT_EQ(v, 7);
   ASSERT_FALSE(log.snapshot().empty());
   EXPECT_EQ(log.snapshot()[0].code, ErrorCode::kTimeout);
+}
+
+TEST(RtDeadline, DisabledSentinelsNeverExpire) {
+  // 0, +inf and NaN all mean "no deadline" — the watchdog is off and
+  // remaining_s() reports an infinite budget.
+  for (const double s :
+       {0.0, std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()}) {
+    const Deadline d(s);
+    EXPECT_FALSE(d.expired()) << "seconds=" << s;
+    EXPECT_TRUE(std::isinf(d.remaining_s())) << "seconds=" << s;
+  }
+}
+
+TEST(RtDeadline, NegativeBudgetIsExpiredAtBirth) {
+  // A negative budget (including -inf) models "already past due at
+  // submission": expired from the first check, zero remaining.
+  for (const double s :
+       {-1e-9, -5.0, -std::numeric_limits<double>::infinity()}) {
+    const Deadline d(s);
+    EXPECT_TRUE(d.expired()) << "seconds=" << s;
+    EXPECT_TRUE(d.expired()) << "stays expired, seconds=" << s;
+    EXPECT_DOUBLE_EQ(d.remaining_s(), 0.0) << "seconds=" << s;
+  }
+}
+
+TEST(RtDeadline, FiniteBudgetCountsDownMonotonically) {
+  const Deadline d(3600.0);  // far future: never expires in-test
+  EXPECT_FALSE(d.expired());
+  const double r = d.remaining_s();
+  EXPECT_GT(r, 0.0);
+  EXPECT_LE(r, 3600.0);
+  EXPECT_LE(d.remaining_s(), r);  // monotone non-increasing
+}
+
+TEST(RtDeadline, DeadlineCodeIsStableAndNotRetryable) {
+  // SNPRT-DEADLINE is terminal by design: retrying an expired request
+  // cannot un-expire it, so the recovery ladder must not recompute it.
+  EXPECT_EQ(code_name(ErrorCode::kDeadline), "SNPRT-DEADLINE");
+  EXPECT_FALSE(is_retryable(ErrorCode::kDeadline));
+}
+
+TEST(RtRetryBudget, BucketDrainsAndRefillsOnSuccess) {
+  RetryBudget budget(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(budget.available(), 2.0);
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_FALSE(budget.try_acquire());  // dry: fast-fail
+  budget.note_success();
+  EXPECT_DOUBLE_EQ(budget.available(), 0.5);
+  EXPECT_FALSE(budget.try_acquire());  // still below one whole token
+  budget.note_success();
+  EXPECT_TRUE(budget.try_acquire());
+  // Refill saturates at capacity, never above.
+  for (int i = 0; i < 100; ++i) budget.note_success();
+  EXPECT_DOUBLE_EQ(budget.available(), budget.capacity());
+}
+
+TEST(RtRetryBudget, WithRetryFastFailsWhenBudgetIsDry) {
+  RecoveryOptions opts = fast_retry();
+  opts.budget = std::make_shared<RetryBudget>(1.0, 0.0);
+  FaultLog log;
+  int calls = 0;
+  try {
+    with_retry(opts, "op", -1, &log, [&]() -> int {
+      ++calls;
+      throw Error(ErrorCode::kLaunch, "flaky");
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kExhausted);
+    EXPECT_NE(std::string(e.what()).find("retry budget exhausted"),
+              std::string::npos);
+  }
+  // One token bought exactly one retry; the second failure fast-failed
+  // instead of burning the remaining max_attempts.
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(log.snapshot().back().action, "exhausted");
+}
+
+TEST(RtRetryBudget, SuccessesRefillAcrossOperations) {
+  RecoveryOptions opts = fast_retry();
+  opts.budget = std::make_shared<RetryBudget>(1.0, 1.0);
+  // Drain the single token on a flaky op...
+  int calls = 0;
+  const int v = with_retry(opts, "op", -1, nullptr, [&] {
+    if (++calls < 2) throw Error(ErrorCode::kLaunch, "flaky");
+    return 1;
+  });
+  EXPECT_EQ(v, 1);
+  // ...the success refilled it (1:1 ratio here), so the next flaky op
+  // can retry again instead of fast-failing.
+  calls = 0;
+  const int w = with_retry(opts, "op", -1, nullptr, [&] {
+    if (++calls < 2) throw Error(ErrorCode::kLaunch, "flaky");
+    return 2;
+  });
+  EXPECT_EQ(w, 2);
+}
+
+TEST(RtCancelToken, ExplicitCancelWinsAndIsSticky) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.poll().has_value());
+  EXPECT_NO_THROW(token.checkpoint());
+  token.cancel(Status::failure(ErrorCode::kCancelled, "caller gave up"));
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.checkpoint();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+  }
+  // First reason wins; later cancels must not overwrite it.
+  token.cancel(Status::failure(ErrorCode::kInternal, "second"));
+  EXPECT_EQ(token.poll()->code, ErrorCode::kCancelled);
+}
+
+TEST(RtCancelToken, AttachedDeadlineSurfacesAsDeadlineError) {
+  CancelToken token{Deadline(-1.0)};  // expired at birth
+  try {
+    token.checkpoint(3);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadline);
+  }
+  CancelToken alive{Deadline(3600.0)};
+  EXPECT_NO_THROW(alive.checkpoint());
+}
+
+TEST(RtCancelToken, NoDeadlineMeansNoInjectorDraws) {
+  // A token without a deadline must not sample the timeout site:
+  // arming cancellation must not shift existing fault-plan ordinals.
+  ScopedFaultPlan plan(FaultPlan::parse("timeout:after=1"));
+  CancelToken token;
+  EXPECT_NO_THROW(token.checkpoint());
+  EXPECT_NO_THROW(token.checkpoint());
+  // The injected timeout is still pending for the next real sampler.
+  const Deadline d(0.0);
+  EXPECT_TRUE(d.expired());
+}
+
+BreakerOptions fast_breaker() {
+  BreakerOptions opts;
+  opts.failure_threshold = 2;
+  opts.probe_interval = 3;
+  opts.success_threshold = 2;
+  return opts;
+}
+
+TEST(RtBreaker, OpensAfterConsecutiveFailuresAndFastFails) {
+  CircuitBreaker breaker("dev", fast_breaker());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.on_failure();  // threshold=2 reached
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // Open state fast-fails until the probe_interval-th denial.
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_TRUE(breaker.allow());  // 3rd denied allow() becomes the probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(RtBreaker, HalfOpenClosesAfterProbeSuccesses) {
+  CircuitBreaker breaker("dev", fast_breaker());
+  breaker.on_failure();
+  breaker.on_failure();
+  while (!breaker.allow()) {
+  }
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.on_success();  // success_threshold=2
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(RtBreaker, HalfOpenFailureReopensImmediately) {
+  CircuitBreaker breaker("dev", fast_breaker());
+  breaker.on_failure();
+  breaker.on_failure();
+  while (!breaker.allow()) {
+  }
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());
+}
+
+TEST(RtBreaker, SuccessResetsTheConsecutiveFailureCount) {
+  CircuitBreaker breaker("dev", fast_breaker());
+  breaker.on_failure();
+  breaker.on_success();  // breaks the streak
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(RtBreaker, ZeroThresholdDisablesTheBreaker) {
+  BreakerOptions opts;
+  opts.failure_threshold = 0;
+  CircuitBreaker breaker("dev", opts);
+  for (int i = 0; i < 16; ++i) breaker.on_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(RtBreaker, RegistryKeysByDeviceNameAndResets) {
+  BreakerRegistry::global().reset();
+  CircuitBreaker& a = BreakerRegistry::global().get("titanv", fast_breaker());
+  CircuitBreaker& b = BreakerRegistry::global().get("titanv", fast_breaker());
+  CircuitBreaker& c = BreakerRegistry::global().get("vega64", fast_breaker());
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.on_failure();
+  a.on_failure();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(c.state(), CircuitBreaker::State::kClosed);
+  BreakerRegistry::global().reset();
+  EXPECT_EQ(BreakerRegistry::global().get("titanv", fast_breaker()).state(),
+            CircuitBreaker::State::kClosed);
 }
 
 }  // namespace

@@ -557,6 +557,314 @@ TEST(ServiceSlo, NoObjectiveStillFeedsApproxPercentiles) {
   EXPECT_GT(report.p50_le_s, 0.0);  // exemplar histogram fed regardless
 }
 
+// ---- deadlines, retry budgets, brown-out (PR 10) -----------------------
+
+TEST(ServiceDeadline, NegativeDeadlineShedsAtAdmission) {
+  const BitMatrix db = io::random_bitmatrix(19, 128, 0.5, 751);
+  const BitMatrix query = io::random_bitmatrix(1, 128, 0.4, 752);
+  ServiceConfig cfg = base_config("cpu", Comparison::kXor, 4);
+  ServiceEngine engine(db, cfg);  // paused
+  svc::SubmitOptions options;
+  options.deadline_ms = -1.0;
+  std::uint64_t trace = 0;
+  options.trace_out = &trace;
+  try {
+    (void)engine.submit(query, options);
+    FAIL() << "expired-at-submission deadline must shed";
+  } catch (const rt::Error& e) {
+    EXPECT_EQ(e.code(), rt::ErrorCode::kDeadline);
+    EXPECT_NE(std::string(e.what()).find("SNPRT-DEADLINE"),
+              std::string::npos);
+  }
+  EXPECT_NE(trace, 0u);  // trace id allocated before the throw
+  const auto s = engine.stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.deadline_shed, 1u);
+  EXPECT_EQ(s.completed, 0u);
+}
+
+TEST(ServiceDeadline, ExpiredRequestsAreShedAtFormationNeverLaunched) {
+  const BitMatrix db = io::random_bitmatrix(19, 128, 0.5, 753);
+  const BitMatrix queries = io::random_bitmatrix(4, 128, 0.4, 754);
+  ServiceConfig cfg = base_config("cpu", Comparison::kXor, 8);
+  ServiceEngine engine(db, cfg);  // paused: deadlines expire in the queue
+
+  svc::SubmitOptions options;
+  options.deadline_ms = 1e-6;  // expires long before resume()
+  std::vector<std::future<QueryResult>> futs;
+  std::vector<std::uint64_t> traces(queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    options.trace_out = &traces[q];
+    futs.push_back(engine.submit(queries.row_slice(q, q + 1), options));
+  }
+  engine.resume();
+  engine.drain();
+
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    try {
+      (void)futs[q].get();
+      FAIL() << "request " << q << " should have been shed";
+    } catch (const rt::Error& e) {
+      EXPECT_EQ(e.code(), rt::ErrorCode::kDeadline);
+    }
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.deadline_shed, queries.rows());
+  EXPECT_EQ(s.failed, queries.rows());
+  // The acceptance bar: an expired request never reaches a launch. No
+  // batch may form from an all-expired backlog...
+  EXPECT_EQ(s.batches, 0u);
+  if (obs::kEnabled) {
+    // ...and the flight recorder agrees: every shed trace id has a
+    // deadline-shed record and appears in no batch-formation record.
+    const auto records = obs::FlightRecorder::global().snapshot();
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      bool shed_seen = false;
+      for (const auto& r : records) {
+        if (r.trace_id != traces[q]) continue;
+        EXPECT_NE(r.kind, obs::FlightKind::kBatch)
+            << "shed request " << q << " reached batch formation";
+        EXPECT_NE(r.kind, obs::FlightKind::kChunkExec)
+            << "shed request " << q << " reached a kernel launch";
+        shed_seen |= r.kind == obs::FlightKind::kDeadlineShed;
+      }
+      EXPECT_TRUE(shed_seen) << "no deadline-shed flight record for " << q;
+    }
+  }
+}
+
+TEST(ServiceDeadline, GenerousDeadlinesAreMetAndBitIdentical) {
+  const BitMatrix db = io::random_bitmatrix(23, 128, 0.5, 755);
+  const BitMatrix queries = io::random_bitmatrix(6, 128, 0.4, 756);
+  const auto expected = serial_rows("cpu", queries, db, Comparison::kXor);
+  ServiceConfig cfg = base_config("cpu", Comparison::kXor, 4);
+  cfg.start_paused = false;
+  ServiceEngine engine(db, cfg);
+  svc::SubmitOptions options;
+  options.deadline_ms = 1e7;  // hours: always met
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    const QueryResult r =
+        engine.submit(queries.row_slice(q, q + 1), options).get();
+    EXPECT_EQ(r.row, expected[q]) << "query=" << q;
+    EXPECT_FALSE(r.deadline_expired);
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.deadline_met, queries.rows());
+  EXPECT_EQ(s.deadline_expired, 0u);
+  EXPECT_EQ(s.deadline_shed, 0u);
+}
+
+TEST(ServiceDeadline, RequestClassesNeverShareABatch) {
+  const BitMatrix db = io::random_bitmatrix(19, 128, 0.5, 757);
+  const BitMatrix queries = io::random_bitmatrix(4, 128, 0.4, 758);
+  ServiceConfig cfg = base_config("cpu", Comparison::kXor, 32);
+  cfg.cache_capacity = 0;
+  ServiceEngine engine(db, cfg);  // paused: all 4 pending together
+
+  auto submit_class = [&](std::size_t q, int cls) {
+    svc::SubmitOptions options;
+    options.request_class = cls;
+    return engine.submit(queries.row_slice(q, q + 1), options);
+  };
+  std::vector<std::future<QueryResult>> futs;
+  futs.push_back(submit_class(0, 1));
+  futs.push_back(submit_class(1, 1));
+  futs.push_back(submit_class(2, 2));  // priority boundary splits here
+  futs.push_back(submit_class(3, 1));
+  engine.resume();
+  engine.drain();
+  // FIFO class splitting: [1, 1], [2], [1].
+  EXPECT_EQ(futs[0].get().batch_rows, 2u);
+  EXPECT_EQ(futs[1].get().batch_rows, 2u);
+  EXPECT_EQ(futs[2].get().batch_rows, 1u);
+  EXPECT_EQ(futs[3].get().batch_rows, 1u);
+  EXPECT_EQ(engine.stats().batches, 3u);
+}
+
+TEST(ServiceDeadline, BlockAdmissionWaitIsDeadlineBounded) {
+  const BitMatrix db = io::random_bitmatrix(19, 128, 0.5, 759);
+  const BitMatrix queries = io::random_bitmatrix(3, 128, 0.4, 760);
+  ServiceConfig cfg = base_config("cpu", Comparison::kXor, 2);
+  cfg.max_queue = 2;
+  cfg.admission = svc::AdmissionPolicy::kBlock;
+  cfg.cache_capacity = 0;
+  ServiceEngine engine(db, cfg);  // paused: the queue never drains
+
+  std::vector<std::future<QueryResult>> futs;
+  for (std::size_t q = 0; q < 2; ++q) {
+    futs.push_back(engine.submit(queries.row_slice(q, q + 1)));
+  }
+  // The third submission blocks on the full queue; its deadline must
+  // bound the wait and surface as a kDeadline shed, not a hang.
+  svc::SubmitOptions options;
+  options.deadline_ms = 5.0;
+  try {
+    (void)engine.submit(queries.row_slice(2, 3), options);
+    FAIL() << "blocked submission should have timed out";
+  } catch (const rt::Error& e) {
+    EXPECT_EQ(e.code(), rt::ErrorCode::kDeadline);
+  }
+  const auto s = engine.stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.deadline_shed, 1u);
+  engine.resume();
+  engine.drain();
+  for (auto& f : futs) (void)f.get();
+}
+
+TEST(ServiceDeadline, BlockedSubmittersNeverDeadlockTheDestructor) {
+  // Regression (satellite c): a client parked in a kBlock admission wait
+  // while the engine is torn down must be released with kCancelled — the
+  // destructor used to be able to join the dispatcher while a submitter
+  // still waited on queue space, deadlocking both. Run under TSan.
+  const BitMatrix db = io::random_bitmatrix(19, 128, 0.5, 761);
+  const BitMatrix queries = io::random_bitmatrix(4, 128, 0.4, 762);
+  for (int round = 0; round < 16; ++round) {
+    ServiceConfig cfg = base_config("cpu", Comparison::kXor, 2);
+    cfg.max_queue = 1;
+    cfg.admission = svc::AdmissionPolicy::kBlock;
+    cfg.cache_capacity = 0;
+    std::vector<std::future<QueryResult>> futs(queries.rows());
+    std::atomic<int> outcome{0};  // +accepted later, -1 cancelled
+    std::thread client;
+    {
+      ServiceEngine engine(db, cfg);  // paused: queue capacity 1
+      futs[0] = engine.submit(queries.row_slice(0, 1));
+      std::atomic<bool> entered{false};
+      client = std::thread([&] {
+        try {
+          entered = true;
+          futs[1] = engine.submit(queries.row_slice(1, 2));
+          outcome = 1;
+        } catch (const rt::Error& e) {
+          EXPECT_EQ(e.code(), rt::ErrorCode::kCancelled);
+          outcome = -1;
+        }
+      });
+      while (!entered.load()) std::this_thread::yield();
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    }  // destructor races the blocked submit() — must never deadlock
+    client.join();
+    ASSERT_NE(outcome.load(), 0);
+    (void)futs[0].get();  // accepted before teardown: always resolved
+    if (outcome.load() == 1) (void)futs[1].get();
+  }
+}
+
+TEST(ServiceRobustness, PerClassRetryBudgetFastFailsWhenDry) {
+  const BitMatrix db = io::random_bitmatrix(19, 128, 0.5, 763);
+  const BitMatrix queries = io::random_bitmatrix(2, 128, 0.4, 764);
+  rt::ScopedFaultPlan plan(rt::FaultPlan::parse("launch:p=1:seed=1"));
+  ServiceConfig cfg = base_config("titanv", Comparison::kXor, 1);
+  cfg.recovery.policy = rt::FailPolicy::kRetry;
+  cfg.recovery.max_attempts = 5;
+  cfg.retry_budget = 1.0;        // one retry token for the whole class
+  cfg.retry_budget_refill = 0.0; // and no refill: the second op is dry
+  ServiceEngine engine(db, cfg);
+  auto f0 = engine.submit(queries.row_slice(0, 1));
+  auto f1 = engine.submit(queries.row_slice(1, 2));
+  engine.resume();
+  engine.drain();
+  for (auto* f : {&f0, &f1}) {
+    try {
+      (void)f->get();
+      FAIL() << "every launch fails; the request cannot succeed";
+    } catch (const rt::Error& e) {
+      EXPECT_EQ(e.code(), rt::ErrorCode::kExhausted);
+    }
+  }
+  // The class bucket held one token: exactly one retry was bought across
+  // both requests (5 launch samples, not 10 — fast-fail, not burn-down).
+  EXPECT_EQ(engine.stats().failed, 2u);
+}
+
+TEST(ServiceRobustness, BrownoutShedsLowestClassFirstAndReports) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "brown-out rides the SLO monitor (SNPCMP_OBS=OFF)";
+  }
+  const BitMatrix db = io::random_bitmatrix(19, 128, 0.5, 765);
+  const BitMatrix queries = io::random_bitmatrix(4, 128, 0.4, 766);
+  ServiceConfig cfg = base_config("cpu", Comparison::kXor, 4);
+  cfg.start_paused = false;
+  cfg.cache_capacity = 0;
+  cfg.slo.objective_s = 1e-12;  // every completion breaches: trips fast
+  cfg.brownout_class_max = 1;   // shed the default tier while browned out
+  ServiceEngine engine(db, cfg);
+
+  // First completion trips the burn-rate monitor and latches brown-out.
+  svc::SubmitOptions express;
+  express.request_class = 2;
+  (void)engine.submit(queries.row_slice(0, 1), express).get();
+  ASSERT_TRUE(engine.stats().brownout_active);
+  EXPECT_GE(engine.stats().brownout_entries, 1u);
+
+  // Browned out: class 1 sheds with kOverload, class 2 still completes.
+  try {
+    (void)engine.submit(queries.row_slice(1, 2));
+    FAIL() << "class-1 request must shed during brown-out";
+  } catch (const rt::Error& e) {
+    EXPECT_EQ(e.code(), rt::ErrorCode::kOverload);
+    EXPECT_NE(std::string(e.what()).find("brown-out"), std::string::npos);
+  }
+  const QueryResult r = engine.submit(queries.row_slice(2, 3), express).get();
+  EXPECT_FALSE(r.row.empty());
+  const auto s = engine.stats();
+  EXPECT_EQ(s.brownout_shed, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.completed, 2u);
+  // The burn rate stays pinned above the trip threshold (everything
+  // breaches a 1 ps objective), so the brown-out must still be latched.
+  EXPECT_TRUE(s.brownout_active);
+}
+
+/// 100-seed acceptance soak: with faults injected at the timeout site
+/// (fired from deadline checkpoints inside the compare pipeline) and at
+/// launch, the per-request outcome sequence — rows for successes, stable
+/// SNPRT codes for failures — must be bit-identical across two runs of
+/// every seed. compute_threads=0 keeps every checkpoint on the
+/// dispatcher thread, so injector ordinals are a pure function of the
+/// seed (probes and refills are ordinal-driven, never wall-clock).
+TEST(ServiceSoak, DeadlineFaultSoakIsBitIdenticalAcrossSeeds) {
+  const BitMatrix db = io::random_bitmatrix(23, 192, 0.5, 771);
+  const BitMatrix queries = io::random_bitmatrix(8, 192, 0.4, 772);
+
+  using Outcome = std::pair<int, std::vector<std::uint32_t>>;
+  const auto run = [&](int seed) {
+    rt::ScopedFaultPlan plan(rt::FaultPlan::parse(
+        "timeout:p=0.05:seed=" + std::to_string(seed) +
+        ",launch:p=0.05:seed=" + std::to_string(seed + 500)));
+    ServiceConfig cfg = base_config("titanv", Comparison::kXor, 4);
+    cfg.recovery.policy = rt::FailPolicy::kRetry;
+    cfg.recovery.backoff_base_s = 0.0;
+    ServiceEngine engine(db, cfg);  // paused: one deterministic backlog
+    svc::SubmitOptions options;
+    options.deadline_ms = 1e7;  // real expiry never fires; injection can
+    std::vector<std::future<QueryResult>> futs;
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      futs.push_back(engine.submit(queries.row_slice(q, q + 1), options));
+    }
+    engine.resume();
+    engine.drain();
+    std::vector<Outcome> outcomes;
+    for (auto& f : futs) {
+      try {
+        outcomes.emplace_back(0, f.get().row);
+      } catch (const rt::Error& e) {
+        outcomes.emplace_back(static_cast<int>(e.code()),
+                              std::vector<std::uint32_t>{});
+      }
+    }
+    return outcomes;
+  };
+
+  for (int seed = 0; seed < 100; ++seed) {
+    const auto first = run(seed);
+    const auto second = run(seed);
+    ASSERT_EQ(first, second) << "seed " << seed << " diverged";
+  }
+}
+
 TEST(ServiceEngineContract, AdmissionPolicyParsing) {
   EXPECT_EQ(svc::parse_admission_policy("reject"),
             svc::AdmissionPolicy::kReject);

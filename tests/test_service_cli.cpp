@@ -572,5 +572,108 @@ TEST(ServeCli, ReportVerbAnalyzesServeArtifactsDeterministically) {
   EXPECT_EQ(run_cli({"report"}).code, 1);
 }
 
+/// PR-10 surface (satellite b): "deadline_ms" in the script grammar, the
+/// `deadlines:` report block, and the exit-4 contract extended to
+/// SNPRT-DEADLINE. A negative deadline sheds at admission, a microsecond
+/// one expires in the paused backlog and is shed at batch formation
+/// (never launched), and a generous one is met — all deterministic, so
+/// the block is golden.
+TEST(ServeCli, DeadlineFieldsShedMeetAndReportGolden) {
+  const Fixture f;
+  const auto script = write_script(
+      tmp("req.jsonl"),
+      {R"({"submit": 0, "deadline_ms": -1})",
+       R"({"submit": 1, "deadline_ms": 600000})",
+       R"({"submit": 2, "deadline_ms": 0.000001})"});
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "cpu",
+                          "--cache", "0"});
+  // A formation-shed request resolves with kDeadline: the first-error
+  // exit contract extends to SNPRT-DEADLINE.
+  EXPECT_EQ(r.code, 4);
+  EXPECT_EQ(r.err.rfind("error: [SNPRT-DEADLINE]", 0), 0U) << r.err;
+  EXPECT_NE(r.out.find("req 0: rejected [SNPRT-DEADLINE]"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("req 1: batch=1 width=1"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("req 2: error [SNPRT-DEADLINE]"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("deadlines:   met=1 expired=0 shed=2"),
+            std::string::npos)
+      << r.out;
+  // The shed request never launched: exactly one batch, width 1.
+  EXPECT_NE(r.out.find("service:     batches=1 mean-width=1 max-width=1"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find(
+                "service:     requests=3 completed=1 failed=1 rejected=1"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(ServeCli, SubmitDeadlineFlagAppliesToEveryRequest) {
+  const Fixture f;
+  const auto with = run_cli({"submit", "--db", f.db, "--queries",
+                             f.queries, "--device", "cpu", "--deadline-ms",
+                             "600000"});
+  ASSERT_EQ(with.code, 0) << with.err;
+  EXPECT_NE(with.out.find("deadlines:   met=6 expired=0 shed=0"),
+            std::string::npos)
+      << with.out;
+  // Without deadlines the block stays silent — legacy goldens hold.
+  const auto without = run_cli({"submit", "--db", f.db, "--queries",
+                                f.queries, "--device", "cpu"});
+  ASSERT_EQ(without.code, 0) << without.err;
+  EXPECT_EQ(without.out.find("deadlines:"), std::string::npos)
+      << without.out;
+  // And the deadline must not change the results.
+  for (std::size_t q = 0; q < 6; ++q) {
+    EXPECT_EQ(digest_of(with.out, q), digest_of(without.out, q))
+        << "query " << q;
+  }
+}
+
+TEST(ServeCli, RequestClassFieldSplitsBatches) {
+  const Fixture f;
+  const auto script = write_script(
+      tmp("req.jsonl"),
+      {R"({"submit": 0})", R"({"submit": 1, "class": 2})",
+       R"({"submit": 2})"});
+  const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                          "--script", script, "--device", "cpu",
+                          "--max-batch", "8"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  // Different request classes never share a batch: [0], [1], [2].
+  EXPECT_NE(r.out.find("req 0: batch=1 width=1"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("req 1: batch=2 width=1"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("req 2: batch=3 width=1"), std::string::npos)
+      << r.out;
+}
+
+TEST(ServeCli, MalformedDeadlineAndClassCarryLineNumbers) {
+  const Fixture f;
+  {
+    const auto script = write_script(
+        tmp("bad4.jsonl"), {R"({"submit": 0, "deadline_ms": "soon"})"});
+    const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                            "--script", script, "--device", "cpu"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find(":1:"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("expects a number"), std::string::npos) << r.err;
+  }
+  {
+    const auto script = write_script(
+        tmp("bad5.jsonl"), {R"({"submit": 0, "class": "gold"})"});
+    const auto r = run_cli({"serve", "--db", f.db, "--queries", f.queries,
+                            "--script", script, "--device", "cpu"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("expects an integer"), std::string::npos)
+        << r.err;
+  }
+}
+
 }  // namespace
 }  // namespace snp::cli

@@ -189,6 +189,33 @@ print(f"flight dump ok: {len(doc['events'])} events, fault named and "
       f"correlated to request trace {trace}")
 EOF
 
+echo "== deadline smoke (shed / met / exit-4 contract end-to-end) =="
+# docs/robustness.md "Request lifecycle": a negative deadline sheds at
+# admission, a microsecond one is shed at batch formation (never
+# launched), a generous one is met — and a formation shed extends the
+# exit-4 contract to SNPRT-DEADLINE as the first stderr token.
+printf '{"submit": 0, "deadline_ms": -1}\n{"submit": 1, "deadline_ms": 600000}\n{"submit": 2, "deadline_ms": 0.000001}\n' \
+  > "$smoke/deadline.jsonl"
+set +e
+./build/tools/snpcmp serve --db "$smoke/db.sbm" --queries "$smoke/q.sbm" \
+  --script "$smoke/deadline.jsonl" --device titanv --cache 0 \
+  > "$smoke/deadline.out" 2> "$smoke/deadline.err"
+rc=$?
+set -e
+[[ $rc -eq 4 ]] || { echo "deadline serve exited $rc, want 4"; exit 1; }
+head -1 "$smoke/deadline.err" | grep -q '^error: \[SNPRT-DEADLINE\]' || {
+  echo "SNPRT-DEADLINE does not lead stderr"; exit 1; }
+grep -q 'req 0: rejected \[SNPRT-DEADLINE\]' "$smoke/deadline.out" || {
+  echo "negative deadline was not shed at admission"; exit 1; }
+grep -q 'req 2: error \[SNPRT-DEADLINE\]' "$smoke/deadline.out" || {
+  echo "expired deadline was not shed at formation"; exit 1; }
+grep -q 'deadlines:   met=1 expired=0 shed=2' "$smoke/deadline.out" || {
+  echo "deadlines report block wrong:"; cat "$smoke/deadline.out"; exit 1; }
+grep -q 'service:     batches=1 ' "$smoke/deadline.out" || {
+  echo "a shed request reached a launch (batch count != 1)"; exit 1; }
+echo "deadline smoke ok: shed at admission + formation, met in time," \
+  "exit 4"
+
 echo "== cost-ledger + pipeline-report smoke (serve -> report) =="
 # docs/observability.md: the --cost-out shares must sum bit-identically
 # to their batch totals on every integer axis, `snpcmp report` must be
@@ -284,12 +311,16 @@ echo "== TSan build + exec/conformance/obs/fault/service tests =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" \
   --target test_exec test_async_conformance test_obs test_fault_injection \
-           test_service test_flight test_tracing
+           test_service test_chaos test_flight test_tracing
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_exec
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_async_conformance
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_obs
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_fault_injection
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_service
+# The chaos feature matrix (deadlines x breaker x retry budget under
+# injected faults) and the blocked-submitter teardown race are the
+# PR-10 concurrency surface.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_chaos
 # The flight-recorder seqlock soak (concurrent writers + dumper) and the
 # trace-context propagation suite are the PR-7 concurrency surface.
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/test_flight
